@@ -1,0 +1,87 @@
+// Shared helpers for the reproduction benches.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <algorithm>
+
+#include "adversary/random.hpp"
+#include "adversary/theorems.hpp"
+#include "analysis/harness.hpp"
+#include "analysis/registry.hpp"
+#include "util/table.hpp"
+
+namespace reqsched::bench {
+
+/// Runs a theorem instance at two lengths under the scripted strategy and
+/// returns the startup-free per-phase ratio. Aborts loudly if the plan ever
+/// violates the strategy's rules — a violated plan would make the measured
+/// "lower bound" meaningless.
+inline double scripted_slope(
+    const std::function<TheoremInstance(std::int32_t)>& make,
+    std::int32_t short_len, std::int32_t long_len) {
+  TheoremInstance short_inst = make(short_len);
+  TheoremInstance long_inst = make(long_len);
+  ScriptedStrategy short_strategy(short_inst.target, *short_inst.workload);
+  ScriptedStrategy long_strategy(long_inst.target, *long_inst.workload);
+  const RunResult a = run_experiment(*short_inst.workload, short_strategy,
+                                     {.analyze_paths = false});
+  const RunResult b = run_experiment(*long_inst.workload, long_strategy,
+                                     {.analyze_paths = false});
+  REQSCHED_CHECK_MSG(a.violations + b.violations == 0,
+                     "plan violated " << to_string(short_inst.target)
+                                      << " rules");
+  return pairwise_slope_ratio(a, b);
+}
+
+/// Same, but with the plain reference strategy (instances without a plan).
+inline double reference_slope(
+    const std::function<std::unique_ptr<IWorkload>(std::int32_t)>& make,
+    const std::string& strategy_name, std::int32_t short_len,
+    std::int32_t long_len) {
+  auto short_w = make(short_len);
+  auto long_w = make(long_len);
+  auto sa = make_strategy(strategy_name);
+  auto sb = make_strategy(strategy_name);
+  const RunResult a =
+      run_experiment(*short_w, *sa, {.analyze_paths = false});
+  const RunResult b = run_experiment(*long_w, *sb, {.analyze_paths = false});
+  return pairwise_slope_ratio(a, b);
+}
+
+/// Worst observed raw ratio of `strategy_name` over the randomized suite
+/// (uniform, Zipf, bursty, block-storm x several seeds).
+inline double suite_max_ratio(const std::string& strategy_name,
+                              std::int32_t n, std::int32_t d,
+                              std::int32_t horizon = 48) {
+  double worst = 1.0;
+  for (const std::uint64_t seed : {11u, 23u, 37u}) {
+    const RandomWorkloadOptions base{.n = n, .d = d, .load = 1.6,
+                                     .horizon = horizon, .seed = seed,
+                                     .two_choice = true};
+    std::vector<std::unique_ptr<IWorkload>> workloads;
+    workloads.push_back(std::make_unique<UniformWorkload>(base));
+    workloads.push_back(std::make_unique<ZipfWorkload>(base, 1.1));
+    workloads.push_back(std::make_unique<BurstyWorkload>(base, 0.3, 2 * n));
+    workloads.push_back(
+        std::make_unique<BlockStormWorkload>(base, 0.4, std::min(n, 4)));
+    for (auto& workload : workloads) {
+      auto strategy = make_strategy(strategy_name);
+      const RunResult result =
+          run_experiment(*workload, *strategy, {.analyze_paths = false});
+      worst = std::max(worst, result.ratio);
+    }
+  }
+  return worst;
+}
+
+inline std::string fmt(double v, int precision = 4) {
+  return AsciiTable::fmt(v, precision);
+}
+
+}  // namespace reqsched::bench

@@ -1,0 +1,88 @@
+// Experiment E-3.1/3.2 — the EDF observations:
+//  * with one alternative, EDF equals the offline optimum on every instance
+//    (1-competitive, Observation 3.1);
+//  * with two alternatives treated as independent copies, EDF is exactly
+//    2-competitive: the tightness instance wastes half the slots on
+//    duplicate service.
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "strategies/edf.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  using namespace reqsched::bench;
+  const CliArgs args(argc, argv);
+  const auto seeds = args.get_int_list("seeds", {1, 2, 3, 4, 5, 6});
+
+  {
+    AsciiTable table({"seed", "injected", "EDF fulfilled", "OPT", "ratio"});
+    table.set_title("E-3.1  single-alternative EDF == OPT (Observation 3.1)");
+    for (const auto seed : seeds) {
+      UniformWorkload workload({.n = 5, .d = 4, .load = 1.6, .horizon = 120,
+                                .seed = static_cast<std::uint64_t>(seed),
+                                .two_choice = false});
+      EdfSingle strategy;
+      const RunResult r =
+          run_experiment(workload, strategy, {.analyze_paths = false});
+      REQSCHED_CHECK(r.optimum == r.metrics.fulfilled);
+      table.add_row({std::to_string(seed), std::to_string(r.metrics.injected),
+                     std::to_string(r.metrics.fulfilled),
+                     std::to_string(r.optimum), fmt(r.ratio)});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    AsciiTable table({"d", "variant", "fulfilled", "wasted", "OPT", "ratio"});
+    table.set_title(
+        "E-3.2  two-choice EDF on its tightness instance (ratio exactly 2)");
+    for (const std::int32_t d : {2, 4, 8, 16}) {
+      for (const bool cancel : {false, true}) {
+        auto instance = make_lb_edf(d, 8);
+        EdfTwoChoice strategy(cancel);
+        const RunResult r =
+            run_experiment(*instance, strategy, {.analyze_paths = false});
+        table.add_row({std::to_string(d), strategy.name(),
+                       std::to_string(r.metrics.fulfilled),
+                       std::to_string(r.metrics.wasted_executions),
+                       std::to_string(r.optimum), fmt(r.ratio)});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  {
+    AsciiTable table({"workload", "EDF_two_choice", "EDF cancel-copies",
+                      "A_balance", "OPT"});
+    table.set_title("E-3.2b  EDF vs the matching strategies on benign load");
+    for (const auto seed : seeds) {
+      const RandomWorkloadOptions base{
+          .n = 6, .d = 4, .load = 1.5, .horizon = 100,
+          .seed = static_cast<std::uint64_t>(seed), .two_choice = true};
+      std::vector<std::string> row;
+      row.push_back("uniform seed " + std::to_string(seed));
+      std::int64_t opt = 0;
+      for (const std::string& name :
+           {std::string("EDF_two_choice"), std::string("EDF_two_choice_cancel"),
+            std::string("A_balance")}) {
+        UniformWorkload workload(base);
+        auto strategy = make_strategy(name);
+        const RunResult r =
+            run_experiment(workload, *strategy, {.analyze_paths = false});
+        row.push_back(std::to_string(r.metrics.fulfilled));
+        opt = r.optimum;
+      }
+      row.push_back(std::to_string(opt));
+      table.add_row(row);
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nIndependent-copy EDF burns slots on duplicate service;\n"
+               "cancelling copies recovers most of the loss, but both stay\n"
+               "2-competitive in the worst case — beating 2 requires the\n"
+               "matching-based strategies of Table 1.\n";
+  return 0;
+}

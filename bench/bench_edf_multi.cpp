@@ -1,0 +1,68 @@
+// Experiment E-3.2c — the c-alternative extension of Observation 3.2:
+// independent-copy EDF is exactly c-competitive with c alternatives. The
+// tightness instance realizes ratio == c for every c; random c-alternative
+// workloads stay below c and show the two-faced nature of extra choices
+// under EDF: more alternatives help OPT but multiply EDF's duplicates.
+#include <cmath>
+#include <iostream>
+
+#include "strategies/edf_multi.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  const CliArgs args(argc, argv);
+  const auto cs = args.get_int_list("c", {1, 2, 3, 4, 5});
+  const auto d = static_cast<std::int32_t>(args.get_int("d", 4));
+
+  {
+    AsciiTable table({"c", "EDF fulfilled", "wasted", "OPT", "ratio",
+                      "bound c"});
+    table.set_title("E-3.2c  c-alternative EDF tightness (d = " +
+                    std::to_string(d) + ", 6 intervals)");
+    for (const auto c64 : cs) {
+      const auto c = static_cast<std::int32_t>(c64);
+      const MultiTrace trace = make_multi_edf_tight_instance(c, d, 6);
+      const MultiEdfResult edf = run_multi_edf(trace);
+      const std::int64_t opt = multi_offline_optimum(trace);
+      const double ratio = static_cast<double>(opt) /
+                           static_cast<double>(edf.fulfilled);
+      REQSCHED_CHECK(std::abs(ratio - static_cast<double>(c)) < 1e-9);
+      table.add_row({std::to_string(c), std::to_string(edf.fulfilled),
+                     std::to_string(edf.wasted_executions),
+                     std::to_string(opt), AsciiTable::fmt(ratio),
+                     std::to_string(c)});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    AsciiTable table({"c", "mean ratio (random)", "bound c"});
+    table.set_title("E-3.2c  c-alternative EDF on random workloads (n = 8)");
+    for (const auto c64 : cs) {
+      const auto c = static_cast<std::int32_t>(c64);
+      double sum = 0;
+      int count = 0;
+      for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        const MultiTrace trace =
+            make_multi_random_instance(8, d, c, 1.6, 64, seed);
+        const MultiEdfResult edf = run_multi_edf(trace);
+        const std::int64_t opt = multi_offline_optimum(trace);
+        REQSCHED_CHECK(edf.fulfilled > 0);
+        const double ratio = static_cast<double>(opt) /
+                             static_cast<double>(edf.fulfilled);
+        REQSCHED_CHECK(ratio <= static_cast<double>(c) + 1e-9);
+        sum += ratio;
+        ++count;
+      }
+      table.add_row({std::to_string(c), AsciiTable::fmt(sum / count),
+                     std::to_string(c)});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nEDF is 1-competitive at c = 1 and exactly c-competitive\n"
+               "in the worst case for every c — the reason the paper's\n"
+               "matching-based strategies are needed at all.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Experiment F-I — load sensitivity: the two-choice load-balancing story of
+// the paper's introduction, measured. As the offered load crosses 1.0
+// request per resource per round, the system saturates; the strategies
+// differ in how gracefully. Series: fulfilled fraction and ratio vs load.
+#include <iostream>
+
+#include "analysis/sweep.hpp"
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  using namespace reqsched::bench;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<std::int32_t>(args.get_int("n", 8));
+  const auto d = static_cast<std::int32_t>(args.get_int("d", 4));
+
+  const std::vector<double> loads{0.5, 0.8, 1.0, 1.2, 1.5, 2.0, 3.0};
+  const std::vector<std::string> lineup{"A_fix", "A_balance", "A_local_fix",
+                                        "A_local_eager", "EDF_two_choice"};
+
+  AsciiTable fulfilled_table({"load", "A_fix", "A_balance", "A_local_fix",
+                              "A_local_eager", "EDF_two_choice", "OPT frac"});
+  fulfilled_table.set_title(
+      "F-I  fulfilled fraction vs offered load (n=" + std::to_string(n) +
+      ", d=" + std::to_string(d) + ", uniform traffic)");
+  AsciiTable ratio_table({"load", "A_fix", "A_balance", "A_local_fix",
+                          "A_local_eager", "EDF_two_choice"});
+  ratio_table.set_title("F-I  competitive ratio vs offered load");
+
+  for (const double load : loads) {
+    SweepSpec spec;
+    spec.strategies = lineup;
+    spec.ns = {n};
+    spec.ds = {d};
+    spec.seeds = {1, 2, 3};
+    spec.make_workload = [&](std::int32_t nn, std::int32_t dd,
+                             std::uint64_t seed)
+        -> std::unique_ptr<IWorkload> {
+      return std::make_unique<UniformWorkload>(RandomWorkloadOptions{
+          .n = nn, .d = dd, .load = load, .horizon = 128, .seed = seed,
+          .two_choice = true});
+    };
+    const auto points = run_sweep(spec);
+
+    std::vector<std::string> frac_row{AsciiTable::fmt(load, 1)};
+    std::vector<std::string> ratio_row{AsciiTable::fmt(load, 1)};
+    double opt_sum = 0;
+    double opt_injected = 0;
+    for (const std::string& name : lineup) {
+      double fulfilled = 0;
+      double injected = 0;
+      double ratio_sum = 0;
+      std::int64_t count = 0;
+      for (const SweepPoint& p : points) {
+        if (p.strategy != name) continue;
+        REQSCHED_CHECK_MSG(!p.failed, p.error);
+        fulfilled += static_cast<double>(p.result.metrics.fulfilled);
+        injected += static_cast<double>(p.result.metrics.injected);
+        ratio_sum += p.result.ratio;
+        if (name == lineup.front()) {
+          // OPT depends only on the trace, identical across strategies.
+          opt_sum += static_cast<double>(p.result.optimum);
+          opt_injected += static_cast<double>(p.result.metrics.injected);
+        }
+        ++count;
+      }
+      frac_row.push_back(fmt(fulfilled / injected));
+      ratio_row.push_back(fmt(ratio_sum / static_cast<double>(count)));
+    }
+    frac_row.push_back(fmt(opt_sum / opt_injected));
+    fulfilled_table.add_row(frac_row);
+    ratio_table.add_row(ratio_row);
+  }
+  fulfilled_table.print(std::cout);
+  ratio_table.print(std::cout);
+  std::cout <<
+      "\nBelow load 1.0 everyone (except wasteful EDF) serves nearly\n"
+      "everything; past saturation the matching strategies track OPT's\n"
+      "achievable fraction while EDF's duplicate service costs a constant\n"
+      "factor. The competitive ratio stays near 1 for the matching\n"
+      "strategies at every load — random traffic does not realize the\n"
+      "adversarial gaps of Table 1.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Experiment F-D — augmenting-path order histograms: the proofs'
+// structural invariants made visible. A_fix-family outcomes contain no
+// order-1 augmenting paths (Theorem 3.3); A_eager and A_balance contain
+// none of order <= 2 (Theorems 3.5/3.6); A_local_eager eliminates order 1
+// and most of order 2 (Theorem 3.8). Higher minimum order = fewer
+// chargeable losses = better ratio.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  using namespace reqsched::bench;
+  const CliArgs args(argc, argv);
+  const auto seeds = args.get_int_list("seeds", {1, 2, 3, 4, 5, 6, 7, 8});
+
+  AsciiTable table({"strategy", "aug paths", "order 1", "order 2", "order 3",
+                    "order 4+", "min order"});
+  table.set_title(
+      "F-D  augmenting-path order histogram on the block-storm suite");
+
+  std::vector<std::string> lineup = global_strategy_names();
+  for (const auto& name : local_strategy_names()) lineup.push_back(name);
+  lineup.push_back("EDF_two_choice");
+
+  // Losses (and hence augmenting paths) need adversarial structure: the
+  // suite is all of Section 2's constructions plus an overloaded storm.
+  const auto make_suite = [&]() {
+    std::vector<std::unique_ptr<IWorkload>> suite;
+    suite.push_back(std::move(make_lb_fix(6, 6).workload));
+    suite.push_back(std::move(make_lb_fix_balance(6, 6).workload));
+    suite.push_back(std::move(make_lb_eager(6, 6).workload));
+    suite.push_back(std::move(make_lb_balance(2, 4, 6).workload));
+    for (const auto seed : seeds) {
+      suite.push_back(std::make_unique<BlockStormWorkload>(
+          RandomWorkloadOptions{.n = 6, .d = 4, .load = 1.0, .horizon = 96,
+                                .seed = static_cast<std::uint64_t>(seed),
+                                .two_choice = true},
+          0.9, 4));
+    }
+    return suite;
+  };
+
+  for (const std::string& name : lineup) {
+    std::int64_t total = 0;
+    std::int64_t by_order[4] = {0, 0, 0, 0};  // 1, 2, 3, 4+
+    std::int64_t min_order = 0;
+    for (auto& workload : make_suite()) {
+      auto strategy = make_strategy(name);
+      const RunResult result = run_experiment(*workload, *strategy);
+      total += result.paths.augmenting_paths;
+      for (std::size_t k = 1; k < result.paths.order_histogram.size(); ++k) {
+        const std::size_t bucket = std::min<std::size_t>(k, 4) - 1;
+        by_order[bucket] += result.paths.order_histogram[k];
+      }
+      if (result.paths.min_order > 0) {
+        min_order = min_order == 0
+                        ? result.paths.min_order
+                        : std::min(min_order, result.paths.min_order);
+      }
+    }
+    table.add_row({name, std::to_string(total), std::to_string(by_order[0]),
+                   std::to_string(by_order[1]), std::to_string(by_order[2]),
+                   std::to_string(by_order[3]),
+                   min_order == 0 ? "-" : std::to_string(min_order)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading guide: each augmenting path of order k is one\n"
+               "request OPT serves that the strategy lost, chargeable to k\n"
+               "of its own executions — which is exactly how the Section 3\n"
+               "proofs turn 'min order >= 2' into ratio <= 2-1/d and\n"
+               "'min order >= 3' into ratio <= (3d-2)/(2d-1).\n";
+  return 0;
+}

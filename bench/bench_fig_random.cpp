@@ -1,0 +1,105 @@
+// Experiment F-C — the strategies under stochastic workloads. The paper's
+// adversarial model is motivated by correlated real traffic; this bench
+// spans the spectrum from i.i.d. uniform to hot-spot, bursty, and dense
+// block traffic and reports mean ratio per (strategy, workload family).
+//
+// Runs through the parallel sweep driver; pass --csv=<path> to export the
+// raw per-point grid for re-plotting.
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "analysis/sweep.hpp"
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  using namespace reqsched::bench;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<std::int32_t>(args.get_int("n", 8));
+  const auto d = static_cast<std::int32_t>(args.get_int("d", 4));
+  const auto horizon = args.get_int("rounds", 96);
+  const auto seeds64 = args.get_int_list("seeds", {1, 2, 3, 4, 5});
+  const std::string csv_path = args.get_string("csv", "");
+
+  const std::vector<std::string> families = {"uniform", "zipf", "bursty",
+                                             "blockstorm"};
+  std::vector<std::string> lineup = global_strategy_names();
+  for (const auto& name : local_strategy_names()) lineup.push_back(name);
+  lineup.push_back("EDF_two_choice");
+  lineup.push_back("EDF_two_choice_cancel");
+  lineup.push_back("A_current_randomized");
+  lineup.push_back("A_fix_randomized");
+
+  std::vector<std::uint64_t> seeds;
+  for (const auto s : seeds64) seeds.push_back(static_cast<std::uint64_t>(s));
+
+  // One sweep per workload family; points run across the thread pool.
+  std::map<std::string, std::vector<SweepPoint>> results;
+  for (const std::string& family : families) {
+    SweepSpec spec;
+    spec.strategies = lineup;
+    spec.ns = {n};
+    spec.ds = {d};
+    spec.seeds = seeds;
+    spec.make_workload = [&, family](std::int32_t nn, std::int32_t dd,
+                                     std::uint64_t seed)
+        -> std::unique_ptr<IWorkload> {
+      const RandomWorkloadOptions base{.n = nn, .d = dd, .load = 1.6,
+                                       .horizon = horizon, .seed = seed,
+                                       .two_choice = true};
+      if (family == "uniform") return std::make_unique<UniformWorkload>(base);
+      if (family == "zipf") return std::make_unique<ZipfWorkload>(base, 1.2);
+      if (family == "bursty") {
+        return std::make_unique<BurstyWorkload>(base, 0.25, 2 * nn);
+      }
+      return std::make_unique<BlockStormWorkload>(base, 0.5, std::min(nn, 4));
+    };
+    results.emplace(family, run_sweep(spec));
+  }
+
+  std::vector<std::string> header{"strategy"};
+  for (const auto& family : families) header.push_back(family + " (mean)");
+  header.push_back("worst");
+  AsciiTable table(header);
+  table.set_title("F-C  mean competitive ratio under stochastic workloads "
+                  "(n=" + std::to_string(n) + ", d=" + std::to_string(d) +
+                  ")");
+
+  for (const std::string& name : lineup) {
+    std::vector<std::string> row{name};
+    double worst = 1.0;
+    for (const auto& family : families) {
+      double sum = 0.0;
+      std::int64_t count = 0;
+      for (const SweepPoint& p : results[family]) {
+        if (p.strategy != name) continue;
+        REQSCHED_CHECK_MSG(!p.failed, p.error);
+        sum += p.result.ratio;
+        worst = std::max(worst, p.result.ratio);
+        ++count;
+      }
+      row.push_back(fmt(sum / static_cast<double>(count)));
+    }
+    row.push_back(fmt(worst));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  if (!csv_path.empty()) {
+    std::ofstream file(csv_path);
+    for (const auto& family : families) {
+      write_sweep_csv(file, results[family]);
+    }
+    std::cout << "wrote raw grid to " << csv_path << '\n';
+  }
+  std::cout << "\nOn benign traffic every matching strategy sits near 1.0 —\n"
+               "the worst-case gaps of Table 1 require adversarial\n"
+               "correlation (block storms come closest). Independent-copy\n"
+               "EDF is the outlier, paying for duplicate service even on\n"
+               "random input; randomized tie-breaking matches the\n"
+               "deterministic references here (ties rarely matter off the\n"
+               "adversarial path).\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Experiment E-2.5 — Theorem 2.5: A_balance vs the three-resource-group
+// rotation, d = 3x - 1. Two series: (a) ratio vs d at a fixed group count,
+// (b) convergence towards the n -> infinity bound (5d+2)/(4d+1) as the
+// group count k grows (the shared S'/S'' maintenance dilutes at rate 1/k).
+#include <cmath>
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+namespace {
+double finite_group_prediction(std::int32_t x, std::int32_t groups) {
+  return static_cast<double>(groups * (5 * x - 1) + 4 * x) /
+         static_cast<double>(groups * (4 * x - 1) + 4 * x);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  using namespace reqsched::bench;
+  const CliArgs args(argc, argv);
+  const auto xs = args.get_int_list("x", {1, 2, 3, 4, 6});
+
+  {
+    AsciiTable table({"x", "d=3x-1", "measured (k=8)", "finite-k model",
+                      "(5d+2)/(4d+1) limit"});
+    table.set_title("E-2.5a  A_balance on the Theorem 2.5 adversary vs d");
+    for (const auto x64 : xs) {
+      const auto x = static_cast<std::int32_t>(x64);
+      const std::int32_t d = 3 * x - 1;
+      const double measured = scripted_slope(
+          [&](std::int32_t m) { return make_lb_balance(x, 8, m); }, 4, 8);
+      table.add_row({std::to_string(x), std::to_string(d), fmt(measured),
+                     fmt(finite_group_prediction(x, 8)),
+                     fmt(lb_balance(d).to_double())});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    const std::int32_t x = 3;  // d = 8
+    AsciiTable table({"groups k", "n=3k+2", "measured", "finite-k model",
+                      "limit"});
+    table.set_title("E-2.5b  convergence in the group count (d = 8)");
+    for (const std::int32_t k : {1, 2, 4, 8, 16, 32}) {
+      const double measured = scripted_slope(
+          [&](std::int32_t m) { return make_lb_balance(x, k, m); }, 4, 8);
+      table.add_row({std::to_string(k), std::to_string(3 * k + 2),
+                     fmt(measured), fmt(finite_group_prediction(x, k)),
+                     fmt(lb_balance(3 * x - 1).to_double())});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nThe paper's n -> infinity is visible directly: the gap to\n"
+               "(5d+2)/(4d+1) shrinks like 1/k because only the 4x shared\n"
+               "maintenance requests per interval are ratio-neutral.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Experiments E-2.2 and F-B — Theorem 2.2: A_current against the harmonic
+// group construction; the measured per-phase ratio climbs towards
+// e/(e-1) ~ 1.5820 as the resource count ell (and with it d = lcm(1..ell-1))
+// grows.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  using namespace reqsched::bench;
+  const CliArgs args(argc, argv);
+  const auto max_ell = static_cast<std::int32_t>(args.get_int("max-ell", 7));
+
+  AsciiTable table(
+      {"ell", "d", "measured", "harmonic model", "e/(e-1) limit"});
+  table.set_title("E-2.2 / F-B  A_current on the Theorem 2.2 adversary");
+  for (std::int32_t ell = 2; ell <= max_ell; ++ell) {
+    const std::int32_t d = lb_current_min_deadline(ell);
+    const double measured = reference_slope(
+        [&](std::int32_t p) {
+          return std::move(make_lb_current(ell, p).workload);
+        },
+        "A_current", 3, 6);
+    const double model =
+        1.0 / lb_current_predicted_fulfilled_fraction(ell);
+    table.add_row({std::to_string(ell), std::to_string(d), fmt(measured),
+                   fmt(model), fmt(lb_current_limit())});
+  }
+  table.print(std::cout);
+
+  {
+    // Second series: the theorem needs d -> infinity too; at fixed ell the
+    // measured ratio settles onto the harmonic model as d grows.
+    const std::int32_t ell = 4;
+    const std::int32_t base = lb_current_min_deadline(ell);
+    AsciiTable scaling({"ell", "d", "measured", "harmonic model"});
+    scaling.set_title("E-2.2  deadline scaling at fixed ell = 4");
+    for (const std::int32_t mult : {1, 2, 4, 8}) {
+      const std::int32_t d = base * mult;
+      const double measured = reference_slope(
+          [&](std::int32_t p) {
+            return std::move(make_lb_current(ell, p, d).workload);
+          },
+          "A_current", 3, 6);
+      scaling.add_row({std::to_string(ell), std::to_string(d), fmt(measured),
+                       fmt(1.0 / lb_current_predicted_fulfilled_fraction(ell))});
+    }
+    scaling.print(std::cout);
+  }
+
+  std::cout << "\nThe reference A_current serves the oldest request groups\n"
+               "first (Kuhn in injection order), which is exactly the\n"
+               "adversarial implementation of the proof. The harmonic\n"
+               "model column is the proof's sum_{i<=k} d/(ell-i+1) <= d\n"
+               "budget argument evaluated at finite ell.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Experiment E-2.6 — Theorem 2.6: the adaptive adversary that forces
+// >= 45/41 on EVERY deterministic strategy. Per strategy we report the
+// startup-free per-interval ratio; every value must clear 45/41, and the
+// minimum across strategies is how close our portfolio gets to the
+// universal limit.
+#include <iostream>
+
+#include "adversary/universal.hpp"
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  using namespace reqsched::bench;
+  const CliArgs args(argc, argv);
+  const auto ds = args.get_int_list("d", {3, 4, 5, 6, 8, 12, 24});
+
+  for (const auto d64 : ds) {
+    const auto d = static_cast<std::int32_t>(d64);
+    const Fraction bound = UniversalAdversary::bound(d);
+    std::ostringstream bound_text;
+    bound_text << "bound " << bound << " = " << fmt(bound.to_double());
+    AsciiTable table({"strategy", "measured", bound_text.str(), "margin"});
+    table.set_title("E-2.6  adaptive universal adversary, d = " +
+                    std::to_string(d) +
+                    (d % 3 == 0 ? " (3|d: 45/41)" : " (3 !| d: 12/11)"));
+    double weakest = 1e9;
+    for (const std::string& name : global_strategy_names()) {
+      UniversalAdversary short_adv(d, 4);
+      UniversalAdversary long_adv(d, 8);
+      auto a = make_strategy(name);
+      auto b = make_strategy(name);
+      const RunResult ra =
+          run_experiment(short_adv, *a, {.analyze_paths = false});
+      const RunResult rb =
+          run_experiment(long_adv, *b, {.analyze_paths = false});
+      const double slope = pairwise_slope_ratio(ra, rb);
+      weakest = std::min(weakest, slope);
+      table.add_row({name, fmt(slope), fmt(bound.to_double()),
+                     fmt(slope - bound.to_double())});
+    }
+    table.print(std::cout);
+    std::cout << "minimum over strategies: " << fmt(weakest) << " (bound "
+              << fmt(bound.to_double()) << ")\n\n";
+    REQSCHED_CHECK_MSG(weakest >= bound.to_double() - 1e-9,
+                       "a strategy beat the universal lower bound");
+  }
+  std::cout << "The adversary watches which colored request group the\n"
+               "strategy neglects and walls exactly that group — no\n"
+               "deterministic algorithm escapes (Theorem 2.6).\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Experiments E-3.7 / E-3.8 — the local strategies: competitive quality vs
+// communication budget.
+//  * A_local_fix on its Theorem 3.7 instance: ratio exactly 2 with 2
+//    communication rounds per scheduling round.
+//  * A_local_eager: <= 9 communication rounds, <= 5/3 everywhere, and
+//    strictly better than A_local_fix on the same instance.
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "core/simulator.hpp"
+#include "local/local_eager.hpp"
+#include "local/local_fix.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  using namespace reqsched::bench;
+  const CliArgs args(argc, argv);
+  const auto ds = args.get_int_list("d", {2, 4, 8, 16});
+
+  {
+    AsciiTable table({"d", "strategy", "measured", "bound", "comm rounds max",
+                      "msgs/request"});
+    table.set_title("E-3.7/3.8  Theorem 3.7 instance: local strategies");
+    for (const auto d64 : ds) {
+      const auto d = static_cast<std::int32_t>(d64);
+      for (const std::string& name : local_strategy_names()) {
+        auto short_inst = make_lb_local_fix(d, 4);
+        auto long_inst = make_lb_local_fix(d, 8);
+        auto a = make_strategy(name);
+        auto b = make_strategy(name);
+        const RunResult ra =
+            run_experiment(*short_inst, *a, {.analyze_paths = false});
+        const RunResult rb =
+            run_experiment(*long_inst, *b, {.analyze_paths = false});
+        const double slope = pairwise_slope_ratio(ra, rb);
+        const double bound = name == "A_local_fix"
+                                 ? ub_local_fix().to_double()
+                                 : ub_local_eager().to_double();
+        const double comm_max =
+            rb.metrics.rounds == 0
+                ? 0
+                : static_cast<double>(rb.metrics.communication_rounds) /
+                      static_cast<double>(rb.metrics.rounds);
+        const double msgs =
+            static_cast<double>(rb.metrics.messages) /
+            static_cast<double>(std::max<std::int64_t>(1, rb.metrics.injected));
+        table.add_row({std::to_string(d), name, fmt(slope), fmt(bound),
+                       fmt(comm_max, 2), fmt(msgs, 2)});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  {
+    AsciiTable table({"workload", "strategy", "ratio", "bound",
+                      "comm rounds/round"});
+    table.set_title("E-3.8  A_local_eager <= 5/3 across the suite");
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      for (const std::string& name : local_strategy_names()) {
+        const RandomWorkloadOptions base{.n = 6, .d = 4, .load = 1.7,
+                                         .horizon = 80, .seed = seed,
+                                         .two_choice = true};
+        BlockStormWorkload workload(base, 0.4, 4);
+        auto strategy = make_strategy(name);
+        const RunResult r =
+            run_experiment(workload, *strategy, {.analyze_paths = false});
+        const double bound = name == "A_local_fix"
+                                 ? ub_local_fix().to_double()
+                                 : ub_local_eager().to_double();
+        REQSCHED_CHECK(r.ratio <= bound + 1e-12);
+        const double comm =
+            r.metrics.rounds == 0
+                ? 0
+                : static_cast<double>(r.metrics.communication_rounds) /
+                      static_cast<double>(r.metrics.rounds);
+        table.add_row({workload.name(), name, fmt(r.ratio), fmt(bound),
+                       fmt(comm, 2)});
+      }
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nSeven extra communication rounds buy the drop from 2 to\n"
+               "<= 5/3: A_local_eager's phase 2 reclaims idle current slots\n"
+               "and phase 3 brokers the rival exchanges that kill order-2\n"
+               "augmenting paths.\n";
+  return 0;
+}

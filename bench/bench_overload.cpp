@@ -1,0 +1,75 @@
+// Experiment F-H — the Theorem 3.4/3.6 proof machinery as statistics:
+// overloaded groups, intervals, and the overloaded/normal execution split,
+// per strategy, on the adversarial suite. The charging arguments work
+// because failures only occur inside overloaded intervals and each interval
+// carries enough executions to pay for them; this bench shows those
+// quantities directly.
+#include <iostream>
+
+#include "analysis/overload.hpp"
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  using namespace reqsched::bench;
+  const CliArgs args(argc, argv);
+  const auto d = static_cast<std::int32_t>(args.get_int("d", 6));
+
+  AsciiTable table({"strategy", "failed", "ovl rounds", "groups", "intervals",
+                    "mean len", "ovl exec", "normal exec", "fail/ovl-exec"});
+  table.set_title("F-H  overload structure on the Theorem 2.1 + 2.3 + 2.4 "
+                  "instances (d = " + std::to_string(d) + ")");
+
+  for (const std::string& name : global_strategy_names()) {
+    OverloadStats total;
+    double interval_length_sum = 0;
+    for (int which = 0; which < 3; ++which) {
+      TheoremInstance instance =
+          which == 0   ? make_lb_fix(d, 6)
+          : which == 1 ? make_lb_fix_balance(d, 6)
+                       : make_lb_eager(d, 6);
+      auto strategy = make_strategy(name);
+      Simulator sim(*instance.workload, *strategy);
+      sim.run();
+      const OverloadStats stats =
+          analyze_overload(sim.trace(), sim.online_matching());
+      total.failed_requests += stats.failed_requests;
+      total.overloaded_rounds += stats.overloaded_rounds;
+      total.overloaded_executions += stats.overloaded_executions;
+      total.normal_executions += stats.normal_executions;
+      total.groups.insert(total.groups.end(), stats.groups.begin(),
+                          stats.groups.end());
+      total.intervals.insert(total.intervals.end(), stats.intervals.begin(),
+                             stats.intervals.end());
+      interval_length_sum +=
+          stats.mean_interval_length *
+          static_cast<double>(stats.intervals.size());
+    }
+    const double mean_len =
+        total.intervals.empty()
+            ? 0.0
+            : interval_length_sum / static_cast<double>(total.intervals.size());
+    const double fail_per_exec =
+        total.overloaded_executions == 0
+            ? 0.0
+            : static_cast<double>(total.failed_requests) /
+                  static_cast<double>(total.overloaded_executions);
+    table.add_row({name, std::to_string(total.failed_requests),
+                   std::to_string(total.overloaded_rounds),
+                   std::to_string(total.groups.size()),
+                   std::to_string(total.intervals.size()), fmt(mean_len, 2),
+                   std::to_string(total.overloaded_executions),
+                   std::to_string(total.normal_executions),
+                   fmt(fail_per_exec, 3)});
+  }
+  table.print(std::cout);
+  std::cout <<
+      "\nThe proofs charge each failed request to executions in overloaded\n"
+      "intervals. For A_fix, Theorem 3.3 guarantees at most d-1 failures\n"
+      "per d overloaded executions (fail/ovl-exec <= (d-1)/d = "
+      << fmt(static_cast<double>(d - 1) / d, 3) << " here);\n"
+      "the rescheduling strategies keep the quotient lower still — that\n"
+      "is exactly why their ratios are better.\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Experiment F-E — substrate performance (google-benchmark): the matching
+// engines that every scheduling round leans on, plus end-to-end simulator
+// throughput per strategy. Not a paper artifact (the paper is theory-only);
+// this documents that the library is fast enough for large sweeps.
+#include <benchmark/benchmark.h>
+
+#include "adversary/random.hpp"
+#include "analysis/registry.hpp"
+#include "core/simulator.hpp"
+#include "matching/bipartite.hpp"
+#include "matching/lex_matcher.hpp"
+#include "offline/offline.hpp"
+#include "util/prng.hpp"
+
+namespace reqsched {
+namespace {
+
+BipartiteGraph make_random_graph(std::int32_t lefts, std::int32_t rights,
+                                 std::int32_t degree, std::uint64_t seed) {
+  Prng rng(seed);
+  BipartiteGraph g(lefts, rights);
+  for (std::int32_t l = 0; l < lefts; ++l) {
+    for (std::int32_t k = 0; k < degree; ++k) {
+      g.add_edge(l, static_cast<std::int32_t>(rng.next_below(
+                        static_cast<std::uint64_t>(rights))));
+    }
+  }
+  return g;
+}
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const auto size = static_cast<std::int32_t>(state.range(0));
+  const BipartiteGraph g = make_random_graph(size, size, 4, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hopcroft_karp(g).size());
+  }
+  state.SetComplexityN(size);
+}
+BENCHMARK(BM_HopcroftKarp)->Range(64, 4096)->Complexity();
+
+void BM_KuhnOrdered(benchmark::State& state) {
+  const auto size = static_cast<std::int32_t>(state.range(0));
+  const BipartiteGraph g = make_random_graph(size, size, 4, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kuhn_ordered(g).size());
+  }
+  state.SetComplexityN(size);
+}
+BENCHMARK(BM_KuhnOrdered)->Range(64, 1024)->Complexity();
+
+void BM_GreedyMaximal(benchmark::State& state) {
+  const auto size = static_cast<std::int32_t>(state.range(0));
+  const BipartiteGraph g = make_random_graph(size, size, 4, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_maximal(g).size());
+  }
+}
+BENCHMARK(BM_GreedyMaximal)->Range(64, 4096);
+
+LexMatchProblem make_lex_problem(std::int32_t lefts, std::int32_t levels,
+                                 bool cardinality_first) {
+  Prng rng(11);
+  LexMatchProblem p;
+  p.left_count = lefts;
+  p.right_count = lefts;
+  p.level_count = levels;
+  p.cardinality_first = cardinality_first;
+  p.adj.resize(static_cast<std::size_t>(lefts));
+  for (auto& nbrs : p.adj) {
+    for (int k = 0; k < 4; ++k) {
+      nbrs.push_back(static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(lefts))));
+    }
+  }
+  p.level_of_right.resize(static_cast<std::size_t>(lefts));
+  for (auto& lvl : p.level_of_right) {
+    lvl = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(levels)));
+  }
+  return p;
+}
+
+void BM_LexMatcherPure(benchmark::State& state) {
+  const auto p = make_lex_problem(static_cast<std::int32_t>(state.range(0)),
+                                  8, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_lex_matching(p).cardinality);
+  }
+}
+BENCHMARK(BM_LexMatcherPure)->Range(32, 512);
+
+void BM_LexMatcherCardinalityFirst(benchmark::State& state) {
+  const auto p = make_lex_problem(static_cast<std::int32_t>(state.range(0)),
+                                  8, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_lex_matching(p).cardinality);
+  }
+}
+BENCHMARK(BM_LexMatcherCardinalityFirst)->Range(32, 256);
+
+void run_simulation(const std::string& strategy_name, std::int32_t n,
+                    Round horizon) {
+  UniformWorkload workload({.n = n, .d = 4, .load = 1.5, .horizon = horizon,
+                            .seed = 3, .two_choice = true});
+  auto strategy = make_strategy(strategy_name);
+  Simulator sim(workload, *strategy);
+  sim.run();
+  benchmark::DoNotOptimize(sim.metrics().fulfilled);
+}
+
+void BM_SimulatorAFix(benchmark::State& state) {
+  for (auto _ : state) {
+    run_simulation("A_fix", static_cast<std::int32_t>(state.range(0)), 64);
+  }
+}
+BENCHMARK(BM_SimulatorAFix)->Range(8, 64);
+
+void BM_SimulatorABalance(benchmark::State& state) {
+  for (auto _ : state) {
+    run_simulation("A_balance", static_cast<std::int32_t>(state.range(0)),
+                   64);
+  }
+}
+BENCHMARK(BM_SimulatorABalance)->Range(8, 32);
+
+void BM_SimulatorALocalEager(benchmark::State& state) {
+  for (auto _ : state) {
+    run_simulation("A_local_eager", static_cast<std::int32_t>(state.range(0)),
+                   64);
+  }
+}
+BENCHMARK(BM_SimulatorALocalEager)->Range(8, 64);
+
+void BM_OfflineOptimum(benchmark::State& state) {
+  UniformWorkload workload(
+      {.n = static_cast<std::int32_t>(state.range(0)), .d = 4, .load = 1.5,
+       .horizon = 64, .seed = 5, .two_choice = true});
+  auto strategy = make_strategy("A_fix");
+  Simulator sim(workload, *strategy);
+  sim.run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(offline_optimum(sim.trace()));
+  }
+}
+BENCHMARK(BM_OfflineOptimum)->Range(8, 64);
+
+}  // namespace
+}  // namespace reqsched

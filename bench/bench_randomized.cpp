@@ -1,0 +1,99 @@
+// Experiment F-G — randomized tie-breaking (extension): shuffling the ties
+// keeps a strategy inside its class but breaks OBLIVIOUS lower-bound
+// constructions, while the ADAPTIVE adversary of Theorem 2.6 is immune.
+// Mean over seeds vs the deterministic worst case.
+#include <iostream>
+
+#include "adversary/universal.hpp"
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "strategies/randomized.hpp"
+#include "util/cli.hpp"
+
+namespace {
+using namespace reqsched;
+
+double slope_on(IWorkload& short_w, IWorkload& long_w, IStrategy& a,
+                IStrategy& b) {
+  const RunResult ra = run_experiment(short_w, a, {.analyze_paths = false});
+  const RunResult rb = run_experiment(long_w, b, {.analyze_paths = false});
+  return pairwise_slope_ratio(ra, rb);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace reqsched::bench;
+  const CliArgs args(argc, argv);
+  const auto ell = static_cast<std::int32_t>(args.get_int("ell", 5));
+  const auto d = static_cast<std::int32_t>(args.get_int("d", 8));
+
+  {
+    AsciiTable table({"implementation", "Thm 2.2 instance (ell=5)",
+                      "Thm 2.1 instance (d=8)"});
+    table.set_title(
+        "F-G  deterministic vs randomized ties on OBLIVIOUS adversaries");
+    {
+      auto sa = make_strategy("A_current");
+      auto sb = make_strategy("A_current");
+      auto w1 = make_lb_current(ell, 3);
+      auto w2 = make_lb_current(ell, 6);
+      const double current_det =
+          slope_on(*w1.workload, *w2.workload, *sa, *sb);
+      const double fix_det = scripted_slope(
+          [&](std::int32_t p) { return make_lb_fix(d, p); }, 4, 8);
+      table.add_row({"deterministic (worst-case ties)", fmt(current_det),
+                     fmt(fix_det)});
+    }
+    double current_sum = 0;
+    double fix_sum = 0;
+    const std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5};
+    for (const auto seed : seeds) {
+      RandomizedCurrent ca(seed);
+      RandomizedCurrent cb(seed + 1000);
+      auto w1 = make_lb_current(ell, 3);
+      auto w2 = make_lb_current(ell, 6);
+      current_sum += slope_on(*w1.workload, *w2.workload, ca, cb);
+      RandomizedFix fa(seed);
+      RandomizedFix fb(seed + 1000);
+      auto v1 = make_lb_fix(d, 4);
+      auto v2 = make_lb_fix(d, 8);
+      fix_sum += slope_on(*v1.workload, *v2.workload, fa, fb);
+    }
+    table.add_row({"randomized ties (mean over seeds)",
+                   fmt(current_sum / static_cast<double>(seeds.size())),
+                   fmt(fix_sum / static_cast<double>(seeds.size()))});
+    table.print(std::cout);
+  }
+
+  {
+    AsciiTable table({"implementation", "adaptive universal (d=6)"});
+    table.set_title("F-G  ... and on the ADAPTIVE adversary of Theorem 2.6");
+    {
+      auto sa = make_strategy("A_current");
+      auto sb = make_strategy("A_current");
+      UniversalAdversary u1(6, 4);
+      UniversalAdversary u2(6, 8);
+      table.add_row({"A_current deterministic",
+                     fmt(slope_on(u1, u2, *sa, *sb))});
+    }
+    double sum = 0;
+    const std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5};
+    for (const auto seed : seeds) {
+      RandomizedCurrent ca(seed);
+      RandomizedCurrent cb(seed + 1000);
+      UniversalAdversary u1(6, 4);
+      UniversalAdversary u2(6, 8);
+      sum += slope_on(u1, u2, ca, cb);
+    }
+    table.add_row({"A_current randomized (mean)",
+                   fmt(sum / static_cast<double>(seeds.size()))});
+    table.print(std::cout);
+    std::cout << "\nRandom ties dodge the fixed request sequences of\n"
+                 "Theorems 2.1/2.2 (the adversary guessed the tie-breaks),\n"
+                 "but the adaptive adversary re-aims every interval at\n"
+                 "whatever the algorithm actually neglected — it keeps its\n"
+                 "bite, exactly as Theorem 2.6's quantifier ordering\n"
+                 "(adversary AFTER algorithm) predicts.\n";
+  }
+  return 0;
+}

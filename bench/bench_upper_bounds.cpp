@@ -1,0 +1,79 @@
+// Experiment E-3.3/3.4/3.5/3.6 — the Section 3 upper bounds as an empirical
+// sweep: for each strategy and deadline, the worst ratio observed across the
+// full adversarial + randomized suite, against the theorem's ceiling.
+#include <iostream>
+
+#include "adversary/universal.hpp"
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+namespace {
+using namespace reqsched;
+
+Fraction bound_of(const std::string& name, std::int32_t d) {
+  if (name == "A_fix") return ub_fix(d);
+  if (name == "A_current") return ub_current(d);
+  if (name == "A_fix_balance") return ub_fix_balance(d);
+  if (name == "A_eager") return ub_eager(d);
+  return ub_balance(d);
+}
+
+/// Worst ratio of `name` across every adversarial instance we implement.
+double adversarial_max_ratio(const std::string& name, std::int32_t d) {
+  double worst = 1.0;
+  const auto consider = [&](IWorkload& workload) {
+    auto strategy = make_strategy(name);
+    const RunResult result =
+        run_experiment(workload, *strategy, {.analyze_paths = false});
+    worst = std::max(worst, result.ratio);
+  };
+  consider(*make_lb_fix(d, 6).workload);
+  if (d % 2 == 0) {
+    consider(*make_lb_fix_balance(d, 6).workload);
+    consider(*make_lb_eager(d, 6).workload);
+  }
+  if ((d + 1) % 3 == 0) {
+    consider(*make_lb_balance((d + 1) / 3, 4, 6).workload);
+  }
+  if (d % 3 == 0) {
+    UniversalAdversary adversary(d, 6);
+    consider(adversary);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace reqsched::bench;
+  const CliArgs args(argc, argv);
+  const auto ds = args.get_int_list("d", {2, 3, 5, 6, 8, 12});
+
+  AsciiTable table({"strategy", "d", "UB (thm)", "suite max", "adversarial max",
+                    "headroom"});
+  table.set_title(
+      "E-3.x  Section 3 upper bounds vs worst observed ratios");
+  bool all_hold = true;
+  for (const std::string& name : global_strategy_names()) {
+    for (const auto d64 : ds) {
+      const auto d = static_cast<std::int32_t>(d64);
+      const Fraction ub = bound_of(name, d);
+      const double suite = suite_max_ratio(name, 5, d);
+      const double adversarial = adversarial_max_ratio(name, d);
+      const double worst = std::max(suite, adversarial);
+      all_hold = all_hold && worst <= ub.to_double() + 1e-12;
+      std::ostringstream ub_text;
+      ub_text << ub << " = " << fmt(ub.to_double());
+      table.add_row({name, std::to_string(d), ub_text.str(), fmt(suite),
+                     fmt(adversarial), fmt(ub.to_double() - worst)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << (all_hold
+                    ? "\nEvery observation is below its theorem — the upper "
+                      "bounds hold on the whole suite.\n"
+                    : "\nUPPER BOUND VIOLATION — investigate!\n");
+  REQSCHED_CHECK(all_hold);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Adversarial analysis walkthrough: watch a lower-bound construction break a
+// strategy, round by round.
+//
+// Runs the Theorem 2.1 instance against A_fix (scripted with the paper's
+// tie-breaking), prints the per-phase bookkeeping, and verifies the measured
+// per-phase ratio against the closed form 2 - 1/d.
+//
+//   ./adversarial_analysis [--d=4] [--phases=6]
+#include <cmath>
+#include <iostream>
+
+#include "adversary/theorems.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/harness.hpp"
+#include "analysis/timeline.hpp"
+#include "core/simulator.hpp"
+#include "offline/offline.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  const CliArgs args(argc, argv);
+  const auto d = static_cast<std::int32_t>(args.get_int("d", 4));
+  const auto phases = static_cast<std::int32_t>(args.get_int("phases", 6));
+
+  std::cout << "Theorem 2.1: the adversary beats A_fix with 4 resources.\n"
+            << "Per phase: 2d-2 requests lured onto the wrong resources,\n"
+            << "then a block(2,d) that finds its slots taken.\n\n";
+
+  AsciiTable table({"phases", "injected", "online", "OPT", "raw ratio"});
+  RunResult prev;
+  bool have_prev = false;
+  for (const std::int32_t p : {phases / 2, phases}) {
+    TheoremInstance instance = make_lb_fix(d, p);
+    ScriptedStrategy strategy(instance.target, *instance.workload);
+    const RunResult result = run_experiment(*instance.workload, strategy);
+    REQSCHED_CHECK_MSG(strategy.violations() == 0,
+                       "the plan broke the A_fix rules");
+    table.add_row({std::to_string(p), std::to_string(result.metrics.injected),
+                   std::to_string(result.metrics.fulfilled),
+                   std::to_string(result.optimum),
+                   AsciiTable::fmt(result.ratio)});
+    if (have_prev) {
+      const double slope = pairwise_slope_ratio(prev, result);
+      table.print(std::cout);
+      std::cout << "\nper-phase (startup-free) ratio: "
+                << AsciiTable::fmt(slope) << "\n"
+                << "theoretical 2 - 1/d           : "
+                << AsciiTable::fmt(lb_fix(d).to_double()) << "  ("
+                << lb_fix(d) << ")\n";
+      REQSCHED_CHECK(std::abs(slope - lb_fix(d).to_double()) < 1e-9);
+      std::cout << "match: exact.\n";
+    }
+    prev = result;
+    have_prev = true;
+  }
+
+  std::cout << "\nThe raw ratio is below the bound because both sides also\n"
+               "serve the startup block — the additive constant alpha that\n"
+               "the competitive-ratio definition explicitly allows. The\n"
+               "slope between two run lengths cancels it exactly.\n";
+
+  // Draw the first phases: what the trapped A_fix executed, and what the
+  // clairvoyant OPT would have done with the same requests.
+  {
+    TheoremInstance instance = make_lb_fix(d, 2);
+    ScriptedStrategy strategy(instance.target, *instance.workload);
+    Simulator sim(*instance.workload, strategy);
+    sim.run();
+    TimelineOptions options;
+    options.to = 3 * d;
+    std::cout << "\nA_fix's schedule (first two phases; '.' = idle):\n"
+              << render_timeline(sim.trace(), sim.online_matching(), options);
+    const OfflineResult opt = solve_offline(sim.trace());
+    std::vector<std::pair<RequestId, SlotRef>> opt_matching;
+    for (RequestId id = 0; id < sim.trace().size(); ++id) {
+      const SlotRef slot = opt.assignment[static_cast<std::size_t>(id)];
+      if (slot.valid()) opt_matching.emplace_back(id, slot);
+    }
+    std::cout << "\nthe offline optimum, same requests:\n"
+              << render_timeline(sim.trace(), opt_matching, options)
+              << "\nUnder A_fix the outer resources S0/S3 stay idle: the\n"
+                 "lured groups sat down on S1/S2, and the block that needed\n"
+                 "S1/S2 mostly expired. OPT sends the lured groups outward\n"
+                 "and keeps S1/S2 for the blocks.\n";
+  }
+  return 0;
+}

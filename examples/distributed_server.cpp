@@ -1,0 +1,58 @@
+// Distributed scheduling without a central matchmaker.
+//
+// The global strategies assume someone sees all requests at once. In a real
+// distributed data server, clients and disks exchange messages instead; the
+// paper's local protocols get within constant factors of the global ones
+// using 2 (A_local_fix) or at most 9 (A_local_eager) communication rounds
+// per scheduling round. This example measures that trade-off: quality vs
+// communication.
+//
+//   ./distributed_server [--disks=12] [--d=5] [--rounds=300] [--seed=3]
+#include <iostream>
+
+#include "adversary/random.hpp"
+#include "analysis/harness.hpp"
+#include "analysis/registry.hpp"
+#include "core/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  const CliArgs args(argc, argv);
+  RandomWorkloadOptions options;
+  options.n = static_cast<std::int32_t>(args.get_int("disks", 12));
+  options.d = static_cast<std::int32_t>(args.get_int("d", 5));
+  options.load = args.get_double("load", 1.5);
+  options.horizon = args.get_int("rounds", 300);
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+
+  AsciiTable table({"strategy", "kind", "fulfilled", "ratio",
+                    "comm rounds/round", "messages"});
+  table.set_title("central matchmaker vs message passing");
+
+  const std::vector<std::pair<std::string, std::string>> lineup = {
+      {"A_eager", "global"},       {"A_balance", "global"},
+      {"A_fix", "global"},         {"A_local_fix", "local"},
+      {"A_local_eager", "local"},  {"EDF_two_choice", "local-ish"},
+  };
+  for (const auto& [name, kind] : lineup) {
+    ZipfWorkload workload(options, 1.1);
+    auto strategy = make_strategy(name);
+    const RunResult result = run_experiment(workload, *strategy);
+    const double comm_per_round =
+        result.metrics.rounds == 0
+            ? 0.0
+            : static_cast<double>(result.metrics.communication_rounds) /
+                  static_cast<double>(result.metrics.rounds);
+    table.add_row({name, kind, std::to_string(result.metrics.fulfilled),
+                   AsciiTable::fmt(result.ratio),
+                   AsciiTable::fmt(comm_per_round, 2),
+                   std::to_string(result.metrics.messages)});
+  }
+  table.print(std::cout);
+  std::cout << "\nA_local_eager buys most of A_eager's quality for <= 9\n"
+               "communication rounds; A_local_fix needs only 2 but inherits\n"
+               "the ratio-2 worst case (Theorem 3.7).\n";
+  return 0;
+}

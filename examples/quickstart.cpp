@@ -1,0 +1,53 @@
+// Quickstart: schedule a small two-choice request stream online, compare
+// against the exact offline optimum, and inspect the loss structure.
+//
+//   ./quickstart [--n=8] [--d=4] [--load=1.5] [--rounds=200] [--seed=1]
+//                [--strategy=A_balance]
+#include <iostream>
+
+#include "adversary/random.hpp"
+#include "analysis/harness.hpp"
+#include "analysis/registry.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  const CliArgs args(argc, argv);
+  RandomWorkloadOptions options;
+  options.n = static_cast<std::int32_t>(args.get_int("n", 8));
+  options.d = static_cast<std::int32_t>(args.get_int("d", 4));
+  options.load = args.get_double("load", 1.5);
+  options.horizon = args.get_int("rounds", 200);
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string name = args.get_string("strategy", "A_balance");
+
+  // 1. Pick a workload (here: uniformly random two-choice requests) ...
+  UniformWorkload workload(options);
+  // 2. ... and a strategy from the registry (any Table 1 row, the local
+  //    protocols, or the EDF baselines).
+  auto strategy = make_strategy(name);
+  // 3. Run it. The harness replays the realized trace through the exact
+  //    offline optimum (Hopcroft–Karp on the full request x slot graph).
+  const RunResult result = run_experiment(workload, *strategy);
+
+  std::cout << "strategy   : " << result.strategy << '\n'
+            << "workload   : " << result.workload << '\n'
+            << "injected   : " << result.metrics.injected << '\n'
+            << "fulfilled  : " << result.metrics.fulfilled << '\n'
+            << "expired    : " << result.metrics.expired << '\n'
+            << "offline OPT: " << result.optimum << '\n'
+            << "ratio      : " << result.ratio << "  (OPT / online)\n";
+
+  // 4. The augmenting-path decomposition explains *how* the strategy lost:
+  //    each augmenting path of order k is one request OPT serves that the
+  //    online run did not, witnessed by a k-request reshuffle.
+  std::cout << "aug. paths : " << result.paths.augmenting_paths;
+  if (result.paths.augmenting_paths > 0) {
+    std::cout << " (min order " << result.paths.min_order << ")";
+  }
+  std::cout << '\n';
+  for (const auto& key : args.unused_keys()) {
+    std::cerr << "warning: unused flag --" << key << '\n';
+  }
+  return 0;
+}

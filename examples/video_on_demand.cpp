@@ -1,0 +1,54 @@
+// Video-on-demand data server (the paper's motivating application).
+//
+// A server farm stores every title twice on different disks (two-choice
+// replication, cf. [Kor97]); clients request titles with Zipf popularity
+// plus correlated release-day bursts, and every request must start within d
+// rounds or the viewer is lost. This example compares the whole strategy
+// portfolio on one night of traffic.
+//
+//   ./video_on_demand [--disks=16] [--d=6] [--rounds=400] [--seed=7]
+#include <iostream>
+
+#include "adversary/random.hpp"
+#include "analysis/harness.hpp"
+#include "analysis/registry.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  const CliArgs args(argc, argv);
+  RandomWorkloadOptions options;
+  options.n = static_cast<std::int32_t>(args.get_int("disks", 16));
+  options.d = static_cast<std::int32_t>(args.get_int("d", 6));
+  options.load = args.get_double("load", 1.3);
+  options.horizon = args.get_int("rounds", 400);
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  AsciiTable table({"strategy", "fulfilled", "expired", "OPT", "ratio",
+                    "lost vs OPT"});
+  table.set_title("video-on-demand night: " + std::to_string(options.n) +
+                  " disks, deadline " + std::to_string(options.d) +
+                  " rounds, bursty Zipf traffic");
+
+  for (const std::string& name : all_strategy_names()) {
+    if (name == "EDF_single") continue;  // two-choice workload
+    // Two correlated layers: Zipf popularity for the catalogue plus
+    // release-day bursts hammering a single title's two replicas.
+    BurstyWorkload workload(options, /*burst_probability=*/0.15,
+                            /*burst_size=*/3 * options.n);
+    auto strategy = make_strategy(name);
+    const RunResult result = run_experiment(workload, *strategy);
+    table.add_row({name, std::to_string(result.metrics.fulfilled),
+                   std::to_string(result.metrics.expired),
+                   std::to_string(result.optimum),
+                   AsciiTable::fmt(result.ratio),
+                   std::to_string(result.optimum -
+                                  result.metrics.fulfilled)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading guide: ratio = OPT/online; 1.0 means the online\n"
+               "strategy matched the clairvoyant schedule. The rescheduling\n"
+               "strategies (A_eager, A_balance) should sit closest to 1.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "adversary/blocks.hpp"
+
+namespace reqsched {
+
+void append_block(std::vector<PlannedRequest>& script, Round arrival,
+                  std::span<const ResourceId> ring, std::int32_t d) {
+  REQSCHED_REQUIRE(ring.size() >= 2);
+  const auto a = static_cast<std::int32_t>(ring.size());
+  for (std::int32_t i = 0; i < a; ++i) {
+    for (std::int32_t j = 0; j < d; ++j) {
+      PlannedRequest pr;
+      pr.arrival = arrival;
+      pr.spec.first = ring[static_cast<std::size_t>(i)];
+      pr.spec.second = ring[static_cast<std::size_t>((i + 1) % a)];
+      pr.intended = SlotRef{ring[static_cast<std::size_t>(i)], arrival + j};
+      script.push_back(pr);
+    }
+  }
+}
+
+void append_half_block(std::vector<PlannedRequest>& script, Round arrival,
+                       ResourceId anchor, ResourceId target, std::int32_t d,
+                       std::int32_t planned_fail_tail) {
+  REQSCHED_REQUIRE(planned_fail_tail >= 0 && planned_fail_tail <= d);
+  for (std::int32_t j = 0; j < d; ++j) {
+    PlannedRequest pr;
+    pr.arrival = arrival;
+    pr.spec.first = anchor;
+    pr.spec.second = target;
+    if (j < d - planned_fail_tail) {
+      pr.intended = SlotRef{target, arrival + j};
+    }
+    script.push_back(pr);
+  }
+}
+
+void append_group(std::vector<PlannedRequest>& script, Round arrival,
+                  std::int32_t count, ResourceId first, ResourceId second,
+                  ResourceId intended_resource, Round intended_from) {
+  for (std::int32_t j = 0; j < count; ++j) {
+    PlannedRequest pr;
+    pr.arrival = arrival;
+    pr.spec.first = first;
+    pr.spec.second = second;
+    if (intended_resource != kNoResource) {
+      pr.intended = SlotRef{intended_resource, intended_from + j};
+    }
+    script.push_back(pr);
+  }
+}
+
+}  // namespace reqsched

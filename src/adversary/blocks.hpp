@@ -1,0 +1,38 @@
+// The paper's block(a, d) building bricks (Section 2).
+//
+// block(a, d): a*d requests injected in one round; group i (of d requests)
+// names resources ring[i] and ring[(i+1) mod a]. The block is dense: it can
+// only be fulfilled by filling all d slots of all a resources, so it pins
+// those resources down for d rounds.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "adversary/planned.hpp"
+
+namespace reqsched {
+
+/// Appends a block(a, d) at `arrival` over `ring` (a >= 2 resources), with
+/// the canonical intended schedule: group i fills ring[i]'s rounds
+/// [arrival, arrival + d - 1].
+void append_block(std::vector<PlannedRequest>& script, Round arrival,
+                  std::span<const ResourceId> ring, std::int32_t d);
+
+/// Appends the paper's block(1, d): d requests naming `anchor` (a resource
+/// that is permanently blocked elsewhere) and `target`; intended to fill
+/// `target`'s rounds [arrival, arrival + d - 1]. `planned_fail_tail` > 0
+/// marks that many trailing requests as planned online failures and gives
+/// them no intended slot.
+void append_half_block(std::vector<PlannedRequest>& script, Round arrival,
+                       ResourceId anchor, ResourceId target, std::int32_t d,
+                       std::int32_t planned_fail_tail = 0);
+
+/// Appends `count` identical requests (first, second); request j gets
+/// intended slot (intended_resource, intended_from + j), or kNoSlot when
+/// intended_resource == kNoResource.
+void append_group(std::vector<PlannedRequest>& script, Round arrival,
+                  std::int32_t count, ResourceId first, ResourceId second,
+                  ResourceId intended_resource, Round intended_from);
+
+}  // namespace reqsched

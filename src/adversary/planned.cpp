@@ -1,0 +1,76 @@
+#include "adversary/planned.hpp"
+
+#include <algorithm>
+
+namespace reqsched {
+
+PlannedInstance::PlannedInstance(std::string name, ProblemConfig config,
+                                 std::vector<PlannedRequest> script,
+                                 bool with_plan, ProposalScope scope)
+    : name_(std::move(name)),
+      config_(config),
+      script_(std::move(script)),
+      with_plan_(with_plan),
+      scope_(scope) {
+  config_.validate();
+  REQSCHED_REQUIRE_MSG(
+      std::is_sorted(script_.begin(), script_.end(),
+                     [](const PlannedRequest& a, const PlannedRequest& b) {
+                       return a.arrival < b.arrival;
+                     }),
+      "planned script must be sorted by arrival round");
+  for (const PlannedRequest& pr : script_) {
+    if (!pr.intended.valid()) continue;
+    const std::int32_t window = pr.spec.window > 0 ? pr.spec.window : config_.d;
+    REQSCHED_REQUIRE_MSG(
+        pr.intended.round >= pr.arrival &&
+            pr.intended.round <= pr.arrival + window - 1 &&
+            (pr.intended.resource == pr.spec.first ||
+             pr.intended.resource == pr.spec.second),
+        "intended slot " << pr.intended << " violates the request's own"
+                         << " constraints (arrival " << pr.arrival << ")");
+  }
+}
+
+std::vector<RequestSpec> PlannedInstance::generate(Round t,
+                                                   const Simulator& sim) {
+  // Script index == RequestId: this instance must be the simulator's only
+  // request source and is consumed in order.
+  REQSCHED_CHECK_MSG(static_cast<std::size_t>(sim.trace().size()) == cursor_,
+                     "planned instance must be the only workload");
+  std::vector<RequestSpec> out;
+  while (cursor_ < script_.size() && script_[cursor_].arrival == t) {
+    out.push_back(script_[cursor_].spec);
+    ++cursor_;
+  }
+  return out;
+}
+
+bool PlannedInstance::exhausted(Round t) const {
+  (void)t;
+  return cursor_ >= script_.size();
+}
+
+std::optional<Proposal> PlannedInstance::propose(const Simulator& sim) {
+  if (!with_plan_) return std::nullopt;
+  Proposal proposal;
+  for (const RequestId id : sim.alive()) {
+    const PlannedRequest& pr = script_[static_cast<std::size_t>(id)];
+    if (!pr.intended.valid()) continue;
+    const bool in_scope = scope_ == ProposalScope::kFullWindow
+                              ? pr.intended.round >= sim.now()
+                              : pr.intended.round == sim.now();
+    if (in_scope) proposal.emplace_back(id, pr.intended);
+  }
+  return proposal;
+}
+
+std::int64_t PlannedInstance::planned_online() const {
+  return static_cast<std::int64_t>(
+      std::count_if(script_.begin(), script_.end(),
+                    [](const PlannedRequest& pr) {
+                      return pr.intended.valid();
+                    }));
+}
+
+}  // namespace reqsched

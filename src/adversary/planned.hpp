@@ -1,0 +1,66 @@
+// Planned adversarial instances.
+//
+// Each lower-bound proof in Section 2 builds an explicit request sequence
+// together with an intended (bad-but-rule-conforming) online schedule.
+// PlannedInstance carries both: the injection script (IWorkload) and the
+// intended bookings, offered each round as a proposal (IProposalSource) that
+// ScriptedStrategy verifies against the strategy class's rules. A request
+// planned to fail carries kNoSlot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "strategies/scripted.hpp"
+
+namespace reqsched {
+
+struct PlannedRequest {
+  Round arrival = 0;
+  RequestSpec spec;
+  /// Where the intended online schedule executes this request;
+  /// kNoSlot = the adversary intends this request to fail online.
+  SlotRef intended = kNoSlot;
+};
+
+/// Which intended bookings a proposal may contain.
+enum class ProposalScope {
+  kFullWindow,        ///< all intended slots at rounds >= now
+  kCurrentRoundOnly,  ///< only intended slots at round == now (A_current)
+};
+
+class PlannedInstance final : public IWorkload, public IProposalSource {
+ public:
+  /// `with_plan` = false turns the instance into a plain workload whose
+  /// propose() defers to the reference strategy (used where the paper's
+  /// construction works against the deterministic reference directly).
+  PlannedInstance(std::string name, ProblemConfig config,
+                  std::vector<PlannedRequest> script, bool with_plan = true,
+                  ProposalScope scope = ProposalScope::kFullWindow);
+
+  // IWorkload
+  std::string name() const override { return name_; }
+  ProblemConfig config() const override { return config_; }
+  std::vector<RequestSpec> generate(Round t, const Simulator& sim) override;
+  bool exhausted(Round t) const override;
+  void reset() override { cursor_ = 0; }
+
+  // IProposalSource
+  std::optional<Proposal> propose(const Simulator& sim) override;
+
+  const std::vector<PlannedRequest>& script() const { return script_; }
+
+  /// Number of requests the intended schedule fulfills (valid `intended`).
+  std::int64_t planned_online() const;
+
+ private:
+  std::string name_;
+  ProblemConfig config_;
+  std::vector<PlannedRequest> script_;
+  bool with_plan_;
+  ProposalScope scope_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace reqsched

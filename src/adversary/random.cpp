@@ -1,0 +1,239 @@
+#include "adversary/random.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace reqsched {
+
+namespace {
+/// Binomial(trials, p) by direct simulation — trials is small (O(n)).
+std::int32_t binomial(Prng& rng, std::int32_t trials, double p) {
+  std::int32_t hits = 0;
+  for (std::int32_t i = 0; i < trials; ++i) {
+    if (rng.next_bool(p)) ++hits;
+  }
+  return hits;
+}
+
+/// Two distinct uniform resources.
+RequestSpec uniform_pair(Prng& rng, std::int32_t n, bool two_choice) {
+  RequestSpec spec;
+  spec.first = static_cast<ResourceId>(rng.next_below(
+      static_cast<std::uint64_t>(n)));
+  if (two_choice) {
+    spec.second = static_cast<ResourceId>(rng.next_below(
+        static_cast<std::uint64_t>(n - 1)));
+    if (spec.second >= spec.first) ++spec.second;
+  }
+  return spec;
+}
+
+/// Applies the heterogeneous-deadline option to a freshly drawn spec.
+void roll_window(Prng& rng, const RandomWorkloadOptions& options,
+                 RequestSpec& spec) {
+  if (options.min_window > 0) {
+    spec.window = static_cast<std::int32_t>(
+        rng.next_in(options.min_window, options.d));
+  }
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Uniform
+
+UniformWorkload::UniformWorkload(RandomWorkloadOptions options)
+    : options_(options), rng_(options.seed) {
+  ProblemConfig{options_.n, options_.d}.validate();
+  REQSCHED_REQUIRE(options_.load >= 0 && options_.horizon >= 1);
+  REQSCHED_REQUIRE_MSG(options_.n >= 2 || !options_.two_choice,
+                       "two-choice needs at least two resources");
+}
+
+std::string UniformWorkload::name() const {
+  std::ostringstream os;
+  os << "uniform(n=" << options_.n << ",d=" << options_.d
+     << ",load=" << options_.load << ",seed=" << options_.seed << ")";
+  return os.str();
+}
+
+ProblemConfig UniformWorkload::config() const {
+  return ProblemConfig{options_.n, options_.d};
+}
+
+std::vector<RequestSpec> UniformWorkload::generate(Round t,
+                                                   const Simulator& sim) {
+  (void)sim;
+  std::vector<RequestSpec> out;
+  if (t >= options_.horizon) return out;
+  // 4n trials at p = load/4: mean load*n per round, headroom up to 4x
+  // overload before the binomial saturates.
+  const std::int32_t count = binomial(rng_, 4 * options_.n,
+                                      options_.load / 4.0);
+  for (std::int32_t i = 0; i < count; ++i) {
+    RequestSpec spec = uniform_pair(rng_, options_.n, options_.two_choice);
+    roll_window(rng_, options_, spec);
+    out.push_back(spec);
+  }
+  return out;
+}
+
+bool UniformWorkload::exhausted(Round t) const {
+  return t >= options_.horizon;
+}
+
+void UniformWorkload::reset() { rng_.reseed(options_.seed); }
+
+// ------------------------------------------------------------------- Zipf
+
+ZipfWorkload::ZipfWorkload(RandomWorkloadOptions options, double exponent)
+    : options_(options),
+      exponent_(exponent),
+      sampler_(static_cast<std::size_t>(options.n), exponent),
+      rng_(options.seed) {
+  ProblemConfig{options_.n, options_.d}.validate();
+  REQSCHED_REQUIRE(options_.n >= 2);
+}
+
+std::string ZipfWorkload::name() const {
+  std::ostringstream os;
+  os << "zipf(n=" << options_.n << ",d=" << options_.d << ",s=" << exponent_
+     << ",load=" << options_.load << ",seed=" << options_.seed << ")";
+  return os.str();
+}
+
+ProblemConfig ZipfWorkload::config() const {
+  return ProblemConfig{options_.n, options_.d};
+}
+
+std::vector<RequestSpec> ZipfWorkload::generate(Round t,
+                                                const Simulator& sim) {
+  (void)sim;
+  std::vector<RequestSpec> out;
+  if (t >= options_.horizon) return out;
+  const std::int32_t count = binomial(rng_, 4 * options_.n,
+                                      options_.load / 4.0);
+  for (std::int32_t i = 0; i < count; ++i) {
+    RequestSpec spec;
+    spec.first = static_cast<ResourceId>(sampler_.sample(rng_));
+    do {
+      spec.second = static_cast<ResourceId>(sampler_.sample(rng_));
+    } while (spec.second == spec.first);
+    roll_window(rng_, options_, spec);
+    out.push_back(spec);
+  }
+  return out;
+}
+
+bool ZipfWorkload::exhausted(Round t) const { return t >= options_.horizon; }
+
+void ZipfWorkload::reset() { rng_.reseed(options_.seed); }
+
+// ----------------------------------------------------------------- Bursty
+
+BurstyWorkload::BurstyWorkload(RandomWorkloadOptions options,
+                               double burst_probability,
+                               std::int32_t burst_size)
+    : options_(options),
+      burst_probability_(burst_probability),
+      burst_size_(burst_size),
+      rng_(options.seed) {
+  ProblemConfig{options_.n, options_.d}.validate();
+  REQSCHED_REQUIRE(options_.n >= 2 && burst_size >= 1);
+}
+
+std::string BurstyWorkload::name() const {
+  std::ostringstream os;
+  os << "bursty(n=" << options_.n << ",d=" << options_.d
+     << ",p=" << burst_probability_ << ",B=" << burst_size_
+     << ",seed=" << options_.seed << ")";
+  return os.str();
+}
+
+ProblemConfig BurstyWorkload::config() const {
+  return ProblemConfig{options_.n, options_.d};
+}
+
+std::vector<RequestSpec> BurstyWorkload::generate(Round t,
+                                                  const Simulator& sim) {
+  (void)sim;
+  std::vector<RequestSpec> out;
+  if (t >= options_.horizon) return out;
+  // Background trickle at a quarter of the configured load.
+  const std::int32_t trickle = binomial(rng_, 2 * options_.n,
+                                        options_.load / 8.0);
+  for (std::int32_t i = 0; i < trickle; ++i) {
+    out.push_back(uniform_pair(rng_, options_.n, /*two_choice=*/true));
+  }
+  // Occasionally a hot title: burst_size requests all naming the same two
+  // replicas.
+  if (rng_.next_bool(burst_probability_)) {
+    const RequestSpec hot = uniform_pair(rng_, options_.n, true);
+    for (std::int32_t i = 0; i < burst_size_; ++i) {
+      out.push_back(hot);
+    }
+  }
+  return out;
+}
+
+bool BurstyWorkload::exhausted(Round t) const { return t >= options_.horizon; }
+
+void BurstyWorkload::reset() { rng_.reseed(options_.seed); }
+
+// ------------------------------------------------------------- BlockStorm
+
+BlockStormWorkload::BlockStormWorkload(RandomWorkloadOptions options,
+                                       double block_probability,
+                                       std::int32_t max_block_width)
+    : options_(options),
+      block_probability_(block_probability),
+      max_block_width_(max_block_width),
+      rng_(options.seed) {
+  ProblemConfig{options_.n, options_.d}.validate();
+  REQSCHED_REQUIRE(max_block_width >= 2 && max_block_width <= options_.n);
+}
+
+std::string BlockStormWorkload::name() const {
+  std::ostringstream os;
+  os << "blockstorm(n=" << options_.n << ",d=" << options_.d
+     << ",p=" << block_probability_ << ",a<=" << max_block_width_
+     << ",seed=" << options_.seed << ")";
+  return os.str();
+}
+
+ProblemConfig BlockStormWorkload::config() const {
+  return ProblemConfig{options_.n, options_.d};
+}
+
+std::vector<RequestSpec> BlockStormWorkload::generate(Round t,
+                                                      const Simulator& sim) {
+  (void)sim;
+  std::vector<RequestSpec> out;
+  if (t >= options_.horizon) return out;
+  if (!rng_.next_bool(block_probability_)) return out;
+
+  // block(a, d) on a random subset of a resources.
+  const std::int32_t a = static_cast<std::int32_t>(
+      2 + rng_.next_below(static_cast<std::uint64_t>(max_block_width_ - 1)));
+  std::vector<ResourceId> ring(static_cast<std::size_t>(options_.n));
+  for (std::int32_t i = 0; i < options_.n; ++i) {
+    ring[static_cast<std::size_t>(i)] = i;
+  }
+  rng_.shuffle(ring);
+  ring.resize(static_cast<std::size_t>(a));
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    for (std::int32_t j = 0; j < options_.d; ++j) {
+      RequestSpec spec;
+      spec.first = ring[i];
+      spec.second = ring[(i + 1) % ring.size()];
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+bool BlockStormWorkload::exhausted(Round t) const {
+  return t >= options_.horizon;
+}
+
+void BlockStormWorkload::reset() { rng_.reseed(options_.seed); }
+
+}  // namespace reqsched

@@ -1,0 +1,281 @@
+#include "adversary/theorems.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <sstream>
+
+#include "adversary/blocks.hpp"
+
+namespace reqsched {
+
+TheoremInstance make_lb_fix(std::int32_t d, std::int32_t phases) {
+  REQSCHED_REQUIRE(d >= 2 && phases >= 1);
+  // Resources: S1..S4 = 0..3. S2, S3 (= 1, 2) carry the blocks.
+  std::vector<PlannedRequest> script;
+  const std::array<ResourceId, 2> inner{1, 2};
+  append_block(script, 0, inner, d);
+  for (std::int32_t i = 1; i <= phases; ++i) {
+    const Round p = static_cast<Round>(i) * d - 1;
+    // R1 -> (S1, S2), steered onto S2; R2 -> (S3, S4), steered onto S3.
+    append_group(script, p, d - 1, 0, 1, 1, p + 1);
+    append_group(script, p, d - 1, 2, 3, 2, p + 1);
+    // One round later: a block(2, d) on (S2, S3). Only the last window slot
+    // of each resource is still free; 2d - 2 block requests must fail.
+    append_group(script, p + 1, 1, 1, 2, 1, p + d);
+    append_group(script, p + 1, d - 1, 1, 2, kNoResource, 0);
+    append_group(script, p + 1, 1, 2, 1, 2, p + d);
+    append_group(script, p + 1, d - 1, 2, 1, kNoResource, 0);
+  }
+  TheoremInstance instance;
+  std::ostringstream name;
+  name << "lb_fix(d=" << d << ",phases=" << phases << ")";
+  instance.workload = std::make_unique<PlannedInstance>(
+      name.str(), ProblemConfig{4, d}, std::move(script));
+  instance.target = StrategyKind::kFix;
+  instance.bound = Fraction(4 * d - 2, 2 * d);  // == 2 - 1/d
+  instance.theorem = "2.1";
+  return instance;
+}
+
+std::int32_t lb_current_min_deadline(std::int32_t ell) {
+  REQSCHED_REQUIRE(ell >= 2);
+  std::int64_t l = 1;
+  for (std::int32_t k = 2; k < ell; ++k) l = std::lcm<std::int64_t>(l, k);
+  REQSCHED_REQUIRE_MSG(l <= 100000, "ell too large for a practical deadline");
+  return static_cast<std::int32_t>(l);
+}
+
+double lb_current_predicted_fulfilled_fraction(std::int32_t ell) {
+  // Serve groups oldest-first; group i (1-based) runs on ell-i+1 resources
+  // and thus costs d/(ell-i+1) rounds of the phase's budget of d rounds.
+  double budget = 1.0;
+  double fulfilled_groups = 0.0;
+  for (std::int32_t i = 1; i <= ell; ++i) {
+    const double width = static_cast<double>(ell - i + 1);
+    const double cost = 1.0 / width;
+    if (cost <= budget) {
+      budget -= cost;
+      fulfilled_groups += 1.0;
+    } else {
+      fulfilled_groups += budget * width;
+      budget = 0.0;
+      break;
+    }
+  }
+  return fulfilled_groups / static_cast<double>(ell);
+}
+
+TheoremInstance make_lb_current(std::int32_t ell, std::int32_t phases,
+                                std::int32_t d) {
+  REQSCHED_REQUIRE(ell >= 2 && phases >= 1);
+  const std::int32_t min_d = lb_current_min_deadline(ell);
+  if (d == 0) d = min_d;
+  REQSCHED_REQUIRE_MSG(d % min_d == 0,
+                       "d must be a multiple of lcm(1..ell-1) = " << min_d);
+
+  std::vector<PlannedRequest> script;
+  for (std::int32_t k = 0; k < phases; ++k) {
+    const Round start = static_cast<Round>(k) * d;
+    for (std::int32_t i = 1; i <= ell; ++i) {
+      // Group i: first alternatives evenly over S_1..S_{ell-i}, second
+      // alternative S_{ell-i+1}; group ell repeats group ell-1.
+      const std::int32_t spread = i < ell ? ell - i : 1;
+      const ResourceId second = i < ell ? static_cast<ResourceId>(ell - i)
+                                        : static_cast<ResourceId>(1);
+      for (std::int32_t j = 0; j < d; ++j) {
+        PlannedRequest pr;
+        pr.arrival = start;
+        pr.spec.first = static_cast<ResourceId>(j % spread);
+        pr.spec.second = second;
+        script.push_back(pr);
+      }
+    }
+  }
+  TheoremInstance instance;
+  std::ostringstream name;
+  name << "lb_current(ell=" << ell << ",d=" << d << ",phases=" << phases
+       << ")";
+  instance.workload = std::make_unique<PlannedInstance>(
+      name.str(), ProblemConfig{ell, d}, std::move(script),
+      /*with_plan=*/false);
+  instance.target = StrategyKind::kCurrent;
+  instance.bound = Fraction(0);  // limit bound e/(e-1); see asymptote helpers
+  instance.theorem = "2.2";
+  return instance;
+}
+
+TheoremInstance make_lb_fix_balance(std::int32_t d, std::int32_t phases) {
+  REQSCHED_REQUIRE(d >= 2 && d % 2 == 0 && phases >= 1);
+  // Three resource pairs used round-robin; 6 resources total.
+  const std::array<std::array<ResourceId, 2>, 3> pair{{{0, 1}, {2, 3}, {4, 5}}};
+  std::vector<PlannedRequest> script;
+  append_block(script, 0, pair[0], d);
+  for (std::int32_t k = 1; k <= phases; ++k) {
+    const Round p =
+        d / 2 + static_cast<Round>(k - 1) * (d / 2 + 1);
+    const auto& blocked = pair[static_cast<std::size_t>((k - 1) % 3)];
+    const auto& fresh = pair[static_cast<std::size_t>(k % 3)];
+    // R1 and R2: the balance rule itself sends them to the fresh pair.
+    append_group(script, p, d / 2, blocked[0], fresh[0], kNoResource, 0);
+    append_group(script, p, d / 2, blocked[1], fresh[1], kNoResource, 0);
+    // One round later the block lands exactly on the fresh pair.
+    append_block(script, p + 1, fresh, d);
+  }
+  TheoremInstance instance;
+  std::ostringstream name;
+  name << "lb_fix_balance(d=" << d << ",phases=" << phases << ")";
+  instance.workload = std::make_unique<PlannedInstance>(
+      name.str(), ProblemConfig{6, d}, std::move(script),
+      /*with_plan=*/false);
+  instance.target = StrategyKind::kFixBalance;
+  instance.bound = Fraction(3 * d, 2 * d + 2);
+  instance.theorem = "2.3";
+  return instance;
+}
+
+TheoremInstance make_lb_eager(std::int32_t d, std::int32_t phases,
+                              StrategyKind target) {
+  REQSCHED_REQUIRE(d >= 2 && d % 2 == 0 && phases >= 1);
+  REQSCHED_REQUIRE_MSG(
+      target == StrategyKind::kEager || d == 2,
+      "the Theorem 2.4 instance applies to other strategies only at d = 2");
+  // S1..S4 = 0..3; odd phases block (S2, S3) = (1, 2), even ones (S1, S4).
+  std::vector<PlannedRequest> script;
+  const std::array<ResourceId, 2> outer{0, 3};
+  const std::array<ResourceId, 2> inner{1, 2};
+  append_block(script, 0, outer, d);
+  for (std::int32_t i = 1; i <= phases; ++i) {
+    const Round s = d / 2 + static_cast<Round>(i - 1) * d;
+    const bool odd = (i % 2) == 1;
+    const auto& hot = odd ? inner : outer;    // R3 + block pair
+    const auto& cold = odd ? outer : inner;   // busy at phase start
+    // R1 -> (cold[0], hot[0]) steered onto hot[0] early; R2 symmetric.
+    append_group(script, s, d / 2, cold[0], hot[0], hot[0], s);
+    append_group(script, s, d / 2, cold[1], hot[1], hot[1], s);
+    // R3 -> (hot[0], hot[1]); fills both hot resources' middle rounds.
+    append_group(script, s, d / 2, hot[0], hot[1], hot[0], s + d / 2);
+    append_group(script, s, d / 2, hot[0], hot[1], hot[1], s + d / 2);
+    // Block(2, d) on the hot pair, d/2 rounds later: only the last d/2
+    // rounds of each hot resource are free; d block requests must fail.
+    append_group(script, s + d / 2, d / 2, hot[0], hot[1], hot[0], s + d);
+    append_group(script, s + d / 2, d / 2, hot[0], hot[1], kNoResource, 0);
+    append_group(script, s + d / 2, d / 2, hot[1], hot[0], hot[1], s + d);
+    append_group(script, s + d / 2, d / 2, hot[1], hot[0], kNoResource, 0);
+  }
+  TheoremInstance instance;
+  std::ostringstream name;
+  name << "lb_eager(d=" << d << ",phases=" << phases << ",target="
+       << to_string(target) << ")";
+  instance.workload = std::make_unique<PlannedInstance>(
+      name.str(), ProblemConfig{4, d}, std::move(script),
+      /*with_plan=*/true,
+      target == StrategyKind::kCurrent ? ProposalScope::kCurrentRoundOnly
+                                       : ProposalScope::kFullWindow);
+  instance.target = target;
+  instance.bound = Fraction(4, 3);
+  instance.theorem = "2.4";
+  return instance;
+}
+
+TheoremInstance make_lb_balance(std::int32_t x, std::int32_t groups,
+                                std::int32_t intervals) {
+  REQSCHED_REQUIRE(x >= 1 && groups >= 1 && intervals >= 1);
+  const std::int32_t d = 3 * x - 1;
+  const std::int32_t n = 3 * groups + 2;
+  const ResourceId sp = static_cast<ResourceId>(3 * groups);       // S'
+  const ResourceId spp = static_cast<ResourceId>(3 * groups + 1);  // S''
+
+  std::vector<PlannedRequest> script;
+  // Round 0: block(2, d) pins S' and S''; one block(1, d) per group pins
+  // the group's first resource.
+  const std::array<ResourceId, 2> anchors{sp, spp};
+  append_block(script, 0, anchors, d);
+  for (std::int32_t g = 0; g < groups; ++g) {
+    const ResourceId a = static_cast<ResourceId>(3 * g);
+    append_group(script, 0, d, sp, a, a, 0);
+  }
+
+  for (std::int32_t m = 0; m < intervals; ++m) {
+    const Round t1 = static_cast<Round>(2 * m + 1) * x;  // Phase 1
+    const Round t2 = static_cast<Round>(2 * m + 2) * x;  // Phase 2
+    for (std::int32_t g = 0; g < groups; ++g) {
+      const ResourceId blocked =
+          static_cast<ResourceId>(3 * g + (m % 3));          // "S1" role
+      const ResourceId work =
+          static_cast<ResourceId>(3 * g + ((m + 1) % 3));    // "S2" role
+      // Phase 1: R1 -> (blocked, work), R2 -> (work, S'); both served by
+      // `work`, R1 first (rounds t1..t1+x-1), then R2.
+      append_group(script, t1, x, blocked, work, work, t1);
+      append_group(script, t1, x, work, sp, work, t1 + x);
+      // Phase 2: block(1, d) at `work`; only 2x-1 of its 3x-1 requests fit
+      // (rounds t2+x .. t2+3x-2), x must fail.
+      append_group(script, t2, 2 * x - 1, sp, work, work, t2 + x);
+      append_group(script, t2, x, sp, work, kNoResource, 0);
+    }
+    // Phase 2, once per interval: 4x requests keep S' and S'' blocked for
+    // the next 2x rounds (cover [ (2m+3)x-1, (2m+5)x-2 ]).
+    const Round cover = static_cast<Round>(2 * m + 3) * x - 1;
+    append_group(script, t2, 2 * x, sp, spp, sp, cover);
+    append_group(script, t2, 2 * x, sp, spp, spp, cover);
+  }
+
+  // Per-group emission interleaves t1 and t2 arrivals; restore arrival
+  // order (stable, so same-round injection order is preserved).
+  std::stable_sort(script.begin(), script.end(),
+                   [](const PlannedRequest& a, const PlannedRequest& b) {
+                     return a.arrival < b.arrival;
+                   });
+
+  TheoremInstance instance;
+  std::ostringstream name;
+  name << "lb_balance(d=" << d << ",groups=" << groups << ",intervals="
+       << intervals << ")";
+  instance.workload = std::make_unique<PlannedInstance>(
+      name.str(), ProblemConfig{n, d}, std::move(script));
+  instance.target = StrategyKind::kBalance;
+  instance.bound = Fraction(5 * d + 2, 4 * d + 1);
+  instance.theorem = "2.5";
+  return instance;
+}
+
+std::unique_ptr<PlannedInstance> make_lb_local_fix(std::int32_t d,
+                                                   std::int32_t intervals) {
+  REQSCHED_REQUIRE(d >= 1 && intervals >= 1);
+  // S1..S4 = 0..3. First alternatives route R1 to S1, R2 to S3 and the 2d
+  // requests of R3 to S1 as well; the LDF tie-break (earlier injection wins)
+  // lets R1 and R2 through, so R3 fails on both attempts.
+  std::vector<PlannedRequest> script;
+  for (std::int32_t k = 0; k < intervals; ++k) {
+    const Round start = static_cast<Round>(k) * d;
+    append_group(script, start, d, 0, 1, kNoResource, 0);      // R1
+    append_group(script, start, d, 2, 3, kNoResource, 0);      // R2
+    append_group(script, start, 2 * d, 0, 2, kNoResource, 0);  // R3
+  }
+  std::ostringstream name;
+  name << "lb_local_fix(d=" << d << ",intervals=" << intervals << ")";
+  return std::make_unique<PlannedInstance>(name.str(), ProblemConfig{4, d},
+                                           std::move(script),
+                                           /*with_plan=*/false);
+}
+
+std::unique_ptr<PlannedInstance> make_lb_edf(std::int32_t d,
+                                             std::int32_t intervals) {
+  REQSCHED_REQUIRE(d >= 1 && intervals >= 1);
+  // Two groups of d identical requests on (S1, S2); the independent-copy
+  // EDF serves the first group on both resources (ties by injection order)
+  // and starves the second.
+  std::vector<PlannedRequest> script;
+  for (std::int32_t k = 0; k < intervals; ++k) {
+    const Round start = static_cast<Round>(k) * d;
+    append_group(script, start, d, 0, 1, kNoResource, 0);
+    append_group(script, start, d, 0, 1, kNoResource, 0);
+  }
+  std::ostringstream name;
+  name << "lb_edf(d=" << d << ",intervals=" << intervals << ")";
+  return std::make_unique<PlannedInstance>(name.str(), ProblemConfig{2, d},
+                                           std::move(script),
+                                           /*with_plan=*/false);
+}
+
+}  // namespace reqsched

@@ -1,0 +1,69 @@
+// The lower-bound constructions of Section 2 (Theorems 2.1–2.5) and the
+// tightness instances of Section 3 (Theorem 3.7, Observation 3.2), as
+// reusable workload builders. Theorem 2.6's adaptive adversary lives in
+// adversary/universal.hpp.
+//
+// Each builder returns the request script together with the strategy class
+// it attacks and the proven asymptotic lower bound (as an exact fraction).
+// Instances whose plan steers tie-breaking carry intended schedules that the
+// scripted-strategy checker validates every round.
+#pragma once
+
+#include <memory>
+
+#include "adversary/planned.hpp"
+#include "util/fraction.hpp"
+
+namespace reqsched {
+
+struct TheoremInstance {
+  std::unique_ptr<PlannedInstance> workload;
+  StrategyKind target = StrategyKind::kFix;
+  Fraction bound;       ///< proven lower bound on the competitive ratio
+  std::string theorem;  ///< e.g. "2.1"
+};
+
+/// Theorem 2.1: A_fix loses 2 - 1/d on 4 resources. Requires d >= 2.
+TheoremInstance make_lb_fix(std::int32_t d, std::int32_t phases);
+
+/// Theorem 2.2: A_current tends to e/(e-1) on ell resources. `d` must be a
+/// positive multiple of lcm(1..ell-1); pass 0 for the smallest valid d.
+/// The returned bound is the exact finite-(ell, d) value ell*d / fulfilled
+/// predicted by the harmonic argument; the e/(e-1) limit is approached as
+/// ell grows. No plan: the reference A_current (serve-oldest-first) realizes
+/// the construction by itself.
+TheoremInstance make_lb_current(std::int32_t ell, std::int32_t phases,
+                                std::int32_t d = 0);
+
+/// Theorem 2.3: A_fix_balance loses 3d/(2d+2) on 6 resources. Requires even
+/// d >= 2. No plan: the balance rule itself forces the bad placement.
+TheoremInstance make_lb_fix_balance(std::int32_t d, std::int32_t phases);
+
+/// Theorem 2.4: the overlapping-phase instance that costs A_eager 4/3 for
+/// every even d >= 2, and also A_current / A_fix_balance / A_balance at
+/// d = 2. `target` selects which strategy class the plan is checked against.
+TheoremInstance make_lb_eager(std::int32_t d, std::int32_t phases,
+                              StrategyKind target = StrategyKind::kEager);
+
+/// Theorem 2.5: A_balance loses (5d+2)/(4d+1) with d = 3x-1, on 3*groups+2
+/// resources, in the limit of many groups.
+TheoremInstance make_lb_balance(std::int32_t x, std::int32_t groups,
+                                std::int32_t intervals);
+
+/// Theorem 3.7: A_local_fix loses exactly 2 on 4 resources (plain workload;
+/// the first-alternative routing and LDF tie-breaks do the steering).
+std::unique_ptr<PlannedInstance> make_lb_local_fix(std::int32_t d,
+                                                   std::int32_t intervals);
+
+/// Observation 3.2 tightness: independent-copy EDF loses exactly 2.
+std::unique_ptr<PlannedInstance> make_lb_edf(std::int32_t d,
+                                             std::int32_t intervals);
+
+/// Smallest valid deadline for make_lb_current: lcm(1..ell-1).
+std::int32_t lb_current_min_deadline(std::int32_t ell);
+
+/// The harmonic prediction for Theorem 2.2: the fraction of requests the
+/// adversarial A_current fulfills per phase (-> (e-1)/e as ell -> infinity).
+double lb_current_predicted_fulfilled_fraction(std::int32_t ell);
+
+}  // namespace reqsched

@@ -1,0 +1,142 @@
+#include "adversary/universal.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/simulator.hpp"
+
+namespace reqsched {
+
+UniversalAdversary::UniversalAdversary(std::int32_t d, std::int32_t intervals)
+    : d_(d), intervals_(intervals) {
+  REQSCHED_REQUIRE_MSG(d >= 3, "Theorem 2.6 needs d >= 3");
+  REQSCHED_REQUIRE(intervals >= 1);
+  reset();
+}
+
+std::string UniversalAdversary::name() const {
+  std::ostringstream os;
+  os << "lb_universal(d=" << d_ << ",intervals=" << intervals_ << ")";
+  return os.str();
+}
+
+void UniversalAdversary::reset() {
+  role_ = {0, 1, 2, 3, 4};
+  current_interval_ = 0;
+  done_ = false;
+  walled_.clear();
+}
+
+bool UniversalAdversary::exhausted(Round t) const {
+  (void)t;
+  return done_;
+}
+
+std::vector<RequestSpec> UniversalAdversary::generate(Round t,
+                                                      const Simulator& sim) {
+  std::vector<RequestSpec> out;
+  const auto ring_block = [&](const std::vector<ResourceId>& ring) {
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      for (std::int32_t j = 0; j < d_; ++j) {
+        RequestSpec spec;
+        spec.first = ring[i];
+        spec.second = ring[(i + 1) % ring.size()];
+        out.push_back(spec);
+      }
+    }
+  };
+
+  if (t == 0) {
+    // Initial block(6, d) over the trio.
+    std::vector<ResourceId> ring;
+    for (std::int32_t p = 0; p < 3; ++p) {
+      for (const ResourceId r : pair(role_[static_cast<std::size_t>(p)])) {
+        ring.push_back(r);
+      }
+    }
+    ring_block(ring);
+    return out;
+  }
+
+  const Round interval_start = static_cast<Round>(current_interval_) * d_;
+  const std::int32_t phase1 = d_ / 3;  // Phase 1 length (exact when 3 | d)
+
+  if (t == interval_start + (d_ - phase1) && current_interval_ < intervals_) {
+    // Phase 1: 3 * 4p colored requests. First alternatives rotate over the
+    // duo's four resources; second alternatives over the color's pair.
+    RequestId next_id = sim.trace().size();
+    std::array<ResourceId, 4> duo_res{};
+    for (std::int32_t p = 0; p < 2; ++p) {
+      const auto pr = pair(role_[static_cast<std::size_t>(3 + p)]);
+      duo_res[static_cast<std::size_t>(2 * p)] = pr[0];
+      duo_res[static_cast<std::size_t>(2 * p + 1)] = pr[1];
+    }
+    for (std::int32_t color = 0; color < 3; ++color) {
+      const auto target = pair(role_[static_cast<std::size_t>(color)]);
+      const std::int32_t count = 4 * phase1;
+      color_ids_[static_cast<std::size_t>(color)] = {next_id,
+                                                     next_id + count};
+      next_id += count;
+      for (std::int32_t j = 0; j < count; ++j) {
+        RequestSpec spec;
+        spec.first = duo_res[static_cast<std::size_t>(j % 4)];
+        spec.second = target[static_cast<std::size_t>(j % 2)];
+        out.push_back(spec);
+      }
+    }
+    return out;
+  }
+
+  if (t == interval_start + d_ && current_interval_ < intervals_) {
+    // Phase 2: observe, pick the color with the most unfulfilled requests,
+    // wall it together with the duo behind a block(6, d).
+    std::int32_t worst_color = 0;
+    std::int64_t worst_unfulfilled = -1;
+    for (std::int32_t color = 0; color < 3; ++color) {
+      std::int64_t unfulfilled = 0;
+      const auto [begin, end] = color_ids_[static_cast<std::size_t>(color)];
+      for (RequestId id = begin; id < end; ++id) {
+        if (sim.status(id) != RequestStatus::kFulfilled) ++unfulfilled;
+      }
+      if (unfulfilled > worst_unfulfilled) {
+        worst_unfulfilled = unfulfilled;
+        worst_color = color;
+      }
+    }
+    walled_.push_back(worst_color);
+
+    std::vector<ResourceId> ring;
+    for (const ResourceId r :
+         pair(role_[static_cast<std::size_t>(worst_color)])) {
+      ring.push_back(r);
+    }
+    for (std::int32_t p = 3; p < 5; ++p) {
+      for (const ResourceId r : pair(role_[static_cast<std::size_t>(p)])) {
+        ring.push_back(r);
+      }
+    }
+    ring_block(ring);
+
+    // Rotate roles: new trio = duo + walled pair; new duo = survivors.
+    std::array<std::int32_t, 5> next{};
+    next[0] = role_[static_cast<std::size_t>(3)];
+    next[1] = role_[static_cast<std::size_t>(4)];
+    next[2] = role_[static_cast<std::size_t>(worst_color)];
+    std::int32_t out_idx = 3;
+    for (std::int32_t color = 0; color < 3; ++color) {
+      if (color != worst_color) {
+        next[static_cast<std::size_t>(out_idx++)] =
+            role_[static_cast<std::size_t>(color)];
+      }
+    }
+    role_ = next;
+
+    ++current_interval_;
+    if (current_interval_ >= intervals_) done_ = true;
+    return out;
+  }
+
+  return out;
+}
+
+}  // namespace reqsched

@@ -1,0 +1,66 @@
+// Theorem 2.6: the adaptive adversary that forces a competitive ratio of at
+// least 45/41 on EVERY deterministic online algorithm, using 10 resources
+// and d divisible by 3.
+//
+// Five resource pairs. Three ("the trio") start blocked by a block(6, d);
+// each interval the adversary injects three colored request groups whose
+// first alternatives spread over the free duo and whose second alternatives
+// point at one trio pair per color. At the interval's end it OBSERVES the
+// online algorithm, picks the color with the most unfulfilled requests, and
+// walls that color's pair (plus the duo) behind the next block(6, d). The
+// walled color's stragglers — at least ceil(8d/9) of them in the worst case
+// — expire. Roles rotate and the game repeats.
+//
+// For 3 | d this is exactly the proof's construction (bound 45/41); for
+// other d the paper's closing remark applies: Phase 1 shrinks to floor(d/3)
+// rounds with 4*floor(d/3) requests per colored group and the guaranteed
+// bound weakens to 12/11 for every d.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "util/fraction.hpp"
+
+namespace reqsched {
+
+class UniversalAdversary final : public IWorkload {
+ public:
+  /// Requires d >= 3. The proven bound is 45/41 when 3 | d, else 12/11.
+  UniversalAdversary(std::int32_t d, std::int32_t intervals);
+
+  std::string name() const override;
+  ProblemConfig config() const override { return ProblemConfig{10, d_}; }
+  std::vector<RequestSpec> generate(Round t, const Simulator& sim) override;
+  bool exhausted(Round t) const override;
+  void reset() override;
+
+  /// The proven universal lower bound: 45/41 when 3 | d, else 12/11.
+  static Fraction bound(std::int32_t d = 3) {
+    return d % 3 == 0 ? Fraction(45, 41) : Fraction(12, 11);
+  }
+
+  /// Colors the adversary chose to wall, one entry per completed interval
+  /// (for tests/diagnostics).
+  const std::vector<std::int32_t>& walled_colors() const { return walled_; }
+
+ private:
+  std::array<ResourceId, 2> pair(std::int32_t p) const {
+    return {static_cast<ResourceId>(2 * p),
+            static_cast<ResourceId>(2 * p + 1)};
+  }
+
+  std::int32_t d_;
+  std::int32_t intervals_;
+  /// Pair roles: role_[0..2] = trio (blocked / colored targets),
+  /// role_[3..4] = duo (free, colored first alternatives).
+  std::array<std::int32_t, 5> role_{};
+  /// Request-id ranges [begin, end) of the current interval's color groups.
+  std::array<std::pair<RequestId, RequestId>, 3> color_ids_{};
+  std::int32_t current_interval_ = 0;
+  bool done_ = false;
+  std::vector<std::int32_t> walled_;
+};
+
+}  // namespace reqsched

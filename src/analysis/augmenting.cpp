@@ -1,0 +1,73 @@
+#include "analysis/augmenting.hpp"
+
+#include <algorithm>
+
+#include "offline/offline.hpp"
+
+namespace reqsched {
+
+PathStats analyze_augmenting_paths(
+    const Trace& trace,
+    const std::vector<std::pair<RequestId, SlotRef>>& online) {
+  PathStats stats;
+  stats.order_histogram.assign(2, 0);
+  if (trace.empty()) return stats;
+
+  const OfflineGraph og(trace);
+  const Matching opt = hopcroft_karp(og.graph());
+
+  // Slot-indexed views of both matchings.
+  const auto slot_count = static_cast<std::size_t>(og.slot_count());
+  std::vector<std::int32_t> online_left(
+      static_cast<std::size_t>(trace.size()), -1);
+  std::vector<std::int64_t> online_right(slot_count, -1);
+  for (const auto& [id, slot] : online) {
+    const std::int32_t s = og.slot_index(slot);
+    online_left[static_cast<std::size_t>(id)] = s;
+    online_right[static_cast<std::size_t>(s)] = id;
+  }
+
+  std::int64_t online_size = static_cast<std::int64_t>(online.size());
+  stats.deficiency = opt.size() - online_size;
+
+  // Walk alternating components starting from requests that OPT serves but
+  // the online algorithm does not. A component ending in an online-free slot
+  // is an augmenting path; one ending in an OPT-free request is merely
+  // alternating and does not certify a loss.
+  for (RequestId start = 0; start < trace.size(); ++start) {
+    if (online_left[static_cast<std::size_t>(start)] >= 0) continue;
+    if (!opt.left_matched(static_cast<std::int32_t>(start))) continue;
+
+    std::int64_t order = 0;
+    RequestId request = start;
+    for (;;) {
+      ++order;
+      const std::int32_t slot =
+          opt.left_to_right[static_cast<std::size_t>(request)];
+      REQSCHED_CHECK(slot >= 0);
+      const std::int64_t owner = online_right[static_cast<std::size_t>(slot)];
+      if (owner < 0) {
+        // Free slot for the online matching: augmenting path found.
+        ++stats.augmenting_paths;
+        if (static_cast<std::size_t>(order) >= stats.order_histogram.size()) {
+          stats.order_histogram.resize(static_cast<std::size_t>(order) + 1, 0);
+        }
+        ++stats.order_histogram[static_cast<std::size_t>(order)];
+        stats.min_order = stats.min_order == 0
+                              ? order
+                              : std::min(stats.min_order, order);
+        break;
+      }
+      if (!opt.left_matched(static_cast<std::int32_t>(owner))) {
+        // Alternating path ends at an OPT-free request; not augmenting.
+        break;
+      }
+      request = owner;
+    }
+  }
+  REQSCHED_CHECK_MSG(stats.augmenting_paths >= stats.deficiency,
+                     "augmenting decomposition undercounts the deficiency");
+  return stats;
+}
+
+}  // namespace reqsched

@@ -1,0 +1,38 @@
+// Augmenting-path analysis of an online outcome against the offline optimum.
+//
+// The paper's upper-bound proofs are arguments about the ORDER of augmenting
+// paths in (G, M_online) relative to a fixed maximum matching: A_fix leaves
+// no order-1 paths, A_eager/A_balance leave none of order <= 2, etc. This
+// module decomposes M_online (+) M_OPT into alternating components and
+// histograms the augmenting-path orders, turning those proof invariants into
+// measurable, testable quantities.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "core/types.hpp"
+
+namespace reqsched {
+
+struct PathStats {
+  /// histogram[k] = number of augmenting paths of order k (k requests on
+  /// the path). Index 0 is unused.
+  std::vector<std::int64_t> order_histogram;
+  std::int64_t augmenting_paths = 0;
+  /// Smallest order among augmenting paths; 0 when there are none.
+  std::int64_t min_order = 0;
+  /// |M_OPT| - |M_online| (== number of augmenting paths).
+  std::int64_t deficiency = 0;
+};
+
+/// Decomposes the symmetric difference of the online matching and a maximum
+/// matching of the full request graph. `online` holds (request, execution
+/// slot) pairs as produced by Simulator::online_matching().
+PathStats analyze_augmenting_paths(
+    const Trace& trace,
+    const std::vector<std::pair<RequestId, SlotRef>>& online);
+
+}  // namespace reqsched

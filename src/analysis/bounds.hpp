@@ -1,0 +1,78 @@
+// The paper's proven bounds (Table 1), as exact fractions of d.
+#pragma once
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/fraction.hpp"
+
+namespace reqsched {
+
+// ------------------------------- upper bounds (Section 3) ----------------
+
+/// Theorem 3.3: A_fix and A_current are at most (2 - 1/d)-competitive.
+inline Fraction ub_fix(std::int32_t d) {
+  REQSCHED_REQUIRE(d >= 1);
+  return Fraction(2 * d - 1, d);
+}
+inline Fraction ub_current(std::int32_t d) { return ub_fix(d); }
+
+/// Theorem 3.4: A_fix_balance <= max(4/3, 2 - 2/d, 2 - 3/(d+2)).
+inline Fraction ub_fix_balance(std::int32_t d) {
+  REQSCHED_REQUIRE(d >= 2);
+  const Fraction candidates[] = {Fraction(4, 3), Fraction(2 * d - 2, d),
+                                 Fraction(2 * (d + 2) - 3, d + 2)};
+  Fraction best = candidates[0];
+  for (const Fraction& c : candidates) {
+    if (c > best) best = c;
+  }
+  return best;
+}
+
+/// Theorem 3.5: A_eager <= (3d - 2)/(2d - 1).
+inline Fraction ub_eager(std::int32_t d) {
+  REQSCHED_REQUIRE(d >= 1);
+  return Fraction(3 * d - 2, 2 * d - 1);
+}
+
+/// Theorem 3.6: A_balance <= 4/3 for d = 2 and 6(d-1)/(4d-3) for d > 2.
+inline Fraction ub_balance(std::int32_t d) {
+  REQSCHED_REQUIRE(d >= 2);
+  return d == 2 ? Fraction(4, 3) : Fraction(6 * (d - 1), 4 * d - 3);
+}
+
+/// Observation 3.2 / Theorem 3.7: EDF with two alternatives and A_local_fix
+/// are exactly 2-competitive.
+inline Fraction ub_edf_two_choice() { return Fraction(2); }
+inline Fraction ub_local_fix() { return Fraction(2); }
+
+/// Theorem 3.8: A_local_eager <= 5/3.
+inline Fraction ub_local_eager() { return Fraction(5, 3); }
+
+// ------------------------------- lower bounds (Section 2) ----------------
+
+/// Theorem 2.1.
+inline Fraction lb_fix(std::int32_t d) { return ub_fix(d); }
+
+/// Theorem 2.2 limit value e/(e-1).
+inline double lb_current_limit() { return std::exp(1.0) / (std::exp(1.0) - 1.0); }
+
+/// Theorem 2.3.
+inline Fraction lb_fix_balance(std::int32_t d) {
+  REQSCHED_REQUIRE(d >= 2);
+  return d == 2 ? Fraction(4, 3) : Fraction(3 * d, 2 * d + 2);
+}
+
+/// Theorem 2.4.
+inline Fraction lb_eager() { return Fraction(4, 3); }
+
+/// Theorem 2.5 (d = 3x - 1).
+inline Fraction lb_balance(std::int32_t d) {
+  REQSCHED_REQUIRE(d >= 2 && (d + 1) % 3 == 0);
+  return Fraction(5 * d + 2, 4 * d + 1);
+}
+
+/// Theorem 2.6: every deterministic online algorithm.
+inline Fraction lb_universal() { return Fraction(45, 41); }
+
+}  // namespace reqsched

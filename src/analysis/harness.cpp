@@ -1,0 +1,46 @@
+#include "analysis/harness.hpp"
+
+#include <limits>
+
+#include "offline/offline.hpp"
+#include "strategies/scripted.hpp"
+
+namespace reqsched {
+
+RunResult run_experiment(IWorkload& workload, IStrategy& strategy,
+                         const RunOptions& options) {
+  Simulator sim(workload, strategy);
+  sim.run(options.max_rounds);
+
+  RunResult result;
+  result.strategy = strategy.name();
+  result.workload = workload.name();
+  result.metrics = sim.metrics();
+  result.optimum = offline_optimum(sim.trace());
+  REQSCHED_CHECK_MSG(result.optimum >= result.metrics.fulfilled,
+                     "online matching beat the 'optimal' offline matching");
+  result.ratio =
+      result.metrics.fulfilled == 0
+          ? (result.optimum == 0 ? 1.0
+                                 : std::numeric_limits<double>::infinity())
+          : static_cast<double>(result.optimum) /
+                static_cast<double>(result.metrics.fulfilled);
+  if (options.analyze_paths) {
+    result.paths = analyze_augmenting_paths(sim.trace(), sim.online_matching());
+  }
+  if (const auto* scripted = dynamic_cast<const ScriptedStrategy*>(&strategy)) {
+    result.violations = scripted->violations();
+  }
+  return result;
+}
+
+double pairwise_slope_ratio(const RunResult& short_run,
+                            const RunResult& long_run) {
+  const auto d_opt = long_run.optimum - short_run.optimum;
+  const auto d_alg =
+      long_run.metrics.fulfilled - short_run.metrics.fulfilled;
+  REQSCHED_REQUIRE_MSG(d_alg > 0, "long run must fulfill more than short run");
+  return static_cast<double>(d_opt) / static_cast<double>(d_alg);
+}
+
+}  // namespace reqsched

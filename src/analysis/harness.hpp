@@ -1,0 +1,45 @@
+// Experiment harness: run (workload, strategy), compare against the exact
+// offline optimum, and report competitive metrics.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "analysis/augmenting.hpp"
+#include "core/metrics.hpp"
+#include "core/simulator.hpp"
+
+namespace reqsched {
+
+struct RunResult {
+  std::string strategy;
+  std::string workload;
+  Metrics metrics;
+  std::int64_t optimum = 0;
+  /// OPT / online fulfilled (1.0 when nothing was injected). This is the
+  /// raw finite-run ratio; startup transients add an additive constant that
+  /// competitive analysis allows — see pairwise_slope_ratio.
+  double ratio = 1.0;
+  PathStats paths;
+  /// ScriptedStrategy rule violations (0 for plain strategies).
+  std::int64_t violations = 0;
+};
+
+struct RunOptions {
+  bool analyze_paths = true;
+  std::int64_t max_rounds = 1'000'000;
+};
+
+/// Runs the workload to completion under the strategy and solves the
+/// realized trace offline.
+RunResult run_experiment(IWorkload& workload, IStrategy& strategy,
+                         const RunOptions& options = {});
+
+/// The additive-constant-free per-phase ratio: with a short and a long run
+/// of the same periodic instance, (OPT_long - OPT_short) /
+/// (ALG_long - ALG_short) cancels startup effects exactly and converges to
+/// the theorem's bound.
+double pairwise_slope_ratio(const RunResult& short_run,
+                            const RunResult& long_run);
+
+}  // namespace reqsched

@@ -1,0 +1,128 @@
+#include "analysis/overload.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+OverloadStats analyze_overload(
+    const Trace& trace,
+    const std::vector<std::pair<RequestId, SlotRef>>& executions) {
+  OverloadStats stats;
+  if (trace.empty()) return stats;
+  const std::int32_t n = trace.config().n;
+  const std::int32_t d = trace.config().d;
+
+  std::vector<SlotRef> executed_at(static_cast<std::size_t>(trace.size()),
+                                   kNoSlot);
+  for (const auto& [id, slot] : executions) {
+    executed_at[static_cast<std::size_t>(id)] = slot;
+  }
+
+  // Group requests by injection round.
+  std::map<Round, std::vector<RequestId>> by_round;
+  for (const Request& r : trace.requests()) {
+    by_round[r.arrival].push_back(r.id);
+  }
+
+  // Per overloaded round: closure of the overloaded resource set.
+  std::vector<std::set<Round>> overloaded_group_rounds(
+      static_cast<std::size_t>(n));  // per resource: group start rounds
+  std::map<Round, std::vector<char>> overloaded_sets;
+
+  for (const auto& [t, ids] : by_round) {
+    std::vector<char> in_set(static_cast<std::size_t>(n), 0);
+    bool any_failed = false;
+    for (const RequestId id : ids) {
+      const Request& r = trace.request(id);
+      if (executed_at[static_cast<std::size_t>(id)].valid()) continue;
+      any_failed = true;
+      ++stats.failed_requests;
+      in_set[static_cast<std::size_t>(r.first)] = 1;
+      if (r.second != kNoResource) {
+        in_set[static_cast<std::size_t>(r.second)] = 1;
+      }
+    }
+    if (!any_failed) continue;
+    ++stats.overloaded_rounds;
+
+    // Close under alternatives of round-t requests scheduled inside the set.
+    for (bool grew = true; grew;) {
+      grew = false;
+      for (const RequestId id : ids) {
+        const Request& r = trace.request(id);
+        const SlotRef slot = executed_at[static_cast<std::size_t>(id)];
+        if (!slot.valid() || !in_set[static_cast<std::size_t>(slot.resource)]) {
+          continue;
+        }
+        for (const ResourceId alt : {r.first, r.second}) {
+          if (alt != kNoResource && !in_set[static_cast<std::size_t>(alt)]) {
+            in_set[static_cast<std::size_t>(alt)] = 1;
+            grew = true;
+          }
+        }
+      }
+    }
+    for (ResourceId i = 0; i < n; ++i) {
+      if (in_set[static_cast<std::size_t>(i)]) {
+        overloaded_group_rounds[static_cast<std::size_t>(i)].insert(t);
+        stats.groups.push_back(OverloadedGroup{i, t, t + d - 1});
+      }
+    }
+    overloaded_sets.emplace(t, std::move(in_set));
+  }
+
+  // Overloaded executions: round-t requests executed inside S_t.
+  for (const Request& r : trace.requests()) {
+    const SlotRef slot = executed_at[static_cast<std::size_t>(r.id)];
+    if (!slot.valid()) continue;
+    const auto it = overloaded_sets.find(r.arrival);
+    if (it != overloaded_sets.end() &&
+        it->second[static_cast<std::size_t>(slot.resource)]) {
+      ++stats.overloaded_executions;
+    } else {
+      ++stats.normal_executions;
+    }
+  }
+
+  // Per resource: merge group spans [t, t+d-1] into maximal intervals.
+  Round total_length = 0;
+  for (ResourceId i = 0; i < n; ++i) {
+    const auto& starts = overloaded_group_rounds[static_cast<std::size_t>(i)];
+    Round open_from = kNoRound;
+    Round open_to = kNoRound;
+    for (const Round t : starts) {
+      if (open_from == kNoRound) {
+        open_from = t;
+        open_to = t + d - 1;
+      } else if (t <= open_to + 1) {
+        open_to = std::max(open_to, t + d - 1);
+      } else {
+        stats.intervals.push_back(OverloadedInterval{i, open_from, open_to});
+        total_length += open_to - open_from + 1;
+        open_from = t;
+        open_to = t + d - 1;
+      }
+    }
+    if (open_from != kNoRound) {
+      stats.intervals.push_back(OverloadedInterval{i, open_from, open_to});
+      total_length += open_to - open_from + 1;
+    }
+  }
+  if (!stats.intervals.empty()) {
+    stats.mean_interval_length =
+        static_cast<double>(total_length) /
+        static_cast<double>(stats.intervals.size());
+  }
+  if (stats.overloaded_executions > 0) {
+    stats.failures_per_overloaded_execution =
+        static_cast<double>(stats.failed_requests) /
+        static_cast<double>(stats.overloaded_executions);
+  }
+  return stats;
+}
+
+}  // namespace reqsched

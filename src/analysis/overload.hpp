@@ -1,0 +1,60 @@
+// The overload machinery of the Theorem 3.4/3.6 proofs, made measurable.
+//
+// For every injection round t that leaves failed requests, the proofs build
+// the overloaded resource set S_t: all alternatives of the failed requests,
+// closed under "alternatives of requests injected at t that are scheduled at
+// resources already in S_t". Every slot row {s_{i,t..t+d-1}} with i in S_t
+// is an overloaded group; per resource, maximal unions of consecutive groups
+// are overloaded intervals; executions of round-t requests inside S_t are
+// overloaded executions, everything else is normal.
+//
+// The charging arguments bound how many failed requests an interval can
+// host per scheduled request. This module computes the same objects from a
+// finished run, so the proof's quantities become observable statistics.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "core/types.hpp"
+
+namespace reqsched {
+
+struct OverloadedGroup {
+  ResourceId resource = kNoResource;
+  Round from = kNoRound;  ///< first slot round (== injection round t)
+  Round to = kNoRound;    ///< last slot round (t + d - 1)
+};
+
+struct OverloadedInterval {
+  ResourceId resource = kNoResource;
+  Round from = kNoRound;
+  Round to = kNoRound;
+
+  Round length() const { return to - from + 1; }
+};
+
+struct OverloadStats {
+  std::int64_t failed_requests = 0;
+  /// Rounds whose failures spawned an overloaded resource set.
+  std::int64_t overloaded_rounds = 0;
+  std::vector<OverloadedGroup> groups;
+  std::vector<OverloadedInterval> intervals;
+  std::int64_t overloaded_executions = 0;
+  std::int64_t normal_executions = 0;
+  double mean_interval_length = 0.0;
+  /// Failed requests per overloaded execution — the quantity the charging
+  /// arguments bound (e.g. (d-1)/d per scheduled request for A_fix).
+  double failures_per_overloaded_execution = 0.0;
+};
+
+/// Computes the overload statistics of a finished run. `executions` are the
+/// (request, slot) pairs the online strategy fulfilled
+/// (Simulator::online_matching()); failures are inferred from the trace.
+OverloadStats analyze_overload(
+    const Trace& trace,
+    const std::vector<std::pair<RequestId, SlotRef>>& executions);
+
+}  // namespace reqsched

@@ -1,0 +1,56 @@
+#include "analysis/registry.hpp"
+
+#include "local/local_eager.hpp"
+#include "local/local_fix.hpp"
+#include "strategies/edf.hpp"
+#include "strategies/global.hpp"
+#include "strategies/randomized.hpp"
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+std::vector<std::string> global_strategy_names() {
+  return {"A_fix", "A_current", "A_fix_balance", "A_eager", "A_balance"};
+}
+
+std::vector<std::string> local_strategy_names() {
+  return {"A_local_fix", "A_local_eager"};
+}
+
+std::vector<std::string> all_strategy_names() {
+  std::vector<std::string> names = global_strategy_names();
+  for (auto& name : local_strategy_names()) names.push_back(name);
+  names.push_back("EDF_two_choice");
+  names.push_back("EDF_two_choice_cancel");
+  names.push_back("EDF_single");
+  names.push_back("A_local_eager_merged");
+  names.push_back("A_current_randomized");
+  names.push_back("A_fix_randomized");
+  return names;
+}
+
+std::unique_ptr<IStrategy> make_strategy(const std::string& name) {
+  if (name == "A_fix") return std::make_unique<AFix>();
+  if (name == "A_current") return std::make_unique<ACurrent>();
+  if (name == "A_fix_balance") return std::make_unique<AFixBalance>();
+  if (name == "A_eager") return std::make_unique<AEager>();
+  if (name == "A_balance") return std::make_unique<ABalance>();
+  if (name == "A_local_fix") return std::make_unique<ALocalFix>();
+  if (name == "A_local_eager") return std::make_unique<ALocalEager>();
+  if (name == "A_local_eager_merged") {
+    return std::make_unique<ALocalEager>(true);
+  }
+  if (name == "EDF_single") return std::make_unique<EdfSingle>();
+  if (name == "EDF_two_choice") return std::make_unique<EdfTwoChoice>(false);
+  if (name == "EDF_two_choice_cancel") {
+    return std::make_unique<EdfTwoChoice>(true);
+  }
+  if (name == "A_current_randomized") {
+    return std::make_unique<RandomizedCurrent>();
+  }
+  if (name == "A_fix_randomized") return std::make_unique<RandomizedFix>();
+  REQSCHED_REQUIRE_MSG(false, "unknown strategy: " << name);
+  return nullptr;
+}
+
+}  // namespace reqsched

@@ -1,0 +1,26 @@
+// Strategy factory by name — one place the examples, tests and benches use
+// to enumerate everything the library implements.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/strategy.hpp"
+
+namespace reqsched {
+
+/// All global two-choice strategies (the Table 1 rows): A_fix, A_current,
+/// A_fix_balance, A_eager, A_balance.
+std::vector<std::string> global_strategy_names();
+
+/// The local strategies: A_local_fix, A_local_eager.
+std::vector<std::string> local_strategy_names();
+
+/// Everything, including the EDF baselines.
+std::vector<std::string> all_strategy_names();
+
+/// Creates a strategy by its registered name; throws on unknown names.
+std::unique_ptr<IStrategy> make_strategy(const std::string& name);
+
+}  // namespace reqsched

@@ -1,0 +1,83 @@
+#include "analysis/sweep.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "analysis/registry.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace reqsched {
+
+std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
+  REQSCHED_REQUIRE(spec.make_workload != nullptr);
+  REQSCHED_REQUIRE(!spec.strategies.empty());
+
+  std::vector<SweepPoint> points;
+  for (const auto& strategy : spec.strategies) {
+    for (const auto n : spec.ns) {
+      for (const auto d : spec.ds) {
+        for (const auto seed : spec.seeds) {
+          SweepPoint point;
+          point.strategy = strategy;
+          point.n = n;
+          point.d = d;
+          point.seed = seed;
+          points.push_back(std::move(point));
+        }
+      }
+    }
+  }
+
+  ThreadPool pool(spec.threads);
+  parallel_for(pool, points.size(), [&](std::size_t i) {
+    SweepPoint& point = points[i];
+    try {
+      const auto workload = spec.make_workload(point.n, point.d, point.seed);
+      auto strategy = make_strategy(point.strategy);
+      point.result = run_experiment(*workload, *strategy,
+                                    {.analyze_paths = spec.analyze_paths});
+    } catch (const ContractViolation& e) {
+      point.failed = true;
+      point.error = e.what();
+    }
+  });
+  return points;
+}
+
+void write_sweep_csv(std::ostream& os, std::span<const SweepPoint> points) {
+  CsvWriter csv(os, {"strategy", "n", "d", "seed", "workload", "injected",
+                     "fulfilled", "expired", "optimum", "ratio",
+                     "violations", "failed"});
+  for (const SweepPoint& p : points) {
+    csv.add_row({p.strategy, std::to_string(p.n), std::to_string(p.d),
+                 std::to_string(p.seed), p.result.workload,
+                 std::to_string(p.result.metrics.injected),
+                 std::to_string(p.result.metrics.fulfilled),
+                 std::to_string(p.result.metrics.expired),
+                 std::to_string(p.result.optimum),
+                 AsciiTable::fmt(p.result.ratio, 6),
+                 std::to_string(p.result.violations),
+                 p.failed ? "1" : "0"});
+  }
+}
+
+SweepSummary summarize_sweep(std::span<const SweepPoint> points) {
+  SweepSummary summary;
+  double sum = 0.0;
+  for (const SweepPoint& p : points) {
+    ++summary.points;
+    if (p.failed) {
+      ++summary.failures;
+      continue;
+    }
+    sum += p.result.ratio;
+    summary.max_ratio = std::max(summary.max_ratio, p.result.ratio);
+  }
+  const auto successes = summary.points - summary.failures;
+  summary.mean_ratio =
+      successes > 0 ? sum / static_cast<double>(successes) : 1.0;
+  return summary;
+}
+
+}  // namespace reqsched

@@ -1,0 +1,60 @@
+// Parameter-sweep driver: run a (strategy x n x d x seed) grid across a
+// thread pool, collect RunResults, and export CSV. Per-point simulations are
+// independent, so the sweep parallelizes embarrassingly; per-point PRNG
+// seeds keep results identical at any thread count.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/harness.hpp"
+#include "core/workload.hpp"
+
+namespace reqsched {
+
+struct SweepPoint {
+  std::string strategy;
+  std::int32_t n = 0;
+  std::int32_t d = 0;
+  std::uint64_t seed = 0;
+  RunResult result;
+  bool failed = false;
+  std::string error;  ///< contract-violation text when failed
+};
+
+struct SweepSpec {
+  std::vector<std::string> strategies;
+  /// Factory for the workload at one grid point.
+  std::function<std::unique_ptr<IWorkload>(std::int32_t n, std::int32_t d,
+                                           std::uint64_t seed)>
+      make_workload;
+  std::vector<std::int32_t> ns{8};
+  std::vector<std::int32_t> ds{4};
+  std::vector<std::uint64_t> seeds{1};
+  bool analyze_paths = false;
+  /// 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+/// Runs the whole grid; the returned points are in deterministic grid order
+/// (strategy-major), independent of scheduling.
+std::vector<SweepPoint> run_sweep(const SweepSpec& spec);
+
+/// One CSV row per point: strategy,n,d,seed,workload,injected,fulfilled,
+/// expired,optimum,ratio,violations,failed.
+void write_sweep_csv(std::ostream& os, std::span<const SweepPoint> points);
+
+struct SweepSummary {
+  std::int64_t points = 0;
+  std::int64_t failures = 0;
+  double mean_ratio = 1.0;
+  double max_ratio = 1.0;
+};
+
+SweepSummary summarize_sweep(std::span<const SweepPoint> points);
+
+}  // namespace reqsched

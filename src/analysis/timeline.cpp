@@ -1,0 +1,59 @@
+#include "analysis/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+namespace {
+char id_glyph(RequestId id) {
+  static const char kGlyphs[] =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  return kGlyphs[static_cast<std::size_t>(id % 62)];
+}
+}  // namespace
+
+std::string render_timeline(
+    const Trace& trace,
+    const std::vector<std::pair<RequestId, SlotRef>>& executions,
+    const TimelineOptions& options) {
+  const std::int32_t n = trace.config().n;
+  const Round last =
+      options.to >= 0 ? options.to
+                      : (trace.empty() ? 0 : trace.last_useful_round());
+  REQSCHED_REQUIRE(options.from >= 0 && options.from <= last);
+  const auto columns = static_cast<std::size_t>(last - options.from + 1);
+
+  std::vector<std::string> rows(static_cast<std::size_t>(n),
+                                std::string(columns, '.'));
+  for (const auto& [id, slot] : executions) {
+    if (slot.round < options.from || slot.round > last) continue;
+    REQSCHED_REQUIRE(slot.resource >= 0 && slot.resource < n);
+    rows[static_cast<std::size_t>(slot.resource)]
+        [static_cast<std::size_t>(slot.round - options.from)] =
+            options.show_ids ? id_glyph(id) : '#';
+  }
+
+  std::ostringstream os;
+  // Round ruler (tens digit, then ones digit).
+  os << "      ";
+  for (std::size_t c = 0; c < columns; ++c) {
+    const Round round = options.from + static_cast<Round>(c);
+    os << (round % 10 == 0 ? static_cast<char>('0' + (round / 10) % 10) : ' ');
+  }
+  os << "\n      ";
+  for (std::size_t c = 0; c < columns; ++c) {
+    os << static_cast<char>('0' + (options.from + static_cast<Round>(c)) % 10);
+  }
+  os << '\n';
+  for (std::int32_t i = 0; i < n; ++i) {
+    os << 'S' << i;
+    for (std::size_t pad = std::to_string(i).size(); pad < 4; ++pad) os << ' ';
+    os << ' ' << rows[static_cast<std::size_t>(i)] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace reqsched

@@ -1,0 +1,28 @@
+// ASCII schedule timelines: resources x rounds with the executed request in
+// each cell — the fastest way to SEE an adversarial construction work.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "core/types.hpp"
+
+namespace reqsched {
+
+struct TimelineOptions {
+  Round from = 0;
+  Round to = -1;  ///< inclusive; -1 = trace.last_useful_round()
+  /// Label cells by request id modulo 62 (0-9a-zA-Z); '.' = idle slot.
+  bool show_ids = true;
+};
+
+/// Renders the executed schedule (request, slot) pairs as a grid:
+/// one line per resource, one column per round.
+std::string render_timeline(
+    const Trace& trace,
+    const std::vector<std::pair<RequestId, SlotRef>>& executions,
+    const TimelineOptions& options = {});
+
+}  // namespace reqsched

@@ -1,0 +1,73 @@
+#include "analysis/timeseries.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace reqsched {
+
+TimeSeriesProbe::TimeSeriesProbe(std::unique_ptr<IStrategy> inner)
+    : inner_(std::move(inner)) {
+  REQSCHED_REQUIRE(inner_ != nullptr);
+}
+
+void TimeSeriesProbe::reset(const ProblemConfig& config) {
+  inner_->reset(config);
+  samples_.clear();
+}
+
+void TimeSeriesProbe::on_round(Simulator& sim) {
+  inner_->on_round(sim);
+
+  RoundSample sample;
+  sample.round = sim.now();
+  sample.injected = static_cast<std::int64_t>(sim.injected_now().size());
+  sample.pending = static_cast<std::int64_t>(sim.alive().size());
+  sample.booked = sim.schedule().booked_count();
+  std::int64_t executing = 0;
+  for (ResourceId i = 0; i < sim.config().n; ++i) {
+    if (!sim.schedule().is_free({i, sim.now()})) ++executing;
+  }
+  sample.executed = executing;
+  sample.idle = sim.config().n - executing;
+  for (const RequestId id : sim.alive()) {
+    const Round slack = sim.request(id).deadline - sim.now();
+    if (sample.tightest_slack < 0 || slack < sample.tightest_slack) {
+      sample.tightest_slack = slack;
+    }
+  }
+  samples_.push_back(sample);
+}
+
+void write_timeseries_csv(std::ostream& os,
+                          const std::vector<RoundSample>& samples) {
+  CsvWriter csv(os, {"round", "injected", "executed", "pending", "booked",
+                     "idle", "tightest_slack"});
+  for (const RoundSample& s : samples) {
+    csv.add_row({std::to_string(s.round), std::to_string(s.injected),
+                 std::to_string(s.executed), std::to_string(s.pending),
+                 std::to_string(s.booked), std::to_string(s.idle),
+                 std::to_string(s.tightest_slack)});
+  }
+}
+
+TimeSeriesSummary summarize_timeseries(const std::vector<RoundSample>& samples,
+                                       std::int32_t n) {
+  TimeSeriesSummary summary;
+  summary.rounds = static_cast<std::int64_t>(samples.size());
+  if (samples.empty() || n <= 0) return summary;
+  double executed = 0;
+  double pending = 0;
+  for (const RoundSample& s : samples) {
+    executed += static_cast<double>(s.executed);
+    pending += static_cast<double>(s.pending);
+    summary.peak_pending = std::max(summary.peak_pending, s.pending);
+  }
+  const auto rounds = static_cast<double>(samples.size());
+  summary.mean_utilization = executed / (rounds * static_cast<double>(n));
+  summary.mean_pending = pending / rounds;
+  return summary;
+}
+
+}  // namespace reqsched

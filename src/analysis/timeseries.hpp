@@ -1,0 +1,60 @@
+// Per-round time series: what a capacity planner actually looks at.
+//
+// Wraps any strategy and records, for every round, the injected / executed
+// / pending / booked counts and the backlog's tightest deadline slack.
+// Exports CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "core/strategy.hpp"
+
+namespace reqsched {
+
+struct RoundSample {
+  Round round = 0;
+  std::int64_t injected = 0;   ///< requests that arrived this round
+  std::int64_t executed = 0;   ///< requests fulfilled this round
+  std::int64_t pending = 0;    ///< alive after the strategy step
+  std::int64_t booked = 0;     ///< bookings held in the window
+  std::int64_t idle = 0;       ///< resources idle this round
+  /// Minimum (deadline - round) over pending requests; -1 when none.
+  Round tightest_slack = -1;
+};
+
+/// Strategy decorator that samples the simulator once per round after the
+/// inner strategy ran (i.e. what the upcoming execution will see).
+class TimeSeriesProbe final : public IStrategy {
+ public:
+  explicit TimeSeriesProbe(std::unique_ptr<IStrategy> inner);
+
+  std::string name() const override { return inner_->name(); }
+  void reset(const ProblemConfig& config) override;
+  void on_round(Simulator& sim) override;
+
+  const std::vector<RoundSample>& samples() const { return samples_; }
+
+ private:
+  std::unique_ptr<IStrategy> inner_;
+  std::vector<RoundSample> samples_;
+};
+
+/// CSV: round,injected,executed,pending,booked,idle,tightest_slack.
+void write_timeseries_csv(std::ostream& os,
+                          const std::vector<RoundSample>& samples);
+
+/// Aggregates useful for quick reporting.
+struct TimeSeriesSummary {
+  double mean_utilization = 0.0;  ///< executed / n per round
+  double mean_pending = 0.0;
+  std::int64_t peak_pending = 0;
+  std::int64_t rounds = 0;
+};
+
+TimeSeriesSummary summarize_timeseries(const std::vector<RoundSample>& samples,
+                                       std::int32_t n);
+
+}  // namespace reqsched

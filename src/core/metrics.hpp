@@ -1,0 +1,43 @@
+// Run metrics collected by the simulator.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace reqsched {
+
+struct Metrics {
+  std::int64_t rounds = 0;
+  std::int64_t injected = 0;
+  std::int64_t fulfilled = 0;
+  std::int64_t expired = 0;
+  /// Rounds a resource burned serving an already-fulfilled duplicate copy
+  /// (only the independent-copy EDF strategy of Observation 3.2 does this).
+  std::int64_t wasted_executions = 0;
+  /// Schedule edits performed by the strategy.
+  std::int64_t assignments = 0;
+  std::int64_t unassignments = 0;
+  /// Assignments of requests that had been booked before (rescheduling);
+  /// zero for the A_fix family by construction.
+  std::int64_t reassignments = 0;
+  /// Communication rounds consumed (local strategies only).
+  std::int64_t communication_rounds = 0;
+  /// Messages sent over the network (local strategies only).
+  std::int64_t messages = 0;
+
+  double fulfilled_fraction() const {
+    return injected == 0
+               ? 1.0
+               : static_cast<double>(fulfilled) / static_cast<double>(injected);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Metrics& m) {
+    return os << "rounds=" << m.rounds << " injected=" << m.injected
+              << " fulfilled=" << m.fulfilled << " expired=" << m.expired
+              << " wasted=" << m.wasted_executions
+              << " (re)assignments=" << m.assignments << '/'
+              << m.reassignments;
+  }
+};
+
+}  // namespace reqsched

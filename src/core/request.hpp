@@ -1,0 +1,58 @@
+// Request representation.
+#pragma once
+
+#include <array>
+#include <ostream>
+
+#include "core/types.hpp"
+
+namespace reqsched {
+
+/// Workload-side description of a request, before the simulator assigns an
+/// id and arrival round.
+struct RequestSpec {
+  ResourceId first = kNoResource;   ///< first alternative resource
+  ResourceId second = kNoResource;  ///< second alternative (kNoResource for
+                                    ///< single-alternative EDF workloads)
+  /// Deadline window override in rounds; <= 0 means "use the instance d".
+  /// The paper's core model uses a uniform d, but Observations 3.1/3.2 note
+  /// the EDF results extend to heterogeneous deadlines, so we carry it.
+  std::int32_t window = 0;
+};
+
+/// A realized request in the trace.
+struct Request {
+  RequestId id = kNoRequest;
+  Round arrival = kNoRound;
+  /// Last round (inclusive) in which the request may be executed:
+  /// arrival + window - 1.
+  Round deadline = kNoRound;
+  ResourceId first = kNoResource;
+  ResourceId second = kNoResource;  ///< kNoResource for single-alternative
+
+  int alternative_count() const { return second == kNoResource ? 1 : 2; }
+
+  bool allows_resource(ResourceId r) const {
+    return r == first || (second != kNoResource && r == second);
+  }
+
+  /// The other alternative, given one of them (requires two alternatives).
+  ResourceId other_alternative(ResourceId r) const {
+    REQSCHED_REQUIRE(alternative_count() == 2 && allows_resource(r));
+    return r == first ? second : first;
+  }
+
+  bool allows_slot(const SlotRef& slot) const {
+    return allows_resource(slot.resource) && slot.round >= arrival &&
+           slot.round <= deadline;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Request& r) {
+    os << "r" << r.id << "(t=" << r.arrival << ",dl=" << r.deadline << ",S"
+       << r.first;
+    if (r.second != kNoResource) os << "|S" << r.second;
+    return os << ')';
+  }
+};
+
+}  // namespace reqsched

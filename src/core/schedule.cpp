@@ -1,0 +1,94 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+
+namespace reqsched {
+
+Schedule::Schedule(ProblemConfig config) : config_(config) {
+  config_.validate();
+  grid_.assign(static_cast<std::size_t>(config_.n) *
+                   static_cast<std::size_t>(config_.d),
+               kNoRequest);
+}
+
+RequestId Schedule::request_at(SlotRef slot) const {
+  REQSCHED_REQUIRE_MSG(slot.resource >= 0 && slot.resource < config_.n,
+                       "resource out of range: " << slot);
+  REQSCHED_REQUIRE_MSG(in_window(slot.round),
+                       "slot outside window [" << window_begin_ << ','
+                                               << window_end() << "): "
+                                               << slot);
+  return grid_[grid_index(slot)];
+}
+
+SlotRef Schedule::slot_of(RequestId id) const {
+  const auto it = slot_of_.find(id);
+  return it == slot_of_.end() ? kNoSlot : it->second;
+}
+
+void Schedule::assign(const Request& request, SlotRef slot) {
+  REQSCHED_REQUIRE_MSG(in_window(slot.round),
+                       "assign outside window: " << slot);
+  REQSCHED_REQUIRE_MSG(request.allows_slot(slot),
+                       request << " does not allow " << slot);
+  REQSCHED_REQUIRE_MSG(is_free(slot), "slot already booked: " << slot);
+  REQSCHED_REQUIRE_MSG(!is_scheduled(request.id),
+                       request << " is already booked at "
+                               << slot_of(request.id));
+  grid_[grid_index(slot)] = request.id;
+  slot_of_.emplace(request.id, slot);
+}
+
+void Schedule::unassign(RequestId id) {
+  const auto it = slot_of_.find(id);
+  REQSCHED_REQUIRE_MSG(it != slot_of_.end(), "request r" << id
+                                                         << " is not booked");
+  grid_[grid_index(it->second)] = kNoRequest;
+  slot_of_.erase(it);
+}
+
+std::int32_t Schedule::booked_in_round(Round round) const {
+  REQSCHED_REQUIRE(in_window(round));
+  std::int32_t count = 0;
+  for (ResourceId i = 0; i < config_.n; ++i) {
+    if (grid_[grid_index({i, round})] != kNoRequest) ++count;
+  }
+  return count;
+}
+
+std::vector<SlotRef> Schedule::free_slots_of(ResourceId resource) const {
+  std::vector<SlotRef> out;
+  for (Round t = window_begin_; t < window_end(); ++t) {
+    const SlotRef slot{resource, t};
+    if (grid_[grid_index(slot)] == kNoRequest) out.push_back(slot);
+  }
+  return out;
+}
+
+SlotRef Schedule::earliest_free_slot(ResourceId resource, Round from,
+                                     Round to) const {
+  const Round lo = std::max(from, window_begin_);
+  const Round hi = std::min(to, window_end() - 1);
+  for (Round t = lo; t <= hi; ++t) {
+    const SlotRef slot{resource, t};
+    if (grid_[grid_index(slot)] == kNoRequest) return slot;
+  }
+  return kNoSlot;
+}
+
+std::vector<RequestId> Schedule::advance() {
+  std::vector<RequestId> leftover;
+  for (ResourceId i = 0; i < config_.n; ++i) {
+    const SlotRef slot{i, window_begin_};
+    RequestId& cell = grid_[grid_index(slot)];
+    if (cell != kNoRequest) {
+      leftover.push_back(cell);
+      slot_of_.erase(cell);
+      cell = kNoRequest;
+    }
+  }
+  ++window_begin_;
+  return leftover;
+}
+
+}  // namespace reqsched

@@ -1,0 +1,83 @@
+// The online schedule: a sliding window of n x d time slots.
+//
+// At round t the window covers slots s_{i,t'} with t <= t' < t+d. Assigning
+// request r to slot (i, t') books resource i for round t'; when the simulator
+// executes round t it reads row t, fulfills the booked requests, and slides
+// the window forward.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/types.hpp"
+
+namespace reqsched {
+
+class Schedule {
+ public:
+  explicit Schedule(ProblemConfig config);
+
+  const ProblemConfig& config() const { return config_; }
+
+  /// First round of the current window (== the simulator's current round).
+  Round window_begin() const { return window_begin_; }
+  /// One past the last round of the window.
+  Round window_end() const { return window_begin_ + config_.d; }
+
+  bool in_window(Round round) const {
+    return round >= window_begin_ && round < window_end();
+  }
+
+  /// Request booked at `slot`, or kNoRequest.
+  RequestId request_at(SlotRef slot) const;
+
+  bool is_free(SlotRef slot) const { return request_at(slot) == kNoRequest; }
+
+  /// Slot the request is booked into, or kNoSlot.
+  SlotRef slot_of(RequestId id) const;
+
+  bool is_scheduled(RequestId id) const { return slot_of(id).valid(); }
+
+  /// Books `request` into `slot`. The slot must be free and inside the
+  /// window, the request unbooked, and the slot must be one of the request's
+  /// alternatives within its deadline.
+  void assign(const Request& request, SlotRef slot);
+
+  /// Removes the booking of `id` (must be booked).
+  void unassign(RequestId id);
+
+  /// Number of booked slots in round `round` of the window.
+  std::int32_t booked_in_round(Round round) const;
+
+  /// All free slots of `resource` within the window, earliest first.
+  std::vector<SlotRef> free_slots_of(ResourceId resource) const;
+
+  /// Earliest free slot of `resource` in [from, to] (window-clamped), or
+  /// kNoSlot.
+  SlotRef earliest_free_slot(ResourceId resource, Round from, Round to) const;
+
+  /// Clears row `window_begin()` and slides the window one round forward.
+  /// The caller must have consumed (executed) the row first; any requests
+  /// still booked there are unbooked and returned.
+  std::vector<RequestId> advance();
+
+  /// Total booked slots in the window.
+  std::int64_t booked_count() const {
+    return static_cast<std::int64_t>(slot_of_.size());
+  }
+
+ private:
+  std::size_t grid_index(SlotRef slot) const {
+    return static_cast<std::size_t>(slot.resource) *
+               static_cast<std::size_t>(config_.d) +
+           static_cast<std::size_t>(slot.round % config_.d);
+  }
+
+  ProblemConfig config_{};
+  Round window_begin_ = 0;
+  std::vector<RequestId> grid_;  ///< n*d ring buffer, kNoRequest when free
+  std::unordered_map<RequestId, SlotRef> slot_of_;
+};
+
+}  // namespace reqsched

@@ -1,0 +1,148 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+
+namespace reqsched {
+
+Simulator::Simulator(IWorkload& workload, IStrategy& strategy)
+    : config_(workload.config()),
+      workload_(workload),
+      strategy_(strategy),
+      trace_(config_),
+      schedule_(config_) {
+  config_.validate();
+  workload_.reset();
+  strategy_.reset(config_);
+}
+
+bool Simulator::finished() const {
+  return ran_any_round_ && alive_.empty() && workload_.exhausted(now());
+}
+
+const Metrics& Simulator::run(std::int64_t max_rounds) {
+  while (!finished()) {
+    REQSCHED_CHECK_MSG(metrics_.rounds < max_rounds,
+                       "simulation exceeded " << max_rounds << " rounds");
+    step();
+  }
+  return metrics_;
+}
+
+bool Simulator::step() {
+  if (finished()) return false;
+  expire_round_start();
+  inject();
+
+  in_strategy_ = true;
+  strategy_.on_round(*this);
+  in_strategy_ = false;
+  injected_now_.clear();
+
+  execute();
+  ++metrics_.rounds;
+  ran_any_round_ = true;
+  return true;
+}
+
+void Simulator::expire_round_start() {
+  const Round t = now();
+  auto out = alive_.begin();
+  for (const RequestId id : alive_) {
+    const Request& r = request(id);
+    if (r.deadline < t) {
+      REQSCHED_CHECK_MSG(!schedule_.is_scheduled(id),
+                         r << " expired while still booked at "
+                           << schedule_.slot_of(id));
+      status_[static_cast<std::size_t>(id)] = RequestStatus::kExpired;
+      ++metrics_.expired;
+    } else {
+      *out++ = id;
+    }
+  }
+  alive_.erase(out, alive_.end());
+}
+
+void Simulator::inject() {
+  const Round t = now();
+  const auto specs = workload_.generate(t, *this);
+  injected_now_.clear();
+  for (const RequestSpec& spec : specs) {
+    const RequestId id = trace_.add(t, spec);
+    REQSCHED_CHECK(static_cast<std::size_t>(id) == status_.size());
+    status_.push_back(RequestStatus::kPending);
+    fulfilled_slot_.push_back(kNoSlot);
+    alive_.push_back(id);
+    injected_now_.push_back(id);
+    ++metrics_.injected;
+  }
+}
+
+void Simulator::execute() {
+  const Round t = now();
+  for (ResourceId i = 0; i < config_.n; ++i) {
+    const RequestId id = schedule_.request_at({i, t});
+    if (id == kNoRequest) continue;
+    REQSCHED_CHECK(is_pending(id));
+    schedule_.unassign(id);
+    status_[static_cast<std::size_t>(id)] = RequestStatus::kFulfilled;
+    fulfilled_slot_[static_cast<std::size_t>(id)] = SlotRef{i, t};
+    ++metrics_.fulfilled;
+    alive_.erase(std::find(alive_.begin(), alive_.end(), id));
+  }
+  const auto leftover = schedule_.advance();
+  REQSCHED_CHECK_MSG(leftover.empty(),
+                     "schedule row survived execution unexpectedly");
+}
+
+std::vector<std::pair<RequestId, SlotRef>> Simulator::online_matching() const {
+  std::vector<std::pair<RequestId, SlotRef>> out;
+  for (RequestId id = 0; id < trace_.size(); ++id) {
+    const SlotRef slot = fulfilled_slot_[static_cast<std::size_t>(id)];
+    if (slot.valid()) out.emplace_back(id, slot);
+  }
+  return out;
+}
+
+void Simulator::assign(RequestId id, SlotRef slot) {
+  REQSCHED_REQUIRE_MSG(in_strategy_,
+                       "schedule edits are only allowed during on_round");
+  REQSCHED_REQUIRE_MSG(is_pending(id), "cannot book non-pending r" << id);
+  schedule_.assign(request(id), slot);
+  ++metrics_.assignments;
+}
+
+void Simulator::unassign(RequestId id) {
+  REQSCHED_REQUIRE_MSG(in_strategy_,
+                       "schedule edits are only allowed during on_round");
+  schedule_.unassign(id);
+  ++metrics_.unassignments;
+}
+
+void Simulator::move(RequestId id, SlotRef slot) {
+  REQSCHED_REQUIRE_MSG(in_strategy_,
+                       "schedule edits are only allowed during on_round");
+  schedule_.unassign(id);
+  schedule_.assign(request(id), slot);
+  ++metrics_.reassignments;
+}
+
+void Simulator::note_reassignments(std::int64_t count) {
+  REQSCHED_REQUIRE(in_strategy_ && count >= 0);
+  metrics_.reassignments += count;
+}
+
+void Simulator::record_wasted_execution(ResourceId resource) {
+  REQSCHED_REQUIRE(in_strategy_);
+  REQSCHED_REQUIRE(resource >= 0 && resource < config_.n);
+  REQSCHED_REQUIRE_MSG(schedule_.is_free({resource, now()}),
+                       "a wasted execution burns an idle slot");
+  ++metrics_.wasted_executions;
+}
+
+void Simulator::record_communication(std::int64_t rounds,
+                                     std::int64_t messages) {
+  metrics_.communication_rounds += rounds;
+  metrics_.messages += messages;
+}
+
+}  // namespace reqsched

@@ -1,0 +1,32 @@
+// Online strategy interface.
+//
+// Once per round, after expiry and injection and before execution, the
+// simulator hands control to the strategy, which edits the schedule through
+// the simulator's assign/unassign API. The paper's per-strategy rules
+// (no rescheduling, balance objectives, ...) are behavioural properties of
+// concrete strategies, enforced by the strategy implementations themselves
+// and verified independently by the rule monitors in analysis/.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace reqsched {
+
+class Simulator;
+
+class IStrategy {
+ public:
+  virtual ~IStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called when a simulator (re)starts; strategies drop all per-run state.
+  virtual void reset(const ProblemConfig& config) { (void)config; }
+
+  /// One scheduling step at sim.now(). May call sim.assign()/sim.unassign().
+  virtual void on_round(Simulator& sim) = 0;
+};
+
+}  // namespace reqsched

@@ -1,0 +1,67 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+namespace reqsched {
+
+RequestId Trace::add(Round arrival, const RequestSpec& spec) {
+  REQSCHED_REQUIRE_MSG(arrival >= 0, "arrival rounds start at 0");
+  REQSCHED_REQUIRE_MSG(
+      requests_.empty() || arrival >= requests_.back().arrival,
+      "requests must be added in arrival order");
+  REQSCHED_REQUIRE_MSG(spec.first >= 0 && spec.first < config_.n,
+                       "first alternative out of range: S" << spec.first);
+  REQSCHED_REQUIRE_MSG(
+      spec.second == kNoResource ||
+          (spec.second >= 0 && spec.second < config_.n),
+      "second alternative out of range: S" << spec.second);
+  REQSCHED_REQUIRE_MSG(spec.second != spec.first,
+                       "the two alternatives must be distinct resources");
+
+  const std::int32_t window = spec.window > 0 ? spec.window : config_.d;
+  REQSCHED_REQUIRE_MSG(window <= config_.d,
+                       "per-request window may not exceed the instance d");
+
+  Request r;
+  r.id = static_cast<RequestId>(requests_.size());
+  r.arrival = arrival;
+  r.deadline = arrival + window - 1;
+  r.first = spec.first;
+  r.second = spec.second;
+  requests_.push_back(r);
+  last_useful_round_ = std::max(last_useful_round_, r.deadline);
+  return r.id;
+}
+
+void Trace::save(std::ostream& os) const {
+  os << "reqsched-trace " << config_.n << ' ' << config_.d << ' '
+     << requests_.size() << '\n';
+  for (const auto& r : requests_) {
+    os << r.arrival << ' ' << r.first << ' ' << r.second << ' ' << r.deadline
+       << '\n';
+  }
+}
+
+Trace Trace::load(std::istream& is) {
+  std::string magic;
+  ProblemConfig config;
+  std::size_t count = 0;
+  is >> magic >> config.n >> config.d >> count;
+  REQSCHED_CHECK_MSG(static_cast<bool>(is) && magic == "reqsched-trace",
+                     "not a reqsched trace stream");
+  Trace trace(config);
+  for (std::size_t i = 0; i < count; ++i) {
+    Round arrival = kNoRound;
+    Round deadline = kNoRound;
+    RequestSpec spec;
+    is >> arrival >> spec.first >> spec.second >> deadline;
+    REQSCHED_CHECK_MSG(static_cast<bool>(is), "truncated trace stream");
+    spec.window = static_cast<std::int32_t>(deadline - arrival + 1);
+    trace.add(arrival, spec);
+  }
+  return trace;
+}
+
+}  // namespace reqsched

@@ -1,0 +1,53 @@
+// A realized request sequence (trace), recorded by the simulator and consumed
+// by the offline optimum and by trace (de)serialization.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/types.hpp"
+
+namespace reqsched {
+
+/// Immutable-after-run record of everything the adversary injected.
+/// Requests are stored in injection order (arrival, then per-round order),
+/// which is also RequestId order.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(ProblemConfig config) : config_(config) { config_.validate(); }
+
+  const ProblemConfig& config() const { return config_; }
+
+  /// Appends a request arriving at `arrival`; returns its id.
+  /// Arrivals must be non-decreasing.
+  RequestId add(Round arrival, const RequestSpec& spec);
+
+  const Request& request(RequestId id) const {
+    REQSCHED_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < requests_.size());
+    return requests_[static_cast<std::size_t>(id)];
+  }
+
+  std::span<const Request> requests() const { return requests_; }
+
+  std::int64_t size() const { return static_cast<std::int64_t>(requests_.size()); }
+  bool empty() const { return requests_.empty(); }
+
+  /// Last round in which any request may still be executed (kNoRound if empty).
+  Round last_useful_round() const { return last_useful_round_; }
+
+  /// Plain-text serialization: header line `reqsched-trace n d count`,
+  /// then one `arrival first second deadline` line per request.
+  void save(std::ostream& os) const;
+  static Trace load(std::istream& is);
+
+ private:
+  ProblemConfig config_{};
+  std::vector<Request> requests_;
+  Round last_useful_round_ = kNoRound;
+};
+
+}  // namespace reqsched

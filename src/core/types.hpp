@@ -1,0 +1,82 @@
+// Fundamental identifiers and configuration for the scheduling model.
+//
+// Model recap (Berenbrink/Riedel/Scheideler, SPAA 1999): n resources work in
+// synchronized rounds; every resource fulfills at most one request per round;
+// each request names two distinct alternative resources and must be fulfilled
+// within d rounds of its arrival or it is cancelled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+/// Absolute round number (time step), starting at 0.
+using Round = std::int64_t;
+
+/// Resource index in [0, n).
+using ResourceId = std::int32_t;
+
+/// Request index into the realized trace, assigned in injection order.
+using RequestId = std::int64_t;
+
+inline constexpr Round kNoRound = -1;
+inline constexpr ResourceId kNoResource = -1;
+inline constexpr RequestId kNoRequest = -1;
+
+/// Static problem parameters.
+struct ProblemConfig {
+  std::int32_t n = 1;  ///< number of resources
+  std::int32_t d = 1;  ///< deadline window length (rounds, inclusive)
+
+  void validate() const {
+    REQSCHED_CHECK_MSG(n >= 1, "need at least one resource");
+    REQSCHED_CHECK_MSG(d >= 1, "deadline window must span at least one round");
+  }
+};
+
+/// One time slot: resource `resource` during round `round`.
+struct SlotRef {
+  ResourceId resource = kNoResource;
+  Round round = kNoRound;
+
+  friend bool operator==(const SlotRef&, const SlotRef&) = default;
+
+  bool valid() const { return resource != kNoResource && round != kNoRound; }
+
+  friend std::ostream& operator<<(std::ostream& os, const SlotRef& s) {
+    return os << "s(" << s.resource << ',' << s.round << ')';
+  }
+};
+
+inline constexpr SlotRef kNoSlot{};
+
+/// Lifecycle of a request inside the simulator.
+enum class RequestStatus : std::uint8_t {
+  kPending,    ///< alive, not yet fulfilled
+  kFulfilled,  ///< executed before its deadline
+  kExpired,    ///< deadline passed unfulfilled
+};
+
+inline const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kPending: return "pending";
+    case RequestStatus::kFulfilled: return "fulfilled";
+    case RequestStatus::kExpired: return "expired";
+  }
+  return "?";
+}
+
+}  // namespace reqsched
+
+template <>
+struct std::hash<reqsched::SlotRef> {
+  std::size_t operator()(const reqsched::SlotRef& s) const noexcept {
+    const auto h1 = std::hash<reqsched::ResourceId>{}(s.resource);
+    const auto h2 = std::hash<reqsched::Round>{}(s.round);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

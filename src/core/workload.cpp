@@ -1,0 +1,34 @@
+#include "core/workload.hpp"
+
+namespace reqsched {
+
+TraceWorkload::TraceWorkload(const Trace& trace) : trace_(trace) {}
+
+ProblemConfig TraceWorkload::config() const { return trace_.config(); }
+
+std::vector<RequestSpec> TraceWorkload::generate(Round t,
+                                                 const Simulator& sim) {
+  (void)sim;
+  std::vector<RequestSpec> out;
+  const auto requests = trace_.requests();
+  while (cursor_ < requests.size() && requests[cursor_].arrival == t) {
+    const Request& r = requests[cursor_];
+    RequestSpec spec;
+    spec.first = r.first;
+    spec.second = r.second;
+    spec.window = static_cast<std::int32_t>(r.deadline - r.arrival + 1);
+    out.push_back(spec);
+    ++cursor_;
+  }
+  REQSCHED_CHECK_MSG(cursor_ >= requests.size() ||
+                         requests[cursor_].arrival > t,
+                     "trace requests visited out of order");
+  return out;
+}
+
+bool TraceWorkload::exhausted(Round t) const {
+  (void)t;
+  return cursor_ >= trace_.requests().size();
+}
+
+}  // namespace reqsched

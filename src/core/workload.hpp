@@ -1,0 +1,58 @@
+// Workload (adversary) interface.
+//
+// The paper's adversary chooses, per round, how many requests arrive and
+// their alternative resources. Adaptive adversaries (Theorem 2.6) may observe
+// the online algorithm's public state, which they receive as a read-only view
+// of the running simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/trace.hpp"
+#include "core/types.hpp"
+
+namespace reqsched {
+
+class Simulator;
+
+class IWorkload {
+ public:
+  virtual ~IWorkload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Problem parameters this workload is built for.
+  virtual ProblemConfig config() const = 0;
+
+  /// Requests to inject at round `t`. Called exactly once per round with
+  /// strictly increasing `t`. `sim` is the observable state *before* this
+  /// round's strategy step (adaptive adversaries may query it).
+  virtual std::vector<RequestSpec> generate(Round t, const Simulator& sim) = 0;
+
+  /// True when no request will be injected at any round >= t. The simulator
+  /// keeps running after exhaustion until all alive requests drain.
+  virtual bool exhausted(Round t) const = 0;
+
+  /// Called when a simulator (re)starts with this workload.
+  virtual void reset() {}
+};
+
+/// Replays a pre-recorded trace.
+class TraceWorkload final : public IWorkload {
+ public:
+  explicit TraceWorkload(const Trace& trace);
+
+  std::string name() const override { return "trace"; }
+  ProblemConfig config() const override;
+  std::vector<RequestSpec> generate(Round t, const Simulator& sim) override;
+  bool exhausted(Round t) const override;
+  void reset() override { cursor_ = 0; }
+
+ private:
+  const Trace& trace_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace reqsched

@@ -1,0 +1,214 @@
+#include "local/local_eager.hpp"
+
+#include <algorithm>
+
+#include "local/router.hpp"
+
+namespace reqsched {
+
+namespace {
+
+/// Resource-side maximal acceptance (same rule as A_local_fix).
+std::vector<Message> accept_maximal(Simulator& sim, const Delivery& delivery) {
+  std::vector<Message> rejected(delivery.failed);
+  for (ResourceId i = 0; i < sim.config().n; ++i) {
+    for (const Message& m : delivery.delivered[static_cast<std::size_t>(i)]) {
+      const Request& r = sim.request(m.sender);
+      const SlotRef slot =
+          sim.schedule().earliest_free_slot(i, sim.now(), r.deadline);
+      if (slot.valid()) {
+        sim.assign(m.sender, slot);
+      } else {
+        rejected.push_back(m);
+      }
+    }
+  }
+  return rejected;
+}
+
+std::vector<RequestId> unscheduled_pending(const Simulator& sim) {
+  std::vector<RequestId> out;
+  for (const RequestId id : sim.alive()) {
+    if (!sim.is_scheduled(id)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+void ALocalEager::on_round(Simulator& sim) {
+  const Round t = sim.now();
+  std::int64_t comm_rounds = 0;
+  std::int64_t messages = 0;
+
+  // ---- Phase 1: local_fix over all unscheduled alive requests. ----
+  {
+    std::vector<Message> wave;
+    for (const RequestId id : unscheduled_pending(sim)) {
+      const Request& r = sim.request(id);
+      REQSCHED_CHECK_MSG(r.alternative_count() == 2,
+                         "local strategies require two alternatives");
+      wave.push_back(Message{id, r.first, r.deadline, false, 0});
+    }
+    if (!wave.empty()) {
+      ++comm_rounds;
+      messages += static_cast<std::int64_t>(wave.size());
+      const auto failed = accept_maximal(
+          sim, route_messages(sim.config(), std::move(wave), 0));
+      std::vector<Message> retry;
+      for (const Message& m : failed) {
+        const Request& r = sim.request(m.sender);
+        retry.push_back(Message{m.sender, r.second, r.deadline, false, 0});
+      }
+      if (!retry.empty()) {
+        ++comm_rounds;
+        messages += static_cast<std::int64_t>(retry.size());
+        accept_maximal(sim, route_messages(sim.config(), std::move(retry), 0));
+      }
+    }
+  }
+
+  // ---- Phase 2: pull one future booking into each idle current slot. ----
+  {
+    std::vector<Message> offers;
+    for (const RequestId id : sim.alive()) {
+      const SlotRef slot = sim.slot_of(id);
+      if (!slot.valid() || slot.round <= t) continue;
+      const Request& r = sim.request(id);
+      offers.push_back(Message{id, r.other_alternative(slot.resource),
+                               r.deadline, false, 0});
+    }
+    if (!offers.empty()) {
+      comm_rounds += 2;  // offer round + cancel round
+      messages += static_cast<std::int64_t>(offers.size());
+      const Delivery delivery =
+          route_messages(sim.config(), std::move(offers), 0);
+      for (ResourceId i = 0; i < sim.config().n; ++i) {
+        if (!sim.schedule().is_free({i, t})) continue;
+        const auto& inbox = delivery.delivered[static_cast<std::size_t>(i)];
+        for (const Message& m : inbox) {
+          // The sender offered itself to exactly one resource, but may have
+          // been pulled forward already if this inbox is stale; re-check.
+          const SlotRef cur = sim.slot_of(m.sender);
+          if (cur.valid() && cur.round > t) {
+            sim.move(m.sender, SlotRef{i, t});
+            ++messages;  // the cancel message to the old resource
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Phase 3: rivalry exchanges, first then second alternative. The
+  // second iteration's opening round overlaps the first iteration's closing
+  // round (the paper's 9-round schedule). ----
+  const std::int64_t phase2_rounds = comm_rounds;
+  const std::int64_t iter1 = rivalry_iteration(sim, 0, messages);
+  const std::int64_t iter2 = rivalry_iteration(sim, 1, messages);
+  comm_rounds += iter1 + iter2 - ((iter1 > 0 && iter2 > 0) ? 1 : 0);
+  if (merged_phase23_ && phase2_rounds > 2 && iter1 > 0) {
+    // Bandwidth 2d - 2 lets Phase 2's cancel round also carry Phase 3's
+    // opening rivalry messages (the paper's one-round saving).
+    --comm_rounds;
+  }
+
+  const std::int64_t budget = merged_phase23_ ? 8 : 9;
+  REQSCHED_CHECK_MSG(comm_rounds <= budget,
+                     "A_local_eager exceeded " << budget
+                                               << " communication rounds: "
+                                               << comm_rounds);
+  sim.record_communication(comm_rounds, messages);
+}
+
+std::int64_t ALocalEager::rivalry_iteration(Simulator& sim, int alt,
+                                            std::int64_t& messages) {
+  const Round t = sim.now();
+  std::vector<Message> wave;
+  for (const RequestId id : unscheduled_pending(sim)) {
+    const Request& r = sim.request(id);
+    const ResourceId target = alt == 0 ? r.first : r.second;
+    wave.push_back(Message{id, target, r.deadline, false, 0});
+  }
+  if (wave.empty()) return 0;
+  std::int64_t rounds = 1;
+  messages += static_cast<std::int64_t>(wave.size());
+  // In the merged variant the opening rivalry wave shares a communication
+  // round with Phase 2's cancel messages, enabled by bandwidth 2d - 2.
+  const std::int32_t capacity =
+      merged_phase23_ && alt == 0
+          ? std::max(1, 2 * sim.config().d - 2)
+          : 0;
+  const Delivery delivery =
+      route_messages(sim.config(), std::move(wave), capacity);
+
+  // Each resource selects one rival and hands it the identity of the request
+  // occupying its current slot, plus that request's other alternative.
+  struct ExchangePlan {
+    RequestId rival;
+    RequestId displaced;
+    ResourceId home;      ///< resource whose current slot is contested
+    ResourceId new_home;  ///< displaced request's other alternative
+  };
+  std::vector<ExchangePlan> plans;
+  for (ResourceId i = 0; i < sim.config().n; ++i) {
+    const auto& inbox = delivery.delivered[static_cast<std::size_t>(i)];
+    if (inbox.empty()) continue;
+    const RequestId occupant = sim.schedule().request_at({i, t});
+    if (occupant == kNoRequest) {
+      // Only reachable when the rival's phase-1 message was dropped by the
+      // bandwidth limit; the resource simply accepts what it has room for.
+      for (const Message& m : inbox) {
+        if (sim.is_scheduled(m.sender)) continue;
+        const Request& r = sim.request(m.sender);
+        const SlotRef slot =
+            sim.schedule().earliest_free_slot(i, t, r.deadline);
+        if (slot.valid()) sim.assign(m.sender, slot);
+      }
+      continue;
+    }
+    for (const Message& m : inbox) {
+      if (sim.is_scheduled(m.sender)) continue;  // succeeded earlier
+      plans.push_back(ExchangePlan{m.sender, occupant, i,
+                                   sim.request(occupant).other_alternative(i)});
+      break;  // one rival per resource
+    }
+  }
+  if (plans.empty()) return rounds;
+
+  // Next communication round: rivals forward the displaced requests to the
+  // displaced requests' other alternatives; capacity-limited as usual.
+  std::vector<Message> rehome;
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    rehome.push_back(Message{plans[p].rival, plans[p].new_home,
+                             sim.request(plans[p].displaced).deadline, false,
+                             static_cast<std::int32_t>(p)});
+  }
+  ++rounds;
+  messages += static_cast<std::int64_t>(rehome.size());
+  const Delivery rehomed = route_messages(sim.config(), std::move(rehome), 0);
+
+  // Final communication round: successful rivals use the priority tag to
+  // swap into the freed current slot.
+  bool any_exchange = false;
+  for (ResourceId i = 0; i < sim.config().n; ++i) {
+    for (const Message& m : rehomed.delivered[static_cast<std::size_t>(i)]) {
+      const ExchangePlan& plan = plans[static_cast<std::size_t>(m.payload)];
+      const Request& displaced = sim.request(plan.displaced);
+      // The displaced request must still be where the plan saw it.
+      if (sim.slot_of(plan.displaced) != SlotRef{plan.home, t}) continue;
+      if (sim.is_scheduled(plan.rival)) continue;
+      const SlotRef landing =
+          sim.schedule().earliest_free_slot(i, t, displaced.deadline);
+      if (!landing.valid()) continue;
+      sim.move(plan.displaced, landing);
+      sim.assign(plan.rival, SlotRef{plan.home, t});
+      any_exchange = true;
+      ++messages;  // the priority-tagged confirmation message
+    }
+  }
+  if (any_exchange) ++rounds;
+  return rounds;
+}
+
+}  // namespace reqsched

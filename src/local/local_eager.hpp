@@ -1,0 +1,47 @@
+// A_local_eager (Section 3.2): the nine-communication-round local strategy,
+// 5/3-competitive (Theorem 3.8).
+//
+// Phase 1 (2 communication rounds): A_local_fix over ALL unscheduled alive
+// requests (new and older), first alternative then second.
+// Phase 2 (2 communication rounds): every request booked at a future slot
+// offers itself to its other alternative; each resource with an idle current
+// slot pulls one such request forward (the request cancels its old booking).
+// Phase 3 (<= 5 communication rounds): every still-unscheduled request q
+// rivals for its alternatives' current slots. The resource picks one rival
+// and hands it the identity of the request r occupying its current slot
+// (plus a high-priority tag); q tries to re-home r at r's other alternative;
+// on success r moves there, and q takes over the freed current slot using
+// the priority tag. Failed rivals retry once via their second alternative
+// (the retry overlaps one communication round with the first attempt, which
+// is how the paper reaches 9 rounds total).
+#pragma once
+
+#include "core/simulator.hpp"
+#include "core/strategy.hpp"
+
+namespace reqsched {
+
+class ALocalEager final : public IStrategy {
+ public:
+  /// `merged_phase23` implements the paper's closing note: raising the
+  /// per-resource bandwidth to 2d - 2 lets Phase 2's last communication
+  /// round carry Phase 3's opening messages as well, capping the protocol
+  /// at 8 communication rounds instead of 9.
+  explicit ALocalEager(bool merged_phase23 = false)
+      : merged_phase23_(merged_phase23) {}
+
+  std::string name() const override {
+    return merged_phase23_ ? "A_local_eager_merged" : "A_local_eager";
+  }
+  void on_round(Simulator& sim) override;
+
+ private:
+  /// One phase-3 rivalry iteration via alternative index `alt` (0/1).
+  /// Returns the communication rounds consumed (0 if no messages flowed).
+  std::int64_t rivalry_iteration(Simulator& sim, int alt,
+                                 std::int64_t& messages);
+
+  bool merged_phase23_;
+};
+
+}  // namespace reqsched

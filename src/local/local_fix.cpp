@@ -1,0 +1,54 @@
+#include "local/local_fix.hpp"
+
+#include "local/router.hpp"
+
+namespace reqsched {
+
+namespace {
+/// Resource-side acceptance: books each delivered request into its earliest
+/// still-free slot, in delivery (LDF) order. Returns the senders that could
+/// not be booked (for the second-round retry).
+std::vector<Message> accept_maximal(Simulator& sim, const Delivery& delivery) {
+  std::vector<Message> rejected(delivery.failed);
+  for (ResourceId i = 0; i < sim.config().n; ++i) {
+    for (const Message& m : delivery.delivered[static_cast<std::size_t>(i)]) {
+      const Request& r = sim.request(m.sender);
+      const SlotRef slot =
+          sim.schedule().earliest_free_slot(i, sim.now(), r.deadline);
+      if (slot.valid()) {
+        sim.assign(m.sender, slot);
+      } else {
+        rejected.push_back(m);
+      }
+    }
+  }
+  return rejected;
+}
+}  // namespace
+
+void ALocalFix::on_round(Simulator& sim) {
+  // Communication round 1: new requests to their first alternatives.
+  std::vector<Message> first_wave;
+  for (const RequestId id : sim.injected_now()) {
+    const Request& r = sim.request(id);
+    REQSCHED_CHECK_MSG(r.alternative_count() == 2,
+                       "local strategies require two alternatives");
+    first_wave.push_back(Message{id, r.first, r.deadline, false, 0});
+  }
+  if (first_wave.empty()) return;
+  sim.record_communication(1, static_cast<std::int64_t>(first_wave.size()));
+  const std::vector<Message> failed_first = accept_maximal(
+      sim, route_messages(sim.config(), std::move(first_wave)));
+
+  // Communication round 2: failures retry at their second alternatives.
+  std::vector<Message> second_wave;
+  for (const Message& m : failed_first) {
+    const Request& r = sim.request(m.sender);
+    second_wave.push_back(Message{m.sender, r.second, r.deadline, false, 0});
+  }
+  if (second_wave.empty()) return;
+  sim.record_communication(1, static_cast<std::int64_t>(second_wave.size()));
+  accept_maximal(sim, route_messages(sim.config(), std::move(second_wave)));
+}
+
+}  // namespace reqsched

@@ -1,0 +1,21 @@
+// A_local_fix (Section 3.2): the two-communication-round local variant of
+// A_fix. Competitive ratio exactly 2 (Theorem 3.7).
+//
+// Communication round 1: every newly injected request is sent to its first
+// alternative; each resource accepts a maximal selection it can still book.
+// Communication round 2: the failed requests try their second alternative
+// under the same rule. Requests failing both ways are never retried.
+#pragma once
+
+#include "core/simulator.hpp"
+#include "core/strategy.hpp"
+
+namespace reqsched {
+
+class ALocalFix final : public IStrategy {
+ public:
+  std::string name() const override { return "A_local_fix"; }
+  void on_round(Simulator& sim) override;
+};
+
+}  // namespace reqsched

@@ -1,0 +1,42 @@
+#include "local/router.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace reqsched {
+
+Delivery route_messages(const ProblemConfig& config,
+                        std::vector<Message> messages,
+                        std::int32_t capacity) {
+  const std::int32_t n = config.n;
+  if (capacity <= 0) capacity = config.d;
+
+  Delivery delivery;
+  delivery.delivered.resize(static_cast<std::size_t>(n));
+
+  // Admission order: priority tag first, then latest deadline first,
+  // ties broken towards the earlier-injected request. The priority tag is
+  // guaranteed by the A_local_eager protocol to occur at most once per
+  // resource and does not consume LDF bandwidth (the tagged message
+  // concerns the resource's own first time slot).
+  std::stable_sort(messages.begin(), messages.end(),
+                   [](const Message& a, const Message& b) {
+                     return std::tuple(!a.priority_tag, -a.deadline, a.sender) <
+                            std::tuple(!b.priority_tag, -b.deadline, b.sender);
+                   });
+
+  std::vector<std::int32_t> admitted(static_cast<std::size_t>(n), 0);
+  for (const Message& m : messages) {
+    REQSCHED_REQUIRE(m.to >= 0 && m.to < n);
+    auto& count = admitted[static_cast<std::size_t>(m.to)];
+    if (m.priority_tag || count < capacity) {
+      if (!m.priority_tag) ++count;
+      delivery.delivered[static_cast<std::size_t>(m.to)].push_back(m);
+    } else {
+      delivery.failed.push_back(m);
+    }
+  }
+  return delivery;
+}
+
+}  // namespace reqsched

@@ -1,0 +1,43 @@
+// Synchronous message-passing substrate for the local strategies.
+//
+// The paper's communication model (Section 1.3, Local Strategies): per
+// communication round each request may exchange fixed-size messages with
+// resources; at most d messages reach a resource per communication round —
+// excess messages are dropped by the latest-deadline-first (LDF) rule and
+// their senders are notified of the failure. A_local_eager additionally uses
+// a single high-priority tag per resource that bypasses the LDF selection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "core/types.hpp"
+
+namespace reqsched {
+
+struct Message {
+  RequestId sender = kNoRequest;  ///< originating request (client side)
+  ResourceId to = kNoResource;    ///< destination resource
+  Round deadline = kNoRound;      ///< LDF key (the sender's deadline)
+  bool priority_tag = false;      ///< bypasses LDF admission (at most 1/resource)
+  std::int32_t payload = 0;       ///< protocol-specific tag-along value
+};
+
+struct Delivery {
+  /// delivered[i] = messages resource i received, in admission order
+  /// (priority-tagged first, then latest deadline first, ties by sender id).
+  std::vector<std::vector<Message>> delivered;
+  /// Messages that were dropped; their senders are notified.
+  std::vector<Message> failed;
+};
+
+/// Delivers one communication round's messages, enforcing the bandwidth
+/// limit. `capacity` <= 0 means "use d" (the model's default bandwidth).
+/// Pure routing — the calling protocol does its own communication-round and
+/// message accounting via Simulator::record_communication.
+Delivery route_messages(const ProblemConfig& config,
+                        std::vector<Message> messages,
+                        std::int32_t capacity = 0);
+
+}  // namespace reqsched

@@ -1,0 +1,247 @@
+#include "matching/bipartite.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+namespace reqsched {
+
+BipartiteGraph::BipartiteGraph(std::int32_t left_count,
+                               std::int32_t right_count)
+    : left_count_(left_count), right_count_(right_count) {
+  REQSCHED_REQUIRE(left_count >= 0 && right_count >= 0);
+  adj_.resize(static_cast<std::size_t>(left_count));
+}
+
+void BipartiteGraph::add_edge(std::int32_t left, std::int32_t right) {
+  REQSCHED_REQUIRE(left >= 0 && left < left_count_);
+  REQSCHED_REQUIRE(right >= 0 && right < right_count_);
+  adj_[static_cast<std::size_t>(left)].push_back(right);
+  ++edge_count_;
+}
+
+Matching Matching::empty(const BipartiteGraph& g) {
+  Matching m;
+  m.left_to_right.assign(static_cast<std::size_t>(g.left_count()), -1);
+  m.right_to_left.assign(static_cast<std::size_t>(g.right_count()), -1);
+  return m;
+}
+
+std::int32_t Matching::size() const {
+  return static_cast<std::int32_t>(
+      std::count_if(left_to_right.begin(), left_to_right.end(),
+                    [](std::int32_t r) { return r >= 0; }));
+}
+
+void Matching::match(std::int32_t l, std::int32_t r) {
+  REQSCHED_REQUIRE(!left_matched(l) && !right_matched(r));
+  left_to_right[static_cast<std::size_t>(l)] = r;
+  right_to_left[static_cast<std::size_t>(r)] = l;
+}
+
+void Matching::unmatch_left(std::int32_t l) {
+  const std::int32_t r = left_to_right[static_cast<std::size_t>(l)];
+  REQSCHED_REQUIRE(r >= 0);
+  left_to_right[static_cast<std::size_t>(l)] = -1;
+  right_to_left[static_cast<std::size_t>(r)] = -1;
+}
+
+void validate_matching(const BipartiteGraph& g, const Matching& m) {
+  REQSCHED_CHECK(m.left_to_right.size() ==
+                 static_cast<std::size_t>(g.left_count()));
+  REQSCHED_CHECK(m.right_to_left.size() ==
+                 static_cast<std::size_t>(g.right_count()));
+  for (std::int32_t l = 0; l < g.left_count(); ++l) {
+    const std::int32_t r = m.left_to_right[static_cast<std::size_t>(l)];
+    if (r < 0) continue;
+    REQSCHED_CHECK_MSG(m.right_to_left[static_cast<std::size_t>(r)] == l,
+                       "matching maps are not mutual at left " << l);
+    const auto nbrs = g.neighbors(l);
+    REQSCHED_CHECK_MSG(std::find(nbrs.begin(), nbrs.end(), r) != nbrs.end(),
+                       "matched pair (" << l << ',' << r << ") is not an edge");
+  }
+  for (std::int32_t r = 0; r < g.right_count(); ++r) {
+    const std::int32_t l = m.right_to_left[static_cast<std::size_t>(r)];
+    if (l < 0) continue;
+    REQSCHED_CHECK_MSG(m.left_to_right[static_cast<std::size_t>(l)] == r,
+                       "matching maps are not mutual at right " << r);
+  }
+}
+
+bool is_maximal_matching(const BipartiteGraph& g, const Matching& m) {
+  for (std::int32_t l = 0; l < g.left_count(); ++l) {
+    if (m.left_matched(l)) continue;
+    for (const std::int32_t r : g.neighbors(l)) {
+      if (!m.right_matched(r)) return false;
+    }
+  }
+  return true;
+}
+
+Matching greedy_maximal(const BipartiteGraph& g) {
+  Matching m = Matching::empty(g);
+  for (std::int32_t l = 0; l < g.left_count(); ++l) {
+    for (const std::int32_t r : g.neighbors(l)) {
+      if (!m.right_matched(r)) {
+        m.match(l, r);
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+namespace {
+bool kuhn_try(const BipartiteGraph& g, Matching& m, std::int32_t l,
+              std::vector<char>& visited_right) {
+  for (const std::int32_t r : g.neighbors(l)) {
+    if (visited_right[static_cast<std::size_t>(r)]) continue;
+    visited_right[static_cast<std::size_t>(r)] = 1;
+    const std::int32_t owner = m.right_to_left[static_cast<std::size_t>(r)];
+    if (owner < 0 || kuhn_try(g, m, owner, visited_right)) {
+      m.left_to_right[static_cast<std::size_t>(l)] = r;
+      m.right_to_left[static_cast<std::size_t>(r)] = l;
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+Matching kuhn_ordered(const BipartiteGraph& g,
+                      std::span<const std::int32_t> left_order,
+                      const Matching* seed) {
+  Matching m = seed ? *seed : Matching::empty(g);
+  if (seed) validate_matching(g, m);
+
+  std::vector<std::int32_t> order;
+  if (left_order.empty()) {
+    order.resize(static_cast<std::size_t>(g.left_count()));
+    std::iota(order.begin(), order.end(), 0);
+    left_order = order;
+  }
+
+  std::vector<char> visited_right(static_cast<std::size_t>(g.right_count()));
+  for (const std::int32_t l : left_order) {
+    REQSCHED_REQUIRE(l >= 0 && l < g.left_count());
+    if (m.left_matched(l)) continue;
+    std::fill(visited_right.begin(), visited_right.end(), 0);
+    kuhn_try(g, m, l, visited_right);
+  }
+  return m;
+}
+
+Matching hopcroft_karp(const BipartiteGraph& g) {
+  constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max();
+  Matching m = Matching::empty(g);
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.left_count()));
+
+  const auto bfs = [&]() -> bool {
+    std::queue<std::int32_t> queue;
+    for (std::int32_t l = 0; l < g.left_count(); ++l) {
+      if (!m.left_matched(l)) {
+        dist[static_cast<std::size_t>(l)] = 0;
+        queue.push(l);
+      } else {
+        dist[static_cast<std::size_t>(l)] = kInf;
+      }
+    }
+    bool found_free_right = false;
+    while (!queue.empty()) {
+      const std::int32_t l = queue.front();
+      queue.pop();
+      for (const std::int32_t r : g.neighbors(l)) {
+        const std::int32_t owner =
+            m.right_to_left[static_cast<std::size_t>(r)];
+        if (owner < 0) {
+          found_free_right = true;
+        } else if (dist[static_cast<std::size_t>(owner)] == kInf) {
+          dist[static_cast<std::size_t>(owner)] =
+              dist[static_cast<std::size_t>(l)] + 1;
+          queue.push(owner);
+        }
+      }
+    }
+    return found_free_right;
+  };
+
+  const std::function<bool(std::int32_t)> dfs = [&](std::int32_t l) -> bool {
+    for (const std::int32_t r : g.neighbors(l)) {
+      const std::int32_t owner = m.right_to_left[static_cast<std::size_t>(r)];
+      if (owner < 0 || (dist[static_cast<std::size_t>(owner)] ==
+                            dist[static_cast<std::size_t>(l)] + 1 &&
+                        dfs(owner))) {
+        m.left_to_right[static_cast<std::size_t>(l)] = r;
+        m.right_to_left[static_cast<std::size_t>(r)] = l;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(l)] = kInf;
+    return false;
+  };
+
+  while (bfs()) {
+    for (std::int32_t l = 0; l < g.left_count(); ++l) {
+      if (!m.left_matched(l)) dfs(l);
+    }
+  }
+  return m;
+}
+
+VertexCover koenig_cover(const BipartiteGraph& g, const Matching& maximum) {
+  // Alternating BFS/DFS from free left vertices; cover = (unvisited lefts,
+  // visited rights).
+  std::vector<char> left_visited(static_cast<std::size_t>(g.left_count()));
+  std::vector<char> right_visited(static_cast<std::size_t>(g.right_count()));
+  std::queue<std::int32_t> queue;
+  for (std::int32_t l = 0; l < g.left_count(); ++l) {
+    if (!maximum.left_matched(l)) {
+      left_visited[static_cast<std::size_t>(l)] = 1;
+      queue.push(l);
+    }
+  }
+  while (!queue.empty()) {
+    const std::int32_t l = queue.front();
+    queue.pop();
+    for (const std::int32_t r : g.neighbors(l)) {
+      if (right_visited[static_cast<std::size_t>(r)]) continue;
+      right_visited[static_cast<std::size_t>(r)] = 1;
+      const std::int32_t owner =
+          maximum.right_to_left[static_cast<std::size_t>(r)];
+      if (owner >= 0 && !left_visited[static_cast<std::size_t>(owner)]) {
+        left_visited[static_cast<std::size_t>(owner)] = 1;
+        queue.push(owner);
+      }
+    }
+  }
+  VertexCover cover;
+  for (std::int32_t l = 0; l < g.left_count(); ++l) {
+    if (!left_visited[static_cast<std::size_t>(l)]) cover.lefts.push_back(l);
+  }
+  for (std::int32_t r = 0; r < g.right_count(); ++r) {
+    if (right_visited[static_cast<std::size_t>(r)]) cover.rights.push_back(r);
+  }
+  return cover;
+}
+
+bool covers_all_edges(const BipartiteGraph& g, const VertexCover& cover) {
+  std::vector<char> left_in(static_cast<std::size_t>(g.left_count()));
+  std::vector<char> right_in(static_cast<std::size_t>(g.right_count()));
+  for (const std::int32_t l : cover.lefts)
+    left_in[static_cast<std::size_t>(l)] = 1;
+  for (const std::int32_t r : cover.rights)
+    right_in[static_cast<std::size_t>(r)] = 1;
+  for (std::int32_t l = 0; l < g.left_count(); ++l) {
+    for (const std::int32_t r : g.neighbors(l)) {
+      if (!left_in[static_cast<std::size_t>(l)] &&
+          !right_in[static_cast<std::size_t>(r)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace reqsched

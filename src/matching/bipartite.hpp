@@ -1,0 +1,99 @@
+// Bipartite graphs and matchings.
+//
+// This is the substrate every strategy and the offline optimum build on: the
+// paper models all scheduling decisions as matchings in the bipartite graph
+// of requests x time slots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+/// Adjacency-list bipartite graph over `left_count` x `right_count` vertices.
+/// Edge order is significant: the augmenting-path algorithms try neighbours
+/// in adjacency order, which is how adversarial tie-breaking is steered.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::int32_t left_count, std::int32_t right_count);
+
+  std::int32_t left_count() const { return left_count_; }
+  std::int32_t right_count() const { return right_count_; }
+
+  void add_edge(std::int32_t left, std::int32_t right);
+
+  std::span<const std::int32_t> neighbors(std::int32_t left) const {
+    REQSCHED_REQUIRE(left >= 0 && left < left_count_);
+    return adj_[static_cast<std::size_t>(left)];
+  }
+
+  std::int64_t edge_count() const { return edge_count_; }
+
+ private:
+  std::int32_t left_count_;
+  std::int32_t right_count_;
+  std::int64_t edge_count_ = 0;
+  std::vector<std::vector<std::int32_t>> adj_;
+};
+
+/// A matching as mutual left<->right assignments (-1 = unmatched).
+struct Matching {
+  std::vector<std::int32_t> left_to_right;
+  std::vector<std::int32_t> right_to_left;
+
+  static Matching empty(const BipartiteGraph& g);
+
+  std::int32_t size() const;
+
+  bool left_matched(std::int32_t l) const {
+    return left_to_right[static_cast<std::size_t>(l)] >= 0;
+  }
+  bool right_matched(std::int32_t r) const {
+    return right_to_left[static_cast<std::size_t>(r)] >= 0;
+  }
+
+  void match(std::int32_t l, std::int32_t r);
+  void unmatch_left(std::int32_t l);
+};
+
+/// Checks mutual consistency and that every matched pair is a graph edge.
+void validate_matching(const BipartiteGraph& g, const Matching& m);
+
+/// True if no edge can be added to `m` without breaking the matching
+/// property (i.e. `m` is maximal).
+bool is_maximal_matching(const BipartiteGraph& g, const Matching& m);
+
+/// Greedy maximal matching: scans lefts in index order, takes the first free
+/// neighbour. O(E).
+Matching greedy_maximal(const BipartiteGraph& g);
+
+/// Kuhn's augmenting-path maximum matching, processing left vertices in
+/// `left_order` (all lefts if empty). Augmenting never unmatches a matched
+/// left vertex, so earlier lefts in the order are preferred — this realizes
+/// the adversarial "the strategy can be implemented such that ..." freedom.
+/// Starts from `seed` if provided. O(V*E).
+Matching kuhn_ordered(const BipartiteGraph& g,
+                      std::span<const std::int32_t> left_order = {},
+                      const Matching* seed = nullptr);
+
+/// Hopcroft–Karp maximum matching. O(E * sqrt(V)).
+Matching hopcroft_karp(const BipartiteGraph& g);
+
+/// König's theorem: a minimum vertex cover (lefts, rights) derived from a
+/// maximum matching; |cover| == |matching| certifies optimality.
+struct VertexCover {
+  std::vector<std::int32_t> lefts;
+  std::vector<std::int32_t> rights;
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(lefts.size() + rights.size());
+  }
+};
+VertexCover koenig_cover(const BipartiteGraph& g, const Matching& maximum);
+
+/// Checks that every edge of `g` is covered.
+bool covers_all_edges(const BipartiteGraph& g, const VertexCover& cover);
+
+}  // namespace reqsched

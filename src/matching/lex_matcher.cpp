@@ -1,0 +1,206 @@
+#include "matching/lex_matcher.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "matching/maxflow.hpp"
+#include "matching/mincost_flow.hpp"
+
+namespace reqsched {
+
+void LexMatchProblem::validate() const {
+  REQSCHED_CHECK(left_count >= 0 && right_count >= 0 && level_count >= 1);
+  REQSCHED_CHECK(adj.size() == static_cast<std::size_t>(left_count));
+  REQSCHED_CHECK(level_of_right.size() == static_cast<std::size_t>(right_count));
+  for (const auto& nbrs : adj) {
+    for (const std::int32_t r : nbrs) {
+      REQSCHED_CHECK(r >= 0 && r < right_count);
+    }
+  }
+  for (const std::int32_t lvl : level_of_right) {
+    REQSCHED_CHECK(lvl >= 0 && lvl < level_count);
+  }
+  for (const std::int32_t l : required_lefts) {
+    REQSCHED_CHECK(l >= 0 && l < left_count);
+  }
+  REQSCHED_CHECK_MSG(cardinality_first || required_lefts.empty(),
+                     "required lefts need cardinality-first mode");
+}
+
+int compare_profiles(const std::vector<std::int64_t>& a,
+                     const std::vector<std::int64_t>& b) {
+  REQSCHED_REQUIRE(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+namespace {
+
+// Node layout shared by both modes:
+//   0 = source, 1..L = lefts, L+1..L+R = rights,
+//   L+R+1..L+R+levels = level nodes, L+R+levels+1 = sink.
+struct Layout {
+  std::int32_t lefts, rights, levels;
+  std::int32_t source() const { return 0; }
+  std::int32_t left(std::int32_t l) const { return 1 + l; }
+  std::int32_t right(std::int32_t r) const { return 1 + lefts + r; }
+  std::int32_t level(std::int32_t j) const { return 1 + lefts + rights + j; }
+  std::int32_t sink() const { return 1 + lefts + rights + levels; }
+  std::int32_t nodes() const { return 2 + lefts + rights + levels; }
+};
+
+LexMatchResult solve_pure_lex(const LexMatchProblem& p) {
+  // Megiddo-style: open one level at a time, clamp each level's throughput
+  // to its achieved optimum before opening the next. Flow accumulates
+  // incrementally in one Dinic instance.
+  const Layout lay{p.left_count, p.right_count, p.level_count};
+  MaxFlow flow(lay.nodes());
+
+  std::vector<std::vector<std::int32_t>> left_arcs(
+      static_cast<std::size_t>(p.left_count));
+  for (std::int32_t l = 0; l < p.left_count; ++l) {
+    flow.add_edge(lay.source(), lay.left(l), 1);
+    for (const std::int32_t r : p.adj[static_cast<std::size_t>(l)]) {
+      left_arcs[static_cast<std::size_t>(l)].push_back(
+          flow.add_edge(lay.left(l), lay.right(r), 1));
+    }
+  }
+  for (std::int32_t r = 0; r < p.right_count; ++r) {
+    flow.add_edge(lay.right(r),
+                  lay.level(p.level_of_right[static_cast<std::size_t>(r)]), 1);
+  }
+  std::vector<std::int32_t> level_arc(static_cast<std::size_t>(p.level_count));
+  for (std::int32_t j = 0; j < p.level_count; ++j) {
+    level_arc[static_cast<std::size_t>(j)] =
+        flow.add_edge(lay.level(j), lay.sink(), 0);
+  }
+
+  LexMatchResult result;
+  result.level_counts.assign(static_cast<std::size_t>(p.level_count), 0);
+  std::int64_t total = 0;
+  for (std::int32_t k = 0; k < p.level_count; ++k) {
+    flow.set_capacity(level_arc[static_cast<std::size_t>(k)],
+                      std::numeric_limits<std::int32_t>::max());
+    total += flow.solve(lay.source(), lay.sink());
+    const std::int64_t through_k =
+        flow.flow_on(level_arc[static_cast<std::size_t>(k)]);
+    result.level_counts[static_cast<std::size_t>(k)] = through_k;
+    flow.set_capacity(level_arc[static_cast<std::size_t>(k)], through_k);
+  }
+  result.cardinality = total;
+
+  result.left_to_right.assign(static_cast<std::size_t>(p.left_count), -1);
+  for (std::int32_t l = 0; l < p.left_count; ++l) {
+    const auto& nbrs = p.adj[static_cast<std::size_t>(l)];
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (flow.flow_on(left_arcs[static_cast<std::size_t>(l)][i]) > 0) {
+        result.left_to_right[static_cast<std::size_t>(l)] = nbrs[i];
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+LexMatchResult solve_cardinality_first(const LexMatchProblem& p) {
+  const Layout lay{p.left_count, p.right_count, p.level_count};
+  std::vector<char> required(static_cast<std::size_t>(p.left_count), 0);
+  for (const std::int32_t l : p.required_lefts) {
+    required[static_cast<std::size_t>(l)] = 1;
+  }
+
+  // Priority costs: matching a required left dominates everything, filling
+  // already-fixed earlier levels dominates the current level.
+  const std::int64_t b_cost = static_cast<std::int64_t>(p.right_count) + 2;
+  const std::int64_t k_cost =
+      b_cost * (static_cast<std::int64_t>(p.right_count) + 2);
+
+  std::vector<std::int64_t> fixed(static_cast<std::size_t>(p.level_count), -1);
+  LexMatchResult result;
+  result.level_counts.assign(static_cast<std::size_t>(p.level_count), 0);
+
+  for (std::int32_t step = 0; step < p.level_count; ++step) {
+    MinCostMaxFlow flow(lay.nodes());
+    std::vector<std::vector<std::int32_t>> left_arcs(
+        static_cast<std::size_t>(p.left_count));
+    std::vector<std::int32_t> source_arc(
+        static_cast<std::size_t>(p.left_count));
+    for (std::int32_t l = 0; l < p.left_count; ++l) {
+      source_arc[static_cast<std::size_t>(l)] =
+          flow.add_edge(lay.source(), lay.left(l), 1,
+                        required[static_cast<std::size_t>(l)] ? -k_cost : 0);
+      for (const std::int32_t r : p.adj[static_cast<std::size_t>(l)]) {
+        left_arcs[static_cast<std::size_t>(l)].push_back(
+            flow.add_edge(lay.left(l), lay.right(r), 1, 0));
+      }
+    }
+    for (std::int32_t r = 0; r < p.right_count; ++r) {
+      flow.add_edge(
+          lay.right(r),
+          lay.level(p.level_of_right[static_cast<std::size_t>(r)]), 1, 0);
+    }
+    std::vector<std::int32_t> level_arc(
+        static_cast<std::size_t>(p.level_count));
+    for (std::int32_t j = 0; j < p.level_count; ++j) {
+      std::int64_t cap = std::numeric_limits<std::int32_t>::max();
+      std::int64_t cost = 0;
+      if (j < step) {
+        cap = fixed[static_cast<std::size_t>(j)];
+        cost = -b_cost;
+      } else if (j == step) {
+        cost = -1;
+      }
+      level_arc[static_cast<std::size_t>(j)] =
+          flow.add_edge(lay.level(j), lay.sink(), cap, cost);
+    }
+
+    const auto [value, cost] = flow.solve(lay.source(), lay.sink());
+    (void)cost;
+    for (const std::int32_t l : p.required_lefts) {
+      REQSCHED_CHECK_MSG(
+          flow.flow_on(source_arc[static_cast<std::size_t>(l)]) == 1,
+          "required left " << l << " could not stay matched");
+    }
+    for (std::int32_t j = 0; j < step; ++j) {
+      REQSCHED_CHECK(flow.flow_on(level_arc[static_cast<std::size_t>(j)]) ==
+                     fixed[static_cast<std::size_t>(j)]);
+    }
+    fixed[static_cast<std::size_t>(step)] =
+        flow.flow_on(level_arc[static_cast<std::size_t>(step)]);
+    result.level_counts[static_cast<std::size_t>(step)] =
+        fixed[static_cast<std::size_t>(step)];
+
+    if (step + 1 == p.level_count) {
+      result.cardinality = value;
+      result.left_to_right.assign(static_cast<std::size_t>(p.left_count), -1);
+      for (std::int32_t l = 0; l < p.left_count; ++l) {
+        const auto& nbrs = p.adj[static_cast<std::size_t>(l)];
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          if (flow.flow_on(left_arcs[static_cast<std::size_t>(l)][i]) > 0) {
+            result.left_to_right[static_cast<std::size_t>(l)] = nbrs[i];
+            break;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+LexMatchResult solve_lex_matching(const LexMatchProblem& problem) {
+  problem.validate();
+  if (problem.left_count == 0) {
+    LexMatchResult empty;
+    empty.level_counts.assign(static_cast<std::size_t>(problem.level_count),
+                              0);
+    return empty;
+  }
+  return problem.cardinality_first ? solve_cardinality_first(problem)
+                                   : solve_pure_lex(problem);
+}
+
+}  // namespace reqsched

@@ -1,0 +1,58 @@
+// Lexicographic bipartite matching.
+//
+// The balance strategies of the paper maximize
+//   F = sum_j X_{t+j} * (n+1)^(d-j)
+// over matchings, where X_{t+j} counts booked slots in round t+j. Because
+// (n+1)^(d-j) > n * sum of all later weights, maximizing F is exactly the
+// lexicographic maximization of the vector (X_t, ..., X_{t+d-1}). We solve
+// that exactly, in two flavours:
+//
+//  * pure lex (A_fix_balance): maximize X_0, then X_1 given X_0, ... —
+//    Megiddo-style iterated max-flows with level capacities. The result is
+//    automatically a maximal matching.
+//  * cardinality-first (A_eager, A_balance): first a maximum-cardinality
+//    matching that keeps a required set of lefts matched, then the
+//    lexicographic profile among those — staged min-cost max-flow with
+//    priority costs {-K required, -B earlier levels, -1 current level}.
+//
+// Weights never materialize as (n+1)^d, so there is no overflow for any n, d.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+struct LexMatchProblem {
+  std::int32_t left_count = 0;
+  std::int32_t right_count = 0;
+  std::int32_t level_count = 0;
+  /// adj[l] = rights adjacent to left l.
+  std::vector<std::vector<std::int32_t>> adj;
+  /// level_of_right[r] in [0, level_count); level 0 is most preferred.
+  std::vector<std::int32_t> level_of_right;
+  /// Lefts that must end up matched (cardinality-first mode only; such a
+  /// matching must exist — callers pass previously-scheduled requests).
+  std::vector<std::int32_t> required_lefts;
+  /// true: maximize |M| first, then lex profile; false: pure lex profile.
+  bool cardinality_first = false;
+
+  void validate() const;
+};
+
+struct LexMatchResult {
+  std::vector<std::int32_t> left_to_right;  ///< -1 = unmatched
+  std::vector<std::int64_t> level_counts;   ///< the optimal profile
+  std::int64_t cardinality = 0;
+};
+
+LexMatchResult solve_lex_matching(const LexMatchProblem& problem);
+
+/// Compares two level profiles lexicographically (first difference wins).
+/// Returns <0, 0, >0 like strcmp.
+int compare_profiles(const std::vector<std::int64_t>& a,
+                     const std::vector<std::int64_t>& b);
+
+}  // namespace reqsched

@@ -1,0 +1,116 @@
+#include "matching/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace reqsched {
+
+MaxFlow::MaxFlow(std::int32_t node_count) {
+  REQSCHED_REQUIRE(node_count > 0);
+  graph_.resize(static_cast<std::size_t>(node_count));
+}
+
+std::int32_t MaxFlow::add_edge(std::int32_t from, std::int32_t to,
+                               std::int64_t capacity) {
+  REQSCHED_REQUIRE(from >= 0 && from < node_count());
+  REQSCHED_REQUIRE(to >= 0 && to < node_count());
+  REQSCHED_REQUIRE(capacity >= 0);
+  auto& fwd_list = graph_[static_cast<std::size_t>(from)];
+  auto& rev_list = graph_[static_cast<std::size_t>(to)];
+  const auto fwd_pos = static_cast<std::int32_t>(fwd_list.size());
+  const auto rev_pos = static_cast<std::int32_t>(rev_list.size());
+  fwd_list.push_back(Edge{to, rev_pos, capacity});
+  rev_list.push_back(Edge{from, fwd_pos, 0});
+  edge_refs_.emplace_back(from, fwd_pos);
+  original_cap_.push_back(capacity);
+  return static_cast<std::int32_t>(edge_refs_.size()) - 1;
+}
+
+bool MaxFlow::bfs(std::int32_t source, std::int32_t sink) {
+  level_.assign(graph_.size(), -1);
+  std::queue<std::int32_t> queue;
+  level_[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const std::int32_t v = queue.front();
+    queue.pop();
+    for (const Edge& e : graph_[static_cast<std::size_t>(v)]) {
+      if (e.cap > 0 && level_[static_cast<std::size_t>(e.to)] < 0) {
+        level_[static_cast<std::size_t>(e.to)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+std::int64_t MaxFlow::dfs(std::int32_t v, std::int32_t sink,
+                          std::int64_t limit) {
+  if (v == sink) return limit;
+  auto& i = iter_[static_cast<std::size_t>(v)];
+  auto& edges = graph_[static_cast<std::size_t>(v)];
+  for (; i < edges.size(); ++i) {
+    Edge& e = edges[i];
+    if (e.cap <= 0 ||
+        level_[static_cast<std::size_t>(e.to)] !=
+            level_[static_cast<std::size_t>(v)] + 1) {
+      continue;
+    }
+    const std::int64_t pushed = dfs(e.to, sink, std::min(limit, e.cap));
+    if (pushed > 0) {
+      e.cap -= pushed;
+      graph_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)]
+          .cap += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::solve(std::int32_t source, std::int32_t sink) {
+  REQSCHED_REQUIRE(source != sink);
+  std::int64_t flow = 0;
+  while (bfs(source, sink)) {
+    iter_.assign(graph_.size(), 0);
+    for (;;) {
+      const std::int64_t pushed =
+          dfs(source, sink, std::numeric_limits<std::int64_t>::max());
+      if (pushed == 0) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+std::int64_t MaxFlow::flow_on(std::int32_t edge_id) const {
+  REQSCHED_REQUIRE(edge_id >= 0 &&
+                   static_cast<std::size_t>(edge_id) < edge_refs_.size());
+  const auto [from, pos] = edge_refs_[static_cast<std::size_t>(edge_id)];
+  const Edge& e =
+      graph_[static_cast<std::size_t>(from)][static_cast<std::size_t>(pos)];
+  return original_cap_[static_cast<std::size_t>(edge_id)] - e.cap;
+}
+
+std::int64_t MaxFlow::residual(std::int32_t edge_id) const {
+  REQSCHED_REQUIRE(edge_id >= 0 &&
+                   static_cast<std::size_t>(edge_id) < edge_refs_.size());
+  const auto [from, pos] = edge_refs_[static_cast<std::size_t>(edge_id)];
+  return graph_[static_cast<std::size_t>(from)][static_cast<std::size_t>(pos)]
+      .cap;
+}
+
+void MaxFlow::set_capacity(std::int32_t edge_id, std::int64_t capacity) {
+  REQSCHED_REQUIRE(edge_id >= 0 &&
+                   static_cast<std::size_t>(edge_id) < edge_refs_.size());
+  const std::int64_t current_flow = flow_on(edge_id);
+  REQSCHED_REQUIRE_MSG(capacity >= current_flow,
+                       "cannot lower capacity below committed flow");
+  const auto [from, pos] = edge_refs_[static_cast<std::size_t>(edge_id)];
+  graph_[static_cast<std::size_t>(from)][static_cast<std::size_t>(pos)].cap =
+      capacity - current_flow;
+  original_cap_[static_cast<std::size_t>(edge_id)] = capacity;
+}
+
+}  // namespace reqsched

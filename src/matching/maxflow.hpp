@@ -1,0 +1,58 @@
+// Dinic max-flow on small integer-capacity networks.
+//
+// Used by the lexicographic matching solver (level-capacitated slot groups,
+// Megiddo-style iterated max-flows) and available to tests as an independent
+// oracle for matching cardinalities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::int32_t node_count);
+
+  /// Adds a directed edge with the given capacity; returns an edge id whose
+  /// flow can be queried after solving.
+  std::int32_t add_edge(std::int32_t from, std::int32_t to,
+                        std::int64_t capacity);
+
+  /// Computes the maximum flow from `source` to `sink`. May be called again
+  /// after capacity updates; flow accumulates on the existing preflow.
+  std::int64_t solve(std::int32_t source, std::int32_t sink);
+
+  std::int64_t flow_on(std::int32_t edge_id) const;
+
+  /// Remaining capacity of an edge.
+  std::int64_t residual(std::int32_t edge_id) const;
+
+  /// Replaces the capacity of an edge (flow must be re-solved afterwards;
+  /// lowering below current flow is rejected).
+  void set_capacity(std::int32_t edge_id, std::int64_t capacity);
+
+  std::int32_t node_count() const {
+    return static_cast<std::int32_t>(graph_.size());
+  }
+
+ private:
+  struct Edge {
+    std::int32_t to;
+    std::int32_t rev;  ///< index of reverse edge in graph_[to]
+    std::int64_t cap;  ///< remaining capacity
+  };
+
+  bool bfs(std::int32_t source, std::int32_t sink);
+  std::int64_t dfs(std::int32_t v, std::int32_t sink, std::int64_t limit);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<std::int32_t, std::int32_t>> edge_refs_;
+  std::vector<std::int64_t> original_cap_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace reqsched

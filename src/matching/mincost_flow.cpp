@@ -1,0 +1,102 @@
+#include "matching/mincost_flow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace reqsched {
+
+MinCostMaxFlow::MinCostMaxFlow(std::int32_t node_count) {
+  REQSCHED_REQUIRE(node_count > 0);
+  head_.resize(static_cast<std::size_t>(node_count));
+}
+
+std::int32_t MinCostMaxFlow::add_edge(std::int32_t from, std::int32_t to,
+                                      std::int64_t capacity,
+                                      std::int64_t cost) {
+  REQSCHED_REQUIRE(from >= 0 && from < node_count());
+  REQSCHED_REQUIRE(to >= 0 && to < node_count());
+  REQSCHED_REQUIRE(capacity >= 0);
+  const auto edge_id = static_cast<std::int32_t>(to_.size() / 2);
+  head_[static_cast<std::size_t>(from)].push_back(
+      static_cast<std::int32_t>(to_.size()));
+  to_.push_back(to);
+  cap_.push_back(capacity);
+  cost_.push_back(cost);
+  head_[static_cast<std::size_t>(to)].push_back(
+      static_cast<std::int32_t>(to_.size()));
+  to_.push_back(from);
+  cap_.push_back(0);
+  cost_.push_back(-cost);
+  original_cap_.push_back(capacity);
+  return edge_id;
+}
+
+std::pair<std::int64_t, std::int64_t> MinCostMaxFlow::solve(
+    std::int32_t source, std::int32_t sink) {
+  REQSCHED_REQUIRE(source != sink);
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+  const std::size_t nodes = head_.size();
+  std::int64_t total_flow = 0;
+  std::int64_t total_cost = 0;
+
+  std::vector<std::int64_t> dist(nodes);
+  std::vector<std::int32_t> parent_arc(nodes);
+  std::vector<char> in_queue(nodes);
+
+  for (;;) {
+    // SPFA shortest path by cost in the residual network.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(parent_arc.begin(), parent_arc.end(), -1);
+    std::fill(in_queue.begin(), in_queue.end(), 0);
+    dist[static_cast<std::size_t>(source)] = 0;
+    std::deque<std::int32_t> queue{source};
+    in_queue[static_cast<std::size_t>(source)] = 1;
+    while (!queue.empty()) {
+      const std::int32_t v = queue.front();
+      queue.pop_front();
+      in_queue[static_cast<std::size_t>(v)] = 0;
+      for (const std::int32_t arc : head_[static_cast<std::size_t>(v)]) {
+        if (cap_[static_cast<std::size_t>(arc)] <= 0) continue;
+        const std::int32_t w = to_[static_cast<std::size_t>(arc)];
+        const std::int64_t candidate = dist[static_cast<std::size_t>(v)] +
+                                       cost_[static_cast<std::size_t>(arc)];
+        if (candidate < dist[static_cast<std::size_t>(w)]) {
+          dist[static_cast<std::size_t>(w)] = candidate;
+          parent_arc[static_cast<std::size_t>(w)] = arc;
+          if (!in_queue[static_cast<std::size_t>(w)]) {
+            in_queue[static_cast<std::size_t>(w)] = 1;
+            queue.push_back(w);
+          }
+        }
+      }
+    }
+    if (parent_arc[static_cast<std::size_t>(sink)] < 0) break;
+
+    // Bottleneck along the path.
+    std::int64_t push = kInf;
+    for (std::int32_t v = sink; v != source;) {
+      const std::int32_t arc = parent_arc[static_cast<std::size_t>(v)];
+      push = std::min(push, cap_[static_cast<std::size_t>(arc)]);
+      v = to_[static_cast<std::size_t>(arc ^ 1)];
+    }
+    for (std::int32_t v = sink; v != source;) {
+      const std::int32_t arc = parent_arc[static_cast<std::size_t>(v)];
+      cap_[static_cast<std::size_t>(arc)] -= push;
+      cap_[static_cast<std::size_t>(arc ^ 1)] += push;
+      v = to_[static_cast<std::size_t>(arc ^ 1)];
+    }
+    total_flow += push;
+    total_cost += push * dist[static_cast<std::size_t>(sink)];
+  }
+  return {total_flow, total_cost};
+}
+
+std::int64_t MinCostMaxFlow::flow_on(std::int32_t edge_id) const {
+  REQSCHED_REQUIRE(edge_id >= 0 && static_cast<std::size_t>(edge_id) <
+                                       original_cap_.size());
+  return original_cap_[static_cast<std::size_t>(edge_id)] -
+         cap_[static_cast<std::size_t>(edge_id) * 2];
+}
+
+}  // namespace reqsched

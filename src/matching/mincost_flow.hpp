@@ -1,0 +1,45 @@
+// Min-cost max-flow via successive shortest augmenting paths (SPFA).
+//
+// Costs may be negative on the original arcs (the lexicographic solver uses
+// negative "reward" costs); the network must be free of negative cycles,
+// which holds for the layered source->request->slot->level->sink networks
+// built here.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+class MinCostMaxFlow {
+ public:
+  explicit MinCostMaxFlow(std::int32_t node_count);
+
+  std::int32_t add_edge(std::int32_t from, std::int32_t to,
+                        std::int64_t capacity, std::int64_t cost);
+
+  /// Maximizes flow from source to sink; among maximum flows, minimizes
+  /// total cost. Returns {flow, cost}.
+  std::pair<std::int64_t, std::int64_t> solve(std::int32_t source,
+                                              std::int32_t sink);
+
+  std::int64_t flow_on(std::int32_t edge_id) const;
+
+  std::int32_t node_count() const {
+    return static_cast<std::int32_t>(head_.size());
+  }
+
+ private:
+  // Arc-array representation: arc 2i is the i-th added edge, 2i+1 its
+  // reverse.
+  std::vector<std::vector<std::int32_t>> head_;  ///< node -> arc ids
+  std::vector<std::int32_t> to_;
+  std::vector<std::int64_t> cap_;
+  std::vector<std::int64_t> cost_;
+  std::vector<std::int64_t> original_cap_;
+};
+
+}  // namespace reqsched

@@ -1,0 +1,74 @@
+#include "offline/offline.hpp"
+
+namespace reqsched {
+
+namespace {
+BipartiteGraph build_graph(const Trace& trace, Round horizon) {
+  const std::int32_t n = trace.config().n;
+  const auto slots =
+      static_cast<std::int32_t>((horizon + 1) * static_cast<Round>(n));
+  BipartiteGraph g(static_cast<std::int32_t>(trace.size()), slots);
+  for (const Request& r : trace.requests()) {
+    for (Round t = r.arrival; t <= r.deadline; ++t) {
+      g.add_edge(static_cast<std::int32_t>(r.id),
+                 static_cast<std::int32_t>(t * n + r.first));
+      if (r.second != kNoResource) {
+        g.add_edge(static_cast<std::int32_t>(r.id),
+                   static_cast<std::int32_t>(t * n + r.second));
+      }
+    }
+  }
+  return g;
+}
+}  // namespace
+
+OfflineGraph::OfflineGraph(const Trace& trace)
+    : trace_(trace),
+      horizon_(trace.empty() ? 0 : trace.last_useful_round()),
+      graph_(build_graph(trace, horizon_)) {}
+
+std::int32_t OfflineGraph::slot_index(SlotRef slot) const {
+  REQSCHED_REQUIRE(slot.valid() && slot.round <= horizon_ &&
+                   slot.resource < trace_.config().n);
+  return static_cast<std::int32_t>(slot.round * trace_.config().n +
+                                   slot.resource);
+}
+
+SlotRef OfflineGraph::slot_at(std::int32_t index) const {
+  REQSCHED_REQUIRE(index >= 0 && index < slot_count());
+  const std::int32_t n = trace_.config().n;
+  return SlotRef{index % n, static_cast<Round>(index / n)};
+}
+
+OfflineResult solve_offline(const Trace& trace) {
+  OfflineResult result;
+  result.assignment.assign(static_cast<std::size_t>(trace.size()), kNoSlot);
+  if (trace.empty()) return result;
+
+  const OfflineGraph og(trace);
+  const Matching matching = hopcroft_karp(og.graph());
+  result.optimum = matching.size();
+
+  const VertexCover cover = koenig_cover(og.graph(), matching);
+  result.certificate = cover.size();
+  REQSCHED_CHECK_MSG(result.certificate == result.optimum,
+                     "König certificate mismatch: cover "
+                         << result.certificate << " vs matching "
+                         << result.optimum);
+  REQSCHED_CHECK(covers_all_edges(og.graph(), cover));
+
+  for (RequestId id = 0; id < trace.size(); ++id) {
+    const std::int32_t r =
+        matching.left_to_right[static_cast<std::size_t>(id)];
+    if (r >= 0) {
+      result.assignment[static_cast<std::size_t>(id)] = og.slot_at(r);
+    }
+  }
+  return result;
+}
+
+std::int64_t offline_optimum(const Trace& trace) {
+  return solve_offline(trace).optimum;
+}
+
+}  // namespace reqsched

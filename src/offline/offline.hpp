@@ -1,0 +1,56 @@
+// Offline optimum: the adversary's benchmark.
+//
+// Given the realized trace, build the full bipartite graph G = (R u S, E) of
+// requests x time slots (each request is adjacent to the <= 2d slots of its
+// two alternatives inside its deadline window) and compute a maximum
+// cardinality matching. Its size is perf_OPT(sigma); a König vertex cover of
+// equal size certifies optimality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "core/types.hpp"
+#include "matching/bipartite.hpp"
+
+namespace reqsched {
+
+/// The full request x slot graph of a trace, with slot index mapping.
+/// Lefts are RequestIds; rights are slots (resource, round) for rounds
+/// [0, horizon].
+class OfflineGraph {
+ public:
+  explicit OfflineGraph(const Trace& trace);
+
+  const BipartiteGraph& graph() const { return graph_; }
+  const Trace& trace() const { return trace_; }
+
+  Round horizon() const { return horizon_; }
+  std::int32_t slot_count() const { return graph_.right_count(); }
+
+  std::int32_t slot_index(SlotRef slot) const;
+  SlotRef slot_at(std::int32_t index) const;
+
+ private:
+  const Trace& trace_;
+  Round horizon_;
+  BipartiteGraph graph_;
+};
+
+struct OfflineResult {
+  /// Maximum number of requests an offline scheduler can fulfill.
+  std::int64_t optimum = 0;
+  /// Per-request execution slot in the optimal schedule (kNoSlot = dropped).
+  std::vector<SlotRef> assignment;
+  /// König certificate size; always equals `optimum`.
+  std::int64_t certificate = 0;
+};
+
+/// Solves the offline problem exactly (Hopcroft–Karp + König certificate).
+OfflineResult solve_offline(const Trace& trace);
+
+/// Convenience: the optimum value only.
+std::int64_t offline_optimum(const Trace& trace);
+
+}  // namespace reqsched

@@ -1,0 +1,81 @@
+#include "strategies/edf.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace reqsched {
+
+void EdfSingle::on_round(Simulator& sim) {
+  const Round t = sim.now();
+  // Earliest deadline first, ties by injection order; each resource serves
+  // one request in the current round. No future slots are ever booked, so
+  // the alive list is exactly the per-resource queues.
+  std::vector<RequestId> best(static_cast<std::size_t>(sim.config().n),
+                              kNoRequest);
+  for (const RequestId id : sim.alive()) {
+    const Request& r = sim.request(id);
+    REQSCHED_CHECK_MSG(r.alternative_count() == 1,
+                       "EdfSingle requires single-alternative requests");
+    RequestId& slot_best = best[static_cast<std::size_t>(r.first)];
+    if (slot_best == kNoRequest ||
+        sim.request(slot_best).deadline > r.deadline) {
+      slot_best = id;
+    }
+  }
+  for (ResourceId i = 0; i < sim.config().n; ++i) {
+    const RequestId id = best[static_cast<std::size_t>(i)];
+    if (id != kNoRequest) sim.assign(id, SlotRef{i, t});
+  }
+}
+
+void EdfTwoChoice::reset(const ProblemConfig& config) {
+  queues_.assign(static_cast<std::size_t>(config.n), {});
+}
+
+void EdfTwoChoice::on_round(Simulator& sim) {
+  const Round t = sim.now();
+
+  // Enqueue one copy per alternative of each newly injected request.
+  for (const RequestId id : sim.injected_now()) {
+    const Request& r = sim.request(id);
+    REQSCHED_CHECK_MSG(r.alternative_count() == 2,
+                       "EdfTwoChoice requires two-alternative requests");
+    for (const ResourceId res : {r.first, r.second}) {
+      auto& queue = queues_[static_cast<std::size_t>(res)];
+      const Copy copy{id, r.deadline};
+      const auto pos = std::lower_bound(
+          queue.begin(), queue.end(), copy, [](const Copy& a, const Copy& b) {
+            return std::tie(a.deadline, a.request) <
+                   std::tie(b.deadline, b.request);
+          });
+      queue.insert(pos, copy);
+    }
+  }
+
+  for (ResourceId i = 0; i < sim.config().n; ++i) {
+    auto& queue = queues_[static_cast<std::size_t>(i)];
+    // Drop expired copies (they sort to the front); optionally drop copies
+    // whose request was already fulfilled in an earlier round.
+    while (!queue.empty() &&
+           (queue.front().deadline < t ||
+            (cancel_fulfilled_copies_ &&
+             sim.status(queue.front().request) == RequestStatus::kFulfilled))) {
+      queue.pop_front();
+    }
+    if (queue.empty()) continue;
+
+    const Copy copy = queue.front();
+    if (sim.status(copy.request) == RequestStatus::kFulfilled ||
+        sim.is_scheduled(copy.request)) {
+      // The sibling copy ran in an earlier round, or the other resource
+      // booked the request this very round: this resource redundantly
+      // serves the same data item — a round burned without gain.
+      sim.record_wasted_execution(i);
+    } else {
+      sim.assign(copy.request, SlotRef{i, t});
+    }
+    queue.pop_front();
+  }
+}
+
+}  // namespace reqsched

@@ -1,0 +1,54 @@
+// Earliest Deadline First strategies (Observations 3.1 and 3.2).
+//
+// EdfSingle: each resource independently serves, every round, the pending
+// request naming it (as only alternative) with the earliest deadline.
+// 1-competitive when every request has exactly one alternative.
+//
+// EdfTwoChoice: the paper's analysis treats the two copies of a request as
+// fully independent per-resource EDF queues: a copy stays queued even after
+// its sibling was served, and a resource serving such a copy gains nothing.
+// That independent-copy semantics is what makes EDF exactly 2-competitive
+// with two alternatives. `cancel_fulfilled_copies` switches to the obvious
+// engineering fix (drop sibling copies between rounds) — still 2-competitive
+// in the worst case (same-round double service remains possible), but far
+// better on benign workloads; used by the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "core/simulator.hpp"
+#include "core/strategy.hpp"
+
+namespace reqsched {
+
+class EdfSingle final : public IStrategy {
+ public:
+  std::string name() const override { return "EDF_single"; }
+  void on_round(Simulator& sim) override;
+};
+
+class EdfTwoChoice final : public IStrategy {
+ public:
+  explicit EdfTwoChoice(bool cancel_fulfilled_copies = false)
+      : cancel_fulfilled_copies_(cancel_fulfilled_copies) {}
+
+  std::string name() const override {
+    return cancel_fulfilled_copies_ ? "EDF_two_choice_cancel"
+                                    : "EDF_two_choice";
+  }
+  void reset(const ProblemConfig& config) override;
+  void on_round(Simulator& sim) override;
+
+ private:
+  struct Copy {
+    RequestId request;
+    Round deadline;
+  };
+
+  bool cancel_fulfilled_copies_;
+  /// Per-resource copy queues; kept sorted by (deadline, request id).
+  std::vector<std::deque<Copy>> queues_;
+};
+
+}  // namespace reqsched

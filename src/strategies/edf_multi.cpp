@@ -1,0 +1,144 @@
+#include "strategies/edf_multi.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+namespace reqsched {
+
+MultiTrace::MultiTrace(std::int32_t n, std::int32_t d) : n_(n), d_(d) {
+  REQSCHED_REQUIRE(n >= 1 && d >= 1);
+}
+
+void MultiTrace::add(Round arrival, std::vector<ResourceId> alternatives) {
+  REQSCHED_REQUIRE(arrival >= 0);
+  REQSCHED_REQUIRE_MSG(
+      requests_.empty() || arrival >= requests_.back().arrival,
+      "arrivals must be non-decreasing");
+  REQSCHED_REQUIRE_MSG(!alternatives.empty(), "need at least one alternative");
+  std::set<ResourceId> seen;
+  for (const ResourceId r : alternatives) {
+    REQSCHED_REQUIRE_MSG(r >= 0 && r < n_, "alternative out of range");
+    REQSCHED_REQUIRE_MSG(seen.insert(r).second,
+                         "alternatives must be distinct");
+  }
+  MultiRequest request;
+  request.arrival = arrival;
+  request.deadline = arrival + d_ - 1;
+  request.alternatives = std::move(alternatives);
+  last_useful_ = std::max(last_useful_, request.deadline);
+  requests_.push_back(std::move(request));
+}
+
+MultiEdfResult run_multi_edf(const MultiTrace& trace) {
+  struct Copy {
+    Round deadline;
+    std::size_t request;
+  };
+  // Per-resource copy queues sorted by (deadline, injection order).
+  std::vector<std::vector<Copy>> queues(static_cast<std::size_t>(trace.n()));
+  std::vector<char> fulfilled(trace.requests().size(), 0);
+  MultiEdfResult result;
+
+  std::size_t next = 0;
+  for (Round t = 0; t <= trace.last_useful_round(); ++t) {
+    while (next < trace.requests().size() &&
+           trace.requests()[next].arrival == t) {
+      const MultiRequest& r = trace.requests()[next];
+      for (const ResourceId res : r.alternatives) {
+        queues[static_cast<std::size_t>(res)].push_back(
+            Copy{r.deadline, next});
+      }
+      ++next;
+    }
+    for (auto& queue : queues) {
+      // Earliest deadline first; stable by injection order.
+      const auto best = std::min_element(
+          queue.begin(), queue.end(), [&](const Copy& a, const Copy& b) {
+            return std::tie(a.deadline, a.request) <
+                   std::tie(b.deadline, b.request);
+          });
+      // Drop expired copies lazily while searching for a live one.
+      auto it = best;
+      while (it != queue.end() && it->deadline < t) {
+        queue.erase(it);
+        it = std::min_element(queue.begin(), queue.end(),
+                              [&](const Copy& a, const Copy& b) {
+                                return std::tie(a.deadline, a.request) <
+                                       std::tie(b.deadline, b.request);
+                              });
+      }
+      if (it == queue.end()) continue;
+      const Copy copy = *it;
+      queue.erase(it);
+      if (fulfilled[copy.request]) {
+        ++result.wasted_executions;
+      } else {
+        fulfilled[copy.request] = 1;
+        ++result.fulfilled;
+      }
+    }
+  }
+  return result;
+}
+
+std::int64_t multi_offline_optimum(const MultiTrace& trace) {
+  if (trace.requests().empty()) return 0;
+  const Round horizon = trace.last_useful_round();
+  const std::int32_t n = trace.n();
+  BipartiteGraph g(static_cast<std::int32_t>(trace.requests().size()),
+                   static_cast<std::int32_t>((horizon + 1) * n));
+  for (std::size_t i = 0; i < trace.requests().size(); ++i) {
+    const MultiRequest& r = trace.requests()[i];
+    for (Round t = r.arrival; t <= r.deadline; ++t) {
+      for (const ResourceId res : r.alternatives) {
+        g.add_edge(static_cast<std::int32_t>(i),
+                   static_cast<std::int32_t>(t * n + res));
+      }
+    }
+  }
+  return hopcroft_karp(g).size();
+}
+
+MultiTrace make_multi_edf_tight_instance(std::int32_t c, std::int32_t d,
+                                         std::int32_t intervals) {
+  REQSCHED_REQUIRE(c >= 1 && d >= 1 && intervals >= 1);
+  MultiTrace trace(c, d);
+  std::vector<ResourceId> alts(static_cast<std::size_t>(c));
+  for (std::int32_t i = 0; i < c; ++i) alts[static_cast<std::size_t>(i)] = i;
+  for (std::int32_t k = 0; k < intervals; ++k) {
+    const Round start = static_cast<Round>(k) * d;
+    // c groups of d identical requests: OPT serves all cd (one group per
+    // resource); EDF's copies serve group 0 everywhere, c times each.
+    for (std::int32_t group = 0; group < c; ++group) {
+      for (std::int32_t j = 0; j < d; ++j) {
+        trace.add(start, alts);
+      }
+    }
+  }
+  return trace;
+}
+
+MultiTrace make_multi_random_instance(std::int32_t n, std::int32_t d,
+                                      std::int32_t c, double load,
+                                      Round horizon, std::uint64_t seed) {
+  REQSCHED_REQUIRE(c >= 1 && c <= n);
+  MultiTrace trace(n, d);
+  Prng rng(seed);
+  std::vector<ResourceId> pool(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+  for (Round t = 0; t < horizon; ++t) {
+    std::int32_t count = 0;
+    for (std::int32_t trial = 0; trial < 2 * n; ++trial) {
+      if (rng.next_bool(load / 2.0)) ++count;
+    }
+    for (std::int32_t i = 0; i < count; ++i) {
+      rng.shuffle(pool);
+      trace.add(t, std::vector<ResourceId>(
+                       pool.begin(), pool.begin() + c));
+    }
+  }
+  return trace;
+}
+
+}  // namespace reqsched

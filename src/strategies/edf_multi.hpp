@@ -1,0 +1,72 @@
+// Observation 3.2, general form: with c alternatives per request, the
+// independent-copy EDF strategy is c-competitive, and exactly c-competitive
+// in the worst case.
+//
+// The core model fixes two alternatives (the paper's focus), so the
+// c-alternative extension lives in its own self-contained mini-model: a
+// multi-alternative trace, the per-resource independent-copy EDF simulation,
+// and the exact offline optimum on the request x slot graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "matching/bipartite.hpp"
+#include "util/prng.hpp"
+
+namespace reqsched {
+
+struct MultiRequest {
+  Round arrival = 0;
+  Round deadline = 0;  ///< inclusive last usable round
+  std::vector<ResourceId> alternatives;
+};
+
+/// A request sequence in the c-alternative model.
+class MultiTrace {
+ public:
+  MultiTrace(std::int32_t n, std::int32_t d);
+
+  std::int32_t n() const { return n_; }
+  std::int32_t d() const { return d_; }
+
+  /// Alternatives must be distinct and in range; arrivals non-decreasing.
+  void add(Round arrival, std::vector<ResourceId> alternatives);
+
+  const std::vector<MultiRequest>& requests() const { return requests_; }
+  Round last_useful_round() const { return last_useful_; }
+
+ private:
+  std::int32_t n_;
+  std::int32_t d_;
+  std::vector<MultiRequest> requests_;
+  Round last_useful_ = 0;
+};
+
+struct MultiEdfResult {
+  std::int64_t fulfilled = 0;          ///< distinct requests served
+  std::int64_t wasted_executions = 0;  ///< duplicate-copy service rounds
+};
+
+/// Runs independent-copy EDF: every request enqueues one copy per
+/// alternative; each round every resource serves its earliest-deadline
+/// unexpired copy (ties towards earlier injection). A copy whose request was
+/// already served elsewhere burns the round without gain.
+MultiEdfResult run_multi_edf(const MultiTrace& trace);
+
+/// Exact offline optimum (maximum matching of requests to time slots).
+std::int64_t multi_offline_optimum(const MultiTrace& trace);
+
+/// The c-competitiveness tightness instance: per interval, c identical
+/// groups of d requests over the same c resources; EDF serves the first
+/// group on all c resources while the other c-1 groups starve.
+MultiTrace make_multi_edf_tight_instance(std::int32_t c, std::int32_t d,
+                                         std::int32_t intervals);
+
+/// Random c-alternative workload (for the ratio <= c property sweep).
+MultiTrace make_multi_random_instance(std::int32_t n, std::int32_t d,
+                                      std::int32_t c, double load,
+                                      Round horizon, std::uint64_t seed);
+
+}  // namespace reqsched

@@ -1,0 +1,58 @@
+// The five global strategy classes of Section 1.3.
+//
+//   A_fix         — schedule new requests via a maximum matching into free
+//                   slots, extend maximally with older stragglers, never
+//                   reschedule. Competitive ratio exactly 2 - 1/d.
+//   A_current     — every round, a maximum matching of all alive requests
+//                   onto the n slots of the current round only. Upper bound
+//                   2 - 1/d; lower bound e/(e-1) as d grows.
+//   A_fix_balance — like A_fix, but new requests are placed to maximize
+//                   F = sum_j X_{t+j}(n+1)^{d-j} (lexicographic earliest/
+//                   balanced placement). Upper bound max(4/3, 2-2/d, 2-3/(d+2)).
+//   A_eager       — full maximum matching over G_t, previously scheduled
+//                   requests stay scheduled (may move), current-round
+//                   executions maximized. Upper bound (3d-2)/(2d-1).
+//   A_balance     — like A_eager but with the full lexicographic profile
+//                   maximized. Upper bound max(4/3, 6(d-1)/(4d-3)).
+//
+// Each class admits many implementations (ties are unconstrained); these are
+// the library's deterministic representatives. Adversarial tie-breaking for
+// the lower-bound constructions is provided by ScriptedStrategy.
+#pragma once
+
+#include "core/simulator.hpp"
+#include "core/strategy.hpp"
+
+namespace reqsched {
+
+class AFix final : public IStrategy {
+ public:
+  std::string name() const override { return "A_fix"; }
+  void on_round(Simulator& sim) override;
+};
+
+class ACurrent final : public IStrategy {
+ public:
+  std::string name() const override { return "A_current"; }
+  void on_round(Simulator& sim) override;
+};
+
+class AFixBalance final : public IStrategy {
+ public:
+  std::string name() const override { return "A_fix_balance"; }
+  void on_round(Simulator& sim) override;
+};
+
+class AEager final : public IStrategy {
+ public:
+  std::string name() const override { return "A_eager"; }
+  void on_round(Simulator& sim) override;
+};
+
+class ABalance final : public IStrategy {
+ public:
+  std::string name() const override { return "A_balance"; }
+  void on_round(Simulator& sim) override;
+};
+
+}  // namespace reqsched

@@ -1,0 +1,55 @@
+#include "strategies/randomized.hpp"
+
+#include <numeric>
+
+#include "strategies/window_problem.hpp"
+
+namespace reqsched {
+
+void RandomizedCurrent::reset(const ProblemConfig& config) {
+  (void)config;
+  rng_.reseed(seed_);
+}
+
+void RandomizedCurrent::on_round(Simulator& sim) {
+  const auto alive = sim.alive();
+  const RoundProblem problem = build_round_problem(
+      sim, {alive.begin(), alive.end()}, SlotScope::kCurrentRound);
+  std::vector<std::int32_t> order(problem.lefts.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng_.shuffle(order);
+  const Matching m = kuhn_ordered(problem.graph, order);
+  apply_assignments(sim, problem, m.left_to_right);
+}
+
+void RandomizedFix::reset(const ProblemConfig& config) {
+  (void)config;
+  rng_.reseed(seed_);
+}
+
+void RandomizedFix::on_round(Simulator& sim) {
+  // Step 1: maximum matching of the new requests, in random order. The
+  // matching is still maximum, so this is a legal A_fix implementation.
+  {
+    const auto injected = sim.injected_now();
+    const RoundProblem problem = build_round_problem(
+        sim, {injected.begin(), injected.end()}, SlotScope::kFreeWindow);
+    std::vector<std::int32_t> order(problem.lefts.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng_.shuffle(order);
+    const Matching m = kuhn_ordered(problem.graph, order);
+    apply_assignments(sim, problem, m.left_to_right);
+  }
+  // Step 2: maximal extension with the stragglers (random order too).
+  {
+    auto older = older_unscheduled(sim);
+    if (older.empty()) return;
+    rng_.shuffle(older);
+    const RoundProblem problem =
+        build_round_problem(sim, older, SlotScope::kFreeWindow);
+    const Matching m = greedy_maximal(problem.graph);
+    apply_assignments(sim, problem, m.left_to_right);
+  }
+}
+
+}  // namespace reqsched

@@ -1,0 +1,49 @@
+// Randomized members of the strategy classes (an extension the paper's
+// related-work section points at via [KVV90]'s RANKING).
+//
+// Every lower-bound construction in Section 2 steers a DETERMINISTIC
+// implementation through its tie-breaking. Randomizing the ties keeps the
+// strategy inside its class (the matchings are still maximum / rule-
+// conforming — the proposal checker verifies this in tests) but breaks
+// oblivious constructions: the adversary can no longer predict which
+// maximum matching the algorithm picks. Against the ADAPTIVE adversary of
+// Theorem 2.6 randomization does not help, which bench_randomized shows.
+#pragma once
+
+#include "core/simulator.hpp"
+#include "core/strategy.hpp"
+#include "util/prng.hpp"
+
+namespace reqsched {
+
+/// A_current with a uniformly random request processing order each round
+/// (instead of serve-oldest-first).
+class RandomizedCurrent final : public IStrategy {
+ public:
+  explicit RandomizedCurrent(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {}
+
+  std::string name() const override { return "A_current_randomized"; }
+  void reset(const ProblemConfig& config) override;
+  void on_round(Simulator& sim) override;
+
+ private:
+  std::uint64_t seed_;
+  Prng rng_;
+};
+
+/// A_fix with randomly permuted request order and slot preferences in the
+/// new-request matching step.
+class RandomizedFix final : public IStrategy {
+ public:
+  explicit RandomizedFix(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {}
+
+  std::string name() const override { return "A_fix_randomized"; }
+  void reset(const ProblemConfig& config) override;
+  void on_round(Simulator& sim) override;
+
+ private:
+  std::uint64_t seed_;
+  Prng rng_;
+};
+
+}  // namespace reqsched

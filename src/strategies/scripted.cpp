@@ -1,0 +1,329 @@
+#include "strategies/scripted.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "matching/lex_matcher.hpp"
+#include "strategies/global.hpp"
+#include "strategies/window_problem.hpp"
+
+namespace reqsched {
+
+const char* to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kFix: return "A_fix";
+    case StrategyKind::kCurrent: return "A_current";
+    case StrategyKind::kFixBalance: return "A_fix_balance";
+    case StrategyKind::kEager: return "A_eager";
+    case StrategyKind::kBalance: return "A_balance";
+  }
+  return "?";
+}
+
+std::unique_ptr<IStrategy> make_reference_strategy(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kFix: return std::make_unique<AFix>();
+    case StrategyKind::kCurrent: return std::make_unique<ACurrent>();
+    case StrategyKind::kFixBalance: return std::make_unique<AFixBalance>();
+    case StrategyKind::kEager: return std::make_unique<AEager>();
+    case StrategyKind::kBalance: return std::make_unique<ABalance>();
+  }
+  REQSCHED_CHECK(false);
+  return nullptr;
+}
+
+namespace {
+
+struct ProposalView {
+  std::unordered_map<RequestId, SlotRef> slot_of;
+  std::unordered_set<SlotRef> used_slots;
+};
+
+/// Validity shared by all strategy kinds; fills the lookup view.
+ProposalCheck basic_validity(const Simulator& sim, const Proposal& proposal,
+                             ProposalView& view) {
+  const Schedule& schedule = sim.schedule();
+  for (const auto& [id, slot] : proposal) {
+    std::ostringstream why;
+    if (id < 0 || id >= sim.trace().size()) {
+      why << "unknown request r" << id;
+      return {false, why.str()};
+    }
+    const Request& r = sim.request(id);
+    if (!sim.is_pending(id)) {
+      why << r << " is not pending";
+      return {false, why.str()};
+    }
+    if (!slot.valid() || !schedule.in_window(slot.round) ||
+        slot.resource < 0 || slot.resource >= sim.config().n) {
+      why << "slot outside window: " << slot;
+      return {false, why.str()};
+    }
+    if (!r.allows_slot(slot)) {
+      why << r << " does not allow " << slot;
+      return {false, why.str()};
+    }
+    if (!view.slot_of.emplace(id, slot).second) {
+      why << "duplicate booking for r" << id;
+      return {false, why.str()};
+    }
+    if (!view.used_slots.insert(slot).second) {
+      why << "slot double-booked: " << slot;
+      return {false, why.str()};
+    }
+  }
+  return {true, {}};
+}
+
+/// Bookings currently held in the schedule, as (request, slot) pairs.
+std::vector<std::pair<RequestId, SlotRef>> current_bookings(
+    const Simulator& sim) {
+  std::vector<std::pair<RequestId, SlotRef>> out;
+  for (const RequestId id : sim.alive()) {
+    const SlotRef slot = sim.slot_of(id);
+    if (slot.valid()) out.emplace_back(id, slot);
+  }
+  return out;
+}
+
+/// Checks that the final booking map leaves no pending request that could
+/// still be booked into an unused window slot (maximality of the matching).
+ProposalCheck check_maximality(const Simulator& sim, const ProposalView& view) {
+  const Round t = sim.now();
+  const Round last = sim.schedule().window_end() - 1;
+  for (const RequestId id : sim.alive()) {
+    if (view.slot_of.count(id)) continue;
+    const Request& r = sim.request(id);
+    const Round hi = std::min(r.deadline, last);
+    for (Round round = std::max(r.arrival, t); round <= hi; ++round) {
+      for (const ResourceId res : {r.first, r.second}) {
+        if (res == kNoResource) continue;
+        if (!view.used_slots.count(SlotRef{res, round})) {
+          std::ostringstream why;
+          why << "not maximal: " << r << " could use " << SlotRef{res, round};
+          return {false, why.str()};
+        }
+      }
+    }
+  }
+  return {true, {}};
+}
+
+/// Per-level counts of a booking map (level = round - now).
+std::vector<std::int64_t> profile_of(const Simulator& sim,
+                                     const ProposalView& view) {
+  std::vector<std::int64_t> profile(static_cast<std::size_t>(sim.config().d),
+                                    0);
+  for (const SlotRef& slot : view.used_slots) {
+    ++profile[static_cast<std::size_t>(slot.round - sim.now())];
+  }
+  return profile;
+}
+
+ProposalCheck check_fix_family(const Simulator& sim, const Proposal& proposal,
+                               const ProposalView& view, bool balance_rule) {
+  // Rule 1: every existing booking is kept, in its exact slot.
+  for (const auto& [id, slot] : current_bookings(sim)) {
+    const auto it = view.slot_of.find(id);
+    if (it == view.slot_of.end() || it->second != slot) {
+      std::ostringstream why;
+      why << "A_fix rule: r" << id << " must stay at " << slot;
+      return {false, why.str()};
+    }
+  }
+  (void)proposal;
+
+  if (!balance_rule) {
+    // Rule 2 of A_fix: the number of scheduled *new* requests is maximum.
+    const auto injected = sim.injected_now();
+    const RoundProblem reference = build_round_problem(
+        sim, {injected.begin(), injected.end()}, SlotScope::kFreeWindow);
+    const std::int64_t optimum = hopcroft_karp(reference.graph).size();
+    std::int64_t scheduled_new = 0;
+    for (const RequestId id : injected) {
+      if (view.slot_of.count(id)) ++scheduled_new;
+    }
+    if (scheduled_new != optimum) {
+      std::ostringstream why;
+      why << "A_fix rule: schedules " << scheduled_new << " new requests, "
+          << optimum << " possible";
+      return {false, why.str()};
+    }
+    return check_maximality(sim, view);
+  }
+
+  // A_fix_balance: the lexicographic profile over the *free* slots must be
+  // optimal (existing bookings contribute equal constants on both sides, so
+  // we compare full-window profiles against solver profile + constants).
+  const auto lefts = unscheduled_alive(sim);
+  const RoundProblem reference =
+      build_round_problem(sim, lefts, SlotScope::kFreeWindow);
+  const LexMatchProblem lex = to_lex_problem(
+      sim, reference, /*eager_levels=*/false, /*cardinality_first=*/false);
+  const LexMatchResult best = solve_lex_matching(lex);
+
+  std::vector<std::int64_t> target(static_cast<std::size_t>(sim.config().d));
+  for (std::int32_t j = 0; j < sim.config().d; ++j) {
+    target[static_cast<std::size_t>(j)] =
+        best.level_counts[static_cast<std::size_t>(j)] +
+        sim.schedule().booked_in_round(sim.now() + j);
+  }
+  const auto actual = profile_of(sim, view);
+  if (compare_profiles(actual, target) != 0) {
+    std::ostringstream why;
+    why << "A_fix_balance rule: profile is not lexicographically optimal";
+    return {false, why.str()};
+  }
+  return {true, {}};
+}
+
+ProposalCheck check_current(const Simulator& sim, const ProposalView& view) {
+  for (const SlotRef& slot : view.used_slots) {
+    if (slot.round != sim.now()) {
+      std::ostringstream why;
+      why << "A_current rule: booking beyond the current round: " << slot;
+      return {false, why.str()};
+    }
+  }
+  const auto alive = sim.alive();
+  const RoundProblem reference = build_round_problem(
+      sim, {alive.begin(), alive.end()}, SlotScope::kCurrentRound);
+  const std::int64_t optimum = hopcroft_karp(reference.graph).size();
+  if (static_cast<std::int64_t>(view.slot_of.size()) != optimum) {
+    std::ostringstream why;
+    why << "A_current rule: " << view.slot_of.size() << " booked, maximum is "
+        << optimum;
+    return {false, why.str()};
+  }
+  return {true, {}};
+}
+
+ProposalCheck check_rematch_family(const Simulator& sim,
+                                   const ProposalView& view,
+                                   bool full_profile) {
+  // Previously scheduled requests must remain scheduled (slots may differ).
+  for (const auto& [id, slot] : current_bookings(sim)) {
+    (void)slot;
+    if (!view.slot_of.count(id)) {
+      std::ostringstream why;
+      why << "rule: previously scheduled r" << id << " dropped";
+      return {false, why.str()};
+    }
+  }
+  const auto alive = sim.alive();
+  const RoundProblem reference = build_round_problem(
+      sim, {alive.begin(), alive.end()}, SlotScope::kFullWindow);
+  LexMatchProblem lex = to_lex_problem(sim, reference,
+                                       /*eager_levels=*/!full_profile,
+                                       /*cardinality_first=*/true);
+  for (std::size_t l = 0; l < reference.lefts.size(); ++l) {
+    if (sim.is_scheduled(reference.lefts[l])) {
+      lex.required_lefts.push_back(static_cast<std::int32_t>(l));
+    }
+  }
+  const LexMatchResult best = solve_lex_matching(lex);
+
+  if (static_cast<std::int64_t>(view.slot_of.size()) != best.cardinality) {
+    std::ostringstream why;
+    why << "rule: matching has " << view.slot_of.size() << " requests, "
+        << "maximum is " << best.cardinality;
+    return {false, why.str()};
+  }
+  const auto actual = profile_of(sim, view);
+  if (!full_profile) {
+    // A_eager: only the current-round count must be optimal.
+    if (actual[0] != best.level_counts[0]) {
+      std::ostringstream why;
+      why << "A_eager rule: " << actual[0] << " executions now, "
+          << best.level_counts[0] << " possible";
+      return {false, why.str()};
+    }
+    return {true, {}};
+  }
+  if (compare_profiles(actual, best.level_counts) != 0) {
+    std::ostringstream why;
+    why << "A_balance rule: profile is not lexicographically optimal";
+    return {false, why.str()};
+  }
+  return {true, {}};
+}
+
+}  // namespace
+
+ProposalCheck check_proposal(StrategyKind kind, const Simulator& sim,
+                             const Proposal& proposal) {
+  ProposalView view;
+  if (auto basic = basic_validity(sim, proposal, view); !basic.ok) {
+    return basic;
+  }
+  switch (kind) {
+    case StrategyKind::kFix:
+      return check_fix_family(sim, proposal, view, /*balance_rule=*/false);
+    case StrategyKind::kFixBalance:
+      return check_fix_family(sim, proposal, view, /*balance_rule=*/true);
+    case StrategyKind::kCurrent:
+      return check_current(sim, view);
+    case StrategyKind::kEager:
+      return check_rematch_family(sim, view, /*full_profile=*/false);
+    case StrategyKind::kBalance:
+      return check_rematch_family(sim, view, /*full_profile=*/true);
+  }
+  return {false, "unknown strategy kind"};
+}
+
+ScriptedStrategy::ScriptedStrategy(StrategyKind kind, IProposalSource& source)
+    : kind_(kind), source_(source),
+      fallback_(make_reference_strategy(kind)) {}
+
+std::string ScriptedStrategy::name() const {
+  return std::string(to_string(kind_)) + "_scripted";
+}
+
+void ScriptedStrategy::reset(const ProblemConfig& config) {
+  fallback_->reset(config);
+  violations_ = 0;
+  violation_log_.clear();
+}
+
+void ScriptedStrategy::on_round(Simulator& sim) {
+  const auto proposal = source_.propose(sim);
+  if (proposal) {
+    const ProposalCheck check = check_proposal(kind_, sim, *proposal);
+    if (check.ok) {
+      // Adopt: rebook the window to exactly the proposed map.
+      std::unordered_map<RequestId, SlotRef> target(proposal->begin(),
+                                                    proposal->end());
+      std::int64_t reassigned = 0;
+      for (const RequestId id : sim.alive()) {
+        const SlotRef old_slot = sim.slot_of(id);
+        const auto it = target.find(id);
+        const SlotRef new_slot = it == target.end() ? kNoSlot : it->second;
+        if (old_slot == new_slot) {
+          if (it != target.end()) target.erase(it);
+          continue;
+        }
+        if (old_slot.valid()) {
+          sim.unassign(id);
+          if (new_slot.valid()) ++reassigned;
+        }
+      }
+      for (const RequestId id : sim.alive()) {
+        const auto it = target.find(id);
+        if (it != target.end() && sim.slot_of(id) != it->second) {
+          sim.assign(id, it->second);
+        }
+      }
+      sim.note_reassignments(reassigned);
+      return;
+    }
+    ++violations_;
+    std::ostringstream entry;
+    entry << "round " << sim.now() << ": " << check.reason;
+    violation_log_.push_back(entry.str());
+  }
+  fallback_->on_round(sim);
+}
+
+}  // namespace reqsched

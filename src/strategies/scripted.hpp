@@ -1,0 +1,75 @@
+// Adversarial tie-breaking, machine-checked.
+//
+// Every lower-bound theorem in the paper argues about *some* implementation
+// of a strategy class: "A_fix can be implemented in a way that ...". The
+// adversary therefore gets to choose among the matchings the class permits.
+// ScriptedStrategy realizes that choice honestly: the adversary proposes a
+// complete booking map each round, and check_proposal() verifies — against
+// independently computed optima — that the proposal satisfies the class's
+// defining rules. A conforming proposal is adopted verbatim; anything else
+// falls back to the reference implementation and is counted as a violation
+// (tests assert zero violations on every theorem instance).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "core/strategy.hpp"
+
+namespace reqsched {
+
+enum class StrategyKind { kFix, kCurrent, kFixBalance, kEager, kBalance };
+
+const char* to_string(StrategyKind kind);
+
+/// Complete set of bookings the window should hold after this round's step:
+/// (request, slot) pairs. Bookings of pending requests absent from the
+/// proposal are released (which the fix-family checkers reject).
+using Proposal = std::vector<std::pair<RequestId, SlotRef>>;
+
+class IProposalSource {
+ public:
+  virtual ~IProposalSource() = default;
+  /// Called during on_round; std::nullopt defers to the fallback strategy.
+  virtual std::optional<Proposal> propose(const Simulator& sim) = 0;
+};
+
+struct ProposalCheck {
+  bool ok = false;
+  std::string reason;
+};
+
+/// Verifies that `proposal` is a matching the strategy class `kind` could
+/// have produced in the current round of `sim`.
+ProposalCheck check_proposal(StrategyKind kind, const Simulator& sim,
+                             const Proposal& proposal);
+
+/// The library's deterministic representative of a strategy class.
+std::unique_ptr<IStrategy> make_reference_strategy(StrategyKind kind);
+
+class ScriptedStrategy final : public IStrategy {
+ public:
+  ScriptedStrategy(StrategyKind kind, IProposalSource& source);
+
+  std::string name() const override;
+  void reset(const ProblemConfig& config) override;
+  void on_round(Simulator& sim) override;
+
+  std::int64_t violations() const { return violations_; }
+  const std::vector<std::string>& violation_log() const {
+    return violation_log_;
+  }
+
+ private:
+  StrategyKind kind_;
+  IProposalSource& source_;
+  std::unique_ptr<IStrategy> fallback_;
+  std::int64_t violations_ = 0;
+  std::vector<std::string> violation_log_;
+};
+
+}  // namespace reqsched

@@ -1,0 +1,143 @@
+#include "strategies/window_problem.hpp"
+
+#include <algorithm>
+
+namespace reqsched {
+
+std::int32_t RoundProblem::right_index_of(SlotRef slot) const {
+  const auto it = std::find(rights.begin(), rights.end(), slot);
+  return it == rights.end() ? -1
+                            : static_cast<std::int32_t>(it - rights.begin());
+}
+
+RoundProblem build_round_problem(const Simulator& sim,
+                                 std::span<const RequestId> lefts,
+                                 SlotScope scope) {
+  const Schedule& schedule = sim.schedule();
+  const Round t = sim.now();
+  const Round window_last =
+      scope == SlotScope::kCurrentRound ? t : schedule.window_end() - 1;
+
+  RoundProblem problem;
+  problem.lefts.assign(lefts.begin(), lefts.end());
+
+  // Rights ordered (round asc, resource asc).
+  std::vector<std::int32_t> right_of_slot;  // dense (round-t)*n+resource map
+  const std::int32_t n = sim.config().n;
+  right_of_slot.assign(
+      static_cast<std::size_t>((window_last - t + 1) * static_cast<Round>(n)),
+      -1);
+  const auto dense = [&](SlotRef slot) {
+    return static_cast<std::size_t>((slot.round - t) * static_cast<Round>(n) +
+                                    slot.resource);
+  };
+  for (Round round = t; round <= window_last; ++round) {
+    for (ResourceId i = 0; i < n; ++i) {
+      const SlotRef slot{i, round};
+      if (scope != SlotScope::kFullWindow && !schedule.is_free(slot)) continue;
+      right_of_slot[dense(slot)] =
+          static_cast<std::int32_t>(problem.rights.size());
+      problem.rights.push_back(slot);
+    }
+  }
+
+  problem.graph = BipartiteGraph(static_cast<std::int32_t>(problem.lefts.size()),
+                                 static_cast<std::int32_t>(problem.rights.size()));
+  for (std::size_t l = 0; l < problem.lefts.size(); ++l) {
+    const Request& r = sim.request(problem.lefts[l]);
+    const Round lo = std::max(r.arrival, t);
+    const Round hi = std::min(r.deadline, window_last);
+    for (Round round = lo; round <= hi; ++round) {
+      for (const ResourceId res : {r.first, r.second}) {
+        if (res == kNoResource) continue;
+        const std::int32_t right = right_of_slot[dense({res, round})];
+        if (right >= 0) {
+          problem.graph.add_edge(static_cast<std::int32_t>(l), right);
+        }
+      }
+    }
+  }
+  return problem;
+}
+
+void apply_assignments(Simulator& sim, const RoundProblem& problem,
+                       const std::vector<std::int32_t>& left_to_right) {
+  REQSCHED_REQUIRE(left_to_right.size() == problem.lefts.size());
+  for (std::size_t l = 0; l < problem.lefts.size(); ++l) {
+    const std::int32_t r = left_to_right[l];
+    if (r < 0) continue;
+    sim.assign(problem.lefts[l], problem.rights[static_cast<std::size_t>(r)]);
+  }
+}
+
+LexMatchProblem to_lex_problem(const Simulator& sim,
+                               const RoundProblem& problem, bool eager_levels,
+                               bool cardinality_first) {
+  LexMatchProblem lex;
+  lex.left_count = problem.graph.left_count();
+  lex.right_count = problem.graph.right_count();
+  lex.level_count = eager_levels ? 2 : sim.config().d;
+  lex.cardinality_first = cardinality_first;
+  lex.adj.resize(static_cast<std::size_t>(lex.left_count));
+  for (std::int32_t l = 0; l < lex.left_count; ++l) {
+    const auto nbrs = problem.graph.neighbors(l);
+    lex.adj[static_cast<std::size_t>(l)].assign(nbrs.begin(), nbrs.end());
+  }
+  lex.level_of_right.resize(static_cast<std::size_t>(lex.right_count));
+  const Round t = sim.now();
+  for (std::size_t r = 0; r < problem.rights.size(); ++r) {
+    const Round offset = problem.rights[r].round - t;
+    lex.level_of_right[r] = eager_levels
+                                ? (offset == 0 ? 0 : 1)
+                                : static_cast<std::int32_t>(offset);
+  }
+  return lex;
+}
+
+std::vector<RequestId> unscheduled_alive(const Simulator& sim) {
+  std::vector<RequestId> out;
+  for (const RequestId id : sim.alive()) {
+    if (!sim.is_scheduled(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<RequestId> older_unscheduled(const Simulator& sim) {
+  const auto injected = sim.injected_now();
+  std::vector<RequestId> out;
+  for (const RequestId id : sim.alive()) {
+    if (sim.is_scheduled(id)) continue;
+    if (std::find(injected.begin(), injected.end(), id) != injected.end()) {
+      continue;
+    }
+    out.push_back(id);
+  }
+  return out;
+}
+
+void rebook(Simulator& sim, const RoundProblem& problem,
+            const std::vector<std::int32_t>& target) {
+  REQSCHED_REQUIRE(target.size() == problem.lefts.size());
+  std::vector<std::size_t> to_assign;
+  std::int64_t reassigned = 0;
+  for (std::size_t l = 0; l < problem.lefts.size(); ++l) {
+    const RequestId id = problem.lefts[l];
+    const SlotRef old_slot = sim.slot_of(id);
+    const SlotRef new_slot =
+        target[l] >= 0 ? problem.rights[static_cast<std::size_t>(target[l])]
+                       : kNoSlot;
+    if (old_slot == new_slot) continue;
+    if (old_slot.valid()) {
+      sim.unassign(id);
+      if (new_slot.valid()) ++reassigned;
+    }
+    if (new_slot.valid()) to_assign.push_back(l);
+  }
+  for (const std::size_t l : to_assign) {
+    sim.assign(problem.lefts[l],
+               problem.rights[static_cast<std::size_t>(target[l])]);
+  }
+  sim.note_reassignments(reassigned);
+}
+
+}  // namespace reqsched

@@ -1,0 +1,63 @@
+// Shared plumbing: turn the simulator's per-round view G_t into bipartite
+// matching problems over (candidate requests) x (candidate slots), and apply
+// solved matchings back to the schedule.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "matching/bipartite.hpp"
+#include "matching/lex_matcher.hpp"
+
+namespace reqsched {
+
+/// Which slots of the window become right-hand vertices.
+enum class SlotScope {
+  kFreeWindow,    ///< free slots in [t, t+d)
+  kCurrentRound,  ///< free slots of round t only
+  kFullWindow,    ///< every slot in [t, t+d), booked or not
+};
+
+/// A per-round matching problem with id mappings back to the simulator.
+struct RoundProblem {
+  std::vector<RequestId> lefts;
+  std::vector<SlotRef> rights;
+  BipartiteGraph graph{0, 0};
+
+  std::int32_t right_index_of(SlotRef slot) const;
+};
+
+/// Builds the problem. Rights are ordered (round asc, resource asc); each
+/// left's adjacency follows the same order, so augmenting algorithms prefer
+/// early rounds, then low resource indices — the library's deterministic
+/// default tie-break.
+RoundProblem build_round_problem(const Simulator& sim,
+                                 std::span<const RequestId> lefts,
+                                 SlotScope scope);
+
+/// Books every matched left into its slot (slots must be free).
+void apply_assignments(Simulator& sim, const RoundProblem& problem,
+                       const std::vector<std::int32_t>& left_to_right);
+
+/// Lifts a RoundProblem into a lexicographic problem. `eager_levels` = true
+/// collapses levels to {round t, later} (A_eager); otherwise level j is round
+/// t+j (A_fix_balance / A_balance).
+LexMatchProblem to_lex_problem(const Simulator& sim,
+                               const RoundProblem& problem, bool eager_levels,
+                               bool cardinality_first);
+
+/// The alive-but-unbooked requests, oldest first.
+std::vector<RequestId> unscheduled_alive(const Simulator& sim);
+
+/// The alive-and-unbooked requests that did NOT arrive this round.
+std::vector<RequestId> older_unscheduled(const Simulator& sim);
+
+/// Rebooks the schedule to match `target` (full final booking map for all
+/// lefts; -1 entries end up unbooked). Previously booked lefts whose slot
+/// changes are counted as reassignments. Two-phase (unassign, then assign)
+/// so cyclic slot swaps cannot conflict.
+void rebook(Simulator& sim, const RoundProblem& problem,
+            const std::vector<std::int32_t>& target);
+
+}  // namespace reqsched

@@ -1,0 +1,65 @@
+// Contract checking for reqsched.
+//
+// REQSCHED_CHECK is always on (including release builds): the correctness of
+// the competitive-ratio measurements depends on schedule/matching validity,
+// so violations must never pass silently. Failures throw ContractViolation,
+// which keeps them testable with EXPECT_THROW.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace reqsched {
+
+/// Thrown when an internal invariant or precondition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace reqsched
+
+#define REQSCHED_CHECK(expr)                                                    \
+  do {                                                                          \
+    if (!(expr))                                                                \
+      ::reqsched::detail::contract_fail("check", #expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define REQSCHED_CHECK_MSG(expr, msg)                                  \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream reqsched_os_;                                 \
+      reqsched_os_ << msg; /* NOLINT */                                \
+      ::reqsched::detail::contract_fail("check", #expr, __FILE__,      \
+                                        __LINE__, reqsched_os_.str()); \
+    }                                                                  \
+  } while (false)
+
+#define REQSCHED_REQUIRE(expr)                                             \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::reqsched::detail::contract_fail("precondition", #expr, __FILE__,   \
+                                        __LINE__, "");                     \
+  } while (false)
+
+#define REQSCHED_REQUIRE_MSG(expr, msg)                                      \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream reqsched_os_;                                       \
+      reqsched_os_ << msg; /* NOLINT */                                      \
+      ::reqsched::detail::contract_fail("precondition", #expr, __FILE__,     \
+                                        __LINE__, reqsched_os_.str());       \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,111 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  REQSCHED_REQUIRE(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    REQSCHED_REQUIRE_MSG(token.rfind("--", 0) == 0,
+                         "expected --key[=value], got '" << token << "'");
+    token.erase(0, 2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[++i];
+    } else {
+      values_[token] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  used_[key] = true;
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> CliArgs::lookup(const std::string& key) const {
+  used_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_string(const std::string& key,
+                                std::string fallback) const {
+  return lookup(key).value_or(std::move(fallback));
+}
+
+std::int64_t CliArgs::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  std::int64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(v->data(), v->data() + v->size(), out);
+  REQSCHED_REQUIRE_MSG(ec == std::errc() && ptr == v->data() + v->size(),
+                       "--" << key << " expects an integer, got '" << *v << "'");
+  return out;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double out = std::strtod(v->c_str(), &end);
+  REQSCHED_REQUIRE_MSG(end == v->c_str() + v->size(),
+                       "--" << key << " expects a number, got '" << *v << "'");
+  return out;
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  REQSCHED_REQUIRE_MSG(false, "--" << key << " expects a boolean, got '" << *v
+                                   << "'");
+  return fallback;
+}
+
+std::vector<std::int64_t> CliArgs::get_int_list(
+    const std::string& key, std::vector<std::int64_t> fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  std::vector<std::int64_t> out;
+  std::size_t pos = 0;
+  while (pos <= v->size()) {
+    const auto comma = v->find(',', pos);
+    const std::string part =
+        v->substr(pos, comma == std::string::npos ? std::string::npos
+                                                  : comma - pos);
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), value);
+    REQSCHED_REQUIRE_MSG(ec == std::errc() && ptr == part.data() + part.size(),
+                         "--" << key << " expects integers, got '" << part
+                              << "'");
+    out.push_back(value);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> CliArgs::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (!used_.count(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace reqsched

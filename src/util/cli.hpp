@@ -1,0 +1,45 @@
+// Tiny command-line flag parser shared by examples and bench binaries.
+//
+// Supported syntax: --key=value, --key value, and bare --flag (boolean).
+// Unknown flags are an error so typos in experiment sweeps cannot silently
+// fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace reqsched {
+
+class CliArgs {
+ public:
+  /// Parses argv; throws ContractViolation on malformed input.
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, std::string fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. --d=2,4,8,16.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& key, std::vector<std::int64_t> fallback) const;
+
+  /// Keys that were provided but never queried — call at end to catch typos.
+  std::vector<std::string> unused_keys() const;
+
+  const std::string& program_name() const { return program_; }
+
+ private:
+  std::optional<std::string> lookup(const std::string& key) const;
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace reqsched

@@ -1,0 +1,79 @@
+// Exact rational arithmetic for competitive bounds such as (3d-2)/(2d-1).
+//
+// Keeping the theoretical bounds exact avoids spurious test failures from
+// floating-point comparison when a measured ratio sits exactly on a bound.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+/// A normalized rational number with 64-bit numerator/denominator.
+class Fraction {
+ public:
+  constexpr Fraction() = default;
+
+  constexpr Fraction(std::int64_t numerator, std::int64_t denominator = 1)
+      : num_(numerator), den_(denominator) {
+    normalize();
+  }
+
+  constexpr std::int64_t num() const { return num_; }
+  constexpr std::int64_t den() const { return den_; }
+
+  constexpr double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  friend constexpr Fraction operator+(Fraction a, Fraction b) {
+    return Fraction(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
+  }
+  friend constexpr Fraction operator-(Fraction a, Fraction b) {
+    return Fraction(a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_);
+  }
+  friend constexpr Fraction operator*(Fraction a, Fraction b) {
+    return Fraction(a.num_ * b.num_, a.den_ * b.den_);
+  }
+  friend constexpr Fraction operator/(Fraction a, Fraction b) {
+    REQSCHED_REQUIRE(b.num_ != 0);
+    return Fraction(a.num_ * b.den_, a.den_ * b.num_);
+  }
+
+  friend constexpr bool operator==(Fraction a, Fraction b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend constexpr std::strong_ordering operator<=>(Fraction a, Fraction b) {
+    // Normalized denominators are positive, so cross-multiplying is safe.
+    return a.num_ * b.den_ <=> b.num_ * a.den_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Fraction f) {
+    os << f.num_;
+    if (f.den_ != 1) os << '/' << f.den_;
+    return os;
+  }
+
+ private:
+  constexpr void normalize() {
+    REQSCHED_REQUIRE(den_ != 0);
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+  }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace reqsched

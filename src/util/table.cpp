@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  REQSCHED_REQUIRE(!header_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  REQSCHED_REQUIRE_MSG(row.size() == header_.size(),
+                       "row has " << row.size() << " cells, expected "
+                                  << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto print_sep = [&] {
+    os << '+';
+    for (const auto w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t i = row[c].size(); i < widths[c] + 1; ++i) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+CsvWriter::CsvWriter(std::ostream& os, const std::vector<std::string>& header)
+    : os_(os), columns_(header.size()) {
+  REQSCHED_REQUIRE(columns_ > 0);
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (c) os_ << ',';
+    os_ << header[c];
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  REQSCHED_REQUIRE(row.size() == columns_);
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (c) os_ << ',';
+    os_ << row[c];
+  }
+  os_ << '\n';
+}
+
+}  // namespace reqsched

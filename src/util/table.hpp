@@ -1,0 +1,47 @@
+// ASCII table rendering for bench output (the paper's Table 1 and the
+// per-experiment series are printed in this format).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace reqsched {
+
+/// Column-aligned ASCII table with a header row and optional title.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Adds one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string fmt(double value, int precision = 4);
+
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes rows as CSV (used next to the ASCII output so results can be
+/// re-plotted without re-running the bench).
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& row);
+
+ private:
+  std::ostream& os_;
+  std::size_t columns_;
+};
+
+}  // namespace reqsched

@@ -1,0 +1,141 @@
+// Tests for the augmenting-path analyzer and the experiment harness.
+#include <gtest/gtest.h>
+
+#include "adversary/random.hpp"
+#include "analysis/augmenting.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/harness.hpp"
+#include "strategies/scripted.hpp"
+#include "analysis/registry.hpp"
+
+namespace reqsched {
+namespace {
+
+TEST(Augmenting, EmptyOnlineMatchingYieldsOrderOnePaths) {
+  Trace trace(ProblemConfig{1, 1});
+  trace.add(0, RequestSpec{0, kNoResource, 0});
+  const PathStats stats = analyze_augmenting_paths(trace, {});
+  EXPECT_EQ(stats.augmenting_paths, 1);
+  EXPECT_EQ(stats.min_order, 1);
+  EXPECT_EQ(stats.deficiency, 1);
+  ASSERT_GE(stats.order_histogram.size(), 2u);
+  EXPECT_EQ(stats.order_histogram[1], 1);
+}
+
+TEST(Augmenting, PerfectOnlineMatchingHasNoPaths) {
+  Trace trace(ProblemConfig{2, 1});
+  trace.add(0, RequestSpec{0, 1, 0});
+  trace.add(0, RequestSpec{0, 1, 0});
+  const PathStats stats = analyze_augmenting_paths(
+      trace, {{0, SlotRef{0, 0}}, {1, SlotRef{1, 0}}});
+  EXPECT_EQ(stats.augmenting_paths, 0);
+  EXPECT_EQ(stats.min_order, 0);
+  EXPECT_EQ(stats.deficiency, 0);
+}
+
+TEST(Augmenting, OrderTwoPathDetected) {
+  // r0 served suboptimally so that r1 fails: r0 -> (S0) only slot; r1 can
+  // use S0 or S1. Online: r0@S1-slot... construct: n=2, d=1.
+  // r0 alts (0,1), r1 alts (0, n/a->single 0). Online serves r0 at S0,
+  // leaving r1 unserved; OPT serves r0 at S1 and r1 at S0.
+  Trace trace(ProblemConfig{2, 1});
+  trace.add(0, RequestSpec{0, 1, 0});          // r0, flexible
+  trace.add(0, RequestSpec{0, kNoResource, 0});  // r1, rigid
+  const PathStats stats =
+      analyze_augmenting_paths(trace, {{0, SlotRef{0, 0}}});
+  EXPECT_EQ(stats.augmenting_paths, 1);
+  EXPECT_EQ(stats.min_order, 2);
+  EXPECT_EQ(stats.deficiency, 1);
+}
+
+TEST(Augmenting, DeficiencyEqualsOptMinusOnline) {
+  UniformWorkload workload({.n = 5, .d = 3, .load = 1.8, .horizon = 50,
+                            .seed = 3, .two_choice = true});
+  auto strategy = make_strategy("A_fix");
+  const RunResult result = run_experiment(workload, *strategy);
+  EXPECT_EQ(result.paths.deficiency,
+            result.optimum - result.metrics.fulfilled);
+  EXPECT_EQ(result.paths.augmenting_paths, result.paths.deficiency);
+}
+
+TEST(Harness, SlopeRatioCancelsAdditiveConstants) {
+  RunResult short_run;
+  short_run.optimum = 110;  // 10 startup + 25/phase * 4
+  short_run.metrics.fulfilled = 90;  // 10 startup + 20/phase * 4
+  RunResult long_run;
+  long_run.optimum = 210;  // 10 + 25 * 8
+  long_run.metrics.fulfilled = 170;  // 10 + 20 * 8
+  EXPECT_DOUBLE_EQ(pairwise_slope_ratio(short_run, long_run), 1.25);
+}
+
+TEST(Harness, RatioHandlesDegenerateRuns) {
+  Trace empty(ProblemConfig{2, 2});
+  TraceWorkload workload(empty);
+  auto strategy = make_strategy("A_fix");
+  const RunResult result = run_experiment(workload, *strategy);
+  EXPECT_DOUBLE_EQ(result.ratio, 1.0);
+  EXPECT_EQ(result.optimum, 0);
+}
+
+TEST(Harness, MaxRoundsGuardPropagates) {
+  UniformWorkload workload({.n = 2, .d = 2, .load = 1.0, .horizon = 50,
+                            .seed = 1, .two_choice = true});
+  auto strategy = make_strategy("A_fix");
+  EXPECT_THROW(run_experiment(workload, *strategy, {.max_rounds = 3}),
+               ContractViolation);
+}
+
+TEST(Harness, SlopeRatioRejectsDegenerateRuns) {
+  RunResult a;
+  a.optimum = 10;
+  a.metrics.fulfilled = 10;
+  RunResult b = a;  // no progress between runs
+  EXPECT_THROW(pairwise_slope_ratio(a, b), ContractViolation);
+}
+
+TEST(Harness, ViolationsSurfaceFromScriptedStrategies) {
+  // A scripted strategy with a nonsense proposal source must report its
+  // violations through RunResult.
+  class BadSource final : public IProposalSource {
+   public:
+    std::optional<Proposal> propose(const Simulator& sim) override {
+      if (sim.injected_now().empty()) return std::nullopt;
+      return Proposal{{sim.injected_now()[0], SlotRef{0, sim.now() + 99}}};
+    }
+  } source;
+  Trace trace(ProblemConfig{2, 2});
+  trace.add(0, RequestSpec{0, 1, 0});
+  TraceWorkload workload(trace);
+  ScriptedStrategy strategy(StrategyKind::kFix, source);
+  const RunResult result = run_experiment(workload, strategy);
+  EXPECT_GE(result.violations, 1);
+  EXPECT_EQ(result.metrics.fulfilled, 1);  // fallback still scheduled it
+}
+
+TEST(Bounds, Table1FormulasAtKeyPoints) {
+  EXPECT_EQ(ub_fix(2), Fraction(3, 2));
+  EXPECT_EQ(ub_fix_balance(2), Fraction(4, 3));
+  EXPECT_EQ(ub_fix_balance(3), Fraction(7, 5));
+  EXPECT_EQ(ub_fix_balance(4), Fraction(3, 2));
+  EXPECT_EQ(ub_fix_balance(10), Fraction(9, 5));  // 2 - 2/d
+  EXPECT_EQ(ub_eager(2), Fraction(4, 3));
+  EXPECT_EQ(ub_balance(2), Fraction(4, 3));
+  EXPECT_EQ(ub_balance(5), Fraction(24, 17));
+  EXPECT_EQ(lb_fix_balance(2), Fraction(4, 3));
+  EXPECT_EQ(lb_fix_balance(8), Fraction(24, 18));  // 3d/(2d+2), reduced 4/3
+  EXPECT_EQ(lb_balance(5), Fraction(27, 21));
+  EXPECT_EQ(lb_universal(), Fraction(45, 41));
+  EXPECT_NEAR(lb_current_limit(), 1.5819767, 1e-6);
+  // Upper bounds dominate lower bounds wherever both are defined.
+  for (const std::int32_t d : {2, 4, 8, 16, 32}) {
+    EXPECT_GE(ub_fix(d), lb_fix(d));
+    EXPECT_GE(ub_fix_balance(d), lb_fix_balance(d));
+    EXPECT_GE(ub_eager(d).to_double(), lb_eager().to_double() - 1e-12);
+  }
+  for (const std::int32_t d : {2, 5, 8, 11}) {
+    EXPECT_GE(ub_balance(d), lb_balance(d));
+  }
+}
+
+}  // namespace
+}  // namespace reqsched

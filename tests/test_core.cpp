@@ -1,0 +1,218 @@
+// Unit tests for the core model: trace, schedule, simulator round semantics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/simulator.hpp"
+#include "core/trace.hpp"
+#include "core/workload.hpp"
+
+namespace reqsched {
+namespace {
+
+Trace simple_trace() {
+  Trace trace(ProblemConfig{3, 2});
+  trace.add(0, RequestSpec{0, 1, 0});
+  trace.add(0, RequestSpec{1, 2, 0});
+  trace.add(1, RequestSpec{0, 2, 0});
+  return trace;
+}
+
+TEST(Trace, ValidatesRequests) {
+  Trace trace(ProblemConfig{2, 3});
+  const RequestId id = trace.add(0, RequestSpec{0, 1, 0});
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(trace.request(id).deadline, 2);
+  EXPECT_THROW(trace.add(0, RequestSpec{0, 0, 0}), ContractViolation);
+  EXPECT_THROW(trace.add(0, RequestSpec{0, 5, 0}), ContractViolation);
+  trace.add(3, RequestSpec{1, kNoResource, 0});  // single alternative is fine
+  EXPECT_THROW(trace.add(1, RequestSpec{0, 1, 0}),
+               ContractViolation);  // arrivals must be monotone
+  EXPECT_THROW(trace.add(4, RequestSpec{0, 1, 9}),
+               ContractViolation);  // window > d
+}
+
+TEST(Trace, RoundTripsThroughText) {
+  const Trace trace = simple_trace();
+  std::stringstream buffer;
+  trace.save(buffer);
+  const Trace loaded = Trace::load(buffer);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (RequestId id = 0; id < trace.size(); ++id) {
+    EXPECT_EQ(loaded.request(id).arrival, trace.request(id).arrival);
+    EXPECT_EQ(loaded.request(id).deadline, trace.request(id).deadline);
+    EXPECT_EQ(loaded.request(id).first, trace.request(id).first);
+    EXPECT_EQ(loaded.request(id).second, trace.request(id).second);
+  }
+  EXPECT_EQ(loaded.config().n, 3);
+  EXPECT_EQ(loaded.last_useful_round(), trace.last_useful_round());
+}
+
+TEST(Request, AlternativeQueries) {
+  Request r;
+  r.id = 0;
+  r.arrival = 2;
+  r.deadline = 4;
+  r.first = 1;
+  r.second = 3;
+  EXPECT_EQ(r.alternative_count(), 2);
+  EXPECT_TRUE(r.allows_resource(1));
+  EXPECT_TRUE(r.allows_resource(3));
+  EXPECT_FALSE(r.allows_resource(0));
+  EXPECT_EQ(r.other_alternative(1), 3);
+  EXPECT_EQ(r.other_alternative(3), 1);
+  EXPECT_TRUE(r.allows_slot({1, 2}));
+  EXPECT_TRUE(r.allows_slot({3, 4}));
+  EXPECT_FALSE(r.allows_slot({1, 5}));
+  EXPECT_FALSE(r.allows_slot({1, 1}));
+}
+
+TEST(Schedule, AssignUnassignAndWindow) {
+  Schedule schedule(ProblemConfig{2, 3});
+  Request r;
+  r.id = 7;
+  r.arrival = 0;
+  r.deadline = 2;
+  r.first = 0;
+  r.second = 1;
+
+  schedule.assign(r, {0, 1});
+  EXPECT_EQ(schedule.request_at({0, 1}), 7);
+  EXPECT_EQ(schedule.slot_of(7), (SlotRef{0, 1}));
+  EXPECT_THROW(schedule.assign(r, {1, 0}), ContractViolation);  // double book
+  schedule.unassign(7);
+  EXPECT_TRUE(schedule.is_free({0, 1}));
+
+  // Outside window / wrong resource / past deadline.
+  EXPECT_THROW(schedule.assign(r, {0, 3}), ContractViolation);
+  Request other = r;
+  other.id = 8;
+  other.first = 1;
+  other.second = kNoResource;
+  EXPECT_THROW(schedule.assign(other, {0, 0}), ContractViolation);
+}
+
+TEST(Schedule, AdvanceRecyclesRow) {
+  Schedule schedule(ProblemConfig{1, 2});
+  Request r;
+  r.id = 1;
+  r.arrival = 0;
+  r.deadline = 1;
+  r.first = 0;
+  r.second = kNoResource;
+  schedule.assign(r, {0, 0});
+  const auto leftover = schedule.advance();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], 1);
+  EXPECT_EQ(schedule.window_begin(), 1);
+  EXPECT_TRUE(schedule.is_free({0, 1}));
+  EXPECT_TRUE(schedule.is_free({0, 2}));
+}
+
+TEST(Schedule, FreeSlotHelpers) {
+  Schedule schedule(ProblemConfig{2, 3});
+  Request r;
+  r.id = 1;
+  r.arrival = 0;
+  r.deadline = 2;
+  r.first = 0;
+  r.second = 1;
+  schedule.assign(r, {0, 0});
+  EXPECT_EQ(schedule.booked_in_round(0), 1);
+  EXPECT_EQ(schedule.earliest_free_slot(0, 0, 2), (SlotRef{0, 1}));
+  EXPECT_EQ(schedule.free_slots_of(0).size(), 2u);
+  EXPECT_EQ(schedule.earliest_free_slot(0, 5, 9), kNoSlot);
+}
+
+/// A strategy that books every new request into its earliest free slot on
+/// the first alternative only.
+class FirstFitStrategy final : public IStrategy {
+ public:
+  std::string name() const override { return "first_fit"; }
+  void on_round(Simulator& sim) override {
+    for (const RequestId id : sim.injected_now()) {
+      const Request& r = sim.request(id);
+      const SlotRef slot =
+          sim.schedule().earliest_free_slot(r.first, sim.now(), r.deadline);
+      if (slot.valid()) sim.assign(id, slot);
+    }
+  }
+};
+
+TEST(Simulator, RunsTraceAndCounts) {
+  const Trace trace = simple_trace();
+  TraceWorkload workload(trace);
+  FirstFitStrategy strategy;
+  Simulator sim(workload, strategy);
+  const Metrics& metrics = sim.run();
+  EXPECT_EQ(metrics.injected, 3);
+  EXPECT_EQ(metrics.fulfilled, 3);
+  EXPECT_EQ(metrics.expired, 0);
+  EXPECT_EQ(sim.trace().size(), 3);
+  EXPECT_TRUE(sim.finished());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ExpiresUnservedRequests) {
+  Trace trace(ProblemConfig{1, 1});
+  trace.add(0, RequestSpec{0, kNoResource, 0});
+  trace.add(0, RequestSpec{0, kNoResource, 0});  // same round, one resource
+  TraceWorkload workload(trace);
+  FirstFitStrategy strategy;
+  Simulator sim(workload, strategy);
+  sim.run();
+  EXPECT_EQ(sim.metrics().fulfilled, 1);
+  EXPECT_EQ(sim.metrics().expired, 1);
+  EXPECT_EQ(sim.status(0), RequestStatus::kFulfilled);
+  EXPECT_EQ(sim.status(1), RequestStatus::kExpired);
+  EXPECT_EQ(sim.fulfilled_slot(0), (SlotRef{0, 0}));
+  EXPECT_EQ(sim.online_matching().size(), 1u);
+}
+
+/// A strategy that misbehaves to exercise the simulator's guards.
+class NaughtyStrategy final : public IStrategy {
+ public:
+  enum class Mode { kDoubleBook, kExpiredAssign };
+  explicit NaughtyStrategy(Mode mode) : mode_(mode) {}
+  std::string name() const override { return "naughty"; }
+  void on_round(Simulator& sim) override {
+    if (mode_ == Mode::kDoubleBook && sim.injected_now().size() >= 2) {
+      sim.assign(sim.injected_now()[0], {0, sim.now()});
+      sim.assign(sim.injected_now()[1], {0, sim.now()});
+    }
+  }
+
+ private:
+  Mode mode_;
+};
+
+TEST(Simulator, RejectsConflictingAssignments) {
+  Trace trace(ProblemConfig{2, 2});
+  trace.add(0, RequestSpec{0, 1, 0});
+  trace.add(0, RequestSpec{0, 1, 0});
+  TraceWorkload workload(trace);
+  NaughtyStrategy strategy(NaughtyStrategy::Mode::kDoubleBook);
+  Simulator sim(workload, strategy);
+  EXPECT_THROW(sim.run(), ContractViolation);
+}
+
+TEST(Simulator, EditsOutsideOnRoundAreRejected) {
+  Trace trace(ProblemConfig{1, 2});
+  trace.add(0, RequestSpec{0, kNoResource, 0});
+  TraceWorkload workload(trace);
+  FirstFitStrategy strategy;
+  Simulator sim(workload, strategy);
+  EXPECT_THROW(sim.assign(0, {0, 0}), ContractViolation);
+}
+
+TEST(Simulator, MaxRoundGuardFires) {
+  Trace trace(ProblemConfig{1, 4});
+  trace.add(2, RequestSpec{0, kNoResource, 0});
+  TraceWorkload workload(trace);
+  FirstFitStrategy strategy;
+  Simulator sim(workload, strategy);
+  EXPECT_THROW(sim.run(1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace reqsched

@@ -1,0 +1,98 @@
+// EDF tests: Observation 3.1 (1-competitive with one alternative) and
+// Observation 3.2 (2-competitive with two, tight for independent copies).
+#include <gtest/gtest.h>
+
+#include "adversary/random.hpp"
+#include "adversary/theorems.hpp"
+#include "analysis/harness.hpp"
+#include "offline/offline.hpp"
+#include "strategies/edf.hpp"
+
+namespace reqsched {
+namespace {
+
+TEST(EdfSingle, OneCompetitiveOnRandomSingleAlternativeWorkloads) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    UniformWorkload workload({.n = 4,
+                              .d = 3,
+                              .load = 1.4,
+                              .horizon = 60,
+                              .seed = seed,
+                              .two_choice = false});
+    EdfSingle strategy;
+    const RunResult result = run_experiment(workload, strategy);
+    EXPECT_EQ(result.optimum, result.metrics.fulfilled)
+        << "EDF must match OPT exactly (Observation 3.1), seed " << seed;
+  }
+}
+
+TEST(EdfSingle, RejectsTwoAlternativeRequests) {
+  UniformWorkload workload({.n = 3, .d = 2, .load = 1.0, .horizon = 3,
+                            .seed = 1, .two_choice = true});
+  EdfSingle strategy;
+  Simulator sim(workload, strategy);
+  EXPECT_THROW(sim.run(), ContractViolation);
+}
+
+TEST(EdfSingle, ServesEarliestDeadlineFirst) {
+  Trace trace(ProblemConfig{1, 3});
+  trace.add(0, RequestSpec{0, kNoResource, 3});  // r0, deadline 2
+  trace.add(0, RequestSpec{0, kNoResource, 1});  // r1, deadline 0 (urgent)
+  TraceWorkload workload(trace);
+  EdfSingle strategy;
+  Simulator sim(workload, strategy);
+  sim.run();
+  EXPECT_EQ(sim.status(1), RequestStatus::kFulfilled);
+  EXPECT_EQ(sim.fulfilled_slot(1).round, 0);
+  EXPECT_EQ(sim.status(0), RequestStatus::kFulfilled);
+}
+
+TEST(EdfTwoChoice, NeverWorseThanTwiceOpt) {
+  for (const std::uint64_t seed : {10u, 11u, 12u, 13u}) {
+    UniformWorkload workload({.n = 5, .d = 3, .load = 1.8, .horizon = 60,
+                              .seed = seed, .two_choice = true});
+    EdfTwoChoice strategy(false);
+    const RunResult result = run_experiment(workload, strategy);
+    EXPECT_LE(result.ratio, 2.0 + 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(EdfTwoChoice, TightInstanceWastesHalfTheSlots) {
+  auto instance = make_lb_edf(4, 6);
+  EdfTwoChoice strategy(false);
+  const RunResult result = run_experiment(*instance, strategy);
+  EXPECT_DOUBLE_EQ(result.ratio, 2.0);
+  // The second group is starved by duplicate service of the first.
+  EXPECT_GT(result.metrics.wasted_executions, 0);
+}
+
+TEST(EdfTwoChoice, CancellingCopiesStillTwoCompetitiveButWastesLess) {
+  auto instance = make_lb_edf(4, 6);
+  EdfTwoChoice wasteful(false);
+  const RunResult waste_run = run_experiment(*instance, wasteful);
+
+  auto instance2 = make_lb_edf(4, 6);
+  EdfTwoChoice cancelling(true);
+  const RunResult cancel_run = run_experiment(*instance2, cancelling);
+
+  EXPECT_LE(cancel_run.ratio, 2.0 + 1e-12);
+  EXPECT_LE(cancel_run.metrics.wasted_executions,
+            waste_run.metrics.wasted_executions);
+}
+
+TEST(EdfTwoChoice, CancellationHelpsOnBenignWorkloads) {
+  UniformWorkload a({.n = 6, .d = 3, .load = 1.5, .horizon = 80, .seed = 42,
+                     .two_choice = true});
+  EdfTwoChoice wasteful(false);
+  const RunResult waste_run = run_experiment(a, wasteful);
+
+  UniformWorkload b({.n = 6, .d = 3, .load = 1.5, .horizon = 80, .seed = 42,
+                     .two_choice = true});
+  EdfTwoChoice cancelling(true);
+  const RunResult cancel_run = run_experiment(b, cancelling);
+
+  EXPECT_GE(cancel_run.metrics.fulfilled, waste_run.metrics.fulfilled);
+}
+
+}  // namespace
+}  // namespace reqsched

@@ -1,0 +1,80 @@
+// Tests for the c-alternative EDF extension of Observation 3.2.
+#include <gtest/gtest.h>
+
+#include "strategies/edf_multi.hpp"
+
+namespace reqsched {
+namespace {
+
+TEST(MultiTrace, ValidatesInput) {
+  MultiTrace trace(4, 3);
+  trace.add(0, {0, 1, 2});
+  EXPECT_EQ(trace.requests().back().deadline, 2);
+  EXPECT_THROW(trace.add(0, {}), ContractViolation);
+  EXPECT_THROW(trace.add(0, {0, 0}), ContractViolation);
+  EXPECT_THROW(trace.add(0, {7}), ContractViolation);
+  trace.add(2, {3});
+  EXPECT_THROW(trace.add(1, {0}), ContractViolation);  // monotone arrivals
+  EXPECT_EQ(trace.last_useful_round(), 4);
+}
+
+TEST(MultiEdf, SingleAlternativeEqualsOpt) {
+  // c = 1 degenerates to EDF-1, which is 1-competitive (Observation 3.1).
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const MultiTrace trace = make_multi_random_instance(6, 4, 1, 1.8, 50, seed);
+    const MultiEdfResult edf = run_multi_edf(trace);
+    EXPECT_EQ(edf.fulfilled, multi_offline_optimum(trace)) << "seed " << seed;
+    EXPECT_EQ(edf.wasted_executions, 0);
+  }
+}
+
+class MultiEdfTightness : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(MultiEdfTightness, RatioIsExactlyC) {
+  const std::int32_t c = GetParam();
+  const MultiTrace trace = make_multi_edf_tight_instance(c, 4, 5);
+  const MultiEdfResult edf = run_multi_edf(trace);
+  const std::int64_t opt = multi_offline_optimum(trace);
+  EXPECT_EQ(opt, c * edf.fulfilled);
+  EXPECT_EQ(edf.wasted_executions, (c - 1) * edf.fulfilled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Choices, MultiEdfTightness,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+class MultiEdfBound
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, std::uint64_t>> {
+};
+
+TEST_P(MultiEdfBound, NeverExceedsC) {
+  const auto [c, seed] = GetParam();
+  const MultiTrace trace = make_multi_random_instance(8, 3, c, 2.0, 60, seed);
+  const MultiEdfResult edf = run_multi_edf(trace);
+  const std::int64_t opt = multi_offline_optimum(trace);
+  ASSERT_GT(edf.fulfilled, 0);
+  EXPECT_LE(opt, c * edf.fulfilled);
+  EXPECT_GE(opt, edf.fulfilled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MultiEdfBound,
+                         ::testing::Combine(::testing::Values(2, 3, 4),
+                                            ::testing::Values(7u, 8u, 9u)));
+
+TEST(MultiEdf, EmptyTrace) {
+  MultiTrace trace(2, 2);
+  EXPECT_EQ(run_multi_edf(trace).fulfilled, 0);
+  EXPECT_EQ(multi_offline_optimum(trace), 0);
+}
+
+TEST(MultiEdf, ServesUrgentCopiesFirst) {
+  // Two requests on one resource: the later-deadline one arrives first but
+  // the urgent one is served first.
+  MultiTrace trace(1, 3);
+  trace.add(0, {0});  // deadline 2
+  trace.add(0, {0});  // deadline 2 — same; order by id
+  const MultiEdfResult edf = run_multi_edf(trace);
+  EXPECT_EQ(edf.fulfilled, 2);
+}
+
+}  // namespace
+}  // namespace reqsched

@@ -1,0 +1,268 @@
+// The lexicographic matching solver against brute-force enumeration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "matching/lex_matcher.hpp"
+#include "matching/mincost_flow.hpp"
+#include "util/prng.hpp"
+
+namespace reqsched {
+namespace {
+
+struct BruteResult {
+  std::vector<std::int64_t> best_profile;
+  std::int64_t best_cardinality = -1;
+  bool found = false;
+};
+
+/// Enumerates every matching; keeps the objective-optimal profile.
+BruteResult brute_force(const LexMatchProblem& p) {
+  BruteResult result;
+  std::vector<std::int32_t> right_owner(
+      static_cast<std::size_t>(p.right_count), -1);
+  std::vector<char> required(static_cast<std::size_t>(p.left_count), 0);
+  for (const auto l : p.required_lefts) {
+    required[static_cast<std::size_t>(l)] = 1;
+  }
+
+  std::vector<std::int64_t> profile(static_cast<std::size_t>(p.level_count),
+                                    0);
+  std::int64_t matched = 0;
+  std::int64_t required_matched = 0;
+  const std::int64_t required_total =
+      static_cast<std::int64_t>(p.required_lefts.size());
+
+  const std::function<void(std::int32_t)> recurse = [&](std::int32_t l) {
+    if (l == p.left_count) {
+      if (required_matched != required_total) return;
+      bool better = false;
+      if (!result.found) {
+        better = true;
+      } else if (p.cardinality_first && matched != result.best_cardinality) {
+        better = matched > result.best_cardinality;
+      } else {
+        better = compare_profiles(result.best_profile, profile) < 0;
+      }
+      if (better) {
+        result.best_profile = profile;
+        result.best_cardinality = matched;
+        result.found = true;
+      }
+      return;
+    }
+    for (const std::int32_t r : p.adj[static_cast<std::size_t>(l)]) {
+      if (right_owner[static_cast<std::size_t>(r)] >= 0) continue;
+      right_owner[static_cast<std::size_t>(r)] = l;
+      ++profile[static_cast<std::size_t>(
+          p.level_of_right[static_cast<std::size_t>(r)])];
+      ++matched;
+      required_matched += required[static_cast<std::size_t>(l)];
+      recurse(l + 1);
+      required_matched -= required[static_cast<std::size_t>(l)];
+      --matched;
+      --profile[static_cast<std::size_t>(
+          p.level_of_right[static_cast<std::size_t>(r)])];
+      right_owner[static_cast<std::size_t>(r)] = -1;
+    }
+    if (!required[static_cast<std::size_t>(l)]) recurse(l + 1);
+    // Required lefts must be matched; skipping them is not explored unless
+    // impossible, which the required_matched check rejects.
+    if (required[static_cast<std::size_t>(l)]) {
+      // Explore the skip branch anyway so infeasible setups are caught by
+      // the caller (they never occur in the library's use).
+    }
+  };
+  recurse(0);
+  return result;
+}
+
+LexMatchProblem random_problem(Prng& rng, bool cardinality_first) {
+  LexMatchProblem p;
+  p.left_count = static_cast<std::int32_t>(2 + rng.next_below(4));   // 2..5
+  p.right_count = static_cast<std::int32_t>(2 + rng.next_below(4));  // 2..5
+  p.level_count = static_cast<std::int32_t>(1 + rng.next_below(3));  // 1..3
+  p.cardinality_first = cardinality_first;
+  p.adj.resize(static_cast<std::size_t>(p.left_count));
+  for (std::int32_t l = 0; l < p.left_count; ++l) {
+    for (std::int32_t r = 0; r < p.right_count; ++r) {
+      if (rng.next_bool(0.45)) {
+        p.adj[static_cast<std::size_t>(l)].push_back(r);
+      }
+    }
+  }
+  p.level_of_right.resize(static_cast<std::size_t>(p.right_count));
+  for (auto& lvl : p.level_of_right) {
+    lvl = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(p.level_count)));
+  }
+  return p;
+}
+
+void expect_result_consistent(const LexMatchProblem& p,
+                              const LexMatchResult& result) {
+  // The reported profile must match the reported assignment.
+  std::vector<std::int64_t> profile(static_cast<std::size_t>(p.level_count),
+                                    0);
+  std::vector<char> right_used(static_cast<std::size_t>(p.right_count), 0);
+  std::int64_t matched = 0;
+  for (std::int32_t l = 0; l < p.left_count; ++l) {
+    const std::int32_t r = result.left_to_right[static_cast<std::size_t>(l)];
+    if (r < 0) continue;
+    const auto& nbrs = p.adj[static_cast<std::size_t>(l)];
+    ASSERT_NE(std::find(nbrs.begin(), nbrs.end(), r), nbrs.end());
+    ASSERT_FALSE(right_used[static_cast<std::size_t>(r)]);
+    right_used[static_cast<std::size_t>(r)] = 1;
+    ++profile[static_cast<std::size_t>(
+        p.level_of_right[static_cast<std::size_t>(r)])];
+    ++matched;
+  }
+  EXPECT_EQ(profile, result.level_counts);
+  EXPECT_EQ(matched, result.cardinality);
+}
+
+TEST(LexMatcher, PureLexMatchesBruteForce) {
+  Prng rng(11);
+  for (int trial = 0; trial < 400; ++trial) {
+    const LexMatchProblem p = random_problem(rng, /*cardinality_first=*/false);
+    const LexMatchResult result = solve_lex_matching(p);
+    expect_result_consistent(p, result);
+    const BruteResult brute = brute_force(p);
+    ASSERT_TRUE(brute.found);
+    EXPECT_EQ(result.level_counts, brute.best_profile)
+        << "trial " << trial;
+  }
+}
+
+TEST(LexMatcher, CardinalityFirstMatchesBruteForce) {
+  Prng rng(22);
+  for (int trial = 0; trial < 400; ++trial) {
+    const LexMatchProblem p = random_problem(rng, /*cardinality_first=*/true);
+    const LexMatchResult result = solve_lex_matching(p);
+    expect_result_consistent(p, result);
+    const BruteResult brute = brute_force(p);
+    ASSERT_TRUE(brute.found);
+    EXPECT_EQ(result.cardinality, brute.best_cardinality) << "trial " << trial;
+    EXPECT_EQ(result.level_counts, brute.best_profile) << "trial " << trial;
+  }
+}
+
+TEST(LexMatcher, RequiredLeftsStayMatched) {
+  Prng rng(33);
+  int checked = 0;
+  for (int trial = 0; trial < 600 && checked < 100; ++trial) {
+    LexMatchProblem p = random_problem(rng, /*cardinality_first=*/true);
+    // Pick a required set that is simultaneously matchable: take a greedy
+    // matching and require its lefts.
+    std::vector<char> right_used(static_cast<std::size_t>(p.right_count), 0);
+    for (std::int32_t l = 0; l < p.left_count; ++l) {
+      for (const std::int32_t r : p.adj[static_cast<std::size_t>(l)]) {
+        if (!right_used[static_cast<std::size_t>(r)]) {
+          right_used[static_cast<std::size_t>(r)] = 1;
+          p.required_lefts.push_back(l);
+          break;
+        }
+      }
+    }
+    if (p.required_lefts.empty()) continue;
+    ++checked;
+    const LexMatchResult result = solve_lex_matching(p);
+    for (const std::int32_t l : p.required_lefts) {
+      EXPECT_GE(result.left_to_right[static_cast<std::size_t>(l)], 0);
+    }
+    const BruteResult brute = brute_force(p);
+    ASSERT_TRUE(brute.found);
+    EXPECT_EQ(result.cardinality, brute.best_cardinality);
+    EXPECT_EQ(result.level_counts, brute.best_profile);
+  }
+  EXPECT_GE(checked, 50);
+}
+
+TEST(LexMatcher, PureLexImpliesMaximality) {
+  Prng rng(44);
+  for (int trial = 0; trial < 200; ++trial) {
+    const LexMatchProblem p = random_problem(rng, false);
+    const LexMatchResult result = solve_lex_matching(p);
+    // No unmatched left may have an unused neighbour.
+    std::vector<char> right_used(static_cast<std::size_t>(p.right_count), 0);
+    for (std::int32_t l = 0; l < p.left_count; ++l) {
+      const std::int32_t r = result.left_to_right[static_cast<std::size_t>(l)];
+      if (r >= 0) right_used[static_cast<std::size_t>(r)] = 1;
+    }
+    for (std::int32_t l = 0; l < p.left_count; ++l) {
+      if (result.left_to_right[static_cast<std::size_t>(l)] >= 0) continue;
+      for (const std::int32_t r : p.adj[static_cast<std::size_t>(l)]) {
+        EXPECT_TRUE(right_used[static_cast<std::size_t>(r)])
+            << "left " << l << " could still take right " << r;
+      }
+    }
+  }
+}
+
+TEST(LexMatcher, AgreesWithBigWeightFlowOracle) {
+  // Third oracle besides brute force: on small instances the lexicographic
+  // objective can be encoded directly as min-cost max-flow with explicit
+  // geometric weights w_level = (R+1)^(L-level) — exactly the paper's F.
+  // (The production solver avoids these weights because they overflow for
+  // real n, d; here they fit comfortably.)
+  Prng rng(55);
+  for (int trial = 0; trial < 150; ++trial) {
+    const LexMatchProblem p = random_problem(rng, /*cardinality_first=*/true);
+    const LexMatchResult result = solve_lex_matching(p);
+
+    const std::int64_t base = p.right_count + 1;
+    std::vector<std::int64_t> weight(
+        static_cast<std::size_t>(p.level_count));
+    std::int64_t w = 1;
+    for (std::int32_t lvl = p.level_count - 1; lvl >= 0; --lvl) {
+      weight[static_cast<std::size_t>(lvl)] = w;
+      w *= base;
+    }
+    // Cardinality dominates: each matched left also earns a huge bonus.
+    const std::int64_t card_bonus = w * base;
+
+    MinCostMaxFlow flow(2 + p.left_count + p.right_count);
+    const std::int32_t source = 0;
+    const std::int32_t sink = 1;
+    for (std::int32_t l = 0; l < p.left_count; ++l) {
+      flow.add_edge(source, 2 + l, 1, -card_bonus);
+      for (const std::int32_t r : p.adj[static_cast<std::size_t>(l)]) {
+        flow.add_edge(2 + l, 2 + p.left_count + r, 1, 0);
+      }
+    }
+    for (std::int32_t r = 0; r < p.right_count; ++r) {
+      flow.add_edge(
+          2 + p.left_count + r, sink, 1,
+          -weight[static_cast<std::size_t>(
+              p.level_of_right[static_cast<std::size_t>(r)])]);
+    }
+    const auto [value, cost] = flow.solve(source, sink);
+    EXPECT_EQ(value, result.cardinality) << "trial " << trial;
+    std::int64_t expected_cost = -card_bonus * result.cardinality;
+    for (std::int32_t lvl = 0; lvl < p.level_count; ++lvl) {
+      expected_cost -= weight[static_cast<std::size_t>(lvl)] *
+                       result.level_counts[static_cast<std::size_t>(lvl)];
+    }
+    EXPECT_EQ(cost, expected_cost) << "trial " << trial;
+  }
+}
+
+TEST(LexMatcher, EmptyAndDegenerateProblems) {
+  LexMatchProblem p;
+  p.level_count = 1;
+  const auto result = solve_lex_matching(p);
+  EXPECT_EQ(result.cardinality, 0);
+  EXPECT_EQ(result.level_counts, std::vector<std::int64_t>{0});
+
+  LexMatchProblem q;
+  q.left_count = 2;
+  q.right_count = 0;
+  q.level_count = 2;
+  q.adj.resize(2);
+  const auto r2 = solve_lex_matching(q);
+  EXPECT_EQ(r2.cardinality, 0);
+}
+
+}  // namespace
+}  // namespace reqsched

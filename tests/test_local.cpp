@@ -1,0 +1,202 @@
+// Tests for the message-passing substrate and the two local strategies.
+#include <gtest/gtest.h>
+
+#include "adversary/random.hpp"
+#include "adversary/theorems.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/harness.hpp"
+#include "local/local_eager.hpp"
+#include "local/local_fix.hpp"
+#include "local/router.hpp"
+
+namespace reqsched {
+namespace {
+
+TEST(Router, EnforcesBandwidthWithLdfOrder) {
+  const ProblemConfig config{2, 2};  // capacity d = 2 per resource
+  std::vector<Message> messages{
+      {0, 0, 5, false, 0},   // deadline 5
+      {1, 0, 9, false, 0},   // deadline 9 (latest -> first)
+      {2, 0, 7, false, 0},   // deadline 7
+      {3, 1, 1, false, 0},
+  };
+  const Delivery delivery = route_messages(config, messages);
+  ASSERT_EQ(delivery.delivered[0].size(), 2u);
+  EXPECT_EQ(delivery.delivered[0][0].sender, 1);  // latest deadline first
+  EXPECT_EQ(delivery.delivered[0][1].sender, 2);
+  ASSERT_EQ(delivery.failed.size(), 1u);
+  EXPECT_EQ(delivery.failed[0].sender, 0);
+  ASSERT_EQ(delivery.delivered[1].size(), 1u);
+}
+
+TEST(Router, TiesBreakTowardsEarlierRequests) {
+  const ProblemConfig config{1, 1};  // capacity 1
+  std::vector<Message> messages{
+      {7, 0, 5, false, 0},
+      {3, 0, 5, false, 0},  // same deadline, earlier id -> wins
+  };
+  const Delivery delivery = route_messages(config, messages);
+  ASSERT_EQ(delivery.delivered[0].size(), 1u);
+  EXPECT_EQ(delivery.delivered[0][0].sender, 3);
+}
+
+TEST(Router, PriorityTagBypassesBandwidth) {
+  const ProblemConfig config{1, 1};
+  std::vector<Message> messages{
+      {1, 0, 9, false, 0},
+      {2, 0, 8, false, 0},
+      {3, 0, 1, true, 0},  // tagged: delivered regardless
+  };
+  const Delivery delivery = route_messages(config, messages);
+  ASSERT_EQ(delivery.delivered[0].size(), 2u);
+  EXPECT_EQ(delivery.delivered[0][0].sender, 3);  // tagged first
+  EXPECT_EQ(delivery.delivered[0][1].sender, 1);
+}
+
+TEST(ALocalFixTest, UsesAtMostTwoCommunicationRoundsPerRound) {
+  UniformWorkload workload({.n = 4, .d = 3, .load = 1.5, .horizon = 50,
+                            .seed = 3, .two_choice = true});
+  ALocalFix strategy;
+  Simulator sim(workload, strategy);
+  sim.run();
+  EXPECT_LE(sim.metrics().communication_rounds, 2 * sim.metrics().rounds);
+  EXPECT_GT(sim.metrics().messages, 0);
+}
+
+TEST(ALocalFixTest, NeverWorseThanTwiceOpt) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    UniformWorkload workload({.n = 5, .d = 4, .load = 1.7, .horizon = 60,
+                              .seed = seed, .two_choice = true});
+    ALocalFix strategy;
+    const RunResult result = run_experiment(workload, strategy);
+    EXPECT_LE(result.ratio, ub_local_fix().to_double() + 1e-12)
+        << "seed " << seed;
+    // Theorem 3.7 upper-bound argument: no order-1 augmenting paths.
+    if (result.paths.augmenting_paths > 0) {
+      EXPECT_GE(result.paths.min_order, 2) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ALocalEagerTest, UsesAtMostNineCommunicationRoundsPerRound) {
+  UniformWorkload workload({.n = 4, .d = 3, .load = 1.8, .horizon = 50,
+                            .seed = 4, .two_choice = true});
+  ALocalEager strategy;
+  Simulator sim(workload, strategy);
+  sim.run();
+  EXPECT_LE(sim.metrics().communication_rounds, 9 * sim.metrics().rounds);
+}
+
+TEST(ALocalEagerTest, RespectsFiveThirdsOnWorkloadSuite) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    UniformWorkload workload({.n = 5, .d = 4, .load = 1.7, .horizon = 60,
+                              .seed = seed, .two_choice = true});
+    ALocalEager strategy;
+    const RunResult result = run_experiment(workload, strategy);
+    EXPECT_LE(result.ratio, ub_local_eager().to_double() + 1e-12)
+        << "seed " << seed;
+  }
+}
+
+TEST(ALocalEagerTest, BeatsLocalFixOnitsWorstInstance) {
+  auto instance_fix = make_lb_local_fix(4, 6);
+  ALocalFix local_fix;
+  const RunResult fix_run = run_experiment(*instance_fix, local_fix);
+  EXPECT_DOUBLE_EQ(fix_run.ratio, 2.0);
+
+  auto instance_eager = make_lb_local_fix(4, 6);
+  ALocalEager local_eager;
+  const RunResult eager_run = run_experiment(*instance_eager, local_eager);
+  EXPECT_LT(eager_run.ratio, fix_run.ratio);
+  EXPECT_LE(eager_run.ratio, ub_local_eager().to_double() + 1e-12);
+}
+
+TEST(ALocalEagerTest, PhaseTwoPullsBookingsForward) {
+  // One resource pair, d = 2. Round 0: r0 books (0,0), r1 books (0,1)
+  // (first-alternative routing, S1 untouched). In the same round, phase 2
+  // offers r1 (booked at a future slot) to its other alternative S1, whose
+  // current slot is idle — r1 must move to (1,0) and execute immediately.
+  Trace trace(ProblemConfig{2, 2});
+  trace.add(0, RequestSpec{0, 1, 0});  // r0
+  trace.add(0, RequestSpec{0, 1, 0});  // r1
+  TraceWorkload workload(trace);
+  ALocalEager strategy;
+  Simulator sim(workload, strategy);
+  sim.step();
+  EXPECT_EQ(sim.status(0), RequestStatus::kFulfilled);
+  EXPECT_EQ(sim.status(1), RequestStatus::kFulfilled);
+  EXPECT_EQ(sim.fulfilled_slot(0), (SlotRef{0, 0}));
+  EXPECT_EQ(sim.fulfilled_slot(1), (SlotRef{1, 0}));
+  EXPECT_EQ(sim.metrics().reassignments, 1);  // the phase-2 move
+}
+
+TEST(ALocalEagerTest, RivalryExchangeRescuesABlockedRequest) {
+  // d = 2, three resources. After round 0, a1 (alts 0,2) holds slot (0,1)
+  // and S2 is idle at round 1. At round 1 the arrivals fill every slot q
+  // (alts 0,1) could use — q fails Phase 1 on both alternatives, and
+  // Phase 2 has nothing to pull. Phase 3 then brokers the exchange: q
+  // rivals at S0, learns about a1, re-homes a1 to (2,1) and takes (0,1).
+  Trace trace(ProblemConfig{3, 2});
+  trace.add(0, RequestSpec{0, 1, 0});  // a0 -> (0,0)
+  trace.add(0, RequestSpec{0, 2, 0});  // a1 -> (0,1), the displaceable one
+  trace.add(0, RequestSpec{1, 2, 0});  // a2 -> (1,0)
+  trace.add(0, RequestSpec{1, 2, 0});  // a3 -> (1,1)
+  trace.add(0, RequestSpec{2, 0, 0});  // a4 -> (2,0), keeps Phase 2 quiet
+  trace.add(1, RequestSpec{0, 1, 0});  // b0 -> (0,2)
+  trace.add(1, RequestSpec{1, 0, 0});  // b1 -> (1,2)
+  trace.add(1, RequestSpec{0, 1, 0});  // q: both alternatives full
+
+  {
+    TraceWorkload workload(trace);
+    ALocalEager strategy;
+    Simulator sim(workload, strategy);
+    const Metrics& metrics = sim.run();
+    EXPECT_EQ(metrics.fulfilled, 8);  // exchange rescues q
+    EXPECT_EQ(metrics.expired, 0);
+    EXPECT_EQ(sim.status(7), RequestStatus::kFulfilled);
+    EXPECT_EQ(sim.fulfilled_slot(7), (SlotRef{0, 1}));  // q got a1's slot
+    EXPECT_EQ(sim.fulfilled_slot(1), (SlotRef{2, 1}));  // a1 re-homed
+    EXPECT_GE(metrics.reassignments, 1);
+  }
+  {
+    // A_local_fix cannot rescue q: it never revisits placed requests.
+    TraceWorkload workload(trace);
+    ALocalFix strategy;
+    Simulator sim(workload, strategy);
+    EXPECT_EQ(sim.run().fulfilled, 7);
+  }
+}
+
+TEST(ALocalEagerTest, MergedVariantStaysWithinEightRounds) {
+  // The paper's note: bandwidth 2d-2 overlaps Phase 2's last round with
+  // Phase 3's first, for <= 8 communication rounds per scheduling round.
+  UniformWorkload workload({.n = 5, .d = 4, .load = 1.8, .horizon = 60,
+                            .seed = 21, .two_choice = true});
+  ALocalEager merged(true);
+  Simulator sim(workload, merged);
+  sim.run();
+  EXPECT_LE(sim.metrics().communication_rounds, 8 * sim.metrics().rounds);
+
+  // Quality is unchanged within the 5/3 bound.
+  UniformWorkload workload2({.n = 5, .d = 4, .load = 1.8, .horizon = 60,
+                             .seed = 21, .two_choice = true});
+  ALocalEager merged2(true);
+  const RunResult result = run_experiment(workload2, merged2);
+  EXPECT_LE(result.ratio, ub_local_eager().to_double() + 1e-12);
+}
+
+TEST(ALocalEagerTest, LeavesNoOrderOnePaths) {
+  for (const std::uint64_t seed : {7u, 8u, 9u}) {
+    BlockStormWorkload workload({.n = 6, .d = 4, .load = 1.0, .horizon = 60,
+                                 .seed = seed, .two_choice = true},
+                                0.5, 4);
+    ALocalEager strategy;
+    const RunResult result = run_experiment(workload, strategy);
+    if (result.paths.augmenting_paths > 0) {
+      EXPECT_GE(result.paths.min_order, 2) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reqsched

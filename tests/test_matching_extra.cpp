@@ -1,0 +1,183 @@
+// Additional matching-substrate coverage: pathological graph shapes, seeded
+// augmentation, flow edge cases, and randomized trace round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trace.hpp"
+#include "matching/bipartite.hpp"
+#include "matching/maxflow.hpp"
+#include "matching/mincost_flow.hpp"
+#include "util/prng.hpp"
+
+namespace reqsched {
+namespace {
+
+TEST(HopcroftKarp, CompleteBipartiteIsPerfect) {
+  for (const std::int32_t size : {1, 2, 5, 9}) {
+    BipartiteGraph g(size, size);
+    for (std::int32_t l = 0; l < size; ++l) {
+      for (std::int32_t r = 0; r < size; ++r) g.add_edge(l, r);
+    }
+    EXPECT_EQ(hopcroft_karp(g).size(), size);
+  }
+}
+
+TEST(HopcroftKarp, StarGraphMatchesOne) {
+  BipartiteGraph g(5, 1);
+  for (std::int32_t l = 0; l < 5; ++l) g.add_edge(l, 0);
+  EXPECT_EQ(hopcroft_karp(g).size(), 1);
+  const auto cover = koenig_cover(g, hopcroft_karp(g));
+  EXPECT_EQ(cover.size(), 1);
+  EXPECT_TRUE(covers_all_edges(g, cover));
+}
+
+TEST(HopcroftKarp, DisjointPerfectMatchingChain) {
+  // A "chain" where greedy can go wrong but augmentation recovers:
+  // l0-{r0}, l1-{r0,r1}, l2-{r1,r2}, ... perfect matching exists.
+  const std::int32_t size = 8;
+  BipartiteGraph g(size, size);
+  g.add_edge(0, 0);
+  for (std::int32_t l = 1; l < size; ++l) {
+    g.add_edge(l, l - 1);
+    g.add_edge(l, l);
+  }
+  EXPECT_EQ(hopcroft_karp(g).size(), size);
+  // Kuhn processed in REVERSE order must still find the perfect matching.
+  std::vector<std::int32_t> reverse_order;
+  for (std::int32_t l = size - 1; l >= 0; --l) reverse_order.push_back(l);
+  EXPECT_EQ(kuhn_ordered(g, reverse_order).size(), size);
+}
+
+TEST(KuhnOrdered, EmptyGraphAndIsolatedVertices) {
+  BipartiteGraph g(3, 3);
+  const Matching m = kuhn_ordered(g);
+  EXPECT_EQ(m.size(), 0);
+  EXPECT_TRUE(is_maximal_matching(g, m));
+}
+
+TEST(KuhnOrdered, ParallelEdgesAreHarmless) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 0);  // duplicate
+  g.add_edge(1, 0);
+  g.add_edge(1, 1);
+  EXPECT_EQ(kuhn_ordered(g).size(), 2);
+}
+
+TEST(MatchingOps, MatchUnmatchRoundTrip) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 1);
+  Matching m = Matching::empty(g);
+  m.match(0, 1);
+  EXPECT_TRUE(m.left_matched(0));
+  EXPECT_TRUE(m.right_matched(1));
+  m.unmatch_left(0);
+  EXPECT_FALSE(m.left_matched(0));
+  EXPECT_FALSE(m.right_matched(1));
+  EXPECT_THROW(m.unmatch_left(0), ContractViolation);
+  m.match(0, 1);
+  EXPECT_THROW(m.match(0, 1), ContractViolation);
+}
+
+TEST(ValidateMatching, CatchesCorruption) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(1, 1);
+  Matching m = Matching::empty(g);
+  m.left_to_right[0] = 0;  // not mutual
+  EXPECT_THROW(validate_matching(g, m), ContractViolation);
+  m.right_to_left[0] = 0;
+  EXPECT_NO_THROW(validate_matching(g, m));
+  m.left_to_right[1] = 0;  // not an edge / double use
+  m.right_to_left[0] = 1;
+  EXPECT_THROW(validate_matching(g, m), ContractViolation);
+}
+
+TEST(MaxFlow, ZeroCapacityEdgesCarryNothing) {
+  MaxFlow flow(3);
+  const auto e = flow.add_edge(0, 1, 0);
+  flow.add_edge(1, 2, 5);
+  EXPECT_EQ(flow.solve(0, 2), 0);
+  EXPECT_EQ(flow.flow_on(e), 0);
+}
+
+TEST(MaxFlow, ParallelEdgesAccumulate) {
+  MaxFlow flow(2);
+  flow.add_edge(0, 1, 2);
+  flow.add_edge(0, 1, 3);
+  EXPECT_EQ(flow.solve(0, 1), 5);
+}
+
+TEST(MaxFlow, DisconnectedSinkIsZero) {
+  MaxFlow flow(4);
+  flow.add_edge(0, 1, 7);
+  flow.add_edge(2, 3, 7);
+  EXPECT_EQ(flow.solve(0, 3), 0);
+}
+
+TEST(MinCostMaxFlow, ZeroFlowHasZeroCost) {
+  MinCostMaxFlow flow(3);
+  flow.add_edge(0, 1, 0, -100);
+  const auto [value, cost] = flow.solve(0, 1);
+  EXPECT_EQ(value, 0);
+  EXPECT_EQ(cost, 0);
+}
+
+TEST(MinCostMaxFlow, SplitsFlowAcrossCosts) {
+  // Demand 3 from source; capacities 2 (cost 1) and 2 (cost 5): min cost
+  // max flow sends 2 cheap + 1 expensive.
+  MinCostMaxFlow flow(3);
+  flow.add_edge(0, 1, 3, 0);
+  flow.add_edge(1, 2, 2, 1);
+  flow.add_edge(1, 2, 2, 5);
+  const auto [value, cost] = flow.solve(0, 2);
+  EXPECT_EQ(value, 3);
+  EXPECT_EQ(cost, 2 * 1 + 1 * 5);
+}
+
+TEST(TraceIo, RandomRoundTripFuzz) {
+  Prng rng(71);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto n = static_cast<std::int32_t>(2 + rng.next_below(6));
+    const auto d = static_cast<std::int32_t>(1 + rng.next_below(5));
+    Trace trace(ProblemConfig{n, d});
+    Round arrival = 0;
+    const auto count = rng.next_below(30);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      arrival += static_cast<Round>(rng.next_below(3));
+      RequestSpec spec;
+      spec.first = static_cast<ResourceId>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      if (n > 1 && rng.next_bool(0.8)) {
+        spec.second = static_cast<ResourceId>(
+            rng.next_below(static_cast<std::uint64_t>(n - 1)));
+        if (spec.second >= spec.first) ++spec.second;
+      }
+      spec.window =
+          static_cast<std::int32_t>(1 + rng.next_below(
+                                            static_cast<std::uint64_t>(d)));
+      trace.add(arrival, spec);
+    }
+    std::stringstream buffer;
+    trace.save(buffer);
+    const Trace loaded = Trace::load(buffer);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (RequestId id = 0; id < trace.size(); ++id) {
+      EXPECT_EQ(loaded.request(id).arrival, trace.request(id).arrival);
+      EXPECT_EQ(loaded.request(id).deadline, trace.request(id).deadline);
+      EXPECT_EQ(loaded.request(id).first, trace.request(id).first);
+      EXPECT_EQ(loaded.request(id).second, trace.request(id).second);
+    }
+  }
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream garbage("not-a-trace 1 2 3");
+  EXPECT_THROW(Trace::load(garbage), ContractViolation);
+  std::stringstream truncated("reqsched-trace 2 2 5\n0 0 1 1\n");
+  EXPECT_THROW(Trace::load(truncated), ContractViolation);
+}
+
+}  // namespace
+}  // namespace reqsched

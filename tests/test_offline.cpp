@@ -1,0 +1,74 @@
+// Unit tests for the offline optimum.
+#include <gtest/gtest.h>
+
+#include "adversary/random.hpp"
+#include "analysis/registry.hpp"
+#include "core/simulator.hpp"
+#include "offline/offline.hpp"
+
+namespace reqsched {
+namespace {
+
+TEST(Offline, EmptyTrace) {
+  Trace trace(ProblemConfig{2, 2});
+  EXPECT_EQ(offline_optimum(trace), 0);
+}
+
+TEST(Offline, SimpleTwoChoiceInstance) {
+  // Two requests both naming (S0, S1), one round, d = 1: both fit.
+  Trace trace(ProblemConfig{2, 1});
+  trace.add(0, RequestSpec{0, 1, 0});
+  trace.add(0, RequestSpec{0, 1, 0});
+  EXPECT_EQ(offline_optimum(trace), 2);
+  // A third one must drop.
+  trace.add(0, RequestSpec{0, 1, 0});
+  EXPECT_EQ(offline_optimum(trace), 2);
+}
+
+TEST(Offline, DeadlineWindowsAreRespected) {
+  // One resource, d = 2: three same-round requests, only two slots.
+  Trace trace(ProblemConfig{1, 2});
+  trace.add(0, RequestSpec{0, kNoResource, 0});
+  trace.add(0, RequestSpec{0, kNoResource, 0});
+  trace.add(0, RequestSpec{0, kNoResource, 0});
+  const OfflineResult result = solve_offline(trace);
+  EXPECT_EQ(result.optimum, 2);
+  EXPECT_EQ(result.certificate, 2);
+}
+
+TEST(Offline, AssignmentIsAValidSchedule) {
+  UniformWorkload workload({.n = 5, .d = 3, .load = 1.5, .horizon = 40,
+                            .seed = 12, .two_choice = true});
+  auto strategy = make_strategy("A_fix");
+  Simulator sim(workload, *strategy);
+  sim.run();
+  const OfflineResult result = solve_offline(sim.trace());
+
+  std::set<std::pair<ResourceId, Round>> used;
+  std::int64_t assigned = 0;
+  for (RequestId id = 0; id < sim.trace().size(); ++id) {
+    const SlotRef slot = result.assignment[static_cast<std::size_t>(id)];
+    if (!slot.valid()) continue;
+    ++assigned;
+    const Request& r = sim.trace().request(id);
+    EXPECT_TRUE(r.allows_slot(slot)) << r << " -> " << slot;
+    EXPECT_TRUE(used.emplace(slot.resource, slot.round).second)
+        << "slot reused: " << slot;
+  }
+  EXPECT_EQ(assigned, result.optimum);
+  EXPECT_GE(result.optimum, sim.metrics().fulfilled);
+}
+
+TEST(OfflineGraph, SlotIndexRoundTrips) {
+  Trace trace(ProblemConfig{3, 2});
+  trace.add(0, RequestSpec{0, 1, 0});
+  trace.add(2, RequestSpec{1, 2, 0});
+  const OfflineGraph og(trace);
+  EXPECT_EQ(og.horizon(), 3);
+  for (std::int32_t s = 0; s < og.slot_count(); ++s) {
+    EXPECT_EQ(og.slot_index(og.slot_at(s)), s);
+  }
+}
+
+}  // namespace
+}  // namespace reqsched

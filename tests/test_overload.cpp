@@ -1,0 +1,109 @@
+// Tests for the overload (Theorem 3.4 proof machinery) analyzer.
+#include <gtest/gtest.h>
+
+#include "adversary/theorems.hpp"
+#include "analysis/overload.hpp"
+#include "analysis/registry.hpp"
+#include "core/simulator.hpp"
+
+namespace reqsched {
+namespace {
+
+TEST(Overload, NoFailuresMeansNoOverload) {
+  Trace trace(ProblemConfig{2, 2});
+  trace.add(0, RequestSpec{0, 1, 0});
+  const OverloadStats stats =
+      analyze_overload(trace, {{0, SlotRef{0, 0}}});
+  EXPECT_EQ(stats.failed_requests, 0);
+  EXPECT_EQ(stats.overloaded_rounds, 0);
+  EXPECT_TRUE(stats.groups.empty());
+  EXPECT_TRUE(stats.intervals.empty());
+  EXPECT_EQ(stats.normal_executions, 1);
+  EXPECT_EQ(stats.overloaded_executions, 0);
+}
+
+TEST(Overload, ClosureFollowsScheduledAlternatives) {
+  // Round 0, d = 1, three resources. r0 fails with alternatives (0, 1);
+  // r1 is executed at resource 1 and has alternatives (1, 2): the closure
+  // must pull resource 2 into the overloaded set.
+  Trace trace(ProblemConfig{3, 1});
+  trace.add(0, RequestSpec{0, 1, 0});  // r0, fails
+  trace.add(0, RequestSpec{1, 2, 0});  // r1, executed at 1
+  trace.add(0, RequestSpec{2, 0, 0});  // r2, executed at 2 -> overloaded too
+  const OverloadStats stats = analyze_overload(
+      trace, {{1, SlotRef{1, 0}}, {2, SlotRef{2, 0}}});
+  EXPECT_EQ(stats.failed_requests, 1);
+  EXPECT_EQ(stats.overloaded_rounds, 1);
+  EXPECT_EQ(stats.groups.size(), 3u);  // closure reached all three
+  EXPECT_EQ(stats.overloaded_executions, 2);
+  EXPECT_EQ(stats.normal_executions, 0);
+}
+
+TEST(Overload, ClosureStopsAtUnrelatedResources) {
+  // Same as above, but r1 executes OUTSIDE the initial set: no closure step.
+  Trace trace(ProblemConfig{4, 1});
+  trace.add(0, RequestSpec{0, 1, 0});  // r0 fails -> set {0, 1}
+  trace.add(0, RequestSpec{2, 3, 0});  // r1 executed at 2; not in set
+  const OverloadStats stats =
+      analyze_overload(trace, {{1, SlotRef{2, 0}}});
+  EXPECT_EQ(stats.groups.size(), 2u);
+  EXPECT_EQ(stats.overloaded_executions, 0);
+  EXPECT_EQ(stats.normal_executions, 1);
+}
+
+TEST(Overload, ConsecutiveGroupsMergeIntoIntervals) {
+  // Failures at rounds 0 and 2 with d = 3 on the same pair: group spans
+  // [0,2] and [2,4] overlap -> one interval [0,4] per resource.
+  Trace trace(ProblemConfig{2, 3});
+  // Saturate both resources so the extra request fails.
+  for (int round = 0; round <= 2; round += 2) {
+    for (int k = 0; k < 7; ++k) {
+      trace.add(round, RequestSpec{0, 1, 1});  // window 1: round-only
+    }
+  }
+  // Executions: fill both resources in rounds 0 and 2; 5 fail each wave.
+  std::vector<std::pair<RequestId, SlotRef>> executions = {
+      {0, SlotRef{0, 0}}, {1, SlotRef{1, 0}},
+      {7, SlotRef{0, 2}}, {8, SlotRef{1, 2}}};
+  const OverloadStats stats = analyze_overload(trace, executions);
+  EXPECT_EQ(stats.failed_requests, 10);
+  EXPECT_EQ(stats.overloaded_rounds, 2);
+  EXPECT_EQ(stats.groups.size(), 4u);     // 2 rounds x 2 resources
+  ASSERT_EQ(stats.intervals.size(), 2u);  // merged per resource
+  for (const OverloadedInterval& interval : stats.intervals) {
+    EXPECT_EQ(interval.from, 0);
+    EXPECT_EQ(interval.to, 4);
+    EXPECT_EQ(interval.length(), 5);
+  }
+}
+
+TEST(Overload, AFixChargingBoundHoldsOnItsAdversary) {
+  // Theorem 3.3's bookkeeping: at most d-1 failures per d overloaded
+  // executions, i.e. failures/overloaded-execution <= (d-1)/d... the proof
+  // charges more carefully, but (d-1)/1-per-execution is a hard ceiling
+  // on the construction; check the measured quotient is sane and finite.
+  for (const std::int32_t d : {4, 8}) {
+    TheoremInstance instance = make_lb_fix(d, 6);
+    auto strategy = make_strategy("A_fix");
+    Simulator sim(*instance.workload, *strategy);
+    sim.run();
+    const OverloadStats stats =
+        analyze_overload(sim.trace(), sim.online_matching());
+    EXPECT_GT(stats.failed_requests, 0);
+    EXPECT_GT(stats.overloaded_executions, 0);
+    EXPECT_LE(stats.failures_per_overloaded_execution,
+              static_cast<double>(d - 1));
+    // Failures only spawn groups whose resources actually host executions.
+    EXPECT_FALSE(stats.groups.empty());
+    EXPECT_FALSE(stats.intervals.empty());
+  }
+}
+
+TEST(Overload, EmptyTrace) {
+  Trace trace(ProblemConfig{2, 2});
+  const OverloadStats stats = analyze_overload(trace, {});
+  EXPECT_EQ(stats.failed_requests, 0);
+}
+
+}  // namespace
+}  // namespace reqsched

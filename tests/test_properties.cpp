@@ -1,0 +1,161 @@
+// Cross-cutting property sweeps: for every (strategy, workload, n, d, seed)
+// combination the run must satisfy the model's global invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adversary/random.hpp"
+#include "analysis/harness.hpp"
+#include "analysis/registry.hpp"
+#include "core/simulator.hpp"
+
+namespace reqsched {
+namespace {
+
+struct SweepCase {
+  std::string strategy;
+  std::int32_t n;
+  std::int32_t d;
+  std::uint64_t seed;
+};
+
+class InvariantSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(InvariantSweep, RunObeysModelInvariants) {
+  const SweepCase& c = GetParam();
+  UniformWorkload workload({.n = c.n, .d = c.d, .load = 1.5, .horizon = 40,
+                            .seed = c.seed, .two_choice = true});
+  auto strategy = make_strategy(c.strategy);
+  Simulator sim(workload, *strategy);
+  sim.run();
+
+  const Metrics& m = sim.metrics();
+  // Conservation: every injected request is fulfilled or expired.
+  EXPECT_EQ(m.injected, m.fulfilled + m.expired);
+  EXPECT_EQ(m.injected, sim.trace().size());
+
+  // The final online matching is a valid schedule: one request per slot,
+  // every execution inside the request's own window and alternatives.
+  std::set<std::pair<ResourceId, Round>> used;
+  for (const auto& [id, slot] : sim.online_matching()) {
+    const Request& r = sim.request(id);
+    EXPECT_TRUE(r.allows_slot(slot)) << r << " executed at " << slot;
+    EXPECT_TRUE(used.emplace(slot.resource, slot.round).second);
+  }
+
+  // Statuses are consistent with the matching.
+  std::int64_t fulfilled = 0;
+  for (RequestId id = 0; id < sim.trace().size(); ++id) {
+    const auto status = sim.status(id);
+    EXPECT_NE(status, RequestStatus::kPending);
+    if (status == RequestStatus::kFulfilled) {
+      ++fulfilled;
+      EXPECT_TRUE(sim.fulfilled_slot(id).valid());
+    } else {
+      EXPECT_FALSE(sim.fulfilled_slot(id).valid());
+    }
+  }
+  EXPECT_EQ(fulfilled, m.fulfilled);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const auto& strategy : all_strategy_names()) {
+    if (strategy == "EDF_single") continue;  // needs single-alt workloads
+    for (const std::int32_t n : {2, 6}) {
+      for (const std::int32_t d : {1, 2, 4, 7}) {
+        if ((strategy == "A_local_fix" || strategy == "A_local_eager") &&
+            n < 2) {
+          continue;
+        }
+        cases.push_back(SweepCase{strategy, n, d, 97u + static_cast<std::uint64_t>(n * d)});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, InvariantSweep,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& param_info) {
+                           const SweepCase& c = param_info.param;
+                           return c.strategy + "_n" + std::to_string(c.n) +
+                                  "_d" + std::to_string(c.d);
+                         });
+
+class OptDominanceSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(OptDominanceSweep, OfflineOptimumDominatesEveryStrategy) {
+  const SweepCase& c = GetParam();
+  ZipfWorkload workload({.n = c.n, .d = c.d, .load = 1.8, .horizon = 40,
+                         .seed = c.seed, .two_choice = true},
+                        1.2);
+  auto strategy = make_strategy(c.strategy);
+  const RunResult result = run_experiment(workload, *strategy);
+  EXPECT_GE(result.optimum, result.metrics.fulfilled);
+  EXPECT_GE(result.ratio, 1.0 - 1e-12);
+}
+
+std::vector<SweepCase> dominance_cases() {
+  std::vector<SweepCase> cases;
+  for (const auto& strategy : all_strategy_names()) {
+    if (strategy == "EDF_single") continue;
+    cases.push_back(SweepCase{strategy, 5, 3, 7u});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, OptDominanceSweep,
+                         ::testing::ValuesIn(dominance_cases()),
+                         [](const auto& param_info) { return param_info.param.strategy; });
+
+TEST(Scale, LargeRunCompletesAndStaysConsistent) {
+  // Stress: 32 resources, deadline 8, ~300 rounds of overloaded traffic
+  // under the most expensive strategy (A_balance: d staged flows per
+  // round), with the exact offline optimum on the realized ~12k-request
+  // trace. Guards against superlinear blowups sneaking into the substrate.
+  UniformWorkload workload({.n = 32, .d = 8, .load = 1.3, .horizon = 300,
+                            .seed = 99, .two_choice = true});
+  auto strategy = make_strategy("A_balance");
+  const RunResult result = run_experiment(workload, *strategy,
+                                          {.analyze_paths = true});
+  EXPECT_GT(result.metrics.injected, 8000);
+  EXPECT_GE(result.ratio, 1.0 - 1e-12);
+  EXPECT_LE(result.ratio, 1.1);  // A_balance is near-optimal on uniform load
+  EXPECT_EQ(result.paths.deficiency,
+            result.optimum - result.metrics.fulfilled);
+}
+
+TEST(StrategyOrdering, ReschedulingBeatsFrozenOnWorstCaseSuite) {
+  // On the dense block-storm suite the paper's qualitative ordering should
+  // emerge in aggregate: A_balance / A_eager (rescheduling) fulfill at
+  // least as much as A_fix (frozen) on average.
+  std::int64_t fix_total = 0;
+  std::int64_t eager_total = 0;
+  std::int64_t balance_total = 0;
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    const RandomWorkloadOptions base{.n = 6, .d = 4, .load = 1.0,
+                                     .horizon = 40, .seed = seed,
+                                     .two_choice = true};
+    {
+      BlockStormWorkload w(base, 0.5, 4);
+      auto s = make_strategy("A_fix");
+      fix_total += run_experiment(w, *s).metrics.fulfilled;
+    }
+    {
+      BlockStormWorkload w(base, 0.5, 4);
+      auto s = make_strategy("A_eager");
+      eager_total += run_experiment(w, *s).metrics.fulfilled;
+    }
+    {
+      BlockStormWorkload w(base, 0.5, 4);
+      auto s = make_strategy("A_balance");
+      balance_total += run_experiment(w, *s).metrics.fulfilled;
+    }
+  }
+  EXPECT_GE(eager_total, fix_total);
+  EXPECT_GE(balance_total, fix_total);
+}
+
+}  // namespace
+}  // namespace reqsched

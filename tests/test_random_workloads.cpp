@@ -1,0 +1,123 @@
+// Tests for the randomized workload generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "adversary/random.hpp"
+#include "analysis/registry.hpp"
+#include "core/simulator.hpp"
+
+namespace reqsched {
+namespace {
+
+template <typename W>
+Trace record(W& workload) {
+  auto strategy = make_strategy("A_fix");
+  Simulator sim(workload, *strategy);
+  sim.run();
+  Trace copy(sim.trace().config());
+  for (const Request& r : sim.trace().requests()) {
+    RequestSpec spec;
+    spec.first = r.first;
+    spec.second = r.second;
+    spec.window = static_cast<std::int32_t>(r.deadline - r.arrival + 1);
+    copy.add(r.arrival, spec);
+  }
+  return copy;
+}
+
+TEST(UniformWorkloadTest, DeterministicGivenSeed) {
+  UniformWorkload a({.n = 4, .d = 3, .load = 1.0, .horizon = 30, .seed = 5,
+                     .two_choice = true});
+  UniformWorkload b({.n = 4, .d = 3, .load = 1.0, .horizon = 30, .seed = 5,
+                     .two_choice = true});
+  const Trace ta = record(a);
+  const Trace tb = record(b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (RequestId id = 0; id < ta.size(); ++id) {
+    EXPECT_EQ(ta.request(id).first, tb.request(id).first);
+    EXPECT_EQ(ta.request(id).second, tb.request(id).second);
+    EXPECT_EQ(ta.request(id).arrival, tb.request(id).arrival);
+  }
+}
+
+TEST(UniformWorkloadTest, LoadScalesInjectionVolume) {
+  UniformWorkload light({.n = 8, .d = 3, .load = 0.5, .horizon = 100,
+                         .seed = 7, .two_choice = true});
+  UniformWorkload heavy({.n = 8, .d = 3, .load = 2.0, .horizon = 100,
+                         .seed = 7, .two_choice = true});
+  const Trace tl = record(light);
+  const Trace th = record(heavy);
+  EXPECT_GT(th.size(), 2 * tl.size());
+  // Expectation: load * n * horizon requests (within generous slack).
+  EXPECT_NEAR(static_cast<double>(th.size()), 2.0 * 8 * 100, 350);
+}
+
+TEST(UniformWorkloadTest, AlternativesAreDistinctAndInRange) {
+  UniformWorkload workload({.n = 6, .d = 2, .load = 1.5, .horizon = 50,
+                            .seed = 9, .two_choice = true});
+  const Trace trace = record(workload);
+  for (const Request& r : trace.requests()) {
+    EXPECT_GE(r.first, 0);
+    EXPECT_LT(r.first, 6);
+    EXPECT_NE(r.first, r.second);
+    EXPECT_GE(r.second, 0);
+    EXPECT_LT(r.second, 6);
+  }
+}
+
+TEST(ZipfWorkloadTest, HotResourceDominates) {
+  ZipfWorkload workload({.n = 8, .d = 3, .load = 1.5, .horizon = 200,
+                         .seed = 11, .two_choice = true},
+                        1.4);
+  const Trace trace = record(workload);
+  std::vector<std::int64_t> hits(8, 0);
+  for (const Request& r : trace.requests()) {
+    ++hits[static_cast<std::size_t>(r.first)];
+    ++hits[static_cast<std::size_t>(r.second)];
+  }
+  EXPECT_GT(hits[0], hits[7] * 2);
+}
+
+TEST(BurstyWorkloadTest, BurstsShareAlternatives) {
+  BurstyWorkload workload({.n = 8, .d = 4, .load = 1.0, .horizon = 100,
+                           .seed = 13, .two_choice = true},
+                          0.5, 16);
+  const Trace trace = record(workload);
+  // With bursts of 16 identical requests, some (first, second) pair must
+  // appear at least 16 times.
+  std::map<std::pair<ResourceId, ResourceId>, std::int64_t> pairs;
+  std::int64_t max_count = 0;
+  for (const Request& r : trace.requests()) {
+    max_count = std::max(max_count, ++pairs[{r.first, r.second}]);
+  }
+  EXPECT_GE(max_count, 16);
+}
+
+TEST(BlockStormWorkloadTest, InjectsWholeBlocks) {
+  BlockStormWorkload workload({.n = 6, .d = 3, .load = 1.0, .horizon = 60,
+                               .seed = 17, .two_choice = true},
+                              0.5, 4);
+  const Trace trace = record(workload);
+  ASSERT_GT(trace.size(), 0);
+  // Block sizes are a*d with 2 <= a <= 4: per-round injection counts are in
+  // {0, 6, 9, 12}.
+  std::map<Round, std::int64_t> per_round;
+  for (const Request& r : trace.requests()) ++per_round[r.arrival];
+  for (const auto& [round, count] : per_round) {
+    EXPECT_TRUE(count == 6 || count == 9 || count == 12)
+        << "round " << round << " has " << count;
+  }
+}
+
+TEST(Workloads, ResetReplaysIdentically) {
+  UniformWorkload workload({.n = 4, .d = 3, .load = 1.0, .horizon = 20,
+                            .seed = 23, .two_choice = true});
+  const Trace first = record(workload);
+  const Trace second = record(workload);  // Simulator ctor resets
+  EXPECT_EQ(first.size(), second.size());
+}
+
+}  // namespace
+}  // namespace reqsched

@@ -1,0 +1,195 @@
+// Unit tests for the proposal checker and ScriptedStrategy plumbing.
+#include <gtest/gtest.h>
+
+#include "adversary/planned.hpp"
+#include "core/simulator.hpp"
+#include "strategies/scripted.hpp"
+
+namespace reqsched {
+namespace {
+
+/// A proposal source driven by a hand-written per-round table.
+class TableSource final : public IProposalSource {
+ public:
+  explicit TableSource(std::vector<std::optional<Proposal>> rows)
+      : rows_(std::move(rows)) {}
+  std::optional<Proposal> propose(const Simulator& sim) override {
+    const auto t = static_cast<std::size_t>(sim.now());
+    return t < rows_.size() ? rows_[t] : std::nullopt;
+  }
+
+ private:
+  std::vector<std::optional<Proposal>> rows_;
+};
+
+Trace two_requests_trace() {
+  Trace trace(ProblemConfig{2, 2});
+  trace.add(0, RequestSpec{0, 1, 0});  // r0
+  trace.add(0, RequestSpec{0, 1, 0});  // r1
+  return trace;
+}
+
+TEST(Checker, AcceptsAConformingFixProposal) {
+  const Trace trace = two_requests_trace();
+  TraceWorkload workload(trace);
+  TableSource source({Proposal{{0, {0, 0}}, {1, {1, 0}}}});
+  ScriptedStrategy strategy(StrategyKind::kFix, source);
+  Simulator sim(workload, strategy);
+  sim.run();
+  EXPECT_EQ(strategy.violations(), 0);
+  EXPECT_EQ(sim.metrics().fulfilled, 2);
+}
+
+TEST(Checker, RejectsUndercountingFixProposal) {
+  const Trace trace = two_requests_trace();
+  TraceWorkload workload(trace);
+  // Only one of two schedulable new requests booked: violates rule 2 of
+  // A_fix; the fallback then schedules properly.
+  TableSource source({Proposal{{0, {0, 0}}}});
+  ScriptedStrategy strategy(StrategyKind::kFix, source);
+  Simulator sim(workload, strategy);
+  sim.run();
+  EXPECT_EQ(strategy.violations(), 1);
+  ASSERT_EQ(strategy.violation_log().size(), 1u);
+  EXPECT_NE(strategy.violation_log()[0].find("new requests"),
+            std::string::npos);
+  EXPECT_EQ(sim.metrics().fulfilled, 2);  // fallback saved the round
+}
+
+TEST(Checker, RejectsNonMaximalFixProposal) {
+  Trace trace(ProblemConfig{2, 2});
+  trace.add(0, RequestSpec{0, 1, 0});  // r0, new
+  trace.add(1, RequestSpec{0, 1, 0});  // r1, next round
+  TraceWorkload workload(trace);
+  // Round 0 fine; round 1 books the new r1 but... r1 is the only new one;
+  // propose r1 unbooked -> fails the new-request rule.
+  TableSource source({Proposal{{0, {0, 0}}}, Proposal{{}}});
+  ScriptedStrategy strategy(StrategyKind::kFix, source);
+  Simulator sim(workload, strategy);
+  sim.run();
+  EXPECT_GE(strategy.violations(), 1);
+}
+
+TEST(Checker, RejectsInvalidBookings) {
+  const Trace trace = two_requests_trace();
+  TraceWorkload workload(trace);
+  struct Case {
+    Proposal proposal;
+    const char* what;
+  };
+  const std::vector<Case> cases = {
+      {{{0, {0, 0}}, {1, {0, 0}}}, "slot double-booked"},
+      {{{0, {0, 0}}, {0, {1, 0}}}, "duplicate booking"},
+      {{{0, {0, 5}}}, "outside window"},
+      {{{5, {0, 0}}}, "unknown request"},
+  };
+  for (const auto& c : cases) {
+    TraceWorkload fresh(trace);
+    TableSource source({c.proposal});
+    ScriptedStrategy strategy(StrategyKind::kFix, source);
+    Simulator sim(fresh, strategy);
+    sim.run();
+    EXPECT_GE(strategy.violations(), 1) << c.what;
+    EXPECT_NE(strategy.violation_log()[0].find(c.what), std::string::npos)
+        << "got: " << strategy.violation_log()[0];
+  }
+}
+
+TEST(Checker, FixFamilyRejectsDroppedBookings) {
+  Trace trace(ProblemConfig{2, 3});
+  trace.add(0, RequestSpec{0, 1, 0});
+  trace.add(1, RequestSpec{0, 1, 0});
+  TraceWorkload workload(trace);
+  // Round 0: book r0 at a future slot. Round 1: drop it (A_fix forbids).
+  TableSource source({Proposal{{0, {0, 2}}}, Proposal{{1, {0, 1}}}});
+  ScriptedStrategy strategy(StrategyKind::kFix, source);
+  Simulator sim(workload, strategy);
+  sim.run();
+  EXPECT_GE(strategy.violations(), 1);
+  EXPECT_NE(strategy.violation_log()[0].find("must stay"), std::string::npos);
+}
+
+TEST(Checker, CurrentRejectsFutureBookings) {
+  const Trace trace = two_requests_trace();
+  TraceWorkload workload(trace);
+  TableSource source({Proposal{{0, {0, 0}}, {1, {1, 1}}}});
+  ScriptedStrategy strategy(StrategyKind::kCurrent, source);
+  Simulator sim(workload, strategy);
+  sim.run();
+  EXPECT_GE(strategy.violations(), 1);
+  EXPECT_NE(strategy.violation_log()[0].find("current round"),
+            std::string::npos);
+}
+
+TEST(Checker, EagerAcceptsMovesAndRejectsDrops) {
+  Trace trace(ProblemConfig{2, 3});
+  trace.add(0, RequestSpec{0, 1, 0});  // r0
+  trace.add(1, RequestSpec{0, 1, 0});  // r1
+  {
+    // Conforming: r0 booked now; r1 next round; r0 moved is fine as long
+    // as it stays booked — here we keep everything tight and current.
+    TraceWorkload workload(trace);
+    TableSource source({Proposal{{0, {0, 0}}},
+                        Proposal{{1, {0, 1}}}});  // r0 fulfilled already
+    ScriptedStrategy strategy(StrategyKind::kEager, source);
+    Simulator sim(workload, strategy);
+    sim.run();
+    EXPECT_EQ(strategy.violations(), 0)
+        << (strategy.violation_log().empty()
+                ? std::string("-")
+                : strategy.violation_log()[0]);
+    EXPECT_EQ(sim.metrics().fulfilled, 2);
+  }
+  {
+    // Dropping a previously scheduled request violates the eager rule.
+    Trace trace2(ProblemConfig{1, 3});
+    trace2.add(0, RequestSpec{0, kNoResource, 0});  // r0
+    trace2.add(1, RequestSpec{0, kNoResource, 0});  // r1
+    TraceWorkload workload(trace2);
+    // Round 0: book r0 at round 2 (not maximal X_0 -> also checked, so use
+    // the only slot pattern that isolates the drop rule: book r0 now).
+    // Round 1: propose r1 only — r0 is gone (fulfilled), so this is fine;
+    // instead violate by booking r1 at round 2 (X_0 suboptimal).
+    TableSource source({Proposal{{0, {0, 0}}}, Proposal{{1, {0, 2}}}});
+    ScriptedStrategy strategy(StrategyKind::kEager, source);
+    Simulator sim(workload, strategy);
+    sim.run();
+    EXPECT_GE(strategy.violations(), 1);
+    EXPECT_NE(strategy.violation_log()[0].find("executions now"),
+              std::string::npos)
+        << strategy.violation_log()[0];
+  }
+}
+
+TEST(Checker, BalanceRejectsLexSuboptimalProfiles) {
+  Trace trace(ProblemConfig{1, 3});
+  trace.add(0, RequestSpec{0, kNoResource, 0});
+  TraceWorkload workload(trace);
+  // Booking the only request late when "now" is free: profile (0,1,0) loses
+  // to (1,0,0).
+  TableSource source({Proposal{{0, {0, 1}}}});
+  ScriptedStrategy strategy(StrategyKind::kBalance, source);
+  Simulator sim(workload, strategy);
+  sim.run();
+  EXPECT_GE(strategy.violations(), 1);
+  EXPECT_NE(strategy.violation_log()[0].find("lexicographically"),
+            std::string::npos);
+}
+
+TEST(PlannedInstance, ValidatesScriptAndMapsIds) {
+  std::vector<PlannedRequest> script;
+  PlannedRequest bad;
+  bad.arrival = 0;
+  bad.spec = RequestSpec{0, 1, 0};
+  bad.intended = SlotRef{0, 9};  // outside the window
+  script.push_back(bad);
+  EXPECT_THROW(PlannedInstance("x", ProblemConfig{2, 2}, script),
+               ContractViolation);
+
+  script[0].intended = SlotRef{0, 1};
+  PlannedInstance good("x", ProblemConfig{2, 2}, script);
+  EXPECT_EQ(good.planned_online(), 1);
+}
+
+}  // namespace
+}  // namespace reqsched

@@ -1,0 +1,210 @@
+// Behavioural tests of the five global strategies: each one's defining rule
+// is checked against the simulator state round by round.
+#include <gtest/gtest.h>
+
+#include "adversary/random.hpp"
+#include "analysis/registry.hpp"
+#include "core/simulator.hpp"
+#include "strategies/global.hpp"
+#include "strategies/scripted.hpp"
+
+namespace reqsched {
+namespace {
+
+/// Wraps a strategy and asserts, via the proposal checker, that its outcome
+/// is one the strategy class permits — i.e. the reference implementation
+/// conforms to its own rules.
+class SelfCheckStrategy final : public IStrategy {
+ public:
+  SelfCheckStrategy(StrategyKind kind)
+      : kind_(kind), inner_(make_reference_strategy(kind)) {}
+
+  std::string name() const override { return inner_->name() + "_selfcheck"; }
+  void reset(const ProblemConfig& config) override { inner_->reset(config); }
+
+  void on_round(Simulator& sim) override {
+    // Snapshot the checker's reference BEFORE the strategy runs by checking
+    // the outcome against the pre-round state: check_proposal computes all
+    // optima from the simulator, so it must run before edits. We therefore
+    // run the inner strategy on a cloned decision and verify afterwards by
+    // re-running the checker on the final booking map against a fresh
+    // pre-state — instead, we verify directly: capture bookings after the
+    // round and validate them with check_proposal evaluated lazily first.
+    //
+    // Simpler and exact: compute the check against the pre-state using a
+    // deferred proposal — the inner strategy's result.
+    pre_checked_ = false;
+    inner_->on_round(sim);
+    Proposal outcome;
+    for (const RequestId id : sim.alive()) {
+      const SlotRef slot = sim.slot_of(id);
+      if (slot.valid()) outcome.emplace_back(id, slot);
+    }
+    outcomes_.push_back(std::move(outcome));
+  }
+
+  const std::vector<Proposal>& outcomes() const { return outcomes_; }
+
+ private:
+  StrategyKind kind_;
+  std::unique_ptr<IStrategy> inner_;
+  bool pre_checked_ = false;
+  std::vector<Proposal> outcomes_;
+};
+
+/// Replays a workload under the reference strategy, capturing each round's
+/// outcome; then replays again, this time feeding the captured outcomes as
+/// proposals through the checker. Zero violations proves the reference
+/// implementation obeys its own class rules.
+void expect_reference_conforms(StrategyKind kind, IWorkload& workload) {
+  // First pass: record outcomes.
+  SelfCheckStrategy recorder(kind);
+  {
+    Simulator sim(workload, recorder);
+    sim.run();
+  }
+  // Second pass: feed them back as proposals.
+  class ReplaySource final : public IProposalSource {
+   public:
+    explicit ReplaySource(const std::vector<Proposal>& outcomes)
+        : outcomes_(outcomes) {}
+    std::optional<Proposal> propose(const Simulator&) override {
+      REQSCHED_CHECK(index_ < outcomes_.size());
+      return outcomes_[index_++];
+    }
+
+   private:
+    const std::vector<Proposal>& outcomes_;
+    std::size_t index_ = 0;
+  } source(recorder.outcomes());
+
+  ScriptedStrategy scripted(kind, source);
+  Simulator sim(workload, scripted);
+  sim.run();
+  EXPECT_EQ(scripted.violations(), 0)
+      << to_string(kind) << ": "
+      << (scripted.violation_log().empty() ? std::string("-")
+                                           : scripted.violation_log().front());
+}
+
+class ReferenceConformanceTest
+    : public ::testing::TestWithParam<std::tuple<StrategyKind, std::uint64_t>> {
+};
+
+TEST_P(ReferenceConformanceTest, ReferenceObeysItsOwnRules) {
+  const auto [kind, seed] = GetParam();
+  UniformWorkload workload({.n = 4, .d = 3, .load = 1.3, .horizon = 30,
+                            .seed = seed, .two_choice = true});
+  expect_reference_conforms(kind, workload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSeeds, ReferenceConformanceTest,
+    ::testing::Combine(::testing::Values(StrategyKind::kFix,
+                                         StrategyKind::kCurrent,
+                                         StrategyKind::kFixBalance,
+                                         StrategyKind::kEager,
+                                         StrategyKind::kBalance),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(AFixRule, NeverReschedules) {
+  UniformWorkload workload({.n = 5, .d = 4, .load = 1.5, .horizon = 50,
+                            .seed = 5, .two_choice = true});
+  AFix strategy;
+  Simulator sim(workload, strategy);
+  sim.run();
+  EXPECT_EQ(sim.metrics().reassignments, 0);
+  EXPECT_EQ(sim.metrics().unassignments, 0);
+}
+
+TEST(AFixBalanceRule, NeverReschedules) {
+  UniformWorkload workload({.n = 5, .d = 4, .load = 1.5, .horizon = 50,
+                            .seed = 6, .two_choice = true});
+  AFixBalance strategy;
+  Simulator sim(workload, strategy);
+  sim.run();
+  EXPECT_EQ(sim.metrics().reassignments, 0);
+  EXPECT_EQ(sim.metrics().unassignments, 0);
+}
+
+TEST(ACurrentRule, OnlyBooksTheCurrentRound) {
+  // A_current books nothing into the future, so at the end of every round
+  // the window beyond `now` is empty; equivalently the schedule's booked
+  // count right before execution is at most n. We observe it via a probe.
+  class Probe final : public IStrategy {
+   public:
+    std::string name() const override { return "probe"; }
+    void on_round(Simulator& sim) override {
+      inner_.on_round(sim);
+      for (Round t = sim.now() + 1; t < sim.schedule().window_end(); ++t) {
+        EXPECT_EQ(sim.schedule().booked_in_round(t), 0);
+      }
+    }
+    ACurrent inner_;
+  };
+  UniformWorkload workload({.n = 4, .d = 5, .load = 1.2, .horizon = 40,
+                            .seed = 7, .two_choice = true});
+  Probe probe;
+  Simulator sim(workload, probe);
+  sim.run();
+}
+
+TEST(AEagerRule, PreviouslyScheduledStayScheduled) {
+  class Probe final : public IStrategy {
+   public:
+    std::string name() const override { return "probe"; }
+    void reset(const ProblemConfig& config) override { inner_.reset(config); }
+    void on_round(Simulator& sim) override {
+      std::vector<RequestId> booked_before;
+      for (const RequestId id : sim.alive()) {
+        if (sim.is_scheduled(id)) booked_before.push_back(id);
+      }
+      inner_.on_round(sim);
+      for (const RequestId id : booked_before) {
+        EXPECT_TRUE(sim.is_scheduled(id)) << "r" << id << " was dropped";
+      }
+    }
+    AEager inner_;
+  };
+  UniformWorkload workload({.n = 4, .d = 4, .load = 1.6, .horizon = 40,
+                            .seed = 8, .two_choice = true});
+  Probe probe;
+  Simulator sim(workload, probe);
+  sim.run();
+}
+
+TEST(ABalanceRule, PreviouslyScheduledStayScheduled) {
+  class Probe final : public IStrategy {
+   public:
+    std::string name() const override { return "probe"; }
+    void reset(const ProblemConfig& config) override { inner_.reset(config); }
+    void on_round(Simulator& sim) override {
+      std::vector<RequestId> booked_before;
+      for (const RequestId id : sim.alive()) {
+        if (sim.is_scheduled(id)) booked_before.push_back(id);
+      }
+      inner_.on_round(sim);
+      for (const RequestId id : booked_before) {
+        EXPECT_TRUE(sim.is_scheduled(id)) << "r" << id << " was dropped";
+      }
+    }
+    ABalance inner_;
+  };
+  UniformWorkload workload({.n = 4, .d = 4, .load = 1.6, .horizon = 40,
+                            .seed = 9, .two_choice = true});
+  Probe probe;
+  Simulator sim(workload, probe);
+  sim.run();
+}
+
+TEST(Registry, CreatesEveryStrategy) {
+  for (const auto& name : all_strategy_names()) {
+    const auto strategy = make_strategy(name);
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_EQ(strategy->name(), name);
+  }
+  EXPECT_THROW(make_strategy("nope"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace reqsched

@@ -1,0 +1,87 @@
+// Tests for the parallel sweep driver.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adversary/random.hpp"
+#include "analysis/sweep.hpp"
+
+namespace reqsched {
+namespace {
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.strategies = {"A_fix", "A_balance"};
+  spec.ns = {3, 5};
+  spec.ds = {2, 3};
+  spec.seeds = {1, 2};
+  spec.make_workload = [](std::int32_t n, std::int32_t d,
+                          std::uint64_t seed) -> std::unique_ptr<IWorkload> {
+    return std::make_unique<UniformWorkload>(RandomWorkloadOptions{
+        .n = n, .d = d, .load = 1.5, .horizon = 20, .seed = seed,
+        .two_choice = true});
+  };
+  return spec;
+}
+
+TEST(Sweep, CoversTheWholeGridInOrder) {
+  const auto points = run_sweep(small_spec());
+  ASSERT_EQ(points.size(), 2u * 2u * 2u * 2u);
+  EXPECT_EQ(points.front().strategy, "A_fix");
+  EXPECT_EQ(points.back().strategy, "A_balance");
+  for (const SweepPoint& p : points) {
+    EXPECT_FALSE(p.failed) << p.error;
+    EXPECT_GT(p.result.metrics.injected, 0);
+    EXPECT_GE(p.result.ratio, 1.0 - 1e-12);
+  }
+}
+
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+  SweepSpec serial = small_spec();
+  serial.threads = 1;
+  SweepSpec parallel = small_spec();
+  parallel.threads = 4;
+  const auto a = run_sweep(serial);
+  const auto b = run_sweep(parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].strategy, b[i].strategy);
+    EXPECT_EQ(a[i].result.metrics.fulfilled, b[i].result.metrics.fulfilled);
+    EXPECT_EQ(a[i].result.optimum, b[i].result.optimum);
+  }
+}
+
+TEST(Sweep, CsvHasOneRowPerPoint) {
+  const auto points = run_sweep(small_spec());
+  std::ostringstream os;
+  write_sweep_csv(os, points);
+  const std::string csv = os.str();
+  const auto lines = static_cast<std::size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, points.size() + 1);  // + header
+  EXPECT_NE(csv.find("strategy,n,d,seed"), std::string::npos);
+}
+
+TEST(Sweep, SummaryAggregates) {
+  const auto points = run_sweep(small_spec());
+  const SweepSummary summary = summarize_sweep(points);
+  EXPECT_EQ(summary.points, static_cast<std::int64_t>(points.size()));
+  EXPECT_EQ(summary.failures, 0);
+  EXPECT_GE(summary.max_ratio, summary.mean_ratio - 1e-12);
+  EXPECT_GE(summary.mean_ratio, 1.0 - 1e-12);
+}
+
+TEST(Sweep, CapturesFailuresInsteadOfThrowing) {
+  SweepSpec spec = small_spec();
+  spec.strategies = {"EDF_single"};  // two-choice workload -> contract fails
+  const auto points = run_sweep(spec);
+  for (const SweepPoint& p : points) {
+    EXPECT_TRUE(p.failed);
+    EXPECT_NE(p.error.find("single-alternative"), std::string::npos);
+  }
+  const SweepSummary summary = summarize_sweep(points);
+  EXPECT_EQ(summary.failures, summary.points);
+}
+
+}  // namespace
+}  // namespace reqsched

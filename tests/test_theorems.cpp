@@ -1,0 +1,195 @@
+// The paper's lower-bound constructions, executed end to end:
+//  * the scripted plans must conform to the strategy rules every round
+//    (zero checker violations), and
+//  * the measured per-phase competitive ratio must equal the theorem.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "adversary/theorems.hpp"
+#include "adversary/universal.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/harness.hpp"
+#include "analysis/registry.hpp"
+#include "local/local_fix.hpp"
+#include "strategies/edf.hpp"
+
+namespace reqsched {
+namespace {
+
+/// Runs a theorem instance twice (short and long) under the scripted
+/// strategy and returns the additive-constant-free slope ratio.
+struct TheoremOutcome {
+  double slope_ratio;
+  std::int64_t violations;
+  RunResult long_run;
+};
+
+TheoremOutcome run_planned(
+    const std::function<TheoremInstance(std::int32_t)>& make,
+    std::int32_t short_phases, std::int32_t long_phases) {
+  TheoremInstance short_inst = make(short_phases);
+  TheoremInstance long_inst = make(long_phases);
+
+  ScriptedStrategy short_strategy(short_inst.target, *short_inst.workload);
+  ScriptedStrategy long_strategy(long_inst.target, *long_inst.workload);
+
+  const RunResult short_run =
+      run_experiment(*short_inst.workload, short_strategy);
+  const RunResult long_run = run_experiment(*long_inst.workload, long_strategy);
+
+  TheoremOutcome outcome{pairwise_slope_ratio(short_run, long_run),
+                         short_run.violations + long_run.violations,
+                         long_run};
+  return outcome;
+}
+
+class LbFixTest : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(LbFixTest, AchievesTwoMinusOneOverD) {
+  const std::int32_t d = GetParam();
+  const auto outcome = run_planned(
+      [d](std::int32_t phases) { return make_lb_fix(d, phases); }, 4, 8);
+  EXPECT_EQ(outcome.violations, 0);
+  EXPECT_NEAR(outcome.slope_ratio, lb_fix(d).to_double(), 1e-9)
+      << "d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Deadlines, LbFixTest,
+                         ::testing::Values(2, 3, 4, 6, 8, 12, 16));
+
+class LbFixBalanceTest : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(LbFixBalanceTest, AchievesThreeDOverTwoDPlusTwo) {
+  const std::int32_t d = GetParam();
+  // No plan: the reference A_fix_balance walks into the trap by itself.
+  TheoremInstance short_inst = make_lb_fix_balance(d, 4);
+  TheoremInstance long_inst = make_lb_fix_balance(d, 8);
+  auto strategy_a = make_strategy("A_fix_balance");
+  auto strategy_b = make_strategy("A_fix_balance");
+  const RunResult a = run_experiment(*short_inst.workload, *strategy_a);
+  const RunResult b = run_experiment(*long_inst.workload, *strategy_b);
+  EXPECT_NEAR(pairwise_slope_ratio(a, b),
+              Fraction(3 * d, 2 * d + 2).to_double(), 1e-9)
+      << "d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Deadlines, LbFixBalanceTest,
+                         ::testing::Values(4, 6, 8, 10, 16));
+
+class LbEagerTest : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(LbEagerTest, AchievesFourThirds) {
+  const std::int32_t d = GetParam();
+  const auto outcome = run_planned(
+      [d](std::int32_t phases) {
+        return make_lb_eager(d, phases, StrategyKind::kEager);
+      },
+      4, 8);
+  EXPECT_EQ(outcome.violations, 0) << "d=" << d;
+  EXPECT_NEAR(outcome.slope_ratio, 4.0 / 3.0, 1e-9) << "d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Deadlines, LbEagerTest,
+                         ::testing::Values(2, 4, 6, 8, 12));
+
+TEST(LbEagerAtDTwo, AlsoHitsCurrentFixBalanceAndBalance) {
+  for (const StrategyKind kind :
+       {StrategyKind::kCurrent, StrategyKind::kFixBalance,
+        StrategyKind::kBalance}) {
+    const auto outcome = run_planned(
+        [kind](std::int32_t phases) {
+          return make_lb_eager(2, phases, kind);
+        },
+        4, 8);
+    EXPECT_EQ(outcome.violations, 0) << to_string(kind);
+    EXPECT_NEAR(outcome.slope_ratio, 4.0 / 3.0, 1e-9) << to_string(kind);
+  }
+}
+
+class LbBalanceTest : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(LbBalanceTest, ApproachesFiveDPlusTwoOverFourDPlusOne) {
+  const std::int32_t x = GetParam();
+  const std::int32_t d = 3 * x - 1;
+  const std::int32_t groups = 6;
+  const auto outcome = run_planned(
+      [&](std::int32_t intervals) {
+        return make_lb_balance(x, groups, intervals);
+      },
+      4, 8);
+  EXPECT_EQ(outcome.violations, 0) << "x=" << x;
+  // Per interval and group the plan loses x of 5x-1 requests; the shared
+  // S'/S'' maintenance (4x, all fulfilled) dilutes the ratio at finite
+  // group counts exactly as in the paper's n -> infinity argument:
+  //   slope = (groups*(5x-1) + 4x) / (groups*(4x-1) + 4x).
+  const double expected =
+      static_cast<double>(groups * (5 * x - 1) + 4 * x) /
+      static_cast<double>(groups * (4 * x - 1) + 4 * x);
+  EXPECT_NEAR(outcome.slope_ratio, expected, 1e-9) << "x=" << x;
+  // And the infinite-group limit dominates the finite value.
+  EXPECT_LT(outcome.slope_ratio, lb_balance(d).to_double());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LbBalanceTest, ::testing::Values(1, 2, 3, 5));
+
+TEST(LbCurrent, ApproachesEOverEMinusOne) {
+  // The reference A_current serves oldest groups first; the measured ratio
+  // must climb towards e/(e-1) ~ 1.5820 as ell grows.
+  double previous = 1.0;
+  for (const std::int32_t ell : {2, 3, 4, 5}) {
+    TheoremInstance short_inst = make_lb_current(ell, 3);
+    TheoremInstance long_inst = make_lb_current(ell, 6);
+    auto a = make_strategy("A_current");
+    auto b = make_strategy("A_current");
+    const RunResult run_a = run_experiment(*short_inst.workload, *a);
+    const RunResult run_b = run_experiment(*long_inst.workload, *b);
+    const double slope = pairwise_slope_ratio(run_a, run_b);
+    EXPECT_GT(slope, previous - 1e-12) << "ell=" << ell;
+    EXPECT_LT(slope, lb_current_limit() + 0.05) << "ell=" << ell;
+    previous = slope;
+  }
+  // By ell = 5 the ratio must already clear 1.4.
+  EXPECT_GT(previous, 1.40);
+}
+
+TEST(LbUniversal, ForcesFortyFiveOverFortyOneOnEveryStrategy) {
+  for (const std::string& name : global_strategy_names()) {
+    UniversalAdversary short_adv(6, 4);
+    UniversalAdversary long_adv(6, 8);
+    auto a = make_strategy(name);
+    auto b = make_strategy(name);
+    const RunResult run_a = run_experiment(short_adv, *a);
+    const RunResult run_b = run_experiment(long_adv, *b);
+    const double slope = pairwise_slope_ratio(run_a, run_b);
+    EXPECT_GE(slope, lb_universal().to_double() - 1e-9)
+        << name << " beat the universal lower bound";
+  }
+}
+
+TEST(LbLocalFix, RatioExactlyTwo) {
+  for (const std::int32_t d : {1, 2, 4, 8}) {
+    auto short_inst = make_lb_local_fix(d, 4);
+    auto long_inst = make_lb_local_fix(d, 8);
+    ALocalFix a;
+    ALocalFix b;
+    const RunResult run_a = run_experiment(*short_inst, a);
+    const RunResult run_b = run_experiment(*long_inst, b);
+    EXPECT_NEAR(pairwise_slope_ratio(run_a, run_b), 2.0, 1e-9) << "d=" << d;
+  }
+}
+
+TEST(LbEdf, IndependentCopyEdfIsExactlyTwoCompetitive) {
+  for (const std::int32_t d : {1, 2, 4, 8}) {
+    auto short_inst = make_lb_edf(d, 4);
+    auto long_inst = make_lb_edf(d, 8);
+    EdfTwoChoice a(false);
+    EdfTwoChoice b(false);
+    const RunResult run_a = run_experiment(*short_inst, a);
+    const RunResult run_b = run_experiment(*long_inst, b);
+    EXPECT_NEAR(pairwise_slope_ratio(run_a, run_b), 2.0, 1e-9) << "d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace reqsched

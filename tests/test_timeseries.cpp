@@ -1,0 +1,95 @@
+// Tests for the per-round time-series probe.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adversary/random.hpp"
+#include "analysis/registry.hpp"
+#include "analysis/timeseries.hpp"
+#include "core/simulator.hpp"
+
+namespace reqsched {
+namespace {
+
+TEST(TimeSeries, SamplesEveryRoundConsistently) {
+  UniformWorkload workload({.n = 4, .d = 3, .load = 1.5, .horizon = 40,
+                            .seed = 2, .two_choice = true});
+  TimeSeriesProbe probe(make_strategy("A_balance"));
+  Simulator sim(workload, probe);
+  sim.run();
+
+  ASSERT_EQ(static_cast<std::int64_t>(probe.samples().size()),
+            sim.metrics().rounds);
+  std::int64_t injected = 0;
+  std::int64_t executed = 0;
+  Round previous = -1;
+  for (const RoundSample& s : probe.samples()) {
+    EXPECT_EQ(s.round, previous + 1);
+    previous = s.round;
+    EXPECT_GE(s.executed, 0);
+    EXPECT_LE(s.executed, 4);
+    EXPECT_EQ(s.executed + s.idle, 4);
+    EXPECT_GE(s.booked, s.executed);  // bookings include the current row
+    if (s.pending > 0) {
+      EXPECT_GE(s.tightest_slack, 0);
+    }
+    injected += s.injected;
+    executed += s.executed;
+  }
+  EXPECT_EQ(injected, sim.metrics().injected);
+  EXPECT_EQ(executed, sim.metrics().fulfilled);
+}
+
+TEST(TimeSeries, CsvRowsMatchSamples) {
+  UniformWorkload workload({.n = 3, .d = 2, .load = 1.0, .horizon = 10,
+                            .seed = 3, .two_choice = true});
+  TimeSeriesProbe probe(make_strategy("A_fix"));
+  Simulator sim(workload, probe);
+  sim.run();
+  std::ostringstream os;
+  write_timeseries_csv(os, probe.samples());
+  const std::string csv = os.str();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            probe.samples().size() + 1);
+}
+
+TEST(TimeSeries, SummaryIsCoherent) {
+  UniformWorkload workload({.n = 5, .d = 3, .load = 2.0, .horizon = 50,
+                            .seed = 4, .two_choice = true});
+  TimeSeriesProbe probe(make_strategy("A_eager"));
+  Simulator sim(workload, probe);
+  sim.run();
+  const TimeSeriesSummary summary = summarize_timeseries(probe.samples(), 5);
+  EXPECT_GT(summary.mean_utilization, 0.3);  // load 2.0: busy system
+  EXPECT_LE(summary.mean_utilization, 1.0);
+  EXPECT_GE(summary.peak_pending, 1);
+  EXPECT_EQ(summary.rounds,
+            static_cast<std::int64_t>(probe.samples().size()));
+}
+
+TEST(TimeSeries, ResetClearsSamples) {
+  UniformWorkload workload({.n = 2, .d = 2, .load = 1.0, .horizon = 5,
+                            .seed = 5, .two_choice = true});
+  TimeSeriesProbe probe(make_strategy("A_fix"));
+  {
+    Simulator sim(workload, probe);
+    sim.run();
+  }
+  const std::size_t first = probe.samples().size();
+  EXPECT_GT(first, 0u);
+  {
+    Simulator sim(workload, probe);  // constructor resets the strategy
+    sim.run();
+  }
+  EXPECT_EQ(probe.samples().size(), first);
+}
+
+TEST(TimeSeries, EmptySummary) {
+  const TimeSeriesSummary summary = summarize_timeseries({}, 4);
+  EXPECT_EQ(summary.rounds, 0);
+  EXPECT_DOUBLE_EQ(summary.mean_utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace reqsched

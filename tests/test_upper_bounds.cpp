@@ -1,0 +1,148 @@
+// Section 3 upper bounds as properties: no instance in the suite —
+// adversarial or randomized — may drive a strategy above its proven bound.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "adversary/random.hpp"
+#include "adversary/theorems.hpp"
+#include "adversary/universal.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/harness.hpp"
+#include "analysis/registry.hpp"
+
+namespace reqsched {
+namespace {
+
+Fraction upper_bound_of(const std::string& strategy, std::int32_t d) {
+  if (strategy == "A_fix") return ub_fix(d);
+  if (strategy == "A_current") return ub_current(d);
+  if (strategy == "A_fix_balance") return ub_fix_balance(d);
+  if (strategy == "A_eager") return ub_eager(d);
+  if (strategy == "A_balance") return ub_balance(d);
+  if (strategy == "A_local_fix") return ub_local_fix();
+  if (strategy == "A_local_eager") return ub_local_eager();
+  if (strategy == "EDF_two_choice") return ub_edf_two_choice();
+  if (strategy == "EDF_two_choice_cancel") return ub_edf_two_choice();
+  REQSCHED_REQUIRE_MSG(false, "no bound for " << strategy);
+  return Fraction(0);
+}
+
+struct SuiteCase {
+  std::string strategy;
+  std::int32_t n;
+  std::int32_t d;
+  std::uint64_t seed;
+};
+
+class UpperBoundSuite : public ::testing::TestWithParam<SuiteCase> {};
+
+TEST_P(UpperBoundSuite, RandomizedWorkloadsStayUnderTheBound) {
+  const SuiteCase& c = GetParam();
+  const Fraction bound = upper_bound_of(c.strategy, c.d);
+
+  std::vector<std::unique_ptr<IWorkload>> workloads;
+  const RandomWorkloadOptions base{.n = c.n, .d = c.d, .load = 1.6,
+                                   .horizon = 48, .seed = c.seed,
+                                   .two_choice = true};
+  workloads.push_back(std::make_unique<UniformWorkload>(base));
+  workloads.push_back(std::make_unique<ZipfWorkload>(base, 1.1));
+  workloads.push_back(std::make_unique<BurstyWorkload>(base, 0.3, 2 * c.n));
+  workloads.push_back(
+      std::make_unique<BlockStormWorkload>(base, 0.4, std::min(c.n, 4)));
+
+  for (auto& workload : workloads) {
+    auto strategy = make_strategy(c.strategy);
+    const RunResult result = run_experiment(*workload, *strategy);
+    EXPECT_LE(result.ratio, bound.to_double() + 1e-12)
+        << c.strategy << " on " << workload->name() << " exceeded "
+        << bound;
+  }
+}
+
+std::vector<SuiteCase> suite_cases() {
+  std::vector<SuiteCase> cases;
+  const std::vector<std::string> strategies = {
+      "A_fix", "A_current", "A_fix_balance", "A_eager", "A_balance",
+      "A_local_fix", "A_local_eager", "EDF_two_choice",
+      "EDF_two_choice_cancel"};
+  for (const auto& s : strategies) {
+    for (const std::int32_t d : {2, 3, 5}) {
+      for (const std::uint64_t seed : {11u, 23u}) {
+        cases.push_back(SuiteCase{s, 5, d, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UpperBoundSuite,
+                         ::testing::ValuesIn(suite_cases()),
+                         [](const auto& param_info) {
+                           const SuiteCase& c = param_info.param;
+                           return c.strategy + "_d" + std::to_string(c.d) +
+                                  "_s" + std::to_string(c.seed);
+                         });
+
+TEST(UpperBounds, AdversarialInstancesRespectTheBoundsToo) {
+  // Every theorem instance, run against every global strategy's reference
+  // implementation, stays below that strategy's own upper bound.
+  const auto check = [](IWorkload& workload) {
+    for (const std::string& name : global_strategy_names()) {
+      const std::int32_t d = workload.config().d;
+      auto strategy = make_strategy(name);
+      const RunResult result = run_experiment(workload, *strategy);
+      EXPECT_LE(result.ratio, upper_bound_of(name, d).to_double() + 1e-12)
+          << name << " on " << workload.name();
+    }
+  };
+  check(*make_lb_fix(4, 5).workload);
+  check(*make_lb_fix_balance(4, 5).workload);
+  check(*make_lb_eager(4, 5).workload);
+  check(*make_lb_balance(2, 3, 4).workload);
+  check(*make_lb_current(3, 4).workload);
+  {
+    UniversalAdversary adversary(6, 5);
+    check(adversary);
+  }
+}
+
+TEST(UpperBounds, FixFamilyLeavesNoOrderOnePaths) {
+  // The Theorem 3.3 argument: a failed request adjacent to a free slot
+  // would contradict maximality.
+  for (const std::string& name :
+       {std::string("A_fix"), std::string("A_fix_balance"),
+        std::string("A_eager"), std::string("A_balance")}) {
+    for (const std::uint64_t seed : {31u, 32u}) {
+      BlockStormWorkload workload({.n = 6, .d = 4, .load = 1.0, .horizon = 40,
+                                   .seed = seed, .two_choice = true},
+                                  0.5, 4);
+      auto strategy = make_strategy(name);
+      const RunResult result = run_experiment(workload, *strategy);
+      if (result.paths.augmenting_paths > 0) {
+        EXPECT_GE(result.paths.min_order, 2) << name << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(UpperBounds, EagerAndBalanceLeaveNoOrderTwoPaths) {
+  // The Theorem 3.5/3.6 argument: rescheduling strategies exclude
+  // augmenting paths of order 1 AND 2.
+  for (const std::string& name :
+       {std::string("A_eager"), std::string("A_balance")}) {
+    for (const std::uint64_t seed : {41u, 42u, 43u}) {
+      BlockStormWorkload workload({.n = 6, .d = 4, .load = 1.0, .horizon = 40,
+                                   .seed = seed, .two_choice = true},
+                                  0.5, 4);
+      auto strategy = make_strategy(name);
+      const RunResult result = run_experiment(workload, *strategy);
+      if (result.paths.augmenting_paths > 0) {
+        EXPECT_GE(result.paths.min_order, 3) << name << " seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reqsched

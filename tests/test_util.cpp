@@ -1,0 +1,168 @@
+// Unit tests for util: contracts, PRNG, fractions, CLI, tables, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/fraction.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace reqsched {
+namespace {
+
+TEST(Assert, ChecksThrowContractViolation) {
+  EXPECT_NO_THROW(REQSCHED_CHECK(1 + 1 == 2));
+  EXPECT_THROW(REQSCHED_CHECK(1 + 1 == 3), ContractViolation);
+  try {
+    REQSCHED_CHECK_MSG(false, "context " << 42);
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Prng a(123);
+  Prng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, NextBelowIsInRangeAndCoversRange) {
+  Prng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(Prng, NextInHonorsBounds) {
+  Prng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Prng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, ShufflePreservesElements) {
+  Prng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Zipf, SkewsTowardsLowIndices) {
+  Prng rng(21);
+  ZipfSampler sampler(16, 1.2);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_GT(counts[0], counts[8]);
+  EXPECT_GT(counts[0], counts[15]);
+}
+
+TEST(Fraction, ArithmeticAndOrdering) {
+  const Fraction a(1, 2);
+  const Fraction b(2, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a + b, Fraction(1));
+  EXPECT_EQ(Fraction(3, 2) - Fraction(1, 2), Fraction(1));
+  EXPECT_EQ(Fraction(2, 3) * Fraction(3, 4), Fraction(1, 2));
+  EXPECT_EQ(Fraction(1, 2) / Fraction(1, 4), Fraction(2));
+  EXPECT_LT(Fraction(4, 3), Fraction(3, 2));
+  EXPECT_GT(Fraction(45, 41), Fraction(12, 11));
+  EXPECT_EQ(Fraction(-2, -4), Fraction(1, 2));
+  EXPECT_EQ(Fraction(2, -4), Fraction(-1, 2));
+  EXPECT_THROW(Fraction(1, 0), ContractViolation);
+  std::ostringstream os;
+  os << Fraction(5, 3) << ' ' << Fraction(2);
+  EXPECT_EQ(os.str(), "5/3 2");
+}
+
+TEST(Cli, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7",
+                        "--flag", "--list=1,2,3", "--name", "x"};
+  CliArgs args(8, argv);
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get_int("beta", 0), 7);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_EQ(args.get_string("name", ""), "x");
+  EXPECT_EQ(args.get_int("missing", 42), 42);
+  const auto list = args.get_int_list("list", {});
+  EXPECT_EQ(list, (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_TRUE(args.unused_keys().empty());
+}
+
+TEST(Cli, RejectsMalformedInput) {
+  const char* bad[] = {"prog", "positional"};
+  EXPECT_THROW(CliArgs(2, bad), ContractViolation);
+  const char* argv[] = {"prog", "--x=abc"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.get_int("x", 0), ContractViolation);
+}
+
+TEST(Cli, ReportsUnusedKeys) {
+  const char* argv[] = {"prog", "--typo=1"};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.unused_keys(), std::vector<std::string>{"typo"});
+}
+
+TEST(AsciiTable, RendersAlignedRows) {
+  AsciiTable table({"name", "value"});
+  table.set_title("demo");
+  table.add_row({"x", "1"});
+  table.add_row({"longer", AsciiTable::fmt(1.5, 2)});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("| longer"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_THROW(table.add_row({"only-one-cell"}), ContractViolation);
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  csv.add_row({"1", "2"});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 100, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) pool.submit([&] { ++counter; });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 30);
+}
+
+}  // namespace
+}  // namespace reqsched

@@ -1,0 +1,220 @@
+// reqsched — the library's command-line face.
+//
+//   reqsched list
+//       all registered strategies
+//   reqsched bounds [--d=8]
+//       Table 1's theoretical bounds at a given deadline
+//   reqsched run --strategy=A_balance --workload=zipf [--n=8 --d=4
+//                --rounds=200 --seed=1 --load=1.5] [--timeline]
+//                [--timeseries=out.csv]
+//       one experiment against the exact offline optimum
+//   reqsched sweep --strategies=A_fix,A_balance [--n=4,8 --d=2,4
+//                  --seeds=1,2,3 --workload=uniform] [--csv=out.csv]
+//       a parallel grid sweep with summary
+#include <fstream>
+#include <iostream>
+
+#include "adversary/random.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/harness.hpp"
+#include "analysis/registry.hpp"
+#include "analysis/sweep.hpp"
+#include "analysis/timeline.hpp"
+#include "analysis/timeseries.hpp"
+#include "offline/offline.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace reqsched;
+
+std::unique_ptr<IWorkload> make_workload(const std::string& family,
+                                         const RandomWorkloadOptions& base) {
+  if (family == "uniform") return std::make_unique<UniformWorkload>(base);
+  if (family == "zipf") return std::make_unique<ZipfWorkload>(base, 1.2);
+  if (family == "bursty") {
+    return std::make_unique<BurstyWorkload>(base, 0.3, 2 * base.n);
+  }
+  if (family == "blockstorm") {
+    return std::make_unique<BlockStormWorkload>(base, 0.5,
+                                                std::min(base.n, 4));
+  }
+  REQSCHED_REQUIRE_MSG(false, "unknown workload family: " << family
+                                                          << " (uniform|zipf|"
+                                                             "bursty|"
+                                                             "blockstorm)");
+  return nullptr;
+}
+
+RandomWorkloadOptions base_options(const CliArgs& args) {
+  RandomWorkloadOptions options;
+  options.n = static_cast<std::int32_t>(args.get_int("n", 8));
+  options.d = static_cast<std::int32_t>(args.get_int("d", 4));
+  options.load = args.get_double("load", 1.5);
+  options.horizon = args.get_int("rounds", 200);
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  options.min_window =
+      static_cast<std::int32_t>(args.get_int("min-window", 0));
+  return options;
+}
+
+int cmd_list() {
+  for (const auto& name : all_strategy_names()) std::cout << name << '\n';
+  return 0;
+}
+
+int cmd_bounds(const CliArgs& args) {
+  const auto d = static_cast<std::int32_t>(args.get_int("d", 8));
+  AsciiTable table({"algorithm", "lower bound", "upper bound"});
+  table.set_title("Table 1 bounds at d = " + std::to_string(d));
+  const auto fraction_text = [](const Fraction& f) {
+    std::ostringstream os;
+    os << f << " = " << AsciiTable::fmt(f.to_double());
+    return os.str();
+  };
+  table.add_row({"A_fix", fraction_text(lb_fix(d)), fraction_text(ub_fix(d))});
+  table.add_row({"A_current",
+                 "e/(e-1) = " + AsciiTable::fmt(lb_current_limit()) +
+                     " (d->inf)",
+                 fraction_text(ub_current(d))});
+  table.add_row({"A_fix_balance", fraction_text(lb_fix_balance(d)),
+                 fraction_text(ub_fix_balance(d))});
+  table.add_row({"A_eager", fraction_text(lb_eager()),
+                 fraction_text(ub_eager(d))});
+  if ((d + 1) % 3 == 0) {
+    table.add_row({"A_balance", fraction_text(lb_balance(d)),
+                   fraction_text(ub_balance(d))});
+  } else {
+    table.add_row({"A_balance", "(5d+2)/(4d+1) at d = 3x-1",
+                   fraction_text(ub_balance(d))});
+  }
+  table.add_row({"any deterministic A", fraction_text(lb_universal()), "-"});
+  table.add_row({"A_local_fix", fraction_text(ub_local_fix()),
+                 fraction_text(ub_local_fix())});
+  table.add_row({"A_local_eager", "-", fraction_text(ub_local_eager())});
+  table.add_row({"EDF (2 alternatives)", fraction_text(ub_edf_two_choice()),
+                 fraction_text(ub_edf_two_choice())});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_run(const CliArgs& args) {
+  const auto options = base_options(args);
+  const std::string family = args.get_string("workload", "uniform");
+  const std::string strategy_name = args.get_string("strategy", "A_balance");
+  auto workload = make_workload(family, options);
+
+  const std::string timeseries_path = args.get_string("timeseries", "");
+  auto inner = make_strategy(strategy_name);
+  TimeSeriesProbe probe(std::move(inner));
+
+  Simulator sim(*workload, probe);
+  sim.run();
+  const std::int64_t optimum = offline_optimum(sim.trace());
+
+  std::cout << "strategy   : " << strategy_name << '\n'
+            << "workload   : " << workload->name() << '\n'
+            << "injected   : " << sim.metrics().injected << '\n'
+            << "fulfilled  : " << sim.metrics().fulfilled << '\n'
+            << "expired    : " << sim.metrics().expired << '\n'
+            << "offline OPT: " << optimum << '\n'
+            << "ratio      : "
+            << AsciiTable::fmt(
+                   sim.metrics().fulfilled
+                       ? static_cast<double>(optimum) /
+                             static_cast<double>(sim.metrics().fulfilled)
+                       : 1.0)
+            << '\n';
+  const TimeSeriesSummary summary =
+      summarize_timeseries(probe.samples(), options.n);
+  std::cout << "utilization: " << AsciiTable::fmt(summary.mean_utilization)
+            << "  mean pending: " << AsciiTable::fmt(summary.mean_pending, 1)
+            << "  peak pending: " << summary.peak_pending << '\n';
+
+  if (!timeseries_path.empty()) {
+    std::ofstream file(timeseries_path);
+    write_timeseries_csv(file, probe.samples());
+    std::cout << "wrote per-round series to " << timeseries_path << '\n';
+  }
+  if (args.get_bool("timeline", false)) {
+    TimelineOptions topt;
+    topt.to = std::min<Round>(sim.trace().last_useful_round(), 77);
+    std::cout << render_timeline(sim.trace(), sim.online_matching(), topt);
+  }
+  return 0;
+}
+
+int cmd_sweep(const CliArgs& args) {
+  SweepSpec spec;
+  const std::string strategies =
+      args.get_string("strategies", "A_fix,A_balance");
+  for (std::size_t pos = 0; pos <= strategies.size();) {
+    const auto comma = strategies.find(',', pos);
+    spec.strategies.push_back(strategies.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  spec.ns.clear();
+  for (const auto v : args.get_int_list("n", {8})) {
+    spec.ns.push_back(static_cast<std::int32_t>(v));
+  }
+  spec.ds.clear();
+  for (const auto v : args.get_int_list("d", {4})) {
+    spec.ds.push_back(static_cast<std::int32_t>(v));
+  }
+  spec.seeds.clear();
+  for (const auto v : args.get_int_list("seeds", {1, 2, 3})) {
+    spec.seeds.push_back(static_cast<std::uint64_t>(v));
+  }
+  const std::string family = args.get_string("workload", "uniform");
+  const auto rounds = args.get_int("rounds", 96);
+  const double load = args.get_double("load", 1.6);
+  spec.make_workload = [family, rounds, load](
+                           std::int32_t n, std::int32_t d,
+                           std::uint64_t seed) -> std::unique_ptr<IWorkload> {
+    return make_workload(family,
+                         RandomWorkloadOptions{.n = n, .d = d, .load = load,
+                                               .horizon = rounds, .seed = seed,
+                                               .two_choice = true});
+  };
+
+  const auto points = run_sweep(spec);
+  const SweepSummary summary = summarize_sweep(points);
+  std::cout << "points     : " << summary.points << '\n'
+            << "failures   : " << summary.failures << '\n'
+            << "mean ratio : " << AsciiTable::fmt(summary.mean_ratio) << '\n'
+            << "max ratio  : " << AsciiTable::fmt(summary.max_ratio) << '\n';
+  const std::string csv_path = args.get_string("csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream file(csv_path);
+    write_sweep_csv(file, points);
+    std::cout << "wrote grid to " << csv_path << '\n';
+  }
+  return 0;
+}
+
+int usage() {
+  std::cout << "usage: reqsched_cli <list|bounds|run|sweep> [--flags]\n"
+               "run 'reqsched_cli run --strategy=A_balance "
+               "--workload=blockstorm --timeline' for a taste\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const CliArgs args(argc - 1, argv + 1);
+    if (command == "list") return cmd_list();
+    if (command == "bounds") return cmd_bounds(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "sweep") return cmd_sweep(args);
+  } catch (const ContractViolation& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
