@@ -1,15 +1,48 @@
 #include "analysis/harness.hpp"
 
 #include <limits>
+#include <optional>
 
+#include "analysis/prefix.hpp"
 #include "offline/offline.hpp"
 #include "strategies/scripted.hpp"
 
 namespace reqsched {
 
+namespace {
+
+double slope_of(std::int64_t d_opt, std::int64_t d_alg) {
+  if (d_alg <= 0) {
+    return d_opt > 0 ? std::numeric_limits<double>::infinity()
+                     : std::numeric_limits<double>::quiet_NaN();
+  }
+  return static_cast<double>(d_opt) / static_cast<double>(d_alg);
+}
+
+const RoundSample& prefix_sample_at(const RunResult& run, Round round) {
+  REQSCHED_REQUIRE_MSG(!run.prefix_series.empty(),
+                       "run was not prefix-tracked (RunOptions.track_prefix)");
+  REQSCHED_REQUIRE_MSG(
+      round >= 0 &&
+          static_cast<std::size_t>(round) < run.prefix_series.size(),
+      "round " << round << " outside the sampled range [0, "
+               << run.prefix_series.size() << ")");
+  const RoundSample& s = run.prefix_series[static_cast<std::size_t>(round)];
+  REQSCHED_REQUIRE(s.round == round && s.has_prefix());
+  return s;
+}
+
+}  // namespace
+
 RunResult run_experiment(IWorkload& workload, IStrategy& strategy,
                          const RunOptions& options) {
-  Simulator sim(workload, strategy);
+  std::optional<PrefixOptimumProbe> probe;
+  IStrategy* active = &strategy;
+  if (options.track_prefix) {
+    probe.emplace(strategy);
+    active = &*probe;
+  }
+  Simulator sim(workload, *active);
   sim.run(options.max_rounds);
 
   RunResult result;
@@ -19,28 +52,62 @@ RunResult run_experiment(IWorkload& workload, IStrategy& strategy,
   result.optimum = offline_optimum(sim.trace());
   REQSCHED_CHECK_MSG(result.optimum >= result.metrics.fulfilled,
                      "online matching beat the 'optimal' offline matching");
-  result.ratio =
-      result.metrics.fulfilled == 0
-          ? (result.optimum == 0 ? 1.0
-                                 : std::numeric_limits<double>::infinity())
-          : static_cast<double>(result.optimum) /
-                static_cast<double>(result.metrics.fulfilled);
+  result.ratio = competitive_ratio(result.optimum, result.metrics.fulfilled);
   if (options.analyze_paths) {
     result.paths = analyze_augmenting_paths(sim.trace(), sim.online_matching());
   }
   if (const auto* scripted = dynamic_cast<const ScriptedStrategy*>(&strategy)) {
     result.violations = scripted->violations();
   }
+  if (probe) {
+    result.prefix_series = probe->take_samples();
+    // Hard exactness invariant: the incremental engine's final prefix value
+    // must equal the from-scratch Hopcroft–Karp + König-certified optimum.
+    if (!result.prefix_series.empty()) {
+      const RoundSample& last = result.prefix_series.back();
+      REQSCHED_CHECK_MSG(last.prefix_opt == result.optimum,
+                         "incremental prefix optimum "
+                             << last.prefix_opt
+                             << " disagrees with the offline solver "
+                             << result.optimum);
+      REQSCHED_CHECK_MSG(last.prefix_fulfilled == result.metrics.fulfilled,
+                         "prefix fulfillment accounting drifted: "
+                             << last.prefix_fulfilled << " vs "
+                             << result.metrics.fulfilled);
+    }
+  }
   return result;
 }
 
 double pairwise_slope_ratio(const RunResult& short_run,
                             const RunResult& long_run) {
-  const auto d_opt = long_run.optimum - short_run.optimum;
-  const auto d_alg =
-      long_run.metrics.fulfilled - short_run.metrics.fulfilled;
-  REQSCHED_REQUIRE_MSG(d_alg > 0, "long run must fulfill more than short run");
-  return static_cast<double>(d_opt) / static_cast<double>(d_alg);
+  return slope_of(long_run.optimum - short_run.optimum,
+                  long_run.metrics.fulfilled - short_run.metrics.fulfilled);
+}
+
+double prefix_slope_ratio(const RunResult& run, Round short_round,
+                          Round long_round) {
+  REQSCHED_REQUIRE_MSG(short_round < long_round,
+                       "slope needs two distinct increasing horizons");
+  const RoundSample& a = prefix_sample_at(run, short_round);
+  const RoundSample& b = prefix_sample_at(run, long_round);
+  return slope_of(b.prefix_opt - a.prefix_opt,
+                  b.prefix_fulfilled - a.prefix_fulfilled);
+}
+
+std::vector<double> prefix_slope_series(const RunResult& run,
+                                        Round baseline_round) {
+  const RoundSample& base = prefix_sample_at(run, baseline_round);
+  std::vector<double> slopes;
+  slopes.reserve(run.prefix_series.size() -
+                 static_cast<std::size_t>(baseline_round) - 1);
+  for (auto t = static_cast<std::size_t>(baseline_round) + 1;
+       t < run.prefix_series.size(); ++t) {
+    const RoundSample& s = run.prefix_series[t];
+    slopes.push_back(slope_of(s.prefix_opt - base.prefix_opt,
+                              s.prefix_fulfilled - base.prefix_fulfilled));
+  }
+  return slopes;
 }
 
 }  // namespace reqsched

@@ -4,8 +4,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/augmenting.hpp"
+#include "analysis/timeseries.hpp"
 #include "core/metrics.hpp"
 #include "core/simulator.hpp"
 
@@ -18,15 +20,24 @@ struct RunResult {
   std::int64_t optimum = 0;
   /// OPT / online fulfilled (1.0 when nothing was injected). This is the
   /// raw finite-run ratio; startup transients add an additive constant that
-  /// competitive analysis allows — see pairwise_slope_ratio.
+  /// competitive analysis allows — see prefix_slope_ratio.
   double ratio = 1.0;
   PathStats paths;
   /// ScriptedStrategy rule violations (0 for plain strategies).
   std::int64_t violations = 0;
+  /// Per-round prefix series (empty unless RunOptions.track_prefix): sample
+  /// t carries OPT(sigma[0..t]), the online fulfillments through round t,
+  /// and their ratio. The final sample agrees with `optimum` / `metrics`
+  /// exactly — run_experiment cross-checks the incremental engine against
+  /// the König-certified offline solver.
+  std::vector<RoundSample> prefix_series;
 };
 
 struct RunOptions {
   bool analyze_paths = true;
+  /// Maintain the per-round prefix optimum (one incremental augmenting-path
+  /// search per arrival) and fill RunResult.prefix_series.
+  bool track_prefix = false;
   std::int64_t max_rounds = 1'000'000;
 };
 
@@ -35,11 +46,24 @@ struct RunOptions {
 RunResult run_experiment(IWorkload& workload, IStrategy& strategy,
                          const RunOptions& options = {});
 
-/// The additive-constant-free per-phase ratio: with a short and a long run
-/// of the same periodic instance, (OPT_long - OPT_short) /
-/// (ALG_long - ALG_short) cancels startup effects exactly and converges to
-/// the theorem's bound.
+/// The additive-constant-free per-phase ratio: between two horizons of the
+/// same periodic instance, (OPT_long - OPT_short) / (ALG_long - ALG_short)
+/// cancels startup effects exactly and converges to the theorem's bound.
+/// Degenerate deltas are flagged instead of aborting: +inf when OPT grew but
+/// the algorithm did not, NaN when neither grew — callers report them.
 double pairwise_slope_ratio(const RunResult& short_run,
                             const RunResult& long_run);
+
+/// Single-run slope ratio between two intermediate horizons of a
+/// prefix-tracked run (rounds index `run.prefix_series`). One long run
+/// therefore yields the slope at *every* horizon — no separate short run.
+double prefix_slope_ratio(const RunResult& run, Round short_round,
+                          Round long_round);
+
+/// The whole slope series against a fixed baseline: entry i is the slope
+/// between `baseline_round` and round `baseline_round + 1 + i`, NaN/inf
+/// flagged as in pairwise_slope_ratio.
+std::vector<double> prefix_slope_series(const RunResult& run,
+                                        Round baseline_round);
 
 }  // namespace reqsched

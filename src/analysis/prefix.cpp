@@ -1,0 +1,49 @@
+#include "analysis/prefix.hpp"
+
+#include <limits>
+
+namespace reqsched {
+
+double competitive_ratio(std::int64_t optimum, std::int64_t fulfilled) {
+  if (fulfilled == 0) {
+    return optimum == 0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(optimum) / static_cast<double>(fulfilled);
+}
+
+PrefixOptimumProbe::PrefixOptimumProbe(IStrategy& inner) : inner_(&inner) {}
+
+PrefixOptimumProbe::PrefixOptimumProbe(std::unique_ptr<IStrategy> inner)
+    : owned_(std::move(inner)), inner_(owned_.get()) {
+  REQSCHED_REQUIRE(inner_ != nullptr);
+}
+
+void PrefixOptimumProbe::reset(const ProblemConfig& config) {
+  inner_->reset(config);
+  tracker_.emplace(config);
+  samples_.clear();
+}
+
+void PrefixOptimumProbe::on_round(Simulator& sim) {
+  inner_->on_round(sim);
+  REQSCHED_REQUIRE_MSG(tracker_.has_value(),
+                       "probe used without a reset() from the simulator");
+
+  for (const RequestId id : sim.injected_now()) {
+    tracker_->add_request(sim.request(id));
+  }
+
+  RoundSample sample = sample_simulator_round(sim);
+  sample.prefix_opt = tracker_->optimum();
+  // metrics().fulfilled counts rounds before this one; the current row is
+  // booked and will execute unconditionally right after on_round returns.
+  sample.prefix_fulfilled = sim.metrics().fulfilled + sample.executed;
+  REQSCHED_CHECK_MSG(sample.prefix_opt >= sample.prefix_fulfilled,
+                     "online fulfillment beat the prefix optimum at round "
+                         << sample.round);
+  sample.prefix_ratio =
+      competitive_ratio(sample.prefix_opt, sample.prefix_fulfilled);
+  samples_.push_back(sample);
+}
+
+}  // namespace reqsched

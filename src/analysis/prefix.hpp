@@ -1,0 +1,50 @@
+// Per-round competitive-ratio observability.
+//
+// PrefixOptimumProbe decorates a strategy and, besides the usual per-round
+// counters, maintains the *exact* offline optimum of the request prefix seen
+// so far (one incremental augmenting-path search per arrival — see
+// matching/incremental.hpp). Each RoundSample then carries OPT(sigma[0..t]),
+// the online fulfillments through round t, and their quotient: the raw
+// competitive ratio at every horizon of a single run.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/timeseries.hpp"
+#include "matching/incremental.hpp"
+
+namespace reqsched {
+
+/// `optimum / fulfilled` with the harness's degenerate-run conventions
+/// (1.0 when nothing was fulfillable, +inf when OPT found work the online
+/// strategy did not).
+double competitive_ratio(std::int64_t optimum, std::int64_t fulfilled);
+
+class PrefixOptimumProbe final : public IStrategy {
+ public:
+  /// Non-owning: `inner` must outlive the probe.
+  explicit PrefixOptimumProbe(IStrategy& inner);
+  explicit PrefixOptimumProbe(std::unique_ptr<IStrategy> inner);
+
+  std::string name() const override { return inner_->name(); }
+  void reset(const ProblemConfig& config) override;
+  void on_round(Simulator& sim) override;
+
+  const std::vector<RoundSample>& samples() const { return samples_; }
+  std::vector<RoundSample> take_samples() { return std::move(samples_); }
+
+  /// The exact offline optimum of every request injected so far.
+  std::int64_t prefix_optimum() const {
+    return tracker_ ? tracker_->optimum() : 0;
+  }
+
+ private:
+  std::unique_ptr<IStrategy> owned_;
+  IStrategy* inner_;
+  std::optional<PrefixOptimumTracker> tracker_;
+  std::vector<RoundSample> samples_;
+};
+
+}  // namespace reqsched

@@ -1,6 +1,7 @@
 #include "analysis/sweep.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <ostream>
 
 #include "analysis/registry.hpp"
@@ -37,9 +38,15 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
       auto strategy = make_strategy(point.strategy);
       point.result = run_experiment(*workload, *strategy,
                                     {.analyze_paths = spec.analyze_paths});
-    } catch (const ContractViolation& e) {
+    } catch (const std::exception& e) {
+      // ThreadPool tasks must not throw (a strategy's std::bad_alloc or
+      // std::logic_error would take the whole process down); any failure is
+      // recorded on the point and the sweep keeps going.
       point.failed = true;
       point.error = e.what();
+    } catch (...) {
+      point.failed = true;
+      point.error = "unknown exception";
     }
   });
   return points;
@@ -75,8 +82,14 @@ SweepSummary summarize_sweep(std::span<const SweepPoint> points) {
     summary.max_ratio = std::max(summary.max_ratio, p.result.ratio);
   }
   const auto successes = summary.points - summary.failures;
-  summary.mean_ratio =
-      successes > 0 ? sum / static_cast<double>(successes) : 1.0;
+  if (successes > 0) {
+    summary.mean_ratio = sum / static_cast<double>(successes);
+  } else {
+    // No successful point: report NaN, never a fake "perfectly competitive"
+    // 1.0 that gating callers would wave through.
+    summary.mean_ratio = std::numeric_limits<double>::quiet_NaN();
+    summary.max_ratio = std::numeric_limits<double>::quiet_NaN();
+  }
   return summary;
 }
 

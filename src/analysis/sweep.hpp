@@ -23,7 +23,7 @@ struct SweepPoint {
   std::uint64_t seed = 0;
   RunResult result;
   bool failed = false;
-  std::string error;  ///< contract-violation text when failed
+  std::string error;  ///< exception text when failed
 };
 
 struct SweepSpec {
@@ -51,8 +51,14 @@ void write_sweep_csv(std::ostream& os, std::span<const SweepPoint> points);
 struct SweepSummary {
   std::int64_t points = 0;
   std::int64_t failures = 0;
+  /// Aggregated over successful points only; NaN when every point failed
+  /// (or the sweep was empty), so an all-failure sweep can never be mistaken
+  /// for a perfectly competitive one. Callers gating on max_ratio must check
+  /// all_failed() first.
   double mean_ratio = 1.0;
   double max_ratio = 1.0;
+
+  bool all_failed() const { return failures == points; }
 };
 
 SweepSummary summarize_sweep(std::span<const SweepPoint> points);

@@ -1,25 +1,14 @@
 #include "analysis/timeseries.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 
 #include "util/table.hpp"
 
 namespace reqsched {
 
-TimeSeriesProbe::TimeSeriesProbe(std::unique_ptr<IStrategy> inner)
-    : inner_(std::move(inner)) {
-  REQSCHED_REQUIRE(inner_ != nullptr);
-}
-
-void TimeSeriesProbe::reset(const ProblemConfig& config) {
-  inner_->reset(config);
-  samples_.clear();
-}
-
-void TimeSeriesProbe::on_round(Simulator& sim) {
-  inner_->on_round(sim);
-
+RoundSample sample_simulator_round(const Simulator& sim) {
   RoundSample sample;
   sample.round = sim.now();
   sample.injected = static_cast<std::int64_t>(sim.injected_now().size());
@@ -37,18 +26,37 @@ void TimeSeriesProbe::on_round(Simulator& sim) {
       sample.tightest_slack = slack;
     }
   }
-  samples_.push_back(sample);
+  return sample;
+}
+
+TimeSeriesProbe::TimeSeriesProbe(std::unique_ptr<IStrategy> inner)
+    : inner_(std::move(inner)) {
+  REQSCHED_REQUIRE(inner_ != nullptr);
+}
+
+void TimeSeriesProbe::reset(const ProblemConfig& config) {
+  inner_->reset(config);
+  samples_.clear();
+}
+
+void TimeSeriesProbe::on_round(Simulator& sim) {
+  inner_->on_round(sim);
+  samples_.push_back(sample_simulator_round(sim));
 }
 
 void write_timeseries_csv(std::ostream& os,
                           const std::vector<RoundSample>& samples) {
   CsvWriter csv(os, {"round", "injected", "executed", "pending", "booked",
-                     "idle", "tightest_slack"});
+                     "idle", "tightest_slack", "prefix_opt",
+                     "prefix_fulfilled", "prefix_ratio"});
   for (const RoundSample& s : samples) {
     csv.add_row({std::to_string(s.round), std::to_string(s.injected),
                  std::to_string(s.executed), std::to_string(s.pending),
                  std::to_string(s.booked), std::to_string(s.idle),
-                 std::to_string(s.tightest_slack)});
+                 std::to_string(s.tightest_slack),
+                 std::to_string(s.prefix_opt),
+                 std::to_string(s.prefix_fulfilled),
+                 s.has_prefix() ? AsciiTable::fmt(s.prefix_ratio, 6) : "nan"});
   }
 }
 
@@ -63,6 +71,13 @@ TimeSeriesSummary summarize_timeseries(const std::vector<RoundSample>& samples,
     executed += static_cast<double>(s.executed);
     pending += static_cast<double>(s.pending);
     summary.peak_pending = std::max(summary.peak_pending, s.pending);
+    if (s.has_prefix()) {
+      summary.final_prefix_ratio = s.prefix_ratio;
+      if (std::isnan(summary.max_prefix_ratio) ||
+          s.prefix_ratio > summary.max_prefix_ratio) {
+        summary.max_prefix_ratio = s.prefix_ratio;
+      }
+    }
   }
   const auto rounds = static_cast<double>(samples.size());
   summary.mean_utilization = executed / (rounds * static_cast<double>(n));

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -23,7 +24,20 @@ struct RoundSample {
   std::int64_t idle = 0;       ///< resources idle this round
   /// Minimum (deadline - round) over pending requests; -1 when none.
   Round tightest_slack = -1;
+  // Prefix-optimum columns, filled by PrefixOptimumProbe only (-1 / NaN when
+  // untracked): the competitive definition is a statement about every prefix
+  // of the request sequence, and these are its per-round witnesses.
+  std::int64_t prefix_opt = -1;        ///< OPT over arrivals in rounds <= round
+  std::int64_t prefix_fulfilled = -1;  ///< online fulfillments through round
+  double prefix_ratio = std::numeric_limits<double>::quiet_NaN();
+
+  bool has_prefix() const { return prefix_opt >= 0; }
 };
+
+/// Samples the simulator mid-round (after the strategy ran, before
+/// execution): what the upcoming execution will see. Shared by the
+/// time-series and prefix-optimum probes.
+RoundSample sample_simulator_round(const Simulator& sim);
 
 /// Strategy decorator that samples the simulator once per round after the
 /// inner strategy ran (i.e. what the upcoming execution will see).
@@ -42,7 +56,9 @@ class TimeSeriesProbe final : public IStrategy {
   std::vector<RoundSample> samples_;
 };
 
-/// CSV: round,injected,executed,pending,booked,idle,tightest_slack.
+/// CSV: round,injected,executed,pending,booked,idle,tightest_slack,
+/// prefix_opt,prefix_fulfilled,prefix_ratio (the prefix columns are -1/nan
+/// unless the samples came from a PrefixOptimumProbe).
 void write_timeseries_csv(std::ostream& os,
                           const std::vector<RoundSample>& samples);
 
@@ -52,6 +68,9 @@ struct TimeSeriesSummary {
   double mean_pending = 0.0;
   std::int64_t peak_pending = 0;
   std::int64_t rounds = 0;
+  /// Prefix-ratio aggregates (NaN when the samples carry no prefix data).
+  double final_prefix_ratio = std::numeric_limits<double>::quiet_NaN();
+  double max_prefix_ratio = std::numeric_limits<double>::quiet_NaN();
 };
 
 TimeSeriesSummary summarize_timeseries(const std::vector<RoundSample>& samples,

@@ -79,6 +79,7 @@ void Simulator::inject() {
 
 void Simulator::execute() {
   const Round t = now();
+  std::int64_t fulfilled_now = 0;
   for (ResourceId i = 0; i < config_.n; ++i) {
     const RequestId id = schedule_.request_at({i, t});
     if (id == kNoRequest) continue;
@@ -87,7 +88,18 @@ void Simulator::execute() {
     status_[static_cast<std::size_t>(id)] = RequestStatus::kFulfilled;
     fulfilled_slot_[static_cast<std::size_t>(id)] = SlotRef{i, t};
     ++metrics_.fulfilled;
-    alive_.erase(std::find(alive_.begin(), alive_.end(), id));
+    ++fulfilled_now;
+  }
+  if (fulfilled_now > 0) {
+    // Mark-and-compact (same pattern as expire_round_start): one pass over
+    // the backlog instead of an O(|alive|) erase per fulfilled request.
+    auto out = alive_.begin();
+    for (const RequestId id : alive_) {
+      if (status_[static_cast<std::size_t>(id)] == RequestStatus::kPending) {
+        *out++ = id;
+      }
+    }
+    alive_.erase(out, alive_.end());
   }
   const auto leftover = schedule_.advance();
   REQSCHED_CHECK_MSG(leftover.empty(),

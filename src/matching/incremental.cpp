@@ -1,0 +1,117 @@
+#include "matching/incremental.hpp"
+
+#include <limits>
+
+namespace reqsched {
+
+void IncrementalMatching::ensure_right(std::int32_t right) {
+  REQSCHED_REQUIRE(right >= 0);
+  if (right < right_count()) return;
+  const auto count = static_cast<std::size_t>(right) + 1;
+  right_to_left_.resize(count, -1);
+  right_stamp_.resize(count, 0);
+  right_dead_.resize(count, 0);
+}
+
+bool IncrementalMatching::add_left(std::span<const std::int32_t> rights) {
+  const auto id = left_count();
+  for (const std::int32_t r : rights) ensure_right(r);
+  adj_.emplace_back(rights.begin(), rights.end());
+  left_to_right_.push_back(-1);
+  return try_augment(id);
+}
+
+bool IncrementalMatching::try_augment(std::int32_t root) {
+  ++stamp_;
+  visited_.clear();
+  // Iterative Kuhn DFS: `via_right` is the matched edge we entered a left
+  // vertex through, so a found free right can be committed by walking the
+  // stack (explicit stack — augmenting paths on long traces can exceed any
+  // safe recursion depth). `scanned` gates the free-right lookahead: before
+  // descending into any matched neighbor we check the whole adjacency for an
+  // immediately free right, which keeps typical augmentations shallow.
+  struct Frame {
+    std::int32_t left;
+    std::size_t next_edge;
+    std::int32_t via_right;
+    bool scanned;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0, -1, false});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const auto& nbrs = adj_[static_cast<std::size_t>(frame.left)];
+    if (!frame.scanned) {
+      frame.scanned = true;
+      for (const std::int32_t r : nbrs) {
+        const auto ri = static_cast<std::size_t>(r);
+        if (right_dead_[ri] != 0 || right_stamp_[ri] == stamp_) continue;
+        if (right_to_left_[ri] < 0) {
+          std::int32_t free_right = r;
+          for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            left_to_right_[static_cast<std::size_t>(it->left)] = free_right;
+            right_to_left_[static_cast<std::size_t>(free_right)] = it->left;
+            free_right = it->via_right;
+          }
+          ++size_;
+          return true;
+        }
+      }
+    }
+    bool descended = false;
+    while (frame.next_edge < nbrs.size()) {
+      const std::int32_t r = nbrs[frame.next_edge++];
+      const auto ri = static_cast<std::size_t>(r);
+      if (right_dead_[ri] != 0 || right_stamp_[ri] == stamp_) continue;
+      right_stamp_[ri] = stamp_;
+      visited_.push_back(r);
+      // The lookahead above already ruled out free rights in this adjacency
+      // (anything free and unstamped would have ended the search), so every
+      // right reached here has an owner to descend into.
+      stack.push_back({right_to_left_[ri], 0, r, false});
+      descended = true;
+      break;
+    }
+    if (!descended) stack.pop_back();
+  }
+  // Failed search: the visited rights R* are a frozen Hall witness. Every
+  // neighbor of every left on the (exhausted) search tree lies in R*, all of
+  // R* is matched, and matched rights never become free again — so no future
+  // augmenting path can enter R* and leave it, or end inside it. Marking R*
+  // dead prunes it from all later searches, which amortises the total cost
+  // of failed searches to O(E) over the whole insertion sequence instead of
+  // O(E) *per* failure on saturated (overloaded) instances.
+  for (const std::int32_t r : visited_) {
+    right_dead_[static_cast<std::size_t>(r)] = 1;
+  }
+  return false;
+}
+
+PrefixOptimumTracker::PrefixOptimumTracker(const ProblemConfig& config)
+    : config_(config) {
+  config_.validate();
+}
+
+bool PrefixOptimumTracker::add_request(const Request& request) {
+  REQSCHED_REQUIRE_MSG(request.arrival >= 0 &&
+                           request.deadline >= request.arrival,
+                       "malformed window on " << request);
+  REQSCHED_REQUIRE(request.first >= 0 && request.first < config_.n);
+  REQSCHED_REQUIRE(request.second == kNoResource ||
+                   (request.second >= 0 && request.second < config_.n));
+  const std::int64_t slot_end =
+      (request.deadline + 1) * static_cast<std::int64_t>(config_.n);
+  REQSCHED_REQUIRE_MSG(
+      slot_end <= std::numeric_limits<std::int32_t>::max(),
+      "slot space exceeds 32-bit indexing at round " << request.deadline);
+
+  edges_.clear();
+  for (Round t = request.arrival; t <= request.deadline; ++t) {
+    const auto base = static_cast<std::int32_t>(t * config_.n);
+    edges_.push_back(base + request.first);
+    if (request.second != kNoResource) edges_.push_back(base + request.second);
+  }
+  return matching_.add_left(edges_);
+}
+
+}  // namespace reqsched

@@ -1,6 +1,8 @@
 // Tests for the augmenting-path analyzer and the experiment harness.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "adversary/random.hpp"
 #include "analysis/augmenting.hpp"
 #include "analysis/bounds.hpp"
@@ -85,12 +87,15 @@ TEST(Harness, MaxRoundsGuardPropagates) {
                ContractViolation);
 }
 
-TEST(Harness, SlopeRatioRejectsDegenerateRuns) {
+TEST(Harness, SlopeRatioFlagsDegenerateRunsInsteadOfAborting) {
   RunResult a;
   a.optimum = 10;
   a.metrics.fulfilled = 10;
-  RunResult b = a;  // no progress between runs
-  EXPECT_THROW(pairwise_slope_ratio(a, b), ContractViolation);
+  RunResult b = a;  // no progress between runs: undefined slope
+  EXPECT_TRUE(std::isnan(pairwise_slope_ratio(a, b)));
+  b.optimum = 12;  // OPT progressed, the algorithm did not: unboundedly bad
+  EXPECT_TRUE(std::isinf(pairwise_slope_ratio(a, b)));
+  EXPECT_GT(pairwise_slope_ratio(a, b), 0.0);
 }
 
 TEST(Harness, ViolationsSurfaceFromScriptedStrategies) {

@@ -1,0 +1,216 @@
+// Tests for the incremental prefix-optimum engine and its probe: prefix
+// optima are monotone, agree with the König-certified offline solver on
+// EVERY prefix (randomized and adversarial traces), and the per-round ratio
+// series is consistent with the full-run harness numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "adversary/random.hpp"
+#include "adversary/theorems.hpp"
+#include "analysis/harness.hpp"
+#include "analysis/prefix.hpp"
+#include "analysis/registry.hpp"
+#include "core/simulator.hpp"
+#include "matching/bipartite.hpp"
+#include "matching/incremental.hpp"
+#include "offline/offline.hpp"
+
+namespace reqsched {
+namespace {
+
+RequestSpec spec_of(const Request& r) {
+  return RequestSpec{r.first, r.second,
+                     static_cast<std::int32_t>(r.deadline - r.arrival + 1)};
+}
+
+/// Hard invariant: after every single arrival, the incremental optimum
+/// equals solve_offline (Hopcroft–Karp + König certificate) on the prefix,
+/// and it never moves by more than one.
+void expect_prefix_exact(const Trace& trace) {
+  PrefixOptimumTracker tracker(trace.config());
+  Trace prefix(trace.config());
+  std::int64_t previous = 0;
+  for (const Request& r : trace.requests()) {
+    prefix.add(r.arrival, spec_of(r));
+    const bool grew = tracker.add_request(r);
+    const std::int64_t opt = tracker.optimum();
+    EXPECT_GE(opt, previous) << "prefix optimum decreased at " << r;
+    EXPECT_LE(opt, previous + 1) << "prefix optimum jumped at " << r;
+    EXPECT_EQ(grew, opt == previous + 1);
+    ASSERT_EQ(opt, offline_optimum(prefix))
+        << "incremental != offline after " << r;
+    previous = opt;
+  }
+  EXPECT_EQ(tracker.requests_seen(), trace.size());
+}
+
+Trace realized_trace(IWorkload& workload, const std::string& strategy_name) {
+  auto strategy = make_strategy(strategy_name);
+  Simulator sim(workload, *strategy);
+  sim.run();
+  return sim.trace();
+}
+
+TEST(IncrementalMatching, GrowsOneAugmentationAtATime) {
+  IncrementalMatching m;
+  EXPECT_EQ(m.size(), 0);
+  EXPECT_TRUE(m.add_left(std::vector<std::int32_t>{0}));
+  EXPECT_EQ(m.size(), 1);
+  // Same single neighbour: must reroute nothing and report no growth.
+  EXPECT_FALSE(m.add_left(std::vector<std::int32_t>{0}));
+  EXPECT_EQ(m.size(), 1);
+  // New right frees the conflict via an augmenting path 2 -> 0 -> 1.
+  EXPECT_TRUE(m.add_left(std::vector<std::int32_t>{0, 1}));
+  EXPECT_EQ(m.size(), 2);
+  EXPECT_EQ(m.left_of(0) >= 0, true);
+  EXPECT_EQ(m.left_of(1) >= 0, true);
+}
+
+TEST(IncrementalMatching, MatchesHopcroftKarpOnRandomGraphs) {
+  std::mt19937 rng(1234);
+  for (int instance = 0; instance < 20; ++instance) {
+    const std::int32_t lefts = 40;
+    const std::int32_t rights = 1 + static_cast<std::int32_t>(rng() % 30);
+    std::uniform_int_distribution<std::int32_t> pick_right(0, rights - 1);
+    std::uniform_int_distribution<int> degree(0, 4);
+
+    IncrementalMatching incremental;
+    BipartiteGraph g(lefts, rights);
+    for (std::int32_t l = 0; l < lefts; ++l) {
+      std::vector<std::int32_t> nbrs;
+      const int deg = degree(rng);
+      for (int e = 0; e < deg; ++e) nbrs.push_back(pick_right(rng));
+      for (const std::int32_t r : nbrs) g.add_edge(l, r);
+      incremental.add_left(nbrs);
+      // Maximum on every prefix subgraph: compare against a from-scratch
+      // solve of the first l+1 lefts.
+      BipartiteGraph prefix(l + 1, rights);
+      for (std::int32_t pl = 0; pl <= l; ++pl) {
+        for (const std::int32_t r : g.neighbors(pl)) prefix.add_edge(pl, r);
+      }
+      ASSERT_EQ(incremental.size(), hopcroft_karp(prefix).size())
+          << "instance " << instance << " after left " << l;
+    }
+  }
+}
+
+TEST(PrefixOpt, ExactOnRandomizedTraces) {
+  for (const std::uint64_t seed : {1u, 2u, 7u}) {
+    const RandomWorkloadOptions base{.n = 4, .d = 3, .load = 1.8,
+                                     .horizon = 25, .seed = seed,
+                                     .two_choice = true};
+    UniformWorkload uniform(base);
+    expect_prefix_exact(realized_trace(uniform, "A_fix"));
+    ZipfWorkload zipf(base, 1.1);
+    expect_prefix_exact(realized_trace(zipf, "A_balance"));
+    BlockStormWorkload storm(base, 0.4, 3);
+    expect_prefix_exact(realized_trace(storm, "A_eager"));
+  }
+}
+
+TEST(PrefixOpt, ExactOnAllFiveLowerBoundInstances) {
+  const auto check = [](TheoremInstance instance,
+                        const std::string& strategy_name) {
+    SCOPED_TRACE("theorem " + instance.theorem);
+    expect_prefix_exact(realized_trace(*instance.workload, strategy_name));
+  };
+  check(make_lb_fix(4, 3), "A_fix");
+  check(make_lb_current(3, 3), "A_current");
+  check(make_lb_fix_balance(4, 3), "A_fix_balance");
+  check(make_lb_eager(4, 3), "A_eager");
+  check(make_lb_balance(2, 2, 3), "A_balance");
+}
+
+TEST(PrefixOpt, ProbeMatchesOfflineOnEveryRoundPrefix) {
+  UniformWorkload workload({.n = 4, .d = 3, .load = 1.6, .horizon = 15,
+                            .seed = 5, .two_choice = true});
+  PrefixOptimumProbe probe(make_strategy("A_fix"));
+  Simulator sim(workload, probe);
+  sim.run();
+
+  const Trace& trace = sim.trace();
+  ASSERT_EQ(static_cast<std::int64_t>(probe.samples().size()),
+            sim.metrics().rounds);
+  std::int64_t prev_opt = 0;
+  std::int64_t prev_fulfilled = 0;
+  for (const RoundSample& s : probe.samples()) {
+    ASSERT_TRUE(s.has_prefix());
+    Trace prefix(trace.config());
+    for (const Request& r : trace.requests()) {
+      if (r.arrival > s.round) break;
+      prefix.add(r.arrival, spec_of(r));
+    }
+    EXPECT_EQ(s.prefix_opt, offline_optimum(prefix)) << "round " << s.round;
+    EXPECT_GE(s.prefix_opt, prev_opt);
+    EXPECT_GE(s.prefix_fulfilled, prev_fulfilled);
+    EXPECT_GE(s.prefix_opt, s.prefix_fulfilled);
+    prev_opt = s.prefix_opt;
+    prev_fulfilled = s.prefix_fulfilled;
+  }
+  EXPECT_EQ(prev_opt, offline_optimum(trace));
+  EXPECT_EQ(prev_fulfilled, sim.metrics().fulfilled);
+}
+
+TEST(PrefixOpt, FinalPrefixSampleEqualsRunResult) {
+  for (const auto& name : global_strategy_names()) {
+    UniformWorkload workload({.n = 4, .d = 3, .load = 1.7, .horizon = 20,
+                              .seed = 9, .two_choice = true});
+    auto strategy = make_strategy(name);
+    const RunResult result = run_experiment(
+        workload, *strategy, {.analyze_paths = false, .track_prefix = true});
+    ASSERT_FALSE(result.prefix_series.empty()) << name;
+    const RoundSample& last = result.prefix_series.back();
+    EXPECT_EQ(last.prefix_opt, result.optimum) << name;
+    EXPECT_EQ(last.prefix_fulfilled, result.metrics.fulfilled) << name;
+    EXPECT_DOUBLE_EQ(last.prefix_ratio, result.ratio) << name;
+  }
+}
+
+TEST(PrefixOpt, SlopeRatiosComeFromOneRun) {
+  UniformWorkload workload({.n = 4, .d = 3, .load = 1.7, .horizon = 30,
+                            .seed = 3, .two_choice = true});
+  auto strategy = make_strategy("A_fix");
+  const RunResult run = run_experiment(
+      workload, *strategy, {.analyze_paths = false, .track_prefix = true});
+  ASSERT_GE(run.prefix_series.size(), 10u);
+
+  const Round a = 5;
+  const Round b = static_cast<Round>(run.prefix_series.size()) - 1;
+  const RoundSample& sa = run.prefix_series[static_cast<std::size_t>(a)];
+  const RoundSample& sb = run.prefix_series[static_cast<std::size_t>(b)];
+  const double expected =
+      static_cast<double>(sb.prefix_opt - sa.prefix_opt) /
+      static_cast<double>(sb.prefix_fulfilled - sa.prefix_fulfilled);
+  EXPECT_DOUBLE_EQ(prefix_slope_ratio(run, a, b), expected);
+
+  const auto series = prefix_slope_series(run, a);
+  ASSERT_EQ(series.size(),
+            run.prefix_series.size() - static_cast<std::size_t>(a) - 1);
+  EXPECT_DOUBLE_EQ(series.back(), expected);
+
+  // The slope at the full horizon of a fulfilled-everything baseline is the
+  // same additive-constant-free quantity pairwise_slope_ratio reports
+  // between two separate runs — here it cost one simulation, not two.
+  EXPECT_THROW(prefix_slope_ratio(run, b, a), ContractViolation);
+}
+
+TEST(PrefixOpt, UntrackedRunsCarryNoSeries) {
+  UniformWorkload workload({.n = 3, .d = 2, .load = 1.0, .horizon = 10,
+                            .seed = 4, .two_choice = true});
+  auto strategy = make_strategy("A_fix");
+  const RunResult run =
+      run_experiment(workload, *strategy, {.analyze_paths = false});
+  EXPECT_TRUE(run.prefix_series.empty());
+  EXPECT_THROW(prefix_slope_ratio(run, 0, 1), ContractViolation);
+}
+
+TEST(PrefixOpt, CompetitiveRatioDegenerateConventions) {
+  EXPECT_DOUBLE_EQ(competitive_ratio(0, 0), 1.0);
+  EXPECT_TRUE(std::isinf(competitive_ratio(3, 0)));
+  EXPECT_DOUBLE_EQ(competitive_ratio(3, 2), 1.5);
+}
+
+}  // namespace
+}  // namespace reqsched

@@ -1,7 +1,9 @@
 // Tests for the parallel sweep driver.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "adversary/random.hpp"
 #include "analysis/sweep.hpp"
@@ -81,6 +83,61 @@ TEST(Sweep, CapturesFailuresInsteadOfThrowing) {
   }
   const SweepSummary summary = summarize_sweep(points);
   EXPECT_EQ(summary.failures, summary.points);
+  // An all-failure sweep must be unmistakable: NaN ratios + the flag, never
+  // a fake "perfectly competitive" 1.0.
+  EXPECT_TRUE(summary.all_failed());
+  EXPECT_TRUE(std::isnan(summary.mean_ratio));
+  EXPECT_TRUE(std::isnan(summary.max_ratio));
+}
+
+/// Explodes mid-run with an exception that is NOT a ContractViolation — the
+/// kind that used to escape into the thread pool and kill the process.
+class ThrowingWorkload final : public IWorkload {
+ public:
+  ThrowingWorkload(std::int32_t n, std::int32_t d) : config_{n, d} {}
+
+  std::string name() const override { return "throwing"; }
+  ProblemConfig config() const override { return config_; }
+  std::vector<RequestSpec> generate(Round t, const Simulator&) override {
+    if (t >= 2) throw std::runtime_error("deliberate mid-run failure");
+    return {RequestSpec{0, 1, 0}};
+  }
+  bool exhausted(Round t) const override { return t > 4; }
+
+ private:
+  ProblemConfig config_;
+};
+
+TEST(Sweep, NonContractExceptionsAreContainedPerPoint) {
+  SweepSpec spec;
+  spec.strategies = {"A_fix", "A_balance"};
+  spec.ns = {2};
+  spec.ds = {2};
+  spec.seeds = {1, 2};
+  spec.make_workload = [](std::int32_t n, std::int32_t d,
+                          std::uint64_t) -> std::unique_ptr<IWorkload> {
+    return std::make_unique<ThrowingWorkload>(n, d);
+  };
+  const auto points = run_sweep(spec);  // must not terminate the process
+  ASSERT_EQ(points.size(), 4u);
+  for (const SweepPoint& p : points) {
+    EXPECT_TRUE(p.failed);
+    EXPECT_NE(p.error.find("deliberate mid-run failure"), std::string::npos);
+  }
+  const SweepSummary summary = summarize_sweep(points);
+  EXPECT_TRUE(summary.all_failed());
+  EXPECT_TRUE(std::isnan(summary.max_ratio));
+}
+
+TEST(Sweep, MixedFailureSweepStillAggregatesSuccesses) {
+  SweepSpec spec = small_spec();
+  spec.strategies = {"A_fix", "EDF_single"};  // second column always fails
+  const auto points = run_sweep(spec);
+  const SweepSummary summary = summarize_sweep(points);
+  EXPECT_EQ(summary.failures * 2, summary.points);
+  EXPECT_FALSE(summary.all_failed());
+  EXPECT_FALSE(std::isnan(summary.mean_ratio));
+  EXPECT_GE(summary.max_ratio, 1.0 - 1e-12);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Tests for the per-round time-series probe.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "adversary/random.hpp"
@@ -33,6 +34,11 @@ TEST(TimeSeries, SamplesEveryRoundConsistently) {
     if (s.pending > 0) {
       EXPECT_GE(s.tightest_slack, 0);
     }
+    // The plain probe does not track prefix optima; the columns must be
+    // explicitly marked untracked, not zero.
+    EXPECT_FALSE(s.has_prefix());
+    EXPECT_EQ(s.prefix_opt, -1);
+    EXPECT_EQ(s.prefix_fulfilled, -1);
     injected += s.injected;
     executed += s.executed;
   }
@@ -66,6 +72,8 @@ TEST(TimeSeries, SummaryIsCoherent) {
   EXPECT_GE(summary.peak_pending, 1);
   EXPECT_EQ(summary.rounds,
             static_cast<std::int64_t>(probe.samples().size()));
+  EXPECT_TRUE(std::isnan(summary.final_prefix_ratio));
+  EXPECT_TRUE(std::isnan(summary.max_prefix_ratio));
 }
 
 TEST(TimeSeries, ResetClearsSamples) {

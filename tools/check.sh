@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 gate, run twice: a plain RelWithDebInfo build+ctest, then the same
+# suite under AddressSanitizer + UBSan (REQSCHED_SANITIZE=ON). Run from the
+# repository root:
+#
+#   tools/check.sh            # both passes
+#   tools/check.sh --plain    # plain pass only
+#   tools/check.sh --asan     # sanitized pass only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_pass() {
+  local label="$1" dir="$2"
+  shift 2
+  echo "==> ${label}: configure (${dir})"
+  cmake -B "${dir}" -S . "$@"
+  echo "==> ${label}: build"
+  cmake --build "${dir}" -j
+  echo "==> ${label}: ctest"
+  (cd "${dir}" && ctest --output-on-failure -j "$(nproc)")
+}
+
+mode="${1:-all}"
+
+case "${mode}" in
+  all|--all)
+    run_pass "plain" build
+    run_pass "asan+ubsan" build-asan -DREQSCHED_SANITIZE=ON
+    ;;
+  --plain)
+    run_pass "plain" build
+    ;;
+  --asan)
+    run_pass "asan+ubsan" build-asan -DREQSCHED_SANITIZE=ON
+    ;;
+  *)
+    echo "usage: tools/check.sh [--plain|--asan]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> all requested passes green"

@@ -17,6 +17,7 @@
 #include "adversary/random.hpp"
 #include "analysis/bounds.hpp"
 #include "analysis/harness.hpp"
+#include "analysis/prefix.hpp"
 #include "analysis/registry.hpp"
 #include "analysis/sweep.hpp"
 #include "analysis/timeline.hpp"
@@ -106,7 +107,9 @@ int cmd_run(const CliArgs& args) {
 
   const std::string timeseries_path = args.get_string("timeseries", "");
   auto inner = make_strategy(strategy_name);
-  TimeSeriesProbe probe(std::move(inner));
+  // The prefix probe samples everything the plain time-series probe does,
+  // plus the exact prefix optimum — per-round competitive observability.
+  PrefixOptimumProbe probe(std::move(inner));
 
   Simulator sim(*workload, probe);
   sim.run();
@@ -120,16 +123,16 @@ int cmd_run(const CliArgs& args) {
             << "offline OPT: " << optimum << '\n'
             << "ratio      : "
             << AsciiTable::fmt(
-                   sim.metrics().fulfilled
-                       ? static_cast<double>(optimum) /
-                             static_cast<double>(sim.metrics().fulfilled)
-                       : 1.0)
+                   competitive_ratio(optimum, sim.metrics().fulfilled))
             << '\n';
   const TimeSeriesSummary summary =
       summarize_timeseries(probe.samples(), options.n);
   std::cout << "utilization: " << AsciiTable::fmt(summary.mean_utilization)
             << "  mean pending: " << AsciiTable::fmt(summary.mean_pending, 1)
-            << "  peak pending: " << summary.peak_pending << '\n';
+            << "  peak pending: " << summary.peak_pending << '\n'
+            << "prefix ratio: final "
+            << AsciiTable::fmt(summary.final_prefix_ratio) << "  worst round "
+            << AsciiTable::fmt(summary.max_prefix_ratio) << '\n';
 
   if (!timeseries_path.empty()) {
     std::ofstream file(timeseries_path);
@@ -182,9 +185,14 @@ int cmd_sweep(const CliArgs& args) {
   const auto points = run_sweep(spec);
   const SweepSummary summary = summarize_sweep(points);
   std::cout << "points     : " << summary.points << '\n'
-            << "failures   : " << summary.failures << '\n'
-            << "mean ratio : " << AsciiTable::fmt(summary.mean_ratio) << '\n'
-            << "max ratio  : " << AsciiTable::fmt(summary.max_ratio) << '\n';
+            << "failures   : " << summary.failures << '\n';
+  if (summary.all_failed()) {
+    std::cout << "mean ratio : n/a (every point failed)\n"
+              << "max ratio  : n/a (every point failed)\n";
+  } else {
+    std::cout << "mean ratio : " << AsciiTable::fmt(summary.mean_ratio) << '\n'
+              << "max ratio  : " << AsciiTable::fmt(summary.max_ratio) << '\n';
+  }
   const std::string csv_path = args.get_string("csv", "");
   if (!csv_path.empty()) {
     std::ofstream file(csv_path);
