@@ -2,40 +2,35 @@
 
 #include <algorithm>
 
-#include "offline/offline.hpp"
-
 namespace reqsched {
 
 PathStats analyze_augmenting_paths(
-    const Trace& trace,
-    const std::vector<std::pair<RequestId, SlotRef>>& online) {
+    const SlotGraph& slots, const Matching& opt,
+    const std::vector<std::pair<RequestId, SlotRef>>& online,
+    SolverScratch& scratch) {
   PathStats stats;
   stats.order_histogram.assign(2, 0);
-  if (trace.empty()) return stats;
 
-  const OfflineGraph og(trace);
-  const Matching opt = hopcroft_karp(og.graph());
+  const std::int64_t request_count = slots.request_count();
 
-  // Slot-indexed views of both matchings.
-  const auto slot_count = static_cast<std::size_t>(og.slot_count());
-  std::vector<std::int32_t> online_left(
-      static_cast<std::size_t>(trace.size()), -1);
-  std::vector<std::int64_t> online_right(slot_count, -1);
+  // Slot-indexed views of both matchings, in reusable scratch buffers.
+  scratch.online_slot.assign(static_cast<std::size_t>(request_count), -1);
+  scratch.slot_owner.assign(static_cast<std::size_t>(slots.slot_count()), -1);
   for (const auto& [id, slot] : online) {
-    const std::int32_t s = og.slot_index(slot);
-    online_left[static_cast<std::size_t>(id)] = s;
-    online_right[static_cast<std::size_t>(s)] = id;
+    const std::int32_t s = slots.slot_index(slot);
+    scratch.online_slot[static_cast<std::size_t>(id)] = s;
+    scratch.slot_owner[static_cast<std::size_t>(s)] = id;
   }
 
-  std::int64_t online_size = static_cast<std::int64_t>(online.size());
+  const auto online_size = static_cast<std::int64_t>(online.size());
   stats.deficiency = opt.size() - online_size;
 
   // Walk alternating components starting from requests that OPT serves but
   // the online algorithm does not. A component ending in an online-free slot
   // is an augmenting path; one ending in an OPT-free request is merely
   // alternating and does not certify a loss.
-  for (RequestId start = 0; start < trace.size(); ++start) {
-    if (online_left[static_cast<std::size_t>(start)] >= 0) continue;
+  for (RequestId start = 0; start < request_count; ++start) {
+    if (scratch.online_slot[static_cast<std::size_t>(start)] >= 0) continue;
     if (!opt.left_matched(static_cast<std::int32_t>(start))) continue;
 
     std::int64_t order = 0;
@@ -45,7 +40,8 @@ PathStats analyze_augmenting_paths(
       const std::int32_t slot =
           opt.left_to_right[static_cast<std::size_t>(request)];
       REQSCHED_CHECK(slot >= 0);
-      const std::int64_t owner = online_right[static_cast<std::size_t>(slot)];
+      const std::int64_t owner =
+          scratch.slot_owner[static_cast<std::size_t>(slot)];
       if (owner < 0) {
         // Free slot for the online matching: augmenting path found.
         ++stats.augmenting_paths;
@@ -68,6 +64,28 @@ PathStats analyze_augmenting_paths(
   REQSCHED_CHECK_MSG(stats.augmenting_paths >= stats.deficiency,
                      "augmenting decomposition undercounts the deficiency");
   return stats;
+}
+
+PathStats analyze_augmenting_paths(
+    const Trace& trace,
+    const std::vector<std::pair<RequestId, SlotRef>>& online,
+    SolverScratch& scratch) {
+  if (trace.empty()) {
+    PathStats stats;
+    stats.order_histogram.assign(2, 0);
+    return stats;
+  }
+  scratch.slots.rebuild(trace);
+  hopcroft_karp(scratch.slots.graph(), scratch.matching, scratch.match);
+  return analyze_augmenting_paths(scratch.slots, scratch.matching, online,
+                                  scratch);
+}
+
+PathStats analyze_augmenting_paths(
+    const Trace& trace,
+    const std::vector<std::pair<RequestId, SlotRef>>& online) {
+  SolverScratch scratch;
+  return analyze_augmenting_paths(trace, online, scratch);
 }
 
 }  // namespace reqsched

@@ -14,6 +14,7 @@
 
 #include "core/trace.hpp"
 #include "core/types.hpp"
+#include "matching/slot_graph.hpp"
 
 namespace reqsched {
 
@@ -34,5 +35,19 @@ struct PathStats {
 PathStats analyze_augmenting_paths(
     const Trace& trace,
     const std::vector<std::pair<RequestId, SlotRef>>& online);
+
+/// Scratch-reusing variant: builds the graph and solves OPT into `scratch`.
+PathStats analyze_augmenting_paths(
+    const Trace& trace,
+    const std::vector<std::pair<RequestId, SlotRef>>& online,
+    SolverScratch& scratch);
+
+/// Lowest level: analyses against a pre-built graph and a pre-computed
+/// maximum matching (e.g. the ones solve_offline() left in the scratch —
+/// `opt` may alias `scratch.matching`). Avoids re-solving OPT entirely.
+PathStats analyze_augmenting_paths(
+    const SlotGraph& slots, const Matching& opt,
+    const std::vector<std::pair<RequestId, SlotRef>>& online,
+    SolverScratch& scratch);
 
 }  // namespace reqsched

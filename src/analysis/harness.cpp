@@ -36,6 +36,12 @@ const RoundSample& prefix_sample_at(const RunResult& run, Round round) {
 
 RunResult run_experiment(IWorkload& workload, IStrategy& strategy,
                          const RunOptions& options) {
+  SolverScratch scratch;
+  return run_experiment(workload, strategy, options, scratch);
+}
+
+RunResult run_experiment(IWorkload& workload, IStrategy& strategy,
+                         const RunOptions& options, SolverScratch& scratch) {
   std::optional<PrefixOptimumProbe> probe;
   IStrategy* active = &strategy;
   if (options.track_prefix) {
@@ -49,12 +55,19 @@ RunResult run_experiment(IWorkload& workload, IStrategy& strategy,
   result.strategy = strategy.name();
   result.workload = workload.name();
   result.metrics = sim.metrics();
-  result.optimum = offline_optimum(sim.trace());
+  result.optimum = solve_offline(sim.trace(), scratch).optimum;
   REQSCHED_CHECK_MSG(result.optimum >= result.metrics.fulfilled,
                      "online matching beat the 'optimal' offline matching");
   result.ratio = competitive_ratio(result.optimum, result.metrics.fulfilled);
   if (options.analyze_paths) {
-    result.paths = analyze_augmenting_paths(sim.trace(), sim.online_matching());
+    if (sim.trace().empty()) {
+      result.paths.order_histogram.assign(2, 0);
+    } else {
+      // solve_offline left the graph and the optimum matching in `scratch`;
+      // the path analysis reuses both instead of re-solving.
+      result.paths = analyze_augmenting_paths(
+          scratch.slots, scratch.matching, sim.online_matching(), scratch);
+    }
   }
   if (const auto* scripted = dynamic_cast<const ScriptedStrategy*>(&strategy)) {
     result.violations = scripted->violations();

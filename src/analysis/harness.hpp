@@ -46,6 +46,13 @@ struct RunOptions {
 RunResult run_experiment(IWorkload& workload, IStrategy& strategy,
                          const RunOptions& options = {});
 
+/// Scratch-reusing variant: the offline solve and the augmenting-path
+/// analysis share `scratch` (graph arena, matching buffers), so repeated
+/// calls — a sweep worker, a replay loop — stop allocating once the arena
+/// has grown to the largest instance seen.
+RunResult run_experiment(IWorkload& workload, IStrategy& strategy,
+                         const RunOptions& options, SolverScratch& scratch);
+
 /// The additive-constant-free per-phase ratio: between two horizons of the
 /// same periodic instance, (OPT_long - OPT_short) / (ALG_long - ALG_short)
 /// cancels startup effects exactly and converges to the theorem's bound.

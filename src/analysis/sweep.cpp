@@ -31,13 +31,23 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
   }
 
   ThreadPool pool(spec.threads);
+  // One solver arena per pool worker (plus a spare slot for the calling
+  // thread, which parallel_for never uses but defensive code is cheap): the
+  // graph/matching buffers are reused across every point a worker processes,
+  // so the sweep's steady state allocates only inside workload generation.
+  std::vector<SolverScratch> scratches(pool.thread_count() + 1);
   parallel_for(pool, points.size(), [&](std::size_t i) {
     SweepPoint& point = points[i];
+    const std::size_t worker = ThreadPool::current_worker_index();
+    SolverScratch& scratch =
+        scratches[worker == ThreadPool::kNotAWorker ? pool.thread_count()
+                                                    : worker];
     try {
       const auto workload = spec.make_workload(point.n, point.d, point.seed);
       auto strategy = make_strategy(point.strategy);
       point.result = run_experiment(*workload, *strategy,
-                                    {.analyze_paths = spec.analyze_paths});
+                                    {.analyze_paths = spec.analyze_paths},
+                                    scratch);
     } catch (const std::exception& e) {
       // ThreadPool tasks must not throw (a strategy's std::bad_alloc or
       // std::logic_error would take the whole process down); any failure is

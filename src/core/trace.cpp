@@ -47,20 +47,36 @@ void Trace::save(std::ostream& os) const {
 Trace Trace::load(std::istream& is) {
   std::string magic;
   ProblemConfig config;
-  std::size_t count = 0;
+  std::int64_t count = -1;
   is >> magic >> config.n >> config.d >> count;
   REQSCHED_CHECK_MSG(static_cast<bool>(is) && magic == "reqsched-trace",
                      "not a reqsched trace stream");
+  REQSCHED_CHECK_MSG(count >= 0, "negative request count in trace header");
   Trace trace(config);
-  for (std::size_t i = 0; i < count; ++i) {
+  for (std::int64_t i = 0; i < count; ++i) {
     Round arrival = kNoRound;
     Round deadline = kNoRound;
     RequestSpec spec;
     is >> arrival >> spec.first >> spec.second >> deadline;
     REQSCHED_CHECK_MSG(static_cast<bool>(is), "truncated trace stream");
+    REQSCHED_CHECK_MSG(arrival >= 0,
+                       "negative arrival at request " << i);
+    // Validate the serialized deadline directly instead of deferring to
+    // whatever add() happens to catch after the window back-computation.
+    REQSCHED_CHECK_MSG(
+        deadline >= arrival && deadline <= arrival + config.d - 1,
+        "deadline " << deadline << " outside [" << arrival << ", "
+                    << arrival + config.d - 1 << "] at request " << i);
     spec.window = static_cast<std::int32_t>(deadline - arrival + 1);
     trace.add(arrival, spec);
   }
+  // A well-formed stream ends when the declared count does: trailing request
+  // rows mean the header undercounts and the trace would be silently
+  // truncated.
+  is >> std::ws;
+  REQSCHED_CHECK_MSG(
+      is.eof() || is.peek() == std::char_traits<char>::eof(),
+      "trace stream continues past the declared request count");
   return trace;
 }
 

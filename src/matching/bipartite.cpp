@@ -1,32 +1,147 @@
 #include "matching/bipartite.hpp"
 
 #include <algorithm>
-#include <functional>
 #include <limits>
 #include <numeric>
-#include <queue>
 
 namespace reqsched {
 
-BipartiteGraph::BipartiteGraph(std::int32_t left_count,
-                               std::int32_t right_count)
-    : left_count_(left_count), right_count_(right_count) {
+void BipartiteGraph::reset(std::int32_t left_count, std::int32_t right_count) {
   REQSCHED_REQUIRE(left_count >= 0 && right_count >= 0);
-  adj_.resize(static_cast<std::size_t>(left_count));
+  left_count_ = left_count;
+  right_count_ = right_count;
+  state_ = State::kReady;
+  direct_built_ = false;
+  offsets_.assign(static_cast<std::size_t>(left_count) + 1, 0);
+  edges_.clear();
+  pending_left_.clear();
+  pending_right_.clear();
 }
 
 void BipartiteGraph::add_edge(std::int32_t left, std::int32_t right) {
   REQSCHED_REQUIRE(left >= 0 && left < left_count_);
   REQSCHED_REQUIRE(right >= 0 && right < right_count_);
-  adj_[static_cast<std::size_t>(left)].push_back(right);
-  ++edge_count_;
+  REQSCHED_REQUIRE_MSG(!direct_built_ && (state_ == State::kReady ||
+                                          state_ == State::kStaged),
+                       "add_edge() cannot be mixed with the two-pass builder");
+  pending_left_.push_back(left);
+  pending_right_.push_back(right);
+  state_ = State::kStaged;
+}
+
+void BipartiteGraph::finalize() {
+  if (state_ == State::kReady) return;
+  REQSCHED_REQUIRE_MSG(state_ == State::kStaged,
+                       "finalize() called during a two-pass build");
+  // Stable counting sort by left vertex: degree count, prefix sum, fill.
+  // Stability preserves per-left insertion order, which the augmenting-path
+  // algorithms rely on for tie-breaking.
+  offsets_.assign(static_cast<std::size_t>(left_count_) + 1, 0);
+  for (const std::int32_t l : pending_left_) {
+    ++offsets_[static_cast<std::size_t>(l) + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  edges_.resize(pending_left_.size());
+  for (std::size_t e = 0; e < pending_left_.size(); ++e) {
+    const auto l = static_cast<std::size_t>(pending_left_[e]);
+    edges_[static_cast<std::size_t>(cursor_[l]++)] = pending_right_[e];
+  }
+  state_ = State::kReady;
+  check_no_duplicate_edges();
+}
+
+void BipartiteGraph::count_edges(std::int32_t left, std::int64_t count) {
+  REQSCHED_REQUIRE(left >= 0 && left < left_count_);
+  REQSCHED_REQUIRE(count >= 0);
+  if (state_ != State::kCounting) {
+    REQSCHED_REQUIRE_MSG(state_ == State::kReady && edges_.empty() &&
+                             pending_left_.empty(),
+                         "two-pass build requires a freshly reset graph");
+    state_ = State::kCounting;
+  }
+  offsets_[static_cast<std::size_t>(left) + 1] += count;
+}
+
+void BipartiteGraph::start_fill() {
+  if (state_ == State::kReady) {
+    // Zero-edge graph: no count_edges() calls happened.
+    REQSCHED_REQUIRE(edges_.empty() && pending_left_.empty());
+    state_ = State::kCounting;
+  }
+  REQSCHED_REQUIRE(state_ == State::kCounting);
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  edges_.resize(static_cast<std::size_t>(offsets_.back()));
+  state_ = State::kFilling;
+}
+
+void BipartiteGraph::fill_edge(std::int32_t left, std::int32_t right) {
+  REQSCHED_REQUIRE(state_ == State::kFilling);
+  REQSCHED_REQUIRE(left >= 0 && left < left_count_);
+  REQSCHED_REQUIRE(right >= 0 && right < right_count_);
+  auto& cur = cursor_[static_cast<std::size_t>(left)];
+  REQSCHED_REQUIRE_MSG(cur < offsets_[static_cast<std::size_t>(left) + 1],
+                       "more fill_edge() calls than declared for left "
+                           << left);
+  edges_[static_cast<std::size_t>(cur++)] = right;
+}
+
+void BipartiteGraph::fill_edges(std::int32_t left,
+                                std::span<const std::int32_t> rights) {
+  REQSCHED_REQUIRE(state_ == State::kFilling);
+  REQSCHED_REQUIRE(left >= 0 && left < left_count_);
+  auto& cur = cursor_[static_cast<std::size_t>(left)];
+  REQSCHED_REQUIRE_MSG(
+      cur + static_cast<std::int64_t>(rights.size()) <=
+          offsets_[static_cast<std::size_t>(left) + 1],
+      "more fill_edges() edges than declared for left " << left);
+  for (const std::int32_t r : rights) {
+    REQSCHED_DEBUG_REQUIRE(r >= 0 && r < right_count_);
+    edges_[static_cast<std::size_t>(cur++)] = r;
+  }
+}
+
+void BipartiteGraph::finish_fill() {
+  REQSCHED_REQUIRE(state_ == State::kFilling);
+  for (std::int32_t l = 0; l < left_count_; ++l) {
+    REQSCHED_REQUIRE_MSG(
+        cursor_[static_cast<std::size_t>(l)] ==
+            offsets_[static_cast<std::size_t>(l) + 1],
+        "fewer fill_edge() calls than declared for left " << l);
+  }
+  state_ = State::kReady;
+  direct_built_ = true;
+  check_no_duplicate_edges();
+}
+
+void BipartiteGraph::check_no_duplicate_edges() const {
+#ifdef REQSCHED_DEBUG_CHECKS
+  std::vector<std::int32_t> last_left(static_cast<std::size_t>(right_count_),
+                                      -1);
+  for (std::int32_t l = 0; l < left_count_; ++l) {
+    for (const std::int32_t r : neighbors(l)) {
+      REQSCHED_REQUIRE_MSG(last_left[static_cast<std::size_t>(r)] != l,
+                           "duplicate edge (" << l << ',' << r << ')');
+      last_left[static_cast<std::size_t>(r)] = l;
+    }
+  }
+#endif
 }
 
 Matching Matching::empty(const BipartiteGraph& g) {
   Matching m;
-  m.left_to_right.assign(static_cast<std::size_t>(g.left_count()), -1);
-  m.right_to_left.assign(static_cast<std::size_t>(g.right_count()), -1);
+  m.reset(g);
   return m;
+}
+
+void Matching::reset(const BipartiteGraph& g) {
+  left_to_right.assign(static_cast<std::size_t>(g.left_count()), -1);
+  right_to_left.assign(static_cast<std::size_t>(g.right_count()), -1);
 }
 
 std::int32_t Matching::size() const {
@@ -110,125 +225,185 @@ bool kuhn_try(const BipartiteGraph& g, Matching& m, std::int32_t l,
 }
 }  // namespace
 
-Matching kuhn_ordered(const BipartiteGraph& g,
-                      std::span<const std::int32_t> left_order,
-                      const Matching* seed) {
-  Matching m = seed ? *seed : Matching::empty(g);
-  if (seed) validate_matching(g, m);
-
-  std::vector<std::int32_t> order;
-  if (left_order.empty()) {
-    order.resize(static_cast<std::size_t>(g.left_count()));
-    std::iota(order.begin(), order.end(), 0);
-    left_order = order;
+void kuhn_ordered(const BipartiteGraph& g,
+                  std::span<const std::int32_t> left_order,
+                  const Matching* seed, Matching& m,
+                  MatchingScratch& scratch) {
+  if (seed) {
+    m = *seed;
+    validate_matching(g, m);
+  } else {
+    m.reset(g);
   }
 
-  std::vector<char> visited_right(static_cast<std::size_t>(g.right_count()));
+  if (left_order.empty()) {
+    scratch.order.resize(static_cast<std::size_t>(g.left_count()));
+    std::iota(scratch.order.begin(), scratch.order.end(), 0);
+    left_order = scratch.order;
+  }
+
+  scratch.visited_right.assign(static_cast<std::size_t>(g.right_count()), 0);
   for (const std::int32_t l : left_order) {
     REQSCHED_REQUIRE(l >= 0 && l < g.left_count());
     if (m.left_matched(l)) continue;
-    std::fill(visited_right.begin(), visited_right.end(), 0);
-    kuhn_try(g, m, l, visited_right);
+    std::fill(scratch.visited_right.begin(), scratch.visited_right.end(), 0);
+    kuhn_try(g, m, l, scratch.visited_right);
   }
+}
+
+Matching kuhn_ordered(const BipartiteGraph& g,
+                      std::span<const std::int32_t> left_order,
+                      const Matching* seed) {
+  Matching m;
+  MatchingScratch scratch;
+  kuhn_ordered(g, left_order, seed, m, scratch);
   return m;
 }
 
-Matching hopcroft_karp(const BipartiteGraph& g) {
+void hopcroft_karp(const BipartiteGraph& g, Matching& m,
+                   MatchingScratch& scratch) {
   constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max();
-  Matching m = Matching::empty(g);
-  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.left_count()));
+  m.reset(g);
+  const std::int32_t left_count = g.left_count();
+  scratch.dist.assign(static_cast<std::size_t>(left_count), 0);
 
   const auto bfs = [&]() -> bool {
-    std::queue<std::int32_t> queue;
-    for (std::int32_t l = 0; l < g.left_count(); ++l) {
+    scratch.queue.clear();
+    for (std::int32_t l = 0; l < left_count; ++l) {
       if (!m.left_matched(l)) {
-        dist[static_cast<std::size_t>(l)] = 0;
-        queue.push(l);
+        scratch.dist[static_cast<std::size_t>(l)] = 0;
+        scratch.queue.push_back(l);
       } else {
-        dist[static_cast<std::size_t>(l)] = kInf;
+        scratch.dist[static_cast<std::size_t>(l)] = kInf;
       }
     }
     bool found_free_right = false;
-    while (!queue.empty()) {
-      const std::int32_t l = queue.front();
-      queue.pop();
+    for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
+      const std::int32_t l = scratch.queue[head];
       for (const std::int32_t r : g.neighbors(l)) {
         const std::int32_t owner =
             m.right_to_left[static_cast<std::size_t>(r)];
         if (owner < 0) {
           found_free_right = true;
-        } else if (dist[static_cast<std::size_t>(owner)] == kInf) {
-          dist[static_cast<std::size_t>(owner)] =
-              dist[static_cast<std::size_t>(l)] + 1;
-          queue.push(owner);
+        } else if (scratch.dist[static_cast<std::size_t>(owner)] == kInf) {
+          scratch.dist[static_cast<std::size_t>(owner)] =
+              scratch.dist[static_cast<std::size_t>(l)] + 1;
+          scratch.queue.push_back(owner);
         }
       }
     }
     return found_free_right;
   };
 
-  const std::function<bool(std::int32_t)> dfs = [&](std::int32_t l) -> bool {
-    for (const std::int32_t r : g.neighbors(l)) {
-      const std::int32_t owner = m.right_to_left[static_cast<std::size_t>(r)];
-      if (owner < 0 || (dist[static_cast<std::size_t>(owner)] ==
-                            dist[static_cast<std::size_t>(l)] + 1 &&
-                        dfs(owner))) {
-        m.left_to_right[static_cast<std::size_t>(l)] = r;
-        m.right_to_left[static_cast<std::size_t>(r)] = l;
-        return true;
+  // Iterative layered DFS, frame-for-frame equivalent to the textbook
+  // recursion: a frame descends into the first neighbour whose owner sits on
+  // the next BFS layer, marks its left dead (dist = inf) when it exhausts its
+  // adjacency, and a free right commits the whole stack as one augmenting
+  // path by unwinding through the `via_right` edges.
+  const auto dfs = [&](std::int32_t root) -> bool {
+    scratch.stack.clear();
+    scratch.stack.push_back({root, 0, -1});
+    while (!scratch.stack.empty()) {
+      MatchingScratch::DfsFrame& frame = scratch.stack.back();
+      const auto nbrs = g.neighbors(frame.left);
+      bool descended = false;
+      while (static_cast<std::size_t>(frame.edge) < nbrs.size()) {
+        const std::int32_t r = nbrs[static_cast<std::size_t>(frame.edge++)];
+        const std::int32_t owner =
+            m.right_to_left[static_cast<std::size_t>(r)];
+        if (owner < 0) {
+          std::int32_t take = r;
+          for (auto it = scratch.stack.rbegin(); it != scratch.stack.rend();
+               ++it) {
+            m.left_to_right[static_cast<std::size_t>(it->left)] = take;
+            m.right_to_left[static_cast<std::size_t>(take)] = it->left;
+            take = it->via_right;
+          }
+          return true;
+        }
+        if (scratch.dist[static_cast<std::size_t>(owner)] ==
+            scratch.dist[static_cast<std::size_t>(frame.left)] + 1) {
+          scratch.stack.push_back({owner, 0, r});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        scratch.dist[static_cast<std::size_t>(frame.left)] = kInf;
+        scratch.stack.pop_back();
       }
     }
-    dist[static_cast<std::size_t>(l)] = kInf;
     return false;
   };
 
   while (bfs()) {
-    for (std::int32_t l = 0; l < g.left_count(); ++l) {
+    for (std::int32_t l = 0; l < left_count; ++l) {
       if (!m.left_matched(l)) dfs(l);
     }
   }
+}
+
+Matching hopcroft_karp(const BipartiteGraph& g) {
+  Matching m;
+  MatchingScratch scratch;
+  hopcroft_karp(g, m, scratch);
   return m;
 }
 
-VertexCover koenig_cover(const BipartiteGraph& g, const Matching& maximum) {
-  // Alternating BFS/DFS from free left vertices; cover = (unvisited lefts,
+void koenig_cover(const BipartiteGraph& g, const Matching& maximum,
+                  VertexCover& cover, MatchingScratch& scratch) {
+  // Alternating BFS from free left vertices; cover = (unvisited lefts,
   // visited rights).
-  std::vector<char> left_visited(static_cast<std::size_t>(g.left_count()));
-  std::vector<char> right_visited(static_cast<std::size_t>(g.right_count()));
-  std::queue<std::int32_t> queue;
+  scratch.visited_left.assign(static_cast<std::size_t>(g.left_count()), 0);
+  scratch.visited_right.assign(static_cast<std::size_t>(g.right_count()), 0);
+  scratch.queue.clear();
   for (std::int32_t l = 0; l < g.left_count(); ++l) {
     if (!maximum.left_matched(l)) {
-      left_visited[static_cast<std::size_t>(l)] = 1;
-      queue.push(l);
+      scratch.visited_left[static_cast<std::size_t>(l)] = 1;
+      scratch.queue.push_back(l);
     }
   }
-  while (!queue.empty()) {
-    const std::int32_t l = queue.front();
-    queue.pop();
+  for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
+    const std::int32_t l = scratch.queue[head];
     for (const std::int32_t r : g.neighbors(l)) {
-      if (right_visited[static_cast<std::size_t>(r)]) continue;
-      right_visited[static_cast<std::size_t>(r)] = 1;
+      if (scratch.visited_right[static_cast<std::size_t>(r)]) continue;
+      scratch.visited_right[static_cast<std::size_t>(r)] = 1;
       const std::int32_t owner =
           maximum.right_to_left[static_cast<std::size_t>(r)];
-      if (owner >= 0 && !left_visited[static_cast<std::size_t>(owner)]) {
-        left_visited[static_cast<std::size_t>(owner)] = 1;
-        queue.push(owner);
+      if (owner >= 0 &&
+          !scratch.visited_left[static_cast<std::size_t>(owner)]) {
+        scratch.visited_left[static_cast<std::size_t>(owner)] = 1;
+        scratch.queue.push_back(owner);
       }
     }
   }
-  VertexCover cover;
+  cover.lefts.clear();
+  cover.rights.clear();
   for (std::int32_t l = 0; l < g.left_count(); ++l) {
-    if (!left_visited[static_cast<std::size_t>(l)]) cover.lefts.push_back(l);
+    if (!scratch.visited_left[static_cast<std::size_t>(l)]) {
+      cover.lefts.push_back(l);
+    }
   }
   for (std::int32_t r = 0; r < g.right_count(); ++r) {
-    if (right_visited[static_cast<std::size_t>(r)]) cover.rights.push_back(r);
+    if (scratch.visited_right[static_cast<std::size_t>(r)]) {
+      cover.rights.push_back(r);
+    }
   }
+}
+
+VertexCover koenig_cover(const BipartiteGraph& g, const Matching& maximum) {
+  VertexCover cover;
+  MatchingScratch scratch;
+  koenig_cover(g, maximum, cover, scratch);
   return cover;
 }
 
-bool covers_all_edges(const BipartiteGraph& g, const VertexCover& cover) {
-  std::vector<char> left_in(static_cast<std::size_t>(g.left_count()));
-  std::vector<char> right_in(static_cast<std::size_t>(g.right_count()));
+bool covers_all_edges(const BipartiteGraph& g, const VertexCover& cover,
+                      MatchingScratch& scratch) {
+  auto& left_in = scratch.visited_left;
+  auto& right_in = scratch.visited_right;
+  left_in.assign(static_cast<std::size_t>(g.left_count()), 0);
+  right_in.assign(static_cast<std::size_t>(g.right_count()), 0);
   for (const std::int32_t l : cover.lefts)
     left_in[static_cast<std::size_t>(l)] = 1;
   for (const std::int32_t r : cover.rights)
@@ -242,6 +417,11 @@ bool covers_all_edges(const BipartiteGraph& g, const VertexCover& cover) {
     }
   }
   return true;
+}
+
+bool covers_all_edges(const BipartiteGraph& g, const VertexCover& cover) {
+  MatchingScratch scratch;
+  return covers_all_edges(g, cover, scratch);
 }
 
 }  // namespace reqsched

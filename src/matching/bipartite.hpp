@@ -13,30 +13,101 @@
 
 namespace reqsched {
 
-/// Adjacency-list bipartite graph over `left_count` x `right_count` vertices.
+/// CSR (compressed sparse row) bipartite graph over `left_count` x
+/// `right_count` vertices: a flat edge array plus per-left offsets, so
+/// neighbour iteration is a `std::span` over contiguous memory and the whole
+/// structure is two allocations regardless of edge count.
+///
 /// Edge order is significant: the augmenting-path algorithms try neighbours
-/// in adjacency order, which is how adversarial tie-breaking is steered.
+/// in adjacency order, which is how adversarial tie-breaking is steered. Both
+/// builders below preserve per-left insertion order exactly (the staged path
+/// via a stable counting sort), so CSR graphs are edge-for-edge identical to
+/// the legacy nested-vector layout.
+///
+/// Two ways to build:
+///  * staged  — `add_edge()` in any order, then `finalize()`; convenient for
+///    tests and per-round problems. A freshly constructed/reset graph is
+///    already finalized (with zero edges), so edge-free graphs need no call.
+///  * direct two-pass — `count_edges()` per left, `start_fill()`,
+///    `fill_edge()` in final order, `finish_fill()`; the zero-staging hot
+///    path used by `SlotGraph`, where every request's degree is known
+///    up front (window x alternatives).
+///
+/// In debug builds (and the sanitized CI pass) both builders reject duplicate
+/// (left, right) edges — duplicates would skew augmenting-path order
+/// histograms.
 class BipartiteGraph {
  public:
-  BipartiteGraph(std::int32_t left_count, std::int32_t right_count);
+  BipartiteGraph() { reset(0, 0); }
+  BipartiteGraph(std::int32_t left_count, std::int32_t right_count) {
+    reset(left_count, right_count);
+  }
+
+  /// Reinitializes to an edge-free finalized graph, reusing capacity.
+  void reset(std::int32_t left_count, std::int32_t right_count);
 
   std::int32_t left_count() const { return left_count_; }
   std::int32_t right_count() const { return right_count_; }
 
+  /// Stages an edge; call finalize() before querying neighbours.
   void add_edge(std::int32_t left, std::int32_t right);
 
+  /// Builds the CSR arrays from staged edges (stable counting sort: per-left
+  /// insertion order is preserved). Idempotent; no-op when nothing is staged.
+  void finalize();
+
+  /// Direct two-pass builder, pass 1: declare `count` edges for `left`.
+  void count_edges(std::int32_t left, std::int64_t count);
+  /// Ends pass 1 (prefix-sums the degree counts) and begins pass 2.
+  void start_fill();
+  /// Pass 2: edges must arrive grouped by left in their final order.
+  void fill_edge(std::int32_t left, std::int32_t right);
+  /// Pass 2, bulk form: appends all of `rights` to `left` with one cursor
+  /// range check (per-edge bounds are debug-only), so the hot build path is
+  /// a single copy per left.
+  void fill_edges(std::int32_t left, std::span<const std::int32_t> rights);
+  /// Ends pass 2; checks every declared edge was filled.
+  void finish_fill();
+
+  /// True when the CSR arrays are current and neighbours may be queried.
+  bool ready() const { return state_ == State::kReady; }
+
   std::span<const std::int32_t> neighbors(std::int32_t left) const {
+    REQSCHED_REQUIRE(state_ == State::kReady);
     REQSCHED_REQUIRE(left >= 0 && left < left_count_);
-    return adj_[static_cast<std::size_t>(left)];
+    const auto lo = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(left)]);
+    const auto hi =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(left) + 1]);
+    return {edges_.data() + lo, hi - lo};
   }
 
-  std::int64_t edge_count() const { return edge_count_; }
+  std::int64_t edge_count() const {
+    return state_ == State::kStaged
+               ? static_cast<std::int64_t>(pending_left_.size())
+               : static_cast<std::int64_t>(edges_.size());
+  }
 
  private:
-  std::int32_t left_count_;
-  std::int32_t right_count_;
-  std::int64_t edge_count_ = 0;
-  std::vector<std::vector<std::int32_t>> adj_;
+  enum class State : std::uint8_t {
+    kReady,     // CSR arrays current
+    kStaged,    // add_edge() calls pending a finalize()
+    kCounting,  // two-pass builder, pass 1
+    kFilling,   // two-pass builder, pass 2
+  };
+
+  void check_no_duplicate_edges() const;
+
+  std::int32_t left_count_ = 0;
+  std::int32_t right_count_ = 0;
+  State state_ = State::kReady;
+  /// True once built via the two-pass API; add_edge() would silently drop
+  /// those edges on finalize(), so the two paths cannot be mixed.
+  bool direct_built_ = false;
+  std::vector<std::int64_t> offsets_;  // size left_count_ + 1
+  std::vector<std::int64_t> cursor_;   // fill cursors, reused across builds
+  std::vector<std::int32_t> edges_;    // flat adjacency, grouped by left
+  std::vector<std::int32_t> pending_left_;   // staged edges (authoritative
+  std::vector<std::int32_t> pending_right_;  //   until the next reset)
 };
 
 /// A matching as mutual left<->right assignments (-1 = unmatched).
@@ -45,6 +116,9 @@ struct Matching {
   std::vector<std::int32_t> right_to_left;
 
   static Matching empty(const BipartiteGraph& g);
+
+  /// Clears to the all-unmatched state sized for `g`, reusing capacity.
+  void reset(const BipartiteGraph& g);
 
   std::int32_t size() const;
 
@@ -57,6 +131,23 @@ struct Matching {
 
   void match(std::int32_t l, std::int32_t r);
   void unmatch_left(std::int32_t l);
+};
+
+/// Reusable buffers for the matching algorithms below. Passing the same
+/// instance across calls keeps repeated solves (sweeps, prefix replays)
+/// allocation-free once the arena has grown to the working-set size.
+struct MatchingScratch {
+  struct DfsFrame {
+    std::int32_t left;       // left vertex this frame explores
+    std::int32_t edge;       // next adjacency index to try
+    std::int32_t via_right;  // matched right we entered `left` through
+  };
+  std::vector<std::int32_t> dist;   // Hopcroft–Karp BFS layers
+  std::vector<std::int32_t> queue;  // flat FIFO (head index, no pops)
+  std::vector<DfsFrame> stack;      // iterative DFS frames
+  std::vector<char> visited_left;   // König BFS marks
+  std::vector<char> visited_right;  // Kuhn / König visited marks
+  std::vector<std::int32_t> order;  // default left order for kuhn_ordered
 };
 
 /// Checks mutual consistency and that every matched pair is a graph edge.
@@ -79,8 +170,19 @@ Matching kuhn_ordered(const BipartiteGraph& g,
                       std::span<const std::int32_t> left_order = {},
                       const Matching* seed = nullptr);
 
+/// Scratch-reusing variant: writes the matching into `out`.
+void kuhn_ordered(const BipartiteGraph& g,
+                  std::span<const std::int32_t> left_order,
+                  const Matching* seed, Matching& out, MatchingScratch& scratch);
+
 /// Hopcroft–Karp maximum matching. O(E * sqrt(V)).
 Matching hopcroft_karp(const BipartiteGraph& g);
+
+/// Scratch-reusing variant: writes the matching into `out`. The traversal
+/// order is identical to the allocating variant (and to the legacy recursive
+/// implementation), so results are bit-identical.
+void hopcroft_karp(const BipartiteGraph& g, Matching& out,
+                   MatchingScratch& scratch);
 
 /// König's theorem: a minimum vertex cover (lefts, rights) derived from a
 /// maximum matching; |cover| == |matching| certifies optimality.
@@ -93,7 +195,16 @@ struct VertexCover {
 };
 VertexCover koenig_cover(const BipartiteGraph& g, const Matching& maximum);
 
+/// Scratch-reusing variant: writes the cover into `out`.
+void koenig_cover(const BipartiteGraph& g, const Matching& maximum,
+                  VertexCover& out, MatchingScratch& scratch);
+
 /// Checks that every edge of `g` is covered.
 bool covers_all_edges(const BipartiteGraph& g, const VertexCover& cover);
+
+/// Scratch-reusing variant: marks cover membership in `scratch.visited_left`
+/// / `scratch.visited_right` instead of allocating.
+bool covers_all_edges(const BipartiteGraph& g, const VertexCover& cover,
+                      MatchingScratch& scratch);
 
 }  // namespace reqsched

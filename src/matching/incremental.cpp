@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "matching/slot_graph.hpp"
+
 namespace reqsched {
 
 void IncrementalMatching::ensure_right(std::int32_t right) {
@@ -16,7 +18,8 @@ void IncrementalMatching::ensure_right(std::int32_t right) {
 bool IncrementalMatching::add_left(std::span<const std::int32_t> rights) {
   const auto id = left_count();
   for (const std::int32_t r : rights) ensure_right(r);
-  adj_.emplace_back(rights.begin(), rights.end());
+  adj_edges_.insert(adj_edges_.end(), rights.begin(), rights.end());
+  adj_offsets_.push_back(adj_edges_.size());
   left_to_right_.push_back(-1);
   return try_augment(id);
 }
@@ -30,17 +33,11 @@ bool IncrementalMatching::try_augment(std::int32_t root) {
   // safe recursion depth). `scanned` gates the free-right lookahead: before
   // descending into any matched neighbor we check the whole adjacency for an
   // immediately free right, which keeps typical augmentations shallow.
-  struct Frame {
-    std::int32_t left;
-    std::size_t next_edge;
-    std::int32_t via_right;
-    bool scanned;
-  };
-  std::vector<Frame> stack;
-  stack.push_back({root, 0, -1, false});
-  while (!stack.empty()) {
-    Frame& frame = stack.back();
-    const auto& nbrs = adj_[static_cast<std::size_t>(frame.left)];
+  stack_.clear();
+  stack_.push_back({root, 0, -1, false});
+  while (!stack_.empty()) {
+    Frame& frame = stack_.back();
+    const auto nbrs = neighbors_of(frame.left);
     if (!frame.scanned) {
       frame.scanned = true;
       for (const std::int32_t r : nbrs) {
@@ -48,7 +45,7 @@ bool IncrementalMatching::try_augment(std::int32_t root) {
         if (right_dead_[ri] != 0 || right_stamp_[ri] == stamp_) continue;
         if (right_to_left_[ri] < 0) {
           std::int32_t free_right = r;
-          for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+          for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
             left_to_right_[static_cast<std::size_t>(it->left)] = free_right;
             right_to_left_[static_cast<std::size_t>(free_right)] = it->left;
             free_right = it->via_right;
@@ -68,11 +65,11 @@ bool IncrementalMatching::try_augment(std::int32_t root) {
       // The lookahead above already ruled out free rights in this adjacency
       // (anything free and unstamped would have ended the search), so every
       // right reached here has an owner to descend into.
-      stack.push_back({right_to_left_[ri], 0, r, false});
+      stack_.push_back({right_to_left_[ri], 0, r, false});
       descended = true;
       break;
     }
-    if (!descended) stack.pop_back();
+    if (!descended) stack_.pop_back();
   }
   // Failed search: the visited rights R* are a frozen Hall witness. Every
   // neighbor of every left on the (exhausted) search tree lies in R*, all of
@@ -99,18 +96,9 @@ bool PrefixOptimumTracker::add_request(const Request& request) {
   REQSCHED_REQUIRE(request.first >= 0 && request.first < config_.n);
   REQSCHED_REQUIRE(request.second == kNoResource ||
                    (request.second >= 0 && request.second < config_.n));
-  const std::int64_t slot_end =
-      (request.deadline + 1) * static_cast<std::int64_t>(config_.n);
-  REQSCHED_REQUIRE_MSG(
-      slot_end <= std::numeric_limits<std::int32_t>::max(),
-      "slot space exceeds 32-bit indexing at round " << request.deadline);
 
   edges_.clear();
-  for (Round t = request.arrival; t <= request.deadline; ++t) {
-    const auto base = static_cast<std::int32_t>(t * config_.n);
-    edges_.push_back(base + request.first);
-    if (request.second != kNoResource) edges_.push_back(base + request.second);
-  }
+  SlotGraph::append_slot_edges(request, config_.n, edges_);
   return matching_.add_left(edges_);
 }
 

@@ -46,7 +46,7 @@ class IncrementalMatching {
   bool add_left(std::span<const std::int32_t> rights);
 
   std::int32_t left_count() const {
-    return static_cast<std::int32_t>(adj_.size());
+    return static_cast<std::int32_t>(adj_offsets_.size()) - 1;
   }
   std::int32_t right_count() const {
     return static_cast<std::int32_t>(right_to_left_.size());
@@ -70,10 +70,25 @@ class IncrementalMatching {
   }
 
  private:
+  struct Frame {
+    std::int32_t left;
+    std::size_t next_edge;
+    std::int32_t via_right;
+    bool scanned;
+  };
+
   bool try_augment(std::int32_t root);
   void ensure_right(std::int32_t right);
+  std::span<const std::int32_t> neighbors_of(std::int32_t left) const {
+    const auto lo = adj_offsets_[static_cast<std::size_t>(left)];
+    const auto hi = adj_offsets_[static_cast<std::size_t>(left) + 1];
+    return {adj_edges_.data() + lo, hi - lo};
+  }
 
-  std::vector<std::vector<std::int32_t>> adj_;
+  /// Grow-only CSR adjacency: lefts arrive with their full adjacency, so the
+  /// flat edge array is append-only and needs no second pass.
+  std::vector<std::int32_t> adj_edges_;
+  std::vector<std::size_t> adj_offsets_{0};
   std::vector<std::int32_t> left_to_right_;
   std::vector<std::int32_t> right_to_left_;
   /// Kuhn visited marks, versioned by search epoch so searches never pay for
@@ -83,14 +98,16 @@ class IncrementalMatching {
   /// every later search without affecting exactness.
   std::vector<std::uint8_t> right_dead_;
   std::vector<std::int32_t> visited_;  // per-search scratch
+  std::vector<Frame> stack_;           // per-search scratch (reused)
   std::uint64_t stamp_ = 0;
   std::int64_t size_ = 0;
 };
 
 /// Request-level wrapper: feeds arrivals into an IncrementalMatching over the
 /// request x slot graph (slot (resource, round) = right `round * n +
-/// resource`, the same indexing OfflineGraph uses) and exposes the exact
-/// offline optimum of the arrivals seen so far.
+/// resource`, the canonical SlotGraph indexing; edges come from
+/// SlotGraph::append_slot_edges) and exposes the exact offline optimum of the
+/// arrivals seen so far.
 class PrefixOptimumTracker {
  public:
   explicit PrefixOptimumTracker(const ProblemConfig& config);

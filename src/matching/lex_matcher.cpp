@@ -9,19 +9,16 @@
 namespace reqsched {
 
 void LexMatchProblem::validate() const {
-  REQSCHED_CHECK(left_count >= 0 && right_count >= 0 && level_count >= 1);
-  REQSCHED_CHECK(adj.size() == static_cast<std::size_t>(left_count));
-  REQSCHED_CHECK(level_of_right.size() == static_cast<std::size_t>(right_count));
-  for (const auto& nbrs : adj) {
-    for (const std::int32_t r : nbrs) {
-      REQSCHED_CHECK(r >= 0 && r < right_count);
-    }
-  }
+  REQSCHED_CHECK_MSG(graph.ready(),
+                     "LexMatchProblem graph has staged edges; call finalize()");
+  REQSCHED_CHECK(level_count >= 1);
+  REQSCHED_CHECK(level_of_right.size() ==
+                 static_cast<std::size_t>(right_count()));
   for (const std::int32_t lvl : level_of_right) {
     REQSCHED_CHECK(lvl >= 0 && lvl < level_count);
   }
   for (const std::int32_t l : required_lefts) {
-    REQSCHED_CHECK(l >= 0 && l < left_count);
+    REQSCHED_CHECK(l >= 0 && l < left_count());
   }
   REQSCHED_CHECK_MSG(cardinality_first || required_lefts.empty(),
                      "required lefts need cardinality-first mode");
@@ -55,19 +52,19 @@ LexMatchResult solve_pure_lex(const LexMatchProblem& p) {
   // Megiddo-style: open one level at a time, clamp each level's throughput
   // to its achieved optimum before opening the next. Flow accumulates
   // incrementally in one Dinic instance.
-  const Layout lay{p.left_count, p.right_count, p.level_count};
+  const Layout lay{p.left_count(), p.right_count(), p.level_count};
   MaxFlow flow(lay.nodes());
 
   std::vector<std::vector<std::int32_t>> left_arcs(
-      static_cast<std::size_t>(p.left_count));
-  for (std::int32_t l = 0; l < p.left_count; ++l) {
+      static_cast<std::size_t>(p.left_count()));
+  for (std::int32_t l = 0; l < p.left_count(); ++l) {
     flow.add_edge(lay.source(), lay.left(l), 1);
-    for (const std::int32_t r : p.adj[static_cast<std::size_t>(l)]) {
+    for (const std::int32_t r : p.graph.neighbors(l)) {
       left_arcs[static_cast<std::size_t>(l)].push_back(
           flow.add_edge(lay.left(l), lay.right(r), 1));
     }
   }
-  for (std::int32_t r = 0; r < p.right_count; ++r) {
+  for (std::int32_t r = 0; r < p.right_count(); ++r) {
     flow.add_edge(lay.right(r),
                   lay.level(p.level_of_right[static_cast<std::size_t>(r)]), 1);
   }
@@ -91,9 +88,9 @@ LexMatchResult solve_pure_lex(const LexMatchProblem& p) {
   }
   result.cardinality = total;
 
-  result.left_to_right.assign(static_cast<std::size_t>(p.left_count), -1);
-  for (std::int32_t l = 0; l < p.left_count; ++l) {
-    const auto& nbrs = p.adj[static_cast<std::size_t>(l)];
+  result.left_to_right.assign(static_cast<std::size_t>(p.left_count()), -1);
+  for (std::int32_t l = 0; l < p.left_count(); ++l) {
+    const auto nbrs = p.graph.neighbors(l);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       if (flow.flow_on(left_arcs[static_cast<std::size_t>(l)][i]) > 0) {
         result.left_to_right[static_cast<std::size_t>(l)] = nbrs[i];
@@ -105,17 +102,17 @@ LexMatchResult solve_pure_lex(const LexMatchProblem& p) {
 }
 
 LexMatchResult solve_cardinality_first(const LexMatchProblem& p) {
-  const Layout lay{p.left_count, p.right_count, p.level_count};
-  std::vector<char> required(static_cast<std::size_t>(p.left_count), 0);
+  const Layout lay{p.left_count(), p.right_count(), p.level_count};
+  std::vector<char> required(static_cast<std::size_t>(p.left_count()), 0);
   for (const std::int32_t l : p.required_lefts) {
     required[static_cast<std::size_t>(l)] = 1;
   }
 
   // Priority costs: matching a required left dominates everything, filling
   // already-fixed earlier levels dominates the current level.
-  const std::int64_t b_cost = static_cast<std::int64_t>(p.right_count) + 2;
+  const std::int64_t b_cost = static_cast<std::int64_t>(p.right_count()) + 2;
   const std::int64_t k_cost =
-      b_cost * (static_cast<std::int64_t>(p.right_count) + 2);
+      b_cost * (static_cast<std::int64_t>(p.right_count()) + 2);
 
   std::vector<std::int64_t> fixed(static_cast<std::size_t>(p.level_count), -1);
   LexMatchResult result;
@@ -124,19 +121,19 @@ LexMatchResult solve_cardinality_first(const LexMatchProblem& p) {
   for (std::int32_t step = 0; step < p.level_count; ++step) {
     MinCostMaxFlow flow(lay.nodes());
     std::vector<std::vector<std::int32_t>> left_arcs(
-        static_cast<std::size_t>(p.left_count));
+        static_cast<std::size_t>(p.left_count()));
     std::vector<std::int32_t> source_arc(
-        static_cast<std::size_t>(p.left_count));
-    for (std::int32_t l = 0; l < p.left_count; ++l) {
+        static_cast<std::size_t>(p.left_count()));
+    for (std::int32_t l = 0; l < p.left_count(); ++l) {
       source_arc[static_cast<std::size_t>(l)] =
           flow.add_edge(lay.source(), lay.left(l), 1,
                         required[static_cast<std::size_t>(l)] ? -k_cost : 0);
-      for (const std::int32_t r : p.adj[static_cast<std::size_t>(l)]) {
+      for (const std::int32_t r : p.graph.neighbors(l)) {
         left_arcs[static_cast<std::size_t>(l)].push_back(
             flow.add_edge(lay.left(l), lay.right(r), 1, 0));
       }
     }
-    for (std::int32_t r = 0; r < p.right_count; ++r) {
+    for (std::int32_t r = 0; r < p.right_count(); ++r) {
       flow.add_edge(
           lay.right(r),
           lay.level(p.level_of_right[static_cast<std::size_t>(r)]), 1, 0);
@@ -174,9 +171,9 @@ LexMatchResult solve_cardinality_first(const LexMatchProblem& p) {
 
     if (step + 1 == p.level_count) {
       result.cardinality = value;
-      result.left_to_right.assign(static_cast<std::size_t>(p.left_count), -1);
-      for (std::int32_t l = 0; l < p.left_count; ++l) {
-        const auto& nbrs = p.adj[static_cast<std::size_t>(l)];
+      result.left_to_right.assign(static_cast<std::size_t>(p.left_count()), -1);
+      for (std::int32_t l = 0; l < p.left_count(); ++l) {
+        const auto nbrs = p.graph.neighbors(l);
         for (std::size_t i = 0; i < nbrs.size(); ++i) {
           if (flow.flow_on(left_arcs[static_cast<std::size_t>(l)][i]) > 0) {
             result.left_to_right[static_cast<std::size_t>(l)] = nbrs[i];
@@ -193,7 +190,7 @@ LexMatchResult solve_cardinality_first(const LexMatchProblem& p) {
 
 LexMatchResult solve_lex_matching(const LexMatchProblem& problem) {
   problem.validate();
-  if (problem.left_count == 0) {
+  if (problem.left_count() == 0) {
     LexMatchResult empty;
     empty.level_counts.assign(static_cast<std::size_t>(problem.level_count),
                               0);

@@ -21,16 +21,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "matching/bipartite.hpp"
 #include "util/assert.hpp"
 
 namespace reqsched {
 
 struct LexMatchProblem {
-  std::int32_t left_count = 0;
-  std::int32_t right_count = 0;
+  /// Finalized CSR adjacency (lefts x rights). Callers building by hand must
+  /// call graph.finalize() after the last add_edge().
+  BipartiteGraph graph{0, 0};
   std::int32_t level_count = 0;
-  /// adj[l] = rights adjacent to left l.
-  std::vector<std::vector<std::int32_t>> adj;
   /// level_of_right[r] in [0, level_count); level 0 is most preferred.
   std::vector<std::int32_t> level_of_right;
   /// Lefts that must end up matched (cardinality-first mode only; such a
@@ -38,6 +38,9 @@ struct LexMatchProblem {
   std::vector<std::int32_t> required_lefts;
   /// true: maximize |M| first, then lex profile; false: pure lex profile.
   bool cardinality_first = false;
+
+  std::int32_t left_count() const { return graph.left_count(); }
+  std::int32_t right_count() const { return graph.right_count(); }
 
   void validate() const;
 };

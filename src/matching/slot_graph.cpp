@@ -1,0 +1,51 @@
+#include "matching/slot_graph.hpp"
+
+#include <limits>
+
+namespace reqsched {
+
+void SlotGraph::append_slot_edges(const Request& request, std::int32_t n,
+                                  std::vector<std::int32_t>& out) {
+  const std::int64_t slot_end =
+      (request.deadline + 1) * static_cast<std::int64_t>(n);
+  REQSCHED_REQUIRE_MSG(
+      slot_end <= std::numeric_limits<std::int32_t>::max(),
+      "slot space exceeds 32-bit indexing at round " << request.deadline);
+  for (Round t = request.arrival; t <= request.deadline; ++t) {
+    const auto base = static_cast<std::int32_t>(t * n);
+    out.push_back(base + request.first);
+    if (request.second != kNoResource) out.push_back(base + request.second);
+  }
+}
+
+void SlotGraph::rebuild(const Trace& trace) {
+  n_ = trace.config().n;
+  horizon_ = trace.empty() ? 0 : trace.last_useful_round();
+  const std::int64_t slots = (horizon_ + 1) * static_cast<std::int64_t>(n_);
+  REQSCHED_REQUIRE_MSG(slots <= std::numeric_limits<std::int32_t>::max(),
+                       "slot space exceeds 32-bit indexing at horizon "
+                           << horizon_);
+  REQSCHED_REQUIRE_MSG(
+      trace.size() <= std::numeric_limits<std::int32_t>::max(),
+      "request count exceeds 32-bit indexing: " << trace.size());
+
+  graph_.reset(static_cast<std::int32_t>(trace.size()),
+               static_cast<std::int32_t>(slots));
+  // Two-pass CSR build: every request's degree is exactly window size times
+  // alternative count, so pass 1 is arithmetic, no edge materialization.
+  for (const Request& r : trace.requests()) {
+    const std::int64_t window = r.deadline - r.arrival + 1;
+    graph_.count_edges(static_cast<std::int32_t>(r.id),
+                       window * r.alternative_count());
+  }
+  graph_.start_fill();
+  for (const Request& r : trace.requests()) {
+    edge_scratch_.clear();
+    append_slot_edges(r, n_, edge_scratch_);
+    graph_.fill_edges(static_cast<std::int32_t>(r.id), edge_scratch_);
+  }
+  graph_.finish_fill();
+  built_ = true;
+}
+
+}  // namespace reqsched

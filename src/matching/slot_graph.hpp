@@ -1,0 +1,89 @@
+// The canonical request x slot graph.
+//
+// Every view of a scheduling instance — the offline optimum, the incremental
+// prefix engine, and the augmenting-path analysis — is a matching question in
+// the same bipartite graph: requests on the left, (resource, round) slots on
+// the right, with slot (resource, round) at right index `round * n +
+// resource`. SlotGraph is the single definition of that graph: a CSR layout
+// built in two passes from a Trace (every request's degree is known up
+// front: window x alternatives), plus the slot index mapping, plus the
+// canonical per-request edge enumeration the incremental engine shares.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "core/types.hpp"
+#include "matching/bipartite.hpp"
+
+namespace reqsched {
+
+/// The full request x slot graph of a trace, with slot index mapping.
+/// Lefts are RequestIds; rights are slots (resource, round) for rounds
+/// [0, horizon]. Rebuildable in place: `rebuild()` reuses all storage, so a
+/// sweep that solves thousands of instances through one SlotGraph reaches a
+/// zero-allocation steady state.
+class SlotGraph {
+ public:
+  SlotGraph() = default;
+  explicit SlotGraph(const Trace& trace) { rebuild(trace); }
+
+  /// Builds the graph for `trace`, replacing any previous contents. Edge
+  /// order per request is the canonical enumeration of append_slot_edges().
+  void rebuild(const Trace& trace);
+
+  bool built() const { return built_; }
+
+  const BipartiteGraph& graph() const {
+    REQSCHED_REQUIRE(built_);
+    return graph_;
+  }
+
+  std::int32_t n() const { return n_; }
+  Round horizon() const { return horizon_; }
+  std::int64_t request_count() const { return graph_.left_count(); }
+  std::int32_t slot_count() const { return graph_.right_count(); }
+
+  std::int32_t slot_index(SlotRef slot) const {
+    REQSCHED_REQUIRE(built_);
+    REQSCHED_REQUIRE(slot.valid() && slot.round <= horizon_ &&
+                     slot.resource < n_);
+    return static_cast<std::int32_t>(slot.round * n_ + slot.resource);
+  }
+
+  SlotRef slot_at(std::int32_t index) const {
+    REQSCHED_REQUIRE(built_);
+    REQSCHED_REQUIRE(index >= 0 && index < slot_count());
+    return SlotRef{index % n_, static_cast<Round>(index / n_)};
+  }
+
+  /// The canonical request -> slot edge enumeration, shared by rebuild() and
+  /// the incremental prefix engine: slots (t, first) then (t, second) for
+  /// t in [arrival, deadline]. Appends right indices to `out`; REQUIREs the
+  /// slot space stays 32-bit indexable.
+  static void append_slot_edges(const Request& request, std::int32_t n,
+                                std::vector<std::int32_t>& out);
+
+ private:
+  bool built_ = false;
+  std::int32_t n_ = 0;
+  Round horizon_ = 0;
+  BipartiteGraph graph_;
+  std::vector<std::int32_t> edge_scratch_;  // per-request fill buffer
+};
+
+/// Allocation arena for one offline solve + analysis pipeline: the graph, the
+/// matching algorithm buffers, and the solver outputs. `run_experiment` owns
+/// one per call; `run_sweep` keeps one per worker thread, so steady-state
+/// sweeps stop allocating entirely.
+struct SolverScratch {
+  SlotGraph slots;
+  MatchingScratch match;
+  Matching matching;
+  VertexCover cover;
+  std::vector<std::int32_t> online_slot;  // per request: slot index or -1
+  std::vector<std::int64_t> slot_owner;   // per slot: online owner or -1
+};
+
+}  // namespace reqsched

@@ -2,69 +2,44 @@
 
 namespace reqsched {
 
-namespace {
-BipartiteGraph build_graph(const Trace& trace, Round horizon) {
-  const std::int32_t n = trace.config().n;
-  const auto slots =
-      static_cast<std::int32_t>((horizon + 1) * static_cast<Round>(n));
-  BipartiteGraph g(static_cast<std::int32_t>(trace.size()), slots);
-  for (const Request& r : trace.requests()) {
-    for (Round t = r.arrival; t <= r.deadline; ++t) {
-      g.add_edge(static_cast<std::int32_t>(r.id),
-                 static_cast<std::int32_t>(t * n + r.first));
-      if (r.second != kNoResource) {
-        g.add_edge(static_cast<std::int32_t>(r.id),
-                   static_cast<std::int32_t>(t * n + r.second));
-      }
-    }
-  }
-  return g;
-}
-}  // namespace
+void solve_offline(const Trace& trace, SolverScratch& scratch,
+                   OfflineResult& out) {
+  out.optimum = 0;
+  out.certificate = 0;
+  out.assignment.assign(static_cast<std::size_t>(trace.size()), kNoSlot);
+  if (trace.empty()) return;
 
-OfflineGraph::OfflineGraph(const Trace& trace)
-    : trace_(trace),
-      horizon_(trace.empty() ? 0 : trace.last_useful_round()),
-      graph_(build_graph(trace, horizon_)) {}
+  scratch.slots.rebuild(trace);
+  const BipartiteGraph& g = scratch.slots.graph();
+  hopcroft_karp(g, scratch.matching, scratch.match);
+  out.optimum = scratch.matching.size();
 
-std::int32_t OfflineGraph::slot_index(SlotRef slot) const {
-  REQSCHED_REQUIRE(slot.valid() && slot.round <= horizon_ &&
-                   slot.resource < trace_.config().n);
-  return static_cast<std::int32_t>(slot.round * trace_.config().n +
-                                   slot.resource);
-}
-
-SlotRef OfflineGraph::slot_at(std::int32_t index) const {
-  REQSCHED_REQUIRE(index >= 0 && index < slot_count());
-  const std::int32_t n = trace_.config().n;
-  return SlotRef{index % n, static_cast<Round>(index / n)};
-}
-
-OfflineResult solve_offline(const Trace& trace) {
-  OfflineResult result;
-  result.assignment.assign(static_cast<std::size_t>(trace.size()), kNoSlot);
-  if (trace.empty()) return result;
-
-  const OfflineGraph og(trace);
-  const Matching matching = hopcroft_karp(og.graph());
-  result.optimum = matching.size();
-
-  const VertexCover cover = koenig_cover(og.graph(), matching);
-  result.certificate = cover.size();
-  REQSCHED_CHECK_MSG(result.certificate == result.optimum,
+  koenig_cover(g, scratch.matching, scratch.cover, scratch.match);
+  out.certificate = scratch.cover.size();
+  REQSCHED_CHECK_MSG(out.certificate == out.optimum,
                      "König certificate mismatch: cover "
-                         << result.certificate << " vs matching "
-                         << result.optimum);
-  REQSCHED_CHECK(covers_all_edges(og.graph(), cover));
+                         << out.certificate << " vs matching "
+                         << out.optimum);
+  REQSCHED_CHECK(covers_all_edges(g, scratch.cover, scratch.match));
 
   for (RequestId id = 0; id < trace.size(); ++id) {
     const std::int32_t r =
-        matching.left_to_right[static_cast<std::size_t>(id)];
+        scratch.matching.left_to_right[static_cast<std::size_t>(id)];
     if (r >= 0) {
-      result.assignment[static_cast<std::size_t>(id)] = og.slot_at(r);
+      out.assignment[static_cast<std::size_t>(id)] = scratch.slots.slot_at(r);
     }
   }
+}
+
+OfflineResult solve_offline(const Trace& trace, SolverScratch& scratch) {
+  OfflineResult result;
+  solve_offline(trace, scratch, result);
   return result;
+}
+
+OfflineResult solve_offline(const Trace& trace) {
+  SolverScratch scratch;
+  return solve_offline(trace, scratch);
 }
 
 std::int64_t offline_optimum(const Trace& trace) {

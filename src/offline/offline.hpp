@@ -5,6 +5,9 @@
 // two alternatives inside its deadline window) and compute a maximum
 // cardinality matching. Its size is perf_OPT(sigma); a König vertex cover of
 // equal size certifies optimality.
+//
+// The graph itself is the shared SlotGraph (src/matching/slot_graph.hpp);
+// this module adds the certified solve on top.
 #pragma once
 
 #include <cstdint>
@@ -12,31 +15,12 @@
 
 #include "core/trace.hpp"
 #include "core/types.hpp"
-#include "matching/bipartite.hpp"
+#include "matching/slot_graph.hpp"
 
 namespace reqsched {
 
-/// The full request x slot graph of a trace, with slot index mapping.
-/// Lefts are RequestIds; rights are slots (resource, round) for rounds
-/// [0, horizon].
-class OfflineGraph {
- public:
-  explicit OfflineGraph(const Trace& trace);
-
-  const BipartiteGraph& graph() const { return graph_; }
-  const Trace& trace() const { return trace_; }
-
-  Round horizon() const { return horizon_; }
-  std::int32_t slot_count() const { return graph_.right_count(); }
-
-  std::int32_t slot_index(SlotRef slot) const;
-  SlotRef slot_at(std::int32_t index) const;
-
- private:
-  const Trace& trace_;
-  Round horizon_;
-  BipartiteGraph graph_;
-};
+/// Historical name for the shared request x slot graph.
+using OfflineGraph = SlotGraph;
 
 struct OfflineResult {
   /// Maximum number of requests an offline scheduler can fulfill.
@@ -49,6 +33,16 @@ struct OfflineResult {
 
 /// Solves the offline problem exactly (Hopcroft–Karp + König certificate).
 OfflineResult solve_offline(const Trace& trace);
+
+/// Scratch-reusing variant: rebuilds `scratch.slots` for `trace` and leaves
+/// the optimum matching in `scratch.matching`, so callers (e.g. the
+/// augmenting-path analysis) can reuse both without a second solve.
+OfflineResult solve_offline(const Trace& trace, SolverScratch& scratch);
+
+/// Hot-path variant: fills `out` in place, reusing its assignment storage.
+/// With a warm `scratch` and a reused `out` this allocates nothing.
+void solve_offline(const Trace& trace, SolverScratch& scratch,
+                   OfflineResult& out);
 
 /// Convenience: the optimum value only.
 std::int64_t offline_optimum(const Trace& trace);

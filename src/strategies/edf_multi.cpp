@@ -97,6 +97,7 @@ std::int64_t multi_offline_optimum(const MultiTrace& trace) {
       }
     }
   }
+  g.finalize();
   return hopcroft_karp(g).size();
 }
 

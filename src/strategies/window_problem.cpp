@@ -57,6 +57,7 @@ RoundProblem build_round_problem(const Simulator& sim,
       }
     }
   }
+  problem.graph.finalize();
   return problem;
 }
 
@@ -74,16 +75,12 @@ LexMatchProblem to_lex_problem(const Simulator& sim,
                                const RoundProblem& problem, bool eager_levels,
                                bool cardinality_first) {
   LexMatchProblem lex;
-  lex.left_count = problem.graph.left_count();
-  lex.right_count = problem.graph.right_count();
+  // The round problem's CSR graph is the lex problem's graph verbatim — a
+  // flat-array copy, not a per-left deep copy.
+  lex.graph = problem.graph;
   lex.level_count = eager_levels ? 2 : sim.config().d;
   lex.cardinality_first = cardinality_first;
-  lex.adj.resize(static_cast<std::size_t>(lex.left_count));
-  for (std::int32_t l = 0; l < lex.left_count; ++l) {
-    const auto nbrs = problem.graph.neighbors(l);
-    lex.adj[static_cast<std::size_t>(l)].assign(nbrs.begin(), nbrs.end());
-  }
-  lex.level_of_right.resize(static_cast<std::size_t>(lex.right_count));
+  lex.level_of_right.resize(static_cast<std::size_t>(lex.right_count()));
   const Round t = sim.now();
   for (std::size_t r = 0; r < problem.rights.size(); ++r) {
     const Round offset = problem.rights[r].round - t;

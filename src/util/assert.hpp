@@ -63,3 +63,24 @@ namespace detail {
                                         __LINE__, reqsched_os_.str());       \
     }                                                                        \
   } while (false)
+
+// Debug-only checks: linear-or-worse validation that is too expensive for the
+// release hot path (e.g. duplicate-edge detection in graph builders). Active
+// whenever NDEBUG is off, and force-enabled by the sanitized tier-1 pass
+// (-DREQSCHED_SANITIZE=ON defines REQSCHED_DEBUG_CHECKS) so CI exercises them
+// even though the default build type is RelWithDebInfo.
+#if !defined(REQSCHED_DEBUG_CHECKS) && !defined(NDEBUG)
+#define REQSCHED_DEBUG_CHECKS 1
+#endif
+
+#ifdef REQSCHED_DEBUG_CHECKS
+#define REQSCHED_DEBUG_REQUIRE(expr) REQSCHED_REQUIRE(expr)
+#define REQSCHED_DEBUG_REQUIRE_MSG(expr, msg) REQSCHED_REQUIRE_MSG(expr, msg)
+#else
+#define REQSCHED_DEBUG_REQUIRE(expr) \
+  do {                               \
+  } while (false)
+#define REQSCHED_DEBUG_REQUIRE_MSG(expr, msg) \
+  do {                                        \
+  } while (false)
+#endif

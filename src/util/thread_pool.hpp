@@ -30,8 +30,16 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Sentinel returned by current_worker_index() off the pool's threads.
+  static constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+
+  /// 0-based index of the calling pool worker thread, or kNotAWorker when
+  /// called from any other thread. Lets tasks select per-worker state (e.g.
+  /// one SolverScratch per worker) without locking.
+  static std::size_t current_worker_index();
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -21,8 +21,8 @@ struct BruteResult {
 BruteResult brute_force(const LexMatchProblem& p) {
   BruteResult result;
   std::vector<std::int32_t> right_owner(
-      static_cast<std::size_t>(p.right_count), -1);
-  std::vector<char> required(static_cast<std::size_t>(p.left_count), 0);
+      static_cast<std::size_t>(p.right_count()), -1);
+  std::vector<char> required(static_cast<std::size_t>(p.left_count()), 0);
   for (const auto l : p.required_lefts) {
     required[static_cast<std::size_t>(l)] = 1;
   }
@@ -35,7 +35,7 @@ BruteResult brute_force(const LexMatchProblem& p) {
       static_cast<std::int64_t>(p.required_lefts.size());
 
   const std::function<void(std::int32_t)> recurse = [&](std::int32_t l) {
-    if (l == p.left_count) {
+    if (l == p.left_count()) {
       if (required_matched != required_total) return;
       bool better = false;
       if (!result.found) {
@@ -52,7 +52,7 @@ BruteResult brute_force(const LexMatchProblem& p) {
       }
       return;
     }
-    for (const std::int32_t r : p.adj[static_cast<std::size_t>(l)]) {
+    for (const std::int32_t r : p.graph.neighbors(l)) {
       if (right_owner[static_cast<std::size_t>(r)] >= 0) continue;
       right_owner[static_cast<std::size_t>(r)] = l;
       ++profile[static_cast<std::size_t>(
@@ -80,19 +80,18 @@ BruteResult brute_force(const LexMatchProblem& p) {
 
 LexMatchProblem random_problem(Prng& rng, bool cardinality_first) {
   LexMatchProblem p;
-  p.left_count = static_cast<std::int32_t>(2 + rng.next_below(4));   // 2..5
-  p.right_count = static_cast<std::int32_t>(2 + rng.next_below(4));  // 2..5
-  p.level_count = static_cast<std::int32_t>(1 + rng.next_below(3));  // 1..3
+  const auto lefts = static_cast<std::int32_t>(2 + rng.next_below(4));   // 2..5
+  const auto rights = static_cast<std::int32_t>(2 + rng.next_below(4));  // 2..5
+  p.level_count = static_cast<std::int32_t>(1 + rng.next_below(3));      // 1..3
   p.cardinality_first = cardinality_first;
-  p.adj.resize(static_cast<std::size_t>(p.left_count));
-  for (std::int32_t l = 0; l < p.left_count; ++l) {
-    for (std::int32_t r = 0; r < p.right_count; ++r) {
-      if (rng.next_bool(0.45)) {
-        p.adj[static_cast<std::size_t>(l)].push_back(r);
-      }
+  p.graph.reset(lefts, rights);
+  for (std::int32_t l = 0; l < lefts; ++l) {
+    for (std::int32_t r = 0; r < rights; ++r) {
+      if (rng.next_bool(0.45)) p.graph.add_edge(l, r);
     }
   }
-  p.level_of_right.resize(static_cast<std::size_t>(p.right_count));
+  p.graph.finalize();
+  p.level_of_right.resize(static_cast<std::size_t>(rights));
   for (auto& lvl : p.level_of_right) {
     lvl = static_cast<std::int32_t>(
         rng.next_below(static_cast<std::uint64_t>(p.level_count)));
@@ -105,12 +104,12 @@ void expect_result_consistent(const LexMatchProblem& p,
   // The reported profile must match the reported assignment.
   std::vector<std::int64_t> profile(static_cast<std::size_t>(p.level_count),
                                     0);
-  std::vector<char> right_used(static_cast<std::size_t>(p.right_count), 0);
+  std::vector<char> right_used(static_cast<std::size_t>(p.right_count()), 0);
   std::int64_t matched = 0;
-  for (std::int32_t l = 0; l < p.left_count; ++l) {
+  for (std::int32_t l = 0; l < p.left_count(); ++l) {
     const std::int32_t r = result.left_to_right[static_cast<std::size_t>(l)];
     if (r < 0) continue;
-    const auto& nbrs = p.adj[static_cast<std::size_t>(l)];
+    const auto& nbrs = p.graph.neighbors(l);
     ASSERT_NE(std::find(nbrs.begin(), nbrs.end(), r), nbrs.end());
     ASSERT_FALSE(right_used[static_cast<std::size_t>(r)]);
     right_used[static_cast<std::size_t>(r)] = 1;
@@ -155,9 +154,9 @@ TEST(LexMatcher, RequiredLeftsStayMatched) {
     LexMatchProblem p = random_problem(rng, /*cardinality_first=*/true);
     // Pick a required set that is simultaneously matchable: take a greedy
     // matching and require its lefts.
-    std::vector<char> right_used(static_cast<std::size_t>(p.right_count), 0);
-    for (std::int32_t l = 0; l < p.left_count; ++l) {
-      for (const std::int32_t r : p.adj[static_cast<std::size_t>(l)]) {
+    std::vector<char> right_used(static_cast<std::size_t>(p.right_count()), 0);
+    for (std::int32_t l = 0; l < p.left_count(); ++l) {
+      for (const std::int32_t r : p.graph.neighbors(l)) {
         if (!right_used[static_cast<std::size_t>(r)]) {
           right_used[static_cast<std::size_t>(r)] = 1;
           p.required_lefts.push_back(l);
@@ -185,14 +184,14 @@ TEST(LexMatcher, PureLexImpliesMaximality) {
     const LexMatchProblem p = random_problem(rng, false);
     const LexMatchResult result = solve_lex_matching(p);
     // No unmatched left may have an unused neighbour.
-    std::vector<char> right_used(static_cast<std::size_t>(p.right_count), 0);
-    for (std::int32_t l = 0; l < p.left_count; ++l) {
+    std::vector<char> right_used(static_cast<std::size_t>(p.right_count()), 0);
+    for (std::int32_t l = 0; l < p.left_count(); ++l) {
       const std::int32_t r = result.left_to_right[static_cast<std::size_t>(l)];
       if (r >= 0) right_used[static_cast<std::size_t>(r)] = 1;
     }
-    for (std::int32_t l = 0; l < p.left_count; ++l) {
+    for (std::int32_t l = 0; l < p.left_count(); ++l) {
       if (result.left_to_right[static_cast<std::size_t>(l)] >= 0) continue;
-      for (const std::int32_t r : p.adj[static_cast<std::size_t>(l)]) {
+      for (const std::int32_t r : p.graph.neighbors(l)) {
         EXPECT_TRUE(right_used[static_cast<std::size_t>(r)])
             << "left " << l << " could still take right " << r;
       }
@@ -211,7 +210,7 @@ TEST(LexMatcher, AgreesWithBigWeightFlowOracle) {
     const LexMatchProblem p = random_problem(rng, /*cardinality_first=*/true);
     const LexMatchResult result = solve_lex_matching(p);
 
-    const std::int64_t base = p.right_count + 1;
+    const std::int64_t base = p.right_count() + 1;
     std::vector<std::int64_t> weight(
         static_cast<std::size_t>(p.level_count));
     std::int64_t w = 1;
@@ -222,18 +221,18 @@ TEST(LexMatcher, AgreesWithBigWeightFlowOracle) {
     // Cardinality dominates: each matched left also earns a huge bonus.
     const std::int64_t card_bonus = w * base;
 
-    MinCostMaxFlow flow(2 + p.left_count + p.right_count);
+    MinCostMaxFlow flow(2 + p.left_count() + p.right_count());
     const std::int32_t source = 0;
     const std::int32_t sink = 1;
-    for (std::int32_t l = 0; l < p.left_count; ++l) {
+    for (std::int32_t l = 0; l < p.left_count(); ++l) {
       flow.add_edge(source, 2 + l, 1, -card_bonus);
-      for (const std::int32_t r : p.adj[static_cast<std::size_t>(l)]) {
-        flow.add_edge(2 + l, 2 + p.left_count + r, 1, 0);
+      for (const std::int32_t r : p.graph.neighbors(l)) {
+        flow.add_edge(2 + l, 2 + p.left_count() + r, 1, 0);
       }
     }
-    for (std::int32_t r = 0; r < p.right_count; ++r) {
+    for (std::int32_t r = 0; r < p.right_count(); ++r) {
       flow.add_edge(
-          2 + p.left_count + r, sink, 1,
+          2 + p.left_count() + r, sink, 1,
           -weight[static_cast<std::size_t>(
               p.level_of_right[static_cast<std::size_t>(r)])]);
     }
@@ -256,10 +255,8 @@ TEST(LexMatcher, EmptyAndDegenerateProblems) {
   EXPECT_EQ(result.level_counts, std::vector<std::int64_t>{0});
 
   LexMatchProblem q;
-  q.left_count = 2;
-  q.right_count = 0;
+  q.graph.reset(2, 0);  // two lefts, no rights at all
   q.level_count = 2;
-  q.adj.resize(2);
   const auto r2 = solve_lex_matching(q);
   EXPECT_EQ(r2.cardinality, 0);
 }

@@ -17,6 +17,7 @@ BipartiteGraph random_graph(Prng& rng, std::int32_t lefts, std::int32_t rights,
       if (rng.next_bool(p)) g.add_edge(l, r);
     }
   }
+  g.finalize();
   return g;
 }
 
@@ -56,6 +57,7 @@ TEST(KuhnOrdered, EarlierLeftsStayMatched) {
   g.add_edge(1, 0);
   g.add_edge(1, 1);
   g.add_edge(2, 0);
+  g.finalize();
   const Matching m = kuhn_ordered(g);
   EXPECT_TRUE(m.left_matched(0));
   EXPECT_TRUE(m.left_matched(1));
@@ -73,6 +75,7 @@ TEST(KuhnOrdered, SeedIsExtendedNotDiscarded) {
   g.add_edge(0, 0);
   g.add_edge(0, 1);
   g.add_edge(1, 0);
+  g.finalize();
   Matching seed = Matching::empty(g);
   seed.match(0, 0);
   const Matching m = kuhn_ordered(g, {}, &seed);

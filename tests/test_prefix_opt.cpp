@@ -81,8 +81,15 @@ TEST(IncrementalMatching, MatchesHopcroftKarpOnRandomGraphs) {
     for (std::int32_t l = 0; l < lefts; ++l) {
       std::vector<std::int32_t> nbrs;
       const int deg = degree(rng);
-      for (int e = 0; e < deg; ++e) nbrs.push_back(pick_right(rng));
+      for (int e = 0; e < deg; ++e) {
+        const std::int32_t r = pick_right(rng);
+        // Distinct rights per left: the builder rejects duplicates in debug.
+        if (std::find(nbrs.begin(), nbrs.end(), r) == nbrs.end()) {
+          nbrs.push_back(r);
+        }
+      }
       for (const std::int32_t r : nbrs) g.add_edge(l, r);
+      g.finalize();
       incremental.add_left(nbrs);
       // Maximum on every prefix subgraph: compare against a from-scratch
       // solve of the first l+1 lefts.
@@ -90,6 +97,7 @@ TEST(IncrementalMatching, MatchesHopcroftKarpOnRandomGraphs) {
       for (std::int32_t pl = 0; pl <= l; ++pl) {
         for (const std::int32_t r : g.neighbors(pl)) prefix.add_edge(pl, r);
       }
+      prefix.finalize();
       ASSERT_EQ(incremental.size(), hopcroft_karp(prefix).size())
           << "instance " << instance << " after left " << l;
     }

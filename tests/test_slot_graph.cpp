@@ -1,0 +1,359 @@
+// SlotGraph unit tests plus the CSR-vs-legacy differential suite.
+//
+// The differential half freezes the pre-refactor pipeline — vector-of-vectors
+// adjacency, recursive Hopcroft–Karp, the original alternating-component
+// walk — inside this file and asserts the production CSR stack reproduces it
+// bit for bit: identical matching vectors, identical prefix-optimum series,
+// identical augmenting-path order histograms. Any change to edge enumeration
+// order or augmenting traversal order shows up here first.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "adversary/random.hpp"
+#include "adversary/theorems.hpp"
+#include "analysis/augmenting.hpp"
+#include "analysis/registry.hpp"
+#include "core/simulator.hpp"
+#include "matching/incremental.hpp"
+#include "matching/slot_graph.hpp"
+#include "offline/offline.hpp"
+
+namespace reqsched {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Frozen legacy reference (pre-CSR pipeline, do not "modernize").
+// ---------------------------------------------------------------------------
+
+struct LegacyGraph {
+  std::int32_t left_count = 0;
+  std::int32_t right_count = 0;
+  std::vector<std::vector<std::int32_t>> adj;
+};
+
+LegacyGraph legacy_build(const Trace& trace) {
+  LegacyGraph g;
+  const std::int32_t n = trace.config().n;
+  const Round horizon = trace.empty() ? 0 : trace.last_useful_round();
+  g.left_count = static_cast<std::int32_t>(trace.size());
+  g.right_count = static_cast<std::int32_t>((horizon + 1) * n);
+  g.adj.resize(static_cast<std::size_t>(g.left_count));
+  for (const Request& r : trace.requests()) {
+    auto& nbrs = g.adj[static_cast<std::size_t>(r.id)];
+    for (Round t = r.arrival; t <= r.deadline; ++t) {
+      nbrs.push_back(static_cast<std::int32_t>(t * n + r.first));
+      if (r.second != kNoResource) {
+        nbrs.push_back(static_cast<std::int32_t>(t * n + r.second));
+      }
+    }
+  }
+  return g;
+}
+
+struct LegacyMatching {
+  std::vector<std::int32_t> left_to_right;
+  std::vector<std::int64_t> right_to_left;
+
+  std::int64_t size() const {
+    return std::count_if(left_to_right.begin(), left_to_right.end(),
+                         [](std::int32_t r) { return r >= 0; });
+  }
+};
+
+/// The original recursive Hopcroft–Karp, verbatim modulo container types.
+LegacyMatching legacy_hopcroft_karp(const LegacyGraph& g) {
+  constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max();
+  LegacyMatching m;
+  m.left_to_right.assign(static_cast<std::size_t>(g.left_count), -1);
+  m.right_to_left.assign(static_cast<std::size_t>(g.right_count), -1);
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.left_count));
+
+  const auto bfs = [&]() -> bool {
+    std::queue<std::int32_t> queue;
+    for (std::int32_t l = 0; l < g.left_count; ++l) {
+      if (m.left_to_right[static_cast<std::size_t>(l)] < 0) {
+        dist[static_cast<std::size_t>(l)] = 0;
+        queue.push(l);
+      } else {
+        dist[static_cast<std::size_t>(l)] = kInf;
+      }
+    }
+    bool found_free_right = false;
+    while (!queue.empty()) {
+      const std::int32_t l = queue.front();
+      queue.pop();
+      for (const std::int32_t r : g.adj[static_cast<std::size_t>(l)]) {
+        const auto owner =
+            static_cast<std::int32_t>(m.right_to_left[static_cast<std::size_t>(r)]);
+        if (owner < 0) {
+          found_free_right = true;
+        } else if (dist[static_cast<std::size_t>(owner)] == kInf) {
+          dist[static_cast<std::size_t>(owner)] =
+              dist[static_cast<std::size_t>(l)] + 1;
+          queue.push(owner);
+        }
+      }
+    }
+    return found_free_right;
+  };
+
+  const std::function<bool(std::int32_t)> dfs = [&](std::int32_t l) -> bool {
+    for (const std::int32_t r : g.adj[static_cast<std::size_t>(l)]) {
+      const auto owner =
+          static_cast<std::int32_t>(m.right_to_left[static_cast<std::size_t>(r)]);
+      if (owner < 0 || (dist[static_cast<std::size_t>(owner)] ==
+                            dist[static_cast<std::size_t>(l)] + 1 &&
+                        dfs(owner))) {
+        m.left_to_right[static_cast<std::size_t>(l)] = r;
+        m.right_to_left[static_cast<std::size_t>(r)] = l;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(l)] = kInf;
+    return false;
+  };
+
+  while (bfs()) {
+    for (std::int32_t l = 0; l < g.left_count; ++l) {
+      if (m.left_to_right[static_cast<std::size_t>(l)] < 0) dfs(l);
+    }
+  }
+  return m;
+}
+
+std::int64_t legacy_optimum(const Trace& trace) {
+  if (trace.empty()) return 0;
+  return legacy_hopcroft_karp(legacy_build(trace)).size();
+}
+
+/// The original alternating-component walk over M_online (+) M_OPT.
+PathStats legacy_analyze(
+    const Trace& trace,
+    const std::vector<std::pair<RequestId, SlotRef>>& online) {
+  PathStats stats;
+  stats.order_histogram.assign(2, 0);
+  if (trace.empty()) return stats;
+
+  const std::int32_t n = trace.config().n;
+  const LegacyGraph g = legacy_build(trace);
+  const LegacyMatching opt = legacy_hopcroft_karp(g);
+
+  std::vector<std::int32_t> online_left(
+      static_cast<std::size_t>(trace.size()), -1);
+  std::vector<std::int64_t> online_right(
+      static_cast<std::size_t>(g.right_count), -1);
+  for (const auto& [id, slot] : online) {
+    const auto s = static_cast<std::int32_t>(slot.round * n + slot.resource);
+    online_left[static_cast<std::size_t>(id)] = s;
+    online_right[static_cast<std::size_t>(s)] = id;
+  }
+
+  stats.deficiency = opt.size() - static_cast<std::int64_t>(online.size());
+  for (RequestId start = 0; start < trace.size(); ++start) {
+    if (online_left[static_cast<std::size_t>(start)] >= 0) continue;
+    if (opt.left_to_right[static_cast<std::size_t>(start)] < 0) continue;
+    std::int64_t order = 0;
+    RequestId request = start;
+    for (;;) {
+      ++order;
+      const std::int32_t slot =
+          opt.left_to_right[static_cast<std::size_t>(request)];
+      const std::int64_t owner = online_right[static_cast<std::size_t>(slot)];
+      if (owner < 0) {
+        ++stats.augmenting_paths;
+        if (static_cast<std::size_t>(order) >= stats.order_histogram.size()) {
+          stats.order_histogram.resize(static_cast<std::size_t>(order) + 1, 0);
+        }
+        ++stats.order_histogram[static_cast<std::size_t>(order)];
+        stats.min_order =
+            stats.min_order == 0 ? order : std::min(stats.min_order, order);
+        break;
+      }
+      if (opt.left_to_right[static_cast<std::size_t>(owner)] < 0) break;
+      request = static_cast<RequestId>(owner);
+    }
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// SlotGraph unit tests.
+// ---------------------------------------------------------------------------
+
+Trace small_trace() {
+  Trace trace(ProblemConfig{3, 2});
+  trace.add(0, RequestSpec{0, 1, 2});
+  trace.add(0, RequestSpec{2, kNoResource, 1});
+  trace.add(1, RequestSpec{1, 2, 2});
+  trace.add(3, RequestSpec{0, kNoResource, 2});
+  return trace;
+}
+
+TEST(SlotGraph, SlotIndexRoundTrip) {
+  const SlotGraph sg(small_trace());
+  ASSERT_TRUE(sg.built());
+  EXPECT_EQ(sg.n(), 3);
+  EXPECT_EQ(sg.horizon(), 4);  // last request: arrival 3, window 2
+  EXPECT_EQ(sg.slot_count(), (4 + 1) * 3);
+  for (std::int32_t s = 0; s < sg.slot_count(); ++s) {
+    const SlotRef slot = sg.slot_at(s);
+    EXPECT_GE(slot.resource, 0);
+    EXPECT_LT(slot.resource, sg.n());
+    EXPECT_GE(slot.round, 0);
+    EXPECT_LE(slot.round, sg.horizon());
+    EXPECT_EQ(sg.slot_index(slot), s);
+  }
+}
+
+TEST(SlotGraph, NeighborsFollowCanonicalEnumeration) {
+  const Trace trace = small_trace();
+  const SlotGraph sg(trace);
+  ASSERT_EQ(sg.request_count(), trace.size());
+  std::vector<std::int32_t> expected;
+  for (const Request& r : trace.requests()) {
+    expected.clear();
+    SlotGraph::append_slot_edges(r, trace.config().n, expected);
+    const auto got = sg.graph().neighbors(static_cast<std::int32_t>(r.id));
+    ASSERT_EQ(std::vector<std::int32_t>(got.begin(), got.end()), expected)
+        << "request " << r.id;
+  }
+}
+
+TEST(SlotGraph, RebuildReplacesContents) {
+  SlotGraph sg;
+  EXPECT_FALSE(sg.built());
+  sg.rebuild(small_trace());
+  EXPECT_EQ(sg.request_count(), 4);
+
+  Trace tiny(ProblemConfig{2, 1});
+  tiny.add(0, RequestSpec{1, kNoResource, 1});
+  sg.rebuild(tiny);
+  EXPECT_EQ(sg.request_count(), 1);
+  EXPECT_EQ(sg.n(), 2);
+  EXPECT_EQ(sg.horizon(), 0);
+  EXPECT_EQ(sg.slot_count(), 2);
+  const auto nbrs = sg.graph().neighbors(0);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0], 1);
+
+  // Empty trace: zero requests, one round worth of slots.
+  sg.rebuild(Trace(ProblemConfig{3, 2}));
+  EXPECT_EQ(sg.request_count(), 0);
+  EXPECT_EQ(sg.slot_count(), 3);
+}
+
+TEST(SlotGraph, MatchesLegacyAdjacencyExactly) {
+  UniformWorkload workload({.n = 4, .d = 3, .load = 1.5, .horizon = 30,
+                            .seed = 17, .two_choice = true});
+  auto strategy = make_strategy("A_fix");
+  Simulator sim(workload, *strategy);
+  sim.run();
+  const Trace& trace = sim.trace();
+
+  const SlotGraph sg(trace);
+  const LegacyGraph legacy = legacy_build(trace);
+  ASSERT_EQ(sg.request_count(), legacy.left_count);
+  ASSERT_EQ(sg.slot_count(), legacy.right_count);
+  for (std::int32_t l = 0; l < legacy.left_count; ++l) {
+    const auto got = sg.graph().neighbors(l);
+    ASSERT_EQ(std::vector<std::int32_t>(got.begin(), got.end()),
+              legacy.adj[static_cast<std::size_t>(l)])
+        << "request " << l;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential suite: CSR pipeline vs the frozen legacy pipeline.
+// ---------------------------------------------------------------------------
+
+/// Asserts the full production stack agrees with the legacy one on `trace`
+/// with the given online outcome: bit-identical optimum matching, the exact
+/// per-arrival prefix-optimum series, and the exact path-order histogram.
+void expect_differential_identity(
+    const Trace& trace,
+    const std::vector<std::pair<RequestId, SlotRef>>& online) {
+  // 1. solve_offline: same optimum AND the same matching, vector for vector.
+  SolverScratch scratch;
+  const OfflineResult result = solve_offline(trace, scratch);
+  const std::int64_t legacy_opt = legacy_optimum(trace);
+  ASSERT_EQ(result.optimum, legacy_opt);
+  ASSERT_EQ(result.certificate, legacy_opt);
+  if (!trace.empty()) {
+    const LegacyMatching legacy_m = legacy_hopcroft_karp(legacy_build(trace));
+    ASSERT_EQ(scratch.matching.left_to_right, legacy_m.left_to_right);
+    for (RequestId id = 0; id < trace.size(); ++id) {
+      const std::int32_t r = legacy_m.left_to_right[static_cast<std::size_t>(id)];
+      if (r < 0) {
+        EXPECT_EQ(result.assignment[static_cast<std::size_t>(id)], kNoSlot);
+      } else {
+        EXPECT_EQ(result.assignment[static_cast<std::size_t>(id)],
+                  scratch.slots.slot_at(r));
+      }
+    }
+  }
+
+  // 2. PrefixOptimumTracker: the per-arrival series equals a from-scratch
+  // legacy solve of every prefix.
+  PrefixOptimumTracker tracker(trace.config());
+  Trace prefix(trace.config());
+  for (const Request& r : trace.requests()) {
+    prefix.add(r.arrival,
+               RequestSpec{r.first, r.second,
+                           static_cast<std::int32_t>(r.deadline - r.arrival + 1)});
+    tracker.add_request(r);
+    ASSERT_EQ(tracker.optimum(), legacy_optimum(prefix))
+        << "prefix series diverges after " << r;
+  }
+
+  // 3. analyze_augmenting_paths: identical PathStats, histogram included.
+  const PathStats got = analyze_augmenting_paths(trace, online);
+  const PathStats want = legacy_analyze(trace, online);
+  EXPECT_EQ(got.order_histogram, want.order_histogram);
+  EXPECT_EQ(got.augmenting_paths, want.augmenting_paths);
+  EXPECT_EQ(got.min_order, want.min_order);
+  EXPECT_EQ(got.deficiency, want.deficiency);
+}
+
+void run_and_check(IWorkload& workload, const std::string& strategy_name) {
+  auto strategy = make_strategy(strategy_name);
+  Simulator sim(workload, *strategy);
+  sim.run();
+  expect_differential_identity(sim.trace(), sim.online_matching());
+}
+
+TEST(CsrDifferential, AllFiveLowerBoundInstances) {
+  const auto check = [](TheoremInstance instance,
+                        const std::string& strategy_name) {
+    SCOPED_TRACE("theorem " + instance.theorem);
+    run_and_check(*instance.workload, strategy_name);
+  };
+  check(make_lb_fix(4, 3), "A_fix");
+  check(make_lb_current(3, 3), "A_current");
+  check(make_lb_fix_balance(4, 3), "A_fix_balance");
+  check(make_lb_eager(4, 3), "A_eager");
+  check(make_lb_balance(2, 2, 3), "A_balance");
+}
+
+TEST(CsrDifferential, TwoHundredRandomTraces) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const RandomWorkloadOptions options{
+        .n = static_cast<std::int32_t>(2 + seed % 4),
+        .d = static_cast<std::int32_t>(1 + seed % 3),
+        .load = 0.5 + 0.1 * static_cast<double>(seed % 14),
+        .horizon = static_cast<Round>(8 + seed % 9),
+        .seed = seed,
+        .two_choice = seed % 3 != 0};
+    UniformWorkload workload(options);
+    run_and_check(workload, "A_fix");
+  }
+}
+
+}  // namespace
+}  // namespace reqsched

@@ -1,0 +1,104 @@
+// Trace serialization: save/load round-trip fuzzing plus the rejection
+// paths of the validating loader (deadline bounds, header count mismatches).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trace.hpp"
+#include "util/prng.hpp"
+
+namespace reqsched {
+namespace {
+
+void expect_round_trip(const Trace& trace) {
+  std::stringstream buffer;
+  trace.save(buffer);
+  const Trace loaded = Trace::load(buffer);
+  ASSERT_EQ(loaded.config().n, trace.config().n);
+  ASSERT_EQ(loaded.config().d, trace.config().d);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (RequestId id = 0; id < trace.size(); ++id) {
+    const Request& want = trace.request(id);
+    const Request& got = loaded.request(id);
+    EXPECT_EQ(got.arrival, want.arrival) << "request " << id;
+    EXPECT_EQ(got.deadline, want.deadline) << "request " << id;
+    EXPECT_EQ(got.first, want.first) << "request " << id;
+    EXPECT_EQ(got.second, want.second) << "request " << id;
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  expect_round_trip(Trace(ProblemConfig{5, 3}));
+}
+
+TEST(TraceIo, SingleAlternativeRoundTrips) {
+  Trace trace(ProblemConfig{3, 4});
+  trace.add(0, RequestSpec{2, kNoResource, 1});
+  trace.add(2, RequestSpec{0, kNoResource, 4});
+  expect_round_trip(trace);
+}
+
+TEST(TraceIo, RandomMixedRoundTripFuzz) {
+  Prng rng(2024);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto n = static_cast<std::int32_t>(1 + rng.next_below(7));
+    const auto d = static_cast<std::int32_t>(1 + rng.next_below(6));
+    Trace trace(ProblemConfig{n, d});
+    Round arrival = 0;
+    const std::uint64_t count = rng.next_below(40);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      arrival += static_cast<Round>(rng.next_below(4));
+      RequestSpec spec;
+      spec.first = static_cast<ResourceId>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      // Mix single- and two-alternative requests in one trace.
+      if (n > 1 && rng.next_bool(0.6)) {
+        spec.second = static_cast<ResourceId>(
+            rng.next_below(static_cast<std::uint64_t>(n - 1)));
+        if (spec.second >= spec.first) ++spec.second;
+      }
+      spec.window = static_cast<std::int32_t>(
+          1 + rng.next_below(static_cast<std::uint64_t>(d)));
+      trace.add(arrival, spec);
+    }
+    expect_round_trip(trace);
+  }
+}
+
+TEST(TraceIo, RejectsDeadlineBeyondWindow) {
+  // d = 3 allows deadlines in [arrival, arrival + 2]; 5 is out of range.
+  std::stringstream bad("reqsched-trace 2 3 1\n0 0 1 5\n");
+  EXPECT_THROW(Trace::load(bad), ContractViolation);
+}
+
+TEST(TraceIo, RejectsDeadlineBeforeArrival) {
+  std::stringstream bad("reqsched-trace 2 3 1\n4 0 1 3\n");
+  EXPECT_THROW(Trace::load(bad), ContractViolation);
+}
+
+TEST(TraceIo, RejectsNegativeRequestCount) {
+  std::stringstream bad("reqsched-trace 2 2 -1\n");
+  EXPECT_THROW(Trace::load(bad), ContractViolation);
+}
+
+TEST(TraceIo, RejectsTruncatedStream) {
+  std::stringstream bad("reqsched-trace 2 2 3\n0 0 1 1\n");
+  EXPECT_THROW(Trace::load(bad), ContractViolation);
+}
+
+TEST(TraceIo, RejectsRowsBeyondDeclaredCount) {
+  // Header says one request, stream carries two: the loader must not
+  // silently drop the tail.
+  std::stringstream bad("reqsched-trace 2 2 1\n0 0 1 1\n1 1 0 2\n");
+  EXPECT_THROW(Trace::load(bad), ContractViolation);
+}
+
+TEST(TraceIo, AcceptsTrailingWhitespaceOnly) {
+  std::stringstream ok("reqsched-trace 2 2 1\n0 0 1 1\n  \n\n");
+  const Trace trace = Trace::load(ok);
+  EXPECT_EQ(trace.size(), 1);
+  EXPECT_EQ(trace.request(0).deadline, 1);
+}
+
+}  // namespace
+}  // namespace reqsched

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 gate, run twice: a plain RelWithDebInfo build+ctest, then the same
-# suite under AddressSanitizer + UBSan (REQSCHED_SANITIZE=ON). Run from the
-# repository root:
+# suite under AddressSanitizer + UBSan (REQSCHED_SANITIZE=ON). A third mode
+# smoke-runs the performance gates. Run from the repository root:
 #
-#   tools/check.sh            # both passes
-#   tools/check.sh --plain    # plain pass only
-#   tools/check.sh --asan     # sanitized pass only
+#   tools/check.sh                # plain + sanitized passes
+#   tools/check.sh --plain        # plain pass only
+#   tools/check.sh --asan         # sanitized pass only
+#   tools/check.sh --bench-smoke  # Release build; bench_perf gates (--smoke)
+#                                 # and a short bench_prefix_opt run
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,6 +23,20 @@ run_pass() {
   (cd "${dir}" && ctest --output-on-failure -j "$(nproc)")
 }
 
+run_bench_smoke() {
+  local dir="build-bench"
+  echo "==> bench-smoke: configure (${dir})"
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release -DREQSCHED_BUILD_TESTS=OFF
+  echo "==> bench-smoke: build"
+  cmake --build "${dir}" -j --target bench_perf bench_prefix_opt
+  echo "==> bench-smoke: bench_perf gates (offline-solve speedup, sweep throughput)"
+  # The empty-match filter skips the microbenchmarks; the gated sections
+  # after RunSpecifiedBenchmarks() always run.
+  "${dir}/bench/bench_perf" --smoke '--benchmark_filter=^$'
+  echo "==> bench-smoke: bench_prefix_opt (reduced iterations)"
+  "${dir}/bench/bench_prefix_opt" --rounds=2000 --samples=3
+}
+
 mode="${1:-all}"
 
 case "${mode}" in
@@ -34,8 +50,11 @@ case "${mode}" in
   --asan)
     run_pass "asan+ubsan" build-asan -DREQSCHED_SANITIZE=ON
     ;;
+  --bench-smoke)
+    run_bench_smoke
+    ;;
   *)
-    echo "usage: tools/check.sh [--plain|--asan]" >&2
+    echo "usage: tools/check.sh [--plain|--asan|--bench-smoke]" >&2
     exit 2
     ;;
 esac
