@@ -139,6 +139,7 @@ int main(int argc, char** argv) {
   using namespace reqsched::bench;
   const CliArgs args(argc, argv);
   const auto d = static_cast<std::int32_t>(args.get_int("d", 4));
+  args.finish();
 
   {
     // Without rescheduling, the placement objective is all a strategy has;

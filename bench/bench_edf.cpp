@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   using namespace reqsched::bench;
   const CliArgs args(argc, argv);
   const auto seeds = args.get_int_list("seeds", {1, 2, 3, 4, 5, 6});
+  args.finish();
 
   {
     AsciiTable table({"seed", "injected", "EDF fulfilled", "OPT", "ratio"});

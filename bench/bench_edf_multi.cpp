@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const auto cs = args.get_int_list("c", {1, 2, 3, 4, 5});
   const auto d = static_cast<std::int32_t>(args.get_int("d", 4));
+  args.finish();
 
   {
     AsciiTable table({"c", "EDF fulfilled", "wasted", "OPT", "ratio",

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const auto n = static_cast<std::int32_t>(args.get_int("n", 8));
   const auto d = static_cast<std::int32_t>(args.get_int("d", 4));
+  args.finish();
 
   const std::vector<double> loads{0.5, 0.8, 1.0, 1.2, 1.5, 2.0, 3.0};
   const std::vector<std::string> lineup{"A_fix", "A_balance", "A_local_fix",

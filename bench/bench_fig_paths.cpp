@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace reqsched::bench;
   const CliArgs args(argc, argv);
   const auto seeds = args.get_int_list("seeds", {1, 2, 3, 4, 5, 6, 7, 8});
+  args.finish();
 
   AsciiTable table({"strategy", "aug paths", "order 1", "order 2", "order 3",
                     "order 4+", "min order"});

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const auto horizon = args.get_int("rounds", 96);
   const auto seeds64 = args.get_int_list("seeds", {1, 2, 3, 4, 5});
   const std::string csv_path = args.get_string("csv", "");
+  args.finish();
 
   const std::vector<std::string> families = {"uniform", "zipf", "bursty",
                                              "blockstorm"};

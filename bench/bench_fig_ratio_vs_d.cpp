@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace reqsched::bench;
   const CliArgs args(argc, argv);
   const auto ds = args.get_int_list("d", {2, 4, 6, 8, 12, 16, 20});
+  args.finish();
 
   AsciiTable table({"d", "A_fix", "A_fix_balance", "A_eager", "A_balance",
                     "A_current(suite)"});

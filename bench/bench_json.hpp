@@ -1,0 +1,64 @@
+// Machine-readable bench output: a flat list of (section, metric, value,
+// units) records written as a JSON array, so CI and plotting scripts can
+// track gate numbers across commits without scraping stdout. Convention:
+// each bench writes one `BENCH_<name>.json` when invoked with --json=PATH.
+#pragma once
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace reqsched::bench {
+
+class JsonWriter {
+ public:
+  void record(std::string section, std::string metric, double value,
+              std::string units) {
+    rows_.push_back(
+        {std::move(section), std::move(metric), value, std::move(units)});
+  }
+
+  /// Renders every record as one JSON array of objects.
+  std::string render() const {
+    std::ostringstream out;
+    out << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      out << "  {\"section\":\"" << row.section << "\",\"metric\":\""
+          << row.metric << "\",\"value\":";
+      if (std::isfinite(row.value)) {
+        out << row.value;
+      } else {
+        out << '"' << (row.value > 0 ? "inf" : "-inf") << '"';
+      }
+      out << ",\"units\":\"" << row.units << "\"}"
+          << (i + 1 < rows_.size() ? "," : "") << '\n';
+    }
+    out << "]\n";
+    return out.str();
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream file(path);
+    REQSCHED_CHECK_MSG(file.good(), "cannot open " << path << " for writing");
+    file << render();
+  }
+
+  bool empty() const { return rows_.empty(); }
+
+ private:
+  struct Row {
+    std::string section;
+    std::string metric;
+    double value;
+    std::string units;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace reqsched::bench

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace reqsched::bench;
   const CliArgs args(argc, argv);
   const auto xs = args.get_int_list("x", {1, 2, 3, 4, 6});
+  args.finish();
 
   {
     AsciiTable table({"x", "d=3x-1", "measured (k=8)", "finite-k model",

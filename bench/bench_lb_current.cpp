@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace reqsched::bench;
   const CliArgs args(argc, argv);
   const auto max_ell = static_cast<std::int32_t>(args.get_int("max-ell", 7));
+  args.finish();
 
   AsciiTable table(
       {"ell", "d", "measured", "harmonic model", "e/(e-1) limit"});

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace reqsched::bench;
   const CliArgs args(argc, argv);
   const auto ds = args.get_int_list("d", {2, 4, 6, 8, 12, 16});
+  args.finish();
 
   {
     AsciiTable table({"d", "measured", "4/3", "abs err"});

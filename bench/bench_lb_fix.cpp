@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace reqsched::bench;
   const CliArgs args(argc, argv);
   const auto ds = args.get_int_list("d", {2, 3, 4, 6, 8, 12, 16, 24, 32});
+  args.finish();
 
   AsciiTable table({"d", "measured", "2 - 1/d", "abs err"});
   table.set_title("E-2.1  A_fix on the Theorem 2.1 adversary");

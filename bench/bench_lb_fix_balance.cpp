@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace reqsched::bench;
   const CliArgs args(argc, argv);
   const auto ds = args.get_int_list("d", {4, 6, 8, 12, 16, 24, 32});
+  args.finish();
 
   AsciiTable table({"d", "measured", "3d/(2d+2)", "abs err"});
   table.set_title("E-2.3  A_fix_balance on the Theorem 2.3 adversary");

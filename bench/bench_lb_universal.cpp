@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace reqsched::bench;
   const CliArgs args(argc, argv);
   const auto ds = args.get_int_list("d", {3, 4, 5, 6, 8, 12, 24});
+  args.finish();
 
   for (const auto d64 : ds) {
     const auto d = static_cast<std::int32_t>(d64);

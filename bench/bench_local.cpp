@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   using namespace reqsched::bench;
   const CliArgs args(argc, argv);
   const auto ds = args.get_int_list("d", {2, 4, 8, 16});
+  args.finish();
 
   {
     AsciiTable table({"d", "strategy", "measured", "bound", "comm rounds max",

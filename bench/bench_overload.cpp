@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace reqsched::bench;
   const CliArgs args(argc, argv);
   const auto d = static_cast<std::int32_t>(args.get_int("d", 6));
+  args.finish();
 
   AsciiTable table({"strategy", "failed", "ovl rounds", "groups", "intervals",
                     "mean len", "ovl exec", "normal exec", "fail/ovl-exec"});

@@ -21,10 +21,12 @@
 #include <limits>
 #include <memory>
 #include <queue>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "adversary/random.hpp"
+#include "bench_json.hpp"
 #include "analysis/registry.hpp"
 #include "analysis/sweep.hpp"
 #include "core/simulator.hpp"
@@ -412,7 +414,7 @@ std::vector<Trace> make_gate_traces(Round horizon) {
   return traces;
 }
 
-void run_offline_solve_gate(bool smoke) {
+void run_offline_solve_gate(bool smoke, bench::JsonWriter& json) {
   const Round horizon = smoke ? 128 : 256;
   const int reps = smoke ? 5 : 9;
   const std::vector<Trace> traces = make_gate_traces(horizon);
@@ -453,9 +455,12 @@ void run_offline_solve_gate(bool smoke) {
   REQSCHED_CHECK_MSG(speedup >= 1.5,
                      "offline-solve speedup gate failed: " << speedup
                                                            << "x < 1.5x");
+  json.record("offline_solve", "legacy", legacy_best * 1e3, "ms");
+  json.record("offline_solve", "csr_scratch", csr_best * 1e3, "ms");
+  json.record("offline_solve", "speedup", speedup, "x");
 }
 
-void run_sweep_throughput(bool smoke) {
+void run_sweep_throughput(bool smoke, bench::JsonWriter& json) {
   const Round horizon = smoke ? 32 : 64;
   SweepSpec spec;
   spec.strategies = {"A_fix", "A_eager"};
@@ -487,17 +492,24 @@ void run_sweep_throughput(bool smoke) {
       static_cast<long long>(summary.points),
       static_cast<long long>(horizon), seconds,
       static_cast<double>(summary.points) / seconds);
+  json.record("sweep", "throughput",
+              static_cast<double>(summary.points) / seconds, "points/sec");
 }
 
 }  // namespace
 }  // namespace reqsched
 
 int main(int argc, char** argv) {
+  // Strip our own flags before google-benchmark sees (and rejects) them.
   bool smoke = false;
+  std::string json_path;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--smoke") {
+    const std::string_view arg(argv[i]);
+    if (arg == "--smoke") {
       smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
     } else {
       argv[kept++] = argv[i];
     }
@@ -508,7 +520,12 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  reqsched::run_offline_solve_gate(smoke);
-  reqsched::run_sweep_throughput(smoke);
+  reqsched::bench::JsonWriter json;
+  reqsched::run_offline_solve_gate(smoke, json);
+  reqsched::run_sweep_throughput(smoke, json);
+  if (!json_path.empty()) {
+    json.write(json_path);
+    std::printf("[bench_perf] wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
   const auto d = static_cast<std::int32_t>(args.get_int("d", 4));
   const auto samples = std::max<std::int64_t>(1, args.get_int("samples", 50));
   const double load = args.get_double("load", 1.2);
+  args.finish();
 
   const Trace trace = make_long_trace(n, d, rounds, load);
   const Round last_arrival =

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const auto ell = static_cast<std::int32_t>(args.get_int("ell", 5));
   const auto d = static_cast<std::int32_t>(args.get_int("d", 8));
+  args.finish();
 
   {
     AsciiTable table({"implementation", "Thm 2.2 instance (ell=5)",

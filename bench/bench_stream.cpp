@@ -1,0 +1,220 @@
+// Streaming-engine gates: the numbers that justify the bounded-memory
+// runtime. Four gated sections, each REQSCHED_CHECK'd so CI fails loudly:
+//
+//  * soak — a 1M+ request stream (n = 8, d = 3, overload) through a
+//    recycling pool. Hard cap: peak resident requests <= admissions-per-
+//    round * d (the window bound), i.e. O(n*d) here, independent of the
+//    stream length.
+//  * memory plateau — the same stream at 4x the horizon must not grow the
+//    resident estimate by more than 2x (+ fixed slack): state is windowed,
+//    not accumulated. Checked with live-OPT tracking on, which is the part
+//    that would silently go linear without closure pruning + dead marking.
+//  * throughput — streamed requests/sec, with and without ratio tracking.
+//    Floor deliberately conservative (CI machines vary); the point is to
+//    catch order-of-magnitude regressions, not 10% noise.
+//  * exactness — the live ratio monitor's OPT equals the offline
+//    Hopcroft–Karp solve of the recorded trace, on every seed tried.
+//
+// Usage: bench_stream [--smoke] [--json=BENCH_stream.json]
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "adversary/random.hpp"
+#include "analysis/registry.hpp"
+#include "bench_json.hpp"
+#include "core/simulator.hpp"
+#include "engine/sharded.hpp"
+#include "offline/offline.hpp"
+#include "util/cli.hpp"
+
+namespace reqsched {
+namespace {
+
+struct StreamPoint {
+  Metrics metrics;
+  double seconds = 0.0;
+  std::int64_t peak_live = 0;
+  std::int64_t max_per_round = 0;
+  std::int64_t slab_capacity = 0;
+  std::size_t resident_bytes = 0;
+
+  double requests_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(metrics.injected) / seconds
+                         : 0.0;
+  }
+};
+
+StreamPoint run_stream(Round horizon, bool track_opt) {
+  UniformWorkload workload({.n = 8, .d = 3, .load = 2.0, .horizon = horizon,
+                            .seed = 11, .two_choice = true});
+  auto strategy = make_strategy("A_balance");
+  EngineOptions options = streaming_options();
+  options.track_live_opt = track_opt;
+  Simulator sim(workload, *strategy, std::move(options));
+
+  StreamPoint point;
+  const auto t0 = std::chrono::steady_clock::now();
+  point.metrics = sim.run(4 * horizon + 16);
+  const auto t1 = std::chrono::steady_clock::now();
+  point.seconds = std::chrono::duration<double>(t1 - t0).count();
+  const RequestPool& pool = sim.engine().pool();
+  point.peak_live = pool.peak_live();
+  point.max_per_round = pool.max_admitted_per_round();
+  point.slab_capacity = pool.slab_capacity();
+  point.resident_bytes = sim.engine().approx_resident_bytes();
+  return point;
+}
+
+void run_soak_and_throughput(bool smoke, bench::JsonWriter& json) {
+  const Round horizon = smoke ? 8'000 : 70'000;
+  const StreamPoint plain = run_stream(horizon, /*track_opt=*/false);
+  const StreamPoint tracked = run_stream(horizon, /*track_opt=*/true);
+
+  if (!smoke) {
+    REQSCHED_CHECK_MSG(plain.metrics.injected >= 1'000'000,
+                       "soak stream too short: " << plain.metrics.injected);
+  }
+  // The window bound, asserted hard: resident requests never exceeded one
+  // deadline window of admissions.
+  REQSCHED_CHECK_MSG(plain.peak_live <= plain.max_per_round * 3,
+                     "peak resident " << plain.peak_live
+                                      << " exceeds the window bound "
+                                      << plain.max_per_round * 3);
+  REQSCHED_CHECK_MSG(plain.slab_capacity == plain.peak_live,
+                     "slab grew past the live peak");
+
+  std::printf(
+      "[bench_stream] soak: %lld requests, %lld rounds; peak resident %lld "
+      "(<= %lld admissions/round * d = %lld)\n",
+      static_cast<long long>(plain.metrics.injected),
+      static_cast<long long>(plain.metrics.rounds),
+      static_cast<long long>(plain.peak_live),
+      static_cast<long long>(plain.max_per_round),
+      static_cast<long long>(plain.max_per_round * 3));
+  std::printf(
+      "[bench_stream] throughput: %.0f req/s untracked, %.0f req/s with "
+      "live-ratio tracking (floor 50000 untracked)\n",
+      plain.requests_per_sec(), tracked.requests_per_sec());
+  REQSCHED_CHECK_MSG(plain.requests_per_sec() >= 50'000.0,
+                     "streaming throughput collapsed: "
+                         << plain.requests_per_sec() << " req/s");
+
+  json.record("soak", "injected_requests",
+              static_cast<double>(plain.metrics.injected), "requests");
+  json.record("soak", "peak_resident_requests",
+              static_cast<double>(plain.peak_live), "requests");
+  json.record("soak", "window_bound",
+              static_cast<double>(plain.max_per_round * 3), "requests");
+  json.record("throughput", "untracked", plain.requests_per_sec(),
+              "requests/sec");
+  json.record("throughput", "tracked", tracked.requests_per_sec(),
+              "requests/sec");
+}
+
+void run_memory_plateau(bool smoke, bench::JsonWriter& json) {
+  const Round base = smoke ? 2'000 : 10'000;
+  const StreamPoint short_run = run_stream(base, /*track_opt=*/true);
+  const StreamPoint long_run = run_stream(4 * base, /*track_opt=*/true);
+  const auto limit = 2 * short_run.resident_bytes + (64u << 10);
+  std::printf(
+      "[bench_stream] memory plateau: %zu bytes at %lld rounds, %zu bytes "
+      "at %lld rounds (limit %zu)\n",
+      short_run.resident_bytes, static_cast<long long>(base),
+      long_run.resident_bytes, static_cast<long long>(4 * base), limit);
+  REQSCHED_CHECK_MSG(long_run.resident_bytes <= limit,
+                     "resident estimate grows with the horizon: "
+                         << short_run.resident_bytes << " -> "
+                         << long_run.resident_bytes);
+  json.record("memory", "resident_bytes_1x",
+              static_cast<double>(short_run.resident_bytes), "bytes");
+  json.record("memory", "resident_bytes_4x",
+              static_cast<double>(long_run.resident_bytes), "bytes");
+}
+
+void run_ratio_exactness(bool smoke, bench::JsonWriter& json) {
+  // The live monitor must be the *exact* OPT, not an approximation: record
+  // the trace alongside the stream and re-solve it offline.
+  const Round horizon = smoke ? 200 : 600;
+  int checked = 0;
+  for (const std::uint64_t seed : {5u, 6u, 7u}) {
+    UniformWorkload workload({.n = 6, .d = 4, .load = 1.7, .horizon = horizon,
+                              .seed = seed, .two_choice = true});
+    auto strategy = make_strategy("A_fix");
+    EngineOptions options = streaming_options();
+    options.record_trace = true;
+    options.track_live_opt = true;
+    options.opt_prune_every = 8;
+    Simulator sim(workload, *strategy, std::move(options));
+    sim.run();
+    const std::int64_t live = sim.engine().live_optimum();
+    const std::int64_t offline = offline_optimum(sim.trace());
+    REQSCHED_CHECK_MSG(live == offline, "live OPT " << live
+                                                    << " != offline "
+                                                    << offline << " at seed "
+                                                    << seed);
+    ++checked;
+  }
+  std::printf(
+      "[bench_stream] ratio exactness: live OPT == offline solve on %d "
+      "streams\n",
+      checked);
+  json.record("exactness", "streams_verified", checked, "streams");
+}
+
+void run_sharded_point(bool smoke, bench::JsonWriter& json) {
+  ShardedRunOptions options;
+  options.shards = smoke ? 4 : 8;
+  options.threads = 4;
+  options.engine.track_live_opt = true;
+  const Round horizon = smoke ? 2'000 : 8'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  const ShardedResult result = run_sharded(
+      options,
+      [horizon](std::int64_t shard) {
+        return std::make_unique<UniformWorkload>(RandomWorkloadOptions{
+            .n = 8, .d = 3, .load = 1.8, .horizon = horizon,
+            .seed = 40 + static_cast<std::uint64_t>(shard),
+            .two_choice = true});
+      },
+      [](std::int64_t) { return make_strategy("A_balance"); });
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  REQSCHED_CHECK_MSG(result.all_ok(), result.failed << " shards failed");
+  const double rate =
+      seconds > 0.0 ? static_cast<double>(result.total.injected) / seconds
+                    : 0.0;
+  std::printf(
+      "[bench_stream] sharded: %lld shards, %lld requests in %.3f s -> "
+      "%.0f req/s aggregate\n",
+      static_cast<long long>(options.shards),
+      static_cast<long long>(result.total.injected), seconds, rate);
+  json.record("sharded", "aggregate", rate, "requests/sec");
+}
+
+}  // namespace
+}  // namespace reqsched
+
+int main(int argc, char** argv) {
+  using namespace reqsched;
+  const CliArgs args(argc, argv);
+  try {
+    const bool smoke = args.get_bool("smoke", false);
+    const std::string json_path = args.get_string("json", "");
+    args.finish();
+
+    bench::JsonWriter json;
+    run_soak_and_throughput(smoke, json);
+    run_memory_plateau(smoke, json);
+    run_ratio_exactness(smoke, json);
+    run_sharded_point(smoke, json);
+    if (!json_path.empty()) {
+      json.write(json_path);
+      std::printf("[bench_stream] wrote %s\n", json_path.c_str());
+    }
+  } catch (const ContractViolation& e) {
+    std::fprintf(stderr, "bench_stream gate failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

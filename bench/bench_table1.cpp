@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace reqsched::bench;
   const CliArgs args(argc, argv);
   const auto d = static_cast<std::int32_t>(args.get_int("d", 8));
+  args.finish();
   REQSCHED_CHECK_MSG(d >= 4 && d % 2 == 0, "--d must be even and >= 4");
 
   AsciiTable table({"Algorithm", "LB (thm)", "LB measured", "UB (thm)",

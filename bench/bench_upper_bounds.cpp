@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
   using namespace reqsched::bench;
   const CliArgs args(argc, argv);
   const auto ds = args.get_int_list("d", {2, 3, 5, 6, 8, 12});
+  args.finish();
 
   AsciiTable table({"strategy", "d", "UB (thm)", "suite max", "adversarial max",
                     "headroom"});

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const auto d = static_cast<std::int32_t>(args.get_int("d", 4));
   const auto phases = static_cast<std::int32_t>(args.get_int("phases", 6));
+  args.finish();
 
   std::cout << "Theorem 2.1: the adversary beats A_fix with 4 resources.\n"
             << "Per phase: 2d-2 requests lured onto the wrong resources,\n"

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   options.load = args.get_double("load", 1.5);
   options.horizon = args.get_int("rounds", 300);
   options.seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+  args.finish();
 
   AsciiTable table({"strategy", "kind", "fulfilled", "ratio",
                     "comm rounds/round", "messages"});

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   options.horizon = args.get_int("rounds", 200);
   options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const std::string name = args.get_string("strategy", "A_balance");
+  args.finish();
 
   // 1. Pick a workload (here: uniformly random two-choice requests) ...
   UniformWorkload workload(options);
@@ -46,8 +47,5 @@ int main(int argc, char** argv) {
     std::cout << " (min order " << result.paths.min_order << ")";
   }
   std::cout << '\n';
-  for (const auto& key : args.unused_keys()) {
-    std::cerr << "warning: unused flag --" << key << '\n';
-  }
   return 0;
 }

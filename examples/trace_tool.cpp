@@ -48,6 +48,7 @@ int generate(const CliArgs& args) {
   options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const std::string family = args.get_string("gen", "uniform");
   const std::string out = args.get_string("out", "workload.trace");
+  args.finish();
 
   std::unique_ptr<IWorkload> workload;
   if (family == "uniform") {
@@ -105,6 +106,9 @@ int replay(const CliArgs& args, const std::string& path) {
   }
   const Trace trace = Trace::load(file);
   const std::string name = args.get_string("strategy", "A_balance");
+  const bool timeline = args.get_bool("timeline", false);
+  const Round timeline_rounds = args.get_int("timeline-rounds", 78);
+  args.finish();
   TraceWorkload workload(trace);
   auto strategy = make_strategy(name);
   Simulator sim(workload, *strategy);
@@ -118,10 +122,10 @@ int replay(const CliArgs& args, const std::string& path) {
                           static_cast<double>(sim.metrics().fulfilled)
                     : 0.0)
             << '\n';
-  if (args.get_bool("timeline", false)) {
+  if (timeline) {
     TimelineOptions options;
     options.to = std::min<Round>(trace.last_useful_round(),
-                                 args.get_int("timeline-rounds", 78) - 1);
+                                 timeline_rounds - 1);
     std::cout << render_timeline(sim.trace(), sim.online_matching(), options);
   }
   return 0;
@@ -135,7 +139,9 @@ int main(int argc, char** argv) {
   try {
     if (args.has("gen")) return generate(args);
     if (args.has("inspect")) {
-      return inspect(args.get_string("inspect", ""));
+      const std::string path = args.get_string("inspect", "");
+      args.finish();
+      return inspect(path);
     }
     if (args.has("replay")) {
       return replay(args, args.get_string("replay", ""));

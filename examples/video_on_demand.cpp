@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   options.load = args.get_double("load", 1.3);
   options.horizon = args.get_int("rounds", 400);
   options.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  args.finish();
 
   AsciiTable table({"strategy", "fulfilled", "expired", "OPT", "ratio",
                     "lost vs OPT"});

@@ -1,15 +1,6 @@
 #include "analysis/prefix.hpp"
 
-#include <limits>
-
 namespace reqsched {
-
-double competitive_ratio(std::int64_t optimum, std::int64_t fulfilled) {
-  if (fulfilled == 0) {
-    return optimum == 0 ? 1.0 : std::numeric_limits<double>::infinity();
-  }
-  return static_cast<double>(optimum) / static_cast<double>(fulfilled);
-}
 
 PrefixOptimumProbe::PrefixOptimumProbe(IStrategy& inner) : inner_(&inner) {}
 

@@ -13,14 +13,10 @@
 #include <vector>
 
 #include "analysis/timeseries.hpp"
+#include "engine/stats.hpp"  // IWYU pragma: export — competitive_ratio
 #include "matching/incremental.hpp"
 
 namespace reqsched {
-
-/// `optimum / fulfilled` with the harness's degenerate-run conventions
-/// (1.0 when nothing was fulfillable, +inf when OPT found work the online
-/// strategy did not).
-double competitive_ratio(std::int64_t optimum, std::int64_t fulfilled);
 
 class PrefixOptimumProbe final : public IStrategy {
  public:

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <ostream>
 
+#include "util/assert.hpp"
+
 namespace reqsched {
 
 struct Metrics {
@@ -31,12 +33,29 @@ struct Metrics {
                : static_cast<double>(fulfilled) / static_cast<double>(injected);
   }
 
+  /// Every injected request is accounted for exactly once: fulfilled,
+  /// expired, or still pending when the run stopped. The engine asserts this
+  /// at the end of every run (with pending_at_end == 0 for drained runs).
+  void check_conservation(std::int64_t pending_at_end) const {
+    REQSCHED_CHECK_MSG(
+        injected == fulfilled + expired + pending_at_end,
+        "request conservation violated: injected=" << injected
+            << " != fulfilled=" << fulfilled << " + expired=" << expired
+            << " + pending=" << pending_at_end);
+  }
+
+  friend bool operator==(const Metrics&, const Metrics&) = default;
+
   friend std::ostream& operator<<(std::ostream& os, const Metrics& m) {
-    return os << "rounds=" << m.rounds << " injected=" << m.injected
-              << " fulfilled=" << m.fulfilled << " expired=" << m.expired
-              << " wasted=" << m.wasted_executions
-              << " (re)assignments=" << m.assignments << '/'
-              << m.reassignments;
+    os << "rounds=" << m.rounds << " injected=" << m.injected
+       << " fulfilled=" << m.fulfilled << " expired=" << m.expired
+       << " wasted=" << m.wasted_executions
+       << " (re)assignments=" << m.assignments << '/' << m.reassignments;
+    if (m.communication_rounds != 0 || m.messages != 0) {
+      os << " comm_rounds=" << m.communication_rounds
+         << " messages=" << m.messages;
+    }
+    return os;
   }
 };
 

@@ -1,118 +1,7 @@
-// Round-driven simulator: the data server working in synchronized rounds.
-//
-// Per round t it (1) expires requests whose deadline has passed, (2) injects
-// the adversary's new requests, (3) runs the online strategy, and (4) executes
-// the current row of the schedule (each resource fulfills its booked request).
-// The realized request sequence is recorded as a Trace so the offline optimum
-// can be computed after the run.
+// Forwarding header: the Simulator moved into the engine layer when the
+// round loop was factored into StreamingEngine. Kept so the many existing
+// `#include "core/simulator.hpp"` sites (strategies, adversaries, analysis,
+// tools) keep compiling unchanged.
 #pragma once
 
-#include <span>
-#include <vector>
-
-#include "core/metrics.hpp"
-#include "core/request.hpp"
-#include "core/schedule.hpp"
-#include "core/strategy.hpp"
-#include "core/trace.hpp"
-#include "core/types.hpp"
-#include "core/workload.hpp"
-
-namespace reqsched {
-
-class Simulator {
- public:
-  /// Both `workload` and `strategy` must outlive the simulator.
-  Simulator(IWorkload& workload, IStrategy& strategy);
-
-  /// Runs rounds until the workload is exhausted and all requests resolved.
-  /// `max_rounds` is a runaway guard (violated => ContractViolation).
-  const Metrics& run(std::int64_t max_rounds = 1'000'000);
-
-  /// Executes a single round; returns false when the run is complete.
-  bool step();
-
-  bool finished() const;
-
-  // ---- read API (strategies, adversaries, analysis) ----
-
-  const ProblemConfig& config() const { return config_; }
-  Round now() const { return schedule_.window_begin(); }
-
-  const Trace& trace() const { return trace_; }
-  const Request& request(RequestId id) const { return trace_.request(id); }
-
-  RequestStatus status(RequestId id) const {
-    REQSCHED_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < status_.size());
-    return status_[static_cast<std::size_t>(id)];
-  }
-  bool is_pending(RequestId id) const {
-    return status(id) == RequestStatus::kPending;
-  }
-
-  /// Requests injected in the current round (valid during on_round).
-  std::span<const RequestId> injected_now() const { return injected_now_; }
-
-  /// All pending (alive, unfulfilled) requests, oldest first.
-  std::span<const RequestId> alive() const { return alive_; }
-
-  const Schedule& schedule() const { return schedule_; }
-
-  bool is_scheduled(RequestId id) const { return schedule_.is_scheduled(id); }
-  SlotRef slot_of(RequestId id) const { return schedule_.slot_of(id); }
-
-  /// Where a fulfilled request was executed (kNoSlot otherwise).
-  SlotRef fulfilled_slot(RequestId id) const {
-    REQSCHED_REQUIRE(id >= 0 &&
-                     static_cast<std::size_t>(id) < fulfilled_slot_.size());
-    return fulfilled_slot_[static_cast<std::size_t>(id)];
-  }
-
-  /// The final online matching: (request, execution slot) pairs.
-  std::vector<std::pair<RequestId, SlotRef>> online_matching() const;
-
-  const Metrics& metrics() const { return metrics_; }
-
-  // ---- write API (strategy only, during on_round) ----
-
-  /// Books a pending request into a free window slot it allows.
-  void assign(RequestId id, SlotRef slot);
-
-  /// Removes a booking.
-  void unassign(RequestId id);
-
-  /// Moves a booking (unassign + assign, counted as one reassignment).
-  void move(RequestId id, SlotRef slot);
-
-  /// Adds to the reassignment counter (used by strategies that rebook via
-  /// two-phase unassign/assign instead of move()).
-  void note_reassignments(std::int64_t count);
-
-  /// Records that `resource` burns the current round serving an
-  /// already-fulfilled duplicate copy (independent-copy EDF only).
-  void record_wasted_execution(ResourceId resource);
-
-  /// Adds communication-round / message accounting (local strategies).
-  void record_communication(std::int64_t rounds, std::int64_t messages);
-
- private:
-  void expire_round_start();
-  void inject();
-  void execute();
-
-  ProblemConfig config_{};
-  IWorkload& workload_;
-  IStrategy& strategy_;
-
-  Trace trace_;
-  Schedule schedule_;
-  std::vector<RequestStatus> status_;
-  std::vector<SlotRef> fulfilled_slot_;
-  std::vector<RequestId> alive_;
-  std::vector<RequestId> injected_now_;
-  Metrics metrics_{};
-  bool in_strategy_ = false;
-  bool ran_any_round_ = false;
-};
-
-}  // namespace reqsched
+#include "engine/simulator.hpp"  // IWYU pragma: export

@@ -1,0 +1,204 @@
+#include "engine/request_pool.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+namespace {
+constexpr std::size_t kMinRingSize = 64;  // power of two
+}  // namespace
+
+void RequestPool::reset(const ProblemConfig& config, bool retain_history) {
+  config.validate();
+  config_ = config;
+  retain_ = retain_history;
+  slab_.clear();
+  free_.clear();
+  status_.clear();
+  fulfilled_slot_.clear();
+  ring_.clear();
+  base_ = 0;
+  next_ = 0;
+  round_marks_.clear();
+  last_arrival_ = -1;
+  live_ = 0;
+  peak_live_ = 0;
+  cur_round_count_ = 0;
+  max_per_round_ = 0;
+}
+
+RequestId RequestPool::admit(Round arrival, const RequestSpec& spec) {
+  // Same validation contract as Trace::add — the pool is the authoritative
+  // admission point when no trace is recorded.
+  REQSCHED_REQUIRE_MSG(arrival >= 0, "arrival rounds start at 0");
+  REQSCHED_REQUIRE_MSG(arrival >= last_arrival_,
+                       "requests must be admitted in arrival order");
+  REQSCHED_REQUIRE_MSG(spec.first >= 0 && spec.first < config_.n,
+                       "first alternative out of range: S" << spec.first);
+  REQSCHED_REQUIRE_MSG(
+      spec.second == kNoResource ||
+          (spec.second >= 0 && spec.second < config_.n),
+      "second alternative out of range: S" << spec.second);
+  REQSCHED_REQUIRE_MSG(spec.second != spec.first,
+                       "the two alternatives must be distinct resources");
+  const std::int32_t window = spec.window > 0 ? spec.window : config_.d;
+  REQSCHED_REQUIRE_MSG(window <= config_.d,
+                       "per-request window may not exceed the instance d");
+
+  const RequestId id = next_++;
+  if (arrival != last_arrival_) {
+    last_arrival_ = arrival;
+    cur_round_count_ = 0;
+    if (!retain_) round_marks_.emplace_back(arrival, id);
+  }
+  ++cur_round_count_;
+  max_per_round_ = std::max(max_per_round_, cur_round_count_);
+
+  Request r;
+  r.id = id;
+  r.arrival = arrival;
+  r.deadline = arrival + window - 1;
+  r.first = spec.first;
+  r.second = spec.second;
+
+  if (retain_) {
+    slab_.push_back(r);
+    status_.push_back(RequestStatus::kPending);
+    fulfilled_slot_.push_back(kNoSlot);
+  } else {
+    std::int32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      slab_[static_cast<std::size_t>(slot)] = r;
+    } else {
+      slot = static_cast<std::int32_t>(slab_.size());
+      slab_.push_back(r);
+    }
+    if (static_cast<std::size_t>(next_ - base_) > ring_.size()) grow_ring();
+    ring_at(id) = slot;
+  }
+  ++live_;
+  peak_live_ = std::max(peak_live_, live_);
+  return id;
+}
+
+std::int32_t RequestPool::live_slot(RequestId id) const {
+  REQSCHED_REQUIRE_MSG(id >= base_ && id < next_,
+                       "r" << id << " is outside the pool window ["
+                           << base_ << ", " << next_ << ")");
+  const std::int32_t slot = ring_at(id);
+  REQSCHED_REQUIRE_MSG(slot >= 0, "r" << id << " already retired");
+  return slot;
+}
+
+void RequestPool::fulfill(RequestId id, SlotRef slot) {
+  REQSCHED_REQUIRE(slot.valid());
+  if (retain_) {
+    REQSCHED_REQUIRE(id >= 0 && id < next_);
+    REQSCHED_REQUIRE_MSG(
+        status_[static_cast<std::size_t>(id)] == RequestStatus::kPending,
+        "cannot fulfill non-pending r" << id);
+    status_[static_cast<std::size_t>(id)] = RequestStatus::kFulfilled;
+    fulfilled_slot_[static_cast<std::size_t>(id)] = slot;
+  } else {
+    retire(id, kFulfilledTomb);
+  }
+  --live_;
+}
+
+void RequestPool::expire(RequestId id) {
+  if (retain_) {
+    REQSCHED_REQUIRE(id >= 0 && id < next_);
+    REQSCHED_REQUIRE_MSG(
+        status_[static_cast<std::size_t>(id)] == RequestStatus::kPending,
+        "cannot expire non-pending r" << id);
+    status_[static_cast<std::size_t>(id)] = RequestStatus::kExpired;
+  } else {
+    retire(id, kExpiredTomb);
+  }
+  --live_;
+}
+
+void RequestPool::retire(RequestId id, std::int32_t tombstone) {
+  const std::int32_t slot = live_slot(id);
+  free_.push_back(slot);
+  ring_at(id) = tombstone;
+}
+
+void RequestPool::advance(Round now) {
+  if (retain_) return;
+  while (!round_marks_.empty() &&
+         round_marks_.front().first <= now - config_.d) {
+    round_marks_.pop_front();
+    const RequestId new_base =
+        round_marks_.empty() ? next_ : round_marks_.front().second;
+#ifdef REQSCHED_DEBUG_CHECKS
+    for (RequestId id = base_; id < new_base; ++id) {
+      // Every forgotten id must have retired: its deadline was at most
+      // arrival + d - 1 <= now - 1, so expire_round_start covered it.
+      REQSCHED_REQUIRE_MSG(ring_at(id) < 0,
+                           "r" << id << " left the window while live");
+    }
+#endif
+    base_ = new_base;
+  }
+}
+
+const Request& RequestPool::request(RequestId id) const {
+  if (retain_) {
+    REQSCHED_REQUIRE(id >= 0 && id < next_);
+    return slab_[static_cast<std::size_t>(id)];
+  }
+  return slab_[static_cast<std::size_t>(live_slot(id))];
+}
+
+RequestStatus RequestPool::status(RequestId id) const {
+  if (retain_) {
+    REQSCHED_REQUIRE(id >= 0 && id < next_);
+    return status_[static_cast<std::size_t>(id)];
+  }
+  REQSCHED_REQUIRE_MSG(id >= base_ && id < next_,
+                       "status of r" << id << " queried outside the window ["
+                                     << base_ << ", " << next_ << ")");
+  const std::int32_t slot = ring_at(id);
+  if (slot >= 0) return RequestStatus::kPending;
+  return slot == kFulfilledTomb ? RequestStatus::kFulfilled
+                                : RequestStatus::kExpired;
+}
+
+SlotRef RequestPool::fulfilled_slot(RequestId id) const {
+  REQSCHED_REQUIRE_MSG(retain_,
+                       "fulfilled slots are only kept in retain mode");
+  REQSCHED_REQUIRE(id >= 0 && id < next_);
+  return fulfilled_slot_[static_cast<std::size_t>(id)];
+}
+
+void RequestPool::grow_ring() {
+  const std::size_t need = static_cast<std::size_t>(next_ - base_);
+  std::size_t size = std::max(kMinRingSize, ring_.size() * 2);
+  while (size < need) size *= 2;
+  std::vector<std::int32_t> old = std::move(ring_);
+  const std::size_t old_mask = old.size() - 1;
+  ring_.assign(size, kExpiredTomb);
+  if (!old.empty()) {
+    // Re-home every id still in the window (the id being admitted is placed
+    // by the caller after the growth).
+    for (RequestId id = base_; id < next_ - 1; ++id) {
+      ring_at(id) = old[static_cast<std::size_t>(id) & old_mask];
+    }
+  }
+}
+
+std::size_t RequestPool::approx_bytes() const {
+  return slab_.capacity() * sizeof(Request) +
+         free_.capacity() * sizeof(std::int32_t) +
+         status_.capacity() * sizeof(RequestStatus) +
+         fulfilled_slot_.capacity() * sizeof(SlotRef) +
+         ring_.capacity() * sizeof(std::int32_t) +
+         round_marks_.size() * sizeof(round_marks_.front());
+}
+
+}  // namespace reqsched

@@ -1,0 +1,126 @@
+// Slab request storage with free-list recycling and a compact window index.
+//
+// The streaming runtime keeps per-request state O(active deadline window)
+// instead of O(run length): a request lives in a slab slot from admission
+// until it retires (fulfilled or expired), then the slot returns to a free
+// list. Public `RequestId`s stay globally unique and monotone — they are
+// remapped to slab slots through a power-of-two ring indexed by `id & mask`,
+// valid for ids in `[window_base(), next_id())`. Because every request must
+// resolve within d rounds of its arrival and arrivals are monotone, the ring
+// span is bounded by the number of admissions in the last d rounds, not by
+// the run length.
+//
+// Retired ids still inside the ring keep a tombstone carrying their final
+// status (strategies such as independent-copy EDF query the status of a
+// twin that retired earlier in the window); ids older than the window are
+// recycled entirely and querying them is a contract violation.
+//
+// `retain_history = true` switches to the legacy dense layout (slot == id,
+// nothing is ever recycled, fulfilled slots are kept) — the classic
+// `Simulator` behaviour, byte-compatible with the pre-engine arrays.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/types.hpp"
+
+namespace reqsched {
+
+class RequestPool {
+ public:
+  RequestPool() = default;
+
+  /// Re-arms the pool for a new run, keeping allocated capacity (arena
+  /// reuse across shards).
+  void reset(const ProblemConfig& config, bool retain_history);
+
+  /// Admits a request arriving at `arrival` (same validation contract as
+  /// Trace::add); returns its globally unique id (== admission count so
+  /// far). Arrivals must be non-decreasing.
+  RequestId admit(Round arrival, const RequestSpec& spec);
+
+  /// Retires a live request as fulfilled at `slot` / expired; in window
+  /// mode its slab slot returns to the free list immediately.
+  void fulfill(RequestId id, SlotRef slot);
+  void expire(RequestId id);
+
+  /// Window mode: forgets ring entries of requests that arrived at rounds
+  /// <= now - d (all provably retired by round `now`). No-op when
+  /// retaining history.
+  void advance(Round now);
+
+  /// Live requests only in window mode; any admitted id in retain mode.
+  const Request& request(RequestId id) const;
+
+  /// Any id >= window_base() (live, or retired-with-tombstone).
+  RequestStatus status(RequestId id) const;
+
+  /// Retain mode only: where a fulfilled request executed (kNoSlot
+  /// otherwise).
+  SlotRef fulfilled_slot(RequestId id) const;
+
+  bool retain_history() const { return retain_; }
+  const ProblemConfig& config() const { return config_; }
+
+  /// Total requests admitted (the next id to be assigned).
+  RequestId next_id() const { return next_; }
+  /// Smallest id the pool still answers for.
+  RequestId window_base() const { return base_; }
+
+  std::int64_t live_count() const { return live_; }
+  std::int64_t peak_live() const { return peak_live_; }
+  /// Largest number of admissions in any single round so far — peak_live()
+  /// is always <= max_admitted_per_round() * d (the window bound).
+  std::int64_t max_admitted_per_round() const { return max_per_round_; }
+
+  /// Slab slots allocated (bounds resident Request storage).
+  std::int64_t slab_capacity() const {
+    return static_cast<std::int64_t>(slab_.size());
+  }
+  std::size_t approx_bytes() const;
+
+ private:
+  static constexpr std::int32_t kFulfilledTomb = -2;
+  static constexpr std::int32_t kExpiredTomb = -3;
+
+  std::int32_t ring_at(RequestId id) const {
+    return ring_[static_cast<std::size_t>(id) & (ring_.size() - 1)];
+  }
+  std::int32_t& ring_at(RequestId id) {
+    return ring_[static_cast<std::size_t>(id) & (ring_.size() - 1)];
+  }
+  /// Slab slot of a LIVE id (REQUIREs liveness).
+  std::int32_t live_slot(RequestId id) const;
+  void grow_ring();
+  void retire(RequestId id, std::int32_t tombstone);
+
+  ProblemConfig config_{};
+  bool retain_ = true;
+
+  std::vector<Request> slab_;
+  std::vector<std::int32_t> free_;  ///< window mode: recycled slab slots
+
+  // Retain mode parallel arrays (indexed by id).
+  std::vector<RequestStatus> status_;
+  std::vector<SlotRef> fulfilled_slot_;
+
+  // Window mode ring: ring_[id & mask] for id in [base_, next_).
+  std::vector<std::int32_t> ring_;
+  RequestId base_ = 0;
+  RequestId next_ = 0;
+  /// (arrival round, first id admitted at it), one entry per distinct
+  /// arrival round still inside the ring — at most d + 1 entries deep.
+  std::deque<std::pair<Round, RequestId>> round_marks_;
+
+  Round last_arrival_ = -1;
+  std::int64_t live_ = 0;
+  std::int64_t peak_live_ = 0;
+  std::int64_t cur_round_count_ = 0;
+  std::int64_t max_per_round_ = 0;
+};
+
+}  // namespace reqsched

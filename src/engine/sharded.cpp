@@ -1,0 +1,102 @@
+#include "engine/sharded.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <ostream>
+
+#include "engine/simulator.hpp"
+
+namespace reqsched {
+
+namespace {
+
+/// One arena pair per pool worker (plus one for the calling thread when it
+/// executes tasks itself, e.g. a zero-worker pool).
+struct WorkerArena {
+  RequestPool pool;
+  WindowedPrefixOpt opt;
+};
+
+}  // namespace
+
+ShardedResult run_sharded(const ShardedRunOptions& options,
+                          const ShardWorkloadFactory& make_workload,
+                          const ShardStrategyFactory& make_strategy,
+                          ThreadPool* pool) {
+  REQSCHED_REQUIRE_MSG(options.shards >= 1, "need at least one shard");
+  REQSCHED_REQUIRE(make_workload != nullptr && make_strategy != nullptr);
+
+  std::optional<ThreadPool> own_pool;
+  if (pool == nullptr) own_pool.emplace(options.threads);
+  ThreadPool& workers = pool != nullptr ? *pool : *own_pool;
+
+  std::vector<WorkerArena> arenas(workers.thread_count() + 1);
+  std::mutex jsonl_mutex;
+
+  ShardedResult result;
+  result.shards.resize(static_cast<std::size_t>(options.shards));
+
+  parallel_for(workers, static_cast<std::size_t>(options.shards),
+               [&](std::size_t index) {
+    const std::size_t worker = ThreadPool::current_worker_index();
+    WorkerArena& arena =
+        arenas[worker == ThreadPool::kNotAWorker ? workers.thread_count()
+                                                 : worker];
+    const auto shard = static_cast<std::int64_t>(index);
+    ShardResult& out = result.shards[index];
+    out.shard = shard;
+    try {
+      const auto workload = make_workload(shard);
+      const auto strategy = make_strategy(shard);
+      REQSCHED_REQUIRE_MSG(workload != nullptr && strategy != nullptr,
+                           "shard factories must not return null");
+
+      EngineOptions engine_options = options.engine;
+      engine_options.shard = shard;
+      engine_options.pool_arena = &arena.pool;
+      engine_options.opt_arena = &arena.opt;
+      if (options.jsonl != nullptr) {
+        engine_options.snapshot_sink = [&](const StatsSnapshot& snapshot) {
+          const std::string line = to_jsonl(snapshot);  // render outside
+          const std::lock_guard<std::mutex> lock(jsonl_mutex);
+          *options.jsonl << line << '\n';
+        };
+      }
+
+      Simulator sim(*workload, *strategy, engine_options);
+      out.metrics = sim.run(options.max_rounds);
+      out.last_snapshot = sim.engine().snapshot();
+      if (options.jsonl != nullptr) {
+        const std::string line = to_jsonl(out.last_snapshot);
+        const std::lock_guard<std::mutex> lock(jsonl_mutex);
+        *options.jsonl << line << '\n';
+      }
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    }
+  });
+
+  for (const ShardResult& shard : result.shards) {
+    if (!shard.ok()) {
+      ++result.failed;
+      continue;
+    }
+    result.total.rounds += shard.metrics.rounds;
+    result.total.injected += shard.metrics.injected;
+    result.total.fulfilled += shard.metrics.fulfilled;
+    result.total.expired += shard.metrics.expired;
+    result.total.wasted_executions += shard.metrics.wasted_executions;
+    result.total.assignments += shard.metrics.assignments;
+    result.total.unassignments += shard.metrics.unassignments;
+    result.total.reassignments += shard.metrics.reassignments;
+    result.total.communication_rounds += shard.metrics.communication_rounds;
+    result.total.messages += shard.metrics.messages;
+    result.peak_pending =
+        std::max(result.peak_pending, shard.last_snapshot.peak_pending);
+  }
+  return result;
+}
+
+}  // namespace reqsched

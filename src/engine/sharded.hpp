@@ -1,0 +1,85 @@
+// ShardedRunner: many independent streams across the thread pool.
+//
+// A "shard" is one self-contained stream — its own workload (typically the
+// same family re-seeded per shard), its own strategy instance, its own
+// StreamingEngine. Shards never share mutable state, so the runner is
+// embarrassingly parallel: parallel_for over the shard index, with one
+// RequestPool/WindowedPrefixOpt arena pair per pool worker (the
+// SolverScratch-per-worker idiom of run_sweep) so a worker that chews
+// through many shards stops allocating. Per-shard results are therefore
+// deterministic: independent of the thread count and of shard scheduling.
+//
+// Observability goes through one serialized JSONL sink: every engine
+// snapshot (and a final snapshot per shard) is rendered to a line outside
+// the lock, then appended under a mutex.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/strategy.hpp"
+#include "core/workload.hpp"
+#include "engine/stats.hpp"
+#include "engine/streaming.hpp"
+#include "util/thread_pool.hpp"
+
+namespace reqsched {
+
+/// Builds the workload for one shard. Shard indices are [0, shards).
+using ShardWorkloadFactory =
+    std::function<std::unique_ptr<IWorkload>(std::int64_t shard)>;
+/// Builds the strategy instance for one shard.
+using ShardStrategyFactory =
+    std::function<std::unique_ptr<IStrategy>(std::int64_t shard)>;
+
+struct ShardedRunOptions {
+  std::int64_t shards = 1;
+  /// Worker threads; 0 = hardware concurrency. Ignored when an external
+  /// pool is passed to run_sharded.
+  std::size_t threads = 0;
+  /// Per-engine options template. `shard` and the snapshot sink are
+  /// overwritten per shard; arenas are overwritten with the per-worker
+  /// pair. Defaults to bounded-memory streaming.
+  EngineOptions engine = streaming_options();
+  /// Runaway guard per shard.
+  std::int64_t max_rounds = 1'000'000;
+  /// Serialized JSONL sink for periodic + final snapshots (nullptr = none).
+  std::ostream* jsonl = nullptr;
+};
+
+struct ShardResult {
+  std::int64_t shard = 0;
+  Metrics metrics{};
+  StatsSnapshot last_snapshot{};
+  /// Non-empty when the shard's run threw (the exception message); its
+  /// metrics/snapshot are whatever had accumulated and must not be trusted.
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+struct ShardedResult {
+  std::vector<ShardResult> shards;
+  /// Sum over successful shards.
+  Metrics total{};
+  std::int64_t failed = 0;
+  /// Max over successful shards of the per-shard peak pending count.
+  std::int64_t peak_pending = 0;
+
+  bool all_ok() const { return failed == 0; }
+};
+
+/// Runs `options.shards` independent streams and aggregates. Uses `pool`
+/// when given (shared with the caller, e.g. the sweep's), otherwise spins
+/// up a private pool with `options.threads` workers.
+ShardedResult run_sharded(const ShardedRunOptions& options,
+                          const ShardWorkloadFactory& make_workload,
+                          const ShardStrategyFactory& make_strategy,
+                          ThreadPool* pool = nullptr);
+
+}  // namespace reqsched

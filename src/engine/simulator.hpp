@@ -1,0 +1,126 @@
+// Round-driven simulator: the data server working in synchronized rounds.
+//
+// Per round t it (1) expires requests whose deadline has passed, (2) injects
+// the adversary's new requests, (3) runs the online strategy, and (4) executes
+// the current row of the schedule (each resource fulfills its booked request).
+//
+// Since the streaming engine refactor the Simulator is a thin facade over
+// StreamingEngine (engine/streaming.hpp): the default options retain full
+// history — the realized sequence is recorded as a Trace so the offline
+// optimum can be computed after the run, statuses and fulfillment slots are
+// kept for every request — which is bit-identical to the classic behaviour.
+// Pass streaming_options() (or any EngineOptions) to run with memory bounded
+// by the active deadline window instead.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/request.hpp"
+#include "core/schedule.hpp"
+#include "core/strategy.hpp"
+#include "core/trace.hpp"
+#include "core/types.hpp"
+#include "core/workload.hpp"
+#include "engine/streaming.hpp"
+
+namespace reqsched {
+
+class Simulator {
+ public:
+  /// Both `workload` and `strategy` must outlive the simulator.
+  Simulator(IWorkload& workload, IStrategy& strategy)
+      : Simulator(workload, strategy, EngineOptions{}) {}
+
+  Simulator(IWorkload& workload, IStrategy& strategy, EngineOptions options)
+      : engine_(workload, strategy, std::move(options), *this) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Runs rounds until the workload is exhausted and all requests resolved.
+  /// `max_rounds` is a runaway guard (violated => ContractViolation).
+  const Metrics& run(std::int64_t max_rounds = 1'000'000) {
+    return engine_.run(max_rounds);
+  }
+
+  /// Executes a single round; returns false when the run is complete.
+  bool step() { return engine_.step(); }
+
+  bool finished() const { return engine_.finished(); }
+
+  /// The underlying streaming runtime (pool stats, live OPT, snapshots).
+  StreamingEngine& engine() { return engine_; }
+  const StreamingEngine& engine() const { return engine_; }
+
+  // ---- read API (strategies, adversaries, analysis) ----
+
+  const ProblemConfig& config() const { return engine_.config(); }
+  Round now() const { return engine_.now(); }
+
+  const Trace& trace() const { return engine_.trace(); }
+  const Request& request(RequestId id) const { return engine_.request(id); }
+
+  RequestStatus status(RequestId id) const { return engine_.status(id); }
+  bool is_pending(RequestId id) const { return engine_.is_pending(id); }
+
+  /// Requests injected in the current round (valid during on_round).
+  std::span<const RequestId> injected_now() const {
+    return engine_.injected_now();
+  }
+
+  /// All pending (alive, unfulfilled) requests, oldest first.
+  std::span<const RequestId> alive() const { return engine_.alive(); }
+
+  const Schedule& schedule() const { return engine_.schedule(); }
+
+  bool is_scheduled(RequestId id) const { return engine_.is_scheduled(id); }
+  SlotRef slot_of(RequestId id) const { return engine_.slot_of(id); }
+
+  /// Where a fulfilled request was executed (kNoSlot otherwise).
+  SlotRef fulfilled_slot(RequestId id) const {
+    return engine_.fulfilled_slot(id);
+  }
+
+  /// The final online matching: (request, execution slot) pairs.
+  std::vector<std::pair<RequestId, SlotRef>> online_matching() const {
+    return engine_.online_matching();
+  }
+
+  const Metrics& metrics() const { return engine_.metrics(); }
+
+  // ---- write API (strategy only, during on_round) ----
+
+  /// Books a pending request into a free window slot it allows.
+  void assign(RequestId id, SlotRef slot) { engine_.assign(id, slot); }
+
+  /// Removes a booking.
+  void unassign(RequestId id) { engine_.unassign(id); }
+
+  /// Moves a booking (unassign + assign, counted as one reassignment).
+  void move(RequestId id, SlotRef slot) { engine_.move(id, slot); }
+
+  /// Adds to the reassignment counter (used by strategies that rebook via
+  /// two-phase unassign/assign instead of move()).
+  void note_reassignments(std::int64_t count) {
+    engine_.note_reassignments(count);
+  }
+
+  /// Records that `resource` burns the current round serving an
+  /// already-fulfilled duplicate copy (independent-copy EDF only).
+  void record_wasted_execution(ResourceId resource) {
+    engine_.record_wasted_execution(resource);
+  }
+
+  /// Adds communication-round / message accounting (local strategies).
+  void record_communication(std::int64_t rounds, std::int64_t messages) {
+    engine_.record_communication(rounds, messages);
+  }
+
+ private:
+  StreamingEngine engine_;
+};
+
+}  // namespace reqsched

@@ -1,0 +1,57 @@
+#include "engine/stats.hpp"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace reqsched {
+
+double competitive_ratio(std::int64_t optimum, std::int64_t fulfilled) {
+  if (fulfilled == 0) {
+    return optimum == 0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(optimum) / static_cast<double>(fulfilled);
+}
+
+namespace {
+
+void append_number(std::ostringstream& os, const char* key, double value) {
+  os << ",\"" << key << "\":";
+  if (std::isfinite(value)) {
+    os << value;
+  } else {
+    os << "\"inf\"";
+  }
+}
+
+}  // namespace
+
+std::string to_jsonl(const StatsSnapshot& s) {
+  std::ostringstream os;
+  os << "{\"shard\":" << s.shard << ",\"round\":" << s.round
+     << ",\"injected\":" << s.injected << ",\"fulfilled\":" << s.fulfilled
+     << ",\"expired\":" << s.expired << ",\"pending\":" << s.pending
+     << ",\"peak_pending\":" << s.peak_pending;
+  if (s.live_opt >= 0) {
+    os << ",\"live_opt\":" << s.live_opt;
+    append_number(os, "live_ratio", s.live_ratio);
+  }
+  append_number(os, "fulfilled_fraction", s.fulfilled_fraction);
+  append_number(os, "rounds_per_sec", s.rounds_per_sec);
+  append_number(os, "requests_per_sec", s.requests_per_sec);
+  append_number(os, "elapsed_sec", s.elapsed_sec);
+  os << ",\"resident_bytes\":" << s.resident_bytes << '}';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const StatsSnapshot& s) {
+  os << "shard " << s.shard << " round " << s.round << ": " << s.injected
+     << " injected, " << s.fulfilled << " fulfilled, " << s.pending
+     << " pending";
+  if (s.live_opt >= 0) os << ", live ratio " << s.live_ratio;
+  return os << ", " << s.rounds_per_sec << " rounds/s, " << s.resident_bytes
+            << " resident bytes";
+}
+
+}  // namespace reqsched

@@ -1,0 +1,47 @@
+// Streaming observability: periodic runtime snapshots and their JSONL form.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace reqsched {
+
+/// `optimum / fulfilled` with the harness's degenerate-run conventions
+/// (1.0 when nothing was fulfillable, +inf when OPT found work the online
+/// strategy did not).
+double competitive_ratio(std::int64_t optimum, std::int64_t fulfilled);
+
+/// One periodic observation of a running stream. Counter fields are
+/// cumulative since the start of the stream; rate fields cover the whole
+/// run so far (elapsed wall time since the first round).
+struct StatsSnapshot {
+  std::int64_t shard = 0;          ///< which stream (ShardedRunner)
+  std::int64_t round = 0;          ///< round the snapshot was taken after
+  std::int64_t injected = 0;
+  std::int64_t fulfilled = 0;
+  std::int64_t expired = 0;
+  std::int64_t pending = 0;        ///< live (unresolved) requests right now
+  std::int64_t peak_pending = 0;   ///< high-water mark of `pending`
+  /// Exact offline optimum of the arrival prefix (-1 when ratio tracking
+  /// is off).
+  std::int64_t live_opt = -1;
+  double live_ratio = 0.0;         ///< competitive_ratio(live_opt, fulfilled)
+  double fulfilled_fraction = 0.0; ///< fulfilled / injected (0 if none)
+  double rounds_per_sec = 0.0;
+  double requests_per_sec = 0.0;   ///< injected / elapsed
+  double elapsed_sec = 0.0;
+  /// Resident-set estimate: bytes held by the pool, schedule, OPT tracker,
+  /// and engine scratch (capacities, not touched pages).
+  std::int64_t resident_bytes = 0;
+};
+
+/// Serializes a snapshot as one JSON object per line (JSONL). Keys are the
+/// field names above; `live_opt`/`live_ratio` are omitted when ratio
+/// tracking is off (live_opt < 0). Infinite ratios are emitted as the
+/// string "inf" (JSON has no Infinity literal).
+std::string to_jsonl(const StatsSnapshot& snapshot);
+
+std::ostream& operator<<(std::ostream& os, const StatsSnapshot& snapshot);
+
+}  // namespace reqsched

@@ -1,0 +1,262 @@
+#include "engine/streaming.hpp"
+
+#include <algorithm>
+
+#include "engine/simulator.hpp"
+
+namespace reqsched {
+
+StreamingEngine::StreamingEngine(IWorkload& workload, IStrategy& strategy,
+                                 EngineOptions options, Simulator& facade)
+    : config_(workload.config()),
+      workload_(workload),
+      strategy_(strategy),
+      options_(std::move(options)),
+      facade_(facade),
+      trace_(config_),
+      schedule_(config_) {
+  config_.validate();
+  REQSCHED_REQUIRE_MSG(options_.opt_prune_every >= 1,
+                       "OPT prune cadence must be at least one round");
+  pool_ = options_.pool_arena != nullptr ? options_.pool_arena : &own_pool_;
+  opt_ = options_.opt_arena != nullptr ? options_.opt_arena : &own_opt_;
+  pool_->reset(config_, options_.retain_history);
+  if (options_.track_live_opt) opt_->reset(config_);
+  workload_.reset();
+  strategy_.reset(config_);
+}
+
+bool StreamingEngine::finished() const {
+  return ran_any_round_ && alive_.empty() && workload_.exhausted(now());
+}
+
+const Metrics& StreamingEngine::run(std::int64_t max_rounds) {
+  while (!finished()) {
+    REQSCHED_CHECK_MSG(metrics_.rounds < max_rounds,
+                       "simulation exceeded " << max_rounds << " rounds");
+    step();
+  }
+  metrics_.check_conservation(pool_->live_count());
+  return metrics_;
+}
+
+bool StreamingEngine::step() {
+  if (finished()) return false;
+  if (!started_at_) started_at_ = std::chrono::steady_clock::now();
+  expire_round_start();
+  // Only now is every request that arrived at rounds <= now - d provably
+  // retired (a deadline of now - 1 expires in the sweep above), so this is
+  // the earliest sound point to shrink the pool window.
+  pool_->advance(now());
+  inject();
+
+  in_strategy_ = true;
+  strategy_.on_round(facade_);
+  in_strategy_ = false;
+  injected_now_.clear();
+
+  execute();
+  ++metrics_.rounds;
+  ran_any_round_ = true;
+
+  // Post-round housekeeping: now() has advanced past the executed row.
+  if (options_.track_live_opt && metrics_.rounds % options_.opt_prune_every == 0) {
+    opt_->advance_to(now());
+  }
+  if (options_.snapshot_every > 0 && options_.snapshot_sink &&
+      metrics_.rounds % options_.snapshot_every == 0) {
+    options_.snapshot_sink(snapshot());
+  }
+  return true;
+}
+
+void StreamingEngine::expire_round_start() {
+  const Round t = now();
+  auto out = alive_.begin();
+  for (const RequestId id : alive_) {
+    const Request& r = pool_->request(id);
+    if (r.deadline < t) {
+      REQSCHED_CHECK_MSG(!schedule_.is_scheduled(id),
+                         r << " expired while still booked at "
+                           << schedule_.slot_of(id));
+      retire_expired(id);
+    } else {
+      *out++ = id;
+    }
+  }
+  alive_.erase(out, alive_.end());
+}
+
+void StreamingEngine::inject() {
+  const Round t = now();
+  const auto specs = workload_.generate(t, facade_);
+  injected_now_.clear();
+  for (const RequestSpec& spec : specs) {
+    const RequestId id = pool_->admit(t, spec);
+    if (options_.record_trace) {
+      const RequestId trace_id = trace_.add(t, spec);
+      REQSCHED_CHECK(trace_id == id);
+    }
+    alive_.push_back(id);
+    injected_now_.push_back(id);
+    ++metrics_.injected;
+    if (options_.track_live_opt) opt_->add_request(pool_->request(id));
+  }
+}
+
+void StreamingEngine::execute() {
+  const Round t = now();
+  std::int64_t fulfilled_now = 0;
+  for (ResourceId i = 0; i < config_.n; ++i) {
+    const RequestId id = schedule_.request_at({i, t});
+    if (id == kNoRequest) continue;
+    REQSCHED_CHECK(is_pending(id));
+    schedule_.unassign(id);
+    retire_fulfilled(id, SlotRef{i, t});
+    ++fulfilled_now;
+  }
+  if (fulfilled_now > 0) {
+    // Mark-and-compact (same pattern as expire_round_start): one pass over
+    // the backlog instead of an O(|alive|) erase per fulfilled request.
+    auto out = alive_.begin();
+    for (const RequestId id : alive_) {
+      if (pool_->status(id) == RequestStatus::kPending) {
+        *out++ = id;
+      }
+    }
+    alive_.erase(out, alive_.end());
+  }
+  const auto leftover = schedule_.advance();
+  REQSCHED_CHECK_MSG(leftover.empty(),
+                     "schedule row survived execution unexpectedly");
+}
+
+void StreamingEngine::retire_fulfilled(RequestId id, SlotRef slot) {
+  if (options_.retire_sink) {
+    options_.retire_sink(pool_->request(id), RequestStatus::kFulfilled, slot);
+  }
+  pool_->fulfill(id, slot);
+  ++metrics_.fulfilled;
+}
+
+void StreamingEngine::retire_expired(RequestId id) {
+  if (options_.retire_sink) {
+    options_.retire_sink(pool_->request(id), RequestStatus::kExpired, kNoSlot);
+  }
+  pool_->expire(id);
+  ++metrics_.expired;
+}
+
+std::vector<std::pair<RequestId, SlotRef>> StreamingEngine::online_matching()
+    const {
+  REQSCHED_REQUIRE_MSG(pool_->retain_history(),
+                       "the full online matching needs retain_history; "
+                       "streaming runs observe it through the retire sink");
+  std::vector<std::pair<RequestId, SlotRef>> out;
+  for (RequestId id = 0; id < pool_->next_id(); ++id) {
+    const SlotRef slot = pool_->fulfilled_slot(id);
+    if (slot.valid()) out.emplace_back(id, slot);
+  }
+  return out;
+}
+
+std::int64_t StreamingEngine::live_optimum() const {
+  REQSCHED_REQUIRE_MSG(options_.track_live_opt,
+                       "live OPT tracking is off for this run");
+  return opt_->optimum();
+}
+
+double StreamingEngine::live_ratio() const {
+  return competitive_ratio(live_optimum(), metrics_.fulfilled);
+}
+
+StatsSnapshot StreamingEngine::snapshot() const {
+  StatsSnapshot s;
+  s.shard = options_.shard;
+  s.round = metrics_.rounds;
+  s.injected = metrics_.injected;
+  s.fulfilled = metrics_.fulfilled;
+  s.expired = metrics_.expired;
+  s.pending = pool_->live_count();
+  s.peak_pending = pool_->peak_live();
+  if (options_.track_live_opt) {
+    s.live_opt = opt_->optimum();
+    s.live_ratio = competitive_ratio(s.live_opt, s.fulfilled);
+  }
+  s.fulfilled_fraction =
+      s.injected == 0
+          ? 0.0
+          : static_cast<double>(s.fulfilled) / static_cast<double>(s.injected);
+  if (started_at_) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - *started_at_;
+    s.elapsed_sec = elapsed.count();
+    if (s.elapsed_sec > 0.0) {
+      s.rounds_per_sec = static_cast<double>(s.round) / s.elapsed_sec;
+      s.requests_per_sec = static_cast<double>(s.injected) / s.elapsed_sec;
+    }
+  }
+  s.resident_bytes = static_cast<std::int64_t>(approx_resident_bytes());
+  return s;
+}
+
+std::size_t StreamingEngine::approx_resident_bytes() const {
+  // Capacities, not touched pages — a deliberate overestimate that moves
+  // when the real footprint moves.
+  std::size_t bytes = pool_->approx_bytes() +
+                      alive_.capacity() * sizeof(RequestId) +
+                      injected_now_.capacity() * sizeof(RequestId);
+  bytes += static_cast<std::size_t>(config_.n) *
+           static_cast<std::size_t>(config_.d) * sizeof(RequestId);
+  bytes += static_cast<std::size_t>(schedule_.booked_count()) *
+           (sizeof(RequestId) + sizeof(SlotRef) + 2 * sizeof(void*));
+  if (options_.track_live_opt) bytes += opt_->approx_bytes();
+  if (options_.record_trace) {
+    bytes += static_cast<std::size_t>(trace_.size()) * sizeof(Request);
+  }
+  return bytes;
+}
+
+void StreamingEngine::assign(RequestId id, SlotRef slot) {
+  REQSCHED_REQUIRE_MSG(in_strategy_,
+                       "schedule edits are only allowed during on_round");
+  REQSCHED_REQUIRE_MSG(is_pending(id), "cannot book non-pending r" << id);
+  schedule_.assign(pool_->request(id), slot);
+  ++metrics_.assignments;
+}
+
+void StreamingEngine::unassign(RequestId id) {
+  REQSCHED_REQUIRE_MSG(in_strategy_,
+                       "schedule edits are only allowed during on_round");
+  schedule_.unassign(id);
+  ++metrics_.unassignments;
+}
+
+void StreamingEngine::move(RequestId id, SlotRef slot) {
+  REQSCHED_REQUIRE_MSG(in_strategy_,
+                       "schedule edits are only allowed during on_round");
+  schedule_.unassign(id);
+  schedule_.assign(pool_->request(id), slot);
+  ++metrics_.reassignments;
+}
+
+void StreamingEngine::note_reassignments(std::int64_t count) {
+  REQSCHED_REQUIRE(in_strategy_ && count >= 0);
+  metrics_.reassignments += count;
+}
+
+void StreamingEngine::record_wasted_execution(ResourceId resource) {
+  REQSCHED_REQUIRE(in_strategy_);
+  REQSCHED_REQUIRE(resource >= 0 && resource < config_.n);
+  REQSCHED_REQUIRE_MSG(schedule_.is_free({resource, now()}),
+                       "a wasted execution burns an idle slot");
+  ++metrics_.wasted_executions;
+}
+
+void StreamingEngine::record_communication(std::int64_t rounds,
+                                           std::int64_t messages) {
+  metrics_.communication_rounds += rounds;
+  metrics_.messages += messages;
+}
+
+}  // namespace reqsched

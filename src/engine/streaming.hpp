@@ -1,0 +1,196 @@
+// The streaming runtime: the simulator round loop, factored out so memory
+// is bounded by the active deadline window instead of the run length.
+//
+// StreamingEngine owns the canonical round loop — expire, inject, strategy,
+// execute — that `Simulator` used to implement directly. `Simulator` is now
+// a thin facade over an engine with history retention on (the classic
+// behaviour: full Trace, per-request status arrays, recorded fulfillment
+// slots — bit-identical to the pre-engine implementation). Streaming runs
+// turn retention off: requests live in a recycling RequestPool
+// (engine/request_pool.hpp), the trace is not recorded, and the exact
+// prefix optimum — when requested — is tracked by the closure-pruned
+// WindowedPrefixOpt, so a multi-million-request stream runs in O(n·d +
+// arrivals-per-round · d) resident state.
+//
+// Strategies and workloads are unchanged: they still see `Simulator&`. The
+// facade forwards every query to the engine, and in streaming mode the
+// queryable id range narrows to the active window (ids of requests that
+// retired more than d rounds ago are recycled; querying them is a contract
+// violation, which is exactly the "no O(history) state in strategies"
+// discipline the paper's strategies already satisfy).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/request.hpp"
+#include "core/schedule.hpp"
+#include "core/strategy.hpp"
+#include "core/trace.hpp"
+#include "core/types.hpp"
+#include "core/workload.hpp"
+#include "engine/request_pool.hpp"
+#include "engine/stats.hpp"
+#include "engine/windowed_opt.hpp"
+
+namespace reqsched {
+
+class Simulator;
+
+/// Sink invoked when a request leaves the system: its final record, the
+/// terminal status, and the execution slot (kNoSlot for expiries). This is
+/// the streaming replacement for post-run scans over the status arrays.
+using RetireSink =
+    std::function<void(const Request&, RequestStatus, SlotRef)>;
+
+struct EngineOptions {
+  /// Keep every request, its status, and its fulfillment slot for the whole
+  /// run (legacy Simulator behaviour; required by online_matching() and
+  /// fulfilled_slot()). Off = recycle retired requests after d rounds.
+  bool retain_history = true;
+  /// Record the realized arrival sequence as a Trace (required by
+  /// trace()-consuming strategies/adversaries, e.g. scripted replays and
+  /// the planned lower-bound instances).
+  bool record_trace = true;
+  /// Maintain the exact prefix optimum (WindowedPrefixOpt) and expose
+  /// live_optimum()/live_ratio().
+  bool track_live_opt = false;
+  /// Rounds between closure prunes of the OPT tracker (any cadence is
+  /// sound; pruning is what keeps its state windowed).
+  Round opt_prune_every = 16;
+  /// Emit a StatsSnapshot to `snapshot_sink` every this many rounds
+  /// (0 = never).
+  Round snapshot_every = 0;
+  /// Shard label stamped into snapshots (ShardedRunner sets it).
+  std::int64_t shard = 0;
+  std::function<void(const StatsSnapshot&)> snapshot_sink;
+  RetireSink retire_sink;
+  /// Optional external arenas (must outlive the engine). The engine resets
+  /// them on construction but reuses their capacity — a worker thread that
+  /// runs many shards through the same arenas reaches a zero-allocation
+  /// steady state, the SolverScratch-per-worker idiom of run_sweep.
+  RequestPool* pool_arena = nullptr;
+  WindowedPrefixOpt* opt_arena = nullptr;
+};
+
+/// Convenience preset: bounded-memory streaming (no retention, no trace).
+inline EngineOptions streaming_options() {
+  EngineOptions options;
+  options.retain_history = false;
+  options.record_trace = false;
+  return options;
+}
+
+class StreamingEngine {
+ public:
+  /// `workload`, `strategy`, and `facade` must outlive the engine. The
+  /// facade is the `Simulator&` handed to the strategy and workload each
+  /// round (strategies keep their published interface).
+  StreamingEngine(IWorkload& workload, IStrategy& strategy,
+                  EngineOptions options, Simulator& facade);
+
+  /// Runs rounds until the workload is exhausted and all requests resolved,
+  /// then asserts request conservation. `max_rounds` is a runaway guard
+  /// (violated => ContractViolation).
+  const Metrics& run(std::int64_t max_rounds = 1'000'000);
+
+  /// Executes a single round; returns false when the run is complete.
+  bool step();
+
+  bool finished() const;
+
+  // ---- read API ----
+
+  const ProblemConfig& config() const { return config_; }
+  Round now() const { return schedule_.window_begin(); }
+  const EngineOptions& options() const { return options_; }
+
+  const Trace& trace() const {
+    REQSCHED_REQUIRE_MSG(options_.record_trace,
+                         "trace recording is off for this run");
+    return trace_;
+  }
+
+  const Request& request(RequestId id) const { return pool_->request(id); }
+  RequestStatus status(RequestId id) const { return pool_->status(id); }
+  bool is_pending(RequestId id) const {
+    return status(id) == RequestStatus::kPending;
+  }
+
+  std::span<const RequestId> injected_now() const { return injected_now_; }
+  std::span<const RequestId> alive() const { return alive_; }
+
+  const Schedule& schedule() const { return schedule_; }
+  bool is_scheduled(RequestId id) const { return schedule_.is_scheduled(id); }
+  SlotRef slot_of(RequestId id) const { return schedule_.slot_of(id); }
+
+  SlotRef fulfilled_slot(RequestId id) const {
+    return pool_->fulfilled_slot(id);
+  }
+
+  /// The final online matching (retain mode only).
+  std::vector<std::pair<RequestId, SlotRef>> online_matching() const;
+
+  const Metrics& metrics() const { return metrics_; }
+  const RequestPool& pool() const { return *pool_; }
+
+  /// Exact OPT of the arrivals so far (track_live_opt only).
+  std::int64_t live_optimum() const;
+  /// competitive_ratio(live_optimum(), fulfilled so far).
+  double live_ratio() const;
+  const WindowedPrefixOpt& opt_tracker() const {
+    REQSCHED_REQUIRE_MSG(options_.track_live_opt,
+                         "live OPT tracking is off for this run");
+    return *opt_;
+  }
+
+  /// Builds a snapshot of the current state (also what the periodic
+  /// snapshot_sink receives).
+  StatsSnapshot snapshot() const;
+
+  /// Resident-set estimate across pool, schedule, OPT tracker, trace, and
+  /// engine scratch.
+  std::size_t approx_resident_bytes() const;
+
+  // ---- write API (strategy only, during on_round) ----
+
+  void assign(RequestId id, SlotRef slot);
+  void unassign(RequestId id);
+  void move(RequestId id, SlotRef slot);
+  void note_reassignments(std::int64_t count);
+  void record_wasted_execution(ResourceId resource);
+  void record_communication(std::int64_t rounds, std::int64_t messages);
+
+ private:
+  void expire_round_start();
+  void inject();
+  void execute();
+  void retire_fulfilled(RequestId id, SlotRef slot);
+  void retire_expired(RequestId id);
+
+  ProblemConfig config_{};
+  IWorkload& workload_;
+  IStrategy& strategy_;
+  EngineOptions options_;
+  Simulator& facade_;
+
+  RequestPool own_pool_;
+  RequestPool* pool_ = nullptr;  ///< own_pool_ or options_.pool_arena
+  Trace trace_;
+  Schedule schedule_;
+  WindowedPrefixOpt own_opt_;
+  WindowedPrefixOpt* opt_ = nullptr;  ///< own_opt_ or options_.opt_arena
+  std::vector<RequestId> alive_;
+  std::vector<RequestId> injected_now_;
+  Metrics metrics_{};
+  bool in_strategy_ = false;
+  bool ran_any_round_ = false;
+  std::optional<std::chrono::steady_clock::time_point> started_at_;
+};
+
+}  // namespace reqsched

@@ -1,0 +1,234 @@
+#include "engine/windowed_opt.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+void WindowedPrefixOpt::reset(const ProblemConfig& config) {
+  config.validate();
+  config_ = config;
+  lefts_.clear();
+  left_free_.clear();
+  slots_.clear();
+  slot_free_.clear();
+  slot_index_.clear();
+  root_slots_.clear();
+  stack_.clear();
+  visited_.clear();
+  bfs_.clear();
+  stamp_ = 0;
+  requests_seen_ = 0;
+  retired_matched_ = 0;
+  live_matched_ = 0;
+  live_slot_count_ = 0;
+  peak_live_slots_ = 0;
+}
+
+std::int32_t WindowedPrefixOpt::intern_slot(std::int64_t key) {
+  const auto [it, inserted] = slot_index_.try_emplace(key, -1);
+  if (inserted) {
+    std::int32_t slot;
+    if (!slot_free_.empty()) {
+      slot = slot_free_.back();
+      slot_free_.pop_back();
+    } else {
+      slot = static_cast<std::int32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    slots_[static_cast<std::size_t>(slot)] = SlotNode{key, -1, false, 0};
+    it->second = slot;
+    ++live_slot_count_;
+    peak_live_slots_ = std::max(peak_live_slots_, live_slot_count_);
+  }
+  return it->second;
+}
+
+void WindowedPrefixOpt::free_slot(std::int32_t slot) {
+  SlotNode& s = slots_[static_cast<std::size_t>(slot)];
+  slot_index_.erase(s.key);
+  s.key = -1;
+  s.match = -1;
+  slot_free_.push_back(slot);
+  --live_slot_count_;
+}
+
+bool WindowedPrefixOpt::add_request(const Request& request) {
+  REQSCHED_REQUIRE_MSG(request.arrival >= 0 &&
+                           request.deadline >= request.arrival,
+                       "malformed window on " << request);
+  REQSCHED_REQUIRE(request.first >= 0 && request.first < config_.n);
+  REQSCHED_REQUIRE(request.second == kNoResource ||
+                   (request.second >= 0 && request.second < config_.n));
+
+  ++requests_seen_;
+  // Canonical append_slot_edges enumeration, on 64-bit keys: (t, first)
+  // then (t, second) for t in [arrival, deadline].
+  root_slots_.clear();
+  const auto n = static_cast<std::int64_t>(config_.n);
+  for (Round t = request.arrival; t <= request.deadline; ++t) {
+    root_slots_.push_back(intern_slot(t * n + request.first));
+    if (request.second != kNoResource) {
+      root_slots_.push_back(intern_slot(t * n + request.second));
+    }
+  }
+  return try_augment();
+}
+
+bool WindowedPrefixOpt::try_augment() {
+  ++stamp_;
+  visited_.clear();
+  // Iterative Kuhn DFS, same structure as IncrementalMatching::try_augment:
+  // free-slot lookahead before descending, `via_slot` records the matched
+  // edge into each left so a found free slot commits by walking the stack.
+  // The virtual root (left == -1) is the arriving request, whose adjacency
+  // lives in root_slots_; it only gets a LeftNode if the search succeeds.
+  stack_.clear();
+  stack_.push_back({-1, 0, -1, false});
+  while (!stack_.empty()) {
+    Frame& frame = stack_.back();
+    const std::vector<std::int32_t>& nbrs =
+        frame.left < 0 ? root_slots_
+                       : lefts_[static_cast<std::size_t>(frame.left)].slots;
+    if (!frame.scanned) {
+      frame.scanned = true;
+      for (const std::int32_t s : nbrs) {
+        SlotNode& node = slots_[static_cast<std::size_t>(s)];
+        if (node.dead || node.stamp == stamp_) continue;
+        if (node.match < 0) {
+          std::int32_t free_slot = s;
+          for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+            std::int32_t left = it->left;
+            if (left < 0) {
+              // Materialize the arriving request as a stored (matched) left.
+              if (!left_free_.empty()) {
+                left = left_free_.back();
+                left_free_.pop_back();
+              } else {
+                left = static_cast<std::int32_t>(lefts_.size());
+                lefts_.emplace_back();
+              }
+              lefts_[static_cast<std::size_t>(left)].slots = root_slots_;
+            }
+            lefts_[static_cast<std::size_t>(left)].match = free_slot;
+            slots_[static_cast<std::size_t>(free_slot)].match = left;
+            free_slot = it->via_slot;
+          }
+          ++live_matched_;
+          return true;
+        }
+      }
+    }
+    bool descended = false;
+    while (frame.next_edge < nbrs.size()) {
+      const std::int32_t s = nbrs[frame.next_edge++];
+      SlotNode& node = slots_[static_cast<std::size_t>(s)];
+      if (node.dead || node.stamp == stamp_) continue;
+      node.stamp = stamp_;
+      visited_.push_back(s);
+      // The lookahead ruled out free slots in this adjacency, so `s` is
+      // matched and we descend into its owner.
+      stack_.push_back({node.match, 0, s, false});
+      descended = true;
+      break;
+    }
+    if (!descended) stack_.pop_back();
+  }
+  // Failed search: the visited slots are a frozen Hall witness (all
+  // matched, every neighbor of every left on the exhausted search tree is
+  // inside the set) — no future augmenting path can enter it, so its
+  // matched pairs are final. Retiring them NOW, not at the next window
+  // prune, is what keeps overloaded (saturated) streams windowed: without
+  // it the saturated region stays reachable from the live window and every
+  // failed search rescans it. The lefts are recycled immediately; the dead
+  // slots stay interned (skipped by every later search) until their round
+  // leaves the window.
+  for (const std::int32_t s : visited_) {
+    SlotNode& node = slots_[static_cast<std::size_t>(s)];
+    node.dead = true;
+    const std::int32_t left = node.match;
+    node.match = -1;
+    ++retired_matched_;
+    --live_matched_;
+    LeftNode& l = lefts_[static_cast<std::size_t>(left)];
+    l.slots.clear();  // keep capacity: the slab is an arena
+    l.match = -1;
+    left_free_.push_back(left);
+  }
+  return false;
+}
+
+void WindowedPrefixOpt::advance_to(Round now) {
+  if (live_slot_count_ == 0) return;
+  ++stamp_;
+  // Closure of the round >= now slots under
+  //   slot -> matched left -> all of that left's slots.
+  bfs_.clear();
+  const auto n = static_cast<std::int64_t>(config_.n);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    SlotNode& s = slots_[i];
+    if (s.key >= 0 && !s.dead && s.key / n >= now) {
+      s.stamp = stamp_;
+      bfs_.push_back(static_cast<std::int32_t>(i));
+    }
+  }
+  for (std::size_t head = 0; head < bfs_.size(); ++head) {
+    const std::int32_t left = slots_[static_cast<std::size_t>(bfs_[head])].match;
+    if (left < 0) continue;
+    for (const std::int32_t s : lefts_[static_cast<std::size_t>(left)].slots) {
+      SlotNode& node = slots_[static_cast<std::size_t>(s)];
+      if (node.stamp == stamp_) continue;
+      node.stamp = stamp_;
+      // Dead slots are stamped (a closure left still references this slab
+      // entry, so its storage must not be recycled under it) but never
+      // expanded — their matched edge was severed when the witness froze.
+      if (!node.dead) bfs_.push_back(s);
+    }
+  }
+  // Freeze and recycle everything the closure missed. All of it has round
+  // < now (round >= now slots seeded the closure), so nothing recycled here
+  // can be re-interned by a future arrival.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    SlotNode& s = slots_[i];
+    if (s.key < 0 || s.stamp == stamp_) continue;
+    if (s.dead) {
+      // Already counted when the Hall witness froze. The storage is only
+      // recycled once (a) no surviving left references it — it is unstamped,
+      // and every left the sweep keeps had all its slots stamped above — and
+      // (b) its round has left the window, so no future arrival can
+      // re-intern the consumed key as free.
+      if (s.key / n < now) free_slot(static_cast<std::int32_t>(i));
+      continue;
+    }
+    const std::int32_t left = s.match;
+    if (left >= 0) {
+      ++retired_matched_;
+      --live_matched_;
+      LeftNode& l = lefts_[static_cast<std::size_t>(left)];
+      l.slots.clear();  // keep capacity: the slab is an arena
+      l.match = -1;
+      left_free_.push_back(left);
+    }
+    free_slot(static_cast<std::int32_t>(i));
+  }
+}
+
+std::size_t WindowedPrefixOpt::approx_bytes() const {
+  std::size_t bytes = slots_.capacity() * sizeof(SlotNode) +
+                      slot_free_.capacity() * sizeof(std::int32_t) +
+                      left_free_.capacity() * sizeof(std::int32_t) +
+                      lefts_.capacity() * sizeof(LeftNode) +
+                      slot_index_.size() *
+                          (sizeof(std::int64_t) + sizeof(std::int32_t) +
+                           2 * sizeof(void*)) +
+                      root_slots_.capacity() * sizeof(std::int32_t) +
+                      stack_.capacity() * sizeof(Frame) +
+                      bfs_.capacity() * sizeof(std::int32_t);
+  for (const LeftNode& l : lefts_) {
+    bytes += l.slots.capacity() * sizeof(std::int32_t);
+  }
+  return bytes;
+}
+
+}  // namespace reqsched

@@ -1,0 +1,126 @@
+// Windowed exact prefix optimum: OPT(sigma[0..t]) with bounded memory.
+//
+// PrefixOptimumTracker keeps every request and every slot it ever saw, so
+// feeding it a multi-million-request stream defeats the point of the
+// streaming engine. This tracker maintains the *same exact value* — the
+// maximum matching over all arrivals seen so far — while recycling state
+// that can provably never change again.
+//
+// The pruning argument. At round t every future arrival has its whole
+// deadline window in rounds >= t, so every future augmenting path *starts*
+// on a slot of round >= t. An augmenting path alternates
+// unmatched/matched edges: from a right it can only continue through its
+// matched left, and from a (previously stored) left only into that left's
+// fixed adjacency. Therefore the set of vertices any future path can touch
+// is the closure of the round >= t slots under
+//     right -> matched left -> all of that left's slots.
+// Everything outside the closure is frozen: matched pairs outside it are
+// counted into a retired total and their storage recycled; unmatched slots
+// outside it can never be matched (a path ending there would have to pass
+// through them) and are dropped. Recycled slots all have round < t and
+// future arrivals only intern slots of round >= t, so a dropped slot is
+// never resurrected. The reported optimum — retired + live matching size —
+// stays exactly OPT of the full arrival prefix.
+//
+// Unlike the naive "forget slots older than the window" (unsound: an
+// augmenting path may reach arbitrarily far back through chains of matched
+// lefts whose windows overlap), the closure keeps exactly the suffix of
+// those chains that is still reachable.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/types.hpp"
+
+namespace reqsched {
+
+/// Exact prefix optimum over an arrival stream, with state bounded by the
+/// reachable (non-frozen) region instead of the stream length. Mirrors the
+/// iterative-Kuhn augmentation of IncrementalMatching on slab-allocated
+/// vertices; slots are keyed by the canonical `round * n + resource` index
+/// (64-bit here — streams outlive the 32-bit slot space).
+class WindowedPrefixOpt {
+ public:
+  WindowedPrefixOpt() = default;
+  explicit WindowedPrefixOpt(const ProblemConfig& config) { reset(config); }
+
+  /// Re-arms for a new stream, keeping allocated capacity.
+  void reset(const ProblemConfig& config);
+
+  /// Feeds the next arrival (arrival order, same contract as
+  /// PrefixOptimumTracker). Returns true when the prefix optimum grew.
+  bool add_request(const Request& request);
+
+  /// Freezes and recycles everything unreachable from slots of round >=
+  /// `now`. Call with the engine's current round; any cadence is sound.
+  void advance_to(Round now);
+
+  /// OPT over every request fed so far — exactly
+  /// PrefixOptimumTracker::optimum() of the same arrival sequence.
+  std::int64_t optimum() const { return retired_matched_ + live_matched_; }
+
+  std::int64_t requests_seen() const { return requests_seen_; }
+  std::int64_t retired_matched() const { return retired_matched_; }
+  std::int64_t live_matched() const { return live_matched_; }
+
+  /// Currently resident slot vertices (the observability hook for "is the
+  /// reachable region staying small").
+  std::int64_t live_slots() const { return live_slot_count_; }
+  std::int64_t peak_live_slots() const { return peak_live_slots_; }
+
+  std::size_t approx_bytes() const;
+
+ private:
+  /// A stored left (request) vertex. Only successful augmentations store a
+  /// left, so every live left is matched; its adjacency is fixed forever.
+  struct LeftNode {
+    std::vector<std::int32_t> slots;  ///< slab indices of its slot vertices
+    std::int32_t match = -1;          ///< slab index of its matched slot
+  };
+  /// A slot (right) vertex. key < 0 marks a recycled slab entry.
+  struct SlotNode {
+    std::int64_t key = -1;   ///< round * n + resource
+    std::int32_t match = -1; ///< left slab index, -1 = unmatched
+    /// Inside a frozen Hall witness (see IncrementalMatching): its matched
+    /// pair is already counted into retired_matched_ and no future search
+    /// may touch it. The storage is only recycled once the slot's round
+    /// leaves the window — freeing it earlier would let a future arrival
+    /// re-intern the consumed slot as free.
+    bool dead = false;
+    std::uint64_t stamp = 0; ///< search/prune epoch mark
+  };
+
+  std::int32_t intern_slot(std::int64_t key);
+  bool try_augment();
+  void free_slot(std::int32_t slot);
+
+  ProblemConfig config_{};
+  std::vector<LeftNode> lefts_;
+  std::vector<std::int32_t> left_free_;
+  std::vector<SlotNode> slots_;
+  std::vector<std::int32_t> slot_free_;
+  std::unordered_map<std::int64_t, std::int32_t> slot_index_;
+
+  struct Frame {
+    std::int32_t left;      ///< -1 = the arriving request (virtual root)
+    std::size_t next_edge;
+    std::int32_t via_slot;  ///< matched slot we entered this left through
+    bool scanned;
+  };
+  std::vector<std::int32_t> root_slots_;  // per-arrival adjacency scratch
+  std::vector<Frame> stack_;              // per-search scratch
+  std::vector<std::int32_t> visited_;     // per-search scratch
+  std::vector<std::int32_t> bfs_;         // per-prune scratch
+  std::uint64_t stamp_ = 0;
+
+  std::int64_t requests_seen_ = 0;
+  std::int64_t retired_matched_ = 0;
+  std::int64_t live_matched_ = 0;
+  std::int64_t live_slot_count_ = 0;
+  std::int64_t peak_live_slots_ = 0;
+};
+
+}  // namespace reqsched

@@ -108,4 +108,17 @@ std::vector<std::string> CliArgs::unused_keys() const {
   return out;
 }
 
+void CliArgs::finish() const {
+  const auto unused = unused_keys();
+  if (unused.empty()) return;
+  std::string list;
+  for (const auto& key : unused) {
+    if (!list.empty()) list += ", ";
+    list += "--" + key;
+  }
+  REQSCHED_REQUIRE_MSG(false, "unrecognized flag"
+                                  << (unused.size() > 1 ? "s" : "") << ": "
+                                  << list);
+}
+
 }  // namespace reqsched

@@ -32,6 +32,12 @@ class CliArgs {
   /// Keys that were provided but never queried — call at end to catch typos.
   std::vector<std::string> unused_keys() const;
 
+  /// Fail-fast typo guard: throws ContractViolation listing every provided
+  /// flag no get_*/has() call ever asked about. Call after the last flag
+  /// read (a misspelled --flag must abort the run, not silently fall back
+  /// to a default).
+  void finish() const;
+
   const std::string& program_name() const { return program_; }
 
  private:

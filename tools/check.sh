@@ -5,9 +5,12 @@
 #
 #   tools/check.sh                # plain + sanitized passes
 #   tools/check.sh --plain        # plain pass only
-#   tools/check.sh --asan         # sanitized pass only
-#   tools/check.sh --bench-smoke  # Release build; bench_perf gates (--smoke)
-#                                 # and a short bench_prefix_opt run
+#   tools/check.sh --asan         # ASan + UBSan pass only
+#   tools/check.sh --tsan         # ThreadSanitizer pass only (sharded runner
+#                                 # / thread-pool paths)
+#   tools/check.sh --bench-smoke  # Release build; bench_perf + bench_stream
+#                                 # gates (--smoke) and a short
+#                                 # bench_prefix_opt run
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,11 +31,14 @@ run_bench_smoke() {
   echo "==> bench-smoke: configure (${dir})"
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release -DREQSCHED_BUILD_TESTS=OFF
   echo "==> bench-smoke: build"
-  cmake --build "${dir}" -j --target bench_perf bench_prefix_opt
+  cmake --build "${dir}" -j --target bench_perf bench_prefix_opt bench_stream
   echo "==> bench-smoke: bench_perf gates (offline-solve speedup, sweep throughput)"
   # The empty-match filter skips the microbenchmarks; the gated sections
   # after RunSpecifiedBenchmarks() always run.
-  "${dir}/bench/bench_perf" --smoke '--benchmark_filter=^$'
+  "${dir}/bench/bench_perf" --smoke '--benchmark_filter=^$' \
+      "--json=${dir}/BENCH_perf.json"
+  echo "==> bench-smoke: bench_stream gates (window bound, memory plateau, throughput)"
+  "${dir}/bench/bench_stream" --smoke "--json=${dir}/BENCH_stream.json"
   echo "==> bench-smoke: bench_prefix_opt (reduced iterations)"
   "${dir}/bench/bench_prefix_opt" --rounds=2000 --samples=3
 }
@@ -50,11 +56,14 @@ case "${mode}" in
   --asan)
     run_pass "asan+ubsan" build-asan -DREQSCHED_SANITIZE=ON
     ;;
+  --tsan)
+    run_pass "tsan" build-tsan -DREQSCHED_SANITIZE=thread
+    ;;
   --bench-smoke)
     run_bench_smoke
     ;;
   *)
-    echo "usage: tools/check.sh [--plain|--asan|--bench-smoke]" >&2
+    echo "usage: tools/check.sh [--plain|--asan|--tsan|--bench-smoke]" >&2
     exit 2
     ;;
 esac

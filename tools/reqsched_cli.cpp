@@ -11,6 +11,12 @@
 //   reqsched sweep --strategies=A_fix,A_balance [--n=4,8 --d=2,4
 //                  --seeds=1,2,3 --workload=uniform] [--csv=out.csv]
 //       a parallel grid sweep with summary
+//   reqsched stream --strategy=A_balance --workload=uniform [--n=8 --d=4
+//                   --rounds=100000 --load=1.5 --seed=1 --shards=4
+//                   --threads=0] [--track-ratio] [--snapshot-every=1000
+//                   --jsonl=stats.jsonl]
+//       bounded-memory streaming runs (one independent stream per shard)
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
@@ -22,6 +28,7 @@
 #include "analysis/sweep.hpp"
 #include "analysis/timeline.hpp"
 #include "analysis/timeseries.hpp"
+#include "engine/sharded.hpp"
 #include "offline/offline.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -66,6 +73,7 @@ int cmd_list() {
 
 int cmd_bounds(const CliArgs& args) {
   const auto d = static_cast<std::int32_t>(args.get_int("d", 8));
+  args.finish();
   AsciiTable table({"algorithm", "lower bound", "upper bound"});
   table.set_title("Table 1 bounds at d = " + std::to_string(d));
   const auto fraction_text = [](const Fraction& f) {
@@ -103,9 +111,11 @@ int cmd_run(const CliArgs& args) {
   const auto options = base_options(args);
   const std::string family = args.get_string("workload", "uniform");
   const std::string strategy_name = args.get_string("strategy", "A_balance");
+  const std::string timeseries_path = args.get_string("timeseries", "");
+  const bool timeline = args.get_bool("timeline", false);
+  args.finish();  // all flags read — a typo aborts before the run
   auto workload = make_workload(family, options);
 
-  const std::string timeseries_path = args.get_string("timeseries", "");
   auto inner = make_strategy(strategy_name);
   // The prefix probe samples everything the plain time-series probe does,
   // plus the exact prefix optimum — per-round competitive observability.
@@ -139,7 +149,7 @@ int cmd_run(const CliArgs& args) {
     write_timeseries_csv(file, probe.samples());
     std::cout << "wrote per-round series to " << timeseries_path << '\n';
   }
-  if (args.get_bool("timeline", false)) {
+  if (timeline) {
     TimelineOptions topt;
     topt.to = std::min<Round>(sim.trace().last_useful_round(), 77);
     std::cout << render_timeline(sim.trace(), sim.online_matching(), topt);
@@ -173,6 +183,8 @@ int cmd_sweep(const CliArgs& args) {
   const std::string family = args.get_string("workload", "uniform");
   const auto rounds = args.get_int("rounds", 96);
   const double load = args.get_double("load", 1.6);
+  const std::string csv_path = args.get_string("csv", "");
+  args.finish();
   spec.make_workload = [family, rounds, load](
                            std::int32_t n, std::int32_t d,
                            std::uint64_t seed) -> std::unique_ptr<IWorkload> {
@@ -193,7 +205,6 @@ int cmd_sweep(const CliArgs& args) {
     std::cout << "mean ratio : " << AsciiTable::fmt(summary.mean_ratio) << '\n'
               << "max ratio  : " << AsciiTable::fmt(summary.max_ratio) << '\n';
   }
-  const std::string csv_path = args.get_string("csv", "");
   if (!csv_path.empty()) {
     std::ofstream file(csv_path);
     write_sweep_csv(file, points);
@@ -202,8 +213,70 @@ int cmd_sweep(const CliArgs& args) {
   return 0;
 }
 
+int cmd_stream(const CliArgs& args) {
+  const auto options = base_options(args);
+  const std::string family = args.get_string("workload", "uniform");
+  const std::string strategy_name = args.get_string("strategy", "A_balance");
+
+  ShardedRunOptions run;
+  run.shards = args.get_int("shards", 1);
+  run.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  run.engine.track_live_opt = args.get_bool("track-ratio", false);
+  run.engine.snapshot_every = args.get_int("snapshot-every", 0);
+  run.max_rounds = std::max<std::int64_t>(1'000'000, 2 * options.horizon);
+  const std::string jsonl_path = args.get_string("jsonl", "");
+  args.finish();
+
+  std::ofstream jsonl_file;
+  if (!jsonl_path.empty()) {
+    jsonl_file.open(jsonl_path);
+    REQSCHED_CHECK_MSG(jsonl_file.is_open(),
+                       "cannot open --jsonl path " << jsonl_path);
+    run.jsonl = &jsonl_file;
+  }
+
+  const auto result = run_sharded(
+      run,
+      [&](std::int64_t shard) {
+        auto shard_options = options;
+        shard_options.seed =
+            options.seed + static_cast<std::uint64_t>(shard);
+        return make_workload(family, shard_options);
+      },
+      [&](std::int64_t) { return make_strategy(strategy_name); });
+
+  std::cout << "strategy       : " << strategy_name << '\n'
+            << "workload       : " << family << '\n'
+            << "shards         : " << run.shards << " (" << result.failed
+            << " failed)\n"
+            << "rounds         : " << result.total.rounds << '\n'
+            << "injected       : " << result.total.injected << '\n'
+            << "fulfilled      : " << result.total.fulfilled << '\n'
+            << "expired        : " << result.total.expired << '\n'
+            << "fulfilled frac : "
+            << AsciiTable::fmt(result.total.fulfilled_fraction()) << '\n'
+            << "peak pending   : " << result.peak_pending << '\n';
+  if (run.engine.track_live_opt) {
+    double worst = 0.0;
+    for (const auto& shard : result.shards) {
+      if (shard.ok()) worst = std::max(worst, shard.last_snapshot.live_ratio);
+    }
+    std::cout << "worst ratio    : " << AsciiTable::fmt(worst) << '\n';
+  }
+  for (const auto& shard : result.shards) {
+    if (!shard.ok()) {
+      std::cout << "shard " << shard.shard << " FAILED: " << shard.error
+                << '\n';
+    }
+  }
+  if (!jsonl_path.empty()) {
+    std::cout << "wrote snapshots to " << jsonl_path << '\n';
+  }
+  return result.all_ok() ? 0 : 1;
+}
+
 int usage() {
-  std::cout << "usage: reqsched_cli <list|bounds|run|sweep> [--flags]\n"
+  std::cout << "usage: reqsched_cli <list|bounds|run|sweep|stream> [--flags]\n"
                "run 'reqsched_cli run --strategy=A_balance "
                "--workload=blockstorm --timeline' for a taste\n";
   return 2;
@@ -220,6 +293,7 @@ int main(int argc, char** argv) {
     if (command == "bounds") return cmd_bounds(args);
     if (command == "run") return cmd_run(args);
     if (command == "sweep") return cmd_sweep(args);
+    if (command == "stream") return cmd_stream(args);
   } catch (const ContractViolation& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
