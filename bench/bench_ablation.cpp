@@ -85,8 +85,20 @@ class FixVariant final : public IStrategy {
 
   void on_round(Simulator& sim) override {
     if (mode_ == Mode::kMaxNew) {
-      AFix reference;
-      reference.on_round(sim);
+      // The A_fix rule via the rebuild-per-round helpers (the ablation keeps
+      // every variant on the same legacy code path so the comparison isolates
+      // the placement objective, not the runtime).
+      const auto injected = sim.injected_now();
+      const RoundProblem fresh = build_round_problem(
+          sim, {injected.begin(), injected.end()}, SlotScope::kFreeWindow);
+      apply_assignments(sim, fresh, kuhn_ordered(fresh.graph).left_to_right);
+      const auto older = older_unscheduled(sim);
+      if (!older.empty()) {
+        const RoundProblem extension =
+            build_round_problem(sim, older, SlotScope::kFreeWindow);
+        apply_assignments(sim, extension,
+                          greedy_maximal(extension.graph).left_to_right);
+      }
       return;
     }
     const auto lefts = unscheduled_alive(sim);

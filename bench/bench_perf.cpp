@@ -3,12 +3,16 @@
 // strategy. Not a paper artifact (the paper is theory-only); this documents
 // that the library is fast enough for large sweeps.
 //
-// Besides the google-benchmark microbenchmarks, the custom main() runs two
+// Besides the google-benchmark microbenchmarks, the custom main() runs three
 // gated sections after RunSpecifiedBenchmarks():
 //  * offline-solve hot path: the CSR SlotGraph + scratch-arena pipeline
 //    against a frozen copy of the pre-CSR pipeline (vector-of-vectors
 //    adjacency rebuilt per solve, recursive Hopcroft–Karp, allocating
 //    König cover). The refactor must hold a >= 1.5x speedup.
+//  * strategy step: the delta-maintained StrategyRuntime A_fix against a
+//    frozen copy of the rebuild-per-round A_fix on a deep window (d = 32,
+//    ~1M requests), bit-identical first, then timed strategy-step-only.
+//    The incremental runtime must hold a >= 2x speedup.
 //  * sweep throughput: a small strategy x n x d x seed grid through
 //    run_sweep(), reported as points/sec.
 // Pass --smoke (stripped before benchmark::Initialize) for reduced sizes.
@@ -27,12 +31,14 @@
 
 #include "adversary/random.hpp"
 #include "bench_json.hpp"
+#include "bench_timing.hpp"
 #include "analysis/registry.hpp"
 #include "analysis/sweep.hpp"
 #include "core/simulator.hpp"
 #include "matching/bipartite.hpp"
 #include "matching/lex_matcher.hpp"
 #include "offline/offline.hpp"
+#include "strategies/window_problem.hpp"
 #include "util/assert.hpp"
 #include "util/prng.hpp"
 
@@ -371,6 +377,33 @@ std::int64_t solve_offline(const Trace& trace) {
   return optimum;
 }
 
+/// Frozen rebuild-per-round A_fix: the pre-runtime strategy body on the
+/// retained build_round_problem helpers, the baseline of the >= 2x
+/// strategy-step gate. Must stay frozen for the same reason as the offline
+/// pipeline above.
+class AFixRebuild final : public IStrategy {
+ public:
+  std::string name() const override { return "A_fix_rebuild"; }
+  void on_round(Simulator& sim) override {
+    {
+      const auto injected = sim.injected_now();
+      const RoundProblem problem = build_round_problem(
+          sim, {injected.begin(), injected.end()}, SlotScope::kFreeWindow);
+      const ::reqsched::Matching m = kuhn_ordered(problem.graph);
+      apply_assignments(sim, problem, m.left_to_right);
+    }
+    {
+      const auto older = older_unscheduled(sim);
+      if (!older.empty()) {
+        const RoundProblem problem =
+            build_round_problem(sim, older, SlotScope::kFreeWindow);
+        const ::reqsched::Matching m = greedy_maximal(problem.graph);
+        apply_assignments(sim, problem, m.left_to_right);
+      }
+    }
+  }
+};
+
 }  // namespace legacy
 
 // ---------------------------------------------------------------------------
@@ -460,6 +493,75 @@ void run_offline_solve_gate(bool smoke, bench::JsonWriter& json) {
   json.record("offline_solve", "speedup", speedup, "x");
 }
 
+RandomWorkloadOptions strategy_step_options(Round horizon) {
+  // d = 32 makes the per-round O(n*d) rebuild scan expensive relative to the
+  // matching itself — exactly the cost the delta-maintained runtime removes.
+  // load 2.0 keeps the window saturated (few free slots per round).
+  return {.n = 16, .d = 32, .load = 2.0, .horizon = horizon, .seed = 9,
+          .two_choice = true};
+}
+
+/// One full streaming run; returns the cumulative strategy-step seconds.
+double time_strategy_step(Round horizon, std::unique_ptr<IStrategy> strategy,
+                          Metrics* metrics_out = nullptr) {
+  UniformWorkload workload(strategy_step_options(horizon));
+  bench::StepTimer timer(std::move(strategy));
+  Simulator sim(workload, timer, streaming_options());
+  const Metrics& metrics = sim.run();
+  if (metrics_out != nullptr) *metrics_out = metrics;
+  return timer.total_seconds();
+}
+
+void run_strategy_step_gate(bool smoke, bench::JsonWriter& json) {
+  // ~32 arrivals/round: 31'500 rounds stream > 1M requests through the run.
+  const Round horizon = smoke ? 2'000 : 31'500;
+  const int reps = smoke ? 3 : 4;
+
+  // Differential sanity before timing: the incremental runtime must be
+  // bit-identical to the rebuild path on this very workload.
+  Metrics incremental_metrics;
+  Metrics rebuild_metrics;
+  time_strategy_step(smoke ? horizon : 2'000, make_strategy("A_fix"),
+                     &incremental_metrics);
+  time_strategy_step(smoke ? horizon : 2'000,
+                     std::make_unique<legacy::AFixRebuild>(),
+                     &rebuild_metrics);
+  REQSCHED_CHECK_MSG(incremental_metrics == rebuild_metrics,
+                     "incremental A_fix diverged from the frozen rebuild: "
+                         << incremental_metrics << " vs " << rebuild_metrics);
+
+  // Interleaved best-of on the strategy-step time alone (A B A B ... so a
+  // machine load spike hits both sides).
+  double best_rebuild = std::numeric_limits<double>::infinity();
+  double best_incremental = std::numeric_limits<double>::infinity();
+  std::int64_t requests = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Metrics metrics;
+    best_rebuild = std::min(
+        best_rebuild,
+        time_strategy_step(horizon, std::make_unique<legacy::AFixRebuild>(),
+                           &metrics));
+    best_incremental = std::min(
+        best_incremental, time_strategy_step(horizon, make_strategy("A_fix")));
+    requests = metrics.injected;
+  }
+
+  const double speedup = best_rebuild / best_incremental;
+  std::printf(
+      "[bench_perf] strategy step (A_fix, n=16, d=32, %lld requests): "
+      "rebuild %.3f ms, incremental %.3f ms -> %.2fx (gate >= 2.00x)\n",
+      static_cast<long long>(requests), best_rebuild * 1e3,
+      best_incremental * 1e3, speedup);
+  REQSCHED_CHECK_MSG(speedup >= 2.0,
+                     "strategy-step speedup gate failed: " << speedup
+                                                           << "x < 2.0x");
+  json.record("strategy_step", "requests", static_cast<double>(requests),
+              "requests");
+  json.record("strategy_step", "rebuild", best_rebuild * 1e3, "ms");
+  json.record("strategy_step", "incremental", best_incremental * 1e3, "ms");
+  json.record("strategy_step", "speedup", speedup, "x");
+}
+
 void run_sweep_throughput(bool smoke, bench::JsonWriter& json) {
   const Round horizon = smoke ? 32 : 64;
   SweepSpec spec;
@@ -522,6 +624,7 @@ int main(int argc, char** argv) {
 
   reqsched::bench::JsonWriter json;
   reqsched::run_offline_solve_gate(smoke, json);
+  reqsched::run_strategy_step_gate(smoke, json);
   reqsched::run_sweep_throughput(smoke, json);
   if (!json_path.empty()) {
     json.write(json_path);

@@ -23,6 +23,7 @@
 #include "adversary/random.hpp"
 #include "analysis/registry.hpp"
 #include "bench_json.hpp"
+#include "bench_timing.hpp"
 #include "core/simulator.hpp"
 #include "engine/sharded.hpp"
 #include "offline/offline.hpp"
@@ -38,6 +39,10 @@ struct StreamPoint {
   std::int64_t max_per_round = 0;
   std::int64_t slab_capacity = 0;
   std::size_t resident_bytes = 0;
+  /// Per-round strategy-step latency percentiles, seconds.
+  double step_p50 = 0.0;
+  double step_p90 = 0.0;
+  double step_p99 = 0.0;
 
   double requests_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(metrics.injected) / seconds
@@ -48,10 +53,10 @@ struct StreamPoint {
 StreamPoint run_stream(Round horizon, bool track_opt) {
   UniformWorkload workload({.n = 8, .d = 3, .load = 2.0, .horizon = horizon,
                             .seed = 11, .two_choice = true});
-  auto strategy = make_strategy("A_balance");
+  bench::StepTimer strategy(make_strategy("A_balance"));
   EngineOptions options = streaming_options();
   options.track_live_opt = track_opt;
-  Simulator sim(workload, *strategy, std::move(options));
+  Simulator sim(workload, strategy, std::move(options));
 
   StreamPoint point;
   const auto t0 = std::chrono::steady_clock::now();
@@ -63,6 +68,9 @@ StreamPoint run_stream(Round horizon, bool track_opt) {
   point.max_per_round = pool.max_admitted_per_round();
   point.slab_capacity = pool.slab_capacity();
   point.resident_bytes = sim.engine().approx_resident_bytes();
+  point.step_p50 = bench::percentile(strategy.samples(), 0.50);
+  point.step_p90 = bench::percentile(strategy.samples(), 0.90);
+  point.step_p99 = bench::percentile(strategy.samples(), 0.99);
   return point;
 }
 
@@ -110,6 +118,21 @@ void run_soak_and_throughput(bool smoke, bench::JsonWriter& json) {
               "requests/sec");
   json.record("throughput", "tracked", tracked.requests_per_sec(),
               "requests/sec");
+
+  // Per-round strategy-step latency: the tail is what a deadline-driven
+  // deployment cares about, not the mean the throughput line hides.
+  std::printf(
+      "[bench_stream] strategy-step latency per round: p50 %.1f us, "
+      "p90 %.1f us, p99 %.1f us\n",
+      plain.step_p50 * 1e6, plain.step_p90 * 1e6, plain.step_p99 * 1e6);
+  json.record("latency", "step_p50", plain.step_p50 * 1e6, "us");
+  json.record("latency", "step_p90", plain.step_p90 * 1e6, "us");
+  json.record("latency", "step_p99", plain.step_p99 * 1e6, "us");
+
+  const std::size_t rss = bench::peak_rss_bytes();
+  std::printf("[bench_stream] peak RSS: %.1f MiB\n",
+              static_cast<double>(rss) / (1024.0 * 1024.0));
+  json.record("memory", "peak_rss", static_cast<double>(rss), "bytes");
 }
 
 void run_memory_plateau(bool smoke, bench::JsonWriter& json) {

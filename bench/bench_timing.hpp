@@ -1,0 +1,77 @@
+// Strategy-step instrumentation shared by the perf benches.
+//
+// StepTimer decorates a strategy and accumulates the wall-clock time spent
+// inside on_round() — the strategy-step cost in isolation, excluding
+// workload generation, injection, execution, and metrics bookkeeping that
+// every run pays identically. The per-round samples feed the latency
+// percentiles bench_stream reports.
+#pragma once
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "core/strategy.hpp"
+
+namespace reqsched::bench {
+
+class StepTimer final : public IStrategy {
+ public:
+  explicit StepTimer(std::unique_ptr<IStrategy> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name(); }
+  void reset(const ProblemConfig& config) override {
+    inner_->reset(config);
+    total_seconds_ = 0.0;
+    samples_.clear();
+  }
+  bool wants_window_problem() const override {
+    return inner_->wants_window_problem();
+  }
+
+  void on_round(Simulator& sim) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    inner_->on_round(sim);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    total_seconds_ += seconds;
+    samples_.push_back(seconds);
+  }
+
+  /// Cumulative seconds spent in the inner strategy's on_round().
+  double total_seconds() const { return total_seconds_; }
+  /// One wall-clock sample per round, in order.
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::unique_ptr<IStrategy> inner_;
+  double total_seconds_ = 0.0;
+  std::vector<double> samples_;
+};
+
+/// The q-th percentile (q in [0, 1]) of `samples` by nth_element; 0 when
+/// empty. Takes a copy — callers keep their sample order.
+inline double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  const auto rank = static_cast<std::ptrdiff_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  const auto nth = samples.begin() + rank;
+  std::nth_element(samples.begin(), nth, samples.end());
+  return *nth;
+}
+
+/// Peak resident set size of this process, in bytes (Linux ru_maxrss is in
+/// kilobytes). 0 if the query fails.
+inline std::size_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024u;
+}
+
+}  // namespace reqsched::bench

@@ -27,6 +27,9 @@ class PrefixOptimumProbe final : public IStrategy {
   std::string name() const override { return inner_->name(); }
   void reset(const ProblemConfig& config) override;
   void on_round(Simulator& sim) override;
+  bool wants_window_problem() const override {
+    return inner_->wants_window_problem();
+  }
 
   const std::vector<RoundSample>& samples() const { return samples_; }
   std::vector<RoundSample> take_samples() { return std::move(samples_); }

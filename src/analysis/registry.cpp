@@ -1,5 +1,7 @@
 #include "analysis/registry.hpp"
 
+#include <sstream>
+
 #include "local/local_eager.hpp"
 #include "local/local_fix.hpp"
 #include "strategies/edf.hpp"
@@ -8,6 +10,37 @@
 #include "util/assert.hpp"
 
 namespace reqsched {
+
+const std::vector<StrategyInfo>& strategy_registry() {
+  static const std::vector<StrategyInfo> registry = {
+      {"A_fix", StrategyClass::kGlobal, /*incremental=*/true,
+       /*needs_history=*/false, /*randomized=*/false},
+      {"A_current", StrategyClass::kGlobal, true, false, false},
+      {"A_fix_balance", StrategyClass::kGlobal, true, false, false},
+      {"A_eager", StrategyClass::kGlobal, true, false, false},
+      {"A_balance", StrategyClass::kGlobal, true, false, false},
+      {"A_local_fix", StrategyClass::kLocal, true, false, false},
+      {"A_local_eager", StrategyClass::kLocal, true, false, false},
+      {"EDF_two_choice", StrategyClass::kBaseline, false, false, false},
+      {"EDF_two_choice_cancel", StrategyClass::kBaseline, false, false, false},
+      {"EDF_single", StrategyClass::kBaseline, false, false, false},
+      {"A_local_eager_merged", StrategyClass::kLocal, true, false, false},
+      {"A_current_randomized", StrategyClass::kGlobal, false, false, true},
+      {"A_fix_randomized", StrategyClass::kGlobal, false, false, true},
+  };
+  return registry;
+}
+
+const StrategyInfo* find_strategy(const std::string& name) {
+  for (const StrategyInfo& info : strategy_registry()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+bool strategy_exists(const std::string& name) {
+  return find_strategy(name) != nullptr;
+}
 
 std::vector<std::string> global_strategy_names() {
   return {"A_fix", "A_current", "A_fix_balance", "A_eager", "A_balance"};
@@ -18,18 +51,15 @@ std::vector<std::string> local_strategy_names() {
 }
 
 std::vector<std::string> all_strategy_names() {
-  std::vector<std::string> names = global_strategy_names();
-  for (auto& name : local_strategy_names()) names.push_back(name);
-  names.push_back("EDF_two_choice");
-  names.push_back("EDF_two_choice_cancel");
-  names.push_back("EDF_single");
-  names.push_back("A_local_eager_merged");
-  names.push_back("A_current_randomized");
-  names.push_back("A_fix_randomized");
+  std::vector<std::string> names;
+  for (const StrategyInfo& info : strategy_registry()) {
+    names.push_back(info.name);
+  }
   return names;
 }
 
-std::unique_ptr<IStrategy> make_strategy(const std::string& name) {
+std::unique_ptr<IStrategy> make_strategy(const std::string& name,
+                                         std::uint64_t seed) {
   if (name == "A_fix") return std::make_unique<AFix>();
   if (name == "A_current") return std::make_unique<ACurrent>();
   if (name == "A_fix_balance") return std::make_unique<AFixBalance>();
@@ -46,10 +76,17 @@ std::unique_ptr<IStrategy> make_strategy(const std::string& name) {
     return std::make_unique<EdfTwoChoice>(true);
   }
   if (name == "A_current_randomized") {
-    return std::make_unique<RandomizedCurrent>();
+    return std::make_unique<RandomizedCurrent>(seed);
   }
-  if (name == "A_fix_randomized") return std::make_unique<RandomizedFix>();
-  REQSCHED_REQUIRE_MSG(false, "unknown strategy: " << name);
+  if (name == "A_fix_randomized") {
+    return std::make_unique<RandomizedFix>(seed);
+  }
+  std::ostringstream known;
+  for (const StrategyInfo& info : strategy_registry()) {
+    known << (known.tellp() > 0 ? ", " : "") << info.name;
+  }
+  REQSCHED_REQUIRE_MSG(false, "unknown strategy: " << name << " (registered: "
+                                                   << known.str() << ")");
   return nullptr;
 }
 

@@ -1,7 +1,19 @@
-// Strategy factory by name — one place the examples, tests and benches use
-// to enumerate everything the library implements.
+// StrategyRegistry — one table the examples, tests, benches, and CLIs use
+// to enumerate, validate, and construct everything the library implements.
+//
+// Each entry carries capability flags alongside the factory:
+//   incremental  — the strategy runs on the engine's delta-maintained window
+//                  problem (wants_window_problem() == true), so the engine
+//                  pays for the mirror and the strategy skips per-round
+//                  schedule scans;
+//   needs_history — the strategy (or its checker) reads the recorded Trace /
+//                  retained statuses, so it cannot run under pure
+//                  streaming_options();
+//   randomized   — construction consumes a seed (the --strategy-seed flag;
+//                  deterministic strategies ignore it).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,6 +21,29 @@
 #include "core/strategy.hpp"
 
 namespace reqsched {
+
+enum class StrategyClass {
+  kGlobal,    ///< the Table 1 rows and their randomized variants
+  kLocal,     ///< message-routing local strategies (Section 3.2)
+  kBaseline,  ///< EDF baselines (Observations 3.1 / 3.2)
+};
+
+struct StrategyInfo {
+  std::string name;
+  StrategyClass kind = StrategyClass::kGlobal;
+  bool incremental = false;
+  bool needs_history = false;
+  bool randomized = false;
+};
+
+/// The full registry, in the library's canonical listing order.
+const std::vector<StrategyInfo>& strategy_registry();
+
+/// Registry entry for `name`, or nullptr when unknown.
+const StrategyInfo* find_strategy(const std::string& name);
+
+/// Fast-fail predicate for CLI flag validation.
+bool strategy_exists(const std::string& name);
 
 /// All global two-choice strategies (the Table 1 rows): A_fix, A_current,
 /// A_fix_balance, A_eager, A_balance.
@@ -20,7 +55,11 @@ std::vector<std::string> local_strategy_names();
 /// Everything, including the EDF baselines.
 std::vector<std::string> all_strategy_names();
 
-/// Creates a strategy by its registered name; throws on unknown names.
-std::unique_ptr<IStrategy> make_strategy(const std::string& name);
+/// Creates a strategy by its registered name; `seed` feeds the randomized
+/// strategies (default 1 matches their default constructors) and is ignored
+/// by deterministic ones. Throws on unknown names, listing every registered
+/// name in the error.
+std::unique_ptr<IStrategy> make_strategy(const std::string& name,
+                                         std::uint64_t seed = 1);
 
 }  // namespace reqsched

@@ -44,7 +44,7 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
                                                     : worker];
     try {
       const auto workload = spec.make_workload(point.n, point.d, point.seed);
-      auto strategy = make_strategy(point.strategy);
+      auto strategy = make_strategy(point.strategy, spec.strategy_seed);
       point.result = run_experiment(*workload, *strategy,
                                     {.analyze_paths = spec.analyze_paths},
                                     scratch);

@@ -35,6 +35,9 @@ struct SweepSpec {
   std::vector<std::int32_t> ns{8};
   std::vector<std::int32_t> ds{4};
   std::vector<std::uint64_t> seeds{1};
+  /// Seed handed to randomized strategies at every grid point (the workload
+  /// seeds above vary the instances; this varies the strategy's coin flips).
+  std::uint64_t strategy_seed = 1;
   bool analyze_paths = false;
   /// 0 = hardware concurrency.
   std::size_t threads = 0;

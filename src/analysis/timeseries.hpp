@@ -48,6 +48,9 @@ class TimeSeriesProbe final : public IStrategy {
   std::string name() const override { return inner_->name(); }
   void reset(const ProblemConfig& config) override;
   void on_round(Simulator& sim) override;
+  bool wants_window_problem() const override {
+    return inner_->wants_window_problem();
+  }
 
   const std::vector<RoundSample>& samples() const { return samples_; }
 

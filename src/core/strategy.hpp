@@ -27,6 +27,12 @@ class IStrategy {
 
   /// One scheduling step at sim.now(). May call sim.assign()/sim.unassign().
   virtual void on_round(Simulator& sim) = 0;
+
+  /// True when the strategy consumes the engine's delta-maintained window
+  /// problem (matching/delta_window.hpp). The engine only pays for mirroring
+  /// schedule edits into that structure when the strategy asks for it.
+  /// Decorators (probes, scripted wrappers, timers) must forward this.
+  virtual bool wants_window_problem() const { return false; }
 };
 
 }  // namespace reqsched

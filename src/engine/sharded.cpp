@@ -17,6 +17,7 @@ namespace {
 struct WorkerArena {
   RequestPool pool;
   WindowedPrefixOpt opt;
+  DeltaWindowProblem window;
 };
 
 }  // namespace
@@ -57,6 +58,7 @@ ShardedResult run_sharded(const ShardedRunOptions& options,
       engine_options.shard = shard;
       engine_options.pool_arena = &arena.pool;
       engine_options.opt_arena = &arena.opt;
+      engine_options.window_arena = &arena.window;
       if (options.jsonl != nullptr) {
         engine_options.snapshot_sink = [&](const StatsSnapshot& snapshot) {
           const std::string line = to_jsonl(snapshot);  // render outside

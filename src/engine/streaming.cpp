@@ -20,8 +20,12 @@ StreamingEngine::StreamingEngine(IWorkload& workload, IStrategy& strategy,
                        "OPT prune cadence must be at least one round");
   pool_ = options_.pool_arena != nullptr ? options_.pool_arena : &own_pool_;
   opt_ = options_.opt_arena != nullptr ? options_.opt_arena : &own_opt_;
+  window_ =
+      options_.window_arena != nullptr ? options_.window_arena : &own_window_;
+  window_active_ = strategy_.wants_window_problem();
   pool_->reset(config_, options_.retain_history);
   if (options_.track_live_opt) opt_->reset(config_);
+  if (window_active_) window_->reset(config_);
   workload_.reset();
   strategy_.reset(config_);
 }
@@ -101,6 +105,7 @@ void StreamingEngine::inject() {
     injected_now_.push_back(id);
     ++metrics_.injected;
     if (options_.track_live_opt) opt_->add_request(pool_->request(id));
+    if (window_active_) window_->add_request(pool_->request(id));
   }
 }
 
@@ -112,6 +117,7 @@ void StreamingEngine::execute() {
     if (id == kNoRequest) continue;
     REQSCHED_CHECK(is_pending(id));
     schedule_.unassign(id);
+    if (window_active_) window_->unbook(id);
     retire_fulfilled(id, SlotRef{i, t});
     ++fulfilled_now;
   }
@@ -129,12 +135,14 @@ void StreamingEngine::execute() {
   const auto leftover = schedule_.advance();
   REQSCHED_CHECK_MSG(leftover.empty(),
                      "schedule row survived execution unexpectedly");
+  if (window_active_) window_->advance();
 }
 
 void StreamingEngine::retire_fulfilled(RequestId id, SlotRef slot) {
   if (options_.retire_sink) {
     options_.retire_sink(pool_->request(id), RequestStatus::kFulfilled, slot);
   }
+  if (window_active_) window_->retire(id);
   pool_->fulfill(id, slot);
   ++metrics_.fulfilled;
 }
@@ -143,6 +151,7 @@ void StreamingEngine::retire_expired(RequestId id) {
   if (options_.retire_sink) {
     options_.retire_sink(pool_->request(id), RequestStatus::kExpired, kNoSlot);
   }
+  if (window_active_) window_->retire(id);
   pool_->expire(id);
   ++metrics_.expired;
 }
@@ -211,6 +220,7 @@ std::size_t StreamingEngine::approx_resident_bytes() const {
   bytes += static_cast<std::size_t>(schedule_.booked_count()) *
            (sizeof(RequestId) + sizeof(SlotRef) + 2 * sizeof(void*));
   if (options_.track_live_opt) bytes += opt_->approx_bytes();
+  if (window_active_) bytes += window_->approx_bytes();
   if (options_.record_trace) {
     bytes += static_cast<std::size_t>(trace_.size()) * sizeof(Request);
   }
@@ -222,6 +232,7 @@ void StreamingEngine::assign(RequestId id, SlotRef slot) {
                        "schedule edits are only allowed during on_round");
   REQSCHED_REQUIRE_MSG(is_pending(id), "cannot book non-pending r" << id);
   schedule_.assign(pool_->request(id), slot);
+  if (window_active_) window_->book(id, slot);
   ++metrics_.assignments;
 }
 
@@ -229,6 +240,7 @@ void StreamingEngine::unassign(RequestId id) {
   REQSCHED_REQUIRE_MSG(in_strategy_,
                        "schedule edits are only allowed during on_round");
   schedule_.unassign(id);
+  if (window_active_) window_->unbook(id);
   ++metrics_.unassignments;
 }
 
@@ -237,6 +249,10 @@ void StreamingEngine::move(RequestId id, SlotRef slot) {
                        "schedule edits are only allowed during on_round");
   schedule_.unassign(id);
   schedule_.assign(pool_->request(id), slot);
+  if (window_active_) {
+    window_->unbook(id);
+    window_->book(id, slot);
+  }
   ++metrics_.reassignments;
 }
 

@@ -37,6 +37,7 @@
 #include "engine/request_pool.hpp"
 #include "engine/stats.hpp"
 #include "engine/windowed_opt.hpp"
+#include "matching/delta_window.hpp"
 
 namespace reqsched {
 
@@ -76,6 +77,7 @@ struct EngineOptions {
   /// steady state, the SolverScratch-per-worker idiom of run_sweep.
   RequestPool* pool_arena = nullptr;
   WindowedPrefixOpt* opt_arena = nullptr;
+  DeltaWindowProblem* window_arena = nullptr;
 };
 
 /// Convenience preset: bounded-memory streaming (no retention, no trace).
@@ -149,6 +151,20 @@ class StreamingEngine {
     return *opt_;
   }
 
+  /// True when the strategy asked for the delta-maintained window problem
+  /// (IStrategy::wants_window_problem) and the engine is mirroring schedule
+  /// edits into it.
+  bool window_problem_active() const { return window_active_; }
+
+  /// The live window problem (window_problem_active() only). Strategies read
+  /// it for problem construction; all mutation flows through the engine's
+  /// assign/unassign/move so the mirror can never diverge.
+  const DeltaWindowProblem& window_problem() const {
+    REQSCHED_REQUIRE_MSG(window_active_,
+                         "the strategy did not request a window problem");
+    return *window_;
+  }
+
   /// Builds a snapshot of the current state (also what the periodic
   /// snapshot_sink receives).
   StatsSnapshot snapshot() const;
@@ -185,6 +201,9 @@ class StreamingEngine {
   Schedule schedule_;
   WindowedPrefixOpt own_opt_;
   WindowedPrefixOpt* opt_ = nullptr;  ///< own_opt_ or options_.opt_arena
+  DeltaWindowProblem own_window_;
+  DeltaWindowProblem* window_ = nullptr;  ///< own_window_ or window_arena
+  bool window_active_ = false;
   std::vector<RequestId> alive_;
   std::vector<RequestId> injected_now_;
   Metrics metrics_{};

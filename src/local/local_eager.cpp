@@ -8,14 +8,16 @@ namespace reqsched {
 
 namespace {
 
-/// Resource-side maximal acceptance (same rule as A_local_fix).
-std::vector<Message> accept_maximal(Simulator& sim, const Delivery& delivery) {
+/// Resource-side maximal acceptance (same rule as A_local_fix), probing the
+/// runtime's window problem for free slots.
+std::vector<Message> accept_maximal(StrategyRuntime& runtime, Simulator& sim,
+                                    const Delivery& delivery) {
   std::vector<Message> rejected(delivery.failed);
   for (ResourceId i = 0; i < sim.config().n; ++i) {
     for (const Message& m : delivery.delivered[static_cast<std::size_t>(i)]) {
       const Request& r = sim.request(m.sender);
       const SlotRef slot =
-          sim.schedule().earliest_free_slot(i, sim.now(), r.deadline);
+          runtime.earliest_free_slot(sim, i, sim.now(), r.deadline);
       if (slot.valid()) {
         sim.assign(m.sender, slot);
       } else {
@@ -54,7 +56,7 @@ void ALocalEager::on_round(Simulator& sim) {
       ++comm_rounds;
       messages += static_cast<std::int64_t>(wave.size());
       const auto failed = accept_maximal(
-          sim, route_messages(sim.config(), std::move(wave), 0));
+          runtime_, sim, route_messages(sim.config(), std::move(wave), 0));
       std::vector<Message> retry;
       for (const Message& m : failed) {
         const Request& r = sim.request(m.sender);
@@ -63,7 +65,8 @@ void ALocalEager::on_round(Simulator& sim) {
       if (!retry.empty()) {
         ++comm_rounds;
         messages += static_cast<std::int64_t>(retry.size());
-        accept_maximal(sim, route_messages(sim.config(), std::move(retry), 0));
+        accept_maximal(runtime_, sim,
+                       route_messages(sim.config(), std::move(retry), 0));
       }
     }
   }
@@ -162,7 +165,7 @@ std::int64_t ALocalEager::rivalry_iteration(Simulator& sim, int alt,
         if (sim.is_scheduled(m.sender)) continue;
         const Request& r = sim.request(m.sender);
         const SlotRef slot =
-            sim.schedule().earliest_free_slot(i, t, r.deadline);
+            runtime_.earliest_free_slot(sim, i, t, r.deadline);
         if (slot.valid()) sim.assign(m.sender, slot);
       }
       continue;
@@ -199,7 +202,7 @@ std::int64_t ALocalEager::rivalry_iteration(Simulator& sim, int alt,
       if (sim.slot_of(plan.displaced) != SlotRef{plan.home, t}) continue;
       if (sim.is_scheduled(plan.rival)) continue;
       const SlotRef landing =
-          sim.schedule().earliest_free_slot(i, t, displaced.deadline);
+          runtime_.earliest_free_slot(sim, i, t, displaced.deadline);
       if (!landing.valid()) continue;
       sim.move(plan.displaced, landing);
       sim.assign(plan.rival, SlotRef{plan.home, t});

@@ -18,6 +18,7 @@
 
 #include "core/simulator.hpp"
 #include "core/strategy.hpp"
+#include "strategies/runtime.hpp"
 
 namespace reqsched {
 
@@ -33,7 +34,9 @@ class ALocalEager final : public IStrategy {
   std::string name() const override {
     return merged_phase23_ ? "A_local_eager_merged" : "A_local_eager";
   }
+  void reset(const ProblemConfig& config) override { runtime_.reset(config); }
   void on_round(Simulator& sim) override;
+  bool wants_window_problem() const override { return true; }
 
  private:
   /// One phase-3 rivalry iteration via alternative index `alt` (0/1).
@@ -42,6 +45,7 @@ class ALocalEager final : public IStrategy {
                                  std::int64_t& messages);
 
   bool merged_phase23_;
+  StrategyRuntime runtime_;
 };
 
 }  // namespace reqsched

@@ -7,14 +7,17 @@ namespace reqsched {
 namespace {
 /// Resource-side acceptance: books each delivered request into its earliest
 /// still-free slot, in delivery (LDF) order. Returns the senders that could
-/// not be booked (for the second-round retry).
-std::vector<Message> accept_maximal(Simulator& sim, const Delivery& delivery) {
+/// not be booked (for the second-round retry). The free-slot probe is
+/// answered from the runtime's window problem (same contract as
+/// Schedule::earliest_free_slot).
+std::vector<Message> accept_maximal(StrategyRuntime& runtime, Simulator& sim,
+                                    const Delivery& delivery) {
   std::vector<Message> rejected(delivery.failed);
   for (ResourceId i = 0; i < sim.config().n; ++i) {
     for (const Message& m : delivery.delivered[static_cast<std::size_t>(i)]) {
       const Request& r = sim.request(m.sender);
       const SlotRef slot =
-          sim.schedule().earliest_free_slot(i, sim.now(), r.deadline);
+          runtime.earliest_free_slot(sim, i, sim.now(), r.deadline);
       if (slot.valid()) {
         sim.assign(m.sender, slot);
       } else {
@@ -38,7 +41,7 @@ void ALocalFix::on_round(Simulator& sim) {
   if (first_wave.empty()) return;
   sim.record_communication(1, static_cast<std::int64_t>(first_wave.size()));
   const std::vector<Message> failed_first = accept_maximal(
-      sim, route_messages(sim.config(), std::move(first_wave)));
+      runtime_, sim, route_messages(sim.config(), std::move(first_wave)));
 
   // Communication round 2: failures retry at their second alternatives.
   std::vector<Message> second_wave;
@@ -48,7 +51,8 @@ void ALocalFix::on_round(Simulator& sim) {
   }
   if (second_wave.empty()) return;
   sim.record_communication(1, static_cast<std::int64_t>(second_wave.size()));
-  accept_maximal(sim, route_messages(sim.config(), std::move(second_wave)));
+  accept_maximal(runtime_, sim,
+                 route_messages(sim.config(), std::move(second_wave)));
 }
 
 }  // namespace reqsched

@@ -9,13 +9,19 @@
 
 #include "core/simulator.hpp"
 #include "core/strategy.hpp"
+#include "strategies/runtime.hpp"
 
 namespace reqsched {
 
 class ALocalFix final : public IStrategy {
  public:
   std::string name() const override { return "A_local_fix"; }
+  void reset(const ProblemConfig& config) override { runtime_.reset(config); }
   void on_round(Simulator& sim) override;
+  bool wants_window_problem() const override { return true; }
+
+ private:
+  StrategyRuntime runtime_;
 };
 
 }  // namespace reqsched

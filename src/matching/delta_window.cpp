@@ -1,0 +1,431 @@
+#include "matching/delta_window.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace reqsched {
+
+namespace {
+constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
+}  // namespace
+
+void DeltaWindowProblem::reset(const ProblemConfig& config) {
+  config.validate();
+  config_ = config;
+  window_begin_ = 0;
+  rows_.clear();
+
+  const auto d = static_cast<std::size_t>(config_.d);
+  const auto n = static_cast<std::size_t>(config_.n);
+  const std::size_t words = words_per_column();
+  free_.assign(d * words, kAllOnes);
+  // Clear the bits past resource n - 1 so popcount-based ranks stay exact.
+  const std::size_t tail_bits = n % 64;
+  if (tail_bits != 0) {
+    const std::uint64_t tail_mask = (std::uint64_t{1} << tail_bits) - 1;
+    for (std::size_t c = 0; c < d; ++c) free_[c * words + words - 1] = tail_mask;
+  }
+  grid_.assign(n * d, kNoRequest);
+  if (has_round_masks()) {
+    const std::uint64_t all_columns =
+        d == 64 ? kAllOnes : (std::uint64_t{1} << d) - 1;
+    res_free_.assign(n, all_columns);
+  } else {
+    res_free_.clear();
+  }
+
+  visited_attempt_.assign(n * d, 0);
+  owner_call_.assign(n * d, 0);
+  owner_left_.assign(n * d, -1);
+  attempt_stamp_ = 0;
+  call_stamp_ = 0;
+}
+
+const Request& DeltaWindowProblem::row(RequestId id) const {
+  const auto it = rows_.find(id);
+  REQSCHED_REQUIRE_MSG(it != rows_.end(), "no window row for r" << id);
+  return it->second.request;
+}
+
+SlotRef DeltaWindowProblem::booked_slot_of(RequestId id) const {
+  const auto it = rows_.find(id);
+  REQSCHED_REQUIRE_MSG(it != rows_.end(), "no window row for r" << id);
+  return it->second.booked;
+}
+
+void DeltaWindowProblem::add_request(const Request& r) {
+  REQSCHED_REQUIRE_MSG(r.arrival == window_begin_,
+                       r << " arrives outside the current round "
+                         << window_begin_);
+  REQSCHED_REQUIRE(r.deadline >= r.arrival && r.deadline < window_end());
+  REQSCHED_REQUIRE(r.first >= 0 && r.first < config_.n);
+  REQSCHED_REQUIRE(r.second == kNoResource ||
+                   (r.second >= 0 && r.second < config_.n &&
+                    r.second != r.first));
+  const auto [it, inserted] = rows_.emplace(r.id, Row{r, kNoSlot});
+  REQSCHED_REQUIRE_MSG(inserted, "duplicate window row for r" << r.id);
+  (void)it;
+}
+
+void DeltaWindowProblem::retire(RequestId id) {
+  const auto it = rows_.find(id);
+  REQSCHED_REQUIRE_MSG(it != rows_.end(), "no window row for r" << id);
+  REQSCHED_REQUIRE_MSG(!it->second.booked.valid(),
+                       "r" << id << " retired while booked at "
+                           << it->second.booked);
+  rows_.erase(it);
+}
+
+void DeltaWindowProblem::book(RequestId id, SlotRef slot) {
+  const auto it = rows_.find(id);
+  REQSCHED_REQUIRE_MSG(it != rows_.end(), "no window row for r" << id);
+  Row& row = it->second;
+  REQSCHED_REQUIRE_MSG(!row.booked.valid(),
+                       "r" << id << " already booked at " << row.booked);
+  REQSCHED_REQUIRE(in_window(slot.round) && row.request.allows_slot(slot));
+  REQSCHED_REQUIRE_MSG(is_free(slot), slot << " is not free");
+  row.booked = slot;
+  grid_[grid_index(slot)] = id;
+  set_free(slot, false);
+}
+
+void DeltaWindowProblem::unbook(RequestId id) {
+  const auto it = rows_.find(id);
+  REQSCHED_REQUIRE_MSG(it != rows_.end(), "no window row for r" << id);
+  Row& row = it->second;
+  REQSCHED_REQUIRE_MSG(row.booked.valid(), "r" << id << " is not booked");
+  grid_[grid_index(row.booked)] = kNoRequest;
+  set_free(row.booked, true);
+  row.booked = kNoSlot;
+}
+
+void DeltaWindowProblem::advance() {
+  REQSCHED_REQUIRE_MSG(free_in_round(window_begin_) == config_.n,
+                       "window column " << window_begin_
+                                        << " advanced while still booked");
+  // The vacated column re-enters as round window_begin + d, already all-free.
+  ++window_begin_;
+}
+
+bool DeltaWindowProblem::is_free(SlotRef slot) const {
+  REQSCHED_REQUIRE(in_window(slot.round));
+  REQSCHED_REQUIRE(slot.resource >= 0 && slot.resource < config_.n);
+  return grid_[grid_index(slot)] == kNoRequest;
+}
+
+RequestId DeltaWindowProblem::request_at(SlotRef slot) const {
+  REQSCHED_REQUIRE(in_window(slot.round));
+  REQSCHED_REQUIRE(slot.resource >= 0 && slot.resource < config_.n);
+  return grid_[grid_index(slot)];
+}
+
+SlotRef DeltaWindowProblem::earliest_free_slot(ResourceId resource, Round from,
+                                               Round to) const {
+  REQSCHED_REQUIRE(resource >= 0 && resource < config_.n);
+  const Round lo = std::max(from, window_begin_);
+  const Round hi = std::min(to, window_end() - 1);
+  const std::size_t words = words_per_column();
+  const std::size_t word = static_cast<std::size_t>(resource) / 64;
+  const std::uint64_t bit = std::uint64_t{1}
+                            << (static_cast<std::size_t>(resource) % 64);
+  for (Round t = lo; t <= hi; ++t) {
+    if (free_[column_of(t) * words + word] & bit) return SlotRef{resource, t};
+  }
+  return kNoSlot;
+}
+
+SlotRef DeltaWindowProblem::first_free_allowed(RequestId id) const {
+  return first_free_allowed(row(id));
+}
+
+SlotRef DeltaWindowProblem::first_free_allowed(const Request& r) const {
+  const Round lo = std::max(r.arrival, window_begin_);
+  const Round hi = std::min(r.deadline, window_end() - 1);
+  if (lo > hi) return kNoSlot;
+  const bool two = r.second != kNoResource;
+  if (has_round_masks()) {
+    // O(1): each resource's free rounds are one rotated word; the earliest
+    // allowed round is a ctz, the {first, second} tie going to first.
+    const std::uint64_t range = round_range_mask(lo, hi);
+    const std::uint64_t m1 = rotated_round_mask(r.first) & range;
+    const std::uint64_t m2 = two ? rotated_round_mask(r.second) & range : 0;
+    if ((m1 | m2) == 0) return kNoSlot;
+    const int o1 = m1 != 0 ? std::countr_zero(m1) : 64;
+    const int o2 = m2 != 0 ? std::countr_zero(m2) : 64;
+    if (o1 <= o2) return SlotRef{r.first, window_begin_ + o1};
+    return SlotRef{r.second, window_begin_ + o2};
+  }
+  // d > 64 fallback: a word load per round against the column masks.
+  const std::size_t words = words_per_column();
+  const std::size_t word1 = static_cast<std::size_t>(r.first) / 64;
+  const std::uint64_t bit1 = std::uint64_t{1}
+                             << (static_cast<std::size_t>(r.first) % 64);
+  const std::size_t word2 =
+      two ? static_cast<std::size_t>(r.second) / 64 : 0;
+  const std::uint64_t bit2 =
+      two ? std::uint64_t{1} << (static_cast<std::size_t>(r.second) % 64) : 0;
+  for (Round t = lo; t <= hi; ++t) {
+    const std::uint64_t* column = free_.data() + column_of(t) * words;
+    if (column[word1] & bit1) return SlotRef{r.first, t};
+    if (two && (column[word2] & bit2)) return SlotRef{r.second, t};
+  }
+  return kNoSlot;
+}
+
+void DeltaWindowProblem::set_free(SlotRef slot, bool free) {
+  const std::size_t words = words_per_column();
+  const std::size_t word = static_cast<std::size_t>(slot.resource) / 64;
+  const std::uint64_t bit = std::uint64_t{1}
+                            << (static_cast<std::size_t>(slot.resource) % 64);
+  const std::size_t col = column_of(slot.round);
+  std::uint64_t& w = free_[col * words + word];
+  if (free) {
+    w |= bit;
+  } else {
+    w &= ~bit;
+  }
+  if (has_round_masks()) {
+    const std::uint64_t col_bit = std::uint64_t{1} << col;
+    std::uint64_t& m = res_free_[static_cast<std::size_t>(slot.resource)];
+    if (free) {
+      m |= col_bit;
+    } else {
+      m &= ~col_bit;
+    }
+  }
+}
+
+std::uint64_t DeltaWindowProblem::rotated_round_mask(ResourceId res) const {
+  const std::uint64_t m = res_free_[static_cast<std::size_t>(res)];
+  const auto d = static_cast<unsigned>(config_.d);
+  const auto rot = static_cast<unsigned>(column_of(window_begin_));
+  if (rot == 0) return m;
+  // Rotate within the low d bits; m never has bits at or above d set.
+  const std::uint64_t full = d == 64 ? kAllOnes : (std::uint64_t{1} << d) - 1;
+  return ((m >> rot) | (m << (d - rot))) & full;
+}
+
+std::uint64_t DeltaWindowProblem::round_range_mask(Round lo, Round hi) const {
+  const auto lo_off = static_cast<unsigned>(lo - window_begin_);
+  const auto hi_off = static_cast<unsigned>(hi - window_begin_);
+  const std::uint64_t upto =
+      hi_off == 63 ? kAllOnes : (std::uint64_t{1} << (hi_off + 1)) - 1;
+  return upto & ~((std::uint64_t{1} << lo_off) - 1);
+}
+
+std::int32_t DeltaWindowProblem::free_rank_below(Round round,
+                                                 ResourceId resource) const {
+  const std::size_t words = words_per_column();
+  const std::uint64_t* column = free_.data() + column_of(round) * words;
+  const std::size_t word = static_cast<std::size_t>(resource) / 64;
+  std::int32_t rank = 0;
+  for (std::size_t w = 0; w < word; ++w) {
+    rank += std::popcount(column[w]);
+  }
+  const std::size_t bit = static_cast<std::size_t>(resource) % 64;
+  if (bit != 0) {
+    rank += std::popcount(column[word] & ((std::uint64_t{1} << bit) - 1));
+  }
+  return rank;
+}
+
+std::int32_t DeltaWindowProblem::free_in_round(Round round) const {
+  const std::size_t words = words_per_column();
+  const std::uint64_t* column = free_.data() + column_of(round) * words;
+  std::int32_t count = 0;
+  for (std::size_t w = 0; w < words; ++w) count += std::popcount(column[w]);
+  return count;
+}
+
+void DeltaWindowProblem::collect_rights(WindowScope scope,
+                                        std::vector<SlotRef>& rights) const {
+  rights.clear();
+  const Round t = window_begin_;
+  const Round window_last =
+      scope == WindowScope::kCurrentRound ? t : window_end() - 1;
+  if (scope == WindowScope::kFullWindow) {
+    for (Round round = t; round <= window_last; ++round) {
+      for (ResourceId i = 0; i < config_.n; ++i) {
+        rights.push_back(SlotRef{i, round});
+      }
+    }
+    return;
+  }
+  const std::size_t words = words_per_column();
+  for (Round round = t; round <= window_last; ++round) {
+    const std::uint64_t* column = free_.data() + column_of(round) * words;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = column[w];
+      while (bits != 0) {
+        const auto res = static_cast<ResourceId>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+        rights.push_back(SlotRef{res, round});
+        bits &= bits - 1;
+      }
+    }
+  }
+}
+
+void DeltaWindowProblem::build_problem(std::span<const RequestId> lefts,
+                                       WindowScope scope,
+                                       std::vector<SlotRef>& rights,
+                                       BipartiteGraph& graph) const {
+  collect_rights(scope, rights);
+  const Round t = window_begin_;
+  const Round window_last =
+      scope == WindowScope::kCurrentRound ? t : window_end() - 1;
+  const bool full = scope == WindowScope::kFullWindow;
+
+  // Per-round base offsets into `rights`, so a free slot's right index is
+  // base[round - t] + (its free-rank within the round) — O(n/64) per edge
+  // instead of a dense O(n*d) map rebuilt every round.
+  std::int32_t base[1 + 64];  // d is small; fall back to exact size if not
+  std::vector<std::int32_t> base_overflow;
+  std::int32_t* bases = base;
+  const auto span_rounds = static_cast<std::size_t>(window_last - t + 1);
+  if (span_rounds > 64) {
+    base_overflow.resize(span_rounds + 1);
+    bases = base_overflow.data();
+  }
+  if (!full) {
+    std::int32_t acc = 0;
+    for (Round round = t; round <= window_last; ++round) {
+      bases[round - t] = acc;
+      acc += free_in_round(round);
+    }
+  }
+
+  graph.reset(static_cast<std::int32_t>(lefts.size()),
+              static_cast<std::int32_t>(rights.size()));
+  for (std::size_t l = 0; l < lefts.size(); ++l) {
+    const Request& r = row(lefts[l]);
+    const Round lo = std::max(r.arrival, t);
+    const Round hi = std::min(r.deadline, window_last);
+    for (Round round = lo; round <= hi; ++round) {
+      for (const ResourceId res : {r.first, r.second}) {
+        if (res == kNoResource) continue;
+        std::int32_t right;
+        if (full) {
+          right = static_cast<std::int32_t>((round - t) * config_.n + res);
+        } else {
+          if (!is_free(SlotRef{res, round})) continue;
+          right = bases[round - t] + free_rank_below(round, res);
+        }
+        graph.add_edge(static_cast<std::int32_t>(l), right);
+      }
+    }
+  }
+  graph.finalize();
+}
+
+bool DeltaWindowProblem::kuhn_try(
+    std::int32_t left, Round window_last,
+    std::vector<std::int32_t>& match_of_left) const {
+  const Request& r = *kuhn_rows_[static_cast<std::size_t>(left)];
+  const Round t = window_begin_;
+  const Round lo = std::max(r.arrival, t);
+  const Round hi = std::min(r.deadline, window_last);
+  if (lo > hi) return false;
+  // Candidate slots come from the free masks rather than per-slot occupant
+  // probes — in a saturated window almost every (round, resource) pair is
+  // booked, and the augmenting search re-scans each owner's full adjacency.
+  // The free bits are stable for the whole max_match (nothing books
+  // mid-search), so the order visited is exactly the original round-asc,
+  // {first, second}, free-filtered enumeration.
+  const bool two = r.second != kNoResource;
+  const auto try_slot = [&](ResourceId res, Round round) {
+    const std::size_t gi =
+        column_of(round) * static_cast<std::size_t>(config_.n) +
+        static_cast<std::size_t>(res);
+    if (visited_attempt_[gi] == attempt_stamp_) return false;
+    visited_attempt_[gi] = attempt_stamp_;
+    const std::int32_t owner =
+        owner_call_[gi] == call_stamp_ ? owner_left_[gi] : -1;
+    if (owner < 0 || kuhn_try(owner, window_last, match_of_left)) {
+      owner_call_[gi] = call_stamp_;
+      owner_left_[gi] = left;
+      match_of_left[static_cast<std::size_t>(left)] =
+          static_cast<std::int32_t>(gi);
+      return true;
+    }
+    return false;
+  };
+  if (has_round_masks()) {
+    // Skip rounds with no free slot for either alternative entirely: iterate
+    // the set bits of the combined rotated round mask, earliest round first.
+    const std::uint64_t range = round_range_mask(lo, hi);
+    const std::uint64_t m1 = rotated_round_mask(r.first) & range;
+    const std::uint64_t m2 = two ? rotated_round_mask(r.second) & range : 0;
+    std::uint64_t both = m1 | m2;
+    while (both != 0) {
+      const int off = std::countr_zero(both);
+      both &= both - 1;
+      const Round round = t + off;
+      if (((m1 >> off) & 1) != 0 && try_slot(r.first, round)) return true;
+      if (((m2 >> off) & 1) != 0 && try_slot(r.second, round)) return true;
+    }
+    return false;
+  }
+  const std::size_t words = words_per_column();
+  const std::size_t word1 = static_cast<std::size_t>(r.first) / 64;
+  const std::uint64_t bit1 = std::uint64_t{1}
+                             << (static_cast<std::size_t>(r.first) % 64);
+  const std::size_t word2 =
+      two ? static_cast<std::size_t>(r.second) / 64 : 0;
+  const std::uint64_t bit2 =
+      two ? std::uint64_t{1} << (static_cast<std::size_t>(r.second) % 64) : 0;
+  for (Round round = lo; round <= hi; ++round) {
+    const std::uint64_t* column = free_.data() + column_of(round) * words;
+    if ((column[word1] & bit1) && try_slot(r.first, round)) return true;
+    if (two && (column[word2] & bit2) && try_slot(r.second, round)) return true;
+  }
+  return false;
+}
+
+void DeltaWindowProblem::max_match(std::span<const RequestId> lefts,
+                                   WindowScope scope,
+                                   std::vector<SlotRef>& out) const {
+  REQSCHED_REQUIRE_MSG(scope != WindowScope::kFullWindow,
+                       "max_match only serves the free-slot scopes");
+  const Round t = window_begin_;
+  const Round window_last =
+      scope == WindowScope::kCurrentRound ? t : window_end() - 1;
+
+  // One rows_ lookup per left up front; the augmenting search revisits
+  // owners many times and must not pay a hash probe per visit.
+  kuhn_rows_.resize(lefts.size());
+  for (std::size_t l = 0; l < lefts.size(); ++l) {
+    kuhn_rows_[l] = &row(lefts[l]);
+  }
+
+  ++call_stamp_;
+  match_ring_.assign(lefts.size(), -1);
+  for (std::size_t l = 0; l < lefts.size(); ++l) {
+    ++attempt_stamp_;
+    kuhn_try(static_cast<std::int32_t>(l), window_last, match_ring_);
+  }
+
+  // Ring column -> absolute round: the window holds each column exactly once.
+  const auto t_col = static_cast<Round>(column_of(t));
+  out.assign(lefts.size(), kNoSlot);
+  for (std::size_t l = 0; l < lefts.size(); ++l) {
+    const std::int32_t gi = match_ring_[l];
+    if (gi < 0) continue;
+    const auto col = static_cast<Round>(gi / config_.n);
+    const auto res = static_cast<ResourceId>(gi % config_.n);
+    const Round round = t + ((col - t_col) + config_.d) % config_.d;
+    out[l] = SlotRef{res, round};
+  }
+}
+
+std::size_t DeltaWindowProblem::approx_bytes() const {
+  return free_.capacity() * sizeof(std::uint64_t) +
+         res_free_.capacity() * sizeof(std::uint64_t) +
+         grid_.capacity() * sizeof(RequestId) +
+         visited_attempt_.capacity() * sizeof(std::int64_t) +
+         owner_call_.capacity() * sizeof(std::int64_t) +
+         owner_left_.capacity() * sizeof(std::int32_t) +
+         rows_.size() * (sizeof(RequestId) + sizeof(Row) + 2 * sizeof(void*));
+}
+
+}  // namespace reqsched

@@ -1,0 +1,186 @@
+// Delta-maintained request x slot window problem.
+//
+// Every global strategy used to rebuild its bipartite matching problem from
+// scratch each round: an O(n*d) scan over the schedule grid for the rights,
+// a fresh graph, fresh id maps. DeltaWindowProblem replaces those rebuilds
+// with one persistent structure per run, updated by the events the engine
+// already emits:
+//
+//   add_request  — an arrival appends a row (the canonical round-asc,
+//                  {first, second} slot enumeration, the same order
+//                  SlotGraph::append_slot_edges uses),
+//   retire       — an expiry or execution removes the row,
+//   book/unbook  — schedule edits flip per-slot free bits,
+//   advance      — the round boundary shifts the slot columns by one.
+//
+// Rights enumeration, right-index lookup, and graph construction then cost
+// O(free slots) / O(1) / O(edges) with all buffers reused, instead of
+// O(n*d) + allocations per round. The matching helpers (max_match,
+// first_free_allowed) run Kuhn / greedy-maximal directly in ring-slot space,
+// replicating kuhn_ordered / greedy_maximal traversal order exactly — the
+// strategies built on top are bit-identical to the rebuild-per-round path.
+//
+// The class is deliberately simulator-independent (events in, queries out),
+// so the differential fuzz suite can drive it standalone against a freshly
+// built instance after every event.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/types.hpp"
+#include "matching/bipartite.hpp"
+
+namespace reqsched {
+
+/// Which slots of the window become right-hand vertices (mirrors the
+/// strategies' SlotScope, redeclared here so the matching layer stays
+/// independent of the strategies layer).
+enum class WindowScope {
+  kFreeWindow,    ///< free slots in [t, t+d)
+  kCurrentRound,  ///< free slots of round t only
+  kFullWindow,    ///< every slot in [t, t+d), booked or not
+};
+
+class DeltaWindowProblem {
+ public:
+  DeltaWindowProblem() = default;
+
+  /// Reinitializes for a fresh run at round 0, reusing capacity.
+  void reset(const ProblemConfig& config);
+
+  const ProblemConfig& config() const { return config_; }
+  Round window_begin() const { return window_begin_; }
+  Round window_end() const { return window_begin_ + config_.d; }
+
+  // ---- events (the engine mirrors its round loop into these) ----
+
+  /// An arrival: `r.arrival` must be the current round, `r.deadline` inside
+  /// the window.
+  void add_request(const Request& r);
+
+  /// An expiry or execution removes the row; it must be unbooked.
+  void retire(RequestId id);
+
+  /// A schedule assign: the slot must be free, in the window, and one of the
+  /// row's alternatives within its deadline.
+  void book(RequestId id, SlotRef slot);
+
+  /// A schedule unassign (the row must be booked).
+  void unbook(RequestId id);
+
+  /// The round boundary: the current round's column must be fully free (the
+  /// engine executes and unbooks it first); it becomes round t + d.
+  void advance();
+
+  // ---- queries ----
+
+  bool has_row(RequestId id) const { return rows_.count(id) != 0; }
+  std::int64_t row_count() const {
+    return static_cast<std::int64_t>(rows_.size());
+  }
+  const Request& row(RequestId id) const;
+  SlotRef booked_slot_of(RequestId id) const;
+
+  bool in_window(Round round) const {
+    return round >= window_begin_ && round < window_end();
+  }
+  bool is_free(SlotRef slot) const;
+  RequestId request_at(SlotRef slot) const;
+
+  /// Earliest free slot of `resource` in [from, to] (window-clamped), or
+  /// kNoSlot — the same contract as Schedule::earliest_free_slot.
+  SlotRef earliest_free_slot(ResourceId resource, Round from, Round to) const;
+
+  /// The row's earliest free allowed slot (round asc, then {first, second}),
+  /// or kNoSlot — one step of a greedy-maximal extension.
+  SlotRef first_free_allowed(RequestId id) const;
+
+  /// Same query keyed by the request itself — skips the row-table lookup for
+  /// callers that already hold the Request (the straggler sweep probes
+  /// hundreds of rows per round and the hash probe would dominate). `r` must
+  /// describe a current row.
+  SlotRef first_free_allowed(const Request& r) const;
+
+  // ---- problem construction (arena-reusing) ----
+
+  /// Fills `rights` with the scope's slots ordered (round asc, resource asc)
+  /// — the library's canonical right order — without scanning booked slots.
+  void collect_rights(WindowScope scope, std::vector<SlotRef>& rights) const;
+
+  /// Builds the lefts x rights CSR graph for the scope: edge order per left
+  /// is (round asc, then first, second), filtered to free slots unless
+  /// kFullWindow — edge-for-edge identical to the per-round rebuild. Also
+  /// fills `rights` as collect_rights does.
+  void build_problem(std::span<const RequestId> lefts, WindowScope scope,
+                     std::vector<SlotRef>& rights, BipartiteGraph& graph) const;
+
+  /// Maximum matching of `lefts` into the scope's free slots (kFreeWindow or
+  /// kCurrentRound), Kuhn's algorithm in `lefts` order with the adjacency
+  /// order above — the exact kuhn_ordered traversal, run in ring-slot space
+  /// without building a graph. `out[i]` is the slot for `lefts[i]` (kNoSlot
+  /// when unmatched). Does not modify the window; apply via book()/the
+  /// simulator.
+  void max_match(std::span<const RequestId> lefts, WindowScope scope,
+                 std::vector<SlotRef>& out) const;
+
+  /// Resident estimate (capacities), for the engine's memory accounting.
+  std::size_t approx_bytes() const;
+
+ private:
+  struct Row {
+    Request request;
+    SlotRef booked = kNoSlot;
+  };
+
+  std::size_t words_per_column() const {
+    return (static_cast<std::size_t>(config_.n) + 63) / 64;
+  }
+  bool has_round_masks() const { return config_.d <= 64; }
+  /// res_free_[res] rotated so bit k means "free at round window_begin_ + k".
+  std::uint64_t rotated_round_mask(ResourceId res) const;
+  /// Bits [lo - window_begin_, hi - window_begin_] of a rotated mask.
+  std::uint64_t round_range_mask(Round lo, Round hi) const;
+  std::size_t column_of(Round round) const {
+    return static_cast<std::size_t>(round % config_.d);
+  }
+  std::size_t grid_index(SlotRef slot) const {
+    return column_of(slot.round) * static_cast<std::size_t>(config_.n) +
+           static_cast<std::size_t>(slot.resource);
+  }
+  void set_free(SlotRef slot, bool free);
+  /// Number of free slots in the round's column with resource < `resource`.
+  std::int32_t free_rank_below(Round round, ResourceId resource) const;
+  std::int32_t free_in_round(Round round) const;
+  bool kuhn_try(std::int32_t left, Round window_last,
+                std::vector<std::int32_t>& match_of_left) const;
+
+  ProblemConfig config_{};
+  Round window_begin_ = 0;
+  std::unordered_map<RequestId, Row> rows_;
+  /// Per-column free bitmasks, column-major: bit r of word (c * words + r/64)
+  /// is set when slot (r, round with round % d == c) is free.
+  std::vector<std::uint64_t> free_;
+  /// Transposed view, one word per resource: bit c set when the slot at ring
+  /// column c is free. Maintained only when d <= 64 (has_round_masks());
+  /// turns "earliest free round for this resource" into rotate + ctz.
+  std::vector<std::uint64_t> res_free_;
+  /// Occupant per ring slot (kNoRequest when free) — the authoritative
+  /// occupancy used by the REQUIREs and the fuzz equality checks.
+  std::vector<RequestId> grid_;
+
+  // Kuhn scratch (mutable: max_match is logically const). Stamp-versioned so
+  // a matching step touches only the slots it visits — no O(n*d) clears.
+  mutable std::vector<std::int64_t> visited_attempt_;  ///< per ring slot
+  mutable std::vector<std::int64_t> owner_call_;       ///< per ring slot
+  mutable std::vector<std::int32_t> owner_left_;       ///< per ring slot
+  mutable std::int64_t attempt_stamp_ = 0;             ///< one per left tried
+  mutable std::int64_t call_stamp_ = 0;                ///< one per max_match
+  mutable std::vector<std::int32_t> match_ring_;       ///< left -> ring slot
+  mutable std::vector<const Request*> kuhn_rows_;      ///< left -> row
+};
+
+}  // namespace reqsched

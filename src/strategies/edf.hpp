@@ -12,20 +12,26 @@
 // engineering fix (drop sibling copies between rounds) — still 2-competitive
 // in the worst case (same-round double service remains possible), but far
 // better on benign workloads; used by the ablation bench.
+//
+// Both are StrategyRuntime policies (the runtime owns the per-resource
+// queues and scratch). They never book beyond the current round, so they do
+// not ask for the engine's window problem.
 #pragma once
-
-#include <cstdint>
-#include <deque>
 
 #include "core/simulator.hpp"
 #include "core/strategy.hpp"
+#include "strategies/runtime.hpp"
 
 namespace reqsched {
 
 class EdfSingle final : public IStrategy {
  public:
   std::string name() const override { return "EDF_single"; }
-  void on_round(Simulator& sim) override;
+  void reset(const ProblemConfig& config) override { runtime_.reset(config); }
+  void on_round(Simulator& sim) override { runtime_.edf_single(sim); }
+
+ private:
+  StrategyRuntime runtime_;
 };
 
 class EdfTwoChoice final : public IStrategy {
@@ -37,18 +43,14 @@ class EdfTwoChoice final : public IStrategy {
     return cancel_fulfilled_copies_ ? "EDF_two_choice_cancel"
                                     : "EDF_two_choice";
   }
-  void reset(const ProblemConfig& config) override;
-  void on_round(Simulator& sim) override;
+  void reset(const ProblemConfig& config) override { runtime_.reset(config); }
+  void on_round(Simulator& sim) override {
+    runtime_.edf_two_choice(sim, cancel_fulfilled_copies_);
+  }
 
  private:
-  struct Copy {
-    RequestId request;
-    Round deadline;
-  };
-
   bool cancel_fulfilled_copies_;
-  /// Per-resource copy queues; kept sorted by (deadline, request id).
-  std::vector<std::deque<Copy>> queues_;
+  StrategyRuntime runtime_;
 };
 
 }  // namespace reqsched

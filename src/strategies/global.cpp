@@ -1,31 +1,14 @@
 #include "strategies/global.hpp"
 
-#include "matching/lex_matcher.hpp"
-#include "strategies/window_problem.hpp"
-
 namespace reqsched {
 
 void AFix::on_round(Simulator& sim) {
   // Step 1: a maximum matching of the newly injected requests into the free
   // window slots (rule 2 of A_fix: as many new requests as possible).
-  {
-    const auto injected = sim.injected_now();
-    const RoundProblem problem = build_round_problem(
-        sim, {injected.begin(), injected.end()}, SlotScope::kFreeWindow);
-    const Matching m = kuhn_ordered(problem.graph);
-    apply_assignments(sim, problem, m.left_to_right);
-  }
+  runtime_.match_new_into_window(sim);
   // Step 2: extend to a maximal matching with older unscheduled requests
   // (rule 1 keeps existing bookings untouched; we never unassign).
-  {
-    const auto older = older_unscheduled(sim);
-    if (!older.empty()) {
-      const RoundProblem problem =
-          build_round_problem(sim, older, SlotScope::kFreeWindow);
-      const Matching m = greedy_maximal(problem.graph);
-      apply_assignments(sim, problem, m.left_to_right);
-    }
-  }
+  runtime_.extend_with_stragglers(sim);
 }
 
 void ACurrent::on_round(Simulator& sim) {
@@ -33,11 +16,7 @@ void ACurrent::on_round(Simulator& sim) {
   // is unscheduled here. Kuhn in injection order implements the adversarial
   // "serve the oldest groups first" preference used by Theorem 2.2; any
   // processing order yields a legal A_current (the matching is maximum).
-  const auto alive = sim.alive();
-  const RoundProblem problem = build_round_problem(
-      sim, {alive.begin(), alive.end()}, SlotScope::kCurrentRound);
-  const Matching m = kuhn_ordered(problem.graph);
-  apply_assignments(sim, problem, m.left_to_right);
+  runtime_.match_current_round(sim);
 }
 
 void AFixBalance::on_round(Simulator& sim) {
@@ -46,38 +25,15 @@ void AFixBalance::on_round(Simulator& sim) {
   // which in particular yields a maximal matching. Existing bookings are
   // frozen; their per-round counts are constants and cancel out of the
   // lexicographic comparison.
-  const auto lefts = unscheduled_alive(sim);
-  const RoundProblem problem =
-      build_round_problem(sim, lefts, SlotScope::kFreeWindow);
-  LexMatchProblem lex = to_lex_problem(sim, problem, /*eager_levels=*/false,
-                                       /*cardinality_first=*/false);
-  const LexMatchResult result = solve_lex_matching(lex);
-  apply_assignments(sim, problem, result.left_to_right);
+  runtime_.balance_free_window(sim);
 }
-
-namespace {
-void rematch_full_window(Simulator& sim, bool eager_levels) {
-  const auto alive = sim.alive();
-  const RoundProblem problem = build_round_problem(
-      sim, {alive.begin(), alive.end()}, SlotScope::kFullWindow);
-  LexMatchProblem lex =
-      to_lex_problem(sim, problem, eager_levels, /*cardinality_first=*/true);
-  for (std::size_t l = 0; l < problem.lefts.size(); ++l) {
-    if (sim.is_scheduled(problem.lefts[l])) {
-      lex.required_lefts.push_back(static_cast<std::int32_t>(l));
-    }
-  }
-  const LexMatchResult result = solve_lex_matching(lex);
-  rebook(sim, problem, result.left_to_right);
-}
-}  // namespace
 
 void AEager::on_round(Simulator& sim) {
-  rematch_full_window(sim, /*eager_levels=*/true);
+  runtime_.rematch_window(sim, /*eager_levels=*/true);
 }
 
 void ABalance::on_round(Simulator& sim) {
-  rematch_full_window(sim, /*eager_levels=*/false);
+  runtime_.rematch_window(sim, /*eager_levels=*/false);
 }
 
 }  // namespace reqsched

@@ -16,43 +16,71 @@
 //                   maximized. Upper bound max(4/3, 6(d-1)/(4d-3)).
 //
 // Each class admits many implementations (ties are unconstrained); these are
-// the library's deterministic representatives. Adversarial tie-breaking for
-// the lower-bound constructions is provided by ScriptedStrategy.
+// the library's deterministic representatives, expressed as StrategyRuntime
+// policies over the engine's delta-maintained window problem (they all
+// return wants_window_problem() = true). Adversarial tie-breaking for the
+// lower-bound constructions is provided by ScriptedStrategy.
 #pragma once
 
 #include "core/simulator.hpp"
 #include "core/strategy.hpp"
+#include "strategies/runtime.hpp"
 
 namespace reqsched {
 
 class AFix final : public IStrategy {
  public:
   std::string name() const override { return "A_fix"; }
+  void reset(const ProblemConfig& config) override { runtime_.reset(config); }
   void on_round(Simulator& sim) override;
+  bool wants_window_problem() const override { return true; }
+
+ private:
+  StrategyRuntime runtime_;
 };
 
 class ACurrent final : public IStrategy {
  public:
   std::string name() const override { return "A_current"; }
+  void reset(const ProblemConfig& config) override { runtime_.reset(config); }
   void on_round(Simulator& sim) override;
+  bool wants_window_problem() const override { return true; }
+
+ private:
+  StrategyRuntime runtime_;
 };
 
 class AFixBalance final : public IStrategy {
  public:
   std::string name() const override { return "A_fix_balance"; }
+  void reset(const ProblemConfig& config) override { runtime_.reset(config); }
   void on_round(Simulator& sim) override;
+  bool wants_window_problem() const override { return true; }
+
+ private:
+  StrategyRuntime runtime_;
 };
 
 class AEager final : public IStrategy {
  public:
   std::string name() const override { return "A_eager"; }
+  void reset(const ProblemConfig& config) override { runtime_.reset(config); }
   void on_round(Simulator& sim) override;
+  bool wants_window_problem() const override { return true; }
+
+ private:
+  StrategyRuntime runtime_;
 };
 
 class ABalance final : public IStrategy {
  public:
   std::string name() const override { return "A_balance"; }
+  void reset(const ProblemConfig& config) override { runtime_.reset(config); }
   void on_round(Simulator& sim) override;
+  bool wants_window_problem() const override { return true; }
+
+ private:
+  StrategyRuntime runtime_;
 };
 
 }  // namespace reqsched

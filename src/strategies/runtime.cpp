@@ -1,0 +1,218 @@
+#include "strategies/runtime.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/simulator.hpp"
+#include "matching/delta_window.hpp"
+
+namespace reqsched {
+
+void StrategyRuntime::reset(const ProblemConfig& config) {
+  config.validate();
+  config_ = config;
+  lefts_.clear();
+  rights_.clear();
+  slots_.clear();
+  to_assign_.clear();
+  edf_best_.clear();
+  edf_queues_.assign(static_cast<std::size_t>(config.n), {});
+}
+
+const DeltaWindowProblem& StrategyRuntime::window(Simulator& sim) const {
+  return sim.engine().window_problem();
+}
+
+void StrategyRuntime::apply_matches(Simulator& sim) {
+  for (std::size_t l = 0; l < lefts_.size(); ++l) {
+    if (slots_[l].valid()) sim.assign(lefts_[l], slots_[l]);
+  }
+}
+
+void StrategyRuntime::collect_unscheduled(Simulator& sim, bool skip_injected) {
+  const auto injected = sim.injected_now();
+  // Pool ids are monotone and never recycled, so "injected this round" is
+  // exactly the ids at or past the round's first admission — an O(1) test
+  // instead of a scan of the injected span per alive request.
+  const RequestId injected_floor =
+      skip_injected && !injected.empty() ? injected.front() : kNoRequest;
+  lefts_.clear();
+  for (const RequestId id : sim.alive()) {
+    if (sim.is_scheduled(id)) continue;
+    if (injected_floor != kNoRequest && id >= injected_floor) continue;
+    lefts_.push_back(id);
+  }
+}
+
+void StrategyRuntime::match_new_into_window(Simulator& sim) {
+  const auto injected = sim.injected_now();
+  lefts_.assign(injected.begin(), injected.end());
+  window(sim).max_match(lefts_, WindowScope::kFreeWindow, slots_);
+  apply_matches(sim);
+}
+
+void StrategyRuntime::extend_with_stragglers(Simulator& sim) {
+  collect_unscheduled(sim, /*skip_injected=*/true);
+  const DeltaWindowProblem& w = window(sim);
+  // Booking immediately makes each straggler's pick visible to the next
+  // probe — the same consumption greedy_maximal models via right_matched.
+  // Probe via the pool's O(1) request lookup; the row-table overload would
+  // pay a hash probe per straggler.
+  for (const RequestId id : lefts_) {
+    const SlotRef slot = w.first_free_allowed(sim.request(id));
+    if (slot.valid()) sim.assign(id, slot);
+  }
+}
+
+void StrategyRuntime::match_current_round(Simulator& sim) {
+  const auto alive = sim.alive();
+  lefts_.assign(alive.begin(), alive.end());
+  window(sim).max_match(lefts_, WindowScope::kCurrentRound, slots_);
+  apply_matches(sim);
+}
+
+LexMatchResult StrategyRuntime::solve_lex(Simulator& sim, bool eager_levels,
+                                          bool cardinality_first) {
+  const Round t = sim.now();
+  lex_.level_count = eager_levels ? 2 : config_.d;
+  lex_.cardinality_first = cardinality_first;
+  lex_.level_of_right.resize(rights_.size());
+  for (std::size_t r = 0; r < rights_.size(); ++r) {
+    const Round offset = rights_[r].round - t;
+    lex_.level_of_right[r] = eager_levels
+                                 ? (offset == 0 ? 0 : 1)
+                                 : static_cast<std::int32_t>(offset);
+  }
+  return solve_lex_matching(lex_);
+}
+
+void StrategyRuntime::balance_free_window(Simulator& sim) {
+  collect_unscheduled(sim, /*skip_injected=*/false);
+  window(sim).build_problem(lefts_, WindowScope::kFreeWindow, rights_,
+                            lex_.graph);
+  lex_.required_lefts.clear();
+  const LexMatchResult result = solve_lex(sim, /*eager_levels=*/false,
+                                          /*cardinality_first=*/false);
+  slots_.assign(lefts_.size(), kNoSlot);
+  for (std::size_t l = 0; l < lefts_.size(); ++l) {
+    const std::int32_t r = result.left_to_right[l];
+    if (r >= 0) slots_[l] = rights_[static_cast<std::size_t>(r)];
+  }
+  apply_matches(sim);
+}
+
+void StrategyRuntime::rematch_window(Simulator& sim, bool eager_levels) {
+  const auto alive = sim.alive();
+  lefts_.assign(alive.begin(), alive.end());
+  window(sim).build_problem(lefts_, WindowScope::kFullWindow, rights_,
+                            lex_.graph);
+  lex_.required_lefts.clear();
+  for (std::size_t l = 0; l < lefts_.size(); ++l) {
+    if (sim.is_scheduled(lefts_[l])) {
+      lex_.required_lefts.push_back(static_cast<std::int32_t>(l));
+    }
+  }
+  const LexMatchResult result =
+      solve_lex(sim, eager_levels, /*cardinality_first=*/true);
+
+  // Rebook to the target map: two-phase (unassign, then assign) so cyclic
+  // slot swaps cannot conflict; a booked left whose slot changes counts as
+  // one reassignment.
+  to_assign_.clear();
+  std::int64_t reassigned = 0;
+  for (std::size_t l = 0; l < lefts_.size(); ++l) {
+    const RequestId id = lefts_[l];
+    const SlotRef old_slot = sim.slot_of(id);
+    const std::int32_t r = result.left_to_right[l];
+    const SlotRef new_slot =
+        r >= 0 ? rights_[static_cast<std::size_t>(r)] : kNoSlot;
+    if (old_slot == new_slot) continue;
+    if (old_slot.valid()) {
+      sim.unassign(id);
+      if (new_slot.valid()) ++reassigned;
+    }
+    if (new_slot.valid()) to_assign_.push_back(l);
+  }
+  for (const std::size_t l : to_assign_) {
+    sim.assign(lefts_[l],
+               rights_[static_cast<std::size_t>(result.left_to_right[l])]);
+  }
+  sim.note_reassignments(reassigned);
+}
+
+void StrategyRuntime::edf_single(Simulator& sim) {
+  const Round t = sim.now();
+  // Earliest deadline first, ties by injection order; each resource serves
+  // one request in the current round. No future slots are ever booked, so
+  // the alive list is exactly the per-resource queues.
+  edf_best_.assign(static_cast<std::size_t>(config_.n), kNoRequest);
+  for (const RequestId id : sim.alive()) {
+    const Request& r = sim.request(id);
+    REQSCHED_CHECK_MSG(r.alternative_count() == 1,
+                       "EdfSingle requires single-alternative requests");
+    RequestId& best = edf_best_[static_cast<std::size_t>(r.first)];
+    if (best == kNoRequest || sim.request(best).deadline > r.deadline) {
+      best = id;
+    }
+  }
+  for (ResourceId i = 0; i < config_.n; ++i) {
+    const RequestId id = edf_best_[static_cast<std::size_t>(i)];
+    if (id != kNoRequest) sim.assign(id, SlotRef{i, t});
+  }
+}
+
+void StrategyRuntime::edf_two_choice(Simulator& sim,
+                                     bool cancel_fulfilled_copies) {
+  const Round t = sim.now();
+
+  // Enqueue one copy per alternative of each newly injected request.
+  for (const RequestId id : sim.injected_now()) {
+    const Request& r = sim.request(id);
+    REQSCHED_CHECK_MSG(r.alternative_count() == 2,
+                       "EdfTwoChoice requires two-alternative requests");
+    for (const ResourceId res : {r.first, r.second}) {
+      auto& queue = edf_queues_[static_cast<std::size_t>(res)];
+      const EdfCopy copy{id, r.deadline};
+      const auto pos = std::lower_bound(
+          queue.begin(), queue.end(), copy,
+          [](const EdfCopy& a, const EdfCopy& b) {
+            return std::tie(a.deadline, a.request) <
+                   std::tie(b.deadline, b.request);
+          });
+      queue.insert(pos, copy);
+    }
+  }
+
+  for (ResourceId i = 0; i < config_.n; ++i) {
+    auto& queue = edf_queues_[static_cast<std::size_t>(i)];
+    // Drop expired copies (they sort to the front); optionally drop copies
+    // whose request was already fulfilled in an earlier round.
+    while (!queue.empty() &&
+           (queue.front().deadline < t ||
+            (cancel_fulfilled_copies &&
+             sim.status(queue.front().request) == RequestStatus::kFulfilled))) {
+      queue.pop_front();
+    }
+    if (queue.empty()) continue;
+
+    const EdfCopy copy = queue.front();
+    if (sim.status(copy.request) == RequestStatus::kFulfilled ||
+        sim.is_scheduled(copy.request)) {
+      // The sibling copy ran in an earlier round, or the other resource
+      // booked the request this very round: this resource redundantly
+      // serves the same data item — a round burned without gain.
+      sim.record_wasted_execution(i);
+    } else {
+      sim.assign(copy.request, SlotRef{i, t});
+    }
+    queue.pop_front();
+  }
+}
+
+SlotRef StrategyRuntime::earliest_free_slot(Simulator& sim,
+                                            ResourceId resource, Round from,
+                                            Round to) const {
+  return window(sim).earliest_free_slot(resource, from, to);
+}
+
+}  // namespace reqsched

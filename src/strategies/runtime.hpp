@@ -1,0 +1,114 @@
+// StrategyRuntime: the paper's strategy rules as policies over the engine's
+// delta-maintained window problem.
+//
+// Every strategy used to own a private rebuild loop: scan the schedule for
+// free slots, build a fresh graph, solve, apply. The runtime replaces those
+// loops with policy methods over the persistent DeltaWindowProblem that the
+// engine mirrors its round loop into (arrivals append rows, retirement
+// removes them, schedule edits flip free bits, the round boundary shifts
+// columns). A strategy becomes reset() + a couple of policy calls:
+//
+//   A_fix         = match_new_into_window + extend_with_stragglers
+//   A_current     = match_current_round
+//   A_fix_balance = balance_free_window
+//   A_eager       = rematch_window(eager_levels = true)
+//   A_balance     = rematch_window(eager_levels = false)
+//   EDF           = edf_single / edf_two_choice
+//   local         = earliest_free_slot during message acceptance
+//
+// Each policy is bit-identical to the legacy per-round-rebuild code it
+// replaces (the differential suite in tests/test_strategy_runtime.cpp pins
+// this): the Kuhn family runs directly in ring-slot space with the exact
+// kuhn_ordered / greedy_maximal traversal order, the balance family feeds
+// solve_lex_matching an edge-for-edge identical problem, and the apply /
+// rebook steps replicate the legacy booking order. What changes is the cost:
+// O(candidates x window) per round with zero steady-state allocations,
+// instead of O(n x d) schedule scans plus fresh graphs.
+//
+// The runtime only reads the window problem; every mutation goes through the
+// simulator so the engine's mirror stays authoritative.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/types.hpp"
+#include "matching/lex_matcher.hpp"
+
+namespace reqsched {
+
+class Simulator;
+class DeltaWindowProblem;
+
+class StrategyRuntime {
+ public:
+  /// Drops per-run state, reusing capacity. Call from IStrategy::reset.
+  void reset(const ProblemConfig& config);
+
+  // ---- A_fix ----
+
+  /// Maximum matching (Kuhn, injection order) of this round's arrivals into
+  /// the free window slots, booked through the simulator.
+  void match_new_into_window(Simulator& sim);
+
+  /// Greedy-maximal extension: each older unscheduled request takes its
+  /// earliest free allowed slot, in backlog order.
+  void extend_with_stragglers(Simulator& sim);
+
+  // ---- A_current ----
+
+  /// Maximum matching of all alive requests onto the current round's free
+  /// slots only.
+  void match_current_round(Simulator& sim);
+
+  // ---- A_fix_balance ----
+
+  /// Pure lexicographic placement of all unscheduled alive requests into the
+  /// free window (level j = round t + j).
+  void balance_free_window(Simulator& sim);
+
+  // ---- A_eager / A_balance ----
+
+  /// Cardinality-first lexicographic rematch of the full window; previously
+  /// scheduled requests are required to stay matched (they may move).
+  void rematch_window(Simulator& sim, bool eager_levels);
+
+  // ---- EDF baselines ----
+
+  void edf_single(Simulator& sim);
+  void edf_two_choice(Simulator& sim, bool cancel_fulfilled_copies);
+
+  // ---- local strategies ----
+
+  /// Earliest free slot of `resource` in [from, to] — the resource-side
+  /// acceptance probe, answered from the window's free bitmasks.
+  SlotRef earliest_free_slot(Simulator& sim, ResourceId resource, Round from,
+                             Round to) const;
+
+ private:
+  const DeltaWindowProblem& window(Simulator& sim) const;
+  /// Books every matched left of `lefts_`/`slots_` in left order.
+  void apply_matches(Simulator& sim);
+  /// Fills `lefts_` with the alive-but-unbooked backlog, oldest first,
+  /// optionally excluding this round's arrivals.
+  void collect_unscheduled(Simulator& sim, bool skip_injected);
+  /// Fills lex_ levels for `rights_` and solves.
+  LexMatchResult solve_lex(Simulator& sim, bool eager_levels,
+                           bool cardinality_first);
+
+  struct EdfCopy {
+    RequestId request;
+    Round deadline;
+  };
+
+  ProblemConfig config_{};
+  std::vector<RequestId> lefts_;
+  std::vector<SlotRef> rights_;
+  std::vector<SlotRef> slots_;  ///< max_match output, parallel to lefts_
+  LexMatchProblem lex_;         ///< graph + levels reused across rounds
+  std::vector<std::size_t> to_assign_;
+  std::vector<RequestId> edf_best_;
+  std::vector<std::deque<EdfCopy>> edf_queues_;
+};
+
+}  // namespace reqsched

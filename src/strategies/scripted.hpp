@@ -58,6 +58,11 @@ class ScriptedStrategy final : public IStrategy {
   std::string name() const override;
   void reset(const ProblemConfig& config) override;
   void on_round(Simulator& sim) override;
+  /// The fallback is a reference strategy; when a proposal is rejected it
+  /// runs verbatim, so the engine must maintain whatever it consumes.
+  bool wants_window_problem() const override {
+    return fallback_->wants_window_problem();
+  }
 
   std::int64_t violations() const { return violations_; }
   const std::vector<std::string>& violation_log() const {

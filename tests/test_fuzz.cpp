@@ -34,6 +34,9 @@ class EnumeratingProbe final : public IStrategy {
 
   std::string name() const override { return "enumerating_probe"; }
   void reset(const ProblemConfig& config) override { fallback_->reset(config); }
+  bool wants_window_problem() const override {
+    return fallback_->wants_window_problem();
+  }
 
   void on_round(Simulator& sim) override {
     enumerate_and_check(sim);

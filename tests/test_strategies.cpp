@@ -21,6 +21,9 @@ class SelfCheckStrategy final : public IStrategy {
 
   std::string name() const override { return inner_->name() + "_selfcheck"; }
   void reset(const ProblemConfig& config) override { inner_->reset(config); }
+  bool wants_window_problem() const override {
+    return inner_->wants_window_problem();
+  }
 
   void on_round(Simulator& sim) override {
     // Snapshot the checker's reference BEFORE the strategy runs by checking
@@ -134,6 +137,10 @@ TEST(ACurrentRule, OnlyBooksTheCurrentRound) {
   class Probe final : public IStrategy {
    public:
     std::string name() const override { return "probe"; }
+    void reset(const ProblemConfig& config) override { inner_.reset(config); }
+    bool wants_window_problem() const override {
+      return inner_.wants_window_problem();
+    }
     void on_round(Simulator& sim) override {
       inner_.on_round(sim);
       for (Round t = sim.now() + 1; t < sim.schedule().window_end(); ++t) {
@@ -154,6 +161,9 @@ TEST(AEagerRule, PreviouslyScheduledStayScheduled) {
    public:
     std::string name() const override { return "probe"; }
     void reset(const ProblemConfig& config) override { inner_.reset(config); }
+    bool wants_window_problem() const override {
+      return inner_.wants_window_problem();
+    }
     void on_round(Simulator& sim) override {
       std::vector<RequestId> booked_before;
       for (const RequestId id : sim.alive()) {
@@ -178,6 +188,9 @@ TEST(ABalanceRule, PreviouslyScheduledStayScheduled) {
    public:
     std::string name() const override { return "probe"; }
     void reset(const ProblemConfig& config) override { inner_.reset(config); }
+    bool wants_window_problem() const override {
+      return inner_.wants_window_problem();
+    }
     void on_round(Simulator& sim) override {
       std::vector<RequestId> booked_before;
       for (const RequestId id : sim.alive()) {

@@ -1,0 +1,932 @@
+// Differential suite for the incremental StrategyRuntime (PR 4).
+//
+// The strategies were rewritten from rebuild-per-round (build_round_problem
+// on every on_round) to delta-maintained window problems. The legacy code
+// path is frozen in strategies/window_problem.hpp, and this file keeps
+// verbatim copies of the pre-runtime strategy bodies on that path. Every
+// runtime strategy must be BIT-identical to its frozen twin — metrics,
+// online matching, and the per-round prefix-optimum series — on the five
+// lower-bound instances and 200 random traces.
+//
+// The second half fuzzes DeltaWindowProblem standalone: a random event
+// stream (arrivals, bookings, unbookings, retirements, round advances) is
+// applied to one instance while a naive model tracks ground truth; after
+// every event the instance must agree with the model, with a freshly built
+// instance (the event log replayed into a new object), and with the legacy
+// matchers run on the graph it builds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "adversary/random.hpp"
+#include "adversary/theorems.hpp"
+#include "analysis/prefix.hpp"
+#include "analysis/registry.hpp"
+#include "core/simulator.hpp"
+#include "local/router.hpp"
+#include "matching/delta_window.hpp"
+#include "matching/lex_matcher.hpp"
+#include "strategies/window_problem.hpp"
+#include "util/prng.hpp"
+
+namespace reqsched {
+namespace {
+
+// ===========================================================================
+// Frozen legacy strategies: the exact pre-runtime bodies, on the retained
+// rebuild-per-round helpers. Do not "improve" these — they are the reference
+// the incremental runtime is diffed against.
+
+namespace legacy {
+
+class AFix final : public IStrategy {
+ public:
+  std::string name() const override { return "legacy_A_fix"; }
+  void on_round(Simulator& sim) override {
+    {
+      const auto injected = sim.injected_now();
+      const RoundProblem problem = build_round_problem(
+          sim, {injected.begin(), injected.end()}, SlotScope::kFreeWindow);
+      const Matching m = kuhn_ordered(problem.graph);
+      apply_assignments(sim, problem, m.left_to_right);
+    }
+    {
+      const auto older = older_unscheduled(sim);
+      if (!older.empty()) {
+        const RoundProblem problem =
+            build_round_problem(sim, older, SlotScope::kFreeWindow);
+        const Matching m = greedy_maximal(problem.graph);
+        apply_assignments(sim, problem, m.left_to_right);
+      }
+    }
+  }
+};
+
+class ACurrent final : public IStrategy {
+ public:
+  std::string name() const override { return "legacy_A_current"; }
+  void on_round(Simulator& sim) override {
+    const auto alive = sim.alive();
+    const RoundProblem problem = build_round_problem(
+        sim, {alive.begin(), alive.end()}, SlotScope::kCurrentRound);
+    const Matching m = kuhn_ordered(problem.graph);
+    apply_assignments(sim, problem, m.left_to_right);
+  }
+};
+
+class AFixBalance final : public IStrategy {
+ public:
+  std::string name() const override { return "legacy_A_fix_balance"; }
+  void on_round(Simulator& sim) override {
+    const auto lefts = unscheduled_alive(sim);
+    const RoundProblem problem =
+        build_round_problem(sim, lefts, SlotScope::kFreeWindow);
+    LexMatchProblem lex = to_lex_problem(sim, problem, /*eager_levels=*/false,
+                                         /*cardinality_first=*/false);
+    const LexMatchResult result = solve_lex_matching(lex);
+    apply_assignments(sim, problem, result.left_to_right);
+  }
+};
+
+void rematch_full_window(Simulator& sim, bool eager_levels) {
+  const auto alive = sim.alive();
+  const RoundProblem problem = build_round_problem(
+      sim, {alive.begin(), alive.end()}, SlotScope::kFullWindow);
+  LexMatchProblem lex =
+      to_lex_problem(sim, problem, eager_levels, /*cardinality_first=*/true);
+  for (std::size_t l = 0; l < problem.lefts.size(); ++l) {
+    if (sim.is_scheduled(problem.lefts[l])) {
+      lex.required_lefts.push_back(static_cast<std::int32_t>(l));
+    }
+  }
+  const LexMatchResult result = solve_lex_matching(lex);
+  rebook(sim, problem, result.left_to_right);
+}
+
+class AEager final : public IStrategy {
+ public:
+  std::string name() const override { return "legacy_A_eager"; }
+  void on_round(Simulator& sim) override {
+    rematch_full_window(sim, /*eager_levels=*/true);
+  }
+};
+
+class ABalance final : public IStrategy {
+ public:
+  std::string name() const override { return "legacy_A_balance"; }
+  void on_round(Simulator& sim) override {
+    rematch_full_window(sim, /*eager_levels=*/false);
+  }
+};
+
+class EdfSingle final : public IStrategy {
+ public:
+  std::string name() const override { return "legacy_EDF_single"; }
+  void on_round(Simulator& sim) override {
+    const Round t = sim.now();
+    std::vector<RequestId> best(static_cast<std::size_t>(sim.config().n),
+                                kNoRequest);
+    for (const RequestId id : sim.alive()) {
+      const Request& r = sim.request(id);
+      REQSCHED_CHECK_MSG(r.alternative_count() == 1,
+                         "EdfSingle requires single-alternative requests");
+      RequestId& slot_best = best[static_cast<std::size_t>(r.first)];
+      if (slot_best == kNoRequest ||
+          sim.request(slot_best).deadline > r.deadline) {
+        slot_best = id;
+      }
+    }
+    for (ResourceId i = 0; i < sim.config().n; ++i) {
+      const RequestId id = best[static_cast<std::size_t>(i)];
+      if (id != kNoRequest) sim.assign(id, SlotRef{i, t});
+    }
+  }
+};
+
+class EdfTwoChoice final : public IStrategy {
+ public:
+  explicit EdfTwoChoice(bool cancel_fulfilled_copies)
+      : cancel_fulfilled_copies_(cancel_fulfilled_copies) {}
+
+  std::string name() const override { return "legacy_EDF_two_choice"; }
+  void reset(const ProblemConfig& config) override {
+    queues_.assign(static_cast<std::size_t>(config.n), {});
+  }
+
+  void on_round(Simulator& sim) override {
+    const Round t = sim.now();
+    for (const RequestId id : sim.injected_now()) {
+      const Request& r = sim.request(id);
+      REQSCHED_CHECK_MSG(r.alternative_count() == 2,
+                         "EdfTwoChoice requires two-alternative requests");
+      for (const ResourceId res : {r.first, r.second}) {
+        auto& queue = queues_[static_cast<std::size_t>(res)];
+        const Copy copy{id, r.deadline};
+        const auto pos = std::lower_bound(
+            queue.begin(), queue.end(), copy,
+            [](const Copy& a, const Copy& b) {
+              return std::tie(a.deadline, a.request) <
+                     std::tie(b.deadline, b.request);
+            });
+        queue.insert(pos, copy);
+      }
+    }
+    for (ResourceId i = 0; i < sim.config().n; ++i) {
+      auto& queue = queues_[static_cast<std::size_t>(i)];
+      while (!queue.empty() &&
+             (queue.front().deadline < t ||
+              (cancel_fulfilled_copies_ &&
+               sim.status(queue.front().request) ==
+                   RequestStatus::kFulfilled))) {
+        queue.pop_front();
+      }
+      if (queue.empty()) continue;
+      const Copy copy = queue.front();
+      if (sim.status(copy.request) == RequestStatus::kFulfilled ||
+          sim.is_scheduled(copy.request)) {
+        sim.record_wasted_execution(i);
+      } else {
+        sim.assign(copy.request, SlotRef{i, t});
+      }
+      queue.pop_front();
+    }
+  }
+
+ private:
+  struct Copy {
+    RequestId request;
+    Round deadline;
+  };
+  bool cancel_fulfilled_copies_;
+  std::vector<std::deque<Copy>> queues_;
+};
+
+/// Resource-side maximal acceptance shared by the two local strategies,
+/// probing the schedule directly (the pre-runtime slot query path).
+std::vector<Message> accept_maximal(Simulator& sim, const Delivery& delivery) {
+  std::vector<Message> rejected(delivery.failed);
+  for (ResourceId i = 0; i < sim.config().n; ++i) {
+    for (const Message& m : delivery.delivered[static_cast<std::size_t>(i)]) {
+      const Request& r = sim.request(m.sender);
+      const SlotRef slot =
+          sim.schedule().earliest_free_slot(i, sim.now(), r.deadline);
+      if (slot.valid()) {
+        sim.assign(m.sender, slot);
+      } else {
+        rejected.push_back(m);
+      }
+    }
+  }
+  return rejected;
+}
+
+class ALocalFix final : public IStrategy {
+ public:
+  std::string name() const override { return "legacy_A_local_fix"; }
+  void on_round(Simulator& sim) override {
+    std::vector<Message> first_wave;
+    for (const RequestId id : sim.injected_now()) {
+      const Request& r = sim.request(id);
+      REQSCHED_CHECK_MSG(r.alternative_count() == 2,
+                         "local strategies require two alternatives");
+      first_wave.push_back(Message{id, r.first, r.deadline, false, 0});
+    }
+    if (first_wave.empty()) return;
+    sim.record_communication(1, static_cast<std::int64_t>(first_wave.size()));
+    const std::vector<Message> failed_first = accept_maximal(
+        sim, route_messages(sim.config(), std::move(first_wave)));
+    std::vector<Message> second_wave;
+    for (const Message& m : failed_first) {
+      const Request& r = sim.request(m.sender);
+      second_wave.push_back(Message{m.sender, r.second, r.deadline, false, 0});
+    }
+    if (second_wave.empty()) return;
+    sim.record_communication(1, static_cast<std::int64_t>(second_wave.size()));
+    accept_maximal(sim, route_messages(sim.config(), std::move(second_wave)));
+  }
+};
+
+std::vector<RequestId> unscheduled_pending(const Simulator& sim) {
+  std::vector<RequestId> out;
+  for (const RequestId id : sim.alive()) {
+    if (!sim.is_scheduled(id)) out.push_back(id);
+  }
+  return out;
+}
+
+class ALocalEager final : public IStrategy {
+ public:
+  explicit ALocalEager(bool merged_phase23)
+      : merged_phase23_(merged_phase23) {}
+
+  std::string name() const override { return "legacy_A_local_eager"; }
+
+  void on_round(Simulator& sim) override {
+    const Round t = sim.now();
+    std::int64_t comm_rounds = 0;
+    std::int64_t messages = 0;
+    {
+      std::vector<Message> wave;
+      for (const RequestId id : unscheduled_pending(sim)) {
+        const Request& r = sim.request(id);
+        REQSCHED_CHECK_MSG(r.alternative_count() == 2,
+                           "local strategies require two alternatives");
+        wave.push_back(Message{id, r.first, r.deadline, false, 0});
+      }
+      if (!wave.empty()) {
+        ++comm_rounds;
+        messages += static_cast<std::int64_t>(wave.size());
+        const auto failed = accept_maximal(
+            sim, route_messages(sim.config(), std::move(wave), 0));
+        std::vector<Message> retry;
+        for (const Message& m : failed) {
+          const Request& r = sim.request(m.sender);
+          retry.push_back(Message{m.sender, r.second, r.deadline, false, 0});
+        }
+        if (!retry.empty()) {
+          ++comm_rounds;
+          messages += static_cast<std::int64_t>(retry.size());
+          accept_maximal(sim,
+                         route_messages(sim.config(), std::move(retry), 0));
+        }
+      }
+    }
+    {
+      std::vector<Message> offers;
+      for (const RequestId id : sim.alive()) {
+        const SlotRef slot = sim.slot_of(id);
+        if (!slot.valid() || slot.round <= t) continue;
+        const Request& r = sim.request(id);
+        offers.push_back(Message{id, r.other_alternative(slot.resource),
+                                 r.deadline, false, 0});
+      }
+      if (!offers.empty()) {
+        comm_rounds += 2;
+        messages += static_cast<std::int64_t>(offers.size());
+        const Delivery delivery =
+            route_messages(sim.config(), std::move(offers), 0);
+        for (ResourceId i = 0; i < sim.config().n; ++i) {
+          if (!sim.schedule().is_free({i, t})) continue;
+          const auto& inbox = delivery.delivered[static_cast<std::size_t>(i)];
+          for (const Message& m : inbox) {
+            const SlotRef cur = sim.slot_of(m.sender);
+            if (cur.valid() && cur.round > t) {
+              sim.move(m.sender, SlotRef{i, t});
+              ++messages;
+              break;
+            }
+          }
+        }
+      }
+    }
+    const std::int64_t phase2_rounds = comm_rounds;
+    const std::int64_t iter1 = rivalry_iteration(sim, 0, messages);
+    const std::int64_t iter2 = rivalry_iteration(sim, 1, messages);
+    comm_rounds += iter1 + iter2 - ((iter1 > 0 && iter2 > 0) ? 1 : 0);
+    if (merged_phase23_ && phase2_rounds > 2 && iter1 > 0) {
+      --comm_rounds;
+    }
+    const std::int64_t budget = merged_phase23_ ? 8 : 9;
+    REQSCHED_CHECK_MSG(comm_rounds <= budget,
+                       "A_local_eager exceeded " << budget
+                                                 << " communication rounds: "
+                                                 << comm_rounds);
+    sim.record_communication(comm_rounds, messages);
+  }
+
+ private:
+  std::int64_t rivalry_iteration(Simulator& sim, int alt,
+                                 std::int64_t& messages) {
+    const Round t = sim.now();
+    std::vector<Message> wave;
+    for (const RequestId id : unscheduled_pending(sim)) {
+      const Request& r = sim.request(id);
+      const ResourceId target = alt == 0 ? r.first : r.second;
+      wave.push_back(Message{id, target, r.deadline, false, 0});
+    }
+    if (wave.empty()) return 0;
+    std::int64_t rounds = 1;
+    messages += static_cast<std::int64_t>(wave.size());
+    const std::int32_t capacity =
+        merged_phase23_ && alt == 0 ? std::max(1, 2 * sim.config().d - 2) : 0;
+    const Delivery delivery =
+        route_messages(sim.config(), std::move(wave), capacity);
+
+    struct ExchangePlan {
+      RequestId rival;
+      RequestId displaced;
+      ResourceId home;
+      ResourceId new_home;
+    };
+    std::vector<ExchangePlan> plans;
+    for (ResourceId i = 0; i < sim.config().n; ++i) {
+      const auto& inbox = delivery.delivered[static_cast<std::size_t>(i)];
+      if (inbox.empty()) continue;
+      const RequestId occupant = sim.schedule().request_at({i, t});
+      if (occupant == kNoRequest) {
+        for (const Message& m : inbox) {
+          if (sim.is_scheduled(m.sender)) continue;
+          const Request& r = sim.request(m.sender);
+          const SlotRef slot =
+              sim.schedule().earliest_free_slot(i, t, r.deadline);
+          if (slot.valid()) sim.assign(m.sender, slot);
+        }
+        continue;
+      }
+      for (const Message& m : inbox) {
+        if (sim.is_scheduled(m.sender)) continue;
+        plans.push_back(ExchangePlan{
+            m.sender, occupant, i,
+            sim.request(occupant).other_alternative(i)});
+        break;
+      }
+    }
+    if (plans.empty()) return rounds;
+
+    std::vector<Message> rehome;
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+      rehome.push_back(Message{plans[p].rival, plans[p].new_home,
+                               sim.request(plans[p].displaced).deadline, false,
+                               static_cast<std::int32_t>(p)});
+    }
+    ++rounds;
+    messages += static_cast<std::int64_t>(rehome.size());
+    const Delivery rehomed =
+        route_messages(sim.config(), std::move(rehome), 0);
+
+    bool any_exchange = false;
+    for (ResourceId i = 0; i < sim.config().n; ++i) {
+      for (const Message& m : rehomed.delivered[static_cast<std::size_t>(i)]) {
+        const ExchangePlan& plan = plans[static_cast<std::size_t>(m.payload)];
+        const Request& displaced = sim.request(plan.displaced);
+        if (sim.slot_of(plan.displaced) != SlotRef{plan.home, t}) continue;
+        if (sim.is_scheduled(plan.rival)) continue;
+        const SlotRef landing =
+            sim.schedule().earliest_free_slot(i, t, displaced.deadline);
+        if (!landing.valid()) continue;
+        sim.move(plan.displaced, landing);
+        sim.assign(plan.rival, SlotRef{plan.home, t});
+        any_exchange = true;
+        ++messages;
+      }
+    }
+    if (any_exchange) ++rounds;
+    return rounds;
+  }
+
+  bool merged_phase23_;
+};
+
+}  // namespace legacy
+
+std::unique_ptr<IStrategy> make_legacy(const std::string& name) {
+  if (name == "A_fix") return std::make_unique<legacy::AFix>();
+  if (name == "A_current") return std::make_unique<legacy::ACurrent>();
+  if (name == "A_fix_balance") return std::make_unique<legacy::AFixBalance>();
+  if (name == "A_eager") return std::make_unique<legacy::AEager>();
+  if (name == "A_balance") return std::make_unique<legacy::ABalance>();
+  if (name == "A_local_fix") return std::make_unique<legacy::ALocalFix>();
+  if (name == "A_local_eager") {
+    return std::make_unique<legacy::ALocalEager>(false);
+  }
+  if (name == "A_local_eager_merged") {
+    return std::make_unique<legacy::ALocalEager>(true);
+  }
+  if (name == "EDF_single") return std::make_unique<legacy::EdfSingle>();
+  if (name == "EDF_two_choice") {
+    return std::make_unique<legacy::EdfTwoChoice>(false);
+  }
+  if (name == "EDF_two_choice_cancel") {
+    return std::make_unique<legacy::EdfTwoChoice>(true);
+  }
+  REQSCHED_CHECK_MSG(false, "no frozen legacy twin for " << name);
+  return nullptr;
+}
+
+// ===========================================================================
+// Differential harness: one run each, captured through the prefix probe.
+
+struct RunCapture {
+  Metrics metrics;
+  std::vector<std::pair<RequestId, SlotRef>> matching;
+  std::vector<RoundSample> series;
+};
+
+RunCapture run_captured(IWorkload& workload, IStrategy& strategy) {
+  PrefixOptimumProbe probe(strategy);
+  Simulator sim(workload, probe);
+  RunCapture out;
+  out.metrics = sim.run();
+  out.matching = sim.online_matching();
+  std::sort(out.matching.begin(), out.matching.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.series = probe.take_samples();
+  return out;
+}
+
+void expect_identical(const RunCapture& incremental, const RunCapture& frozen,
+                      const std::string& label) {
+  EXPECT_TRUE(incremental.metrics == frozen.metrics)
+      << label << ": metrics diverged — incremental " << incremental.metrics
+      << " vs frozen " << frozen.metrics;
+  ASSERT_EQ(incremental.matching.size(), frozen.matching.size()) << label;
+  for (std::size_t i = 0; i < frozen.matching.size(); ++i) {
+    EXPECT_EQ(incremental.matching[i].first, frozen.matching[i].first)
+        << label;
+    EXPECT_EQ(incremental.matching[i].second, frozen.matching[i].second)
+        << label << ": r" << frozen.matching[i].first
+        << " executed in a different slot";
+  }
+  ASSERT_EQ(incremental.series.size(), frozen.series.size()) << label;
+  for (std::size_t i = 0; i < frozen.series.size(); ++i) {
+    const RoundSample& a = incremental.series[i];
+    const RoundSample& b = frozen.series[i];
+    EXPECT_EQ(a.round, b.round) << label;
+    EXPECT_EQ(a.injected, b.injected) << label;
+    EXPECT_EQ(a.executed, b.executed) << label << " round " << b.round;
+    EXPECT_EQ(a.pending, b.pending) << label << " round " << b.round;
+    EXPECT_EQ(a.booked, b.booked) << label << " round " << b.round;
+    EXPECT_EQ(a.idle, b.idle) << label << " round " << b.round;
+    EXPECT_EQ(a.tightest_slack, b.tightest_slack) << label;
+    EXPECT_EQ(a.prefix_opt, b.prefix_opt) << label << " round " << b.round;
+    EXPECT_EQ(a.prefix_fulfilled, b.prefix_fulfilled)
+        << label << " round " << b.round;
+    if (!(std::isnan(a.prefix_ratio) && std::isnan(b.prefix_ratio))) {
+      EXPECT_EQ(a.prefix_ratio, b.prefix_ratio)
+          << label << " round " << b.round;
+    }
+  }
+}
+
+/// Runs the registry (incremental) strategy and its frozen twin on two fresh
+/// instances of the same workload and requires bit-identity.
+template <typename MakeWorkload>
+void expect_runtime_matches_legacy(const std::string& name,
+                                   const MakeWorkload& make_workload) {
+  auto incremental_workload = make_workload();
+  auto frozen_workload = make_workload();
+  const auto incremental_strategy = make_strategy(name);
+  const auto frozen_strategy = make_legacy(name);
+  const RunCapture incremental =
+      run_captured(*incremental_workload, *incremental_strategy);
+  const RunCapture frozen = run_captured(*frozen_workload, *frozen_strategy);
+  expect_identical(incremental, frozen, name);
+}
+
+TEST(RuntimeDifferential, LowerBoundInstancesAreBitIdentical) {
+  // Each theorem instance against the strategy class it attacks: the traces
+  // where tie-breaking is adversarially steered, i.e. where any drift in
+  // traversal order would surface immediately.
+  const std::vector<std::pair<std::string,
+                              std::function<TheoremInstance()>>> cases = {
+      {"A_fix", [] { return make_lb_fix(4, 3); }},
+      {"A_current", [] { return make_lb_current(3, 3); }},
+      {"A_fix_balance", [] { return make_lb_fix_balance(4, 3); }},
+      {"A_eager", [] { return make_lb_eager(4, 3); }},
+      {"A_balance", [] { return make_lb_balance(2, 2, 3); }},
+  };
+  for (const auto& [name, make] : cases) {
+    expect_runtime_matches_legacy(name, [&make] {
+      return std::move(make().workload);
+    });
+  }
+}
+
+TEST(RuntimeDifferential, TwoHundredRandomTracesAreBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const RandomWorkloadOptions options{
+        .n = static_cast<std::int32_t>(2 + seed % 4),
+        .d = static_cast<std::int32_t>(1 + seed % 3),
+        .load = 0.5 + 0.1 * static_cast<double>(seed % 14),
+        .horizon = static_cast<Round>(8 + seed % 9),
+        .seed = seed,
+        .two_choice = seed % 3 != 0};
+    std::vector<std::string> names = {"A_fix", "A_current", "A_fix_balance",
+                                      "A_eager", "A_balance"};
+    if (options.two_choice) {
+      names.insert(names.end(),
+                   {"A_local_fix", "A_local_eager", "A_local_eager_merged",
+                    "EDF_two_choice", "EDF_two_choice_cancel"});
+    } else {
+      names.push_back("EDF_single");
+    }
+    for (const std::string& name : names) {
+      expect_runtime_matches_legacy(name, [&options] {
+        return std::make_unique<UniformWorkload>(options);
+      });
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "first divergence: " << name << " on seed " << seed;
+      }
+    }
+  }
+}
+
+// ===========================================================================
+// DeltaWindowProblem event fuzz: instance vs naive model vs fresh replay.
+
+struct Event {
+  enum class Kind { kAdd, kRetire, kBook, kUnbook, kAdvance };
+  Kind kind;
+  Request request;  // kAdd
+  RequestId id = kNoRequest;
+  SlotRef slot = kNoSlot;
+};
+
+void apply_event(DeltaWindowProblem& p, const Event& e) {
+  switch (e.kind) {
+    case Event::Kind::kAdd: p.add_request(e.request); break;
+    case Event::Kind::kRetire: p.retire(e.id); break;
+    case Event::Kind::kBook: p.book(e.id, e.slot); break;
+    case Event::Kind::kUnbook: p.unbook(e.id); break;
+    case Event::Kind::kAdvance: p.advance(); break;
+  }
+}
+
+struct Model {
+  std::map<RequestId, Request> rows;
+  std::map<RequestId, SlotRef> booked;
+  std::map<std::pair<Round, ResourceId>, RequestId> occupant;
+
+  bool is_free(SlotRef s) const {
+    return occupant.count({s.round, s.resource}) == 0;
+  }
+};
+
+/// The canonical per-left slot enumeration: rounds ascending clamped to the
+/// window, then {first, second}; optionally filtered to free slots.
+std::vector<SlotRef> naive_allowed(const Model& model, const Request& r,
+                                   Round t, std::int32_t d, bool only_free) {
+  std::vector<SlotRef> out;
+  const Round lo = std::max(r.arrival, t);
+  const Round hi = std::min(r.deadline, t + d - 1);
+  for (Round round = lo; round <= hi; ++round) {
+    for (const ResourceId res : {r.first, r.second}) {
+      if (res == kNoResource) continue;
+      const SlotRef slot{res, round};
+      if (only_free && !model.is_free(slot)) continue;
+      out.push_back(slot);
+    }
+  }
+  return out;
+}
+
+std::vector<SlotRef> naive_rights(const Model& model, Round t, std::int32_t n,
+                                  std::int32_t d, WindowScope scope) {
+  std::vector<SlotRef> out;
+  const Round last = scope == WindowScope::kCurrentRound ? t : t + d - 1;
+  for (Round round = t; round <= last; ++round) {
+    for (ResourceId res = 0; res < n; ++res) {
+      const SlotRef slot{res, round};
+      if (scope != WindowScope::kFullWindow && !model.is_free(slot)) continue;
+      out.push_back(slot);
+    }
+  }
+  return out;
+}
+
+void expect_graphs_equal(const BipartiteGraph& a, const BipartiteGraph& b) {
+  ASSERT_EQ(a.left_count(), b.left_count());
+  ASSERT_EQ(a.right_count(), b.right_count());
+  for (std::int32_t l = 0; l < a.left_count(); ++l) {
+    const auto na = a.neighbors(l);
+    const auto nb = b.neighbors(l);
+    ASSERT_EQ(na.size(), nb.size()) << "left " << l;
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i], nb[i]) << "left " << l << " edge " << i;
+    }
+  }
+}
+
+/// The full agreement check: `p` (delta-maintained) vs `fresh` (the event
+/// log replayed into a new instance) vs the naive model, plus the legacy
+/// matchers run on the graph `p` builds.
+void expect_consistent(const DeltaWindowProblem& p,
+                       const DeltaWindowProblem& fresh, const Model& model,
+                       Round t, const ProblemConfig& config) {
+  const std::int32_t n = config.n;
+  const std::int32_t d = config.d;
+  ASSERT_EQ(p.window_begin(), t);
+  ASSERT_EQ(fresh.window_begin(), t);
+  ASSERT_EQ(p.row_count(), static_cast<std::int64_t>(model.rows.size()));
+  ASSERT_EQ(fresh.row_count(), p.row_count());
+
+  for (Round round = t; round < t + d; ++round) {
+    for (ResourceId res = 0; res < n; ++res) {
+      const SlotRef slot{res, round};
+      const auto it = model.occupant.find({round, res});
+      const RequestId expected =
+          it == model.occupant.end() ? kNoRequest : it->second;
+      ASSERT_EQ(p.is_free(slot), expected == kNoRequest) << slot;
+      ASSERT_EQ(p.request_at(slot), expected) << slot;
+      ASSERT_EQ(fresh.is_free(slot), expected == kNoRequest) << slot;
+      ASSERT_EQ(fresh.request_at(slot), expected) << slot;
+    }
+  }
+
+  std::vector<RequestId> all_rows;
+  std::vector<RequestId> unbooked;
+  for (const auto& [id, r] : model.rows) {
+    all_rows.push_back(id);
+    ASSERT_TRUE(p.has_row(id));
+    const Request& row = p.row(id);
+    EXPECT_EQ(row.id, r.id);
+    EXPECT_EQ(row.arrival, r.arrival);
+    EXPECT_EQ(row.deadline, r.deadline);
+    EXPECT_EQ(row.first, r.first);
+    EXPECT_EQ(row.second, r.second);
+    const auto booked = model.booked.find(id);
+    const SlotRef expected =
+        booked == model.booked.end() ? kNoSlot : booked->second;
+    ASSERT_EQ(p.booked_slot_of(id), expected) << "r" << id;
+    ASSERT_EQ(fresh.booked_slot_of(id), expected) << "r" << id;
+    if (expected == kNoSlot) unbooked.push_back(id);
+
+    // first_free_allowed is one greedy-maximal step; cross-check the scan.
+    const auto free_slots = naive_allowed(model, r, t, d, /*only_free=*/true);
+    const SlotRef first = free_slots.empty() ? kNoSlot : free_slots.front();
+    ASSERT_EQ(p.first_free_allowed(id), first) << "r" << id;
+
+    // earliest_free_slot, same contract as Schedule::earliest_free_slot.
+    for (const ResourceId res : {r.first, r.second}) {
+      if (res == kNoResource) continue;
+      SlotRef naive = kNoSlot;
+      for (Round round = t; round <= std::min(r.deadline, t + d - 1);
+           ++round) {
+        if (model.is_free({res, round})) {
+          naive = SlotRef{res, round};
+          break;
+        }
+      }
+      ASSERT_EQ(p.earliest_free_slot(res, t, r.deadline), naive)
+          << "r" << id << " resource " << res;
+    }
+  }
+
+  std::vector<SlotRef> rights_p;
+  std::vector<SlotRef> rights_f;
+  BipartiteGraph graph_p;
+  BipartiteGraph graph_f;
+  for (const WindowScope scope :
+       {WindowScope::kFreeWindow, WindowScope::kCurrentRound,
+        WindowScope::kFullWindow}) {
+    p.collect_rights(scope, rights_p);
+    fresh.collect_rights(scope, rights_f);
+    const auto expected = naive_rights(model, t, n, d, scope);
+    ASSERT_EQ(rights_p, expected);
+    ASSERT_EQ(rights_f, expected);
+
+    // Graphs: booked lefts participate only in the full-window problem (the
+    // rematch strategies); the free-scope problems take unscheduled lefts.
+    const auto& lefts =
+        scope == WindowScope::kFullWindow ? all_rows : unbooked;
+    p.build_problem(lefts, scope, rights_p, graph_p);
+    fresh.build_problem(lefts, scope, rights_f, graph_f);
+    expect_graphs_equal(graph_p, graph_f);
+    for (std::size_t l = 0; l < lefts.size(); ++l) {
+      const Request& r = model.rows.at(lefts[l]);
+      const auto allowed = naive_allowed(model, r, t, d,
+                                         scope != WindowScope::kFullWindow);
+      const auto neighbors = graph_p.neighbors(static_cast<std::int32_t>(l));
+      std::vector<SlotRef> expected_slots;
+      for (const SlotRef s : allowed) {
+        if (scope == WindowScope::kCurrentRound && s.round != t) continue;
+        expected_slots.push_back(s);
+      }
+      ASSERT_EQ(neighbors.size(), expected_slots.size()) << "left " << l;
+      for (std::size_t e = 0; e < neighbors.size(); ++e) {
+        ASSERT_EQ(rights_p[static_cast<std::size_t>(neighbors[e])],
+                  expected_slots[e])
+            << "left " << l << " edge " << e;
+      }
+    }
+
+    // max_match must equal kuhn_ordered on the very graph it shortcuts.
+    if (scope == WindowScope::kFullWindow) continue;
+    std::vector<SlotRef> match_p;
+    std::vector<SlotRef> match_f;
+    p.max_match(unbooked, scope, match_p);
+    fresh.max_match(unbooked, scope, match_f);
+    ASSERT_EQ(match_p.size(), unbooked.size());
+    ASSERT_EQ(match_p, match_f);
+    if (lefts.empty()) continue;
+    const Matching reference = kuhn_ordered(graph_p);
+    for (std::size_t l = 0; l < unbooked.size(); ++l) {
+      const std::int32_t right = reference.left_to_right[l];
+      const SlotRef expected_slot =
+          right < 0 ? kNoSlot : rights_p[static_cast<std::size_t>(right)];
+      ASSERT_EQ(match_p[l], expected_slot)
+          << "max_match diverged from kuhn_ordered for left " << l;
+    }
+  }
+}
+
+void fuzz_trial(std::int32_t n, std::int32_t d, std::uint64_t seed,
+                int events) {
+  const ProblemConfig config{n, d};
+  Prng rng(seed);
+  DeltaWindowProblem p;
+  p.reset(config);
+  Model model;
+  std::vector<Event> log;
+  Round t = 0;
+  RequestId next_id = 0;
+
+  const auto emit = [&](Event e) {
+    apply_event(p, e);
+    log.push_back(std::move(e));
+  };
+
+  const auto do_advance = [&] {
+    // Mimic the engine's end of round: execute (unbook + retire) everything
+    // booked at round t, expire unscheduled rows whose deadline passed.
+    std::vector<RequestId> executed;
+    for (const auto& [id, slot] : model.booked) {
+      if (slot.round == t) executed.push_back(id);
+    }
+    for (const RequestId id : executed) {
+      emit(Event{Event::Kind::kUnbook, {}, id, kNoSlot});
+      model.occupant.erase({t, model.booked.at(id).resource});
+      model.booked.erase(id);
+      emit(Event{Event::Kind::kRetire, {}, id, kNoSlot});
+      model.rows.erase(id);
+    }
+    std::vector<RequestId> expired;
+    for (const auto& [id, r] : model.rows) {
+      if (r.deadline <= t && model.booked.count(id) == 0) expired.push_back(id);
+    }
+    for (const RequestId id : expired) {
+      emit(Event{Event::Kind::kRetire, {}, id, kNoSlot});
+      model.rows.erase(id);
+    }
+    emit(Event{Event::Kind::kAdvance, {}, kNoRequest, kNoSlot});
+    ++t;
+  };
+
+  for (int step = 0; step < events; ++step) {
+    const auto roll = rng.next_below(100);
+    if (roll < 35) {  // arrival
+      Request r;
+      r.id = next_id++;
+      r.arrival = t;
+      r.deadline = t + static_cast<Round>(rng.next_below(
+                           static_cast<std::uint64_t>(d)));
+      r.first = static_cast<ResourceId>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      if (n > 1 && rng.next_below(5) != 0) {
+        ResourceId second = static_cast<ResourceId>(rng.next_below(
+            static_cast<std::uint64_t>(n - 1)));
+        if (second >= r.first) ++second;
+        r.second = second;
+      } else {
+        r.second = kNoResource;
+      }
+      emit(Event{Event::Kind::kAdd, r, r.id, kNoSlot});
+      model.rows.emplace(r.id, r);
+    } else if (roll < 60) {  // book a random free allowed slot
+      std::vector<RequestId> unbooked;
+      for (const auto& [id, r] : model.rows) {
+        if (model.booked.count(id) == 0) unbooked.push_back(id);
+      }
+      if (unbooked.empty()) continue;
+      const RequestId id =
+          unbooked[rng.next_below(unbooked.size())];
+      const auto free_slots =
+          naive_allowed(model, model.rows.at(id), t, d, /*only_free=*/true);
+      if (free_slots.empty()) continue;
+      const SlotRef slot = free_slots[rng.next_below(free_slots.size())];
+      emit(Event{Event::Kind::kBook, {}, id, slot});
+      model.booked[id] = slot;
+      model.occupant[{slot.round, slot.resource}] = id;
+    } else if (roll < 70) {  // unbook (a strategy rebooking elsewhere)
+      if (model.booked.empty()) continue;
+      auto it = model.booked.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng.next_below(model.booked.size())));
+      const RequestId id = it->first;
+      model.occupant.erase({it->second.round, it->second.resource});
+      model.booked.erase(it);
+      emit(Event{Event::Kind::kUnbook, {}, id, kNoSlot});
+    } else if (roll < 80) {  // retire an unbooked row mid-round
+      std::vector<RequestId> unbooked;
+      for (const auto& [id, r] : model.rows) {
+        if (model.booked.count(id) == 0) unbooked.push_back(id);
+      }
+      if (unbooked.empty()) continue;
+      const RequestId id = unbooked[rng.next_below(unbooked.size())];
+      emit(Event{Event::Kind::kRetire, {}, id, kNoSlot});
+      model.rows.erase(id);
+    } else {  // round boundary
+      do_advance();
+    }
+
+    // The freshly built instance: the whole history replayed from scratch.
+    DeltaWindowProblem fresh;
+    fresh.reset(config);
+    for (const Event& e : log) apply_event(fresh, e);
+    expect_consistent(p, fresh, model, t, config);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "divergence after event " << log.size() << " (n=" << n
+             << ", d=" << d << ", seed=" << seed << ")";
+    }
+  }
+
+  // Drain: advancing past every deadline must leave the problem empty.
+  for (std::int32_t i = 0; i < d; ++i) do_advance();
+  EXPECT_EQ(p.row_count(), 0);
+  EXPECT_TRUE(model.rows.empty());
+}
+
+TEST(DeltaWindowFuzz, AgreesWithModelAndFreshRebuildAfterEveryEvent) {
+  fuzz_trial(/*n=*/3, /*d=*/3, /*seed=*/101, /*events=*/320);
+  fuzz_trial(/*n=*/2, /*d=*/2, /*seed=*/202, /*events=*/320);
+  fuzz_trial(/*n=*/5, /*d=*/4, /*seed=*/303, /*events=*/320);
+}
+
+TEST(DeltaWindowFuzz, MultiWordFreeMasksStayExact) {
+  // n = 70 crosses the 64-bit word boundary of the per-column free masks:
+  // popcount ranks, countr_zero iteration, and the tail mask all get hit.
+  fuzz_trial(/*n=*/70, /*d=*/2, /*seed=*/404, /*events=*/160);
+}
+
+TEST(DeltaWindowContracts, RejectsOutOfContractEvents) {
+  const ProblemConfig config{2, 2};
+  DeltaWindowProblem p;
+  p.reset(config);
+  Request r;
+  r.id = 0;
+  r.arrival = 0;
+  r.deadline = 1;
+  r.first = 0;
+  r.second = 1;
+  p.add_request(r);
+
+  Request late = r;
+  late.id = 1;
+  late.arrival = 1;  // not the current round
+  EXPECT_THROW(p.add_request(late), ContractViolation);
+  Request far = r;
+  far.id = 2;
+  far.deadline = 2;  // beyond the window
+  EXPECT_THROW(p.add_request(far), ContractViolation);
+  EXPECT_THROW(p.add_request(r), ContractViolation);  // duplicate row
+
+  EXPECT_THROW(p.book(0, SlotRef{0, 2}), ContractViolation);  // out of window
+  p.book(0, SlotRef{0, 0});
+  EXPECT_THROW(p.retire(0), ContractViolation);  // booked rows can't retire
+  EXPECT_THROW(p.advance(), ContractViolation);  // current column not free
+  p.unbook(0);
+  p.retire(0);
+  p.advance();
+  EXPECT_EQ(p.window_begin(), 1);
+}
+
+}  // namespace
+}  // namespace reqsched

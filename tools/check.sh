@@ -32,11 +32,12 @@ run_bench_smoke() {
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release -DREQSCHED_BUILD_TESTS=OFF
   echo "==> bench-smoke: build"
   cmake --build "${dir}" -j --target bench_perf bench_prefix_opt bench_stream
-  echo "==> bench-smoke: bench_perf gates (offline-solve speedup, sweep throughput)"
+  echo "==> bench-smoke: bench_perf gates (offline-solve + strategy-step speedups, sweep throughput)"
   # The empty-match filter skips the microbenchmarks; the gated sections
-  # after RunSpecifiedBenchmarks() always run.
+  # after RunSpecifiedBenchmarks() always run. The JSON lands at the repo
+  # root so CI can upload it as the PR's perf artifact.
   "${dir}/bench/bench_perf" --smoke '--benchmark_filter=^$' \
-      "--json=${dir}/BENCH_perf.json"
+      "--json=BENCH_PR4.json"
   echo "==> bench-smoke: bench_stream gates (window bound, memory plateau, throughput)"
   "${dir}/bench/bench_stream" --smoke "--json=${dir}/BENCH_stream.json"
   echo "==> bench-smoke: bench_prefix_opt (reduced iterations)"

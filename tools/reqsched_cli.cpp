@@ -1,21 +1,23 @@
 // reqsched — the library's command-line face.
 //
 //   reqsched list
-//       all registered strategies
+//       all registered strategies with their capability flags
 //   reqsched bounds [--d=8]
 //       Table 1's theoretical bounds at a given deadline
 //   reqsched run --strategy=A_balance --workload=zipf [--n=8 --d=4
-//                --rounds=200 --seed=1 --load=1.5] [--timeline]
-//                [--timeseries=out.csv]
+//                --rounds=200 --seed=1 --load=1.5 --strategy-seed=1]
+//                [--timeline] [--timeseries=out.csv]
 //       one experiment against the exact offline optimum
 //   reqsched sweep --strategies=A_fix,A_balance [--n=4,8 --d=2,4
-//                  --seeds=1,2,3 --workload=uniform] [--csv=out.csv]
+//                  --seeds=1,2,3 --workload=uniform --strategy-seed=1]
+//                  [--csv=out.csv]
 //       a parallel grid sweep with summary
 //   reqsched stream --strategy=A_balance --workload=uniform [--n=8 --d=4
 //                   --rounds=100000 --load=1.5 --seed=1 --shards=4
-//                   --threads=0] [--track-ratio] [--snapshot-every=1000
-//                   --jsonl=stats.jsonl]
-//       bounded-memory streaming runs (one independent stream per shard)
+//                   --threads=0 --strategy-seed=1] [--track-ratio]
+//                   [--snapshot-every=1000 --jsonl=stats.jsonl]
+//       bounded-memory streaming runs (one independent stream per shard;
+//       shard k's randomized strategies are seeded strategy-seed + k)
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -66,9 +68,33 @@ RandomWorkloadOptions base_options(const CliArgs& args) {
   return options;
 }
 
+const char* to_string(StrategyClass kind) {
+  switch (kind) {
+    case StrategyClass::kGlobal: return "global";
+    case StrategyClass::kLocal: return "local";
+    case StrategyClass::kBaseline: return "baseline";
+  }
+  return "?";
+}
+
 int cmd_list() {
-  for (const auto& name : all_strategy_names()) std::cout << name << '\n';
+  AsciiTable table({"strategy", "class", "incremental", "needs-history",
+                    "randomized"});
+  for (const StrategyInfo& info : strategy_registry()) {
+    table.add_row({info.name, to_string(info.kind),
+                   info.incremental ? "yes" : "-",
+                   info.needs_history ? "yes" : "-",
+                   info.randomized ? "yes" : "-"});
+  }
+  table.print(std::cout);
   return 0;
+}
+
+/// Fails fast (before any run is constructed) on a typoed strategy name.
+void require_strategy(const std::string& name) {
+  REQSCHED_REQUIRE_MSG(strategy_exists(name),
+                       "unknown strategy: " << name
+                                            << " (see 'reqsched_cli list')");
 }
 
 int cmd_bounds(const CliArgs& args) {
@@ -113,10 +139,13 @@ int cmd_run(const CliArgs& args) {
   const std::string strategy_name = args.get_string("strategy", "A_balance");
   const std::string timeseries_path = args.get_string("timeseries", "");
   const bool timeline = args.get_bool("timeline", false);
+  const auto strategy_seed =
+      static_cast<std::uint64_t>(args.get_int("strategy-seed", 1));
   args.finish();  // all flags read — a typo aborts before the run
+  require_strategy(strategy_name);
   auto workload = make_workload(family, options);
 
-  auto inner = make_strategy(strategy_name);
+  auto inner = make_strategy(strategy_name, strategy_seed);
   // The prefix probe samples everything the plain time-series probe does,
   // plus the exact prefix optimum — per-round competitive observability.
   PrefixOptimumProbe probe(std::move(inner));
@@ -184,7 +213,10 @@ int cmd_sweep(const CliArgs& args) {
   const auto rounds = args.get_int("rounds", 96);
   const double load = args.get_double("load", 1.6);
   const std::string csv_path = args.get_string("csv", "");
+  spec.strategy_seed =
+      static_cast<std::uint64_t>(args.get_int("strategy-seed", 1));
   args.finish();
+  for (const auto& name : spec.strategies) require_strategy(name);
   spec.make_workload = [family, rounds, load](
                            std::int32_t n, std::int32_t d,
                            std::uint64_t seed) -> std::unique_ptr<IWorkload> {
@@ -225,7 +257,10 @@ int cmd_stream(const CliArgs& args) {
   run.engine.snapshot_every = args.get_int("snapshot-every", 0);
   run.max_rounds = std::max<std::int64_t>(1'000'000, 2 * options.horizon);
   const std::string jsonl_path = args.get_string("jsonl", "");
+  const auto strategy_seed =
+      static_cast<std::uint64_t>(args.get_int("strategy-seed", 1));
   args.finish();
+  require_strategy(strategy_name);
 
   std::ofstream jsonl_file;
   if (!jsonl_path.empty()) {
@@ -243,7 +278,10 @@ int cmd_stream(const CliArgs& args) {
             options.seed + static_cast<std::uint64_t>(shard);
         return make_workload(family, shard_options);
       },
-      [&](std::int64_t) { return make_strategy(strategy_name); });
+      [&](std::int64_t shard) {
+        return make_strategy(strategy_name,
+                             strategy_seed + static_cast<std::uint64_t>(shard));
+      });
 
   std::cout << "strategy       : " << strategy_name << '\n'
             << "workload       : " << family << '\n'
