@@ -14,6 +14,7 @@
 #include "adversary/theorems.hpp"
 #include "analysis/harness.hpp"
 #include "analysis/registry.hpp"
+#include "strategies/scripted.hpp"
 #include "util/table.hpp"
 
 namespace reqsched::bench {

@@ -8,7 +8,7 @@
 
 #include "analysis/bounds.hpp"
 #include "bench_common.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "local/local_eager.hpp"
 #include "local/local_fix.hpp"
 #include "util/cli.hpp"

@@ -34,7 +34,7 @@
 #include "bench_timing.hpp"
 #include "analysis/registry.hpp"
 #include "analysis/sweep.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "matching/bipartite.hpp"
 #include "matching/lex_matcher.hpp"
 #include "offline/offline.hpp"

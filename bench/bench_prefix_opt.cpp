@@ -14,7 +14,7 @@
 
 #include "analysis/bounds.hpp"
 #include "bench_common.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "matching/bipartite.hpp"
 #include "matching/incremental.hpp"
 #include "offline/offline.hpp"

@@ -24,7 +24,7 @@
 #include "analysis/registry.hpp"
 #include "bench_json.hpp"
 #include "bench_timing.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "engine/sharded.hpp"
 #include "offline/offline.hpp"
 #include "util/cli.hpp"

@@ -13,8 +13,9 @@
 #include "analysis/bounds.hpp"
 #include "analysis/harness.hpp"
 #include "analysis/timeline.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "offline/offline.hpp"
+#include "strategies/scripted.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 

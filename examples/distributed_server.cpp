@@ -13,7 +13,7 @@
 #include "adversary/random.hpp"
 #include "analysis/harness.hpp"
 #include "analysis/registry.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 

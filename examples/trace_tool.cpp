@@ -17,7 +17,7 @@
 #include "analysis/harness.hpp"
 #include "analysis/registry.hpp"
 #include "analysis/timeline.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "offline/offline.hpp"
 #include "util/cli.hpp"
 

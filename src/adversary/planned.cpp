@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "engine/simulator.hpp"
+
 namespace reqsched {
 
 PlannedInstance::PlannedInstance(std::string name, ProblemConfig config,

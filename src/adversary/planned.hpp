@@ -4,15 +4,17 @@
 // together with an intended (bad-but-rule-conforming) online schedule.
 // PlannedInstance carries both: the injection script (IWorkload) and the
 // intended bookings, offered each round as a proposal (IProposalSource) that
-// ScriptedStrategy verifies against the strategy class's rules. A request
-// planned to fail carries kNoSlot.
+// the scripted strategy checker (src/strategies/scripted.hpp) verifies
+// against the strategy class's rules. A request planned to fail carries
+// kNoSlot. The handoff goes through core/proposal.hpp so this layer never
+// includes strategy headers (and vice versa).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "core/proposal.hpp"
 #include "core/workload.hpp"
-#include "strategies/scripted.hpp"
 
 namespace reqsched {
 

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "adversary/planned.hpp"
+#include "core/strategy.hpp"
 #include "util/fraction.hpp"
 
 namespace reqsched {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 
 namespace reqsched {
 

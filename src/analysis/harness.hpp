@@ -9,7 +9,7 @@
 #include "analysis/augmenting.hpp"
 #include "analysis/timeseries.hpp"
 #include "core/metrics.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 
 namespace reqsched {
 

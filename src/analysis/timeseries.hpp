@@ -10,7 +10,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "core/strategy.hpp"
 
 namespace reqsched {

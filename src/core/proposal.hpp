@@ -1,0 +1,34 @@
+// Adversarial proposal interface.
+//
+// The lower-bound constructions (src/adversary) communicate an intended
+// online schedule to the scripted strategy checker (src/strategies) through
+// this interface. It lives in core so the two layers stay mutually
+// independent: the adversary never sees strategy internals and the
+// strategies never see adversary internals — the same information-flow
+// firewall the paper's adaptive-adversary model requires (both sides observe
+// only the public simulator state).
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace reqsched {
+
+class Simulator;
+
+/// Complete set of bookings the window should hold after this round's step:
+/// (request, slot) pairs. Bookings of pending requests absent from the
+/// proposal are released (which the fix-family checkers reject).
+using Proposal = std::vector<std::pair<RequestId, SlotRef>>;
+
+class IProposalSource {
+ public:
+  virtual ~IProposalSource() = default;
+  /// Called during on_round; std::nullopt defers to the fallback strategy.
+  virtual std::optional<Proposal> propose(const Simulator& sim) = 0;
+};
+
+}  // namespace reqsched

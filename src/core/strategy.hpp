@@ -16,6 +16,14 @@ namespace reqsched {
 
 class Simulator;
 
+/// The paper's named strategy classes. Lives in core because both the
+/// strategy implementations (src/strategies) and the lower-bound
+/// constructions (src/adversary) refer to the classes by name, and those two
+/// layers must not include each other.
+enum class StrategyKind { kFix, kCurrent, kFixBalance, kEager, kBalance };
+
+const char* to_string(StrategyKind kind);
+
 class IStrategy {
  public:
   virtual ~IStrategy() = default;

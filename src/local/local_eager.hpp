@@ -16,7 +16,7 @@
 // is how the paper reaches 9 rounds total).
 #pragma once
 
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "core/strategy.hpp"
 #include "strategies/runtime.hpp"
 

@@ -7,7 +7,7 @@
 // under the same rule. Requests failing both ways are never retried.
 #pragma once
 
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "core/strategy.hpp"
 #include "strategies/runtime.hpp"
 

@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "core/types.hpp"
 
 namespace reqsched {

@@ -18,7 +18,7 @@
 // not ask for the engine's window problem.
 #pragma once
 
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "core/strategy.hpp"
 #include "strategies/runtime.hpp"
 

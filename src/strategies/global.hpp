@@ -22,7 +22,7 @@
 // lower-bound constructions is provided by ScriptedStrategy.
 #pragma once
 
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "core/strategy.hpp"
 #include "strategies/runtime.hpp"
 

@@ -10,7 +10,7 @@
 // Theorem 2.6 randomization does not help, which bench_randomized shows.
 #pragma once
 
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "core/strategy.hpp"
 #include "util/prng.hpp"
 

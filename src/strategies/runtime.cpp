@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <tuple>
 
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "matching/delta_window.hpp"
 
 namespace reqsched {

@@ -11,17 +11,6 @@
 
 namespace reqsched {
 
-const char* to_string(StrategyKind kind) {
-  switch (kind) {
-    case StrategyKind::kFix: return "A_fix";
-    case StrategyKind::kCurrent: return "A_current";
-    case StrategyKind::kFixBalance: return "A_fix_balance";
-    case StrategyKind::kEager: return "A_eager";
-    case StrategyKind::kBalance: return "A_balance";
-  }
-  return "?";
-}
-
 std::unique_ptr<IStrategy> make_reference_strategy(StrategyKind kind) {
   switch (kind) {
     case StrategyKind::kFix: return std::make_unique<AFix>();

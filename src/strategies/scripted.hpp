@@ -12,31 +12,14 @@
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <string>
-#include <utility>
 #include <vector>
 
-#include "core/simulator.hpp"
+#include "core/proposal.hpp"
 #include "core/strategy.hpp"
+#include "engine/simulator.hpp"
 
 namespace reqsched {
-
-enum class StrategyKind { kFix, kCurrent, kFixBalance, kEager, kBalance };
-
-const char* to_string(StrategyKind kind);
-
-/// Complete set of bookings the window should hold after this round's step:
-/// (request, slot) pairs. Bookings of pending requests absent from the
-/// proposal are released (which the fix-family checkers reject).
-using Proposal = std::vector<std::pair<RequestId, SlotRef>>;
-
-class IProposalSource {
- public:
-  virtual ~IProposalSource() = default;
-  /// Called during on_round; std::nullopt defers to the fallback strategy.
-  virtual std::optional<Proposal> propose(const Simulator& sim) = 0;
-};
 
 struct ProposalCheck {
   bool ok = false;

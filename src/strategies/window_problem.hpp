@@ -6,7 +6,7 @@
 #include <span>
 #include <vector>
 
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "matching/bipartite.hpp"
 #include "matching/lex_matcher.hpp"
 

@@ -3,7 +3,7 @@
 
 #include <sstream>
 
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "core/trace.hpp"
 #include "core/workload.hpp"
 

@@ -16,7 +16,7 @@
 #include "adversary/theorems.hpp"
 #include "analysis/prefix.hpp"
 #include "analysis/registry.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "engine/sharded.hpp"
 #include "offline/offline.hpp"
 #include "strategies/scripted.hpp"

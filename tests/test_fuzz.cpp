@@ -12,7 +12,7 @@
 #include <tuple>
 
 #include "adversary/random.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "local/router.hpp"
 #include "matching/bipartite.hpp"
 #include "strategies/scripted.hpp"

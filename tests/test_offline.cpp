@@ -3,7 +3,7 @@
 
 #include "adversary/random.hpp"
 #include "analysis/registry.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "offline/offline.hpp"
 
 namespace reqsched {

@@ -4,7 +4,7 @@
 #include "adversary/theorems.hpp"
 #include "analysis/overload.hpp"
 #include "analysis/registry.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 
 namespace reqsched {
 namespace {

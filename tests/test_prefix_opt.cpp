@@ -12,7 +12,7 @@
 #include "analysis/harness.hpp"
 #include "analysis/prefix.hpp"
 #include "analysis/registry.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "matching/bipartite.hpp"
 #include "matching/incremental.hpp"
 #include "offline/offline.hpp"

@@ -6,7 +6,7 @@
 
 #include "adversary/random.hpp"
 #include "analysis/registry.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 
 namespace reqsched {
 namespace {

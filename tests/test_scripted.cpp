@@ -2,7 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "adversary/planned.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "strategies/scripted.hpp"
 
 namespace reqsched {

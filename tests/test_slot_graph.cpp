@@ -19,7 +19,7 @@
 #include "adversary/theorems.hpp"
 #include "analysis/augmenting.hpp"
 #include "analysis/registry.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "matching/incremental.hpp"
 #include "matching/slot_graph.hpp"
 #include "offline/offline.hpp"

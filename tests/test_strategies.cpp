@@ -4,7 +4,7 @@
 
 #include "adversary/random.hpp"
 #include "analysis/registry.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "strategies/global.hpp"
 #include "strategies/scripted.hpp"
 

@@ -30,7 +30,7 @@
 #include "adversary/theorems.hpp"
 #include "analysis/prefix.hpp"
 #include "analysis/registry.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "local/router.hpp"
 #include "matching/delta_window.hpp"
 #include "matching/lex_matcher.hpp"

@@ -13,6 +13,7 @@
 #include "analysis/registry.hpp"
 #include "local/local_fix.hpp"
 #include "strategies/edf.hpp"
+#include "strategies/scripted.hpp"
 
 namespace reqsched {
 namespace {

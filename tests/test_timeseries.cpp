@@ -7,7 +7,7 @@
 #include "adversary/random.hpp"
 #include "analysis/registry.hpp"
 #include "analysis/timeseries.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 
 namespace reqsched {
 namespace {

@@ -6,7 +6,7 @@
 
 #include "adversary/universal.hpp"
 #include "analysis/registry.hpp"
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "offline/offline.hpp"
 
 namespace reqsched {

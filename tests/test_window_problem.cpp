@@ -2,7 +2,7 @@
 // slot scopes, adjacency ordering, lex lifting, and rebooking.
 #include <gtest/gtest.h>
 
-#include "core/simulator.hpp"
+#include "engine/simulator.hpp"
 #include "core/workload.hpp"
 #include "strategies/window_problem.hpp"
 
