@@ -1,0 +1,1 @@
+#include "strategies/global.hpp"

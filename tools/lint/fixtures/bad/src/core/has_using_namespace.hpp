@@ -1,0 +1,3 @@
+#pragma once
+
+using namespace std;

@@ -1,0 +1,3 @@
+#pragma once
+
+#include "engine/simulator.hpp"

@@ -1,0 +1,2 @@
+// A header comment is fine, but the first code line is not #pragma once.
+namespace reqsched {}

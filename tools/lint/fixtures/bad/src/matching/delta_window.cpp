@@ -1,0 +1,5 @@
+void audit_sweep(int n) {
+  for (int i = 0; i < n; ++i) {
+    REQSCHED_REQUIRE(i >= 0);
+  }
+}

@@ -1,0 +1,1 @@
+#include "engine/request_pool.hpp"

@@ -1,0 +1,5 @@
+#pragma once
+// Gate pattern broken: debug checks silently follow NDEBUG only.
+#if !defined(NDEBUG)
+#define REQSCHED_DEBUG_CHECKS 1
+#endif

@@ -1,0 +1,2 @@
+#include "core/proposal.hpp"
+#include "engine/simulator.hpp"

@@ -1,0 +1,3 @@
+#include <cassert>
+
+void f(int x) { assert(x > 0); }  // reqsched-lint: allow(no-raw-assert)

@@ -1,0 +1,8 @@
+// Comments (and blank lines) before the pragma are fine.
+
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "core/types.hpp"

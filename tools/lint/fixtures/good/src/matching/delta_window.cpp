@@ -1,0 +1,16 @@
+void audit_sweep(int n) {
+#ifdef REQSCHED_DEBUG_CHECKS
+  for (int i = 0; i < n; ++i) {
+    REQSCHED_REQUIRE(i >= 0);
+  }
+#endif
+  // A working loop containing a contract check is not a validation sweep:
+  for (int i = 0; i < n; ++i) {
+    REQSCHED_REQUIRE(i >= 0);
+    do_work(i);
+  }
+  // Mentions in comments/strings never count:
+  // for (...) { REQSCHED_REQUIRE(false); }
+  const char* s = "assert(never flagged) using namespace";
+  (void)s;
+}

@@ -1,0 +1,4 @@
+#pragma once
+
+#include "core/proposal.hpp"
+#include "engine/simulator.hpp"

@@ -1,0 +1,5 @@
+#pragma once
+
+#if !defined(REQSCHED_DEBUG_CHECKS) && !defined(NDEBUG)
+#define REQSCHED_DEBUG_CHECKS 1
+#endif

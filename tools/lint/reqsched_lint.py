@@ -1,0 +1,457 @@
+#!/usr/bin/env python3
+"""reqsched_lint — repo-specific source rules clang-tidy cannot express.
+
+Rules (see docs/static_analysis.md for the full catalogue):
+
+  layering            src/<layer>/ files may only include project headers
+                      from layers at or below their own. In particular the
+                      strategies/local layers and the adversary layer are
+                      mutually invisible (the paper's information-flow
+                      firewall), and core includes nothing above itself.
+  pragma-once         every header starts with `#pragma once` (before any
+                      non-comment code).
+  header-iostream     library headers (src/**/*.hpp) must not include
+                      <iostream> — keep stream globals (and their static
+                      initializers) out of every translation unit.
+  header-using-ns     no `using namespace` at any scope in any header.
+  debug-macro-def     only src/util/assert.hpp may define, undefine, or
+                      redefine the REQSCHED_DEBUG_* / REQSCHED_AUDIT* gating
+                      macros, and its NDEBUG gate must stay intact — this is
+                      what guarantees debug/audit assertions are compiled out
+                      of release builds.
+  hot-loop-guard      in the delta-window/ring hot files, a loop whose body
+                      is nothing but contract-macro statements (an O(n)
+                      validation sweep) must sit inside an
+                      `#ifdef REQSCHED_DEBUG_CHECKS` or REQSCHED_AUDIT
+                      region, so release hot loops never pay for it.
+  no-raw-assert       src/ uses the REQSCHED_* contract macros, never
+                      assert() (assert is silent under NDEBUG; contract
+                      violations must never pass silently).
+
+A finding can be waived for one line with a trailing
+`// reqsched-lint: allow(<rule>)` comment.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Rule configuration
+# ---------------------------------------------------------------------------
+
+# Allowed project-include targets per src/ layer. A layer may always include
+# itself; the firewall rules are the *absences*: strategies/local never see
+# adversary, adversary never sees strategies/local, core sees nothing above
+# itself, matching stays engine-independent.
+LAYER_ALLOWED = {
+    "util": set(),
+    "core": {"util"},
+    "matching": {"core", "util"},
+    "engine": {"matching", "core", "util"},
+    "offline": {"matching", "core", "util"},
+    "strategies": {"engine", "matching", "core", "util"},
+    "local": {"strategies", "engine", "matching", "core", "util"},
+    "adversary": {"engine", "matching", "core", "util"},
+    "analysis": {
+        "adversary", "local", "strategies", "offline", "engine", "matching",
+        "core", "util",
+    },
+}
+
+# Files whose inner loops are the measured hot paths of the delta-maintained
+# window structures; validation-only loops here must be compiled out of
+# release builds.
+HOT_FILES = (
+    "src/matching/delta_window.cpp",
+    "src/matching/delta_window.hpp",
+    "src/engine/request_pool.cpp",
+    "src/engine/request_pool.hpp",
+    "src/engine/streaming.cpp",
+    "src/engine/windowed_opt.cpp",
+)
+
+# The only file allowed to (un)define the assertion-gating macros.
+GATE_OWNER = "src/util/assert.hpp"
+GATED_MACROS = re.compile(
+    r"#\s*(?:define|undef)\s+(REQSCHED_DEBUG_CHECKS|REQSCHED_DEBUG_REQUIRE"
+    r"(?:_MSG)?|REQSCHED_AUDIT(?:_ENABLED|_REQUIRE(?:_MSG)?)?)\b")
+# The gate pattern that keeps debug checks on in debug builds and off in
+# release builds; its disappearance from assert.hpp is itself a finding.
+NDEBUG_GATE = "#if !defined(REQSCHED_DEBUG_CHECKS) && !defined(NDEBUG)"
+
+ALLOW_RE = re.compile(r"//\s*reqsched-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+SYSTEM_INCLUDE_RE = re.compile(r"^\s*#\s*include\s+<([^>]+)>")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+RAW_ASSERT_RE = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
+CONTRACT_STMT_RE = re.compile(r"^REQSCHED_[A-Z_]+\s*\(")
+LOOP_RE = re.compile(r"^\s*(?:for|while)\s*\(")
+
+SOURCE_DIRS = ("src", "tools", "bench", "tests", "examples")
+EXTENSIONS = (".hpp", ".cpp", ".h", ".cc")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure, so structural regexes never match inside them."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state == "str":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+            out.append('"' if c == '"' else " ")
+        elif state == "chr":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+            out.append("'" if c == "'" else " ")
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(line: str) -> set:
+    m = ALLOW_RE.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+class GuardTracker:
+    """Tracks whether the current preprocessor region is covered by an
+    `#ifdef REQSCHED_DEBUG_CHECKS` / `REQSCHED_AUDIT` style guard."""
+
+    PP_IF = re.compile(r"^\s*#\s*(if|ifdef|ifndef)\b(.*)")
+    PP_ELSE = re.compile(r"^\s*#\s*(else|elif)\b")
+    PP_ENDIF = re.compile(r"^\s*#\s*endif\b")
+    GUARD_TOKENS = ("REQSCHED_DEBUG_CHECKS", "REQSCHED_AUDIT")
+
+    def __init__(self):
+        self.stack = []  # one bool per open conditional: branch is guarded
+
+    def feed(self, line: str) -> None:
+        m = self.PP_IF.match(line)
+        if m:
+            kind, cond = m.group(1), m.group(2)
+            guarded = any(tok in cond for tok in self.GUARD_TOKENS)
+            # `#ifndef GUARD` opens the *unguarded* branch first.
+            if kind == "ifndef":
+                guarded = False
+            self.stack.append(guarded)
+            return
+        if self.PP_ELSE.match(line):
+            if self.stack:
+                # The else/elif branch of a guard conditional is not the
+                # guarded region (and vice versa for #ifndef, which we treat
+                # conservatively: only exact positive guards count).
+                self.stack[-1] = False
+            return
+        if self.PP_ENDIF.match(line):
+            if self.stack:
+                self.stack.pop()
+
+    def guarded(self) -> bool:
+        return any(self.stack)
+
+
+def split_statements(body: str):
+    """Splits a brace-free code fragment into top-level statements."""
+    stmts, depth, cur = [], 0, []
+    for c in body:
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        if c == ";" and depth == 0:
+            stmts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(c)
+    tail = "".join(cur).strip()
+    if tail:
+        stmts.append(tail)
+    return [s for s in stmts if s]
+
+
+# ---------------------------------------------------------------------------
+# Per-file checks
+# ---------------------------------------------------------------------------
+
+def rel_layer(relpath: str):
+    parts = relpath.split(os.sep)
+    if len(parts) >= 3 and parts[0] == "src" and parts[1] in LAYER_ALLOWED:
+        return parts[1]
+    return None
+
+
+def check_file(root: str, relpath: str, findings: list) -> None:
+    path = os.path.join(root, relpath)
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+    except OSError as e:
+        findings.append(Finding(relpath, 0, "io", f"cannot read file: {e}"))
+        return
+
+    raw_lines = raw.splitlines()
+    code = strip_comments(raw)
+    code_lines = code.splitlines()
+    is_header = relpath.endswith((".hpp", ".h"))
+    in_src = relpath.startswith("src" + os.sep)
+    layer = rel_layer(relpath)
+    norm = relpath.replace(os.sep, "/")
+
+    def report(line_no: int, rule: str, message: str) -> None:
+        line_txt = raw_lines[line_no - 1] if 0 < line_no <= len(raw_lines) else ""
+        if rule in allowed_rules(line_txt):
+            return
+        findings.append(Finding(norm, line_no, rule, message))
+
+    # --- pragma-once -------------------------------------------------------
+    if is_header:
+        ok = False
+        for i, line in enumerate(code_lines):
+            s = line.strip()
+            if not s:
+                continue
+            ok = re.match(r"#\s*pragma\s+once\b", s) is not None
+            break
+        if not ok:
+            report(1, "pragma-once",
+                   "header must start with #pragma once before any code")
+
+    guard = GuardTracker()
+    for i, line in enumerate(code_lines):
+        n = i + 1
+
+        # --- layering ------------------------------------------------------
+        # The include path is a string literal, which strip_comments blanks;
+        # detect the directive on the stripped line (so commented-out
+        # includes never match) and read the path from the raw line.
+        m = None
+        if re.match(r'^\s*#\s*include\s+"', line) and n <= len(raw_lines):
+            m = INCLUDE_RE.match(raw_lines[n - 1])
+        if m and layer is not None:
+            target = m.group(1).split("/")[0]
+            if target in LAYER_ALLOWED and target != layer and \
+                    target not in LAYER_ALLOWED[layer]:
+                report(n, "layering",
+                       f'src/{layer} must not include "{m.group(1)}" '
+                       f"(layer {target} is not visible from {layer})")
+
+        # --- header-iostream ----------------------------------------------
+        sm = SYSTEM_INCLUDE_RE.match(line)
+        if sm and sm.group(1) == "iostream" and is_header and in_src:
+            report(n, "header-iostream",
+                   "library headers must not include <iostream>")
+
+        # --- header-using-ns ----------------------------------------------
+        if is_header and USING_NAMESPACE_RE.match(line):
+            report(n, "header-using-ns",
+                   "headers must not contain `using namespace`")
+
+        # --- debug-macro-def ----------------------------------------------
+        gm = GATED_MACROS.match(line.strip())
+        if gm and norm != GATE_OWNER:
+            report(n, "debug-macro-def",
+                   f"only {GATE_OWNER} may define/undef {gm.group(1)}")
+
+        # --- no-raw-assert ------------------------------------------------
+        if in_src and RAW_ASSERT_RE.search(line) and "static_assert" not in line:
+            report(n, "no-raw-assert",
+                   "use the REQSCHED_* contract macros instead of assert()")
+
+        guard.feed(line)
+
+    # --- the NDEBUG gate itself -------------------------------------------
+    if norm == GATE_OWNER and NDEBUG_GATE not in raw:
+        report(1, "debug-macro-def",
+               f"the `{NDEBUG_GATE}` gate must stay intact in {GATE_OWNER}")
+
+    # --- hot-loop-guard ----------------------------------------------------
+    if norm in HOT_FILES:
+        check_hot_loops(norm, code_lines, raw_lines, findings)
+
+
+def check_hot_loops(norm, code_lines, raw_lines, findings) -> None:
+    guard = GuardTracker()
+    i = 0
+    n_lines = len(code_lines)
+    while i < n_lines:
+        line = code_lines[i]
+        guard.feed(line)
+        if not LOOP_RE.match(line):
+            i += 1
+            continue
+        loop_line = i + 1
+        loop_guarded = guard.guarded()
+        # Find the loop header's closing paren, then the body.
+        text = "\n".join(code_lines[i:])
+        open_paren = text.find("(")
+        depth, j = 0, open_paren
+        while j < len(text):
+            if text[j] == "(":
+                depth += 1
+            elif text[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        body_start = j + 1
+        # Skip whitespace to the body's first token.
+        while body_start < len(text) and text[body_start] in " \t\n":
+            body_start += 1
+        if body_start >= len(text):
+            i += 1
+            continue
+        if text[body_start] == "{":
+            depth, k = 0, body_start
+            while k < len(text):
+                if text[k] == "{":
+                    depth += 1
+                elif text[k] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            body = text[body_start + 1:k]
+        else:
+            semi = text.find(";", body_start)
+            body = text[body_start:semi + 1] if semi >= 0 else ""
+        stmts = split_statements(body)
+        if stmts and all(CONTRACT_STMT_RE.match(s) for s in stmts) and \
+                not loop_guarded:
+            line_txt = raw_lines[loop_line - 1] if loop_line <= len(raw_lines) else ""
+            if "hot-loop-guard" not in allowed_rules(line_txt):
+                findings.append(Finding(
+                    norm, loop_line, "hot-loop-guard",
+                    "validation-only loop in a hot file must be inside an "
+                    "#ifdef REQSCHED_DEBUG_CHECKS / REQSCHED_AUDIT region"))
+        # Continue scanning *inside* the loop too (nested loops), so just
+        # advance one line.
+        i += 1
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def collect_files(root: str, paths):
+    rels = []
+    if paths:
+        for p in paths:
+            ap = os.path.abspath(p)
+            rels.append(os.path.relpath(ap, root))
+        return rels
+    for top in SOURCE_DIRS:
+        top_abs = os.path.join(root, top)
+        if not os.path.isdir(top_abs):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_abs):
+            dirnames[:] = [d for d in dirnames
+                           if d not in {"fixtures", "__pycache__"}]
+            for fn in sorted(filenames):
+                if fn.endswith(EXTENSIONS):
+                    rels.append(os.path.relpath(os.path.join(dirpath, fn),
+                                                root))
+    return sorted(rels)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reqsched_lint",
+        description="repo-specific layering/contract linter")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("paths", nargs="*",
+                        help="specific files to lint (default: all of "
+                             "src/ tools/ bench/ tests/ examples/)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"reqsched_lint: no such root: {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    files = collect_files(root, args.paths)
+    if not files:
+        print("reqsched_lint: no files to lint", file=sys.stderr)
+        return 2
+    for rel in files:
+        check_file(root, rel, findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"reqsched_lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"reqsched_lint: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Unit tests for reqsched_lint: every rule exercised against a violating
+fixture and a conforming one (tools/lint/fixtures/{bad,good})."""
+
+import io
+import os
+import sys
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import reqsched_lint  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+
+def run_lint(root, paths=()):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = reqsched_lint.main(["--root", root, *paths])
+    return code, out.getvalue(), err.getvalue()
+
+
+class BadFixtures(unittest.TestCase):
+    """Each bad fixture triggers exactly the rule it was written for."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.code, cls.out, cls.err = run_lint(os.path.join(FIXTURES, "bad"))
+
+    def assert_finding(self, path, rule):
+        needle = f"{path}:"
+        hits = [l for l in self.out.splitlines()
+                if l.startswith(needle) and f"[{rule}]" in l]
+        self.assertTrue(hits, f"expected [{rule}] finding in {path}; "
+                              f"got:\n{self.out}")
+
+    def test_exit_code(self):
+        self.assertEqual(self.code, 1)
+
+    def test_layering_strategies_to_adversary(self):
+        self.assert_finding("src/strategies/uses_adversary.hpp", "layering")
+
+    def test_layering_adversary_to_strategies(self):
+        self.assert_finding("src/adversary/uses_strategies.cpp", "layering")
+
+    def test_layering_core_upward(self):
+        self.assert_finding("src/core/includes_engine.hpp", "layering")
+
+    def test_layering_matching_engine_independent(self):
+        self.assert_finding("src/matching/uses_engine.cpp", "layering")
+
+    def test_pragma_once(self):
+        self.assert_finding("src/core/no_pragma.hpp", "pragma-once")
+
+    def test_header_iostream(self):
+        self.assert_finding("src/core/has_iostream.hpp", "header-iostream")
+
+    def test_header_using_namespace(self):
+        self.assert_finding("src/core/has_using_namespace.hpp",
+                            "header-using-ns")
+
+    def test_debug_macro_definition_outside_owner(self):
+        self.assert_finding("src/core/defines_gate.cpp", "debug-macro-def")
+
+    def test_broken_ndebug_gate(self):
+        self.assert_finding("src/util/assert.hpp", "debug-macro-def")
+
+    def test_raw_assert(self):
+        self.assert_finding("src/core/raw_assert.cpp", "no-raw-assert")
+
+    def test_unguarded_validation_loop_in_hot_file(self):
+        self.assert_finding("src/matching/delta_window.cpp", "hot-loop-guard")
+
+    def test_every_bad_fixture_fires(self):
+        flagged = {l.split(":", 1)[0] for l in self.out.splitlines()
+                   if ": [" in l}
+        bad_root = os.path.join(FIXTURES, "bad")
+        all_bad = set()
+        for dirpath, _, files in os.walk(bad_root):
+            for fn in files:
+                rel = os.path.relpath(os.path.join(dirpath, fn), bad_root)
+                all_bad.add(rel.replace(os.sep, "/"))
+        self.assertEqual(flagged, all_bad,
+                         "every bad fixture must produce a finding")
+
+
+class GoodFixtures(unittest.TestCase):
+    def test_good_tree_is_clean(self):
+        code, out, err = run_lint(os.path.join(FIXTURES, "good"))
+        self.assertEqual(code, 0, f"good fixtures must be clean:\n{out}{err}")
+
+
+class RealTree(unittest.TestCase):
+    def test_repository_is_clean(self):
+        repo = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        code, out, err = run_lint(repo)
+        self.assertEqual(code, 0, f"repository must lint clean:\n{out}{err}")
+
+
+class Mechanics(unittest.TestCase):
+    def test_strip_comments_preserves_lines(self):
+        text = 'a /* x\n y */ b // c\n"s//t"\n'
+        stripped = reqsched_lint.strip_comments(text)
+        self.assertEqual(stripped.count("\n"), text.count("\n"))
+        self.assertNotIn("//", stripped.replace('"', ""))
+
+    def test_split_statements(self):
+        stmts = reqsched_lint.split_statements(
+            "REQSCHED_REQUIRE(a); f(b, {1, 2}); REQSCHED_CHECK(c)")
+        self.assertEqual(len(stmts), 3)
+
+    def test_unknown_root_is_usage_error(self):
+        code, _, _ = run_lint(os.path.join(FIXTURES, "does-not-exist"))
+        self.assertEqual(code, 2)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
