@@ -82,6 +82,9 @@ RequestId RequestPool::admit(Round arrival, const RequestSpec& spec) {
   }
   ++live_;
   peak_live_ = std::max(peak_live_, live_);
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
   return id;
 }
 
@@ -107,6 +110,9 @@ void RequestPool::fulfill(RequestId id, SlotRef slot) {
     retire(id, kFulfilledTomb);
   }
   --live_;
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
 }
 
 void RequestPool::expire(RequestId id) {
@@ -120,6 +126,9 @@ void RequestPool::expire(RequestId id) {
     retire(id, kExpiredTomb);
   }
   --live_;
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
 }
 
 void RequestPool::retire(RequestId id, std::int32_t tombstone) {
@@ -145,6 +154,9 @@ void RequestPool::advance(Round now) {
 #endif
     base_ = new_base;
   }
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
 }
 
 const Request& RequestPool::request(RequestId id) const {
@@ -189,6 +201,99 @@ void RequestPool::grow_ring() {
     for (RequestId id = base_; id < next_ - 1; ++id) {
       ring_at(id) = old[static_cast<std::size_t>(id) & old_mask];
     }
+  }
+}
+
+void RequestPool::audit_check() const {
+  if (retain_) {
+    // Retain mode: dense parallel arrays, nothing recycled.
+    const auto count = static_cast<std::size_t>(next_);
+    REQSCHED_AUDIT_REQUIRE(slab_.size() == count);
+    REQSCHED_AUDIT_REQUIRE(status_.size() == count);
+    REQSCHED_AUDIT_REQUIRE(fulfilled_slot_.size() == count);
+    REQSCHED_AUDIT_REQUIRE(base_ == 0 && free_.empty());
+    std::int64_t pending = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      REQSCHED_AUDIT_REQUIRE_MSG(
+          slab_[i].id == static_cast<RequestId>(i),
+          "retain-mode slab slot " << i << " holds " << slab_[i]);
+      if (status_[i] == RequestStatus::kPending) ++pending;
+      REQSCHED_AUDIT_REQUIRE_MSG(
+          fulfilled_slot_[i].valid() ==
+              (status_[i] == RequestStatus::kFulfilled),
+          "fulfilled slot recorded for non-fulfilled r" << i);
+    }
+    REQSCHED_AUDIT_REQUIRE_MSG(pending == live_,
+                               pending << " pending requests vs live count "
+                                       << live_);
+    return;
+  }
+
+  // Window mode: every slab slot is referenced exactly once — either by the
+  // ring entry of a live id or by the free list.
+  REQSCHED_AUDIT_REQUIRE(base_ >= 0 && base_ <= next_);
+  if (next_ > base_) {
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        !ring_.empty() && (ring_.size() & (ring_.size() - 1)) == 0 &&
+            static_cast<std::size_t>(next_ - base_) <= ring_.size(),
+        "ring of size " << ring_.size() << " cannot hold the id window ["
+                        << base_ << ", " << next_ << ")");
+  }
+  std::vector<char> referenced(slab_.size(), 0);
+  std::int64_t live = 0;
+  for (RequestId id = base_; id < next_; ++id) {
+    const std::int32_t slot = ring_at(id);
+    if (slot < 0) {
+      REQSCHED_AUDIT_REQUIRE_MSG(slot == kFulfilledTomb || slot == kExpiredTomb,
+                                 "r" << id << " has unknown tombstone "
+                                     << slot);
+      continue;
+    }
+    ++live;
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        static_cast<std::size_t>(slot) < slab_.size(),
+        "ring entry for r" << id << " points past the slab");
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        !referenced[static_cast<std::size_t>(slot)],
+        "slab slot " << slot << " referenced by two live ids");
+    referenced[static_cast<std::size_t>(slot)] = 1;
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        slab_[static_cast<std::size_t>(slot)].id == id,
+        "slab slot " << slot << " holds "
+                     << slab_[static_cast<std::size_t>(slot)]
+                     << " but the ring maps it to r" << id);
+  }
+  REQSCHED_AUDIT_REQUIRE_MSG(live == live_,
+                             live << " live ring entries vs live count "
+                                  << live_);
+  for (const std::int32_t slot : free_) {
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        slot >= 0 && static_cast<std::size_t>(slot) < slab_.size(),
+        "free-list entry " << slot << " out of slab range");
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        !referenced[static_cast<std::size_t>(slot)],
+        "slab slot " << slot << " is both live and on the free list");
+    referenced[static_cast<std::size_t>(slot)] = 1;
+  }
+  REQSCHED_AUDIT_REQUIRE_MSG(
+      live + static_cast<std::int64_t>(free_.size()) ==
+          static_cast<std::int64_t>(slab_.size()),
+      "slab leak: " << slab_.size() << " slots, " << live << " live + "
+                    << free_.size() << " free");
+
+  // Round marks: strictly increasing in round and id, covering [base_,
+  // next_) — the window-advance bookkeeping.
+  // Cold: audit_check() only runs from mutators under REQSCHED_AUDIT_ENABLED
+  // (or directly from tests), never inline on the hot path.
+  for (std::size_t i = 0; i + 1 < round_marks_.size(); ++i) {  // reqsched-lint: allow(hot-loop-guard)
+    REQSCHED_AUDIT_REQUIRE(round_marks_[i].first < round_marks_[i + 1].first);
+    REQSCHED_AUDIT_REQUIRE(round_marks_[i].second < round_marks_[i + 1].second);
+  }
+  if (!round_marks_.empty()) {
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        round_marks_.front().second >= base_ &&
+            round_marks_.back().second < next_,
+        "round marks stretch outside the id window");
   }
 }
 

@@ -83,7 +83,16 @@ class RequestPool {
   }
   std::size_t approx_bytes() const;
 
+  /// Audit oracle: full slab / free-list / ring-tombstone consistency sweep
+  /// (every slab slot accounted for exactly once, ring entries resolve to
+  /// slabs holding the right request id, live counters re-derived, round
+  /// marks monotone). O(window + slab). Throws ContractViolation on any
+  /// disagreement. Runs after every mutation in REQSCHED_AUDIT builds;
+  /// always compiled so tests can invoke it directly.
+  void audit_check() const;
+
  private:
+  friend struct AuditTestAccess;  ///< corruption hooks for tests/test_audit
   static constexpr std::int32_t kFulfilledTomb = -2;
   static constexpr std::int32_t kExpiredTomb = -3;
 

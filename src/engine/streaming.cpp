@@ -1,6 +1,7 @@
 #include "engine/streaming.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "engine/simulator.hpp"
 
@@ -71,7 +72,93 @@ bool StreamingEngine::step() {
       metrics_.rounds % options_.snapshot_every == 0) {
     options_.snapshot_sink(snapshot());
   }
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
   return true;
+}
+
+void StreamingEngine::audit_check() const {
+  // Alive set vs. the pool: ids unique, inside the queryable window, still
+  // pending, and exactly live_count() of them.
+  std::unordered_set<RequestId> alive_set;
+  alive_set.reserve(alive_.size());
+  // Cold: audit_check() only runs once per round under
+  // REQSCHED_AUDIT_ENABLED (or directly from tests).
+  for (const RequestId id : alive_) {  // reqsched-lint: allow(hot-loop-guard)
+    REQSCHED_AUDIT_REQUIRE_MSG(id >= pool_->window_base() &&
+                                   id < pool_->next_id(),
+                               "alive id r" << id
+                                            << " is outside the pool window");
+    REQSCHED_AUDIT_REQUIRE_MSG(alive_set.insert(id).second,
+                               "alive set holds r" << id << " twice");
+    REQSCHED_AUDIT_REQUIRE_MSG(pool_->status(id) == RequestStatus::kPending,
+                               "alive r" << id << " is not pending");
+  }
+  REQSCHED_AUDIT_REQUIRE_MSG(
+      static_cast<std::int64_t>(alive_.size()) == pool_->live_count(),
+      "alive set size " << alive_.size() << " vs pool live count "
+                        << pool_->live_count());
+
+  // Request conservation, continuously (run() only asserts it at the end).
+  REQSCHED_AUDIT_REQUIRE_MSG(
+      metrics_.injected ==
+          metrics_.fulfilled + metrics_.expired + pool_->live_count(),
+      "conservation: " << metrics_.injected << " injected vs "
+                       << metrics_.fulfilled << " fulfilled + "
+                       << metrics_.expired << " expired + "
+                       << pool_->live_count() << " pending");
+
+  // Schedule vs. alive set: every booked slot in the window holds a pending
+  // alive request whose own view agrees, and the booked census matches.
+  const Round t = now();
+  std::int64_t booked = 0;
+  for (Round round = t; round < t + config_.d; ++round) {
+    for (ResourceId res = 0; res < config_.n; ++res) {
+      const SlotRef slot{res, round};
+      const RequestId id = schedule_.request_at(slot);
+      if (id == kNoRequest) continue;
+      ++booked;
+      REQSCHED_AUDIT_REQUIRE_MSG(alive_set.count(id) != 0,
+                                 "booked r" << id << " at " << slot
+                                            << " is not in the alive set");
+      REQSCHED_AUDIT_REQUIRE_MSG(
+          schedule_.is_scheduled(id) && schedule_.slot_of(id) == slot,
+          "schedule grid and slot_of disagree for r" << id << " at " << slot);
+      const Request& r = pool_->request(id);
+      REQSCHED_AUDIT_REQUIRE_MSG(r.allows_slot(slot) && round <= r.deadline,
+                                 r << " booked at disallowed " << slot);
+    }
+  }
+  REQSCHED_AUDIT_REQUIRE_MSG(booked == schedule_.booked_count(),
+                             "schedule booked_count " <<
+                                 schedule_.booked_count() << " vs " << booked
+                                                        << " grid entries");
+
+  // Window-problem mirror: row-for-row and booking-for-booking agreement
+  // with the engine's own state.
+  if (window_active_) {
+    REQSCHED_AUDIT_REQUIRE_MSG(window_->window_begin() == t,
+                               "window problem is at round "
+                                   << window_->window_begin()
+                                   << ", engine at " << t);
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        window_->row_count() == static_cast<std::int64_t>(alive_.size()),
+        "window problem has " << window_->row_count() << " rows vs "
+                              << alive_.size() << " alive requests");
+    for (const RequestId id : alive_) {
+      REQSCHED_AUDIT_REQUIRE_MSG(window_->has_row(id),
+                                 "alive r" << id
+                                           << " missing from window problem");
+      const SlotRef mirrored = window_->booked_slot_of(id);
+      const SlotRef actual =
+          schedule_.is_scheduled(id) ? schedule_.slot_of(id) : kNoSlot;
+      REQSCHED_AUDIT_REQUIRE_MSG(mirrored == actual,
+                                 "window problem books r"
+                                     << id << " at " << mirrored
+                                     << ", schedule at " << actual);
+    }
+  }
 }
 
 void StreamingEngine::expire_round_start() {

@@ -173,6 +173,15 @@ class StreamingEngine {
   /// engine scratch.
   std::size_t approx_resident_bytes() const;
 
+  /// Audit oracle: cross-structure agreement sweep — the alive set against
+  /// the pool's live count and per-id statuses, every booked schedule slot
+  /// against the alive set, and (when active) the delta-maintained window
+  /// problem row-for-row and booking-for-booking against schedule state.
+  /// O(n*d + alive). Throws ContractViolation on any disagreement. Runs
+  /// after every round in REQSCHED_AUDIT builds; always compiled so tests
+  /// can invoke it directly.
+  void audit_check() const;
+
   // ---- write API (strategy only, during on_round) ----
 
   void assign(RequestId id, SlotRef slot);
@@ -183,6 +192,7 @@ class StreamingEngine {
   void record_communication(std::int64_t rounds, std::int64_t messages);
 
  private:
+  friend struct AuditTestAccess;  ///< corruption hooks for tests/test_audit
   void expire_round_start();
   void inject();
   void execute();

@@ -73,7 +73,11 @@ bool WindowedPrefixOpt::add_request(const Request& request) {
       root_slots_.push_back(intern_slot(t * n + request.second));
     }
   }
-  return try_augment();
+  const bool grew = try_augment();
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
+  return grew;
 }
 
 bool WindowedPrefixOpt::try_augment() {
@@ -135,6 +139,30 @@ bool WindowedPrefixOpt::try_augment() {
     }
     if (!descended) stack_.pop_back();
   }
+#if REQSCHED_AUDIT_ENABLED
+  // Certify the Hall witness before freezing it: every visited slot must be
+  // matched (a free slot would have ended the search with success), and
+  // every non-dead neighbor of each visited slot's owner must itself have
+  // been visited — the exhausted search tree is closed under
+  // right -> matched left -> adjacency, which is exactly the property that
+  // makes retiring its pairs sound.
+  for (const std::int32_t s : visited_) {
+    const SlotNode& node = slots_[static_cast<std::size_t>(s)];
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        !node.dead && node.match >= 0 &&
+            static_cast<std::size_t>(node.match) < lefts_.size(),
+        "Hall witness slot " << s << " (key " << node.key
+                             << ") is not a live matched slot");
+    for (const std::int32_t nb :
+         lefts_[static_cast<std::size_t>(node.match)].slots) {
+      const SlotNode& other = slots_[static_cast<std::size_t>(nb)];
+      REQSCHED_AUDIT_REQUIRE_MSG(
+          other.dead || other.stamp == stamp_,
+          "Hall witness is not closed: slot " << nb << " (key " << other.key
+                                              << ") escapes the search tree");
+    }
+  }
+#endif
   // Failed search: the visited slots are a frozen Hall witness (all
   // matched, every neighbor of every left on the exhausted search tree is
   // inside the set) — no future augmenting path can enter it, so its
@@ -212,6 +240,140 @@ void WindowedPrefixOpt::advance_to(Round now) {
     }
     free_slot(static_cast<std::int32_t>(i));
   }
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
+}
+
+std::size_t WindowedPrefixOpt::audit_count_free(
+    const std::vector<std::int32_t>& free_list, std::size_t slab_size) {
+  // Free lists must be duplicate-free and in-range to partition the slab.
+  std::vector<bool> seen(slab_size, false);
+  for (const std::int32_t idx : free_list) {
+    REQSCHED_AUDIT_REQUIRE(idx >= 0 &&
+                           static_cast<std::size_t>(idx) < slab_size);
+    REQSCHED_AUDIT_REQUIRE_MSG(!seen[static_cast<std::size_t>(idx)],
+                               "free list holds slab index " << idx
+                                                             << " twice");
+    seen[static_cast<std::size_t>(idx)] = true;
+  }
+  return free_list.size();
+}
+
+void WindowedPrefixOpt::audit_check() const {
+  // Interning map is exact: every entry resolves to a live slab slot that
+  // holds its key, and every live slab slot is interned — so the map size
+  // re-derives live_slot_count_.
+  REQSCHED_AUDIT_REQUIRE_MSG(
+      static_cast<std::int64_t>(slot_index_.size()) == live_slot_count_,
+      "live_slot_count_ " << live_slot_count_ << " vs " << slot_index_.size()
+                          << " interned keys");
+  // Cold loops below: audit_check() only runs from mutators under
+  // REQSCHED_AUDIT_ENABLED (or directly from tests).
+  for (const auto& [key, slot] : slot_index_) {  // reqsched-lint: allow(hot-loop-guard)
+    REQSCHED_AUDIT_REQUIRE(slot >= 0 &&
+                           static_cast<std::size_t>(slot) < slots_.size());
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        slots_[static_cast<std::size_t>(slot)].key == key,
+        "slot_index_[" << key << "] points at slab slot " << slot
+                       << " holding key "
+                       << slots_[static_cast<std::size_t>(slot)].key);
+  }
+
+  // Matching validity, slot side: matched slots point at lefts that point
+  // back AND lie inside that left's fixed adjacency; dead (frozen-witness)
+  // slots are never matched; recycled slots carry no state.
+  std::int64_t matched_slots = 0;
+  std::int64_t live_slots = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const SlotNode& s = slots_[i];
+    if (s.key < 0) {
+      REQSCHED_AUDIT_REQUIRE_MSG(s.match < 0,
+                                 "recycled slab slot " << i
+                                                       << " is still matched");
+      continue;
+    }
+    ++live_slots;
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        slot_index_.count(s.key) != 0 &&
+            slot_index_.at(s.key) == static_cast<std::int32_t>(i),
+        "slab slot " << i << " holds key " << s.key
+                     << " that the interning map does not own");
+    if (s.dead) {
+      REQSCHED_AUDIT_REQUIRE_MSG(
+          s.match < 0, "dead slot " << i << " (key " << s.key
+                                    << ") kept its matched edge");
+      continue;
+    }
+    if (s.match < 0) continue;
+    ++matched_slots;
+    REQSCHED_AUDIT_REQUIRE(static_cast<std::size_t>(s.match) < lefts_.size());
+    const LeftNode& l = lefts_[static_cast<std::size_t>(s.match)];
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        l.match == static_cast<std::int32_t>(i),
+        "slot " << i << " matched to left " << s.match
+                << " whose match is slot " << l.match);
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        std::find(l.slots.begin(), l.slots.end(),
+                  static_cast<std::int32_t>(i)) != l.slots.end(),
+        "matched slot " << i << " is outside left " << s.match
+                        << "'s adjacency");
+  }
+  REQSCHED_AUDIT_REQUIRE_MSG(live_slots == live_slot_count_,
+                             "live_slot_count_ " << live_slot_count_ << " vs "
+                                                 << live_slots
+                                                 << " live slab slots");
+  REQSCHED_AUDIT_REQUIRE_MSG(matched_slots == live_matched_,
+                             "live_matched_ " << live_matched_ << " vs "
+                                              << matched_slots
+                                              << " matched slots");
+  REQSCHED_AUDIT_REQUIRE(peak_live_slots_ >= live_slot_count_);
+
+  // Matching validity, left side: only successful augmentations store a
+  // left, so every non-recycled left is matched, with a mutual pointer into
+  // its own adjacency; the free list plus the matched lefts partition the
+  // slab.
+  std::int64_t matched_lefts = 0;
+  for (std::size_t i = 0; i < lefts_.size(); ++i) {
+    const LeftNode& l = lefts_[i];
+    if (l.match < 0) continue;
+    ++matched_lefts;
+    REQSCHED_AUDIT_REQUIRE(static_cast<std::size_t>(l.match) < slots_.size());
+    const SlotNode& s = slots_[static_cast<std::size_t>(l.match)];
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        s.match == static_cast<std::int32_t>(i) && !s.dead && s.key >= 0,
+        "left " << i << " matched to slot " << l.match
+                << " that does not match it back");
+  }
+  REQSCHED_AUDIT_REQUIRE_MSG(matched_lefts == live_matched_,
+                             "live_matched_ " << live_matched_ << " vs "
+                                              << matched_lefts
+                                              << " matched lefts");
+  const std::size_t free_lefts = audit_count_free(left_free_, lefts_.size());
+  REQSCHED_AUDIT_REQUIRE_MSG(
+      static_cast<std::size_t>(matched_lefts) + free_lefts == lefts_.size(),
+      "left slab leak: " << lefts_.size() << " slots, " << matched_lefts
+                         << " matched + " << free_lefts << " free");
+  for (const std::int32_t idx : left_free_) {  // reqsched-lint: allow(hot-loop-guard)
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        lefts_[static_cast<std::size_t>(idx)].match < 0,
+        "free-listed left " << idx << " is still matched");
+  }
+  const std::size_t free_slots = audit_count_free(slot_free_, slots_.size());
+  REQSCHED_AUDIT_REQUIRE_MSG(
+      static_cast<std::size_t>(live_slots) + free_slots == slots_.size(),
+      "slot slab leak: " << slots_.size() << " slots, " << live_slots
+                         << " live + " << free_slots << " free");
+  for (const std::int32_t idx : slot_free_) {  // reqsched-lint: allow(hot-loop-guard)
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        slots_[static_cast<std::size_t>(idx)].key < 0,
+        "free-listed slot " << idx << " still holds a key");
+  }
+
+  // Counters: the retired total never shrinks below zero and the reported
+  // optimum is their sum by construction.
+  REQSCHED_AUDIT_REQUIRE(retired_matched_ >= 0 && live_matched_ >= 0);
+  REQSCHED_AUDIT_REQUIRE(retired_matched_ + live_matched_ <= requests_seen_);
 }
 
 std::size_t WindowedPrefixOpt::approx_bytes() const {

@@ -73,7 +73,17 @@ class WindowedPrefixOpt {
 
   std::size_t approx_bytes() const;
 
+  /// Audit oracle: full matching-validity sweep — slot/left match pointers
+  /// mutually consistent, every matched slot inside its left's fixed
+  /// adjacency, frozen (dead) slots unmatched, the live/retired counters
+  /// re-derived, and the slot interning map exact. O(live vertices + edges).
+  /// Throws ContractViolation on any disagreement. Runs after every mutation
+  /// in REQSCHED_AUDIT builds (which additionally certify each Hall witness
+  /// as it freezes); always compiled so tests can invoke it directly.
+  void audit_check() const;
+
  private:
+  friend struct AuditTestAccess;  ///< corruption hooks for tests/test_audit
   /// A stored left (request) vertex. Only successful augmentations store a
   /// left, so every live left is matched; its adjacency is fixed forever.
   struct LeftNode {
@@ -96,6 +106,10 @@ class WindowedPrefixOpt {
   std::int32_t intern_slot(std::int64_t key);
   bool try_augment();
   void free_slot(std::int32_t slot);
+  /// Audit helper: checks a slab free list is in-range and duplicate-free,
+  /// returns its length.
+  static std::size_t audit_count_free(const std::vector<std::int32_t>& free_list,
+                                      std::size_t slab_size);
 
   ProblemConfig config_{};
   std::vector<LeftNode> lefts_;

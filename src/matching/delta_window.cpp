@@ -65,6 +65,9 @@ void DeltaWindowProblem::add_request(const Request& r) {
   const auto [it, inserted] = rows_.emplace(r.id, Row{r, kNoSlot});
   REQSCHED_REQUIRE_MSG(inserted, "duplicate window row for r" << r.id);
   (void)it;
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
 }
 
 void DeltaWindowProblem::retire(RequestId id) {
@@ -74,6 +77,9 @@ void DeltaWindowProblem::retire(RequestId id) {
                        "r" << id << " retired while booked at "
                            << it->second.booked);
   rows_.erase(it);
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
 }
 
 void DeltaWindowProblem::book(RequestId id, SlotRef slot) {
@@ -87,6 +93,9 @@ void DeltaWindowProblem::book(RequestId id, SlotRef slot) {
   row.booked = slot;
   grid_[grid_index(slot)] = id;
   set_free(slot, false);
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
 }
 
 void DeltaWindowProblem::unbook(RequestId id) {
@@ -97,6 +106,9 @@ void DeltaWindowProblem::unbook(RequestId id) {
   grid_[grid_index(row.booked)] = kNoRequest;
   set_free(row.booked, true);
   row.booked = kNoSlot;
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
 }
 
 void DeltaWindowProblem::advance() {
@@ -105,6 +117,9 @@ void DeltaWindowProblem::advance() {
                                         << " advanced while still booked");
   // The vacated column re-enters as round window_begin + d, already all-free.
   ++window_begin_;
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
 }
 
 bool DeltaWindowProblem::is_free(SlotRef slot) const {
@@ -415,6 +430,77 @@ void DeltaWindowProblem::max_match(std::span<const RequestId> lefts,
     const auto res = static_cast<ResourceId>(gi % config_.n);
     const Round round = t + ((col - t_col) + config_.d) % config_.d;
     out[l] = SlotRef{res, round};
+  }
+}
+
+void DeltaWindowProblem::audit_check() const {
+  const auto d = static_cast<std::size_t>(config_.d);
+  const auto n = static_cast<std::size_t>(config_.n);
+  const std::size_t words = words_per_column();
+
+  // Naive model: occupancy derived from the row table alone.
+  std::int64_t booked_rows = 0;
+  for (const auto& [id, row] : rows_) {
+    REQSCHED_AUDIT_REQUIRE_MSG(row.request.id == id,
+                               "row key r" << id << " holds " << row.request);
+    if (!row.booked.valid()) continue;
+    ++booked_rows;
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        in_window(row.booked.round) && row.request.allows_slot(row.booked),
+        "r" << id << " booked at disallowed slot " << row.booked);
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        grid_[grid_index(row.booked)] == id,
+        "grid disagrees with row table at " << row.booked << ": holds r"
+            << grid_[grid_index(row.booked)] << ", row says r" << id);
+  }
+
+  // Every occupied grid cell must be claimed by exactly one booked row, and
+  // the free bitmasks (both orientations) must be its exact complement.
+  std::int64_t occupied = 0;
+  for (std::size_t col = 0; col < d; ++col) {
+    for (std::size_t res = 0; res < n; ++res) {
+      const std::size_t gi = col * n + res;
+      const RequestId occ = grid_[gi];
+      const bool bit_free =
+          (free_[col * words + res / 64] >> (res % 64)) & 1;
+      REQSCHED_AUDIT_REQUIRE_MSG(
+          bit_free == (occ == kNoRequest),
+          "free bit for column " << col << " resource " << res
+              << " disagrees with the occupancy grid (occupant r" << occ
+              << ")");
+      if (has_round_masks()) {
+        const bool mask_free = (res_free_[res] >> col) & 1;
+        REQSCHED_AUDIT_REQUIRE_MSG(
+            mask_free == bit_free,
+            "transposed res_free_ mask disagrees at column "
+                << col << " resource " << res);
+      }
+      if (occ == kNoRequest) continue;
+      ++occupied;
+      const auto it = rows_.find(occ);
+      REQSCHED_AUDIT_REQUIRE_MSG(it != rows_.end(),
+                                 "grid holds retired r" << occ);
+      REQSCHED_AUDIT_REQUIRE_MSG(
+          it->second.booked.valid() &&
+              grid_index(it->second.booked) == gi,
+          "grid cell and row booking disagree for r" << occ);
+    }
+  }
+  REQSCHED_AUDIT_REQUIRE_MSG(occupied == booked_rows,
+                             occupied << " occupied slots vs " << booked_rows
+                                      << " booked rows");
+  if (has_round_masks()) {
+    // Bits at or above d must never be set (rotate correctness depends
+    // on it).
+    const std::uint64_t above =
+        config_.d == 64 ? 0 : ~((std::uint64_t{1} << config_.d) - 1);
+    // Cold: audit_check() only runs from mutators under
+    // REQSCHED_AUDIT_ENABLED (or directly from tests).
+    for (std::size_t res = 0; res < n; ++res) {  // reqsched-lint: allow(hot-loop-guard)
+      REQSCHED_AUDIT_REQUIRE_MSG((res_free_[res] & above) == 0,
+                                 "res_free_ has bits past d for resource "
+                                     << res);
+    }
   }
 }
 

@@ -130,7 +130,16 @@ class DeltaWindowProblem {
   /// Resident estimate (capacities), for the engine's memory accounting.
   std::size_t approx_bytes() const;
 
+  /// Audit oracle: re-derives every bitmask from the naive set model (the
+  /// row table) and cross-checks the occupancy grid, the per-column free
+  /// words, and the transposed per-resource masks against it. O(n*d + rows).
+  /// Throws ContractViolation on any disagreement. Runs after every mutation
+  /// in REQSCHED_AUDIT builds; always compiled so tests can invoke it
+  /// directly.
+  void audit_check() const;
+
  private:
+  friend struct AuditTestAccess;  ///< corruption hooks for tests/test_audit
   struct Row {
     Request request;
     SlotRef booked = kNoSlot;

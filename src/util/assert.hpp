@@ -84,3 +84,37 @@ namespace detail {
   do {                                        \
   } while (false)
 #endif
+
+// Audit-only oracles: O(n)-or-worse invariant re-derivations (naive set
+// models, full-structure consistency sweeps, Hall-witness certificates) that
+// run after every mutation of the delta-maintained hot structures. Far too
+// expensive for any normal build — the per-mutation call sites are gated on
+// REQSCHED_AUDIT_ENABLED, set only by -DREQSCHED_AUDIT=ON (tools/check.sh
+// --audit, the `audit` CI job), which reruns the whole test suite under
+// them. The REQSCHED_AUDIT_REQUIRE macros themselves always check: they
+// appear only inside the cold audit_check() bodies, which every build
+// compiles so tests/test_audit.cpp can corrupt a structure and invoke the
+// oracle directly. Violations throw ContractViolation like every other
+// contract macro.
+#ifdef REQSCHED_AUDIT
+#define REQSCHED_AUDIT_ENABLED 1
+#else
+#define REQSCHED_AUDIT_ENABLED 0
+#endif
+
+#define REQSCHED_AUDIT_REQUIRE(expr)                                      \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::reqsched::detail::contract_fail("audit", #expr, __FILE__,         \
+                                        __LINE__, "");                    \
+  } while (false)
+
+#define REQSCHED_AUDIT_REQUIRE_MSG(expr, msg)                           \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream reqsched_os_;                                  \
+      reqsched_os_ << msg; /* NOLINT */                                 \
+      ::reqsched::detail::contract_fail("audit", #expr, __FILE__,       \
+                                        __LINE__, reqsched_os_.str());  \
+    }                                                                   \
+  } while (false)

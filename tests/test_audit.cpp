@@ -1,0 +1,318 @@
+// Corruption tests for the REQSCHED_AUDIT invariant oracles.
+//
+// Each oracle (DeltaWindowProblem, RequestPool, WindowedPrefixOpt,
+// StreamingEngine::audit_check) re-derives its structure from a naive model
+// and throws ContractViolation on any disagreement. These tests deliberately
+// corrupt the private state through the befriended AuditTestAccess hooks and
+// assert the oracle actually fires — a silent oracle is worse than none,
+// because the audit CI job would then certify nothing.
+//
+// The audit_check() entry points and the REQSCHED_AUDIT_REQUIRE macros are
+// compiled in every build (only the per-mutation call sites are gated on
+// REQSCHED_AUDIT_ENABLED), so this suite runs in the plain tier-1 pass too.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/workload.hpp"
+#include "engine/request_pool.hpp"
+#include "engine/simulator.hpp"
+#include "engine/streaming.hpp"
+#include "engine/windowed_opt.hpp"
+#include "matching/delta_window.hpp"
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+/// The befriended corruption hooks. Lives in namespace reqsched (not the
+/// anonymous namespace) so it names the `friend struct AuditTestAccess`
+/// declared by the audited classes.
+struct AuditTestAccess {
+  // ---- DeltaWindowProblem ----
+  static void corrupt_grid(DeltaWindowProblem& w, SlotRef slot, RequestId id) {
+    w.grid_[w.grid_index(slot)] = id;
+  }
+  static void flip_free_bit(DeltaWindowProblem& w, SlotRef slot) {
+    const std::size_t words = w.words_per_column();
+    const auto res = static_cast<std::size_t>(slot.resource);
+    w.free_[w.column_of(slot.round) * words + res / 64] ^=
+        std::uint64_t{1} << (res % 64);
+  }
+  static void flip_res_mask_bit(DeltaWindowProblem& w, SlotRef slot) {
+    w.res_free_[static_cast<std::size_t>(slot.resource)] ^=
+        std::uint64_t{1} << w.column_of(slot.round);
+  }
+  static void set_res_mask_high_bit(DeltaWindowProblem& w, ResourceId res) {
+    w.res_free_[static_cast<std::size_t>(res)] |= std::uint64_t{1} << 63;
+  }
+
+  // ---- RequestPool ----
+  static void bump_live_count(RequestPool& p) { ++p.live_; }
+  static void poison_ring(RequestPool& p, RequestId id) {
+    p.ring_at(id) = -7;  // neither a slab slot nor a known tombstone
+  }
+  static void duplicate_free_entry(RequestPool& p) {
+    p.free_.push_back(p.free_.front());
+  }
+  static void skew_round_marks(RequestPool& p) {
+    p.round_marks_.front().second = p.next_ + 5;
+  }
+
+  // ---- WindowedPrefixOpt ----
+  static void sever_first_match(WindowedPrefixOpt& o) {
+    for (auto& s : o.slots_) {
+      if (s.key >= 0 && !s.dead && s.match >= 0) {
+        s.match = -1;  // the left still points here: mutuality breaks
+        return;
+      }
+    }
+    FAIL() << "no matched slot to sever";
+  }
+  static void bump_live_matched(WindowedPrefixOpt& o) { ++o.live_matched_; }
+  static void shift_first_key(WindowedPrefixOpt& o) {
+    for (auto& s : o.slots_) {
+      if (s.key >= 0) {
+        s.key += 1000;  // slot_index_ still maps the old key here
+        return;
+      }
+    }
+    FAIL() << "no interned slot to corrupt";
+  }
+
+  // ---- StreamingEngine ----
+  static void duplicate_alive(StreamingEngine& e) {
+    e.alive_.push_back(e.alive_.front());
+  }
+  static void drop_alive(StreamingEngine& e) { e.alive_.pop_back(); }
+};
+
+namespace {
+
+Request two_choice_request(RequestId id, Round arrival, Round deadline,
+                           ResourceId first, ResourceId second) {
+  return Request{id, arrival, deadline, first, second};
+}
+
+/// A strategy that books nothing; optionally asks for the delta-maintained
+/// window problem so the engine mirrors arrivals/retirements into it.
+class IdleStrategy final : public IStrategy {
+ public:
+  explicit IdleStrategy(bool wants_window) : wants_window_(wants_window) {}
+  std::string name() const override { return "idle"; }
+  void on_round(Simulator&) override {}
+  bool wants_window_problem() const override { return wants_window_; }
+
+ private:
+  bool wants_window_;
+};
+
+// ---------------------------------------------------------------------------
+// DeltaWindowProblem
+
+class DeltaWindowAudit : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    window_.reset(ProblemConfig{2, 3});
+    window_.add_request(two_choice_request(0, 0, 2, 0, 1));
+    window_.add_request(two_choice_request(1, 0, 1, 1, kNoResource));
+    window_.book(0, SlotRef{0, 1});
+  }
+  DeltaWindowProblem window_;
+};
+
+TEST_F(DeltaWindowAudit, CleanStatePasses) {
+  EXPECT_NO_THROW(window_.audit_check());
+  window_.unbook(0);
+  window_.retire(1);
+  EXPECT_NO_THROW(window_.audit_check());
+}
+
+TEST_F(DeltaWindowAudit, FiresOnGridCorruption) {
+  // A free cell claims an occupant the row table knows nothing about.
+  AuditTestAccess::corrupt_grid(window_, SlotRef{1, 2}, 99);
+  EXPECT_THROW(window_.audit_check(), ContractViolation);
+}
+
+TEST_F(DeltaWindowAudit, FiresOnStaleFreeBit) {
+  // The column bitmask says "booked" while the grid says "free".
+  AuditTestAccess::flip_free_bit(window_, SlotRef{1, 0});
+  EXPECT_THROW(window_.audit_check(), ContractViolation);
+}
+
+TEST_F(DeltaWindowAudit, FiresOnTransposedMaskDrift) {
+  // The transposed per-resource view disagrees with the column view.
+  AuditTestAccess::flip_res_mask_bit(window_, SlotRef{0, 2});
+  EXPECT_THROW(window_.audit_check(), ContractViolation);
+}
+
+TEST_F(DeltaWindowAudit, FiresOnMaskBitsPastD) {
+  // Bits at or above d break the rotate arithmetic even when every in-range
+  // bit agrees.
+  AuditTestAccess::set_res_mask_high_bit(window_, 0);
+  EXPECT_THROW(window_.audit_check(), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// RequestPool
+
+class RequestPoolAudit : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pool_.reset(ProblemConfig{2, 2}, /*retain_history=*/false);
+    a_ = pool_.admit(0, RequestSpec{0, 1, 0});
+    b_ = pool_.admit(0, RequestSpec{1, 0, 0});
+    c_ = pool_.admit(1, RequestSpec{0, kNoResource, 0});
+    pool_.fulfill(a_, SlotRef{0, 0});
+  }
+  RequestPool pool_;
+  RequestId a_ = kNoRequest;
+  RequestId b_ = kNoRequest;
+  RequestId c_ = kNoRequest;
+};
+
+TEST_F(RequestPoolAudit, CleanStatePasses) {
+  EXPECT_NO_THROW(pool_.audit_check());
+  pool_.expire(b_);
+  pool_.advance(2);
+  EXPECT_NO_THROW(pool_.audit_check());
+}
+
+TEST_F(RequestPoolAudit, CleanRetainModePasses) {
+  RequestPool retain;
+  retain.reset(ProblemConfig{2, 3}, /*retain_history=*/true);
+  const RequestId x = retain.admit(0, RequestSpec{0, 1, 0});
+  retain.fulfill(x, SlotRef{1, 1});
+  retain.admit(1, RequestSpec{1, 0, 0});
+  EXPECT_NO_THROW(retain.audit_check());
+}
+
+TEST_F(RequestPoolAudit, FiresOnLiveCountDrift) {
+  AuditTestAccess::bump_live_count(pool_);
+  EXPECT_THROW(pool_.audit_check(), ContractViolation);
+}
+
+TEST_F(RequestPoolAudit, FiresOnUnknownTombstone) {
+  AuditTestAccess::poison_ring(pool_, b_);
+  EXPECT_THROW(pool_.audit_check(), ContractViolation);
+}
+
+TEST_F(RequestPoolAudit, FiresOnFreeListDuplicate) {
+  // a_'s slab slot is on the free list; referencing it twice leaks the slab
+  // accounting.
+  AuditTestAccess::duplicate_free_entry(pool_);
+  EXPECT_THROW(pool_.audit_check(), ContractViolation);
+}
+
+TEST_F(RequestPoolAudit, FiresOnRoundMarkSkew) {
+  AuditTestAccess::skew_round_marks(pool_);
+  EXPECT_THROW(pool_.audit_check(), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// WindowedPrefixOpt
+
+class WindowedOptAudit : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    opt_.reset(ProblemConfig{2, 2});
+    // Resource 0 only, rounds {0, 1}: two requests saturate it.
+    EXPECT_TRUE(opt_.add_request(two_choice_request(0, 0, 1, 0, kNoResource)));
+    EXPECT_TRUE(opt_.add_request(two_choice_request(1, 0, 1, 0, kNoResource)));
+  }
+  WindowedPrefixOpt opt_;
+};
+
+TEST_F(WindowedOptAudit, CleanStatePasses) {
+  EXPECT_NO_THROW(opt_.audit_check());
+  // A third request on the saturated resource fails its search and freezes
+  // the Hall witness; the structure must stay consistent through the freeze
+  // and the closure prune.
+  EXPECT_FALSE(opt_.add_request(two_choice_request(2, 1, 1, 0, kNoResource)));
+  EXPECT_NO_THROW(opt_.audit_check());
+  EXPECT_EQ(opt_.optimum(), 2);
+  opt_.advance_to(2);
+  EXPECT_NO_THROW(opt_.audit_check());
+  EXPECT_EQ(opt_.optimum(), 2);
+}
+
+TEST_F(WindowedOptAudit, FiresOnSeveredMatchPointer) {
+  AuditTestAccess::sever_first_match(opt_);
+  EXPECT_THROW(opt_.audit_check(), ContractViolation);
+}
+
+TEST_F(WindowedOptAudit, FiresOnMatchedCounterDrift) {
+  AuditTestAccess::bump_live_matched(opt_);
+  EXPECT_THROW(opt_.audit_check(), ContractViolation);
+}
+
+TEST_F(WindowedOptAudit, FiresOnInterningDrift) {
+  AuditTestAccess::shift_first_key(opt_);
+  EXPECT_THROW(opt_.audit_check(), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// StreamingEngine
+
+class StreamingAudit : public ::testing::Test {
+ protected:
+  StreamingAudit() : trace_(ProblemConfig{2, 3}) {
+    trace_.add(0, RequestSpec{0, 1, 0});
+    trace_.add(0, RequestSpec{1, 0, 0});
+    trace_.add(1, RequestSpec{0, kNoResource, 0});
+  }
+  Trace trace_;
+};
+
+TEST_F(StreamingAudit, CleanStatePassesWithWindowMirror) {
+  TraceWorkload workload(trace_);
+  IdleStrategy strategy(/*wants_window=*/true);
+  Simulator sim(workload, strategy, streaming_options());
+  ASSERT_TRUE(sim.step());
+  EXPECT_NO_THROW(sim.engine().audit_check());
+  ASSERT_TRUE(sim.step());
+  EXPECT_NO_THROW(sim.engine().audit_check());
+}
+
+TEST_F(StreamingAudit, FiresOnDuplicateAliveEntry) {
+  TraceWorkload workload(trace_);
+  IdleStrategy strategy(/*wants_window=*/false);
+  Simulator sim(workload, strategy, streaming_options());
+  ASSERT_TRUE(sim.step());
+  AuditTestAccess::duplicate_alive(sim.engine());
+  EXPECT_THROW(sim.engine().audit_check(), ContractViolation);
+}
+
+TEST_F(StreamingAudit, FiresOnDroppedAliveEntry) {
+  TraceWorkload workload(trace_);
+  IdleStrategy strategy(/*wants_window=*/true);
+  Simulator sim(workload, strategy, streaming_options());
+  ASSERT_TRUE(sim.step());
+  AuditTestAccess::drop_alive(sim.engine());
+  EXPECT_THROW(sim.engine().audit_check(), ContractViolation);
+}
+
+// In audit builds the oracles also run automatically after every mutation;
+// a healthy end-to-end run must sail through all of them.
+TEST(AuditBuild, FullRunIsCleanUnderAutomaticOracles) {
+  Trace trace(ProblemConfig{2, 3});
+  trace.add(0, RequestSpec{0, 1, 0});
+  trace.add(0, RequestSpec{1, 0, 0});
+  trace.add(2, RequestSpec{0, 1, 0});
+  trace.add(3, RequestSpec{1, kNoResource, 0});
+  TraceWorkload workload(trace);
+  IdleStrategy strategy(/*wants_window=*/true);
+  EngineOptions options = streaming_options();
+  options.track_live_opt = true;
+  options.opt_prune_every = 1;
+  Simulator sim(workload, strategy, options);
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_NO_THROW(sim.engine().audit_check());
+#ifdef REQSCHED_AUDIT
+  EXPECT_EQ(REQSCHED_AUDIT_ENABLED, 1);
+#else
+  EXPECT_EQ(REQSCHED_AUDIT_ENABLED, 0);
+#endif
+}
+
+}  // namespace
+}  // namespace reqsched
