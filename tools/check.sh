@@ -1,19 +1,39 @@
 #!/usr/bin/env bash
-# Tier-1 gate, run twice: a plain RelWithDebInfo build+ctest, then the same
-# suite under AddressSanitizer + UBSan (REQSCHED_SANITIZE=ON). A third mode
-# smoke-runs the performance gates. Run from the repository root:
+# Tier-1 gate. The default runs every build-and-test preset: a plain
+# RelWithDebInfo build+ctest, the same suite under AddressSanitizer + UBSan,
+# and under ThreadSanitizer (sharded runner / thread-pool paths). Further
+# modes cover the static-analysis gate, the deep invariant-audit build, an
+# alternate-compiler build, and the performance gates. Run from the
+# repository root:
 #
-#   tools/check.sh                # plain + sanitized passes
+#   tools/check.sh                # plain + asan + tsan passes
 #   tools/check.sh --plain        # plain pass only
 #   tools/check.sh --asan         # ASan + UBSan pass only
-#   tools/check.sh --tsan         # ThreadSanitizer pass only (sharded runner
-#                                 # / thread-pool paths)
+#   tools/check.sh --tsan         # ThreadSanitizer pass only
+#   tools/check.sh --lint         # reqsched_lint + clang-tidy build (the
+#                                 # tidy half is skipped with a notice when
+#                                 # no clang-tidy binary is installed)
+#   tools/check.sh --audit        # REQSCHED_AUDIT=ON build + full ctest:
+#                                 # every mutation of the delta-maintained
+#                                 # structures re-verified against naive
+#                                 # models (slow; the `audit` CI job)
+#   tools/check.sh --clang        # plain pass built with clang++ (skipped
+#                                 # with a notice when clang++ is missing)
 #   tools/check.sh --bench-smoke  # Release build; bench_perf + bench_stream
 #                                 # gates (--smoke) and a short
 #                                 # bench_prefix_opt run
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# One preset per sanitized tier-1 pass: "<label>:<build dir>:<cmake flag>".
+# `all` iterates the plain entry plus every entry here, so a new sanitizer
+# preset lands in the default gate and in its dedicated mode by editing one
+# list.
+SANITIZER_PRESETS=(
+  "asan+ubsan:build-asan:-DREQSCHED_SANITIZE=ON"
+  "tsan:build-tsan:-DREQSCHED_SANITIZE=thread"
+)
 
 run_pass() {
   local label="$1" dir="$2"
@@ -24,6 +44,47 @@ run_pass() {
   cmake --build "${dir}" -j
   echo "==> ${label}: ctest"
   (cd "${dir}" && ctest --output-on-failure -j "$(nproc)")
+}
+
+run_sanitizer_preset() {
+  local wanted="$1" preset label dir flag
+  for preset in "${SANITIZER_PRESETS[@]}"; do
+    IFS=: read -r label dir flag <<<"${preset}"
+    if [[ "${label}" == "${wanted}"* ]]; then
+      run_pass "${label}" "${dir}" "${flag}"
+      return
+    fi
+  done
+  echo "unknown sanitizer preset: ${wanted}" >&2
+  exit 2
+}
+
+run_lint() {
+  echo "==> lint: reqsched_lint (layering / header hygiene / contract gating)"
+  tools/lint/reqsched_lint --root .
+  echo "==> lint: reqsched_lint self-tests"
+  python3 tools/lint/test_reqsched_lint.py
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> lint: clang-tidy build (REQSCHED_CLANG_TIDY=ON, warnings as errors)"
+    cmake -B build-tidy -S . -DREQSCHED_CLANG_TIDY=ON
+    cmake --build build-tidy -j
+  else
+    echo "==> lint: clang-tidy not installed; skipping the tidy half" \
+         "(the lint CI job runs it)"
+  fi
+}
+
+run_audit() {
+  run_pass "audit" build-audit -DREQSCHED_AUDIT=ON
+}
+
+run_clang() {
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "==> clang: clang++ not installed; skipping" \
+         "(the clang CI job runs it)"
+    return
+  fi
+  CC=clang CXX=clang++ run_pass "clang" build-clang
 }
 
 run_bench_smoke() {
@@ -37,7 +98,7 @@ run_bench_smoke() {
   # after RunSpecifiedBenchmarks() always run. The JSON lands at the repo
   # root so CI can upload it as the PR's perf artifact.
   "${dir}/bench/bench_perf" --smoke '--benchmark_filter=^$' \
-      "--json=BENCH_PR4.json"
+      "--json=BENCH_latest.json"
   echo "==> bench-smoke: bench_stream gates (window bound, memory plateau, throughput)"
   "${dir}/bench/bench_stream" --smoke "--json=${dir}/BENCH_stream.json"
   echo "==> bench-smoke: bench_prefix_opt (reduced iterations)"
@@ -49,22 +110,34 @@ mode="${1:-all}"
 case "${mode}" in
   all|--all)
     run_pass "plain" build
-    run_pass "asan+ubsan" build-asan -DREQSCHED_SANITIZE=ON
+    for preset in "${SANITIZER_PRESETS[@]}"; do
+      IFS=: read -r label dir flag <<<"${preset}"
+      run_pass "${label}" "${dir}" "${flag}"
+    done
     ;;
   --plain)
     run_pass "plain" build
     ;;
   --asan)
-    run_pass "asan+ubsan" build-asan -DREQSCHED_SANITIZE=ON
+    run_sanitizer_preset "asan"
     ;;
   --tsan)
-    run_pass "tsan" build-tsan -DREQSCHED_SANITIZE=thread
+    run_sanitizer_preset "tsan"
+    ;;
+  --lint)
+    run_lint
+    ;;
+  --audit)
+    run_audit
+    ;;
+  --clang)
+    run_clang
     ;;
   --bench-smoke)
     run_bench_smoke
     ;;
   *)
-    echo "usage: tools/check.sh [--plain|--asan|--tsan|--bench-smoke]" >&2
+    echo "usage: tools/check.sh [--plain|--asan|--tsan|--lint|--audit|--clang|--bench-smoke]" >&2
     exit 2
     ;;
 esac
