@@ -1,11 +1,14 @@
 // Machine-readable bench output: a flat list of (section, metric, value,
 // units) records written as a JSON array, so CI and plotting scripts can
 // track gate numbers across commits without scraping stdout. Convention:
-// each bench writes one `BENCH_<name>.json` when invoked with --json=PATH.
+// the benches share one `BENCH_latest.json` per run — the first bench
+// write()s it, later benches append_to() their sections into the same
+// array (CI uploads the merged file as the PR's perf artifact).
 #pragma once
 
 #include <cmath>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -28,15 +31,7 @@ class JsonWriter {
     std::ostringstream out;
     out << "[\n";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const Row& row = rows_[i];
-      out << "  {\"section\":\"" << row.section << "\",\"metric\":\""
-          << row.metric << "\",\"value\":";
-      if (std::isfinite(row.value)) {
-        out << row.value;
-      } else {
-        out << '"' << (row.value > 0 ? "inf" : "-inf") << '"';
-      }
-      out << ",\"units\":\"" << row.units << "\"}"
+      out << "  " << render_row(rows_[i])
           << (i + 1 < rows_.size() ? "," : "") << '\n';
     }
     out << "]\n";
@@ -49,6 +44,41 @@ class JsonWriter {
     file << render();
   }
 
+  /// Merges this writer's records into an existing `BENCH_*.json` array
+  /// (written by write()/append_to() earlier in the same CI run), keeping
+  /// the earlier sections. Falls back to write() when the file is missing
+  /// or not an array.
+  void append_to(const std::string& path) const {
+    std::string existing;
+    {
+      std::ifstream in(path);
+      if (in.good()) {
+        existing.assign(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+      }
+    }
+    const std::size_t close = existing.rfind(']');
+    if (close == std::string::npos) {
+      write(path);
+      return;
+    }
+    std::string head = existing.substr(0, close);
+    while (!head.empty() &&
+           (head.back() == '\n' || head.back() == ' ' ||
+            head.back() == '\t' || head.back() == '\r')) {
+      head.pop_back();
+    }
+    const bool has_rows = head.find('{') != std::string::npos;
+    std::ofstream file(path);
+    REQSCHED_CHECK_MSG(file.good(), "cannot open " << path << " for writing");
+    file << head;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      file << (i == 0 && !has_rows ? "\n" : ",\n") << "  "
+           << render_row(rows_[i]);
+    }
+    file << "\n]\n";
+  }
+
   bool empty() const { return rows_.empty(); }
 
  private:
@@ -58,6 +88,24 @@ class JsonWriter {
     double value;
     std::string units;
   };
+
+  static std::string render_row(const Row& row) {
+    std::ostringstream out;
+    out << "{\"section\":\"" << row.section << "\",\"metric\":\""
+        << row.metric << "\",\"value\":";
+    if (std::isfinite(row.value)) {
+      out << row.value;
+    } else if (std::isnan(row.value)) {
+      // JSON has no NaN literal; "-inf" here used to mislabel empty-sample
+      // percentiles as negative infinity.
+      out << "\"nan\"";
+    } else {
+      out << '"' << (row.value > 0 ? "inf" : "-inf") << '"';
+    }
+    out << ",\"units\":\"" << row.units << "\"}";
+    return out.str();
+  }
+
   std::vector<Row> rows_;
 };
 

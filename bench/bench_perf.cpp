@@ -502,11 +502,16 @@ RandomWorkloadOptions strategy_step_options(Round horizon) {
 }
 
 /// One full streaming run; returns the cumulative strategy-step seconds.
+/// `fast_path` toggles the engine's admission fast path (on by default, as
+/// in production); the rebuild baseline never opts in either way.
 double time_strategy_step(Round horizon, std::unique_ptr<IStrategy> strategy,
-                          Metrics* metrics_out = nullptr) {
+                          Metrics* metrics_out = nullptr,
+                          bool fast_path = true) {
   UniformWorkload workload(strategy_step_options(horizon));
   bench::StepTimer timer(std::move(strategy));
-  Simulator sim(workload, timer, streaming_options());
+  EngineOptions options = streaming_options();
+  options.admission_fast_path = fast_path;
+  Simulator sim(workload, timer, std::move(options));
   const Metrics& metrics = sim.run();
   if (metrics_out != nullptr) *metrics_out = metrics;
   return timer.total_seconds();
@@ -517,18 +522,28 @@ void run_strategy_step_gate(bool smoke, bench::JsonWriter& json) {
   const Round horizon = smoke ? 2'000 : 31'500;
   const int reps = smoke ? 3 : 4;
 
-  // Differential sanity before timing: the incremental runtime must be
-  // bit-identical to the rebuild path on this very workload.
+  // Differential sanity before timing: the incremental runtime — with the
+  // admission fast path on (the default) AND forced matcher-only — must be
+  // bit-identical to the frozen rebuild path on this very workload. The
+  // saturated load here (2.0) keeps the fast path mostly falling back, so
+  // this triple pins the contended handoff, not just the happy path.
   Metrics incremental_metrics;
+  Metrics matcher_only_metrics;
   Metrics rebuild_metrics;
   time_strategy_step(smoke ? horizon : 2'000, make_strategy("A_fix"),
                      &incremental_metrics);
+  time_strategy_step(smoke ? horizon : 2'000, make_strategy("A_fix"),
+                     &matcher_only_metrics, /*fast_path=*/false);
   time_strategy_step(smoke ? horizon : 2'000,
                      std::make_unique<legacy::AFixRebuild>(),
                      &rebuild_metrics);
   REQSCHED_CHECK_MSG(incremental_metrics == rebuild_metrics,
                      "incremental A_fix diverged from the frozen rebuild: "
                          << incremental_metrics << " vs " << rebuild_metrics);
+  REQSCHED_CHECK_MSG(incremental_metrics == matcher_only_metrics,
+                     "admission fast path diverged from matcher-only: "
+                         << incremental_metrics << " vs "
+                         << matcher_only_metrics);
 
   // Interleaved best-of on the strategy-step time alone (A B A B ... so a
   // machine load spike hits both sides).

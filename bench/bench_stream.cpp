@@ -1,5 +1,5 @@
 // Streaming-engine gates: the numbers that justify the bounded-memory
-// runtime. Four gated sections, each REQSCHED_CHECK'd so CI fails loudly:
+// runtime. Five gated sections, each REQSCHED_CHECK'd so CI fails loudly:
 //
 //  * soak — a 1M+ request stream (n = 8, d = 3, overload) through a
 //    recycling pool. Hard cap: peak resident requests <= admissions-per-
@@ -9,14 +9,22 @@
 //    resident estimate by more than 2x (+ fixed slack): state is windowed,
 //    not accumulated. Checked with live-OPT tracking on, which is the part
 //    that would silently go linear without closure pruning + dead marking.
-//  * throughput — streamed requests/sec, with and without ratio tracking.
-//    Floor deliberately conservative (CI machines vary); the point is to
-//    catch order-of-magnitude regressions, not 10% noise.
+//  * tracking overhead — the overloaded soak's requests/sec with and
+//    without ratio tracking, sanity-floored at 50k to catch collapse (the
+//    untracked-throughput floor proper is the stream section's 150k gate;
+//    both deliberately conservative — CI machines vary, the point is to
+//    catch order-of-magnitude regressions, not 10% noise).
 //  * exactness — the live ratio monitor's OPT equals the offline
 //    Hopcroft–Karp solve of the recorded trace, on every seed tried.
+//  * stream — the admission-fast-path headline: an A_fix stream at
+//    sub-critical load with the engine's batch-admission stage on, gated
+//    metric-identical to the matcher-only run and to a >= 150k req/s
+//    untracked-throughput floor, with per-round step-latency p50/p99.
 //
 // Usage: bench_stream [--smoke] [--json=BENCH_stream.json]
+//                     [--json-append=BENCH_latest.json]
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -32,6 +40,15 @@
 namespace reqsched {
 namespace {
 
+struct StreamConfig {
+  const char* strategy = "A_balance";
+  std::int32_t n = 8;
+  std::int32_t d = 3;
+  double load = 2.0;
+  bool track_opt = false;
+  bool fast_path = true;  ///< EngineOptions::admission_fast_path
+};
+
 struct StreamPoint {
   Metrics metrics;
   double seconds = 0.0;
@@ -39,7 +56,10 @@ struct StreamPoint {
   std::int64_t max_per_round = 0;
   std::int64_t slab_capacity = 0;
   std::size_t resident_bytes = 0;
-  /// Per-round strategy-step latency percentiles, seconds.
+  std::int64_t fast_admitted = 0;
+  std::int64_t fast_fallbacks = 0;
+  /// Per-round strategy-step latency percentiles, seconds (NaN when the run
+  /// produced no samples — callers gate before reporting).
   double step_p50 = 0.0;
   double step_p90 = 0.0;
   double step_p99 = 0.0;
@@ -50,12 +70,14 @@ struct StreamPoint {
   }
 };
 
-StreamPoint run_stream(Round horizon, bool track_opt) {
-  UniformWorkload workload({.n = 8, .d = 3, .load = 2.0, .horizon = horizon,
-                            .seed = 11, .two_choice = true});
-  bench::StepTimer strategy(make_strategy("A_balance"));
+StreamPoint run_stream(Round horizon, const StreamConfig& cfg) {
+  UniformWorkload workload({.n = cfg.n, .d = cfg.d, .load = cfg.load,
+                            .horizon = horizon, .seed = 11,
+                            .two_choice = true});
+  bench::StepTimer strategy(make_strategy(cfg.strategy));
   EngineOptions options = streaming_options();
-  options.track_live_opt = track_opt;
+  options.track_live_opt = cfg.track_opt;
+  options.admission_fast_path = cfg.fast_path;
   Simulator sim(workload, strategy, std::move(options));
 
   StreamPoint point;
@@ -68,16 +90,23 @@ StreamPoint run_stream(Round horizon, bool track_opt) {
   point.max_per_round = pool.max_admitted_per_round();
   point.slab_capacity = pool.slab_capacity();
   point.resident_bytes = sim.engine().approx_resident_bytes();
+  point.fast_admitted = sim.engine().fast_path_admitted();
+  point.fast_fallbacks = sim.engine().fast_path_fallbacks();
   point.step_p50 = bench::percentile(strategy.samples(), 0.50);
   point.step_p90 = bench::percentile(strategy.samples(), 0.90);
   point.step_p99 = bench::percentile(strategy.samples(), 0.99);
+  // An empty-sample run would report NaN percentiles; every gated stream
+  // here runs thousands of rounds, so finite is an invariant worth pinning.
+  REQSCHED_CHECK_MSG(std::isfinite(point.step_p50) &&
+                         std::isfinite(point.step_p99),
+                     "stream produced no latency samples");
   return point;
 }
 
 void run_soak_and_throughput(bool smoke, bench::JsonWriter& json) {
   const Round horizon = smoke ? 8'000 : 70'000;
-  const StreamPoint plain = run_stream(horizon, /*track_opt=*/false);
-  const StreamPoint tracked = run_stream(horizon, /*track_opt=*/true);
+  const StreamPoint plain = run_stream(horizon, {.track_opt = false});
+  const StreamPoint tracked = run_stream(horizon, {.track_opt = true});
 
   if (!smoke) {
     REQSCHED_CHECK_MSG(plain.metrics.injected >= 1'000'000,
@@ -100,9 +129,13 @@ void run_soak_and_throughput(bool smoke, bench::JsonWriter& json) {
       static_cast<long long>(plain.peak_live),
       static_cast<long long>(plain.max_per_round),
       static_cast<long long>(plain.max_per_round * 3));
+  // Overloaded A_balance is the worst case the engine carries (constant
+  // rebalancing, no fast path possible at load 2.0): a 50k sanity floor
+  // catches collapse. The repo's untracked-throughput floor proper is the
+  // 150k gate in run_fast_path_stream.
   std::printf(
-      "[bench_stream] throughput: %.0f req/s untracked, %.0f req/s with "
-      "live-ratio tracking (floor 50000 untracked)\n",
+      "[bench_stream] tracking overhead: %.0f req/s untracked, %.0f req/s "
+      "with live-ratio tracking (overloaded soak; sanity floor 50000)\n",
       plain.requests_per_sec(), tracked.requests_per_sec());
   REQSCHED_CHECK_MSG(plain.requests_per_sec() >= 50'000.0,
                      "streaming throughput collapsed: "
@@ -137,8 +170,8 @@ void run_soak_and_throughput(bool smoke, bench::JsonWriter& json) {
 
 void run_memory_plateau(bool smoke, bench::JsonWriter& json) {
   const Round base = smoke ? 2'000 : 10'000;
-  const StreamPoint short_run = run_stream(base, /*track_opt=*/true);
-  const StreamPoint long_run = run_stream(4 * base, /*track_opt=*/true);
+  const StreamPoint short_run = run_stream(base, {.track_opt = true});
+  const StreamPoint long_run = run_stream(4 * base, {.track_opt = true});
   const auto limit = 2 * short_run.resident_bytes + (64u << 10);
   std::printf(
       "[bench_stream] memory plateau: %zu bytes at %lld rounds, %zu bytes "
@@ -185,6 +218,69 @@ void run_ratio_exactness(bool smoke, bench::JsonWriter& json) {
   json.record("exactness", "streams_verified", checked, "streams");
 }
 
+void run_fast_path_stream(bool smoke, bench::JsonWriter& json) {
+  // The batched round loop's headline number: A_fix at sub-critical load,
+  // where almost every batch is uncontended and the admission fast path
+  // books slots without touching the Kuhn matcher. Two gates:
+  //  1. correctness — the run with the fast path disabled (matcher-only on
+  //     every batch) must produce bit-identical Metrics, the same invariant
+  //     the frozen differential traces pin in tests/test_fast_path.cpp;
+  //  2. throughput — the untracked floor is 150k req/s, 3x the matcher-era
+  //     50k floor, still conservative against CI machine variance.
+  const Round horizon = smoke ? 8'000 : 70'000;
+  // Sub-critical load (rho < 1) so the backlog drains, spread over enough
+  // resources that same-first-choice collisions inside one batch stay rare
+  // (a collision forces the matcher fallback: Kuhn would augment where
+  // greedy cannot). d = 16 deepens the window, which is exactly the problem-
+  // construction cost each admitted round skips.
+  const StreamConfig on_cfg{.strategy = "A_fix", .n = 32, .d = 16,
+                            .load = 0.15, .track_opt = false,
+                            .fast_path = true};
+  StreamConfig off_cfg = on_cfg;
+  off_cfg.fast_path = false;
+  const StreamPoint on = run_stream(horizon, on_cfg);
+  const StreamPoint off = run_stream(horizon, off_cfg);
+
+  REQSCHED_CHECK_MSG(on.metrics == off.metrics,
+                     "admission fast path diverged from the matcher-only "
+                     "run on the stream workload");
+  REQSCHED_CHECK_MSG(off.fast_admitted == 0 && off.fast_fallbacks == 0,
+                     "fast-path counters moved with the fast path disabled");
+  // Sub-critical load is the regime the fast path exists for: most rounds
+  // must actually take it, or the headline measures the fallback.
+  REQSCHED_CHECK_MSG(on.fast_admitted > 0,
+                     "fast path admitted nothing at sub-critical load");
+
+  std::printf(
+      "[bench_stream] stream (A_fix, n=32, d=16, load 0.15): %.0f req/s "
+      "fast-path, "
+      "%.0f req/s matcher-only (floor 150000); %lld fast-admitted, "
+      "%lld fallback rounds\n",
+      on.requests_per_sec(), off.requests_per_sec(),
+      static_cast<long long>(on.fast_admitted),
+      static_cast<long long>(on.fast_fallbacks));
+  std::printf(
+      "[bench_stream] stream step latency per round: p50 %.2f us, "
+      "p99 %.2f us fast-path; p50 %.2f us, p99 %.2f us matcher-only\n",
+      on.step_p50 * 1e6, on.step_p99 * 1e6, off.step_p50 * 1e6,
+      off.step_p99 * 1e6);
+  REQSCHED_CHECK_MSG(on.requests_per_sec() >= 150'000.0,
+                     "fast-path streaming throughput collapsed: "
+                         << on.requests_per_sec() << " req/s");
+
+  json.record("stream", "untracked", on.requests_per_sec(), "requests/sec");
+  json.record("stream", "matcher_only", off.requests_per_sec(),
+              "requests/sec");
+  json.record("stream", "step_p50", on.step_p50 * 1e6, "us");
+  json.record("stream", "step_p99", on.step_p99 * 1e6, "us");
+  json.record("stream", "matcher_only_step_p50", off.step_p50 * 1e6, "us");
+  json.record("stream", "matcher_only_step_p99", off.step_p99 * 1e6, "us");
+  json.record("stream", "fast_path_admitted",
+              static_cast<double>(on.fast_admitted), "requests");
+  json.record("stream", "fast_path_fallbacks",
+              static_cast<double>(on.fast_fallbacks), "rounds");
+}
+
 void run_sharded_point(bool smoke, bench::JsonWriter& json) {
   ShardedRunOptions options;
   options.shards = smoke ? 4 : 8;
@@ -224,16 +320,22 @@ int main(int argc, char** argv) {
   try {
     const bool smoke = args.get_bool("smoke", false);
     const std::string json_path = args.get_string("json", "");
+    const std::string json_append_path = args.get_string("json-append", "");
     args.finish();
 
     bench::JsonWriter json;
     run_soak_and_throughput(smoke, json);
+    run_fast_path_stream(smoke, json);
     run_memory_plateau(smoke, json);
     run_ratio_exactness(smoke, json);
     run_sharded_point(smoke, json);
     if (!json_path.empty()) {
       json.write(json_path);
       std::printf("[bench_stream] wrote %s\n", json_path.c_str());
+    }
+    if (!json_append_path.empty()) {
+      json.append_to(json_append_path);
+      std::printf("[bench_stream] appended to %s\n", json_append_path.c_str());
     }
   } catch (const ContractViolation& e) {
     std::fprintf(stderr, "bench_stream gate failed: %s\n", e.what());

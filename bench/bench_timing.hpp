@@ -3,8 +3,10 @@
 // StepTimer decorates a strategy and accumulates the wall-clock time spent
 // inside on_round() — the strategy-step cost in isolation, excluding
 // workload generation, injection, execution, and metrics bookkeeping that
-// every run pays identically. The per-round samples feed the latency
-// percentiles bench_stream reports.
+// every run pays identically. Per-round samples feed the latency
+// percentiles bench_stream reports; they are kept in a bounded reservoir
+// (uniform over all rounds seen) so a multi-million-round soak cannot
+// breach the engine's own window-memory guarantee through its instruments.
 #pragma once
 
 #include <sys/resource.h>
@@ -12,6 +14,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -22,17 +26,25 @@ namespace reqsched::bench {
 
 class StepTimer final : public IStrategy {
  public:
-  explicit StepTimer(std::unique_ptr<IStrategy> inner)
-      : inner_(std::move(inner)) {}
+  /// `capacity` bounds the resident sample count; 4096 keeps p50/p99 within
+  /// ~1% of exact for the distributions the benches see.
+  explicit StepTimer(std::unique_ptr<IStrategy> inner,
+                     std::size_t capacity = 4096)
+      : inner_(std::move(inner)), capacity_(capacity) {}
 
   std::string name() const override { return inner_->name(); }
   void reset(const ProblemConfig& config) override {
     inner_->reset(config);
     total_seconds_ = 0.0;
+    count_ = 0;
+    rng_state_ = 0x9e3779b97f4a7c15ull;
     samples_.clear();
   }
   bool wants_window_problem() const override {
     return inner_->wants_window_problem();
+  }
+  bool wants_admission_fast_path() const override {
+    return inner_->wants_admission_fast_path();
   }
 
   void on_round(Simulator& sim) override {
@@ -41,37 +53,71 @@ class StepTimer final : public IStrategy {
     const auto t1 = std::chrono::steady_clock::now();
     const double seconds = std::chrono::duration<double>(t1 - t0).count();
     total_seconds_ += seconds;
-    samples_.push_back(seconds);
+    record(seconds);
   }
 
   /// Cumulative seconds spent in the inner strategy's on_round().
   double total_seconds() const { return total_seconds_; }
-  /// One wall-clock sample per round, in order.
+  /// Rounds timed (may exceed samples().size() once the reservoir is full).
+  std::uint64_t count() const { return count_; }
+  /// The reservoir: a uniform sample of the per-round times seen so far
+  /// (every round while count() <= capacity, Algorithm R afterwards).
   const std::vector<double>& samples() const { return samples_; }
 
  private:
+  /// Vitter's Algorithm R with a deterministic splitmix64 stream — bounded
+  /// memory, uniform over all rounds, reproducible run-to-run.
+  void record(double seconds) {
+    ++count_;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(seconds);
+      return;
+    }
+    const std::uint64_t j = next_random() % count_;
+    if (j < capacity_) samples_[static_cast<std::size_t>(j)] = seconds;
+  }
+
+  std::uint64_t next_random() {
+    std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
   std::unique_ptr<IStrategy> inner_;
+  std::size_t capacity_;
   double total_seconds_ = 0.0;
+  std::uint64_t count_ = 0;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
   std::vector<double> samples_;
 };
 
-/// The q-th percentile (q in [0, 1]) of `samples` by nth_element; 0 when
-/// empty. Takes a copy — callers keep their sample order.
+/// The q-th percentile (q in [0, 1]) of `samples`, linearly interpolated
+/// between the two nearest order statistics (the common "type 7" estimator)
+/// — nearest-rank rounding collapsed p99 to the max for small sample counts.
+/// NaN when empty: an empty run must not report a fake 0 latency, and
+/// callers gate on it. Takes a copy — callers keep their sample order.
 inline double percentile(std::vector<double> samples, double q) {
-  if (samples.empty()) return 0.0;
-  const auto rank = static_cast<std::ptrdiff_t>(
-      q * static_cast<double>(samples.size() - 1) + 0.5);
-  const auto nth = samples.begin() + rank;
-  std::nth_element(samples.begin(), nth, samples.end());
-  return *nth;
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  return samples[lo] +
+         (samples[hi] - samples[lo]) * (pos - static_cast<double>(lo));
 }
 
-/// Peak resident set size of this process, in bytes (Linux ru_maxrss is in
-/// kilobytes). 0 if the query fails.
+/// Peak resident set size of this process, in bytes. Linux reports
+/// ru_maxrss in kilobytes, macOS in bytes — scaling unconditionally made
+/// the memory-plateau gate 1024x too lax off-Linux.
 inline std::size_t peak_rss_bytes() {
   rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
   return static_cast<std::size_t>(usage.ru_maxrss) * 1024u;
+#endif
 }
 
 }  // namespace reqsched::bench

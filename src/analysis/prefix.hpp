@@ -30,6 +30,9 @@ class PrefixOptimumProbe final : public IStrategy {
   bool wants_window_problem() const override {
     return inner_->wants_window_problem();
   }
+  bool wants_admission_fast_path() const override {
+    return inner_->wants_admission_fast_path();
+  }
 
   const std::vector<RoundSample>& samples() const { return samples_; }
   std::vector<RoundSample> take_samples() { return std::move(samples_); }

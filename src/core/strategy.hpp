@@ -41,6 +41,19 @@ class IStrategy {
   /// schedule edits into that structure when the strategy asks for it.
   /// Decorators (probes, scripted wrappers, timers) must forward this.
   virtual bool wants_window_problem() const { return false; }
+
+  /// True when the strategy's treatment of fresh arrivals is exactly "match
+  /// the injected batch into the free window, round-asc {first, second}" —
+  /// i.e. match_new_into_window semantics. The engine may then pre-book
+  /// uncontended arrivals in its admission fast path (provably the matching
+  /// Kuhn would produce) and report AdmissionOutcome::kAdmitted, which the
+  /// strategy must honour by skipping its own matcher for the batch.
+  /// Strategies that rebook existing requests on arrival, or that treat the
+  /// batch jointly with the backlog, must return false. Decorators forward
+  /// this; adversarial wrappers that propose complete bookings (scripted
+  /// replays) must NOT — pre-booked arrivals would invalidate their
+  /// proposals. Requires wants_window_problem().
+  virtual bool wants_admission_fast_path() const { return false; }
 };
 
 }  // namespace reqsched

@@ -30,6 +30,27 @@ void RequestPool::reset(const ProblemConfig& config, bool retain_history) {
 }
 
 RequestId RequestPool::admit(Round arrival, const RequestSpec& spec) {
+  const RequestId id = admit_one(arrival, spec);
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
+  return id;
+}
+
+void RequestPool::admit_batch(Round arrival,
+                              std::span<const RequestSpec> specs,
+                              std::vector<RequestId>& out) {
+  out.clear();
+  out.reserve(specs.size());
+  for (const RequestSpec& spec : specs) {
+    out.push_back(admit_one(arrival, spec));
+  }
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
+}
+
+RequestId RequestPool::admit_one(Round arrival, const RequestSpec& spec) {
   // Same validation contract as Trace::add — the pool is the authoritative
   // admission point when no trace is recorded.
   REQSCHED_REQUIRE_MSG(arrival >= 0, "arrival rounds start at 0");
@@ -82,9 +103,6 @@ RequestId RequestPool::admit(Round arrival, const RequestSpec& spec) {
   }
   ++live_;
   peak_live_ = std::max(peak_live_, live_);
-#if REQSCHED_AUDIT_ENABLED
-  audit_check();
-#endif
   return id;
 }
 

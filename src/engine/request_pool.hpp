@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -42,6 +43,14 @@ class RequestPool {
   /// Trace::add); returns its globally unique id (== admission count so
   /// far). Arrivals must be non-decreasing.
   RequestId admit(Round arrival, const RequestSpec& spec);
+
+  /// Admits a whole round's arrival batch at once, appending the assigned
+  /// ids to `out` in spec order. Identical per-request semantics to admit()
+  /// called in a loop, but the audit sweep (REQSCHED_AUDIT builds) runs once
+  /// per batch instead of once per request — the engine's batched round loop
+  /// uses this for its drain stage.
+  void admit_batch(Round arrival, std::span<const RequestSpec> specs,
+                   std::vector<RequestId>& out);
 
   /// Retires a live request as fulfilled at `slot` / expired; in window
   /// mode its slab slot returns to the free list immediately.
@@ -104,6 +113,8 @@ class RequestPool {
   }
   /// Slab slot of a LIVE id (REQUIREs liveness).
   std::int32_t live_slot(RequestId id) const;
+  /// admit() minus the per-call audit sweep (shared with admit_batch).
+  RequestId admit_one(Round arrival, const RequestSpec& spec);
   void grow_ring();
   void retire(RequestId id, std::int32_t tombstone);
 

@@ -71,6 +71,14 @@ class Simulator {
     return engine_.injected_now();
   }
 
+  /// Outcome of this round's batch-admission stage: strategies that opted
+  /// into the fast path (wants_admission_fast_path) must skip their own
+  /// new-arrival matcher when this reports kAdmitted — the batch is already
+  /// booked exactly as their matcher would have.
+  AdmissionOutcome admission_outcome() const {
+    return engine_.admission_outcome();
+  }
+
   /// All pending (alive, unfulfilled) requests, oldest first.
   std::span<const RequestId> alive() const { return engine_.alive(); }
 

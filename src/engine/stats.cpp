@@ -41,7 +41,9 @@ std::string to_jsonl(const StatsSnapshot& s) {
   append_number(os, "rounds_per_sec", s.rounds_per_sec);
   append_number(os, "requests_per_sec", s.requests_per_sec);
   append_number(os, "elapsed_sec", s.elapsed_sec);
-  os << ",\"resident_bytes\":" << s.resident_bytes << '}';
+  os << ",\"fast_path_admitted\":" << s.fast_path_admitted
+     << ",\"fast_path_fallbacks\":" << s.fast_path_fallbacks
+     << ",\"resident_bytes\":" << s.resident_bytes << '}';
   return os.str();
 }
 

@@ -31,6 +31,11 @@ struct StatsSnapshot {
   double rounds_per_sec = 0.0;
   double requests_per_sec = 0.0;   ///< injected / elapsed
   double elapsed_sec = 0.0;
+  /// Admission fast path: requests booked without the matcher, and rounds
+  /// punted to the matcher after a contended probe (both 0 when the fast
+  /// path is inactive).
+  std::int64_t fast_path_admitted = 0;
+  std::int64_t fast_path_fallbacks = 0;
   /// Resident-set estimate: bytes held by the pool, schedule, OPT tracker,
   /// and engine scratch (capacities, not touched pages).
   std::int64_t resident_bytes = 0;

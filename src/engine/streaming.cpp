@@ -24,6 +24,11 @@ StreamingEngine::StreamingEngine(IWorkload& workload, IStrategy& strategy,
   window_ =
       options_.window_arena != nullptr ? options_.window_arena : &own_window_;
   window_active_ = strategy_.wants_window_problem();
+  REQSCHED_REQUIRE_MSG(
+      !strategy_.wants_admission_fast_path() || window_active_,
+      "wants_admission_fast_path requires wants_window_problem");
+  fast_path_active_ = window_active_ && options_.admission_fast_path &&
+                      strategy_.wants_admission_fast_path();
   pool_->reset(config_, options_.retain_history);
   if (options_.track_live_opt) opt_->reset(config_);
   if (window_active_) window_->reset(config_);
@@ -53,12 +58,15 @@ bool StreamingEngine::step() {
   // retired (a deadline of now - 1 expires in the sweep above), so this is
   // the earliest sound point to shrink the pool window.
   pool_->advance(now());
-  inject();
+  drain_arrivals();
+  admit_batch();
 
   in_strategy_ = true;
   strategy_.on_round(facade_);
   in_strategy_ = false;
   injected_now_.clear();
+  fast_booked_.clear();
+  fast_slots_.clear();
 
   execute();
   ++metrics_.rounds;
@@ -138,6 +146,13 @@ void StreamingEngine::audit_check() const {
   // Window-problem mirror: row-for-row and booking-for-booking agreement
   // with the engine's own state.
   if (window_active_) {
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        !window_->admission_batch_open(),
+        "admission batch left open across the strategy/execute stages");
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        admission_outcome_ == AdmissionOutcome::kAdmitted ||
+            fast_booked_.empty(),
+        "fast-path bookings survived a non-admitted round");
     REQSCHED_AUDIT_REQUIRE_MSG(window_->window_begin() == t,
                                "window problem is at round "
                                    << window_->window_begin()
@@ -178,22 +193,70 @@ void StreamingEngine::expire_round_start() {
   alive_.erase(out, alive_.end());
 }
 
-void StreamingEngine::inject() {
+void StreamingEngine::drain_arrivals() {
   const Round t = now();
   const auto specs = workload_.generate(t, facade_);
   injected_now_.clear();
-  for (const RequestSpec& spec : specs) {
-    const RequestId id = pool_->admit(t, spec);
+  if (specs.empty()) return;
+  // The whole round's batch enters the pool in one call (per-batch audit
+  // instead of per-request), then fans out to trace/OPT/window mirrors.
+  pool_->admit_batch(t, specs, injected_now_);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const RequestId id = injected_now_[i];
     if (options_.record_trace) {
-      const RequestId trace_id = trace_.add(t, spec);
+      const RequestId trace_id = trace_.add(t, specs[i]);
       REQSCHED_CHECK(trace_id == id);
     }
     alive_.push_back(id);
-    injected_now_.push_back(id);
     ++metrics_.injected;
     if (options_.track_live_opt) opt_->add_request(pool_->request(id));
     if (window_active_) window_->add_request(pool_->request(id));
   }
+}
+
+void StreamingEngine::admit_batch() {
+  admission_outcome_ = AdmissionOutcome::kInactive;
+  fast_booked_.clear();
+  fast_slots_.clear();
+  if (!fast_path_active_ || injected_now_.empty()) return;
+  window_->begin_admission_batch();
+  bool contended = false;
+  for (const RequestId id : injected_now_) {
+    const auto probe = window_->admission_probe(pool_->request(id));
+    if (probe.contended) {
+      contended = true;
+      break;
+    }
+    // An uncontended arrival with no free allowed slot has no Kuhn edges
+    // either: it stays unmatched on both paths.
+    if (!probe.slot.valid()) continue;
+    // Claim, don't book: the window stays untouched until the whole batch
+    // proves uncontended, so abandoning it below costs nothing to unwind.
+    window_->claim_admission_slot(probe.slot);
+    fast_booked_.push_back(id);
+    fast_slots_.push_back(probe.slot);
+  }
+  window_->end_admission_batch();
+  if (contended) {
+    // Let the strategy's matcher handle the whole batch against the
+    // pristine pre-batch window (claims evaporated with the batch).
+    fast_booked_.clear();
+    fast_slots_.clear();
+    admission_outcome_ = AdmissionOutcome::kContended;
+    ++fast_fallbacks_;
+    return;
+  }
+  // Commit: every claim becomes a real booking, in injection order.
+  for (std::size_t i = 0; i < fast_booked_.size(); ++i) {
+    schedule_.assign(pool_->request(fast_booked_[i]), fast_slots_[i]);
+    window_->book(fast_booked_[i], fast_slots_[i]);
+  }
+  admission_outcome_ = AdmissionOutcome::kAdmitted;
+  // Metric parity with the matcher path: apply_matches would have called
+  // assign() once per booked arrival.
+  metrics_.assignments += static_cast<std::int64_t>(fast_booked_.size());
+  fast_admitted_ += static_cast<std::int64_t>(fast_booked_.size());
+  ++fast_rounds_;
 }
 
 void StreamingEngine::execute() {
@@ -279,6 +342,8 @@ StatsSnapshot StreamingEngine::snapshot() const {
     s.live_opt = opt_->optimum();
     s.live_ratio = competitive_ratio(s.live_opt, s.fulfilled);
   }
+  s.fast_path_admitted = fast_admitted_;
+  s.fast_path_fallbacks = fast_fallbacks_;
   s.fulfilled_fraction =
       s.injected == 0
           ? 0.0

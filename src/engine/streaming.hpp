@@ -49,6 +49,21 @@ class Simulator;
 using RetireSink =
     std::function<void(const Request&, RequestStatus, SlotRef)>;
 
+/// Result of the engine's batch-admission stage for the current round,
+/// readable by the strategy during on_round.
+enum class AdmissionOutcome : std::uint8_t {
+  /// Fast path off, strategy did not opt in, or no arrivals this round —
+  /// the strategy handles the batch itself.
+  kInactive,
+  /// Every arrival was uncontended: the bookable ones are already booked
+  /// (exactly the matching Kuhn would have produced); the strategy must skip
+  /// its own new-arrival matcher this round.
+  kAdmitted,
+  /// A contended arrival was detected: all fast-path bookings were unwound
+  /// and the batch is untouched — the strategy runs its matcher as usual.
+  kContended,
+};
+
 struct EngineOptions {
   /// Keep every request, its status, and its fulfillment slot for the whole
   /// run (legacy Simulator behaviour; required by online_matching() and
@@ -58,6 +73,13 @@ struct EngineOptions {
   /// trace()-consuming strategies/adversaries, e.g. scripted replays and
   /// the planned lower-bound instances).
   bool record_trace = true;
+  /// Batched admission fast path: when the strategy opts in
+  /// (IStrategy::wants_admission_fast_path) and the window problem is
+  /// active, the engine books uncontended arrivals directly from the
+  /// per-resource round masks — O(1) per request — and only punts contended
+  /// batches to the strategy's matcher. Off forces the matcher-only path
+  /// (the differential suites compare the two).
+  bool admission_fast_path = true;
   /// Maintain the exact prefix optimum (WindowedPrefixOpt) and expose
   /// live_optimum()/live_ratio().
   bool track_live_opt = false;
@@ -156,6 +178,22 @@ class StreamingEngine {
   /// edits into it.
   bool window_problem_active() const { return window_active_; }
 
+  /// Outcome of this round's batch-admission stage (stable during on_round;
+  /// strategies that opted into the fast path must skip their new-arrival
+  /// matcher when it reports kAdmitted).
+  AdmissionOutcome admission_outcome() const { return admission_outcome_; }
+
+  /// Arrivals booked by the fast path this round (kAdmitted rounds only;
+  /// valid during on_round).
+  std::span<const RequestId> fast_path_booked() const { return fast_booked_; }
+
+  /// Cumulative fast-path accounting: requests booked without the matcher,
+  /// rounds fully admitted by the fast path, and rounds punted to the
+  /// matcher after a contended probe.
+  std::int64_t fast_path_admitted() const { return fast_admitted_; }
+  std::int64_t fast_path_rounds() const { return fast_rounds_; }
+  std::int64_t fast_path_fallbacks() const { return fast_fallbacks_; }
+
   /// The live window problem (window_problem_active() only). Strategies read
   /// it for problem construction; all mutation flows through the engine's
   /// assign/unassign/move so the mirror can never diverge.
@@ -194,7 +232,14 @@ class StreamingEngine {
  private:
   friend struct AuditTestAccess;  ///< corruption hooks for tests/test_audit
   void expire_round_start();
-  void inject();
+  /// Stage 1 of the round's batched arrival handling: drains the workload's
+  /// whole arrival batch into the pool/trace/OPT/window structures at once.
+  void drain_arrivals();
+  /// Stage 2, the admission splitter: probes the drained batch against the
+  /// window's claim masks and either books every uncontended arrival
+  /// (kAdmitted) or unwinds and leaves the batch to the matcher
+  /// (kContended).
+  void admit_batch();
   void execute();
   void retire_fulfilled(RequestId id, SlotRef slot);
   void retire_expired(RequestId id);
@@ -214,6 +259,15 @@ class StreamingEngine {
   DeltaWindowProblem own_window_;
   DeltaWindowProblem* window_ = nullptr;  ///< own_window_ or window_arena
   bool window_active_ = false;
+  bool fast_path_active_ = false;
+  AdmissionOutcome admission_outcome_ = AdmissionOutcome::kInactive;
+  std::vector<RequestId> fast_booked_;
+  /// Claimed slot per fast_booked_ entry (same index), committed on
+  /// kAdmitted only.
+  std::vector<SlotRef> fast_slots_;
+  std::int64_t fast_admitted_ = 0;
+  std::int64_t fast_rounds_ = 0;
+  std::int64_t fast_fallbacks_ = 0;
   std::vector<RequestId> alive_;
   std::vector<RequestId> injected_now_;
   Metrics metrics_{};

@@ -26,13 +26,20 @@ void DeltaWindowProblem::reset(const ProblemConfig& config) {
     for (std::size_t c = 0; c < d; ++c) free_[c * words + words - 1] = tail_mask;
   }
   grid_.assign(n * d, kNoRequest);
-  if (has_round_masks()) {
-    const std::uint64_t all_columns =
-        d == 64 ? kAllOnes : (std::uint64_t{1} << d) - 1;
-    res_free_.assign(n, all_columns);
-  } else {
-    res_free_.clear();
+  // Transposed per-resource masks, multi-word for d > 64: every ring column
+  // starts free, bits at or past d stay clear so rotates/sweeps are exact.
+  const std::size_t res_words = words_per_resource();
+  res_free_.assign(n * res_words, kAllOnes);
+  const std::size_t res_tail = d % 64;
+  if (res_tail != 0) {
+    const std::uint64_t tail_mask = (std::uint64_t{1} << res_tail) - 1;
+    for (std::size_t r = 0; r < n; ++r) {
+      res_free_[r * res_words + res_words - 1] = tail_mask;
+    }
   }
+  res_claimed_.assign(n * res_words, 0);
+  batch_claims_.clear();
+  admission_batch_ = false;
 
   visited_attempt_.assign(n * d, 0);
   owner_call_.assign(n * d, 0);
@@ -139,14 +146,15 @@ SlotRef DeltaWindowProblem::earliest_free_slot(ResourceId resource, Round from,
   REQSCHED_REQUIRE(resource >= 0 && resource < config_.n);
   const Round lo = std::max(from, window_begin_);
   const Round hi = std::min(to, window_end() - 1);
-  const std::size_t words = words_per_column();
-  const std::size_t word = static_cast<std::size_t>(resource) / 64;
-  const std::uint64_t bit = std::uint64_t{1}
-                            << (static_cast<std::size_t>(resource) % 64);
-  for (Round t = lo; t <= hi; ++t) {
-    if (free_[column_of(t) * words + word] & bit) return SlotRef{resource, t};
+  if (lo > hi) return kNoSlot;
+  if (has_round_masks()) {
+    const std::uint64_t m =
+        rotated_round_mask(resource) & round_range_mask(lo, hi);
+    if (m == 0) return kNoSlot;
+    return SlotRef{resource, window_begin_ + std::countr_zero(m)};
   }
-  return kNoSlot;
+  return scan_first_allowed_wide(resource, kNoResource, lo, hi,
+                                 /*exclude_claims=*/false);
 }
 
 SlotRef DeltaWindowProblem::first_free_allowed(RequestId id) const {
@@ -170,21 +178,143 @@ SlotRef DeltaWindowProblem::first_free_allowed(const Request& r) const {
     if (o1 <= o2) return SlotRef{r.first, window_begin_ + o1};
     return SlotRef{r.second, window_begin_ + o2};
   }
-  // d > 64 fallback: a word load per round against the column masks.
-  const std::size_t words = words_per_column();
-  const std::size_t word1 = static_cast<std::size_t>(r.first) / 64;
-  const std::uint64_t bit1 = std::uint64_t{1}
-                             << (static_cast<std::size_t>(r.first) % 64);
-  const std::size_t word2 =
-      two ? static_cast<std::size_t>(r.second) / 64 : 0;
-  const std::uint64_t bit2 =
-      two ? std::uint64_t{1} << (static_cast<std::size_t>(r.second) % 64) : 0;
-  for (Round t = lo; t <= hi; ++t) {
-    const std::uint64_t* column = free_.data() + column_of(t) * words;
-    if (column[word1] & bit1) return SlotRef{r.first, t};
-    if (two && (column[word2] & bit2)) return SlotRef{r.second, t};
+  // d > 64: sweep whole words of the per-resource ring masks (ctz per word)
+  // instead of probing the column masks once per round.
+  return scan_first_allowed_wide(r.first, r.second, lo, hi,
+                                 /*exclude_claims=*/false);
+}
+
+SlotRef DeltaWindowProblem::scan_first_allowed_wide(ResourceId first,
+                                                    ResourceId second, Round lo,
+                                                    Round hi,
+                                                    bool exclude_claims) const {
+  if (lo > hi) return kNoSlot;
+  const auto d = static_cast<std::size_t>(config_.d);
+  const std::size_t wpr = words_per_resource();
+  const std::uint64_t* f1 =
+      res_free_.data() + static_cast<std::size_t>(first) * wpr;
+  const std::uint64_t* c1 =
+      res_claimed_.data() + static_cast<std::size_t>(first) * wpr;
+  const bool two = second != kNoResource;
+  const std::uint64_t* f2 =
+      two ? res_free_.data() + static_cast<std::size_t>(second) * wpr : nullptr;
+  const std::uint64_t* c2 =
+      two ? res_claimed_.data() + static_cast<std::size_t>(second) * wpr
+          : nullptr;
+  // Rounds [lo, hi] occupy at most two contiguous ring-column segments:
+  // [col(lo), d) and, after the wrap, [0, col(lo) + len - d). Each segment is
+  // swept word-by-word, boundary words masked, earliest set bit of the
+  // combined {first, second} mask wins (first preferred at the same column).
+  const auto scan_segment = [&](std::size_t a, std::size_t b,
+                                Round round_of_a) -> SlotRef {
+    const std::size_t w_lo = a / 64;
+    const std::size_t w_hi = b / 64;
+    for (std::size_t w = w_lo; w <= w_hi; ++w) {
+      std::uint64_t m1 = f1[w];
+      std::uint64_t m2 = two ? f2[w] : 0;
+      if (exclude_claims) {
+        m1 &= ~c1[w];
+        if (two) m2 &= ~c2[w];
+      }
+      std::uint64_t keep = kAllOnes;
+      if (w == w_lo) keep &= kAllOnes << (a % 64);
+      if (w == w_hi && (b % 64) != 63) {
+        keep &= (std::uint64_t{1} << ((b % 64) + 1)) - 1;
+      }
+      m1 &= keep;
+      m2 &= keep;
+      const std::uint64_t both = m1 | m2;
+      if (both == 0) continue;
+      const int off = std::countr_zero(both);
+      const std::size_t col = w * 64 + static_cast<std::size_t>(off);
+      const Round round = round_of_a + static_cast<Round>(col - a);
+      if (((m1 >> off) & 1) != 0) return SlotRef{first, round};
+      return SlotRef{second, round};
+    }
+    return kNoSlot;
+  };
+  const auto len = static_cast<std::size_t>(hi - lo + 1);
+  const std::size_t col_lo = column_of(lo);
+  if (col_lo + len <= d) return scan_segment(col_lo, col_lo + len - 1, lo);
+  const SlotRef pre_wrap = scan_segment(col_lo, d - 1, lo);
+  if (pre_wrap.valid()) return pre_wrap;
+  return scan_segment(0, col_lo + len - 1 - d,
+                      lo + static_cast<Round>(d - col_lo));
+}
+
+void DeltaWindowProblem::begin_admission_batch() {
+  REQSCHED_REQUIRE_MSG(!admission_batch_, "admission batches must not nest");
+  admission_batch_ = true;
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
+}
+
+void DeltaWindowProblem::end_admission_batch() {
+  REQSCHED_REQUIRE_MSG(admission_batch_, "no admission batch open");
+  const std::size_t wpr = words_per_resource();
+  for (const SlotRef slot : batch_claims_) {
+    const std::size_t col = column_of(slot.round);
+    res_claimed_[static_cast<std::size_t>(slot.resource) * wpr + col / 64] &=
+        ~(std::uint64_t{1} << (col % 64));
   }
-  return kNoSlot;
+  batch_claims_.clear();
+  admission_batch_ = false;
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
+}
+
+DeltaWindowProblem::AdmissionProbe DeltaWindowProblem::admission_probe(
+    const Request& r) const {
+  REQSCHED_REQUIRE_MSG(admission_batch_,
+                       "admission_probe outside an admission batch");
+  const Round lo = std::max(r.arrival, window_begin_);
+  const Round hi = std::min(r.deadline, window_end() - 1);
+  if (lo > hi) return {};
+  const bool two = r.second != kNoResource;
+  if (has_round_masks()) {
+    const std::uint64_t range = round_range_mask(lo, hi);
+    const std::uint64_t f1 = rotated_round_mask(res_free_, r.first) & range;
+    const std::uint64_t f2 =
+        two ? rotated_round_mask(res_free_, r.second) & range : 0;
+    const auto choose = [&](std::uint64_t m1, std::uint64_t m2) -> SlotRef {
+      if ((m1 | m2) == 0) return kNoSlot;
+      const int o1 = m1 != 0 ? std::countr_zero(m1) : 64;
+      const int o2 = m2 != 0 ? std::countr_zero(m2) : 64;
+      if (o1 <= o2) return SlotRef{r.first, window_begin_ + o1};
+      return SlotRef{r.second, window_begin_ + o2};
+    };
+    const std::uint64_t c1 = rotated_round_mask(res_claimed_, r.first) & range;
+    const std::uint64_t c2 =
+        two ? rotated_round_mask(res_claimed_, r.second) & range : 0;
+    // No batch claim touches this row's alternatives: the pre-batch view is
+    // the live view, so greedy booking of the slot is Kuhn-identical.
+    if ((c1 | c2) == 0) return {choose(f1, f2), false};
+    const SlotRef live = choose(f1 & ~c1, f2 & ~c2);
+    const SlotRef pre = choose(f1, f2);
+    return {live, live != pre};
+  }
+  const SlotRef live = scan_first_allowed_wide(r.first, r.second, lo, hi,
+                                               /*exclude_claims=*/true);
+  const SlotRef pre = scan_first_allowed_wide(r.first, r.second, lo, hi,
+                                              /*exclude_claims=*/false);
+  return {live, live != pre};
+}
+
+void DeltaWindowProblem::claim_admission_slot(SlotRef slot) {
+  REQSCHED_REQUIRE_MSG(admission_batch_,
+                       "claim_admission_slot outside an admission batch");
+  REQSCHED_REQUIRE_MSG(is_free(slot), slot << " is not free");
+  const std::size_t col = column_of(slot.round);
+  std::uint64_t& word =
+      res_claimed_[static_cast<std::size_t>(slot.resource) *
+                       words_per_resource() +
+                   col / 64];
+  const std::uint64_t bit = std::uint64_t{1} << (col % 64);
+  REQSCHED_REQUIRE_MSG((word & bit) == 0, slot << " already claimed");
+  word |= bit;
+  batch_claims_.push_back(slot);
 }
 
 void DeltaWindowProblem::set_free(SlotRef slot, bool free) {
@@ -199,19 +329,22 @@ void DeltaWindowProblem::set_free(SlotRef slot, bool free) {
   } else {
     w &= ~bit;
   }
-  if (has_round_masks()) {
-    const std::uint64_t col_bit = std::uint64_t{1} << col;
-    std::uint64_t& m = res_free_[static_cast<std::size_t>(slot.resource)];
-    if (free) {
-      m |= col_bit;
-    } else {
-      m &= ~col_bit;
-    }
+  const std::uint64_t col_bit = std::uint64_t{1} << (col % 64);
+  std::uint64_t& m =
+      res_free_[static_cast<std::size_t>(slot.resource) * words_per_resource() +
+                col / 64];
+  if (free) {
+    m |= col_bit;
+  } else {
+    m &= ~col_bit;
   }
 }
 
-std::uint64_t DeltaWindowProblem::rotated_round_mask(ResourceId res) const {
-  const std::uint64_t m = res_free_[static_cast<std::size_t>(res)];
+std::uint64_t DeltaWindowProblem::rotated_round_mask(
+    const std::vector<std::uint64_t>& masks, ResourceId res) const {
+  // d <= 64 only: words_per_resource() == 1, so the resource's whole ring is
+  // one word of `masks` (res_free_ or res_claimed_).
+  const std::uint64_t m = masks[static_cast<std::size_t>(res)];
   const auto d = static_cast<unsigned>(config_.d);
   const auto rot = static_cast<unsigned>(column_of(window_begin_));
   if (rot == 0) return m;
@@ -381,20 +514,50 @@ bool DeltaWindowProblem::kuhn_try(
     }
     return false;
   }
-  const std::size_t words = words_per_column();
-  const std::size_t word1 = static_cast<std::size_t>(r.first) / 64;
-  const std::uint64_t bit1 = std::uint64_t{1}
-                             << (static_cast<std::size_t>(r.first) % 64);
-  const std::size_t word2 =
-      two ? static_cast<std::size_t>(r.second) / 64 : 0;
-  const std::uint64_t bit2 =
-      two ? std::uint64_t{1} << (static_cast<std::size_t>(r.second) % 64) : 0;
-  for (Round round = lo; round <= hi; ++round) {
-    const std::uint64_t* column = free_.data() + column_of(round) * words;
-    if ((column[word1] & bit1) && try_slot(r.first, round)) return true;
-    if (two && (column[word2] & bit2) && try_slot(r.second, round)) return true;
-  }
-  return false;
+  // d > 64: same skip-empty-rounds idea, but over the multi-word per-resource
+  // ring masks — whole-word ctz iteration across the (at most two) contiguous
+  // ring-column segments the window maps [lo, hi] onto. The free bits are
+  // stable for the whole max_match, so the visit order is still round-asc,
+  // {first, second}.
+  const auto d = static_cast<std::size_t>(config_.d);
+  const std::size_t wpr = words_per_resource();
+  const std::uint64_t* f1 =
+      res_free_.data() + static_cast<std::size_t>(r.first) * wpr;
+  const std::uint64_t* f2 =
+      two ? res_free_.data() + static_cast<std::size_t>(r.second) * wpr
+          : nullptr;
+  const auto sweep_segment = [&](std::size_t a, std::size_t b,
+                                 Round round_of_a) -> bool {
+    const std::size_t w_lo = a / 64;
+    const std::size_t w_hi = b / 64;
+    for (std::size_t w = w_lo; w <= w_hi; ++w) {
+      std::uint64_t m1 = f1[w];
+      std::uint64_t m2 = two ? f2[w] : 0;
+      std::uint64_t keep = kAllOnes;
+      if (w == w_lo) keep &= kAllOnes << (a % 64);
+      if (w == w_hi && (b % 64) != 63) {
+        keep &= (std::uint64_t{1} << ((b % 64) + 1)) - 1;
+      }
+      m1 &= keep;
+      m2 &= keep;
+      std::uint64_t both = m1 | m2;
+      while (both != 0) {
+        const int off = std::countr_zero(both);
+        both &= both - 1;
+        const std::size_t col = w * 64 + static_cast<std::size_t>(off);
+        const Round round = round_of_a + static_cast<Round>(col - a);
+        if (((m1 >> off) & 1) != 0 && try_slot(r.first, round)) return true;
+        if (((m2 >> off) & 1) != 0 && try_slot(r.second, round)) return true;
+      }
+    }
+    return false;
+  };
+  const auto len = static_cast<std::size_t>(hi - lo + 1);
+  const std::size_t col_lo = column_of(lo);
+  if (col_lo + len <= d) return sweep_segment(col_lo, col_lo + len - 1, lo);
+  if (sweep_segment(col_lo, d - 1, lo)) return true;
+  return sweep_segment(0, col_lo + len - 1 - d,
+                       lo + static_cast<Round>(d - col_lo));
 }
 
 void DeltaWindowProblem::max_match(std::span<const RequestId> lefts,
@@ -468,13 +631,12 @@ void DeltaWindowProblem::audit_check() const {
           "free bit for column " << col << " resource " << res
               << " disagrees with the occupancy grid (occupant r" << occ
               << ")");
-      if (has_round_masks()) {
-        const bool mask_free = (res_free_[res] >> col) & 1;
-        REQSCHED_AUDIT_REQUIRE_MSG(
-            mask_free == bit_free,
-            "transposed res_free_ mask disagrees at column "
-                << col << " resource " << res);
-      }
+      const bool mask_free =
+          (res_free_[res * words_per_resource() + col / 64] >> (col % 64)) & 1;
+      REQSCHED_AUDIT_REQUIRE_MSG(
+          mask_free == bit_free,
+          "transposed res_free_ mask disagrees at column "
+              << col << " resource " << res);
       if (occ == kNoRequest) continue;
       ++occupied;
       const auto it = rows_.find(occ);
@@ -489,24 +651,52 @@ void DeltaWindowProblem::audit_check() const {
   REQSCHED_AUDIT_REQUIRE_MSG(occupied == booked_rows,
                              occupied << " occupied slots vs " << booked_rows
                                       << " booked rows");
-  if (has_round_masks()) {
-    // Bits at or above d must never be set (rotate correctness depends
-    // on it).
-    const std::uint64_t above =
-        config_.d == 64 ? 0 : ~((std::uint64_t{1} << config_.d) - 1);
-    // Cold: audit_check() only runs from mutators under
-    // REQSCHED_AUDIT_ENABLED (or directly from tests).
-    for (std::size_t res = 0; res < n; ++res) {  // reqsched-lint: allow(hot-loop-guard)
-      REQSCHED_AUDIT_REQUIRE_MSG((res_free_[res] & above) == 0,
-                                 "res_free_ has bits past d for resource "
-                                     << res);
-    }
+  // Bits at or past d in the last word of each per-resource mask must never
+  // be set (rotate and word-sweep correctness depend on it).
+  const std::size_t res_words = words_per_resource();
+  const std::size_t res_tail = d % 64;
+  const std::uint64_t above =
+      res_tail == 0 ? 0 : ~((std::uint64_t{1} << res_tail) - 1);
+  // Cold: audit_check() only runs from mutators under
+  // REQSCHED_AUDIT_ENABLED (or directly from tests).
+  for (std::size_t res = 0; res < n; ++res) {  // reqsched-lint: allow(hot-loop-guard)
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        (res_free_[res * res_words + res_words - 1] & above) == 0,
+        "res_free_ has bits past d for resource " << res);
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        (res_claimed_[res * res_words + res_words - 1] & above) == 0,
+        "res_claimed_ has bits past d for resource " << res);
   }
+
+  // Claim-mask oracle: the claimed bits must be exactly the slots recorded in
+  // batch_claims_, every claimed slot must still be free (claims never book),
+  // and everything must be zero outside a batch.
+  if (!admission_batch_) {
+    REQSCHED_AUDIT_REQUIRE_MSG(batch_claims_.empty(),
+                               "batch_claims_ non-empty outside a batch");
+  }
+  std::vector<std::uint64_t> naive_claimed(n * res_words, 0);
+  for (const SlotRef slot : batch_claims_) {
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        admission_batch_ && in_window(slot.round) && slot.resource >= 0 &&
+            slot.resource < config_.n,
+        "batch claim " << slot << " is not a window slot of an open batch");
+    REQSCHED_AUDIT_REQUIRE_MSG(grid_[grid_index(slot)] == kNoRequest,
+                               "batch claim " << slot << " is booked");
+    const std::size_t col = column_of(slot.round);
+    naive_claimed[static_cast<std::size_t>(slot.resource) * res_words +
+                  col / 64] |= std::uint64_t{1} << (col % 64);
+  }
+  REQSCHED_AUDIT_REQUIRE_MSG(
+      naive_claimed == res_claimed_,
+      "res_claimed_ disagrees with the batch_claims_ slot list");
 }
 
 std::size_t DeltaWindowProblem::approx_bytes() const {
   return free_.capacity() * sizeof(std::uint64_t) +
          res_free_.capacity() * sizeof(std::uint64_t) +
+         res_claimed_.capacity() * sizeof(std::uint64_t) +
+         batch_claims_.capacity() * sizeof(SlotRef) +
          grid_.capacity() * sizeof(RequestId) +
          visited_attempt_.capacity() * sizeof(std::int64_t) +
          owner_call_.capacity() * sizeof(std::int64_t) +

@@ -20,6 +20,14 @@
 // replicating kuhn_ordered / greedy_maximal traversal order exactly — the
 // strategies built on top are bit-identical to the rebuild-per-round path.
 //
+// The admission-batch API (begin_admission_batch / admission_probe /
+// claim_admission_slot) serves the engine's fast path: arrivals whose
+// earliest free allowed slot is untouched by the batch's own claims can be
+// booked greedily, provably producing the matching Kuhn would. A batch only
+// *claims* slots (bits in a side mask) — nothing is booked until the whole
+// batch proves uncontended, so a contended batch costs one mask sweep and no
+// unwinding before it punts to the matcher (docs/streaming.md has the proof).
+//
 // The class is deliberately simulator-independent (events in, queries out),
 // so the differential fuzz suite can drive it standalone against a freshly
 // built instance after every event.
@@ -105,6 +113,46 @@ class DeltaWindowProblem {
   /// describe a current row.
   SlotRef first_free_allowed(const Request& r) const;
 
+  // ---- admission fast path (engine batch-admission stage) ----
+
+  /// Result of probing one arrival against the current admission batch:
+  /// `slot` is the row's earliest allowed slot net of the batch's claims
+  /// (kNoSlot when none), and `contended` reports whether an earlier claim
+  /// of this batch took a slot the row's scan would have reached first —
+  /// i.e. whether a Kuhn matching of the whole batch could differ from
+  /// greedy booking.
+  struct AdmissionProbe {
+    SlotRef slot = kNoSlot;
+    bool contended = false;
+  };
+
+  /// Opens an admission batch: until end_admission_batch(),
+  /// claim_admission_slot() records slots in per-resource claim masks and
+  /// admission_probe() reports contention against those claims. Claims are
+  /// probe bookkeeping only — free bits are untouched, so abandoning a
+  /// contended batch needs no unwinding. Batches must not nest.
+  void begin_admission_batch();
+
+  /// Closes the batch and clears the claim masks. The caller commits an
+  /// uncontended batch afterwards with ordinary book() calls.
+  void end_admission_batch();
+
+  bool admission_batch_open() const { return admission_batch_; }
+
+  /// Probes `r` (a current row) against the live view (free minus claims)
+  /// and the pre-batch view (free) — O(1) via rotate+ctz when d <= 64, an
+  /// O(d/64) word sweep otherwise. Only valid inside an admission batch.
+  /// `contended` is true exactly when the earliest allowed slot differs
+  /// between the two views: booking `slot` would then not be provably
+  /// identical to the batch Kuhn matching.
+  AdmissionProbe admission_probe(const Request& r) const;
+
+  /// Marks `slot` (free, in-window) claimed for the open batch: later probes
+  /// of this batch see it as taken, and the pre-batch view still sees it
+  /// free. The engine claims each uncontended probe result, then commits via
+  /// book() once the whole batch is admitted.
+  void claim_admission_slot(SlotRef slot);
+
   // ---- problem construction (arena-reusing) ----
 
   /// Fills `rights` with the scope's slots ordered (round asc, resource asc)
@@ -148,9 +196,26 @@ class DeltaWindowProblem {
   std::size_t words_per_column() const {
     return (static_cast<std::size_t>(config_.n) + 63) / 64;
   }
+  /// Words per resource in the transposed (per-resource round) masks.
+  std::size_t words_per_resource() const {
+    return (static_cast<std::size_t>(config_.d) + 63) / 64;
+  }
   bool has_round_masks() const { return config_.d <= 64; }
-  /// res_free_[res] rotated so bit k means "free at round window_begin_ + k".
-  std::uint64_t rotated_round_mask(ResourceId res) const;
+  /// One word of a per-resource mask array (res_free_ / res_claimed_),
+  /// rotated so bit k means "round window_begin_ + k" — d <= 64 only.
+  std::uint64_t rotated_round_mask(const std::vector<std::uint64_t>& masks,
+                                   ResourceId res) const;
+  std::uint64_t rotated_round_mask(ResourceId res) const {
+    return rotated_round_mask(res_free_, res);
+  }
+  /// d > 64: earliest allowed slot of the {first, second} pair in rounds
+  /// [lo, hi], scanned as whole 64-bit words of the per-resource ring masks
+  /// (ctz per word instead of a probe per round). `exclude_claims` masks the
+  /// batch claims out — the live view the admission probe compares against
+  /// the pre-batch (plain free) view.
+  SlotRef scan_first_allowed_wide(ResourceId first, ResourceId second,
+                                  Round lo, Round hi,
+                                  bool exclude_claims) const;
   /// Bits [lo - window_begin_, hi - window_begin_] of a rotated mask.
   std::uint64_t round_range_mask(Round lo, Round hi) const;
   std::size_t column_of(Round round) const {
@@ -173,10 +238,21 @@ class DeltaWindowProblem {
   /// Per-column free bitmasks, column-major: bit r of word (c * words + r/64)
   /// is set when slot (r, round with round % d == c) is free.
   std::vector<std::uint64_t> free_;
-  /// Transposed view, one word per resource: bit c set when the slot at ring
-  /// column c is free. Maintained only when d <= 64 (has_round_masks());
-  /// turns "earliest free round for this resource" into rotate + ctz.
+  /// Transposed view, words_per_resource() words per resource: bit c of word
+  /// (res * words_per_resource() + c / 64) is set when the slot at ring
+  /// column c is free. Turns "earliest free round for this resource" into
+  /// rotate + ctz when d <= 64 and a word sweep (ctz/popcount over whole
+  /// words) otherwise.
   std::vector<std::uint64_t> res_free_;
+  /// Admission-batch claim masks, same shape as res_free_: bit c set when the
+  /// slot at ring column c is claimed by the current batch. Claimed slots
+  /// stay free in res_free_ (claims are probe bookkeeping, not bookings), so
+  /// free & ~claimed is the live view and plain free the pre-batch view. All
+  /// zero outside a batch.
+  std::vector<std::uint64_t> res_claimed_;
+  /// The slots claimed by the open batch, for O(batch) clearing.
+  std::vector<SlotRef> batch_claims_;
+  bool admission_batch_ = false;
   /// Occupant per ring slot (kNoRequest when free) — the authoritative
   /// occupancy used by the REQUIREs and the fuzz equality checks.
   std::vector<RequestId> grid_;

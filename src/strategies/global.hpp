@@ -34,6 +34,9 @@ class AFix final : public IStrategy {
   void reset(const ProblemConfig& config) override { runtime_.reset(config); }
   void on_round(Simulator& sim) override;
   bool wants_window_problem() const override { return true; }
+  /// A_fix handles arrivals exactly as match_new_into_window (and never
+  /// reschedules), so the engine's batch-admission fast path is sound for it.
+  bool wants_admission_fast_path() const override { return true; }
 
  private:
   StrategyRuntime runtime_;

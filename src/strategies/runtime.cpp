@@ -45,6 +45,12 @@ void StrategyRuntime::collect_unscheduled(Simulator& sim, bool skip_injected) {
 }
 
 void StrategyRuntime::match_new_into_window(Simulator& sim) {
+  // The engine's admission fast path (strategies opt in via
+  // wants_admission_fast_path) may have already booked the whole batch: an
+  // admitted outcome certifies every arrival was uncontended, so the greedy
+  // bookings are exactly the Kuhn matching computed below. Contended or
+  // inactive rounds fall through to the matcher against the pristine window.
+  if (sim.admission_outcome() == AdmissionOutcome::kAdmitted) return;
   const auto injected = sim.injected_now();
   lefts_.assign(injected.begin(), injected.end());
   window(sim).max_match(lefts_, WindowScope::kFreeWindow, slots_);

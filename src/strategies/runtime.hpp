@@ -48,7 +48,10 @@ class StrategyRuntime {
   // ---- A_fix ----
 
   /// Maximum matching (Kuhn, injection order) of this round's arrivals into
-  /// the free window slots, booked through the simulator.
+  /// the free window slots, booked through the simulator. No-op when the
+  /// engine's admission fast path already admitted the batch
+  /// (sim.admission_outcome() == kAdmitted): the greedy bookings it made are
+  /// provably this matching.
   void match_new_into_window(Simulator& sim);
 
   /// Greedy-maximal extension: each older unscheduled request takes its

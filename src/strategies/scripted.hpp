@@ -46,6 +46,9 @@ class ScriptedStrategy final : public IStrategy {
   bool wants_window_problem() const override {
     return fallback_->wants_window_problem();
   }
+  /// Deliberately NOT forwarded: scripted rounds propose complete booking
+  /// maps against an untouched batch, so engine pre-booking would wreck the
+  /// adversary's proposals (IStrategy::wants_admission_fast_path contract).
 
   std::int64_t violations() const { return violations_; }
   const std::vector<std::string>& violation_log() const {

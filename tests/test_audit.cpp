@@ -45,6 +45,15 @@ struct AuditTestAccess {
   static void set_res_mask_high_bit(DeltaWindowProblem& w, ResourceId res) {
     w.res_free_[static_cast<std::size_t>(res)] |= std::uint64_t{1} << 63;
   }
+  static void set_claim_bit(DeltaWindowProblem& w, SlotRef slot) {
+    const std::size_t col = w.column_of(slot.round);
+    w.res_claimed_[static_cast<std::size_t>(slot.resource) *
+                       w.words_per_resource() +
+                   col / 64] |= std::uint64_t{1} << (col % 64);
+  }
+  static void push_phantom_claim(DeltaWindowProblem& w, SlotRef slot) {
+    w.batch_claims_.push_back(slot);
+  }
 
   // ---- RequestPool ----
   static void bump_live_count(RequestPool& p) { ++p.live_; }
@@ -150,6 +159,37 @@ TEST_F(DeltaWindowAudit, FiresOnMaskBitsPastD) {
   // bit agrees.
   AuditTestAccess::set_res_mask_high_bit(window_, 0);
   EXPECT_THROW(window_.audit_check(), ContractViolation);
+}
+
+TEST_F(DeltaWindowAudit, FiresOnClaimMaskDrift) {
+  // A claim bit with no matching batch_claims_ entry: probes would treat the
+  // slot as taken while the commit loop would never book it.
+  window_.begin_admission_batch();
+  AuditTestAccess::set_claim_bit(window_, SlotRef{1, 1});
+  EXPECT_THROW(window_.audit_check(), ContractViolation);
+}
+
+TEST_F(DeltaWindowAudit, FiresOnClaimsLeakingPastTheBatch) {
+  // batch_claims_ entries must evaporate with end_admission_batch(); a
+  // leftover entry means a later batch would commit a stale slot.
+  AuditTestAccess::push_phantom_claim(window_, SlotRef{1, 1});
+  EXPECT_THROW(window_.audit_check(), ContractViolation);
+}
+
+TEST_F(DeltaWindowAudit, FiresOnBookedClaim) {
+  // Claims must never cover booked slots (claims-only batches leave the free
+  // bits untouched, so booking a claimed slot mid-batch is legal at the
+  // book() contract level — only the audit oracle sees the divergence). In
+  // REQSCHED_AUDIT builds book()'s own mutation call site fires the oracle
+  // before the explicit check does; both throws are the point.
+  window_.begin_admission_batch();
+  window_.claim_admission_slot(SlotRef{1, 1});
+  EXPECT_THROW(
+      {
+        window_.book(1, SlotRef{1, 1});
+        window_.audit_check();
+      },
+      ContractViolation);
 }
 
 // ---------------------------------------------------------------------------

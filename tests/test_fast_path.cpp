@@ -1,0 +1,411 @@
+// Differential + fuzz suite for the engine's admission fast path (PR 6).
+//
+// The batched round loop books trivially-free arrivals without touching the
+// Kuhn matcher whenever every probe of the batch is uncontended (the live
+// view net of the batch's claims agrees with the pre-batch view — see
+// docs/streaming.md for why that makes greedy booking Kuhn-identical).
+// This file pins three things:
+//
+//  * bit-identity — fast-path-on runs are identical (metrics, online
+//    matching, prefix-optimum series) to matcher-only runs on the five
+//    lower-bound instances, 200 random traces, and deep d > 64 windows
+//    where the word-sweep scans replace the rotate+ctz masks;
+//  * the handoff — workloads with intra-batch contention exercise both
+//    kAdmitted and kContended rounds, and the counters prove it;
+//  * the probe itself — admission_probe / claim_admission_slot fuzzed
+//    standalone against a naive grid model, plus contract rejections.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adversary/random.hpp"
+#include "adversary/theorems.hpp"
+#include "analysis/prefix.hpp"
+#include "analysis/registry.hpp"
+#include "engine/simulator.hpp"
+#include "matching/delta_window.hpp"
+#include "util/prng.hpp"
+
+namespace reqsched {
+namespace {
+
+// ===========================================================================
+// Differential harness: fast-path-on vs matcher-only on fresh instances of
+// the same workload, captured through the prefix probe.
+
+struct RunCapture {
+  Metrics metrics;
+  std::vector<std::pair<RequestId, SlotRef>> matching;
+  std::vector<RoundSample> series;
+  std::int64_t fast_admitted = 0;
+  std::int64_t fast_rounds = 0;
+  std::int64_t fast_fallbacks = 0;
+};
+
+RunCapture run_captured(IWorkload& workload, IStrategy& strategy,
+                        bool fast_path) {
+  PrefixOptimumProbe probe(strategy);
+  EngineOptions options;
+  options.admission_fast_path = fast_path;
+  Simulator sim(workload, probe, std::move(options));
+  RunCapture out;
+  out.metrics = sim.run();
+  out.matching = sim.online_matching();
+  std::sort(out.matching.begin(), out.matching.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.series = probe.take_samples();
+  out.fast_admitted = sim.engine().fast_path_admitted();
+  out.fast_rounds = sim.engine().fast_path_rounds();
+  out.fast_fallbacks = sim.engine().fast_path_fallbacks();
+  return out;
+}
+
+void expect_identical(const RunCapture& fast, const RunCapture& matcher,
+                      const std::string& label) {
+  EXPECT_TRUE(fast.metrics == matcher.metrics)
+      << label << ": metrics diverged — fast-path " << fast.metrics
+      << " vs matcher-only " << matcher.metrics;
+  ASSERT_EQ(fast.matching.size(), matcher.matching.size()) << label;
+  for (std::size_t i = 0; i < matcher.matching.size(); ++i) {
+    EXPECT_EQ(fast.matching[i].first, matcher.matching[i].first) << label;
+    EXPECT_EQ(fast.matching[i].second, matcher.matching[i].second)
+        << label << ": r" << matcher.matching[i].first
+        << " executed in a different slot";
+  }
+  ASSERT_EQ(fast.series.size(), matcher.series.size()) << label;
+  for (std::size_t i = 0; i < matcher.series.size(); ++i) {
+    const RoundSample& a = fast.series[i];
+    const RoundSample& b = matcher.series[i];
+    EXPECT_EQ(a.injected, b.injected) << label << " round " << b.round;
+    EXPECT_EQ(a.executed, b.executed) << label << " round " << b.round;
+    EXPECT_EQ(a.pending, b.pending) << label << " round " << b.round;
+    EXPECT_EQ(a.booked, b.booked) << label << " round " << b.round;
+    EXPECT_EQ(a.idle, b.idle) << label << " round " << b.round;
+    EXPECT_EQ(a.tightest_slack, b.tightest_slack) << label;
+    EXPECT_EQ(a.prefix_opt, b.prefix_opt) << label << " round " << b.round;
+    EXPECT_EQ(a.prefix_fulfilled, b.prefix_fulfilled)
+        << label << " round " << b.round;
+  }
+  // The matcher-only side must never have touched the fast-path counters.
+  EXPECT_EQ(matcher.fast_admitted, 0) << label;
+  EXPECT_EQ(matcher.fast_rounds, 0) << label;
+  EXPECT_EQ(matcher.fast_fallbacks, 0) << label;
+}
+
+template <typename MakeWorkload>
+RunCapture expect_fast_path_matches(const std::string& name,
+                                    const MakeWorkload& make_workload) {
+  auto fast_workload = make_workload();
+  auto matcher_workload = make_workload();
+  const auto fast_strategy = make_strategy(name);
+  const auto matcher_strategy = make_strategy(name);
+  const RunCapture fast =
+      run_captured(*fast_workload, *fast_strategy, /*fast_path=*/true);
+  const RunCapture matcher =
+      run_captured(*matcher_workload, *matcher_strategy, /*fast_path=*/false);
+  expect_identical(fast, matcher, name);
+  return fast;
+}
+
+TEST(FastPathDifferential, LowerBoundInstancesAreBitIdentical) {
+  // The adversarially tie-broken theorem traces: any drift in the admission
+  // order or slot choice surfaces immediately. Only A_fix opts into the
+  // fast path; the other classes pin that the flag stays inert for them.
+  const std::vector<std::pair<std::string,
+                              std::function<TheoremInstance()>>> cases = {
+      {"A_fix", [] { return make_lb_fix(4, 3); }},
+      {"A_current", [] { return make_lb_current(3, 3); }},
+      {"A_fix_balance", [] { return make_lb_fix_balance(4, 3); }},
+      {"A_eager", [] { return make_lb_eager(4, 3); }},
+      {"A_balance", [] { return make_lb_balance(2, 2, 3); }},
+  };
+  for (const auto& [name, make] : cases) {
+    expect_fast_path_matches(name, [&make] {
+      return std::move(make().workload);
+    });
+  }
+}
+
+TEST(FastPathDifferential, TwoHundredRandomTracesAreBitIdentical) {
+  std::int64_t admitted_total = 0;
+  std::int64_t fallback_total = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const RandomWorkloadOptions options{
+        .n = static_cast<std::int32_t>(2 + seed % 4),
+        .d = static_cast<std::int32_t>(1 + seed % 3),
+        .load = 0.5 + 0.1 * static_cast<double>(seed % 14),
+        .horizon = static_cast<Round>(8 + seed % 9),
+        .seed = seed,
+        .two_choice = seed % 3 != 0};
+    const RunCapture fast = expect_fast_path_matches("A_fix", [&options] {
+      return std::make_unique<UniformWorkload>(options);
+    });
+    admitted_total += fast.fast_rounds;
+    fallback_total += fast.fast_fallbacks;
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "first divergence on seed " << seed;
+    }
+  }
+  // The sweep must exercise both sides of the handoff, not vacuously pass
+  // with the fast path never (or always) engaging.
+  EXPECT_GT(admitted_total, 0);
+  EXPECT_GT(fallback_total, 0);
+}
+
+TEST(FastPathDifferential, DeepWindowsUseTheWordSweepsBitIdentically) {
+  // d > 64 disables the rotate+ctz round masks: admission probes go through
+  // scan_first_allowed_wide's two-segment word sweep, claims and all.
+  std::int64_t admitted_total = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const RandomWorkloadOptions options{
+        .n = static_cast<std::int32_t>(2 + seed % 4),
+        .d = static_cast<std::int32_t>(65 + (seed * 7) % 64),
+        .load = 0.4 + 0.1 * static_cast<double>(seed % 8),
+        .horizon = static_cast<Round>(40 + seed % 17),
+        .seed = 1000 + seed,
+        .two_choice = seed % 3 != 0};
+    const RunCapture fast = expect_fast_path_matches("A_fix", [&options] {
+      return std::make_unique<UniformWorkload>(options);
+    });
+    admitted_total += fast.fast_rounds;
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "first divergence on seed " << seed << " (d=" << options.d
+             << ")";
+    }
+  }
+  EXPECT_GT(admitted_total, 0);
+}
+
+TEST(FastPathHandoff, ContendedStreamsExerciseBothOutcomes) {
+  // n = 8 at load 0.6: batches of ~5 arrivals collide on a shared first
+  // choice about two rounds in three (Kuhn would augment where greedy
+  // cannot), so a single run must show both admitted and punted rounds —
+  // and still be bit-identical to the matcher-only run.
+  const RandomWorkloadOptions options{.n = 8, .d = 3, .load = 0.6,
+                                      .horizon = 600, .seed = 11,
+                                      .two_choice = true};
+  const RunCapture fast = expect_fast_path_matches("A_fix", [&options] {
+    return std::make_unique<UniformWorkload>(options);
+  });
+  EXPECT_GT(fast.fast_rounds, 0) << "no round was fully admitted";
+  EXPECT_GT(fast.fast_fallbacks, 0) << "no round fell back to the matcher";
+  EXPECT_GT(fast.fast_admitted, 0);
+}
+
+TEST(FastPathEngine, StrategiesWithoutWindowCannotOptIn) {
+  // The engine refuses a strategy that asks for the fast path without the
+  // window problem the probes live on.
+  class BrokenStrategy final : public IStrategy {
+   public:
+    std::string name() const override { return "broken"; }
+    void on_round(Simulator&) override {}
+    bool wants_window_problem() const override { return false; }
+    bool wants_admission_fast_path() const override { return true; }
+  };
+  UniformWorkload workload({.n = 2, .d = 2, .load = 1.0, .horizon = 4,
+                            .seed = 1, .two_choice = true});
+  BrokenStrategy strategy;
+  EXPECT_THROW(Simulator(workload, strategy), ContractViolation);
+}
+
+// ===========================================================================
+// Standalone probe fuzz: admission_probe / claim_admission_slot against a
+// naive grid model, across rotations, multi-word masks, and d > 64.
+
+struct Model {
+  std::map<RequestId, Request> rows;
+  std::map<RequestId, SlotRef> booked;
+  std::map<std::pair<Round, ResourceId>, RequestId> occupant;
+  std::vector<SlotRef> claims;
+
+  bool is_free(SlotRef s) const {
+    return occupant.count({s.round, s.resource}) == 0;
+  }
+  bool is_claimed(SlotRef s) const {
+    return std::find(claims.begin(), claims.end(), s) != claims.end();
+  }
+};
+
+/// The probe's slot order, naively: rounds ascending clamped to the window,
+/// first preferred over second at the same round, free slots only —
+/// optionally skipping the batch's claims (the live view).
+SlotRef naive_first_free(const Model& model, const Request& r, Round t,
+                         std::int32_t d, bool exclude_claims) {
+  const Round lo = std::max(r.arrival, t);
+  const Round hi = std::min(r.deadline, t + d - 1);
+  for (Round round = lo; round <= hi; ++round) {
+    for (const ResourceId res : {r.first, r.second}) {
+      if (res == kNoResource) continue;
+      const SlotRef slot{res, round};
+      if (!model.is_free(slot)) continue;
+      if (exclude_claims && model.is_claimed(slot)) continue;
+      return slot;
+    }
+  }
+  return kNoSlot;
+}
+
+void probe_fuzz_trial(std::int32_t n, std::int32_t d, std::uint64_t seed,
+                      int steps) {
+  const ProblemConfig config{n, d};
+  Prng rng(seed);
+  DeltaWindowProblem p;
+  p.reset(config);
+  Model model;
+  Round t = 0;
+  RequestId next_id = 0;
+
+  const auto do_advance = [&] {
+    for (auto it = model.booked.begin(); it != model.booked.end();) {
+      if (it->second.round == t) {
+        const RequestId id = it->first;
+        p.unbook(id);
+        model.occupant.erase({t, it->second.resource});
+        it = model.booked.erase(it);
+        p.retire(id);
+        model.rows.erase(id);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = model.rows.begin(); it != model.rows.end();) {
+      if (it->second.deadline <= t && model.booked.count(it->first) == 0) {
+        p.retire(it->first);
+        it = model.rows.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    p.advance();
+    ++t;
+  };
+
+  for (int step = 0; step < steps; ++step) {
+    const auto roll = rng.next_below(100);
+    if (roll < 30) {  // arrival
+      Request r;
+      r.id = next_id++;
+      r.arrival = t;
+      r.deadline = t + static_cast<Round>(rng.next_below(
+                           static_cast<std::uint64_t>(d)));
+      r.first = static_cast<ResourceId>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      if (n > 1 && rng.next_below(5) != 0) {
+        ResourceId second = static_cast<ResourceId>(rng.next_below(
+            static_cast<std::uint64_t>(n - 1)));
+        if (second >= r.first) ++second;
+        r.second = second;
+      } else {
+        r.second = kNoResource;
+      }
+      p.add_request(r);
+      model.rows.emplace(r.id, r);
+    } else if (roll < 55) {  // book: congest the window the probes scan
+      std::vector<RequestId> unbooked;
+      for (const auto& [id, r] : model.rows) {
+        if (model.booked.count(id) == 0) unbooked.push_back(id);
+      }
+      if (unbooked.empty()) continue;
+      const RequestId id = unbooked[rng.next_below(unbooked.size())];
+      const Request& r = model.rows.at(id);
+      const SlotRef slot = naive_first_free(model, r, t, d,
+                                            /*exclude_claims=*/false);
+      if (!slot.valid()) continue;
+      p.book(id, slot);
+      model.booked[id] = slot;
+      model.occupant[{slot.round, slot.resource}] = id;
+    } else if (roll < 65) {  // round boundary: rotate the ring masks
+      do_advance();
+    } else {  // admission batch: probe every row, claim like the engine does
+      p.begin_admission_batch();
+      model.claims.clear();
+      for (const auto& [id, r] : model.rows) {
+        if (model.booked.count(id) != 0) continue;
+        const auto probe = p.admission_probe(r);
+        const SlotRef live = naive_first_free(model, r, t, d,
+                                              /*exclude_claims=*/true);
+        const SlotRef pre = naive_first_free(model, r, t, d,
+                                             /*exclude_claims=*/false);
+        ASSERT_EQ(probe.slot, live)
+            << "r" << id << " live probe (n=" << n << ", d=" << d
+            << ", seed=" << seed << ", step=" << step << ")";
+        ASSERT_EQ(probe.contended, live != pre)
+            << "r" << id << " contention verdict (n=" << n << ", d=" << d
+            << ", seed=" << seed << ", step=" << step << ")";
+        if (probe.contended) break;  // the engine punts the whole batch
+        if (!probe.slot.valid()) continue;
+        p.claim_admission_slot(probe.slot);
+        model.claims.push_back(probe.slot);
+      }
+      p.end_admission_batch();
+      model.claims.clear();
+      // Claims must evaporate without a trace: the very next probe of a
+      // fresh batch sees live == pre for every row.
+      p.begin_admission_batch();
+      for (const auto& [id, r] : model.rows) {
+        if (model.booked.count(id) != 0) continue;
+        const auto probe = p.admission_probe(r);
+        EXPECT_FALSE(probe.contended)
+            << "stale claim for r" << id << " (seed=" << seed << ")";
+        EXPECT_EQ(probe.slot,
+                  naive_first_free(model, r, t, d, /*exclude_claims=*/false));
+      }
+      p.end_admission_batch();
+      p.audit_check();
+    }
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "divergence at step " << step << " (n=" << n << ", d=" << d
+             << ", seed=" << seed << ")";
+    }
+  }
+}
+
+TEST(AdmissionProbeFuzz, AgreesWithNaiveModel) {
+  probe_fuzz_trial(/*n=*/3, /*d=*/3, /*seed=*/11, /*steps=*/400);
+  probe_fuzz_trial(/*n=*/2, /*d=*/2, /*seed=*/22, /*steps=*/400);
+  probe_fuzz_trial(/*n=*/5, /*d=*/4, /*seed=*/33, /*steps=*/400);
+  probe_fuzz_trial(/*n=*/8, /*d=*/64, /*seed=*/44, /*steps=*/300);
+}
+
+TEST(AdmissionProbeFuzz, WideWindowsCrossTheWordBoundary) {
+  // d > 64 routes every probe through the two-segment word sweep; n = 70
+  // additionally crosses the per-column mask word boundary.
+  probe_fuzz_trial(/*n=*/4, /*d=*/70, /*seed=*/55, /*steps=*/260);
+  probe_fuzz_trial(/*n=*/3, /*d=*/130, /*seed=*/66, /*steps=*/260);
+  probe_fuzz_trial(/*n=*/70, /*d=*/2, /*seed=*/77, /*steps=*/200);
+}
+
+TEST(AdmissionBatchContracts, RejectsOutOfContractCalls) {
+  const ProblemConfig config{2, 2};
+  DeltaWindowProblem p;
+  p.reset(config);
+  p.add_request(Request{0, 0, 1, 0, 1});
+
+  // Probes and claims are batch-only; batches cannot nest or double-close.
+  EXPECT_THROW(p.admission_probe(Request{0, 0, 1, 0, 1}), ContractViolation);
+  EXPECT_THROW(p.claim_admission_slot(SlotRef{0, 0}), ContractViolation);
+  EXPECT_THROW(p.end_admission_batch(), ContractViolation);
+  p.begin_admission_batch();
+  EXPECT_THROW(p.begin_admission_batch(), ContractViolation);
+
+  // Claims must target free slots, once.
+  p.claim_admission_slot(SlotRef{0, 0});
+  EXPECT_THROW(p.claim_admission_slot(SlotRef{0, 0}), ContractViolation);
+  p.end_admission_batch();
+  EXPECT_FALSE(p.admission_batch_open());
+
+  p.book(0, SlotRef{0, 0});
+  p.begin_admission_batch();
+  EXPECT_THROW(p.claim_admission_slot(SlotRef{0, 0}), ContractViolation);
+  p.end_admission_batch();
+}
+
+}  // namespace
+}  // namespace reqsched

@@ -99,8 +99,19 @@ run_bench_smoke() {
   # root so CI can upload it as the PR's perf artifact.
   "${dir}/bench/bench_perf" --smoke '--benchmark_filter=^$' \
       "--json=BENCH_latest.json"
-  echo "==> bench-smoke: bench_stream gates (window bound, memory plateau, throughput)"
-  "${dir}/bench/bench_stream" --smoke "--json=${dir}/BENCH_stream.json"
+  echo "==> bench-smoke: bench_stream gates (window bound, memory plateau, throughput, fast path)"
+  "${dir}/bench/bench_stream" --smoke "--json-append=BENCH_latest.json"
+  echo "==> bench-smoke: BENCH_latest.json section check"
+  # The merged artifact must carry both benches' gated sections — a bench
+  # that silently stopped recording would otherwise still upload fine.
+  python3 - <<'EOF'
+import json
+rows = json.load(open("BENCH_latest.json"))
+sections = {row["section"] for row in rows}
+missing = {"strategy_step", "stream"} - sections
+assert not missing, f"BENCH_latest.json is missing sections: {sorted(missing)}"
+print(f"BENCH_latest.json: {len(rows)} records, sections {sorted(sections)}")
+EOF
   echo "==> bench-smoke: bench_prefix_opt (reduced iterations)"
   "${dir}/bench/bench_prefix_opt" --rounds=2000 --samples=3
 }

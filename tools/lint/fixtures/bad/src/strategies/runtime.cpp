@@ -1,0 +1,5 @@
+void validate_batch(int count) {
+  for (int id = 0; id < count; ++id) {
+    REQSCHED_REQUIRE_MSG(id >= 0, "corrupt batch id");
+  }
+}

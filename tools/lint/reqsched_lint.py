@@ -74,6 +74,9 @@ HOT_FILES = (
     "src/engine/request_pool.hpp",
     "src/engine/streaming.cpp",
     "src/engine/windowed_opt.cpp",
+    # The strategy runtime sits between the admission fast path and the
+    # matcher: its per-round loops are on the same measured path.
+    "src/strategies/runtime.cpp",
 )
 
 # The only file allowed to (un)define the assertion-gating macros.

@@ -73,6 +73,9 @@ class BadFixtures(unittest.TestCase):
     def test_unguarded_validation_loop_in_hot_file(self):
         self.assert_finding("src/matching/delta_window.cpp", "hot-loop-guard")
 
+    def test_unguarded_validation_loop_in_strategy_runtime(self):
+        self.assert_finding("src/strategies/runtime.cpp", "hot-loop-guard")
+
     def test_every_bad_fixture_fires(self):
         flagged = {l.split(":", 1)[0] for l in self.out.splitlines()
                    if ": [" in l}
