@@ -3,7 +3,7 @@
 // strategy. Not a paper artifact (the paper is theory-only); this documents
 // that the library is fast enough for large sweeps.
 //
-// Besides the google-benchmark microbenchmarks, the custom main() runs three
+// Besides the google-benchmark microbenchmarks, the custom main() runs four
 // gated sections after RunSpecifiedBenchmarks():
 //  * offline-solve hot path: the CSR SlotGraph + scratch-arena pipeline
 //    against a frozen copy of the pre-CSR pipeline (vector-of-vectors
@@ -15,6 +15,9 @@
 //    The incremental runtime must hold a >= 2x speedup.
 //  * sweep throughput: a small strategy x n x d x seed grid through
 //    run_sweep(), reported as points/sec.
+//  * capacitated model: offline capacity monotonicity (OPT must not drop
+//    when b doubles) plus streaming throughput of the generalized
+//    k=4 / b=2 / occupancy<=2 hot path.
 // Pass --smoke (stripped before benchmark::Initialize) for reduced sizes.
 #include <benchmark/benchmark.h>
 
@@ -217,9 +220,8 @@ Graph build_graph(const Trace& trace) {
   for (const Request& r : trace.requests()) {
     auto& nbrs = g.adj[static_cast<std::size_t>(r.id)];
     for (Round t = r.arrival; t <= r.deadline; ++t) {
-      nbrs.push_back(static_cast<std::int32_t>(t * n + r.first));
-      if (r.second != kNoResource) {
-        nbrs.push_back(static_cast<std::int32_t>(t * n + r.second));
+      for (const ResourceId res : r.alts) {
+        nbrs.push_back(static_cast<std::int32_t>(t * n + res));
       }
     }
   }
@@ -613,6 +615,66 @@ void run_sweep_throughput(bool smoke, bench::JsonWriter& json) {
               static_cast<double>(summary.points) / seconds, "points/sec");
 }
 
+void run_capacitated_gate(bool smoke, bench::JsonWriter& json) {
+  // Offline capacity monotonicity: every b=1 schedule is feasible at b=2
+  // (each (resource, round) cell only gains units), so the optimum must not
+  // drop when capacity doubles. This pins the capacity-unit expansion in
+  // SlotGraph / solve_offline against an order relation that holds for every
+  // instance, not just a frozen baseline.
+  UniformWorkload recorded({.n = 12, .d = 4, .load = 2.5, .horizon = 200,
+                            .seed = 21, .two_choice = true, .k = 4});
+  auto recorder = make_strategy("A_fix");
+  Simulator rec_sim(recorded, *recorder);
+  rec_sim.run();
+  SolverScratch scratch;
+  const std::int64_t opt_b1 = solve_offline(rec_sim.trace(), scratch).optimum;
+  ProblemConfig wide = rec_sim.trace().config();
+  wide.b = 2;
+  Trace doubled(wide);
+  for (const Request& r : rec_sim.trace().requests()) {
+    RequestSpec spec;
+    spec.alts = r.alts;
+    spec.window = static_cast<std::int32_t>(r.deadline - r.arrival + 1);
+    doubled.add(r.arrival, spec);
+  }
+  const std::int64_t opt_b2 = solve_offline(doubled, scratch).optimum;
+  REQSCHED_CHECK_MSG(opt_b2 >= opt_b1,
+                     "offline optimum dropped when capacity doubled: "
+                         << opt_b1 << " (b=1) vs " << opt_b2 << " (b=2)");
+
+  // Generalized hot path: the streaming A_fix runtime on a k=4, b=2,
+  // occupancy<=2 workload — the configuration where the free-count grid,
+  // saturation overlays, and multi-round holds are all live at once.
+  const Round horizon = smoke ? 1'500 : 12'000;
+  UniformWorkload stream({.n = 16, .d = 8, .load = 3.0, .horizon = horizon,
+                          .seed = 23, .two_choice = true, .k = 4, .b = 2,
+                          .max_occupancy = 2});
+  auto strategy = make_strategy("A_fix");
+  Simulator sim(stream, *strategy, streaming_options());
+  const auto t0 = std::chrono::steady_clock::now();
+  const Metrics& metrics = sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  REQSCHED_CHECK_MSG(metrics.fulfilled > 0 &&
+                         metrics.fulfilled <= metrics.injected,
+                     "capacitated streaming run produced nonsense metrics: "
+                         << metrics);
+  const double throughput = static_cast<double>(metrics.injected) / seconds;
+
+  std::printf(
+      "[bench_perf] capacitated model (k=4, b=2, occ<=2): OPT %lld (b=1) -> "
+      "%lld (b=2); streamed %lld requests in %.3f s -> %.0f req/s\n",
+      static_cast<long long>(opt_b1), static_cast<long long>(opt_b2),
+      static_cast<long long>(metrics.injected), seconds, throughput);
+  json.record("capacitated", "opt_b1", static_cast<double>(opt_b1),
+              "requests");
+  json.record("capacitated", "opt_b2", static_cast<double>(opt_b2),
+              "requests");
+  json.record("capacitated", "requests",
+              static_cast<double>(metrics.injected), "requests");
+  json.record("capacitated", "throughput", throughput, "req/s");
+}
+
 }  // namespace
 }  // namespace reqsched
 
@@ -641,6 +703,7 @@ int main(int argc, char** argv) {
   reqsched::run_offline_solve_gate(smoke, json);
   reqsched::run_strategy_step_gate(smoke, json);
   reqsched::run_sweep_throughput(smoke, json);
+  reqsched::run_capacitated_gate(smoke, json);
   if (!json_path.empty()) {
     json.write(json_path);
     std::printf("[bench_perf] wrote %s\n", json_path.c_str());

@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
     for (const Request& r : trace.requests()) {
       if (r.arrival > t) break;
       prefix.add(r.arrival,
-                 RequestSpec{r.first, r.second,
+                 RequestSpec{r.first(), r.second(),
                              static_cast<std::int32_t>(r.deadline - r.arrival +
                                                        1)});
     }

@@ -31,8 +31,7 @@ Trace record_workload(IWorkload& workload) {
   Trace copy(sim.trace().config());
   for (const Request& r : sim.trace().requests()) {
     RequestSpec spec;
-    spec.first = r.first;
-    spec.second = r.second;
+    spec.alts = r.alts;
     spec.window = static_cast<std::int32_t>(r.deadline - r.arrival + 1);
     copy.add(r.arrival, spec);
   }
@@ -87,9 +86,8 @@ int inspect(const std::string& path) {
   std::vector<std::int64_t> per_resource(
       static_cast<std::size_t>(trace.config().n), 0);
   for (const Request& r : trace.requests()) {
-    ++per_resource[static_cast<std::size_t>(r.first)];
-    if (r.second != kNoResource) {
-      ++per_resource[static_cast<std::size_t>(r.second)];
+    for (const ResourceId res : r.alts) {
+      ++per_resource[static_cast<std::size_t>(res)];
     }
   }
   std::cout << "alt degree :";
@@ -113,15 +111,25 @@ int replay(const CliArgs& args, const std::string& path) {
   auto strategy = make_strategy(name);
   Simulator sim(workload, *strategy);
   sim.run();
-  const std::int64_t opt = offline_optimum(sim.trace());
   std::cout << name << " on " << path << ": fulfilled "
-            << sim.metrics().fulfilled << " / " << sim.metrics().injected
-            << ", OPT " << opt << ", ratio "
-            << (sim.metrics().fulfilled
-                    ? static_cast<double>(opt) /
-                          static_cast<double>(sim.metrics().fulfilled)
-                    : 0.0)
-            << '\n';
+            << sim.metrics().fulfilled << " / " << sim.metrics().injected;
+  bool single_round = true;
+  for (const Request& r : trace.requests()) {
+    single_round &= r.occupancy == 1;
+  }
+  if (single_round) {
+    const std::int64_t opt = offline_optimum(sim.trace());
+    std::cout << ", OPT " << opt << ", ratio "
+              << (sim.metrics().fulfilled
+                      ? static_cast<double>(opt) /
+                            static_cast<double>(sim.metrics().fulfilled)
+                      : 0.0);
+  } else {
+    // Multi-round occupancy runs are not bipartite rows; the exact offline
+    // optimum is only defined for the single-round model.
+    std::cout << ", OPT n/a (trace has occupancy runs)";
+  }
+  std::cout << '\n';
   if (timeline) {
     TimelineOptions options;
     options.to = std::min<Round>(trace.last_useful_round(),

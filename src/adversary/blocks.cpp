@@ -10,8 +10,7 @@ void append_block(std::vector<PlannedRequest>& script, Round arrival,
     for (std::int32_t j = 0; j < d; ++j) {
       PlannedRequest pr;
       pr.arrival = arrival;
-      pr.spec.first = ring[static_cast<std::size_t>(i)];
-      pr.spec.second = ring[static_cast<std::size_t>((i + 1) % a)];
+      pr.spec.alts = {ring[static_cast<std::size_t>(i)], ring[static_cast<std::size_t>((i + 1) % a)]};
       pr.intended = SlotRef{ring[static_cast<std::size_t>(i)], arrival + j};
       script.push_back(pr);
     }
@@ -25,8 +24,7 @@ void append_half_block(std::vector<PlannedRequest>& script, Round arrival,
   for (std::int32_t j = 0; j < d; ++j) {
     PlannedRequest pr;
     pr.arrival = arrival;
-    pr.spec.first = anchor;
-    pr.spec.second = target;
+    pr.spec.alts = {anchor, target};
     if (j < d - planned_fail_tail) {
       pr.intended = SlotRef{target, arrival + j};
     }
@@ -40,8 +38,7 @@ void append_group(std::vector<PlannedRequest>& script, Round arrival,
   for (std::int32_t j = 0; j < count; ++j) {
     PlannedRequest pr;
     pr.arrival = arrival;
-    pr.spec.first = first;
-    pr.spec.second = second;
+    pr.spec.alts = {first, second};
     if (intended_resource != kNoResource) {
       pr.intended = SlotRef{intended_resource, intended_from + j};
     }

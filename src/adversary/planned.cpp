@@ -27,25 +27,22 @@ PlannedInstance::PlannedInstance(std::string name, ProblemConfig config,
     REQSCHED_REQUIRE_MSG(
         pr.intended.round >= pr.arrival &&
             pr.intended.round <= pr.arrival + window - 1 &&
-            (pr.intended.resource == pr.spec.first ||
-             pr.intended.resource == pr.spec.second),
+            pr.spec.alts.contains(pr.intended.resource),
         "intended slot " << pr.intended << " violates the request's own"
                          << " constraints (arrival " << pr.arrival << ")");
   }
 }
 
-std::vector<RequestSpec> PlannedInstance::generate(Round t,
-                                                   const Simulator& sim) {
+void PlannedInstance::generate(Round t, const Simulator& sim,
+                               std::vector<RequestSpec>& out) {
   // Script index == RequestId: this instance must be the simulator's only
   // request source and is consumed in order.
   REQSCHED_CHECK_MSG(static_cast<std::size_t>(sim.trace().size()) == cursor_,
                      "planned instance must be the only workload");
-  std::vector<RequestSpec> out;
   while (cursor_ < script_.size() && script_[cursor_].arrival == t) {
     out.push_back(script_[cursor_].spec);
     ++cursor_;
   }
-  return out;
 }
 
 bool PlannedInstance::exhausted(Round t) const {

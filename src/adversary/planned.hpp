@@ -44,7 +44,8 @@ class PlannedInstance final : public IWorkload, public IProposalSource {
   // IWorkload
   std::string name() const override { return name_; }
   ProblemConfig config() const override { return config_; }
-  std::vector<RequestSpec> generate(Round t, const Simulator& sim) override;
+  void generate(Round t, const Simulator& sim,
+                std::vector<RequestSpec>& out) override;
   bool exhausted(Round t) const override;
   void reset() override { cursor_ = 0; }
 

@@ -1,40 +1,82 @@
 #include "adversary/random.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace reqsched {
 
 namespace {
-/// Binomial(trials, p) by direct simulation — trials is small (O(n)).
+/// Binomial(trials, p) by CDF inversion: one uniform draw and O(result)
+/// arithmetic via the pmf recurrence, instead of one Bernoulli draw per
+/// trial. Keeping the per-round RNG cost O(arrivals) is what lets
+/// bench_stream's untracked-throughput gate measure the engine rather than
+/// the generator.
 std::int32_t binomial(Prng& rng, std::int32_t trials, double p) {
-  std::int32_t hits = 0;
-  for (std::int32_t i = 0; i < trials; ++i) {
-    if (rng.next_bool(p)) ++hits;
+  if (trials <= 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return trials;
+  double u = rng.next_double();
+  const double odds = p / (1.0 - p);
+  double pmf = std::pow(1.0 - p, trials);
+  std::int32_t k = 0;
+  while (u > pmf && k < trials) {
+    u -= pmf;
+    pmf *= odds * static_cast<double>(trials - k) / static_cast<double>(k + 1);
+    ++k;
   }
-  return hits;
+  return k;
 }
 
-/// Two distinct uniform resources.
-RequestSpec uniform_pair(Prng& rng, std::int32_t n, bool two_choice) {
-  RequestSpec spec;
-  spec.first = static_cast<ResourceId>(rng.next_below(
-      static_cast<std::uint64_t>(n)));
-  if (two_choice) {
-    spec.second = static_cast<ResourceId>(rng.next_below(
-        static_cast<std::uint64_t>(n - 1)));
-    if (spec.second >= spec.first) ++spec.second;
+/// Draws `count` distinct uniform resources into `alts` by rejection
+/// (count <= kMaxAlternatives, so the containment check is a short scan).
+void draw_uniform_alts(Prng& rng, std::int32_t n, std::int32_t count,
+                       AltList& alts) {
+  while (alts.size() < count) {
+    const auto r = static_cast<ResourceId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    if (!alts.contains(r)) alts.push_back(r);
   }
-  return spec;
 }
 
-/// Applies the heterogeneous-deadline option to a freshly drawn spec.
-void roll_window(Prng& rng, const RandomWorkloadOptions& options,
-                 RequestSpec& spec) {
+/// Applies the heterogeneous-deadline and occupancy options to a freshly
+/// drawn spec (draw order: window, then occupancy — pinned so seeds replay).
+void roll_window_and_occupancy(Prng& rng, const RandomWorkloadOptions& options,
+                               RequestSpec& spec) {
   if (options.min_window > 0) {
     spec.window = static_cast<std::int32_t>(
         rng.next_in(options.min_window, options.d));
   }
+  if (options.max_occupancy > 1) {
+    const std::int32_t window = spec.window > 0 ? spec.window : options.d;
+    const auto occupancy = static_cast<std::int32_t>(
+        rng.next_in(1, options.max_occupancy));
+    spec.occupancy = std::min(occupancy, window);
+  }
+}
+
+void validate_options(const RandomWorkloadOptions& options) {
+  options.problem_config().validate();
+  REQSCHED_REQUIRE(options.load >= 0 && options.horizon >= 1);
+  const std::int32_t k = options.alternatives();
+  REQSCHED_REQUIRE_MSG(k >= 1 && k <= kMaxAlternatives,
+                       "alternatives per request outside [1, "
+                           << kMaxAlternatives << "]: " << k);
+  REQSCHED_REQUIRE_MSG(k <= options.n,
+                       k << " distinct alternatives need at least "
+                         << k << " resources");
+  REQSCHED_REQUIRE_MSG(options.max_occupancy >= 1 &&
+                           options.max_occupancy <= options.d,
+                       "max_occupancy must lie in [1, d]");
+}
+
+/// Shared name suffix for the generalized-model knobs (empty in the paper
+/// model, so historical labels are unchanged).
+std::string knob_suffix(const RandomWorkloadOptions& options) {
+  std::ostringstream os;
+  if (options.k >= 1) os << ",k=" << options.k;
+  if (options.b != 1) os << ",b=" << options.b;
+  if (options.max_occupancy != 1) os << ",occ<=" << options.max_occupancy;
+  return os.str();
 }
 }  // namespace
 
@@ -42,38 +84,37 @@ void roll_window(Prng& rng, const RandomWorkloadOptions& options,
 
 UniformWorkload::UniformWorkload(RandomWorkloadOptions options)
     : options_(options), rng_(options.seed) {
-  ProblemConfig{options_.n, options_.d}.validate();
-  REQSCHED_REQUIRE(options_.load >= 0 && options_.horizon >= 1);
-  REQSCHED_REQUIRE_MSG(options_.n >= 2 || !options_.two_choice,
-                       "two-choice needs at least two resources");
+  validate_options(options_);
+  REQSCHED_REQUIRE_MSG(options_.n >= 2 || options_.alternatives() == 1,
+                       "multi-choice needs at least two resources");
 }
 
 std::string UniformWorkload::name() const {
   std::ostringstream os;
   os << "uniform(n=" << options_.n << ",d=" << options_.d
-     << ",load=" << options_.load << ",seed=" << options_.seed << ")";
+     << ",load=" << options_.load << ",seed=" << options_.seed
+     << knob_suffix(options_) << ")";
   return os.str();
 }
 
 ProblemConfig UniformWorkload::config() const {
-  return ProblemConfig{options_.n, options_.d};
+  return options_.problem_config();
 }
 
-std::vector<RequestSpec> UniformWorkload::generate(Round t,
-                                                   const Simulator& sim) {
+void UniformWorkload::generate(Round t, const Simulator& sim,
+                               std::vector<RequestSpec>& out) {
   (void)sim;
-  std::vector<RequestSpec> out;
-  if (t >= options_.horizon) return out;
+  if (t >= options_.horizon) return;
   // 4n trials at p = load/4: mean load*n per round, headroom up to 4x
   // overload before the binomial saturates.
   const std::int32_t count = binomial(rng_, 4 * options_.n,
                                       options_.load / 4.0);
   for (std::int32_t i = 0; i < count; ++i) {
-    RequestSpec spec = uniform_pair(rng_, options_.n, options_.two_choice);
-    roll_window(rng_, options_, spec);
+    RequestSpec spec;
+    draw_uniform_alts(rng_, options_.n, options_.alternatives(), spec.alts);
+    roll_window_and_occupancy(rng_, options_, spec);
     out.push_back(spec);
   }
-  return out;
 }
 
 bool UniformWorkload::exhausted(Round t) const {
@@ -89,38 +130,36 @@ ZipfWorkload::ZipfWorkload(RandomWorkloadOptions options, double exponent)
       exponent_(exponent),
       sampler_(static_cast<std::size_t>(options.n), exponent),
       rng_(options.seed) {
-  ProblemConfig{options_.n, options_.d}.validate();
+  validate_options(options_);
   REQSCHED_REQUIRE(options_.n >= 2);
 }
 
 std::string ZipfWorkload::name() const {
   std::ostringstream os;
   os << "zipf(n=" << options_.n << ",d=" << options_.d << ",s=" << exponent_
-     << ",load=" << options_.load << ",seed=" << options_.seed << ")";
+     << ",load=" << options_.load << ",seed=" << options_.seed
+     << knob_suffix(options_) << ")";
   return os.str();
 }
 
-ProblemConfig ZipfWorkload::config() const {
-  return ProblemConfig{options_.n, options_.d};
-}
+ProblemConfig ZipfWorkload::config() const { return options_.problem_config(); }
 
-std::vector<RequestSpec> ZipfWorkload::generate(Round t,
-                                                const Simulator& sim) {
+void ZipfWorkload::generate(Round t, const Simulator& sim,
+                            std::vector<RequestSpec>& out) {
   (void)sim;
-  std::vector<RequestSpec> out;
-  if (t >= options_.horizon) return out;
+  if (t >= options_.horizon) return;
   const std::int32_t count = binomial(rng_, 4 * options_.n,
                                       options_.load / 4.0);
+  const std::int32_t k = options_.alternatives();
   for (std::int32_t i = 0; i < count; ++i) {
     RequestSpec spec;
-    spec.first = static_cast<ResourceId>(sampler_.sample(rng_));
-    do {
-      spec.second = static_cast<ResourceId>(sampler_.sample(rng_));
-    } while (spec.second == spec.first);
-    roll_window(rng_, options_, spec);
+    while (spec.alts.size() < k) {
+      const auto r = static_cast<ResourceId>(sampler_.sample(rng_));
+      if (!spec.alts.contains(r)) spec.alts.push_back(r);
+    }
+    roll_window_and_occupancy(rng_, options_, spec);
     out.push_back(spec);
   }
-  return out;
 }
 
 bool ZipfWorkload::exhausted(Round t) const { return t >= options_.horizon; }
@@ -136,7 +175,7 @@ BurstyWorkload::BurstyWorkload(RandomWorkloadOptions options,
       burst_probability_(burst_probability),
       burst_size_(burst_size),
       rng_(options.seed) {
-  ProblemConfig{options_.n, options_.d}.validate();
+  validate_options(options_);
   REQSCHED_REQUIRE(options_.n >= 2 && burst_size >= 1);
 }
 
@@ -144,34 +183,38 @@ std::string BurstyWorkload::name() const {
   std::ostringstream os;
   os << "bursty(n=" << options_.n << ",d=" << options_.d
      << ",p=" << burst_probability_ << ",B=" << burst_size_
-     << ",seed=" << options_.seed << ")";
+     << ",seed=" << options_.seed << knob_suffix(options_) << ")";
   return os.str();
 }
 
 ProblemConfig BurstyWorkload::config() const {
-  return ProblemConfig{options_.n, options_.d};
+  return options_.problem_config();
 }
 
-std::vector<RequestSpec> BurstyWorkload::generate(Round t,
-                                                  const Simulator& sim) {
+void BurstyWorkload::generate(Round t, const Simulator& sim,
+                              std::vector<RequestSpec>& out) {
   (void)sim;
-  std::vector<RequestSpec> out;
-  if (t >= options_.horizon) return out;
+  if (t >= options_.horizon) return;
+  const std::int32_t k = std::max(options_.alternatives(), 2);
   // Background trickle at a quarter of the configured load.
   const std::int32_t trickle = binomial(rng_, 2 * options_.n,
                                         options_.load / 8.0);
   for (std::int32_t i = 0; i < trickle; ++i) {
-    out.push_back(uniform_pair(rng_, options_.n, /*two_choice=*/true));
+    RequestSpec spec;
+    draw_uniform_alts(rng_, options_.n, k, spec.alts);
+    roll_window_and_occupancy(rng_, options_, spec);
+    out.push_back(spec);
   }
-  // Occasionally a hot title: burst_size requests all naming the same two
-  // replicas.
+  // Occasionally a hot title: burst_size requests all naming the same
+  // replica set.
   if (rng_.next_bool(burst_probability_)) {
-    const RequestSpec hot = uniform_pair(rng_, options_.n, true);
+    RequestSpec hot;
+    draw_uniform_alts(rng_, options_.n, k, hot.alts);
+    roll_window_and_occupancy(rng_, options_, hot);
     for (std::int32_t i = 0; i < burst_size_; ++i) {
       out.push_back(hot);
     }
   }
-  return out;
 }
 
 bool BurstyWorkload::exhausted(Round t) const { return t >= options_.horizon; }
@@ -187,7 +230,7 @@ BlockStormWorkload::BlockStormWorkload(RandomWorkloadOptions options,
       block_probability_(block_probability),
       max_block_width_(max_block_width),
       rng_(options.seed) {
-  ProblemConfig{options_.n, options_.d}.validate();
+  validate_options(options_);
   REQSCHED_REQUIRE(max_block_width >= 2 && max_block_width <= options_.n);
 }
 
@@ -195,39 +238,41 @@ std::string BlockStormWorkload::name() const {
   std::ostringstream os;
   os << "blockstorm(n=" << options_.n << ",d=" << options_.d
      << ",p=" << block_probability_ << ",a<=" << max_block_width_
-     << ",seed=" << options_.seed << ")";
+     << ",seed=" << options_.seed << knob_suffix(options_) << ")";
   return os.str();
 }
 
 ProblemConfig BlockStormWorkload::config() const {
-  return ProblemConfig{options_.n, options_.d};
+  return options_.problem_config();
 }
 
-std::vector<RequestSpec> BlockStormWorkload::generate(Round t,
-                                                      const Simulator& sim) {
+void BlockStormWorkload::generate(Round t, const Simulator& sim,
+                                  std::vector<RequestSpec>& out) {
   (void)sim;
-  std::vector<RequestSpec> out;
-  if (t >= options_.horizon) return out;
-  if (!rng_.next_bool(block_probability_)) return out;
+  if (t >= options_.horizon) return;
+  if (!rng_.next_bool(block_probability_)) return;
 
   // block(a, d) on a random subset of a resources.
   const std::int32_t a = static_cast<std::int32_t>(
       2 + rng_.next_below(static_cast<std::uint64_t>(max_block_width_ - 1)));
-  std::vector<ResourceId> ring(static_cast<std::size_t>(options_.n));
+  ring_.resize(static_cast<std::size_t>(options_.n));
   for (std::int32_t i = 0; i < options_.n; ++i) {
-    ring[static_cast<std::size_t>(i)] = i;
+    ring_[static_cast<std::size_t>(i)] = i;
   }
-  rng_.shuffle(ring);
-  ring.resize(static_cast<std::size_t>(a));
-  for (std::size_t i = 0; i < ring.size(); ++i) {
+  rng_.shuffle(ring_);
+  ring_.resize(static_cast<std::size_t>(a));
+  const std::int32_t k = std::min(std::max(options_.alternatives(), 2), a);
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
     for (std::int32_t j = 0; j < options_.d; ++j) {
       RequestSpec spec;
-      spec.first = ring[i];
-      spec.second = ring[(i + 1) % ring.size()];
+      for (std::int32_t step = 0; step < k; ++step) {
+        spec.alts.push_back(
+            ring_[(i + static_cast<std::size_t>(step)) % ring_.size()]);
+      }
+      roll_window_and_occupancy(rng_, options_, spec);
       out.push_back(spec);
     }
   }
-  return out;
 }
 
 bool BlockStormWorkload::exhausted(Round t) const {

@@ -5,6 +5,12 @@
 // span that spectrum: i.i.d. uniform two-choice traffic, Zipf hot spots,
 // bursty correlated demand, and random dense blocks. They drive the
 // upper-bound property tests and the stochastic comparison bench (F-C).
+//
+// All generators carry the generalized-model knobs: `k` alternatives per
+// request (Park's (k,d)-choice), a uniform per-(resource, round) capacity
+// `b` (Albers–Schubert b-matching), and `max_occupancy` for reusable-slot
+// requests (Baek–Wang). Defaults reproduce the paper's two-choice,
+// unit-capacity, unit-occupancy model.
 #pragma once
 
 #include <string>
@@ -28,9 +34,30 @@ struct RandomWorkloadOptions {
   /// uniformly from [min_window, d] (the paper notes the EDF observations
   /// extend to different deadlines). 0 = every request gets the full d.
   std::int32_t min_window = 0;
+  /// Alternatives per request: 0 = paper default (two_choice ? 2 : 1);
+  /// k >= 1 draws k distinct resources per request.
+  std::int32_t k = 0;
+  /// Uniform per-(resource, round) capacity of the generated instance.
+  std::int32_t b = 1;
+  /// When > 1, each request's occupancy is drawn uniformly from
+  /// [1, max_occupancy], clamped to its window.
+  std::int32_t max_occupancy = 1;
+
+  /// Resolved alternatives-per-request.
+  std::int32_t alternatives() const {
+    return k >= 1 ? k : (two_choice ? 2 : 1);
+  }
+
+  ProblemConfig problem_config() const {
+    ProblemConfig config;
+    config.n = n;
+    config.d = d;
+    config.b = b;
+    return config;
+  }
 };
 
-/// Each round injects Binomial(2n, load/2) requests choosing their
+/// Each round injects Binomial(4n, load/4) requests choosing their
 /// alternatives uniformly (distinct).
 class UniformWorkload final : public IWorkload {
  public:
@@ -38,7 +65,8 @@ class UniformWorkload final : public IWorkload {
 
   std::string name() const override;
   ProblemConfig config() const override;
-  std::vector<RequestSpec> generate(Round t, const Simulator& sim) override;
+  void generate(Round t, const Simulator& sim,
+                std::vector<RequestSpec>& out) override;
   bool exhausted(Round t) const override;
   void reset() override;
 
@@ -55,7 +83,8 @@ class ZipfWorkload final : public IWorkload {
 
   std::string name() const override;
   ProblemConfig config() const override;
-  std::vector<RequestSpec> generate(Round t, const Simulator& sim) override;
+  void generate(Round t, const Simulator& sim,
+                std::vector<RequestSpec>& out) override;
   bool exhausted(Round t) const override;
   void reset() override;
 
@@ -68,7 +97,7 @@ class ZipfWorkload final : public IWorkload {
 
 /// Video-on-demand style: a light background trickle with occasional
 /// correlated bursts — `burst_size` requests all naming alternatives from a
-/// two-resource hot set (a newly released title's two replicas).
+/// hot replica set (a newly released title's replicas).
 class BurstyWorkload final : public IWorkload {
  public:
   BurstyWorkload(RandomWorkloadOptions options, double burst_probability,
@@ -76,7 +105,8 @@ class BurstyWorkload final : public IWorkload {
 
   std::string name() const override;
   ProblemConfig config() const override;
-  std::vector<RequestSpec> generate(Round t, const Simulator& sim) override;
+  void generate(Round t, const Simulator& sim,
+                std::vector<RequestSpec>& out) override;
   bool exhausted(Round t) const override;
   void reset() override;
 
@@ -88,7 +118,8 @@ class BurstyWorkload final : public IWorkload {
 };
 
 /// Random dense block(a, d) structures at random resource subsets — the
-/// adversary's favourite brick, thrown stochastically.
+/// adversary's favourite brick, thrown stochastically. With k > 2 each
+/// request names k consecutive members of the block's resource ring.
 class BlockStormWorkload final : public IWorkload {
  public:
   BlockStormWorkload(RandomWorkloadOptions options, double block_probability,
@@ -96,7 +127,8 @@ class BlockStormWorkload final : public IWorkload {
 
   std::string name() const override;
   ProblemConfig config() const override;
-  std::vector<RequestSpec> generate(Round t, const Simulator& sim) override;
+  void generate(Round t, const Simulator& sim,
+                std::vector<RequestSpec>& out) override;
   bool exhausted(Round t) const override;
   void reset() override;
 
@@ -105,6 +137,7 @@ class BlockStormWorkload final : public IWorkload {
   double block_probability_;
   std::int32_t max_block_width_;
   Prng rng_;
+  std::vector<ResourceId> ring_;  ///< per-round scratch, reused
 };
 
 }  // namespace reqsched

@@ -86,8 +86,7 @@ TheoremInstance make_lb_current(std::int32_t ell, std::int32_t phases,
       for (std::int32_t j = 0; j < d; ++j) {
         PlannedRequest pr;
         pr.arrival = start;
-        pr.spec.first = static_cast<ResourceId>(j % spread);
-        pr.spec.second = second;
+        pr.spec.alts = {static_cast<ResourceId>(j % spread), second};
         script.push_back(pr);
       }
     }

@@ -32,15 +32,13 @@ bool UniversalAdversary::exhausted(Round t) const {
   return done_;
 }
 
-std::vector<RequestSpec> UniversalAdversary::generate(Round t,
-                                                      const Simulator& sim) {
-  std::vector<RequestSpec> out;
+void UniversalAdversary::generate(Round t, const Simulator& sim,
+                                  std::vector<RequestSpec>& out) {
   const auto ring_block = [&](const std::vector<ResourceId>& ring) {
     for (std::size_t i = 0; i < ring.size(); ++i) {
       for (std::int32_t j = 0; j < d_; ++j) {
         RequestSpec spec;
-        spec.first = ring[i];
-        spec.second = ring[(i + 1) % ring.size()];
+        spec.alts = {ring[i], ring[(i + 1) % ring.size()]};
         out.push_back(spec);
       }
     }
@@ -55,7 +53,7 @@ std::vector<RequestSpec> UniversalAdversary::generate(Round t,
       }
     }
     ring_block(ring);
-    return out;
+    return;
   }
 
   const Round interval_start = static_cast<Round>(current_interval_) * d_;
@@ -79,12 +77,11 @@ std::vector<RequestSpec> UniversalAdversary::generate(Round t,
       next_id += count;
       for (std::int32_t j = 0; j < count; ++j) {
         RequestSpec spec;
-        spec.first = duo_res[static_cast<std::size_t>(j % 4)];
-        spec.second = target[static_cast<std::size_t>(j % 2)];
+        spec.alts = {duo_res[static_cast<std::size_t>(j % 4)], target[static_cast<std::size_t>(j % 2)]};
         out.push_back(spec);
       }
     }
-    return out;
+    return;
   }
 
   if (t == interval_start + d_ && current_interval_ < intervals_) {
@@ -133,10 +130,7 @@ std::vector<RequestSpec> UniversalAdversary::generate(Round t,
 
     ++current_interval_;
     if (current_interval_ >= intervals_) done_ = true;
-    return out;
   }
-
-  return out;
 }
 
 }  // namespace reqsched

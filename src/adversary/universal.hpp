@@ -32,7 +32,8 @@ class UniversalAdversary final : public IWorkload {
 
   std::string name() const override;
   ProblemConfig config() const override { return ProblemConfig{10, d_}; }
-  std::vector<RequestSpec> generate(Round t, const Simulator& sim) override;
+  void generate(Round t, const Simulator& sim,
+                std::vector<RequestSpec>& out) override;
   bool exhausted(Round t) const override;
   void reset() override;
 

@@ -13,11 +13,23 @@ PathStats analyze_augmenting_paths(
 
   const std::int64_t request_count = slots.request_count();
 
-  // Slot-indexed views of both matchings, in reusable scratch buffers.
+  // Unit-indexed views of both matchings, in reusable scratch buffers. The
+  // online matching names slots, not units; units of one slot are
+  // interchangeable, so parking each online request on its slot's first
+  // free unit preserves the alternating-path structure (and is the
+  // historical layout verbatim when capacities are unit).
   scratch.online_slot.assign(static_cast<std::size_t>(request_count), -1);
   scratch.slot_owner.assign(static_cast<std::size_t>(slots.slot_count()), -1);
   for (const auto& [id, slot] : online) {
-    const std::int32_t s = slots.slot_index(slot);
+    const std::int32_t base = slots.slot_index(slot);
+    std::int32_t s = -1;
+    for (std::int32_t u = 0; u < slots.unit_stride(); ++u) {
+      if (scratch.slot_owner[static_cast<std::size_t>(base + u)] < 0) {
+        s = base + u;
+        break;
+      }
+    }
+    REQSCHED_CHECK_MSG(s >= 0, "online matching overfills slot " << slot);
     scratch.online_slot[static_cast<std::size_t>(id)] = s;
     scratch.slot_owner[static_cast<std::size_t>(s)] = id;
   }

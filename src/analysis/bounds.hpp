@@ -75,4 +75,41 @@ inline Fraction lb_balance(std::int32_t d) {
 /// Theorem 2.6: every deterministic online algorithm.
 inline Fraction lb_universal() { return Fraction(45, 41); }
 
+// ---------------- generalized-model references (ROADMAP item 2) ----------
+
+/// Reference ratio for greedy online b-matching with uniform server
+/// capacity b: 1 / (1 - (b/(b+1))^b), the classic Kalyanasundaram–Pruhs
+/// bound whose bounded-degree refinements Albers–Schubert prove tight.
+/// b = 1 recovers the paper's 2; the curve decreases toward e/(e-1) as
+/// capacities grow — the yardstick EXPERIMENTS compares capacitated
+/// greedy runs against.
+inline double capacitated_greedy_ratio(std::int32_t b) {
+  REQSCHED_REQUIRE(b >= 1);
+  const double keep =
+      std::pow(static_cast<double>(b) / (static_cast<double>(b) + 1.0), b);
+  return 1.0 / (1.0 - keep);
+}
+
+/// Limit of capacitated_greedy_ratio as b -> infinity.
+inline double capacitated_greedy_limit() {
+  return std::exp(1.0) / (std::exp(1.0) - 1.0);
+}
+
+/// Park's (k, d)-choice balls-into-bins gap: placing batches of k balls
+/// into the k least-loaded of d sampled bins keeps the maximum load within
+/// ln ln n / ln(d/k) + O(1) of the average. k = 1 recovers the classic
+/// d-choice double-logarithmic gap. In our model, d is the request's
+/// alternative count; the prediction is the backlog imbalance a k-choice
+/// greedy should exhibit on uniform random traffic.
+inline double park_kd_gap(std::int64_t n, std::int32_t k, std::int32_t d) {
+  REQSCHED_REQUIRE(n >= 2 && k >= 1 && d > k);
+  return std::log(std::log(static_cast<double>(n))) /
+         std::log(static_cast<double>(d) / static_cast<double>(k));
+}
+
+/// The k = 1 specialization: the d-choice max-load gap ln ln n / ln d.
+inline double choice_load_gap(std::int64_t n, std::int32_t choices) {
+  return park_kd_gap(n, 1, choices);
+}
+
 }  // namespace reqsched

@@ -41,9 +41,8 @@ OverloadStats analyze_overload(
       if (executed_at[static_cast<std::size_t>(id)].valid()) continue;
       any_failed = true;
       ++stats.failed_requests;
-      in_set[static_cast<std::size_t>(r.first)] = 1;
-      if (r.second != kNoResource) {
-        in_set[static_cast<std::size_t>(r.second)] = 1;
+      for (const ResourceId alt : r.alts) {
+        in_set[static_cast<std::size_t>(alt)] = 1;
       }
     }
     if (!any_failed) continue;
@@ -58,8 +57,8 @@ OverloadStats analyze_overload(
         if (!slot.valid() || !in_set[static_cast<std::size_t>(slot.resource)]) {
           continue;
         }
-        for (const ResourceId alt : {r.first, r.second}) {
-          if (alt != kNoResource && !in_set[static_cast<std::size_t>(alt)]) {
+        for (const ResourceId alt : r.alts) {
+          if (!in_set[static_cast<std::size_t>(alt)]) {
             in_set[static_cast<std::size_t>(alt)] = 1;
             grew = true;
           }

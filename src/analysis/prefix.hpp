@@ -33,6 +33,12 @@ class PrefixOptimumProbe final : public IStrategy {
   bool wants_admission_fast_path() const override {
     return inner_->wants_admission_fast_path();
   }
+  bool admission_probe_current_round_only() const override {
+    return inner_->admission_probe_current_round_only();
+  }
+  bool admission_needs_empty_backlog() const override {
+    return inner_->admission_needs_empty_backlog();
+  }
 
   const std::vector<RoundSample>& samples() const { return samples_; }
   std::vector<RoundSample> take_samples() { return std::move(samples_); }

@@ -12,21 +12,35 @@
 namespace reqsched {
 
 const std::vector<StrategyInfo>& strategy_registry() {
+  // Capability columns: k_choice / capacitated / occupancy. The five
+  // StrategyRuntime globals run on the delta window's capacity-unit
+  // representation, so they cover the whole generalized model. The local
+  // strategies' message protocol and the EDF baselines' copy queues are
+  // defined for exactly the paper's request shape; the randomized variants
+  // iterate alternative lists but rebuild slot-level (one right per slot)
+  // problems, so they are k-choice only.
   static const std::vector<StrategyInfo> registry = {
       {"A_fix", StrategyClass::kGlobal, /*incremental=*/true,
-       /*needs_history=*/false, /*randomized=*/false},
-      {"A_current", StrategyClass::kGlobal, true, false, false},
-      {"A_fix_balance", StrategyClass::kGlobal, true, false, false},
-      {"A_eager", StrategyClass::kGlobal, true, false, false},
-      {"A_balance", StrategyClass::kGlobal, true, false, false},
+       /*needs_history=*/false, /*randomized=*/false,
+       /*k_choice=*/true, /*capacitated=*/true, /*occupancy=*/true},
+      {"A_current", StrategyClass::kGlobal, true, false, false, true, true,
+       true},
+      {"A_fix_balance", StrategyClass::kGlobal, true, false, false, true, true,
+       true},
+      {"A_eager", StrategyClass::kGlobal, true, false, false, true, true,
+       true},
+      {"A_balance", StrategyClass::kGlobal, true, false, false, true, true,
+       true},
       {"A_local_fix", StrategyClass::kLocal, true, false, false},
       {"A_local_eager", StrategyClass::kLocal, true, false, false},
       {"EDF_two_choice", StrategyClass::kBaseline, false, false, false},
       {"EDF_two_choice_cancel", StrategyClass::kBaseline, false, false, false},
       {"EDF_single", StrategyClass::kBaseline, false, false, false},
       {"A_local_eager_merged", StrategyClass::kLocal, true, false, false},
-      {"A_current_randomized", StrategyClass::kGlobal, false, false, true},
-      {"A_fix_randomized", StrategyClass::kGlobal, false, false, true},
+      {"A_current_randomized", StrategyClass::kGlobal, false, false, true,
+       true, false, false},
+      {"A_fix_randomized", StrategyClass::kGlobal, false, false, true, true,
+       false, false},
   };
   return registry;
 }
@@ -53,6 +67,18 @@ std::vector<std::string> local_strategy_names() {
 std::vector<std::string> all_strategy_names() {
   std::vector<std::string> names;
   for (const StrategyInfo& info : strategy_registry()) {
+    names.push_back(info.name);
+  }
+  return names;
+}
+
+std::vector<std::string> strategies_supporting(bool k_choice, bool capacitated,
+                                               bool occupancy) {
+  std::vector<std::string> names;
+  for (const StrategyInfo& info : strategy_registry()) {
+    if (k_choice && !info.k_choice) continue;
+    if (capacitated && !info.capacitated) continue;
+    if (occupancy && !info.occupancy) continue;
     names.push_back(info.name);
   }
   return names;

@@ -34,6 +34,14 @@ struct StrategyInfo {
   bool incremental = false;
   bool needs_history = false;
   bool randomized = false;
+  // Generalized-model capabilities (ROADMAP item 2). A flag is set only when
+  // the strategy handles the axis in full: arbitrary alternative counts
+  // 1..kMaxAlternatives (k_choice), per-resource capacities b_r > 1
+  // exploited unit by unit (capacitated), and multi-round occupancy runs
+  // (occupancy). The paper model (k = 2, b = 1, occ = 1) needs none of them.
+  bool k_choice = false;
+  bool capacitated = false;
+  bool occupancy = false;
 };
 
 /// The full registry, in the library's canonical listing order.
@@ -54,6 +62,12 @@ std::vector<std::string> local_strategy_names();
 
 /// Everything, including the EDF baselines.
 std::vector<std::string> all_strategy_names();
+
+/// Names of strategies whose capability flags cover the requested model
+/// axes: every requested axis must be supported (axes not requested are
+/// unconstrained). strategies_supporting(false, false, false) lists all.
+std::vector<std::string> strategies_supporting(bool k_choice, bool capacitated,
+                                               bool occupancy);
 
 /// Creates a strategy by its registered name; `seed` feeds the randomized
 /// strategies (default 1 matches their default constructors) and is ignored

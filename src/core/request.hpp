@@ -1,56 +1,174 @@
 // Request representation.
+//
+// The paper's core model fixes every request to exactly two alternative
+// resources and a one-round execution. The generalized representation keeps
+// that case free of any indirection — a small inline alternative list (no
+// heap, k <= kMaxAlternatives) plus an occupancy duration — so the k-choice
+// (Park's (k,d)-choice), vertex-capacitated (Albers–Schubert b-matching),
+// and reusable-resource (Baek–Wang) settings share one request type with
+// the two-choice paper model.
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <initializer_list>
 #include <ostream>
+#include <span>
 
 #include "core/types.hpp"
 
 namespace reqsched {
 
+/// Upper bound on alternatives per request (inline storage; the paper's
+/// model uses 2, Park's (k,d)-choice any k <= this).
+inline constexpr std::int32_t kMaxAlternatives = 8;
+
+/// Inline, ordered list of alternative resources. Order is semantic: probes
+/// and matchers enumerate alternatives in list order (the paper's
+/// {first, second} tie-break generalizes to "earliest listed wins").
+class AltList {
+ public:
+  AltList() = default;
+
+  /// Two-choice convenience: `second == kNoResource` makes a 1-element list
+  /// (the EDF single-alternative workloads).
+  AltList(ResourceId first, ResourceId second = kNoResource) {
+    if (first != kNoResource) push_back(first);
+    if (second != kNoResource) push_back(second);
+  }
+
+  AltList(std::initializer_list<ResourceId> resources) {
+    for (ResourceId r : resources) push_back(r);
+  }
+
+  std::int32_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  ResourceId operator[](std::int32_t i) const {
+    REQSCHED_REQUIRE(i >= 0 && i < count_);
+    return alt_[static_cast<std::size_t>(i)];
+  }
+
+  /// Like operator[] but returns kNoResource past the end — the two-choice
+  /// call sites read `at(1)` on single-alternative requests.
+  ResourceId at(std::int32_t i) const {
+    return i >= 0 && i < count_ ? alt_[static_cast<std::size_t>(i)]
+                                : kNoResource;
+  }
+
+  void push_back(ResourceId r) {
+    REQSCHED_REQUIRE_MSG(count_ < kMaxAlternatives,
+                         "more than " << kMaxAlternatives
+                                      << " alternatives on one request");
+    alt_[static_cast<std::size_t>(count_++)] = r;
+  }
+
+  bool contains(ResourceId r) const {
+    for (std::int32_t i = 0; i < count_; ++i) {
+      if (alt_[static_cast<std::size_t>(i)] == r) return true;
+    }
+    return false;
+  }
+
+  const ResourceId* begin() const { return alt_.data(); }
+  const ResourceId* end() const { return alt_.data() + count_; }
+  std::span<const ResourceId> span() const { return {begin(), end()}; }
+
+  friend bool operator==(const AltList& a, const AltList& b) {
+    if (a.count_ != b.count_) return false;
+    for (std::int32_t i = 0; i < a.count_; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<ResourceId, kMaxAlternatives> alt_{};
+  std::int32_t count_ = 0;
+};
+
 /// Workload-side description of a request, before the simulator assigns an
 /// id and arrival round.
 struct RequestSpec {
-  ResourceId first = kNoResource;   ///< first alternative resource
-  ResourceId second = kNoResource;  ///< second alternative (kNoResource for
-                                    ///< single-alternative EDF workloads)
+  /// Alternative resources, in tie-break order (k >= 1).
+  AltList alts;
   /// Deadline window override in rounds; <= 0 means "use the instance d".
   /// The paper's core model uses a uniform d, but Observations 3.1/3.2 note
   /// the EDF results extend to heterogeneous deadlines, so we carry it.
   std::int32_t window = 0;
+  /// Rounds of resource time one execution consumes (reusable-resource
+  /// occupancy); the paper's model is 1.
+  std::int32_t occupancy = 1;
+
+  RequestSpec() = default;
+
+  /// Two-choice construction, source-compatible with the historical
+  /// {first, second, window} aggregate form.
+  RequestSpec(ResourceId first_alt, ResourceId second_alt,
+              std::int32_t window_rounds = 0, std::int32_t occ = 1)
+      : alts(first_alt, second_alt), window(window_rounds), occupancy(occ) {}
+
+  explicit RequestSpec(AltList alternatives, std::int32_t window_rounds = 0,
+                       std::int32_t occ = 1)
+      : alts(alternatives), window(window_rounds), occupancy(occ) {}
+
+  ResourceId first() const { return alts.at(0); }
+  ResourceId second() const { return alts.at(1); }
 };
 
 /// A realized request in the trace.
 struct Request {
   RequestId id = kNoRequest;
   Round arrival = kNoRound;
-  /// Last round (inclusive) in which the request may be executed:
-  /// arrival + window - 1.
+  /// Last round (inclusive) in which the request may still be *running*:
+  /// arrival + window - 1. With occupancy o, an execution may start no
+  /// later than deadline - (o - 1).
   Round deadline = kNoRound;
-  ResourceId first = kNoResource;
-  ResourceId second = kNoResource;  ///< kNoResource for single-alternative
+  /// Rounds of resource time the execution consumes (>= 1).
+  std::int32_t occupancy = 1;
+  /// Alternative resources in tie-break order.
+  AltList alts;
 
-  int alternative_count() const { return second == kNoResource ? 1 : 2; }
+  Request() = default;
+  Request(RequestId request_id, Round arrives, Round due,
+          AltList alternatives, std::int32_t occ = 1)
+      : id(request_id),
+        arrival(arrives),
+        deadline(due),
+        occupancy(occ),
+        alts(alternatives) {}
 
-  bool allows_resource(ResourceId r) const {
-    return r == first || (second != kNoResource && r == second);
-  }
+  ResourceId first() const { return alts.at(0); }
+  ResourceId second() const { return alts.at(1); }
+
+  std::int32_t alternative_count() const { return alts.size(); }
+
+  bool allows_resource(ResourceId r) const { return alts.contains(r); }
 
   /// The other alternative, given one of them (requires two alternatives).
   ResourceId other_alternative(ResourceId r) const {
     REQSCHED_REQUIRE(alternative_count() == 2 && allows_resource(r));
-    return r == first ? second : first;
+    return r == alts.at(0) ? alts.at(1) : alts.at(0);
   }
 
+  /// Latest round an execution may start and still finish by the deadline.
+  Round latest_start() const { return deadline - (occupancy - 1); }
+
+  /// May an execution *start* in `slot`? (With occupancy 1 this is exactly
+  /// the historical containment check.)
   bool allows_slot(const SlotRef& slot) const {
     return allows_resource(slot.resource) && slot.round >= arrival &&
-           slot.round <= deadline;
+           slot.round <= latest_start();
   }
 
   friend std::ostream& operator<<(std::ostream& os, const Request& r) {
-    os << "r" << r.id << "(t=" << r.arrival << ",dl=" << r.deadline << ",S"
-       << r.first;
-    if (r.second != kNoResource) os << "|S" << r.second;
+    os << "r" << r.id << "(t=" << r.arrival << ",dl=" << r.deadline;
+    if (r.occupancy != 1) os << ",occ=" << r.occupancy;
+    const char* sep = ",S";
+    for (ResourceId alt : r.alts) {
+      os << sep << alt;
+      sep = "|S";
+    }
     return os << ')';
   }
 };

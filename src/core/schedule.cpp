@@ -1,13 +1,16 @@
 #include "core/schedule.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace reqsched {
 
-Schedule::Schedule(ProblemConfig config) : config_(config) {
+Schedule::Schedule(ProblemConfig config) : config_(std::move(config)) {
   config_.validate();
+  b_max_ = config_.max_capacity();
   grid_.assign(static_cast<std::size_t>(config_.n) *
-                   static_cast<std::size_t>(config_.d),
+                   static_cast<std::size_t>(config_.d) *
+                   static_cast<std::size_t>(b_max_),
                kNoRequest);
 }
 
@@ -18,12 +21,69 @@ RequestId Schedule::request_at(SlotRef slot) const {
                        "slot outside window [" << window_begin_ << ','
                                                << window_end() << "): "
                                                << slot);
-  return grid_[grid_index(slot)];
+  const std::size_t base = slot_base(slot);
+  const std::int32_t cap = config_.capacity_of(slot.resource);
+  for (std::int32_t u = 0; u < cap; ++u) {
+    const RequestId occupant = grid_[base + static_cast<std::size_t>(u)];
+    if (occupant != kNoRequest && occupant != kHeldUnit) return occupant;
+  }
+  return kNoRequest;
+}
+
+RequestId Schedule::occupant_unit(SlotRef slot, std::int32_t unit) const {
+  REQSCHED_REQUIRE_MSG(slot.resource >= 0 && slot.resource < config_.n,
+                       "resource out of range: " << slot);
+  REQSCHED_REQUIRE(in_window(slot.round));
+  REQSCHED_REQUIRE(unit >= 0 && unit < config_.capacity_of(slot.resource));
+  return grid_[slot_base(slot) + static_cast<std::size_t>(unit)];
+}
+
+std::int32_t Schedule::free_units(SlotRef slot) const {
+  REQSCHED_REQUIRE_MSG(slot.resource >= 0 && slot.resource < config_.n,
+                       "resource out of range: " << slot);
+  REQSCHED_REQUIRE_MSG(in_window(slot.round),
+                       "slot outside window [" << window_begin_ << ','
+                                               << window_end() << "): "
+                                               << slot);
+  const std::size_t base = slot_base(slot);
+  const std::int32_t cap = config_.capacity_of(slot.resource);
+  std::int32_t free = 0;
+  for (std::int32_t u = 0; u < cap; ++u) {
+    if (grid_[base + static_cast<std::size_t>(u)] == kNoRequest) ++free;
+  }
+  return free;
 }
 
 SlotRef Schedule::slot_of(RequestId id) const {
   const auto it = slot_of_.find(id);
-  return it == slot_of_.end() ? kNoSlot : it->second;
+  return it == slot_of_.end() ? kNoSlot : it->second.slot;
+}
+
+std::int32_t Schedule::take_unit(SlotRef slot, RequestId id) {
+  const std::size_t base = slot_base(slot);
+  const std::int32_t cap = config_.capacity_of(slot.resource);
+  for (std::int32_t u = 0; u < cap; ++u) {
+    RequestId& cell = grid_[base + static_cast<std::size_t>(u)];
+    if (cell == kNoRequest) {
+      cell = id;
+      return u;
+    }
+  }
+  REQSCHED_REQUIRE_MSG(false, "no free unit in " << slot);
+  return -1;
+}
+
+void Schedule::release_unit(SlotRef slot, RequestId id) {
+  const std::size_t base = slot_base(slot);
+  const std::int32_t cap = config_.capacity_of(slot.resource);
+  for (std::int32_t u = 0; u < cap; ++u) {
+    RequestId& cell = grid_[base + static_cast<std::size_t>(u)];
+    if (cell == id) {
+      cell = kNoRequest;
+      return;
+    }
+  }
+  REQSCHED_REQUIRE_MSG(false, "r" << id << " occupies no unit of " << slot);
 }
 
 void Schedule::assign(const Request& request, SlotRef slot) {
@@ -31,19 +91,59 @@ void Schedule::assign(const Request& request, SlotRef slot) {
                        "assign outside window: " << slot);
   REQSCHED_REQUIRE_MSG(request.allows_slot(slot),
                        request << " does not allow " << slot);
-  REQSCHED_REQUIRE_MSG(is_free(slot), "slot already booked: " << slot);
   REQSCHED_REQUIRE_MSG(!is_scheduled(request.id),
                        request << " is already booked at "
                                << slot_of(request.id));
-  grid_[grid_index(slot)] = request.id;
-  slot_of_.emplace(request.id, slot);
+  const Round last = slot.round + request.occupancy - 1;
+  REQSCHED_REQUIRE_MSG(in_window(last),
+                       request << " occupancy run leaves the window at "
+                               << slot);
+  for (Round t = slot.round; t <= last; ++t) {
+    const SlotRef step{slot.resource, t};
+    REQSCHED_REQUIRE_MSG(is_free(step), "no free unit at " << step);
+  }
+  for (Round t = slot.round; t <= last; ++t) {
+    take_unit({slot.resource, t}, request.id);
+  }
+  slot_of_.emplace(request.id, Booking{slot, request.occupancy});
 }
 
 void Schedule::unassign(RequestId id) {
   const auto it = slot_of_.find(id);
   REQSCHED_REQUIRE_MSG(it != slot_of_.end(), "request r" << id
                                                          << " is not booked");
-  grid_[grid_index(it->second)] = kNoRequest;
+  const Booking booking = it->second;
+  for (Round t = booking.slot.round;
+       t <= booking.slot.round + booking.occupancy - 1; ++t) {
+    release_unit({booking.slot.resource, t}, id);
+  }
+  slot_of_.erase(it);
+}
+
+void Schedule::fulfill_release(RequestId id) {
+  const auto it = slot_of_.find(id);
+  REQSCHED_REQUIRE_MSG(it != slot_of_.end(), "request r" << id
+                                                         << " is not booked");
+  const Booking booking = it->second;
+  release_unit(booking.slot, id);
+  for (Round t = booking.slot.round + 1;
+       t <= booking.slot.round + booking.occupancy - 1; ++t) {
+    // The execution is running: the unit stays busy but no longer belongs
+    // to a live request.
+    const SlotRef slot{booking.slot.resource, t};
+    const std::size_t base = slot_base(slot);
+    const std::int32_t cap = config_.capacity_of(slot.resource);
+    bool converted = false;
+    for (std::int32_t u = 0; u < cap && !converted; ++u) {
+      RequestId& cell = grid_[base + static_cast<std::size_t>(u)];
+      if (cell == id) {
+        cell = kHeldUnit;
+        converted = true;
+      }
+    }
+    REQSCHED_REQUIRE_MSG(converted,
+                         "r" << id << " occupies no unit of " << slot);
+  }
   slot_of_.erase(it);
 }
 
@@ -51,7 +151,25 @@ std::int32_t Schedule::booked_in_round(Round round) const {
   REQSCHED_REQUIRE(in_window(round));
   std::int32_t count = 0;
   for (ResourceId i = 0; i < config_.n; ++i) {
-    if (grid_[grid_index({i, round})] != kNoRequest) ++count;
+    const std::size_t base = slot_base({i, round});
+    const std::int32_t cap = config_.capacity_of(i);
+    for (std::int32_t u = 0; u < cap; ++u) {
+      const RequestId cell = grid_[base + static_cast<std::size_t>(u)];
+      if (cell != kNoRequest && cell != kHeldUnit) ++count;
+    }
+  }
+  return count;
+}
+
+std::int32_t Schedule::held_in_round(Round round) const {
+  REQSCHED_REQUIRE(in_window(round));
+  std::int32_t count = 0;
+  for (ResourceId i = 0; i < config_.n; ++i) {
+    const std::size_t base = slot_base({i, round});
+    const std::int32_t cap = config_.capacity_of(i);
+    for (std::int32_t u = 0; u < cap; ++u) {
+      if (grid_[base + static_cast<std::size_t>(u)] == kHeldUnit) ++count;
+    }
   }
   return count;
 }
@@ -60,7 +178,7 @@ std::vector<SlotRef> Schedule::free_slots_of(ResourceId resource) const {
   std::vector<SlotRef> out;
   for (Round t = window_begin_; t < window_end(); ++t) {
     const SlotRef slot{resource, t};
-    if (grid_[grid_index(slot)] == kNoRequest) out.push_back(slot);
+    if (is_free(slot)) out.push_back(slot);
   }
   return out;
 }
@@ -71,7 +189,7 @@ SlotRef Schedule::earliest_free_slot(ResourceId resource, Round from,
   const Round hi = std::min(to, window_end() - 1);
   for (Round t = lo; t <= hi; ++t) {
     const SlotRef slot{resource, t};
-    if (grid_[grid_index(slot)] == kNoRequest) return slot;
+    if (is_free(slot)) return slot;
   }
   return kNoSlot;
 }
@@ -79,14 +197,21 @@ SlotRef Schedule::earliest_free_slot(ResourceId resource, Round from,
 std::vector<RequestId> Schedule::advance() {
   std::vector<RequestId> leftover;
   for (ResourceId i = 0; i < config_.n; ++i) {
-    const SlotRef slot{i, window_begin_};
-    RequestId& cell = grid_[grid_index(slot)];
-    if (cell != kNoRequest) {
-      leftover.push_back(cell);
-      slot_of_.erase(cell);
-      cell = kNoRequest;
+    const std::size_t base = slot_base({i, window_begin_});
+    const std::int32_t cap = config_.capacity_of(i);
+    for (std::int32_t u = 0; u < cap; ++u) {
+      const RequestId cell = grid_[base + static_cast<std::size_t>(u)];
+      if (cell == kHeldUnit) {
+        // The occupancy run ends with this round.
+        grid_[base + static_cast<std::size_t>(u)] = kNoRequest;
+      } else if (cell != kNoRequest) {
+        leftover.push_back(cell);
+      }
     }
   }
+  // Unbook after the scan: an occupancy run starting in the departing row
+  // owns units in later rounds too, and unassign clears all of them.
+  for (RequestId id : leftover) unassign(id);
   ++window_begin_;
   return leftover;
 }

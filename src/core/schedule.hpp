@@ -4,6 +4,14 @@
 // request r to slot (i, t') books resource i for round t'; when the simulator
 // executes round t it reads row t, fulfills the booked requests, and slides
 // the window forward.
+//
+// Capacitated generalization: a slot (i, t') holds capacity_of(i) execution
+// units, so up to b_i requests can be booked into the same slot. A request
+// with occupancy o > 1 books one unit of its resource in each of o
+// consecutive rounds starting at its slot; once executed, the remaining
+// rounds' units turn into anonymous holds (kHeldUnit) that keep the capacity
+// busy until the occupancy run ends. With b == 1 and occupancy == 1 all of
+// this degenerates to the historical one-cell-per-slot behaviour.
 #pragma once
 
 #include <unordered_map>
@@ -29,55 +37,89 @@ class Schedule {
     return round >= window_begin_ && round < window_end();
   }
 
-  /// Request booked at `slot`, or kNoRequest.
+  /// First *request* occupant of the slot's units, or kNoRequest (holds are
+  /// skipped). With unit capacity this is the historical single occupant.
   RequestId request_at(SlotRef slot) const;
 
-  bool is_free(SlotRef slot) const { return request_at(slot) == kNoRequest; }
+  /// Occupant of one capacity unit: a RequestId, kHeldUnit, or kNoRequest.
+  RequestId occupant_unit(SlotRef slot, std::int32_t unit) const;
 
-  /// Slot the request is booked into, or kNoSlot.
+  /// Unbooked capacity units left in the slot.
+  std::int32_t free_units(SlotRef slot) const;
+
+  bool is_free(SlotRef slot) const { return free_units(slot) > 0; }
+
+  /// Start slot the request is booked into, or kNoSlot.
   SlotRef slot_of(RequestId id) const;
 
   bool is_scheduled(RequestId id) const { return slot_of(id).valid(); }
 
-  /// Books `request` into `slot`. The slot must be free and inside the
-  /// window, the request unbooked, and the slot must be one of the request's
-  /// alternatives within its deadline.
+  /// Books `request` starting at `slot`: one unit of slot.resource in each
+  /// of the request's occupancy rounds. Every covered round must be inside
+  /// the window with a free unit, the request unbooked, and the start must
+  /// be one of the request's alternatives within its deadline.
   void assign(const Request& request, SlotRef slot);
 
-  /// Removes the booking of `id` (must be booked).
+  /// Removes the booking of `id` (must be booked): frees every unit of its
+  /// occupancy run.
   void unassign(RequestId id);
 
-  /// Number of booked slots in round `round` of the window.
+  /// Execution-time release: frees the start-round unit (consumed by the
+  /// execution) and converts the remaining occupancy rounds to holds. With
+  /// occupancy 1 this is exactly unassign().
+  void fulfill_release(RequestId id);
+
+  /// Number of units booked by requests in round `round` (holds excluded).
   std::int32_t booked_in_round(Round round) const;
 
-  /// All free slots of `resource` within the window, earliest first.
+  /// Number of units held by finished-but-still-occupying executions in
+  /// round `round`.
+  std::int32_t held_in_round(Round round) const;
+
+  /// All slots of `resource` within the window that still have a free unit,
+  /// earliest first.
   std::vector<SlotRef> free_slots_of(ResourceId resource) const;
 
-  /// Earliest free slot of `resource` in [from, to] (window-clamped), or
-  /// kNoSlot.
+  /// Earliest slot of `resource` with a free unit in [from, to]
+  /// (window-clamped), or kNoSlot.
   SlotRef earliest_free_slot(ResourceId resource, Round from, Round to) const;
 
   /// Clears row `window_begin()` and slides the window one round forward.
   /// The caller must have consumed (executed) the row first; any requests
-  /// still booked there are unbooked and returned.
+  /// still booked there are unbooked and returned. Holds in the departing
+  /// row simply end (their occupancy run is over).
   std::vector<RequestId> advance();
 
-  /// Total booked slots in the window.
+  /// Total booked requests in the window.
   std::int64_t booked_count() const {
     return static_cast<std::int64_t>(slot_of_.size());
   }
 
  private:
-  std::size_t grid_index(SlotRef slot) const {
-    return static_cast<std::size_t>(slot.resource) *
-               static_cast<std::size_t>(config_.d) +
-           static_cast<std::size_t>(slot.round % config_.d);
+  std::size_t slot_base(SlotRef slot) const {
+    return (static_cast<std::size_t>(slot.resource) *
+                static_cast<std::size_t>(config_.d) +
+            static_cast<std::size_t>(slot.round % config_.d)) *
+           static_cast<std::size_t>(b_max_);
   }
+  /// Books one unit of `slot` for `id` (or kHeldUnit); returns the unit.
+  std::int32_t take_unit(SlotRef slot, RequestId id);
+  /// Frees the unit of `slot` occupied by `id`.
+  void release_unit(SlotRef slot, RequestId id);
 
   ProblemConfig config_{};
+  std::int32_t b_max_ = 1;  ///< unit stride (config_.max_capacity())
   Round window_begin_ = 0;
-  std::vector<RequestId> grid_;  ///< n*d ring buffer, kNoRequest when free
-  std::unordered_map<RequestId, SlotRef> slot_of_;
+  struct Booking {
+    SlotRef slot = kNoSlot;         ///< start slot
+    std::int32_t occupancy = 1;     ///< rounds covered from the start
+  };
+
+  /// n*d*b_max ring of capacity units: a RequestId, kHeldUnit, or
+  /// kNoRequest. Units u >= capacity_of(resource) are padding and never
+  /// scanned.
+  std::vector<RequestId> grid_;
+  std::unordered_map<RequestId, Booking> slot_of_;
 };
 
 }  // namespace reqsched

@@ -54,6 +54,23 @@ class IStrategy {
   /// replays) must NOT — pre-booked arrivals would invalidate their
   /// proposals. Requires wants_window_problem().
   virtual bool wants_admission_fast_path() const { return false; }
+
+  /// Fast-path refinement: true when the strategy's own matcher only ever
+  /// books the *current* round (A_current), so the engine must clamp its
+  /// admission probes to round t — an arrival whose earliest allowed slot
+  /// lies beyond t would be left unbooked by the strategy's matcher, and
+  /// pre-booking it there would diverge. Only read when
+  /// wants_admission_fast_path(). Decorators forward this.
+  virtual bool admission_probe_current_round_only() const { return false; }
+
+  /// Fast-path refinement: true when the strategy's matcher treats fresh
+  /// arrivals *jointly* with the unscheduled backlog (A_current,
+  /// A_fix_balance), so greedy pre-booking of the batch is only provably
+  /// the matcher's result on rounds whose backlog is already fully booked.
+  /// The engine checks DeltaWindowProblem::unbooked_row_count() per round
+  /// and punts otherwise. Only read when wants_admission_fast_path().
+  /// Decorators forward this.
+  virtual bool admission_needs_empty_backlog() const { return false; }
 };
 
 }  // namespace reqsched

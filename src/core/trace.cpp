@@ -3,73 +3,188 @@
 #include <algorithm>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 namespace reqsched {
+namespace {
+
+/// True when the request round-trips through the v1 line format: at most
+/// two alternatives and a one-round execution.
+bool v1_representable(const Request& r) {
+  return r.alternative_count() <= 2 && r.occupancy == 1;
+}
+
+void check_spec(const RequestSpec& spec, const ProblemConfig& config) {
+  REQSCHED_REQUIRE_MSG(!spec.alts.empty(),
+                       "a request needs at least one alternative");
+  for (std::int32_t i = 0; i < spec.alts.size(); ++i) {
+    const ResourceId alt = spec.alts[i];
+    REQSCHED_REQUIRE_MSG(alt >= 0 && alt < config.n,
+                         "alternative out of range: S" << alt);
+    for (std::int32_t j = 0; j < i; ++j) {
+      REQSCHED_REQUIRE_MSG(spec.alts[j] != alt,
+                           "alternatives must be distinct resources (S"
+                               << alt << " repeats)");
+    }
+  }
+}
+
+}  // namespace
 
 RequestId Trace::add(Round arrival, const RequestSpec& spec) {
   REQSCHED_REQUIRE_MSG(arrival >= 0, "arrival rounds start at 0");
   REQSCHED_REQUIRE_MSG(
       requests_.empty() || arrival >= requests_.back().arrival,
       "requests must be added in arrival order");
-  REQSCHED_REQUIRE_MSG(spec.first >= 0 && spec.first < config_.n,
-                       "first alternative out of range: S" << spec.first);
-  REQSCHED_REQUIRE_MSG(
-      spec.second == kNoResource ||
-          (spec.second >= 0 && spec.second < config_.n),
-      "second alternative out of range: S" << spec.second);
-  REQSCHED_REQUIRE_MSG(spec.second != spec.first,
-                       "the two alternatives must be distinct resources");
+  check_spec(spec, config_);
 
   const std::int32_t window = spec.window > 0 ? spec.window : config_.d;
   REQSCHED_REQUIRE_MSG(window <= config_.d,
                        "per-request window may not exceed the instance d");
+  REQSCHED_REQUIRE_MSG(spec.occupancy >= 1,
+                       "occupancy must be at least one round");
+  REQSCHED_REQUIRE_MSG(
+      spec.occupancy <= window,
+      "occupancy " << spec.occupancy << " cannot fit in a " << window
+                   << "-round window");
 
   Request r;
   r.id = static_cast<RequestId>(requests_.size());
   r.arrival = arrival;
   r.deadline = arrival + window - 1;
-  r.first = spec.first;
-  r.second = spec.second;
+  r.occupancy = spec.occupancy;
+  r.alts = spec.alts;
   requests_.push_back(r);
   last_useful_round_ = std::max(last_useful_round_, r.deadline);
   return r.id;
 }
 
 void Trace::save(std::ostream& os) const {
-  os << "reqsched-trace " << config_.n << ' ' << config_.d << ' '
+  const bool v1 = config_.unit_capacity() && config_.capacities.empty() &&
+                  std::all_of(requests_.begin(), requests_.end(),
+                              v1_representable);
+  if (v1) {
+    // The historical format, byte-for-byte: traces of the paper's model stay
+    // readable by pre-generalization tooling.
+    os << "reqsched-trace " << config_.n << ' ' << config_.d << ' '
+       << requests_.size() << '\n';
+    for (const auto& r : requests_) {
+      os << r.arrival << ' ' << r.first() << ' ' << r.second() << ' '
+         << r.deadline << '\n';
+    }
+    return;
+  }
+  os << "reqsched-trace-v2 " << config_.n << ' ' << config_.d << ' '
      << requests_.size() << '\n';
+  os << "capacity " << config_.b;
+  for (std::int32_t c : config_.capacities) os << ' ' << c;
+  os << '\n';
   for (const auto& r : requests_) {
-    os << r.arrival << ' ' << r.first << ' ' << r.second << ' ' << r.deadline
-       << '\n';
+    os << r.arrival << ' ' << r.deadline << ' ' << r.occupancy << ' '
+       << r.alternative_count();
+    for (ResourceId alt : r.alts) os << ' ' << alt;
+    os << '\n';
   }
 }
 
-Trace Trace::load(std::istream& is) {
-  std::string magic;
-  ProblemConfig config;
-  std::int64_t count = -1;
-  is >> magic >> config.n >> config.d >> count;
-  REQSCHED_CHECK_MSG(static_cast<bool>(is) && magic == "reqsched-trace",
-                     "not a reqsched trace stream");
-  REQSCHED_CHECK_MSG(count >= 0, "negative request count in trace header");
+namespace {
+
+Trace load_v1_body(std::istream& is, const ProblemConfig& config,
+                   std::int64_t count) {
   Trace trace(config);
   for (std::int64_t i = 0; i < count; ++i) {
     Round arrival = kNoRound;
     Round deadline = kNoRound;
-    RequestSpec spec;
-    is >> arrival >> spec.first >> spec.second >> deadline;
+    ResourceId first = kNoResource;
+    ResourceId second = kNoResource;
+    is >> arrival >> first >> second >> deadline;
     REQSCHED_CHECK_MSG(static_cast<bool>(is), "truncated trace stream");
-    REQSCHED_CHECK_MSG(arrival >= 0,
-                       "negative arrival at request " << i);
+    REQSCHED_CHECK_MSG(arrival >= 0, "negative arrival at request " << i);
     // Validate the serialized deadline directly instead of deferring to
     // whatever add() happens to catch after the window back-computation.
     REQSCHED_CHECK_MSG(
         deadline >= arrival && deadline <= arrival + config.d - 1,
         "deadline " << deadline << " outside [" << arrival << ", "
                     << arrival + config.d - 1 << "] at request " << i);
-    spec.window = static_cast<std::int32_t>(deadline - arrival + 1);
+    RequestSpec spec{first, second,
+                     static_cast<std::int32_t>(deadline - arrival + 1)};
     trace.add(arrival, spec);
   }
+  return trace;
+}
+
+Trace load_v2_body(std::istream& is, ProblemConfig config,
+                   std::int64_t count) {
+  // Capacity line: `capacity b [c_0 ... c_{n-1}]`.
+  std::string keyword;
+  is >> keyword;
+  REQSCHED_CHECK_MSG(static_cast<bool>(is) && keyword == "capacity",
+                     "v2 trace stream is missing its capacity line");
+  is >> config.b;
+  REQSCHED_CHECK_MSG(static_cast<bool>(is) && config.b >= 1,
+                     "bad uniform capacity in trace header");
+  std::string rest;
+  std::getline(is, rest);
+  std::istringstream caps(rest);
+  std::int32_t c = 0;
+  while (caps >> c) {
+    REQSCHED_CHECK_MSG(c >= 1, "bad per-resource capacity in trace header");
+    config.capacities.push_back(c);
+  }
+  REQSCHED_CHECK_MSG(
+      config.capacities.empty() ||
+          config.capacities.size() == static_cast<std::size_t>(config.n),
+      "per-resource capacity list must have exactly n entries");
+
+  Trace trace(config);
+  for (std::int64_t i = 0; i < count; ++i) {
+    Round arrival = kNoRound;
+    Round deadline = kNoRound;
+    std::int32_t occupancy = 0;
+    std::int32_t alternatives = 0;
+    is >> arrival >> deadline >> occupancy >> alternatives;
+    REQSCHED_CHECK_MSG(static_cast<bool>(is), "truncated trace stream");
+    REQSCHED_CHECK_MSG(arrival >= 0, "negative arrival at request " << i);
+    REQSCHED_CHECK_MSG(
+        deadline >= arrival && deadline <= arrival + config.d - 1,
+        "deadline " << deadline << " outside [" << arrival << ", "
+                    << arrival + config.d - 1 << "] at request " << i);
+    REQSCHED_CHECK_MSG(
+        alternatives >= 1 && alternatives <= kMaxAlternatives,
+        "alternative count " << alternatives << " outside [1, "
+                             << kMaxAlternatives << "] at request " << i);
+    const auto window = static_cast<std::int32_t>(deadline - arrival + 1);
+    REQSCHED_CHECK_MSG(occupancy >= 1 && occupancy <= window,
+                       "occupancy " << occupancy << " outside [1, " << window
+                                    << "] at request " << i);
+    RequestSpec spec;
+    spec.window = window;
+    spec.occupancy = occupancy;
+    for (std::int32_t a = 0; a < alternatives; ++a) {
+      ResourceId alt = kNoResource;
+      is >> alt;
+      REQSCHED_CHECK_MSG(static_cast<bool>(is), "truncated trace stream");
+      spec.alts.push_back(alt);
+    }
+    trace.add(arrival, spec);
+  }
+  return trace;
+}
+
+}  // namespace
+
+Trace Trace::load(std::istream& is) {
+  std::string magic;
+  ProblemConfig config;
+  std::int64_t count = -1;
+  is >> magic >> config.n >> config.d >> count;
+  REQSCHED_CHECK_MSG(static_cast<bool>(is) && (magic == "reqsched-trace" ||
+                                               magic == "reqsched-trace-v2"),
+                     "not a reqsched trace stream");
+  REQSCHED_CHECK_MSG(count >= 0, "negative request count in trace header");
+  Trace trace = magic == "reqsched-trace"
+                    ? load_v1_body(is, config, count)
+                    : load_v2_body(is, std::move(config), count);
   // A well-formed stream ends when the declared count does: trailing request
   // rows mean the header undercounts and the trace would be silently
   // truncated.

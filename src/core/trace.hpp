@@ -39,8 +39,13 @@ class Trace {
   /// Last round in which any request may still be executed (kNoRound if empty).
   Round last_useful_round() const { return last_useful_round_; }
 
-  /// Plain-text serialization: header line `reqsched-trace n d count`,
-  /// then one `arrival first second deadline` line per request.
+  /// Plain-text serialization. Traces of the paper's model (k <= 2,
+  /// occupancy 1, unit capacity) keep the historical v1 format — header
+  /// `reqsched-trace n d count`, one `arrival first second deadline` line
+  /// per request — byte-for-byte. Anything general writes v2: header
+  /// `reqsched-trace-v2 n d count`, a `capacity b [c_0 ... c_{n-1}]` line,
+  /// then `arrival deadline occupancy k alt_0 ... alt_{k-1}` lines. load()
+  /// accepts both and validates every field against the config.
   void save(std::ostream& os) const;
   static Trace load(std::istream& is);
 

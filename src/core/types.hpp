@@ -6,9 +6,11 @@
 // within d rounds of its arrival or it is cancelled.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <ostream>
+#include <vector>
 
 #include "util/assert.hpp"
 
@@ -26,15 +28,74 @@ using RequestId = std::int64_t;
 inline constexpr Round kNoRound = -1;
 inline constexpr ResourceId kNoResource = -1;
 inline constexpr RequestId kNoRequest = -1;
+/// Occupant sentinel for a capacity unit still held by the multi-round
+/// occupancy of an already-executed request (reusable-resource model): the
+/// unit is busy, but no live request owns it. Never a valid RequestId.
+inline constexpr RequestId kHeldUnit = -2;
 
 /// Static problem parameters.
+///
+/// The paper's model is unit capacity (every resource fulfills at most one
+/// request per round). The capacitated generalization (Albers–Schubert
+/// b-matching) lets resource r fulfill up to b_r requests per round: a
+/// uniform `b`, optionally overridden per resource by `capacities`.
 struct ProblemConfig {
   std::int32_t n = 1;  ///< number of resources
   std::int32_t d = 1;  ///< deadline window length (rounds, inclusive)
+  /// Uniform per-(resource, round) execution capacity; 1 is the paper model.
+  std::int32_t b = 1;
+  /// Per-resource capacity override (size n when non-empty; entries >= 1).
+  /// Empty means "uniform b everywhere".
+  std::vector<std::int32_t> capacities;
+
+  ProblemConfig() = default;
+  ProblemConfig(std::int32_t resources, std::int32_t window,
+                std::int32_t uniform_capacity = 1,
+                std::vector<std::int32_t> per_resource = {})
+      : n(resources),
+        d(window),
+        b(uniform_capacity),
+        capacities(std::move(per_resource)) {}
+
+  std::int32_t capacity_of(ResourceId resource) const {
+    return capacities.empty() ? b
+                              : capacities[static_cast<std::size_t>(resource)];
+  }
+
+  /// Largest b_r — the unit stride of capacity-expanded grids.
+  std::int32_t max_capacity() const {
+    return capacities.empty()
+               ? b
+               : *std::max_element(capacities.begin(), capacities.end());
+  }
+
+  /// True in the paper's unit-capacity model (every b_r == 1); the hot
+  /// structures keep their historical single-bit-per-slot behaviour exactly
+  /// when this holds.
+  bool unit_capacity() const { return max_capacity() == 1; }
+
+  /// Total execution units available per round (sum of b_r).
+  std::int64_t units_per_round() const {
+    if (capacities.empty()) {
+      return static_cast<std::int64_t>(n) * b;
+    }
+    std::int64_t total = 0;
+    for (std::int32_t c : capacities) total += c;
+    return total;
+  }
 
   void validate() const {
     REQSCHED_CHECK_MSG(n >= 1, "need at least one resource");
     REQSCHED_CHECK_MSG(d >= 1, "deadline window must span at least one round");
+    REQSCHED_CHECK_MSG(b >= 1, "per-round capacity must be at least one");
+    REQSCHED_CHECK_MSG(
+        capacities.empty() ||
+            capacities.size() == static_cast<std::size_t>(n),
+        "per-resource capacities must cover every resource (got "
+            << capacities.size() << " entries for n=" << n << ")");
+    for (std::int32_t c : capacities) {
+      REQSCHED_CHECK_MSG(c >= 1, "per-resource capacity must be at least one");
+    }
   }
 };
 

@@ -6,24 +6,22 @@ TraceWorkload::TraceWorkload(const Trace& trace) : trace_(trace) {}
 
 ProblemConfig TraceWorkload::config() const { return trace_.config(); }
 
-std::vector<RequestSpec> TraceWorkload::generate(Round t,
-                                                 const Simulator& sim) {
+void TraceWorkload::generate(Round t, const Simulator& sim,
+                             std::vector<RequestSpec>& out) {
   (void)sim;
-  std::vector<RequestSpec> out;
   const auto requests = trace_.requests();
   while (cursor_ < requests.size() && requests[cursor_].arrival == t) {
     const Request& r = requests[cursor_];
     RequestSpec spec;
-    spec.first = r.first;
-    spec.second = r.second;
+    spec.alts = r.alts;
     spec.window = static_cast<std::int32_t>(r.deadline - r.arrival + 1);
+    spec.occupancy = r.occupancy;
     out.push_back(spec);
     ++cursor_;
   }
   REQSCHED_CHECK_MSG(cursor_ >= requests.size() ||
                          requests[cursor_].arrival > t,
                      "trace requests visited out of order");
-  return out;
 }
 
 bool TraceWorkload::exhausted(Round t) const {

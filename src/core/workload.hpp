@@ -26,10 +26,13 @@ class IWorkload {
   /// Problem parameters this workload is built for.
   virtual ProblemConfig config() const = 0;
 
-  /// Requests to inject at round `t`. Called exactly once per round with
-  /// strictly increasing `t`. `sim` is the observable state *before* this
-  /// round's strategy step (adaptive adversaries may query it).
-  virtual std::vector<RequestSpec> generate(Round t, const Simulator& sim) = 0;
+  /// Appends the requests to inject at round `t` to `out` (the engine owns
+  /// and reuses the vector across rounds — generators allocate nothing per
+  /// round in steady state). Called exactly once per round with strictly
+  /// increasing `t`. `sim` is the observable state *before* this round's
+  /// strategy step (adaptive adversaries may query it).
+  virtual void generate(Round t, const Simulator& sim,
+                        std::vector<RequestSpec>& out) = 0;
 
   /// True when no request will be injected at any round >= t. The simulator
   /// keeps running after exhaustion until all alive requests drain.
@@ -46,7 +49,8 @@ class TraceWorkload final : public IWorkload {
 
   std::string name() const override { return "trace"; }
   ProblemConfig config() const override;
-  std::vector<RequestSpec> generate(Round t, const Simulator& sim) override;
+  void generate(Round t, const Simulator& sim,
+                std::vector<RequestSpec>& out) override;
   bool exhausted(Round t) const override;
   void reset() override { cursor_ = 0; }
 

@@ -56,17 +56,24 @@ RequestId RequestPool::admit_one(Round arrival, const RequestSpec& spec) {
   REQSCHED_REQUIRE_MSG(arrival >= 0, "arrival rounds start at 0");
   REQSCHED_REQUIRE_MSG(arrival >= last_arrival_,
                        "requests must be admitted in arrival order");
-  REQSCHED_REQUIRE_MSG(spec.first >= 0 && spec.first < config_.n,
-                       "first alternative out of range: S" << spec.first);
-  REQSCHED_REQUIRE_MSG(
-      spec.second == kNoResource ||
-          (spec.second >= 0 && spec.second < config_.n),
-      "second alternative out of range: S" << spec.second);
-  REQSCHED_REQUIRE_MSG(spec.second != spec.first,
-                       "the two alternatives must be distinct resources");
+  REQSCHED_REQUIRE_MSG(!spec.alts.empty(),
+                       "a request needs at least one alternative");
+  // Admission-boundary contract (k <= 8), not a per-round hot loop.
+  for (std::int32_t i = 0; i < spec.alts.size(); ++i) {  // reqsched-lint: allow(hot-loop-guard)
+    const ResourceId alt = spec.alts[i];
+    REQSCHED_REQUIRE_MSG(alt >= 0 && alt < config_.n,
+                         "alternative out of range: S" << alt);
+    for (std::int32_t j = 0; j < i; ++j) {  // reqsched-lint: allow(hot-loop-guard)
+      REQSCHED_REQUIRE_MSG(spec.alts[j] != alt,
+                           "alternatives must be pairwise distinct resources");
+    }
+  }
   const std::int32_t window = spec.window > 0 ? spec.window : config_.d;
   REQSCHED_REQUIRE_MSG(window <= config_.d,
                        "per-request window may not exceed the instance d");
+  REQSCHED_REQUIRE_MSG(spec.occupancy >= 1 && spec.occupancy <= window,
+                       "occupancy must fit inside the request window: occ="
+                           << spec.occupancy << " window=" << window);
 
   const RequestId id = next_++;
   if (arrival != last_arrival_) {
@@ -81,8 +88,8 @@ RequestId RequestPool::admit_one(Round arrival, const RequestSpec& spec) {
   r.id = id;
   r.arrival = arrival;
   r.deadline = arrival + window - 1;
-  r.first = spec.first;
-  r.second = spec.second;
+  r.alts = spec.alts;
+  r.occupancy = spec.occupancy;
 
   if (retain_) {
     slab_.push_back(r);

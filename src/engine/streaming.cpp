@@ -29,6 +29,8 @@ StreamingEngine::StreamingEngine(IWorkload& workload, IStrategy& strategy,
       "wants_admission_fast_path requires wants_window_problem");
   fast_path_active_ = window_active_ && options_.admission_fast_path &&
                       strategy_.wants_admission_fast_path();
+  fast_current_round_only_ = strategy_.admission_probe_current_round_only();
+  fast_needs_empty_backlog_ = strategy_.admission_needs_empty_backlog();
   pool_->reset(config_, options_.retain_history);
   if (options_.track_live_opt) opt_->reset(config_);
   if (window_active_) window_->reset(config_);
@@ -117,31 +119,40 @@ void StreamingEngine::audit_check() const {
                        << metrics_.expired << " expired + "
                        << pool_->live_count() << " pending");
 
-  // Schedule vs. alive set: every booked slot in the window holds a pending
-  // alive request whose own view agrees, and the booked census matches.
+  // Schedule vs. alive set: every request unit in the window belongs to a
+  // pending alive request whose occupancy run covers that unit's round, and
+  // the booked census (one per run start) matches.
   const Round t = now();
   std::int64_t booked = 0;
   for (Round round = t; round < t + config_.d; ++round) {
     for (ResourceId res = 0; res < config_.n; ++res) {
       const SlotRef slot{res, round};
-      const RequestId id = schedule_.request_at(slot);
-      if (id == kNoRequest) continue;
-      ++booked;
-      REQSCHED_AUDIT_REQUIRE_MSG(alive_set.count(id) != 0,
-                                 "booked r" << id << " at " << slot
-                                            << " is not in the alive set");
-      REQSCHED_AUDIT_REQUIRE_MSG(
-          schedule_.is_scheduled(id) && schedule_.slot_of(id) == slot,
-          "schedule grid and slot_of disagree for r" << id << " at " << slot);
-      const Request& r = pool_->request(id);
-      REQSCHED_AUDIT_REQUIRE_MSG(r.allows_slot(slot) && round <= r.deadline,
-                                 r << " booked at disallowed " << slot);
+      const std::int32_t cap = config_.capacity_of(res);
+      for (std::int32_t u = 0; u < cap; ++u) {
+        const RequestId id = schedule_.occupant_unit(slot, u);
+        if (id == kNoRequest || id == kHeldUnit) continue;
+        REQSCHED_AUDIT_REQUIRE_MSG(alive_set.count(id) != 0,
+                                   "booked r" << id << " at " << slot
+                                              << " is not in the alive set");
+        const Request& r = pool_->request(id);
+        REQSCHED_AUDIT_REQUIRE_MSG(schedule_.is_scheduled(id),
+                                   "grid unit holds unscheduled r" << id);
+        const SlotRef start = schedule_.slot_of(id);
+        REQSCHED_AUDIT_REQUIRE_MSG(
+            start.resource == res && start.round <= round &&
+                round < start.round + r.occupancy,
+            "schedule grid and slot_of disagree for r" << id << " at "
+                                                       << slot);
+        if (round == start.round) ++booked;
+        REQSCHED_AUDIT_REQUIRE_MSG(r.allows_slot(start),
+                                   r << " booked at disallowed " << start);
+      }
     }
   }
   REQSCHED_AUDIT_REQUIRE_MSG(booked == schedule_.booked_count(),
                              "schedule booked_count " <<
                                  schedule_.booked_count() << " vs " << booked
-                                                        << " grid entries");
+                                                        << " run starts");
 
   // Window-problem mirror: row-for-row and booking-for-booking agreement
   // with the engine's own state.
@@ -195,7 +206,11 @@ void StreamingEngine::expire_round_start() {
 
 void StreamingEngine::drain_arrivals() {
   const Round t = now();
-  const auto specs = workload_.generate(t, facade_);
+  // Generate into the engine-owned scratch batch: the workload appends specs
+  // in place, so a steady-state stream allocates nothing per round.
+  spec_scratch_.clear();
+  workload_.generate(t, facade_, spec_scratch_);
+  const std::span<const RequestSpec> specs = spec_scratch_;
   injected_now_.clear();
   if (specs.empty()) return;
   // The whole round's batch enters the pool in one call (per-batch audit
@@ -219,10 +234,35 @@ void StreamingEngine::admit_batch() {
   fast_booked_.clear();
   fast_slots_.clear();
   if (!fast_path_active_ || injected_now_.empty()) return;
+  // Multi-round occupancy runs are not probe-able rows: the batch goes to
+  // the strategy's own (greedy) placement path.
+  for (const RequestId id : injected_now_) {
+    if (pool_->request(id).occupancy != 1) {
+      admission_outcome_ = AdmissionOutcome::kContended;
+      ++fast_fallbacks_;
+      return;
+    }
+  }
+  // Strategies whose matcher treats arrivals jointly with the unscheduled
+  // backlog (A_current, A_fix_balance) are only greedy-admissible on rounds
+  // where the arrivals ARE the whole problem — every pre-existing row is
+  // already booked.
+  if (fast_needs_empty_backlog_ &&
+      window_->unbooked_row_count() !=
+          static_cast<std::int64_t>(injected_now_.size())) {
+    admission_outcome_ = AdmissionOutcome::kContended;
+    ++fast_fallbacks_;
+    return;
+  }
+  // Current-round-only strategies (A_current) never book past round t, so
+  // their probes are clamped to it.
+  const Round probe_last =
+      fast_current_round_only_ ? now() : window_->window_end() - 1;
   window_->begin_admission_batch();
   bool contended = false;
   for (const RequestId id : injected_now_) {
-    const auto probe = window_->admission_probe(pool_->request(id));
+    const auto probe =
+        window_->admission_probe(pool_->request(id), probe_last);
     if (probe.contended) {
       contended = true;
       break;
@@ -263,13 +303,20 @@ void StreamingEngine::execute() {
   const Round t = now();
   std::int64_t fulfilled_now = 0;
   for (ResourceId i = 0; i < config_.n; ++i) {
-    const RequestId id = schedule_.request_at({i, t});
-    if (id == kNoRequest) continue;
-    REQSCHED_CHECK(is_pending(id));
-    schedule_.unassign(id);
-    if (window_active_) window_->unbook(id);
-    retire_fulfilled(id, SlotRef{i, t});
-    ++fulfilled_now;
+    const SlotRef slot{i, t};
+    const std::int32_t cap = config_.capacity_of(i);
+    for (std::int32_t u = 0; u < cap; ++u) {
+      // Every request unit in the executing row is a run *start*: a run
+      // started earlier was fulfilled at its start round, which turned its
+      // units here into holds.
+      const RequestId id = schedule_.occupant_unit(slot, u);
+      if (id == kNoRequest || id == kHeldUnit) continue;
+      REQSCHED_CHECK(is_pending(id));
+      schedule_.fulfill_release(id);
+      if (window_active_) window_->retire_executed(id);
+      retire_fulfilled(id, slot);
+      ++fulfilled_now;
+    }
   }
   if (fulfilled_now > 0) {
     // Mark-and-compact (same pattern as expire_round_start): one pass over
@@ -289,10 +336,12 @@ void StreamingEngine::execute() {
 }
 
 void StreamingEngine::retire_fulfilled(RequestId id, SlotRef slot) {
+  // The window mirror was already retired by execute() via retire_executed
+  // (a fulfilled row leaves *booked* — its occupancy tail must turn into
+  // holds, which plain retire() forbids).
   if (options_.retire_sink) {
     options_.retire_sink(pool_->request(id), RequestStatus::kFulfilled, slot);
   }
-  if (window_active_) window_->retire(id);
   pool_->fulfill(id, slot);
   ++metrics_.fulfilled;
 }
@@ -368,7 +417,9 @@ std::size_t StreamingEngine::approx_resident_bytes() const {
                       alive_.capacity() * sizeof(RequestId) +
                       injected_now_.capacity() * sizeof(RequestId);
   bytes += static_cast<std::size_t>(config_.n) *
-           static_cast<std::size_t>(config_.d) * sizeof(RequestId);
+           static_cast<std::size_t>(config_.d) *
+           static_cast<std::size_t>(config_.max_capacity()) *
+           sizeof(RequestId);
   bytes += static_cast<std::size_t>(schedule_.booked_count()) *
            (sizeof(RequestId) + sizeof(SlotRef) + 2 * sizeof(void*));
   if (options_.track_live_opt) bytes += opt_->approx_bytes();

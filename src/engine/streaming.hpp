@@ -260,6 +260,11 @@ class StreamingEngine {
   DeltaWindowProblem* window_ = nullptr;  ///< own_window_ or window_arena
   bool window_active_ = false;
   bool fast_path_active_ = false;
+  /// Fast-path refinements declared by the strategy (see IStrategy):
+  /// clamp admission probes to the current round, and/or only fast-admit
+  /// rounds whose pre-batch backlog is fully booked.
+  bool fast_current_round_only_ = false;
+  bool fast_needs_empty_backlog_ = false;
   AdmissionOutcome admission_outcome_ = AdmissionOutcome::kInactive;
   std::vector<RequestId> fast_booked_;
   /// Claimed slot per fast_booked_ entry (same index), committed on
@@ -270,6 +275,7 @@ class StreamingEngine {
   std::int64_t fast_fallbacks_ = 0;
   std::vector<RequestId> alive_;
   std::vector<RequestId> injected_now_;
+  std::vector<RequestSpec> spec_scratch_;  ///< per-round workload batch
   Metrics metrics_{};
   bool in_strategy_ = false;
   bool ran_any_round_ = false;

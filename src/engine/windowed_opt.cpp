@@ -58,19 +58,26 @@ bool WindowedPrefixOpt::add_request(const Request& request) {
   REQSCHED_REQUIRE_MSG(request.arrival >= 0 &&
                            request.deadline >= request.arrival,
                        "malformed window on " << request);
-  REQSCHED_REQUIRE(request.first >= 0 && request.first < config_.n);
-  REQSCHED_REQUIRE(request.second == kNoResource ||
-                   (request.second >= 0 && request.second < config_.n));
+  // Admission-boundary contract (k <= 8), not a per-round hot loop.
+  for (const ResourceId alt : request.alts) {  // reqsched-lint: allow(hot-loop-guard)
+    REQSCHED_REQUIRE(alt >= 0 && alt < config_.n);
+  }
 
   ++requests_seen_;
-  // Canonical append_slot_edges enumeration, on 64-bit keys: (t, first)
-  // then (t, second) for t in [arrival, deadline].
+  // Canonical append_slot_edges enumeration, on 64-bit keys: every capacity
+  // unit of (t, alt) for feasible starts t, alternatives in list order.
+  // occupancy > 1 runs are relaxed to a single-unit booking at any feasible
+  // start — an upper bound on the occupancy-aware optimum.
   root_slots_.clear();
   const auto n = static_cast<std::int64_t>(config_.n);
-  for (Round t = request.arrival; t <= request.deadline; ++t) {
-    root_slots_.push_back(intern_slot(t * n + request.first));
-    if (request.second != kNoResource) {
-      root_slots_.push_back(intern_slot(t * n + request.second));
+  const auto b_max = static_cast<std::int64_t>(config_.max_capacity());
+  for (Round t = request.arrival; t <= request.latest_start(); ++t) {
+    for (const ResourceId alt : request.alts) {
+      const std::int64_t base = (t * n + alt) * b_max;
+      const std::int32_t cap = config_.capacity_of(alt);
+      for (std::int32_t u = 0; u < cap; ++u) {
+        root_slots_.push_back(intern_slot(base + u));
+      }
     }
   }
   const bool grew = try_augment();
@@ -193,10 +200,11 @@ void WindowedPrefixOpt::advance_to(Round now) {
   // Closure of the round >= now slots under
   //   slot -> matched left -> all of that left's slots.
   bfs_.clear();
-  const auto n = static_cast<std::int64_t>(config_.n);
+  const std::int64_t units = static_cast<std::int64_t>(config_.n) *
+                             static_cast<std::int64_t>(config_.max_capacity());
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     SlotNode& s = slots_[i];
-    if (s.key >= 0 && !s.dead && s.key / n >= now) {
+    if (s.key >= 0 && !s.dead && s.key / units >= now) {
       s.stamp = stamp_;
       bfs_.push_back(static_cast<std::int32_t>(i));
     }
@@ -226,7 +234,7 @@ void WindowedPrefixOpt::advance_to(Round now) {
       // and every left the sweep keeps had all its slots stamped above — and
       // (b) its round has left the window, so no future arrival can
       // re-intern the consumed key as free.
-      if (s.key / n < now) free_slot(static_cast<std::int32_t>(i));
+      if (s.key / units < now) free_slot(static_cast<std::int32_t>(i));
       continue;
     }
     const std::int32_t left = s.match;

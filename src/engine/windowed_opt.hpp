@@ -40,8 +40,9 @@ namespace reqsched {
 /// Exact prefix optimum over an arrival stream, with state bounded by the
 /// reachable (non-frozen) region instead of the stream length. Mirrors the
 /// iterative-Kuhn augmentation of IncrementalMatching on slab-allocated
-/// vertices; slots are keyed by the canonical `round * n + resource` index
-/// (64-bit here — streams outlive the 32-bit slot space).
+/// vertices; rights are capacity units keyed by the canonical
+/// `(round * n + resource) * b_max + unit` index (64-bit here — streams
+/// outlive the 32-bit slot space).
 class WindowedPrefixOpt {
  public:
   WindowedPrefixOpt() = default;
@@ -92,7 +93,7 @@ class WindowedPrefixOpt {
   };
   /// A slot (right) vertex. key < 0 marks a recycled slab entry.
   struct SlotNode {
-    std::int64_t key = -1;   ///< round * n + resource
+    std::int64_t key = -1;   ///< (round * n + resource) * b_max + unit
     std::int32_t match = -1; ///< left slab index, -1 = unmatched
     /// Inside a frozen Hall witness (see IncrementalMatching): its matched
     /// pair is already counted into retired_matched_ and no future search

@@ -50,7 +50,7 @@ void ALocalEager::on_round(Simulator& sim) {
       const Request& r = sim.request(id);
       REQSCHED_CHECK_MSG(r.alternative_count() == 2,
                          "local strategies require two alternatives");
-      wave.push_back(Message{id, r.first, r.deadline, false, 0});
+      wave.push_back(Message{id, r.first(), r.deadline, false, 0});
     }
     if (!wave.empty()) {
       ++comm_rounds;
@@ -60,7 +60,7 @@ void ALocalEager::on_round(Simulator& sim) {
       std::vector<Message> retry;
       for (const Message& m : failed) {
         const Request& r = sim.request(m.sender);
-        retry.push_back(Message{m.sender, r.second, r.deadline, false, 0});
+        retry.push_back(Message{m.sender, r.second(), r.deadline, false, 0});
       }
       if (!retry.empty()) {
         ++comm_rounds;
@@ -130,7 +130,7 @@ std::int64_t ALocalEager::rivalry_iteration(Simulator& sim, int alt,
   std::vector<Message> wave;
   for (const RequestId id : unscheduled_pending(sim)) {
     const Request& r = sim.request(id);
-    const ResourceId target = alt == 0 ? r.first : r.second;
+    const ResourceId target = alt == 0 ? r.first() : r.second();
     wave.push_back(Message{id, target, r.deadline, false, 0});
   }
   if (wave.empty()) return 0;

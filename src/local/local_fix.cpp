@@ -36,7 +36,7 @@ void ALocalFix::on_round(Simulator& sim) {
     const Request& r = sim.request(id);
     REQSCHED_CHECK_MSG(r.alternative_count() == 2,
                        "local strategies require two alternatives");
-    first_wave.push_back(Message{id, r.first, r.deadline, false, 0});
+    first_wave.push_back(Message{id, r.first(), r.deadline, false, 0});
   }
   if (first_wave.empty()) return;
   sim.record_communication(1, static_cast<std::int64_t>(first_wave.size()));
@@ -47,7 +47,7 @@ void ALocalFix::on_round(Simulator& sim) {
   std::vector<Message> second_wave;
   for (const Message& m : failed_first) {
     const Request& r = sim.request(m.sender);
-    second_wave.push_back(Message{m.sender, r.second, r.deadline, false, 0});
+    second_wave.push_back(Message{m.sender, r.second(), r.deadline, false, 0});
   }
   if (second_wave.empty()) return;
   sim.record_communication(1, static_cast<std::int64_t>(second_wave.size()));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
+#include <unordered_map>
 
 namespace reqsched {
 
@@ -12,8 +14,11 @@ constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
 void DeltaWindowProblem::reset(const ProblemConfig& config) {
   config.validate();
   config_ = config;
+  b_max_ = config_.max_capacity();
   window_begin_ = 0;
   rows_.clear();
+  unbooked_rows_ = 0;
+  booked_runs_ = 0;
 
   const auto d = static_cast<std::size_t>(config_.d);
   const auto n = static_cast<std::size_t>(config_.n);
@@ -25,7 +30,25 @@ void DeltaWindowProblem::reset(const ProblemConfig& config) {
     const std::uint64_t tail_mask = (std::uint64_t{1} << tail_bits) - 1;
     for (std::size_t c = 0; c < d; ++c) free_[c * words + words - 1] = tail_mask;
   }
-  grid_.assign(n * d, kNoRequest);
+  grid_.assign(n * d * static_cast<std::size_t>(b_max_), kNoRequest);
+  free_count_.resize(n * d);
+  for (std::size_t c = 0; c < d; ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      free_count_[c * n + r] = config_.capacity_of(static_cast<ResourceId>(r));
+    }
+  }
+  col_booked_.assign(d, 0);
+  col_held_.assign(d, 0);
+  const auto round_units = config_.units_per_round();
+  REQSCHED_REQUIRE_MSG(round_units <= std::numeric_limits<std::int32_t>::max(),
+                       "capacity units per round exceed 32-bit indexing");
+  col_free_.assign(d, static_cast<std::int32_t>(round_units));
+  unit_offset_.resize(n + 1);
+  unit_offset_[0] = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    unit_offset_[r + 1] =
+        unit_offset_[r] + config_.capacity_of(static_cast<ResourceId>(r));
+  }
   // Transposed per-resource masks, multi-word for d > 64: every ring column
   // starts free, bits at or past d stay clear so rotates/sweeps are exact.
   const std::size_t res_words = words_per_resource();
@@ -37,13 +60,14 @@ void DeltaWindowProblem::reset(const ProblemConfig& config) {
       res_free_[r * res_words + res_words - 1] = tail_mask;
     }
   }
+  claim_count_.assign(n * d, 0);
   res_claimed_.assign(n * res_words, 0);
   batch_claims_.clear();
   admission_batch_ = false;
 
-  visited_attempt_.assign(n * d, 0);
-  owner_call_.assign(n * d, 0);
-  owner_left_.assign(n * d, -1);
+  visited_attempt_.assign(n * d * static_cast<std::size_t>(b_max_), 0);
+  owner_call_.assign(n * d * static_cast<std::size_t>(b_max_), 0);
+  owner_left_.assign(n * d * static_cast<std::size_t>(b_max_), -1);
   attempt_stamp_ = 0;
   call_stamp_ = 0;
 }
@@ -60,18 +84,32 @@ SlotRef DeltaWindowProblem::booked_slot_of(RequestId id) const {
   return it->second.booked;
 }
 
+void DeltaWindowProblem::validate_row_request(const Request& r) const {
+  REQSCHED_REQUIRE_MSG(r.alternative_count() >= 1,
+                       r << " names no alternative resources");
+  // Admission-boundary contract (k <= 8), not a per-round hot loop.
+  for (std::int32_t i = 0; i < r.alternative_count(); ++i) {  // reqsched-lint: allow(hot-loop-guard)
+    const ResourceId alt = r.alts[i];
+    REQSCHED_REQUIRE(alt >= 0 && alt < config_.n);
+    for (std::int32_t j = 0; j < i; ++j) {  // reqsched-lint: allow(hot-loop-guard)
+      REQSCHED_REQUIRE_MSG(r.alts[j] != alt,
+                           r << " repeats alternative S" << alt);
+    }
+  }
+  REQSCHED_REQUIRE_MSG(r.occupancy >= 1 && r.latest_start() >= r.arrival,
+                       r << " cannot fit its occupancy before its deadline");
+}
+
 void DeltaWindowProblem::add_request(const Request& r) {
   REQSCHED_REQUIRE_MSG(r.arrival == window_begin_,
                        r << " arrives outside the current round "
                          << window_begin_);
   REQSCHED_REQUIRE(r.deadline >= r.arrival && r.deadline < window_end());
-  REQSCHED_REQUIRE(r.first >= 0 && r.first < config_.n);
-  REQSCHED_REQUIRE(r.second == kNoResource ||
-                   (r.second >= 0 && r.second < config_.n &&
-                    r.second != r.first));
+  validate_row_request(r);
   const auto [it, inserted] = rows_.emplace(r.id, Row{r, kNoSlot});
   REQSCHED_REQUIRE_MSG(inserted, "duplicate window row for r" << r.id);
   (void)it;
+  ++unbooked_rows_;
 #if REQSCHED_AUDIT_ENABLED
   audit_check();
 #endif
@@ -83,6 +121,48 @@ void DeltaWindowProblem::retire(RequestId id) {
   REQSCHED_REQUIRE_MSG(!it->second.booked.valid(),
                        "r" << id << " retired while booked at "
                            << it->second.booked);
+  rows_.erase(it);
+  --unbooked_rows_;
+#if REQSCHED_AUDIT_ENABLED
+  audit_check();
+#endif
+}
+
+void DeltaWindowProblem::retire_executed(RequestId id) {
+  const auto it = rows_.find(id);
+  REQSCHED_REQUIRE_MSG(it != rows_.end(), "no window row for r" << id);
+  const Row& row = it->second;
+  REQSCHED_REQUIRE_MSG(row.booked.valid(),
+                       "r" << id << " executed while not booked");
+  REQSCHED_REQUIRE_MSG(row.booked.round == window_begin_,
+                       "r" << id << " executed at " << row.booked
+                           << " away from the current round "
+                           << window_begin_);
+  // The start unit is consumed by the execution; the tail of the occupancy
+  // run stays busy as anonymous holds until each round departs the window.
+  release_unit(row.booked, id);
+  const std::int32_t occupancy = row.request.occupancy;
+  for (std::int32_t j = 1; j < occupancy; ++j) {
+    const SlotRef covered{row.booked.resource, row.booked.round + j};
+    const std::size_t cell = cell_index(covered);
+    const std::size_t base = unit_base(cell);
+    const auto cap = static_cast<std::size_t>(
+        config_.capacity_of(covered.resource));
+    bool converted = false;
+    for (std::size_t u = 0; u < cap; ++u) {
+      if (grid_[base + u] == id) {
+        grid_[base + u] = kHeldUnit;
+        converted = true;
+        break;
+      }
+    }
+    REQSCHED_REQUIRE_MSG(converted, "r" << id
+                                        << " occupancy unit missing at "
+                                        << covered);
+    --col_booked_[column_of(covered.round)];
+    ++col_held_[column_of(covered.round)];
+  }
+  if (occupancy > 1) --booked_runs_;
   rows_.erase(it);
 #if REQSCHED_AUDIT_ENABLED
   audit_check();
@@ -96,10 +176,18 @@ void DeltaWindowProblem::book(RequestId id, SlotRef slot) {
   REQSCHED_REQUIRE_MSG(!row.booked.valid(),
                        "r" << id << " already booked at " << row.booked);
   REQSCHED_REQUIRE(in_window(slot.round) && row.request.allows_slot(slot));
-  REQSCHED_REQUIRE_MSG(is_free(slot), slot << " is not free");
+  const std::int32_t occupancy = row.request.occupancy;
+  for (std::int32_t j = 0; j < occupancy; ++j) {
+    const SlotRef covered{slot.resource, slot.round + j};
+    REQSCHED_REQUIRE_MSG(in_window(covered.round) && is_free(covered),
+                         covered << " is not free");
+  }
+  for (std::int32_t j = 0; j < occupancy; ++j) {
+    take_unit({slot.resource, slot.round + j}, id);
+  }
   row.booked = slot;
-  grid_[grid_index(slot)] = id;
-  set_free(slot, false);
+  --unbooked_rows_;
+  if (occupancy > 1) ++booked_runs_;
 #if REQSCHED_AUDIT_ENABLED
   audit_check();
 #endif
@@ -110,19 +198,47 @@ void DeltaWindowProblem::unbook(RequestId id) {
   REQSCHED_REQUIRE_MSG(it != rows_.end(), "no window row for r" << id);
   Row& row = it->second;
   REQSCHED_REQUIRE_MSG(row.booked.valid(), "r" << id << " is not booked");
-  grid_[grid_index(row.booked)] = kNoRequest;
-  set_free(row.booked, true);
+  for (std::int32_t j = 0; j < row.request.occupancy; ++j) {
+    release_unit({row.booked.resource, row.booked.round + j}, id);
+  }
   row.booked = kNoSlot;
+  ++unbooked_rows_;
+  if (row.request.occupancy > 1) --booked_runs_;
 #if REQSCHED_AUDIT_ENABLED
   audit_check();
 #endif
 }
 
 void DeltaWindowProblem::advance() {
-  REQSCHED_REQUIRE_MSG(free_in_round(window_begin_) == config_.n,
+  const std::size_t col = column_of(window_begin_);
+  REQSCHED_REQUIRE_MSG(col_booked_[col] == 0,
                        "window column " << window_begin_
                                         << " advanced while still booked");
-  // The vacated column re-enters as round window_begin + d, already all-free.
+  if (col_held_[col] > 0) {
+    // Holds in the departing round end with it: the column re-enters as
+    // round window_begin + d fully free.
+    const auto n = static_cast<std::size_t>(config_.n);
+    for (std::size_t res = 0; res < n; ++res) {
+      const std::size_t cell = col * n + res;
+      const std::size_t base = unit_base(cell);
+      const auto cap = static_cast<std::size_t>(
+          config_.capacity_of(static_cast<ResourceId>(res)));
+      std::int32_t cleared = 0;
+      for (std::size_t u = 0; u < cap; ++u) {
+        if (grid_[base + u] == kHeldUnit) {
+          grid_[base + u] = kNoRequest;
+          ++cleared;
+        }
+      }
+      if (cleared == 0) continue;
+      if (free_count_[cell] == 0) {
+        set_saturation({static_cast<ResourceId>(res), window_begin_}, true);
+      }
+      free_count_[cell] += cleared;
+      col_free_[col] += cleared;
+    }
+    col_held_[col] = 0;
+  }
   ++window_begin_;
 #if REQSCHED_AUDIT_ENABLED
   audit_check();
@@ -130,15 +246,25 @@ void DeltaWindowProblem::advance() {
 }
 
 bool DeltaWindowProblem::is_free(SlotRef slot) const {
+  return free_units(slot) > 0;
+}
+
+std::int32_t DeltaWindowProblem::free_units(SlotRef slot) const {
   REQSCHED_REQUIRE(in_window(slot.round));
   REQSCHED_REQUIRE(slot.resource >= 0 && slot.resource < config_.n);
-  return grid_[grid_index(slot)] == kNoRequest;
+  return free_count_[cell_index(slot)];
 }
 
 RequestId DeltaWindowProblem::request_at(SlotRef slot) const {
   REQSCHED_REQUIRE(in_window(slot.round));
   REQSCHED_REQUIRE(slot.resource >= 0 && slot.resource < config_.n);
-  return grid_[grid_index(slot)];
+  const std::size_t base = unit_base(cell_index(slot));
+  const auto cap = static_cast<std::size_t>(
+      config_.capacity_of(slot.resource));
+  for (std::size_t u = 0; u < cap; ++u) {
+    if (grid_[base + u] >= 0) return grid_[base + u];
+  }
+  return kNoRequest;
 }
 
 SlotRef DeltaWindowProblem::earliest_free_slot(ResourceId resource, Round from,
@@ -153,7 +279,7 @@ SlotRef DeltaWindowProblem::earliest_free_slot(ResourceId resource, Round from,
     if (m == 0) return kNoSlot;
     return SlotRef{resource, window_begin_ + std::countr_zero(m)};
   }
-  return scan_first_allowed_wide(resource, kNoResource, lo, hi,
+  return scan_first_allowed_wide(AltList{resource}, lo, hi,
                                  /*exclude_claims=*/false);
 }
 
@@ -162,74 +288,87 @@ SlotRef DeltaWindowProblem::first_free_allowed(RequestId id) const {
 }
 
 SlotRef DeltaWindowProblem::first_free_allowed(const Request& r) const {
-  const Round lo = std::max(r.arrival, window_begin_);
-  const Round hi = std::min(r.deadline, window_end() - 1);
-  if (lo > hi) return kNoSlot;
-  const bool two = r.second != kNoResource;
-  if (has_round_masks()) {
-    // O(1): each resource's free rounds are one rotated word; the earliest
-    // allowed round is a ctz, the {first, second} tie going to first.
-    const std::uint64_t range = round_range_mask(lo, hi);
-    const std::uint64_t m1 = rotated_round_mask(r.first) & range;
-    const std::uint64_t m2 = two ? rotated_round_mask(r.second) & range : 0;
-    if ((m1 | m2) == 0) return kNoSlot;
-    const int o1 = m1 != 0 ? std::countr_zero(m1) : 64;
-    const int o2 = m2 != 0 ? std::countr_zero(m2) : 64;
-    if (o1 <= o2) return SlotRef{r.first, window_begin_ + o1};
-    return SlotRef{r.second, window_begin_ + o2};
-  }
-  // d > 64: sweep whole words of the per-resource ring masks (ctz per word)
-  // instead of probing the column masks once per round.
-  return scan_first_allowed_wide(r.first, r.second, lo, hi,
-                                 /*exclude_claims=*/false);
+  return first_free_allowed(r, window_end() - 1);
 }
 
-SlotRef DeltaWindowProblem::scan_first_allowed_wide(ResourceId first,
-                                                    ResourceId second, Round lo,
-                                                    Round hi,
+SlotRef DeltaWindowProblem::first_free_allowed(const Request& r,
+                                               Round last_start) const {
+  const Round lo = std::max(r.arrival, window_begin_);
+  const Round hi =
+      std::min({r.latest_start(), window_end() - 1, last_start});
+  if (lo > hi) return kNoSlot;
+  if (has_round_masks()) {
+    // O(k): each resource's free rounds are one rotated word; the earliest
+    // allowed start is a ctz, round ties going to the earliest-listed
+    // alternative. An occupancy run needs occ consecutive free rounds, so
+    // its start mask is the AND of the shifted free mask.
+    const std::uint64_t range = round_range_mask(lo, hi);
+    int best_off = 64;
+    ResourceId best = kNoResource;
+    for (const ResourceId alt : r.alts) {
+      std::uint64_t m = rotated_round_mask(alt);
+      for (std::int32_t j = 1; j < r.occupancy; ++j) m &= m >> 1;
+      m &= range;
+      if (m == 0) continue;
+      const int off = std::countr_zero(m);
+      if (off < best_off) {
+        best_off = off;
+        best = alt;
+      }
+    }
+    if (best == kNoResource) return kNoSlot;
+    return SlotRef{best, window_begin_ + best_off};
+  }
+  if (r.occupancy > 1) return scan_first_run_wide(r.alts, r.occupancy, lo, hi);
+  // d > 64: sweep whole words of the per-resource ring masks (ctz per word)
+  // instead of probing the column masks once per round.
+  return scan_first_allowed_wide(r.alts, lo, hi, /*exclude_claims=*/false);
+}
+
+SlotRef DeltaWindowProblem::scan_first_allowed_wide(const AltList& alts,
+                                                    Round lo, Round hi,
                                                     bool exclude_claims) const {
   if (lo > hi) return kNoSlot;
   const auto d = static_cast<std::size_t>(config_.d);
   const std::size_t wpr = words_per_resource();
-  const std::uint64_t* f1 =
-      res_free_.data() + static_cast<std::size_t>(first) * wpr;
-  const std::uint64_t* c1 =
-      res_claimed_.data() + static_cast<std::size_t>(first) * wpr;
-  const bool two = second != kNoResource;
-  const std::uint64_t* f2 =
-      two ? res_free_.data() + static_cast<std::size_t>(second) * wpr : nullptr;
-  const std::uint64_t* c2 =
-      two ? res_claimed_.data() + static_cast<std::size_t>(second) * wpr
-          : nullptr;
+  const std::int32_t k = alts.size();
+  const std::uint64_t* freq[kMaxAlternatives];
+  const std::uint64_t* claimed[kMaxAlternatives];
+  for (std::int32_t i = 0; i < k; ++i) {
+    freq[i] = res_free_.data() + static_cast<std::size_t>(alts[i]) * wpr;
+    claimed[i] =
+        res_claimed_.data() + static_cast<std::size_t>(alts[i]) * wpr;
+  }
   // Rounds [lo, hi] occupy at most two contiguous ring-column segments:
   // [col(lo), d) and, after the wrap, [0, col(lo) + len - d). Each segment is
   // swept word-by-word, boundary words masked, earliest set bit of the
-  // combined {first, second} mask wins (first preferred at the same column).
+  // combined alternatives mask winning (earliest-listed at the same column).
   const auto scan_segment = [&](std::size_t a, std::size_t b,
                                 Round round_of_a) -> SlotRef {
     const std::size_t w_lo = a / 64;
     const std::size_t w_hi = b / 64;
     for (std::size_t w = w_lo; w <= w_hi; ++w) {
-      std::uint64_t m1 = f1[w];
-      std::uint64_t m2 = two ? f2[w] : 0;
-      if (exclude_claims) {
-        m1 &= ~c1[w];
-        if (two) m2 &= ~c2[w];
-      }
       std::uint64_t keep = kAllOnes;
       if (w == w_lo) keep &= kAllOnes << (a % 64);
       if (w == w_hi && (b % 64) != 63) {
         keep &= (std::uint64_t{1} << ((b % 64) + 1)) - 1;
       }
-      m1 &= keep;
-      m2 &= keep;
-      const std::uint64_t both = m1 | m2;
+      std::uint64_t per_alt[kMaxAlternatives];
+      std::uint64_t both = 0;
+      for (std::int32_t i = 0; i < k; ++i) {
+        std::uint64_t m = freq[i][w];
+        if (exclude_claims) m &= ~claimed[i][w];
+        m &= keep;
+        per_alt[i] = m;
+        both |= m;
+      }
       if (both == 0) continue;
       const int off = std::countr_zero(both);
       const std::size_t col = w * 64 + static_cast<std::size_t>(off);
       const Round round = round_of_a + static_cast<Round>(col - a);
-      if (((m1 >> off) & 1) != 0) return SlotRef{first, round};
-      return SlotRef{second, round};
+      for (std::int32_t i = 0; i < k; ++i) {
+        if (((per_alt[i] >> off) & 1) != 0) return SlotRef{alts[i], round};
+      }
     }
     return kNoSlot;
   };
@@ -240,6 +379,29 @@ SlotRef DeltaWindowProblem::scan_first_allowed_wide(ResourceId first,
   if (pre_wrap.valid()) return pre_wrap;
   return scan_segment(0, col_lo + len - 1 - d,
                       lo + static_cast<Round>(d - col_lo));
+}
+
+SlotRef DeltaWindowProblem::scan_first_run_wide(const AltList& alts,
+                                                std::int32_t occupancy,
+                                                Round lo, Round hi) const {
+  // Cold path (d > 64 and occupancy > 1): a naive earliest-run scan over the
+  // free counts, round asc then alternative list order.
+  const auto n = static_cast<std::size_t>(config_.n);
+  for (Round start = lo; start <= hi; ++start) {
+    for (const ResourceId alt : alts) {
+      bool fits = true;
+      for (std::int32_t j = 0; j < occupancy; ++j) {
+        const std::size_t cell =
+            column_of(start + j) * n + static_cast<std::size_t>(alt);
+        if (free_count_[cell] == 0) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) return SlotRef{alt, start};
+    }
+  }
+  return kNoSlot;
 }
 
 void DeltaWindowProblem::begin_admission_batch() {
@@ -254,6 +416,7 @@ void DeltaWindowProblem::end_admission_batch() {
   REQSCHED_REQUIRE_MSG(admission_batch_, "no admission batch open");
   const std::size_t wpr = words_per_resource();
   for (const SlotRef slot : batch_claims_) {
+    claim_count_[cell_index(slot)] = 0;
     const std::size_t col = column_of(slot.round);
     res_claimed_[static_cast<std::size_t>(slot.resource) * wpr + col / 64] &=
         ~(std::uint64_t{1} << (col % 64));
@@ -267,37 +430,55 @@ void DeltaWindowProblem::end_admission_batch() {
 
 DeltaWindowProblem::AdmissionProbe DeltaWindowProblem::admission_probe(
     const Request& r) const {
+  return admission_probe(r, window_end() - 1);
+}
+
+DeltaWindowProblem::AdmissionProbe DeltaWindowProblem::admission_probe(
+    const Request& r, Round last_round) const {
   REQSCHED_REQUIRE_MSG(admission_batch_,
                        "admission_probe outside an admission batch");
+  REQSCHED_REQUIRE_MSG(r.occupancy == 1,
+                       "the admission fast path probes unit-occupancy rows");
   const Round lo = std::max(r.arrival, window_begin_);
-  const Round hi = std::min(r.deadline, window_end() - 1);
+  const Round hi = std::min({r.deadline, window_end() - 1, last_round});
   if (lo > hi) return {};
-  const bool two = r.second != kNoResource;
+  const std::int32_t k = r.alts.size();
   if (has_round_masks()) {
     const std::uint64_t range = round_range_mask(lo, hi);
-    const std::uint64_t f1 = rotated_round_mask(res_free_, r.first) & range;
-    const std::uint64_t f2 =
-        two ? rotated_round_mask(res_free_, r.second) & range : 0;
-    const auto choose = [&](std::uint64_t m1, std::uint64_t m2) -> SlotRef {
-      if ((m1 | m2) == 0) return kNoSlot;
-      const int o1 = m1 != 0 ? std::countr_zero(m1) : 64;
-      const int o2 = m2 != 0 ? std::countr_zero(m2) : 64;
-      if (o1 <= o2) return SlotRef{r.first, window_begin_ + o1};
-      return SlotRef{r.second, window_begin_ + o2};
+    std::uint64_t fmask[kMaxAlternatives];
+    std::uint64_t cmask[kMaxAlternatives];
+    std::uint64_t any_claim = 0;
+    for (std::int32_t i = 0; i < k; ++i) {
+      fmask[i] = rotated_round_mask(res_free_, r.alts[i]) & range;
+      cmask[i] = rotated_round_mask(res_claimed_, r.alts[i]) & range;
+      any_claim |= cmask[i];
+    }
+    const auto choose = [&](bool exclude_claims) -> SlotRef {
+      int best_off = 64;
+      ResourceId best = kNoResource;
+      for (std::int32_t i = 0; i < k; ++i) {
+        const std::uint64_t m =
+            exclude_claims ? fmask[i] & ~cmask[i] : fmask[i];
+        if (m == 0) continue;
+        const int off = std::countr_zero(m);
+        if (off < best_off) {
+          best_off = off;
+          best = r.alts[i];
+        }
+      }
+      if (best == kNoResource) return kNoSlot;
+      return SlotRef{best, window_begin_ + best_off};
     };
-    const std::uint64_t c1 = rotated_round_mask(res_claimed_, r.first) & range;
-    const std::uint64_t c2 =
-        two ? rotated_round_mask(res_claimed_, r.second) & range : 0;
-    // No batch claim touches this row's alternatives: the pre-batch view is
-    // the live view, so greedy booking of the slot is Kuhn-identical.
-    if ((c1 | c2) == 0) return {choose(f1, f2), false};
-    const SlotRef live = choose(f1 & ~c1, f2 & ~c2);
-    const SlotRef pre = choose(f1, f2);
+    // No batch claim saturates this row's alternatives: the pre-batch view
+    // is the live view, so greedy booking of the slot is Kuhn-identical.
+    if (any_claim == 0) return {choose(false), false};
+    const SlotRef live = choose(true);
+    const SlotRef pre = choose(false);
     return {live, live != pre};
   }
-  const SlotRef live = scan_first_allowed_wide(r.first, r.second, lo, hi,
+  const SlotRef live = scan_first_allowed_wide(r.alts, lo, hi,
                                                /*exclude_claims=*/true);
-  const SlotRef pre = scan_first_allowed_wide(r.first, r.second, lo, hi,
+  const SlotRef pre = scan_first_allowed_wide(r.alts, lo, hi,
                                               /*exclude_claims=*/false);
   return {live, live != pre};
 }
@@ -306,18 +487,59 @@ void DeltaWindowProblem::claim_admission_slot(SlotRef slot) {
   REQSCHED_REQUIRE_MSG(admission_batch_,
                        "claim_admission_slot outside an admission batch");
   REQSCHED_REQUIRE_MSG(is_free(slot), slot << " is not free");
-  const std::size_t col = column_of(slot.round);
-  std::uint64_t& word =
-      res_claimed_[static_cast<std::size_t>(slot.resource) *
-                       words_per_resource() +
-                   col / 64];
-  const std::uint64_t bit = std::uint64_t{1} << (col % 64);
-  REQSCHED_REQUIRE_MSG((word & bit) == 0, slot << " already claimed");
-  word |= bit;
+  const std::size_t cell = cell_index(slot);
+  REQSCHED_REQUIRE_MSG(claim_count_[cell] < free_count_[cell],
+                       slot << " already fully claimed");
+  if (++claim_count_[cell] == free_count_[cell]) {
+    const std::size_t col = column_of(slot.round);
+    res_claimed_[static_cast<std::size_t>(slot.resource) *
+                     words_per_resource() +
+                 col / 64] |= std::uint64_t{1} << (col % 64);
+  }
   batch_claims_.push_back(slot);
 }
 
-void DeltaWindowProblem::set_free(SlotRef slot, bool free) {
+void DeltaWindowProblem::take_unit(SlotRef slot, RequestId id) {
+  const std::size_t cell = cell_index(slot);
+  REQSCHED_REQUIRE_MSG(free_count_[cell] > 0, slot << " is not free");
+  const std::size_t base = unit_base(cell);
+  const auto cap = static_cast<std::size_t>(
+      config_.capacity_of(slot.resource));
+  std::size_t u = 0;
+  while (u < cap && grid_[base + u] != kNoRequest) ++u;
+  REQSCHED_REQUIRE(u < cap);
+  grid_[base + u] = id;
+  if (--free_count_[cell] == 0) set_saturation(slot, false);
+  const std::size_t col = column_of(slot.round);
+  --col_free_[col];
+  if (id == kHeldUnit) {
+    ++col_held_[col];
+  } else {
+    ++col_booked_[col];
+  }
+}
+
+void DeltaWindowProblem::release_unit(SlotRef slot, RequestId id) {
+  const std::size_t cell = cell_index(slot);
+  const std::size_t base = unit_base(cell);
+  const auto cap = static_cast<std::size_t>(
+      config_.capacity_of(slot.resource));
+  std::size_t u = 0;
+  while (u < cap && grid_[base + u] != id) ++u;
+  REQSCHED_REQUIRE_MSG(u < cap,
+                       "r" << id << " holds no unit of " << slot);
+  grid_[base + u] = kNoRequest;
+  if (free_count_[cell]++ == 0) set_saturation(slot, true);
+  const std::size_t col = column_of(slot.round);
+  ++col_free_[col];
+  if (id == kHeldUnit) {
+    --col_held_[col];
+  } else {
+    --col_booked_[col];
+  }
+}
+
+void DeltaWindowProblem::set_saturation(SlotRef slot, bool free) {
   const std::size_t words = words_per_column();
   const std::size_t word = static_cast<std::size_t>(slot.resource) / 64;
   const std::uint64_t bit = std::uint64_t{1}
@@ -361,28 +583,31 @@ std::uint64_t DeltaWindowProblem::round_range_mask(Round lo, Round hi) const {
   return upto & ~((std::uint64_t{1} << lo_off) - 1);
 }
 
-std::int32_t DeltaWindowProblem::free_rank_below(Round round,
-                                                 ResourceId resource) const {
-  const std::size_t words = words_per_column();
-  const std::uint64_t* column = free_.data() + column_of(round) * words;
-  const std::size_t word = static_cast<std::size_t>(resource) / 64;
-  std::int32_t rank = 0;
-  for (std::size_t w = 0; w < word; ++w) {
-    rank += std::popcount(column[w]);
+std::int32_t DeltaWindowProblem::free_units_below(Round round,
+                                                  ResourceId resource) const {
+  const std::size_t col = column_of(round);
+  if (b_max_ == 1) {
+    // Unit capacity: the free count is the saturation bit, so the rank is a
+    // popcount over the column mask — the historical fast path.
+    const std::size_t words = words_per_column();
+    const std::uint64_t* column = free_.data() + col * words;
+    const std::size_t word = static_cast<std::size_t>(resource) / 64;
+    std::int32_t rank = 0;
+    for (std::size_t w = 0; w < word; ++w) {
+      rank += std::popcount(column[w]);
+    }
+    const std::size_t bit = static_cast<std::size_t>(resource) % 64;
+    if (bit != 0) {
+      rank += std::popcount(column[word] & ((std::uint64_t{1} << bit) - 1));
+    }
+    return rank;
   }
-  const std::size_t bit = static_cast<std::size_t>(resource) % 64;
-  if (bit != 0) {
-    rank += std::popcount(column[word] & ((std::uint64_t{1} << bit) - 1));
+  const std::size_t base = col * static_cast<std::size_t>(config_.n);
+  std::int32_t rank = 0;
+  for (std::size_t r = 0; r < static_cast<std::size_t>(resource); ++r) {
+    rank += free_count_[base + r];
   }
   return rank;
-}
-
-std::int32_t DeltaWindowProblem::free_in_round(Round round) const {
-  const std::size_t words = words_per_column();
-  const std::uint64_t* column = free_.data() + column_of(round) * words;
-  std::int32_t count = 0;
-  for (std::size_t w = 0; w < words; ++w) count += std::popcount(column[w]);
-  return count;
 }
 
 void DeltaWindowProblem::collect_rights(WindowScope scope,
@@ -394,20 +619,29 @@ void DeltaWindowProblem::collect_rights(WindowScope scope,
   if (scope == WindowScope::kFullWindow) {
     for (Round round = t; round <= window_last; ++round) {
       for (ResourceId i = 0; i < config_.n; ++i) {
-        rights.push_back(SlotRef{i, round});
+        const std::int32_t cap = config_.capacity_of(i);
+        for (std::int32_t u = 0; u < cap; ++u) {
+          rights.push_back(SlotRef{i, round});
+        }
       }
     }
     return;
   }
   const std::size_t words = words_per_column();
+  const auto n = static_cast<std::size_t>(config_.n);
   for (Round round = t; round <= window_last; ++round) {
-    const std::uint64_t* column = free_.data() + column_of(round) * words;
+    const std::size_t col = column_of(round);
+    const std::uint64_t* column = free_.data() + col * words;
     for (std::size_t w = 0; w < words; ++w) {
       std::uint64_t bits = column[w];
       while (bits != 0) {
         const auto res = static_cast<ResourceId>(
             w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
-        rights.push_back(SlotRef{res, round});
+        const std::int32_t count =
+            free_count_[col * n + static_cast<std::size_t>(res)];
+        for (std::int32_t u = 0; u < count; ++u) {
+          rights.push_back(SlotRef{res, round});
+        }
         bits &= bits - 1;
       }
     }
@@ -423,10 +657,11 @@ void DeltaWindowProblem::build_problem(std::span<const RequestId> lefts,
   const Round window_last =
       scope == WindowScope::kCurrentRound ? t : window_end() - 1;
   const bool full = scope == WindowScope::kFullWindow;
+  const auto round_units = static_cast<std::int32_t>(config_.units_per_round());
 
-  // Per-round base offsets into `rights`, so a free slot's right index is
-  // base[round - t] + (its free-rank within the round) — O(n/64) per edge
-  // instead of a dense O(n*d) map rebuilt every round.
+  // Per-round base offsets into `rights`, so a free unit's right index is
+  // base[round - t] + (its free-unit rank within the round) — O(n/64) per
+  // edge at unit capacity instead of a dense O(n*d) map rebuilt every round.
   std::int32_t base[1 + 64];  // d is small; fall back to exact size if not
   std::vector<std::int32_t> base_overflow;
   std::int32_t* bases = base;
@@ -443,23 +678,64 @@ void DeltaWindowProblem::build_problem(std::span<const RequestId> lefts,
     }
   }
 
+  // A full-window right is only rebookable when its unit is free or booked
+  // by a unit-occupancy row: holds and occupancy runs keep their units until
+  // they end, so the matcher must not offer them. With no runs and no holds
+  // in the window (always true in the paper model) every unit qualifies and
+  // the filter never runs.
+  bool locked_units = full && booked_runs_ > 0;
+  if (full && !locked_units) {
+    for (const std::int32_t held : col_held_) {
+      if (held != 0) {
+        locked_units = true;
+        break;
+      }
+    }
+  }
+
   graph.reset(static_cast<std::int32_t>(lefts.size()),
               static_cast<std::int32_t>(rights.size()));
+  const auto n = static_cast<std::size_t>(config_.n);
   for (std::size_t l = 0; l < lefts.size(); ++l) {
     const Request& r = row(lefts[l]);
+    REQSCHED_REQUIRE_MSG(r.occupancy == 1,
+                         r << " is a multi-round run, not a bipartite row");
     const Round lo = std::max(r.arrival, t);
     const Round hi = std::min(r.deadline, window_last);
     for (Round round = lo; round <= hi; ++round) {
-      for (const ResourceId res : {r.first, r.second}) {
-        if (res == kNoResource) continue;
-        std::int32_t right;
+      for (const ResourceId res : r.alts) {
         if (full) {
-          right = static_cast<std::int32_t>((round - t) * config_.n + res);
-        } else {
-          if (!is_free(SlotRef{res, round})) continue;
-          right = bases[round - t] + free_rank_below(round, res);
+          const std::int32_t cap = config_.capacity_of(res);
+          const std::int32_t right_base =
+              static_cast<std::int32_t>(round - t) * round_units +
+              unit_offset_[static_cast<std::size_t>(res)];
+          if (!locked_units) {
+            for (std::int32_t u = 0; u < cap; ++u) {
+              graph.add_edge(static_cast<std::int32_t>(l), right_base + u);
+            }
+            continue;
+          }
+          const std::size_t gbase =
+              unit_base(column_of(round) * n + static_cast<std::size_t>(res));
+          for (std::int32_t u = 0; u < cap; ++u) {
+            const RequestId occ = grid_[gbase + static_cast<std::size_t>(u)];
+            if (occ == kHeldUnit ||
+                (occ != kNoRequest &&
+                 rows_.at(occ).request.occupancy > 1)) {
+              continue;
+            }
+            graph.add_edge(static_cast<std::int32_t>(l), right_base + u);
+          }
+          continue;
         }
-        graph.add_edge(static_cast<std::int32_t>(l), right);
+        const std::int32_t count =
+            free_count_[column_of(round) * n + static_cast<std::size_t>(res)];
+        if (count == 0) continue;
+        const std::int32_t right_base =
+            bases[round - t] + free_units_below(round, res);
+        for (std::int32_t u = 0; u < count; ++u) {
+          graph.add_edge(static_cast<std::int32_t>(l), right_base + u);
+        }
       }
     }
   }
@@ -474,80 +750,94 @@ bool DeltaWindowProblem::kuhn_try(
   const Round lo = std::max(r.arrival, t);
   const Round hi = std::min(r.deadline, window_last);
   if (lo > hi) return false;
-  // Candidate slots come from the free masks rather than per-slot occupant
+  // Candidate cells come from the saturation masks rather than per-slot
   // probes — in a saturated window almost every (round, resource) pair is
   // booked, and the augmenting search re-scans each owner's full adjacency.
-  // The free bits are stable for the whole max_match (nothing books
+  // The free counts are stable for the whole max_match (nothing books
   // mid-search), so the order visited is exactly the original round-asc,
-  // {first, second}, free-filtered enumeration.
-  const bool two = r.second != kNoResource;
-  const auto try_slot = [&](ResourceId res, Round round) {
-    const std::size_t gi =
-        column_of(round) * static_cast<std::size_t>(config_.n) +
-        static_cast<std::size_t>(res);
-    if (visited_attempt_[gi] == attempt_stamp_) return false;
-    visited_attempt_[gi] = attempt_stamp_;
-    const std::int32_t owner =
-        owner_call_[gi] == call_stamp_ ? owner_left_[gi] : -1;
-    if (owner < 0 || kuhn_try(owner, window_last, match_of_left)) {
-      owner_call_[gi] = call_stamp_;
-      owner_left_[gi] = left;
-      match_of_left[static_cast<std::size_t>(left)] =
-          static_cast<std::int32_t>(gi);
-      return true;
+  // alternative-list-order, free-filtered unit enumeration.
+  const auto n = static_cast<std::size_t>(config_.n);
+  const std::int32_t k = r.alts.size();
+  const auto try_cell = [&](ResourceId res, Round round) {
+    const std::size_t cell =
+        column_of(round) * n + static_cast<std::size_t>(res);
+    const std::int32_t count = free_count_[cell];
+    const std::size_t base = unit_base(cell);
+    for (std::int32_t u = 0; u < count; ++u) {
+      const std::size_t gi = base + static_cast<std::size_t>(u);
+      if (visited_attempt_[gi] == attempt_stamp_) continue;
+      visited_attempt_[gi] = attempt_stamp_;
+      const std::int32_t owner =
+          owner_call_[gi] == call_stamp_ ? owner_left_[gi] : -1;
+      if (owner < 0 || kuhn_try(owner, window_last, match_of_left)) {
+        owner_call_[gi] = call_stamp_;
+        owner_left_[gi] = left;
+        match_of_left[static_cast<std::size_t>(left)] =
+            static_cast<std::int32_t>(gi);
+        return true;
+      }
     }
     return false;
   };
   if (has_round_masks()) {
-    // Skip rounds with no free slot for either alternative entirely: iterate
+    // Skip rounds with no free unit on any alternative entirely: iterate
     // the set bits of the combined rotated round mask, earliest round first.
     const std::uint64_t range = round_range_mask(lo, hi);
-    const std::uint64_t m1 = rotated_round_mask(r.first) & range;
-    const std::uint64_t m2 = two ? rotated_round_mask(r.second) & range : 0;
-    std::uint64_t both = m1 | m2;
+    std::uint64_t per_alt[kMaxAlternatives];
+    std::uint64_t both = 0;
+    for (std::int32_t i = 0; i < k; ++i) {
+      per_alt[i] = rotated_round_mask(r.alts[i]) & range;
+      both |= per_alt[i];
+    }
     while (both != 0) {
       const int off = std::countr_zero(both);
       both &= both - 1;
       const Round round = t + off;
-      if (((m1 >> off) & 1) != 0 && try_slot(r.first, round)) return true;
-      if (((m2 >> off) & 1) != 0 && try_slot(r.second, round)) return true;
+      for (std::int32_t i = 0; i < k; ++i) {
+        if (((per_alt[i] >> off) & 1) != 0 && try_cell(r.alts[i], round)) {
+          return true;
+        }
+      }
     }
     return false;
   }
   // d > 64: same skip-empty-rounds idea, but over the multi-word per-resource
   // ring masks — whole-word ctz iteration across the (at most two) contiguous
-  // ring-column segments the window maps [lo, hi] onto. The free bits are
+  // ring-column segments the window maps [lo, hi] onto. The free counts are
   // stable for the whole max_match, so the visit order is still round-asc,
-  // {first, second}.
+  // alternative list order.
   const auto d = static_cast<std::size_t>(config_.d);
   const std::size_t wpr = words_per_resource();
-  const std::uint64_t* f1 =
-      res_free_.data() + static_cast<std::size_t>(r.first) * wpr;
-  const std::uint64_t* f2 =
-      two ? res_free_.data() + static_cast<std::size_t>(r.second) * wpr
-          : nullptr;
+  const std::uint64_t* freq[kMaxAlternatives];
+  for (std::int32_t i = 0; i < k; ++i) {
+    freq[i] = res_free_.data() + static_cast<std::size_t>(r.alts[i]) * wpr;
+  }
   const auto sweep_segment = [&](std::size_t a, std::size_t b,
                                  Round round_of_a) -> bool {
     const std::size_t w_lo = a / 64;
     const std::size_t w_hi = b / 64;
     for (std::size_t w = w_lo; w <= w_hi; ++w) {
-      std::uint64_t m1 = f1[w];
-      std::uint64_t m2 = two ? f2[w] : 0;
       std::uint64_t keep = kAllOnes;
       if (w == w_lo) keep &= kAllOnes << (a % 64);
       if (w == w_hi && (b % 64) != 63) {
         keep &= (std::uint64_t{1} << ((b % 64) + 1)) - 1;
       }
-      m1 &= keep;
-      m2 &= keep;
-      std::uint64_t both = m1 | m2;
+      std::uint64_t per_alt[kMaxAlternatives];
+      std::uint64_t both = 0;
+      for (std::int32_t i = 0; i < k; ++i) {
+        per_alt[i] = freq[i][w] & keep;
+        both |= per_alt[i];
+      }
       while (both != 0) {
         const int off = std::countr_zero(both);
         both &= both - 1;
         const std::size_t col = w * 64 + static_cast<std::size_t>(off);
         const Round round = round_of_a + static_cast<Round>(col - a);
-        if (((m1 >> off) & 1) != 0 && try_slot(r.first, round)) return true;
-        if (((m2 >> off) & 1) != 0 && try_slot(r.second, round)) return true;
+        for (std::int32_t i = 0; i < k; ++i) {
+          if (((per_alt[i] >> off) & 1) != 0 && try_cell(r.alts[i], round)) {
+            return true;
+          }
+        }
       }
     }
     return false;
@@ -574,6 +864,9 @@ void DeltaWindowProblem::max_match(std::span<const RequestId> lefts,
   kuhn_rows_.resize(lefts.size());
   for (std::size_t l = 0; l < lefts.size(); ++l) {
     kuhn_rows_[l] = &row(lefts[l]);
+    REQSCHED_REQUIRE_MSG(kuhn_rows_[l]->occupancy == 1,
+                         *kuhn_rows_[l]
+                             << " is a multi-round run, not a bipartite row");
   }
 
   ++call_stamp_;
@@ -589,8 +882,9 @@ void DeltaWindowProblem::max_match(std::span<const RequestId> lefts,
   for (std::size_t l = 0; l < lefts.size(); ++l) {
     const std::int32_t gi = match_ring_[l];
     if (gi < 0) continue;
-    const auto col = static_cast<Round>(gi / config_.n);
-    const auto res = static_cast<ResourceId>(gi % config_.n);
+    const std::int32_t cell = gi / b_max_;
+    const auto col = static_cast<Round>(cell / config_.n);
+    const auto res = static_cast<ResourceId>(cell % config_.n);
     const Round round = t + ((col - t_col) + config_.d) % config_.d;
     out[l] = SlotRef{res, round};
   }
@@ -603,54 +897,120 @@ void DeltaWindowProblem::audit_check() const {
 
   // Naive model: occupancy derived from the row table alone.
   std::int64_t booked_rows = 0;
+  std::int64_t unbooked_rows = 0;
+  std::int64_t booked_runs = 0;
   for (const auto& [id, row] : rows_) {
     REQSCHED_AUDIT_REQUIRE_MSG(row.request.id == id,
                                "row key r" << id << " holds " << row.request);
-    if (!row.booked.valid()) continue;
+    if (!row.booked.valid()) {
+      ++unbooked_rows;
+      continue;
+    }
     ++booked_rows;
+    if (row.request.occupancy > 1) ++booked_runs;
     REQSCHED_AUDIT_REQUIRE_MSG(
         in_window(row.booked.round) && row.request.allows_slot(row.booked),
         "r" << id << " booked at disallowed slot " << row.booked);
-    REQSCHED_AUDIT_REQUIRE_MSG(
-        grid_[grid_index(row.booked)] == id,
-        "grid disagrees with row table at " << row.booked << ": holds r"
-            << grid_[grid_index(row.booked)] << ", row says r" << id);
   }
+  REQSCHED_AUDIT_REQUIRE_MSG(
+      unbooked_rows == unbooked_rows_,
+      "unbooked-row counter " << unbooked_rows_ << " vs " << unbooked_rows
+                              << " unbooked rows");
+  REQSCHED_AUDIT_REQUIRE_MSG(
+      booked_runs == booked_runs_,
+      "booked-run counter " << booked_runs_ << " vs " << booked_runs
+                            << " booked multi-round rows");
 
-  // Every occupied grid cell must be claimed by exactly one booked row, and
-  // the free bitmasks (both orientations) must be its exact complement.
-  std::int64_t occupied = 0;
+  // Every occupied grid unit must be claimed by a booked row covering its
+  // round (or be an anonymous hold), the free counts must be the exact unit
+  // complement, and the saturation bitmasks (both orientations) must mirror
+  // "count > 0".
+  std::int64_t request_units = 0;
+  std::unordered_map<RequestId, std::int32_t> units_of;
   for (std::size_t col = 0; col < d; ++col) {
+    std::int32_t col_booked = 0;
+    std::int32_t col_held = 0;
+    std::int32_t col_free = 0;
     for (std::size_t res = 0; res < n; ++res) {
-      const std::size_t gi = col * n + res;
-      const RequestId occ = grid_[gi];
+      const std::size_t cell = col * n + res;
+      const auto cap =
+          static_cast<std::size_t>(config_.capacity_of(static_cast<ResourceId>(res)));
+      std::int32_t cell_busy = 0;
+      for (std::size_t u = 0; u < static_cast<std::size_t>(b_max_); ++u) {
+        const RequestId occ = grid_[unit_base(cell) + u];
+        if (u >= cap) {
+          REQSCHED_AUDIT_REQUIRE_MSG(
+              occ == kNoRequest,
+              "padding unit " << u << " of column " << col << " resource "
+                              << res << " is occupied");
+          continue;
+        }
+        if (occ == kNoRequest) continue;
+        ++cell_busy;
+        if (occ == kHeldUnit) {
+          ++col_held;
+          continue;
+        }
+        ++col_booked;
+        ++request_units;
+        ++units_of[occ];
+        const auto it = rows_.find(occ);
+        REQSCHED_AUDIT_REQUIRE_MSG(it != rows_.end(),
+                                   "grid holds retired r" << occ);
+        const Row& row = it->second;
+        REQSCHED_AUDIT_REQUIRE_MSG(
+            row.booked.valid() &&
+                row.booked.resource == static_cast<ResourceId>(res) &&
+                ((static_cast<Round>(col) -
+                  static_cast<Round>(column_of(row.booked.round)) +
+                  config_.d) %
+                 config_.d) < row.request.occupancy,
+            "grid cell and row booking disagree for r" << occ);
+      }
+      const std::int32_t free_derived =
+          static_cast<std::int32_t>(cap) - cell_busy;
+      col_free += free_derived;
+      REQSCHED_AUDIT_REQUIRE_MSG(
+          free_count_[cell] == free_derived,
+          "free count for column " << col << " resource " << res
+              << " disagrees with the occupancy grid ("
+              << free_count_[cell] << " vs " << free_derived << ")");
       const bool bit_free =
           (free_[col * words + res / 64] >> (res % 64)) & 1;
       REQSCHED_AUDIT_REQUIRE_MSG(
-          bit_free == (occ == kNoRequest),
+          bit_free == (free_derived > 0),
           "free bit for column " << col << " resource " << res
-              << " disagrees with the occupancy grid (occupant r" << occ
-              << ")");
+              << " disagrees with the occupancy grid");
       const bool mask_free =
           (res_free_[res * words_per_resource() + col / 64] >> (col % 64)) & 1;
       REQSCHED_AUDIT_REQUIRE_MSG(
           mask_free == bit_free,
           "transposed res_free_ mask disagrees at column "
               << col << " resource " << res);
-      if (occ == kNoRequest) continue;
-      ++occupied;
-      const auto it = rows_.find(occ);
-      REQSCHED_AUDIT_REQUIRE_MSG(it != rows_.end(),
-                                 "grid holds retired r" << occ);
-      REQSCHED_AUDIT_REQUIRE_MSG(
-          it->second.booked.valid() &&
-              grid_index(it->second.booked) == gi,
-          "grid cell and row booking disagree for r" << occ);
     }
+    REQSCHED_AUDIT_REQUIRE_MSG(
+        col_booked_[col] == col_booked && col_held_[col] == col_held &&
+            col_free_[col] == col_free,
+        "per-column unit tallies disagree at column "
+            << col << ": booked " << col_booked_[col] << "/" << col_booked
+            << ", held " << col_held_[col] << "/" << col_held << ", free "
+            << col_free_[col] << "/" << col_free);
   }
-  REQSCHED_AUDIT_REQUIRE_MSG(occupied == booked_rows,
-                             occupied << " occupied slots vs " << booked_rows
-                                      << " booked rows");
+  for (const auto& [id, row] : rows_) {
+    const std::int32_t expected = row.booked.valid() ? row.request.occupancy : 0;
+    const auto it = units_of.find(id);
+    const std::int32_t got = it == units_of.end() ? 0 : it->second;
+    REQSCHED_AUDIT_REQUIRE_MSG(got == expected,
+                               "r" << id << " occupies " << got
+                                   << " grid units, booking implies "
+                                   << expected);
+  }
+  REQSCHED_AUDIT_REQUIRE_MSG(
+      static_cast<std::int64_t>(units_of.size()) == booked_rows,
+      units_of.size() << " occupying requests vs " << booked_rows
+                      << " booked rows");
+  (void)request_units;
+
   // Bits at or past d in the last word of each per-resource mask must never
   // be set (rotate and word-sweep correctness depend on it).
   const std::size_t res_words = words_per_resource();
@@ -668,34 +1028,54 @@ void DeltaWindowProblem::audit_check() const {
         "res_claimed_ has bits past d for resource " << res);
   }
 
-  // Claim-mask oracle: the claimed bits must be exactly the slots recorded in
-  // batch_claims_, every claimed slot must still be free (claims never book),
-  // and everything must be zero outside a batch.
+  // Claim oracle: the claim counts must be exactly the units recorded in
+  // batch_claims_, no cell may be claimed past its free count (claims never
+  // book), the saturation overlay must flag exactly the fully-claimed
+  // cells, and everything must be zero outside a batch.
   if (!admission_batch_) {
     REQSCHED_AUDIT_REQUIRE_MSG(batch_claims_.empty(),
                                "batch_claims_ non-empty outside a batch");
   }
-  std::vector<std::uint64_t> naive_claimed(n * res_words, 0);
+  std::vector<std::int32_t> naive_claims(n * d, 0);
   for (const SlotRef slot : batch_claims_) {
     REQSCHED_AUDIT_REQUIRE_MSG(
         admission_batch_ && in_window(slot.round) && slot.resource >= 0 &&
             slot.resource < config_.n,
         "batch claim " << slot << " is not a window slot of an open batch");
-    REQSCHED_AUDIT_REQUIRE_MSG(grid_[grid_index(slot)] == kNoRequest,
-                               "batch claim " << slot << " is booked");
-    const std::size_t col = column_of(slot.round);
-    naive_claimed[static_cast<std::size_t>(slot.resource) * res_words +
-                  col / 64] |= std::uint64_t{1} << (col % 64);
+    ++naive_claims[cell_index(slot)];
   }
-  REQSCHED_AUDIT_REQUIRE_MSG(
-      naive_claimed == res_claimed_,
-      "res_claimed_ disagrees with the batch_claims_ slot list");
+  for (std::size_t col = 0; col < d; ++col) {
+    for (std::size_t res = 0; res < n; ++res) {
+      const std::size_t cell = col * n + res;
+      REQSCHED_AUDIT_REQUIRE_MSG(
+          claim_count_[cell] == naive_claims[cell],
+          "claim count disagrees with the batch_claims_ slot list at column "
+              << col << " resource " << res);
+      REQSCHED_AUDIT_REQUIRE_MSG(
+          claim_count_[cell] <= free_count_[cell],
+          "cell at column " << col << " resource " << res
+                            << " claimed past its free count");
+      const bool claimed_bit =
+          (res_claimed_[res * res_words + col / 64] >> (col % 64)) & 1;
+      const bool saturated =
+          claim_count_[cell] > 0 && claim_count_[cell] == free_count_[cell];
+      REQSCHED_AUDIT_REQUIRE_MSG(
+          claimed_bit == saturated,
+          "res_claimed_ disagrees with the batch_claims_ slot list at column "
+              << col << " resource " << res);
+    }
+  }
 }
 
 std::size_t DeltaWindowProblem::approx_bytes() const {
   return free_.capacity() * sizeof(std::uint64_t) +
          res_free_.capacity() * sizeof(std::uint64_t) +
          res_claimed_.capacity() * sizeof(std::uint64_t) +
+         free_count_.capacity() * sizeof(std::int32_t) +
+         claim_count_.capacity() * sizeof(std::int32_t) +
+         (col_booked_.capacity() + col_held_.capacity() +
+          col_free_.capacity() + unit_offset_.capacity()) *
+             sizeof(std::int32_t) +
          batch_claims_.capacity() * sizeof(SlotRef) +
          grid_.capacity() * sizeof(RequestId) +
          visited_attempt_.capacity() * sizeof(std::int64_t) +

@@ -6,17 +6,29 @@
 // with one persistent structure per run, updated by the events the engine
 // already emits:
 //
-//   add_request  — an arrival appends a row (the canonical round-asc,
-//                  {first, second} slot enumeration, the same order
-//                  SlotGraph::append_slot_edges uses),
-//   retire       — an expiry or execution removes the row,
-//   book/unbook  — schedule edits flip per-slot free bits,
-//   advance      — the round boundary shifts the slot columns by one.
+//   add_request     — an arrival appends a row (the canonical round-asc,
+//                     alternative-list-order slot enumeration, the same
+//                     order SlotGraph::append_slot_edges uses),
+//   retire          — an expiry removes the (unbooked) row,
+//   retire_executed — an execution removes a booked row: the start unit is
+//                     consumed, the occupancy tail turns into holds,
+//   book/unbook     — schedule edits move per-slot free unit counts,
+//   advance         — the round boundary shifts the slot columns by one.
 //
-// Rights enumeration, right-index lookup, and graph construction then cost
-// O(free slots) / O(1) / O(edges) with all buffers reused, instead of
+// Capacity generalization: each (resource, round) cell holds capacity_of(r)
+// execution units. The free *counts* per cell are authoritative; the
+// historical per-column and per-resource bitmasks survive as saturation
+// overlays (bit set iff the cell still has a free unit), so every O(1)
+// rotate+ctz probe and the admission fast path work unchanged — and reduce
+// to exactly the historical single-bit semantics when every b_r == 1.
+// Requests with occupancy o book one unit of their resource in each of o
+// consecutive rounds; after execution the tail units become anonymous holds
+// (kHeldUnit) cleared when their round departs the window.
+//
+// Rights enumeration, right-index lookup, and graph construction cost
+// O(free units) / O(1) / O(edges) with all buffers reused, instead of
 // O(n*d) + allocations per round. The matching helpers (max_match,
-// first_free_allowed) run Kuhn / greedy-maximal directly in ring-slot space,
+// first_free_allowed) run Kuhn / greedy-maximal directly in ring-unit space,
 // replicating kuhn_ordered / greedy_maximal traversal order exactly — the
 // strategies built on top are bit-identical to the rebuild-per-round path.
 //
@@ -24,9 +36,9 @@
 // claim_admission_slot) serves the engine's fast path: arrivals whose
 // earliest free allowed slot is untouched by the batch's own claims can be
 // booked greedily, provably producing the matching Kuhn would. A batch only
-// *claims* slots (bits in a side mask) — nothing is booked until the whole
-// batch proves uncontended, so a contended batch costs one mask sweep and no
-// unwinding before it punts to the matcher (docs/streaming.md has the proof).
+// *claims* units (counts in a side array) — nothing is booked until the
+// whole batch proves uncontended, so a contended batch costs one sweep and
+// no unwinding before it punts to the matcher (docs/streaming.md).
 //
 // The class is deliberately simulator-independent (events in, queries out),
 // so the differential fuzz suite can drive it standalone against a freshly
@@ -67,21 +79,32 @@ class DeltaWindowProblem {
   // ---- events (the engine mirrors its round loop into these) ----
 
   /// An arrival: `r.arrival` must be the current round, `r.deadline` inside
-  /// the window.
+  /// the window, and the occupancy must fit the request's own window.
   void add_request(const Request& r);
 
-  /// An expiry or execution removes the row; it must be unbooked.
+  /// An expiry removes the row; it must be unbooked.
   void retire(RequestId id);
 
-  /// A schedule assign: the slot must be free, in the window, and one of the
-  /// row's alternatives within its deadline.
+  /// An execution at the current round removes a *booked* row (booked start
+  /// == the current round): the start unit is consumed and the remaining
+  /// occupancy rounds become anonymous holds, still counted against
+  /// capacity until their round departs the window. With occupancy 1 this
+  /// is exactly unbook() + retire().
+  void retire_executed(RequestId id);
+
+  /// A schedule assign: the start slot must be in the window, one of the
+  /// row's alternatives within its latest start, and every covered round
+  /// must still have a free unit.
   void book(RequestId id, SlotRef slot);
 
-  /// A schedule unassign (the row must be booked).
+  /// A schedule unassign (the row must be booked): frees every unit of the
+  /// occupancy run.
   void unbook(RequestId id);
 
-  /// The round boundary: the current round's column must be fully free (the
-  /// engine executes and unbooks it first); it becomes round t + d.
+  /// The round boundary: the current round's column must hold no request
+  /// bookings (the engine executes and retires it first); holds in the
+  /// departing column end, and the column re-enters as round t + d fully
+  /// free.
   void advance();
 
   // ---- queries ----
@@ -90,6 +113,10 @@ class DeltaWindowProblem {
   std::int64_t row_count() const {
     return static_cast<std::int64_t>(rows_.size());
   }
+  /// Rows currently without a booking — the engine's fast-path backlog
+  /// check (strategies that only match arrivals can skip matching when the
+  /// whole backlog is already booked).
+  std::int64_t unbooked_row_count() const { return unbooked_rows_; }
   const Request& row(RequestId id) const;
   SlotRef booked_slot_of(RequestId id) const;
 
@@ -97,14 +124,21 @@ class DeltaWindowProblem {
     return round >= window_begin_ && round < window_end();
   }
   bool is_free(SlotRef slot) const;
+  /// Free capacity units left in the cell.
+  std::int32_t free_units(SlotRef slot) const;
+  /// First *request* occupant of the cell's units (holds skipped), or
+  /// kNoRequest.
   RequestId request_at(SlotRef slot) const;
 
-  /// Earliest free slot of `resource` in [from, to] (window-clamped), or
-  /// kNoSlot — the same contract as Schedule::earliest_free_slot.
+  /// Earliest slot of `resource` with a free unit in [from, to]
+  /// (window-clamped), or kNoSlot — the same contract as
+  /// Schedule::earliest_free_slot.
   SlotRef earliest_free_slot(ResourceId resource, Round from, Round to) const;
 
-  /// The row's earliest free allowed slot (round asc, then {first, second}),
-  /// or kNoSlot — one step of a greedy-maximal extension.
+  /// The row's earliest bookable start (round asc, then alternative list
+  /// order), or kNoSlot — one step of a greedy-maximal extension. With
+  /// occupancy o > 1 the start must head a run of o rounds that each still
+  /// have a free unit on the same resource.
   SlotRef first_free_allowed(RequestId id) const;
 
   /// Same query keyed by the request itself — skips the row-table lookup for
@@ -113,12 +147,17 @@ class DeltaWindowProblem {
   /// describe a current row.
   SlotRef first_free_allowed(const Request& r) const;
 
+  /// first_free_allowed with the start additionally clamped to
+  /// `last_start` — current-round-only strategies (A_current) place their
+  /// occupancy runs with last_start == the current round.
+  SlotRef first_free_allowed(const Request& r, Round last_start) const;
+
   // ---- admission fast path (engine batch-admission stage) ----
 
   /// Result of probing one arrival against the current admission batch:
   /// `slot` is the row's earliest allowed slot net of the batch's claims
   /// (kNoSlot when none), and `contended` reports whether an earlier claim
-  /// of this batch took a slot the row's scan would have reached first —
+  /// of this batch took a unit the row's scan would have reached first —
   /// i.e. whether a Kuhn matching of the whole batch could differ from
   /// greedy booking.
   struct AdmissionProbe {
@@ -127,63 +166,75 @@ class DeltaWindowProblem {
   };
 
   /// Opens an admission batch: until end_admission_batch(),
-  /// claim_admission_slot() records slots in per-resource claim masks and
+  /// claim_admission_slot() records units in per-cell claim counts and
   /// admission_probe() reports contention against those claims. Claims are
-  /// probe bookkeeping only — free bits are untouched, so abandoning a
+  /// probe bookkeeping only — free counts are untouched, so abandoning a
   /// contended batch needs no unwinding. Batches must not nest.
   void begin_admission_batch();
 
-  /// Closes the batch and clears the claim masks. The caller commits an
+  /// Closes the batch and clears the claim counts. The caller commits an
   /// uncontended batch afterwards with ordinary book() calls.
   void end_admission_batch();
 
   bool admission_batch_open() const { return admission_batch_; }
 
-  /// Probes `r` (a current row) against the live view (free minus claims)
-  /// and the pre-batch view (free) — O(1) via rotate+ctz when d <= 64, an
-  /// O(d/64) word sweep otherwise. Only valid inside an admission batch.
-  /// `contended` is true exactly when the earliest allowed slot differs
-  /// between the two views: booking `slot` would then not be provably
-  /// identical to the batch Kuhn matching.
+  /// Probes `r` (a current row, occupancy 1) against the live view (free
+  /// minus fully-claimed cells) and the pre-batch view (free) — O(k) via
+  /// rotate+ctz when d <= 64, an O(k*d/64) word sweep otherwise. Only valid
+  /// inside an admission batch. `contended` is true exactly when the
+  /// earliest allowed slot differs between the two views: booking `slot`
+  /// would then not be provably identical to the batch Kuhn matching.
   AdmissionProbe admission_probe(const Request& r) const;
 
-  /// Marks `slot` (free, in-window) claimed for the open batch: later probes
-  /// of this batch see it as taken, and the pre-batch view still sees it
-  /// free. The engine claims each uncontended probe result, then commits via
-  /// book() once the whole batch is admitted.
+  /// admission_probe with candidate slots clamped to rounds <= `last_round`
+  /// — the engine probes current-round-only strategies (A_current) with
+  /// last_round == the current round, mirroring the scope their own matcher
+  /// would scan.
+  AdmissionProbe admission_probe(const Request& r, Round last_round) const;
+
+  /// Claims one free unit of `slot` (in-window, not yet fully claimed) for
+  /// the open batch: once a cell's claims reach its free count, later
+  /// probes of this batch see it as taken; the pre-batch view still sees it
+  /// free. The engine claims each uncontended probe result, then commits
+  /// via book() once the whole batch is admitted.
   void claim_admission_slot(SlotRef slot);
 
   // ---- problem construction (arena-reusing) ----
 
-  /// Fills `rights` with the scope's slots ordered (round asc, resource asc)
-  /// — the library's canonical right order — without scanning booked slots.
+  /// Fills `rights` with the scope's capacity units ordered (round asc,
+  /// resource asc, unit asc) — the library's canonical right order — a cell
+  /// with f free units contributes f copies of its SlotRef. With unit
+  /// capacity this is exactly the historical one-entry-per-free-slot list.
   void collect_rights(WindowScope scope, std::vector<SlotRef>& rights) const;
 
   /// Builds the lefts x rights CSR graph for the scope: edge order per left
-  /// is (round asc, then first, second), filtered to free slots unless
-  /// kFullWindow — edge-for-edge identical to the per-round rebuild. Also
-  /// fills `rights` as collect_rights does.
+  /// is (round asc, then alternative list order, then unit asc), filtered
+  /// to free units unless kFullWindow — edge-for-edge identical to the
+  /// per-round rebuild. Also fills `rights` as collect_rights does. Every
+  /// left must have occupancy 1 (multi-round runs are not bipartite rows;
+  /// strategies place them greedily).
   void build_problem(std::span<const RequestId> lefts, WindowScope scope,
                      std::vector<SlotRef>& rights, BipartiteGraph& graph) const;
 
-  /// Maximum matching of `lefts` into the scope's free slots (kFreeWindow or
+  /// Maximum matching of `lefts` into the scope's free units (kFreeWindow or
   /// kCurrentRound), Kuhn's algorithm in `lefts` order with the adjacency
-  /// order above — the exact kuhn_ordered traversal, run in ring-slot space
+  /// order above — the exact kuhn_ordered traversal, run in ring-unit space
   /// without building a graph. `out[i]` is the slot for `lefts[i]` (kNoSlot
-  /// when unmatched). Does not modify the window; apply via book()/the
-  /// simulator.
+  /// when unmatched). Every left must have occupancy 1. Does not modify the
+  /// window; apply via book()/the simulator.
   void max_match(std::span<const RequestId> lefts, WindowScope scope,
                  std::vector<SlotRef>& out) const;
 
   /// Resident estimate (capacities), for the engine's memory accounting.
   std::size_t approx_bytes() const;
 
-  /// Audit oracle: re-derives every bitmask from the naive set model (the
-  /// row table) and cross-checks the occupancy grid, the per-column free
-  /// words, and the transposed per-resource masks against it. O(n*d + rows).
-  /// Throws ContractViolation on any disagreement. Runs after every mutation
-  /// in REQSCHED_AUDIT builds; always compiled so tests can invoke it
-  /// directly.
+  /// Audit oracle: re-derives the free counts, both saturation mask
+  /// orientations, the per-column booking/hold/free tallies, the claim
+  /// counts, and the unbooked-row counter from the naive set model (the row
+  /// table plus the unit grid) and cross-checks every derived structure
+  /// against it. O(n*d*b_max + rows). Throws ContractViolation on any
+  /// disagreement. Runs after every mutation in REQSCHED_AUDIT builds;
+  /// always compiled so tests can invoke it directly.
   void audit_check() const;
 
  private:
@@ -208,63 +259,97 @@ class DeltaWindowProblem {
   std::uint64_t rotated_round_mask(ResourceId res) const {
     return rotated_round_mask(res_free_, res);
   }
-  /// d > 64: earliest allowed slot of the {first, second} pair in rounds
-  /// [lo, hi], scanned as whole 64-bit words of the per-resource ring masks
-  /// (ctz per word instead of a probe per round). `exclude_claims` masks the
-  /// batch claims out — the live view the admission probe compares against
-  /// the pre-batch (plain free) view.
-  SlotRef scan_first_allowed_wide(ResourceId first, ResourceId second,
-                                  Round lo, Round hi,
+  /// d > 64: earliest allowed slot over `alts` in rounds [lo, hi], scanned
+  /// as whole 64-bit words of the per-resource ring masks (ctz per word
+  /// instead of a probe per round), earliest-listed alternative winning
+  /// round ties. `exclude_claims` masks the fully-claimed cells out — the
+  /// live view the admission probe compares against the pre-batch view.
+  SlotRef scan_first_allowed_wide(const AltList& alts, Round lo, Round hi,
                                   bool exclude_claims) const;
+  /// occupancy > 1, d > 64: naive earliest-run scan over the free counts.
+  SlotRef scan_first_run_wide(const AltList& alts, std::int32_t occupancy,
+                              Round lo, Round hi) const;
   /// Bits [lo - window_begin_, hi - window_begin_] of a rotated mask.
   std::uint64_t round_range_mask(Round lo, Round hi) const;
   std::size_t column_of(Round round) const {
     return static_cast<std::size_t>(round % config_.d);
   }
-  std::size_t grid_index(SlotRef slot) const {
+  std::size_t cell_index(SlotRef slot) const {
     return column_of(slot.round) * static_cast<std::size_t>(config_.n) +
            static_cast<std::size_t>(slot.resource);
   }
-  void set_free(SlotRef slot, bool free);
-  /// Number of free slots in the round's column with resource < `resource`.
-  std::int32_t free_rank_below(Round round, ResourceId resource) const;
-  std::int32_t free_in_round(Round round) const;
+  /// Index of the cell's first unit in the n*d*b_max unit grid.
+  std::size_t unit_base(std::size_t cell) const {
+    return cell * static_cast<std::size_t>(b_max_);
+  }
+  void validate_row_request(const Request& r) const;
+  /// Takes one free unit of the cell for `id` (a request or kHeldUnit).
+  void take_unit(SlotRef slot, RequestId id);
+  /// Releases the unit of the cell occupied by `id`.
+  void release_unit(SlotRef slot, RequestId id);
+  void set_saturation(SlotRef slot, bool free);
+  /// Free units in the round's column on resources < `resource`.
+  std::int32_t free_units_below(Round round, ResourceId resource) const;
+  std::int32_t free_in_round(Round round) const {
+    return col_free_[column_of(round)];
+  }
   bool kuhn_try(std::int32_t left, Round window_last,
                 std::vector<std::int32_t>& match_of_left) const;
 
   ProblemConfig config_{};
+  std::int32_t b_max_ = 1;  ///< unit stride of the grid (max capacity)
   Round window_begin_ = 0;
   std::unordered_map<RequestId, Row> rows_;
-  /// Per-column free bitmasks, column-major: bit r of word (c * words + r/64)
-  /// is set when slot (r, round with round % d == c) is free.
+  std::int64_t unbooked_rows_ = 0;  ///< rows with no booking
+  std::int64_t booked_runs_ = 0;    ///< booked rows with occupancy > 1
+  /// Authoritative free unit count per cell (column-major, col * n + res).
+  std::vector<std::int32_t> free_count_;
+  /// Per-column saturation bitmasks, column-major: bit r of word
+  /// (c * words + r/64) is set when cell (r, round with round % d == c) has
+  /// at least one free unit. With unit capacity: exactly "the slot is free".
   std::vector<std::uint64_t> free_;
   /// Transposed view, words_per_resource() words per resource: bit c of word
-  /// (res * words_per_resource() + c / 64) is set when the slot at ring
-  /// column c is free. Turns "earliest free round for this resource" into
-  /// rotate + ctz when d <= 64 and a word sweep (ctz/popcount over whole
-  /// words) otherwise.
+  /// (res * words_per_resource() + c / 64) is set when the cell at ring
+  /// column c has a free unit. Turns "earliest free round for this resource"
+  /// into rotate + ctz when d <= 64 and a word sweep (ctz/popcount over
+  /// whole words) otherwise.
   std::vector<std::uint64_t> res_free_;
-  /// Admission-batch claim masks, same shape as res_free_: bit c set when the
-  /// slot at ring column c is claimed by the current batch. Claimed slots
-  /// stay free in res_free_ (claims are probe bookkeeping, not bookings), so
-  /// free & ~claimed is the live view and plain free the pre-batch view. All
-  /// zero outside a batch.
+  /// Admission-batch claim counts per cell; claimed units stay free in the
+  /// counts (claims are probe bookkeeping, not bookings). All zero outside
+  /// a batch.
+  std::vector<std::int32_t> claim_count_;
+  /// Saturation overlay of the claims, same shape as res_free_: bit c set
+  /// when the cell at ring column c is *fully* claimed by the current batch
+  /// (claims == free units > 0), so free & ~claimed is the live view and
+  /// plain free the pre-batch view.
   std::vector<std::uint64_t> res_claimed_;
-  /// The slots claimed by the open batch, for O(batch) clearing.
+  /// The units claimed by the open batch (a cell may repeat up to its free
+  /// count), for O(batch) clearing.
   std::vector<SlotRef> batch_claims_;
   bool admission_batch_ = false;
-  /// Occupant per ring slot (kNoRequest when free) — the authoritative
-  /// occupancy used by the REQUIREs and the fuzz equality checks.
+  /// Occupant per ring capacity unit (kNoRequest when free, kHeldUnit for an
+  /// executed occupancy tail) — the authoritative occupancy used by the
+  /// REQUIREs and the fuzz equality checks. Units u >= capacity_of(res) are
+  /// padding and stay kNoRequest.
   std::vector<RequestId> grid_;
+  /// Per ring column: units booked by requests / held by executed tails /
+  /// free. booked + held + free == units_per_round() always.
+  std::vector<std::int32_t> col_booked_;
+  std::vector<std::int32_t> col_held_;
+  std::vector<std::int32_t> col_free_;
+  /// Prefix sums of capacities: unit_offset_[res] = sum of capacity_of(r')
+  /// for r' < res — the kFullWindow right-index layout (res itself when
+  /// capacities are unit).
+  std::vector<std::int32_t> unit_offset_;
 
   // Kuhn scratch (mutable: max_match is logically const). Stamp-versioned so
-  // a matching step touches only the slots it visits — no O(n*d) clears.
-  mutable std::vector<std::int64_t> visited_attempt_;  ///< per ring slot
-  mutable std::vector<std::int64_t> owner_call_;       ///< per ring slot
-  mutable std::vector<std::int32_t> owner_left_;       ///< per ring slot
+  // a matching step touches only the units it visits — no O(n*d*b) clears.
+  mutable std::vector<std::int64_t> visited_attempt_;  ///< per ring unit
+  mutable std::vector<std::int64_t> owner_call_;       ///< per ring unit
+  mutable std::vector<std::int32_t> owner_left_;       ///< per ring unit
   mutable std::int64_t attempt_stamp_ = 0;             ///< one per left tried
   mutable std::int64_t call_stamp_ = 0;                ///< one per max_match
-  mutable std::vector<std::int32_t> match_ring_;       ///< left -> ring slot
+  mutable std::vector<std::int32_t> match_ring_;       ///< left -> ring unit
   mutable std::vector<const Request*> kuhn_rows_;      ///< left -> row
 };
 

@@ -93,12 +93,29 @@ bool PrefixOptimumTracker::add_request(const Request& request) {
   REQSCHED_REQUIRE_MSG(request.arrival >= 0 &&
                            request.deadline >= request.arrival,
                        "malformed window on " << request);
-  REQSCHED_REQUIRE(request.first >= 0 && request.first < config_.n);
-  REQSCHED_REQUIRE(request.second == kNoResource ||
-                   (request.second >= 0 && request.second < config_.n));
+  for (const ResourceId alt : request.alts) {
+    REQSCHED_REQUIRE(alt >= 0 && alt < config_.n);
+  }
 
   edges_.clear();
-  SlotGraph::append_slot_edges(request, config_.n, edges_);
+  if (request.occupancy == 1) {
+    SlotGraph::append_slot_edges(request, config_, edges_);
+  } else {
+    // Reusable-resource relaxation: the occupancy run is relaxed to a
+    // single-unit booking at any feasible start — an upper bound on the
+    // occupancy-aware optimum, which is not a bipartite matching.
+    const auto n = static_cast<std::int64_t>(config_.n);
+    const std::int64_t b_max = config_.max_capacity();
+    for (Round t = request.arrival; t <= request.latest_start(); ++t) {
+      for (const ResourceId alt : request.alts) {
+        const auto base = static_cast<std::int32_t>((t * n + alt) * b_max);
+        const std::int32_t cap = config_.capacity_of(alt);
+        for (std::int32_t u = 0; u < cap; ++u) {
+          edges_.push_back(base + u);
+        }
+      }
+    }
+  }
   return matching_.add_left(edges_);
 }
 

@@ -4,44 +4,81 @@
 
 namespace reqsched {
 
-void SlotGraph::append_slot_edges(const Request& request, std::int32_t n,
+void SlotGraph::append_slot_edges(const Request& request,
+                                  const ProblemConfig& config,
                                   std::vector<std::int32_t>& out) {
-  const std::int64_t slot_end =
-      (request.deadline + 1) * static_cast<std::int64_t>(n);
+  REQSCHED_REQUIRE_MSG(request.occupancy == 1,
+                       request << " is a multi-round run, not a bipartite row");
+  const std::int32_t n = config.n;
+  const std::int64_t b_max = config.max_capacity();
+  const std::int64_t unit_end =
+      (request.deadline + 1) * static_cast<std::int64_t>(n) * b_max;
   REQSCHED_REQUIRE_MSG(
-      slot_end <= std::numeric_limits<std::int32_t>::max(),
-      "slot space exceeds 32-bit indexing at round " << request.deadline);
+      unit_end <= std::numeric_limits<std::int32_t>::max(),
+      "slot unit space exceeds 32-bit indexing at round " << request.deadline);
+  if (b_max == 1) {
+    // Unit capacity (the paper model): unit index == slot index, one edge
+    // per (round, alternative) — the historical tight loop, kept free of
+    // the multiply/capacity lookups the general lane needs (the offline-
+    // solve bench gate times exactly this path).
+    for (Round t = request.arrival; t <= request.deadline; ++t) {
+      const auto base = static_cast<std::int32_t>(t * n);
+      for (const ResourceId alt : request.alts) out.push_back(base + alt);
+    }
+    return;
+  }
+  // Per-alternative capacities are round-invariant; look them up once.
+  const ResourceId* alts = request.alts.begin();
+  const std::int32_t k = request.alts.size();
+  std::int32_t caps[kMaxAlternatives];
+  for (std::int32_t i = 0; i < k; ++i) {
+    caps[i] = config.capacity_of(alts[i]);
+  }
   for (Round t = request.arrival; t <= request.deadline; ++t) {
-    const auto base = static_cast<std::int32_t>(t * n);
-    out.push_back(base + request.first);
-    if (request.second != kNoResource) out.push_back(base + request.second);
+    const std::int64_t base = t * static_cast<std::int64_t>(n);
+    for (std::int32_t i = 0; i < k; ++i) {
+      const auto unit_base =
+          static_cast<std::int32_t>((base + alts[i]) * b_max);
+      for (std::int32_t u = 0; u < caps[i]; ++u) {
+        out.push_back(unit_base + u);
+      }
+    }
   }
 }
 
 void SlotGraph::rebuild(const Trace& trace) {
   n_ = trace.config().n;
+  b_max_ = trace.config().max_capacity();
   horizon_ = trace.empty() ? 0 : trace.last_useful_round();
-  const std::int64_t slots = (horizon_ + 1) * static_cast<std::int64_t>(n_);
-  REQSCHED_REQUIRE_MSG(slots <= std::numeric_limits<std::int32_t>::max(),
-                       "slot space exceeds 32-bit indexing at horizon "
+  const std::int64_t units = (horizon_ + 1) *
+                             static_cast<std::int64_t>(n_) *
+                             static_cast<std::int64_t>(b_max_);
+  REQSCHED_REQUIRE_MSG(units <= std::numeric_limits<std::int32_t>::max(),
+                       "slot unit space exceeds 32-bit indexing at horizon "
                            << horizon_);
   REQSCHED_REQUIRE_MSG(
       trace.size() <= std::numeric_limits<std::int32_t>::max(),
       "request count exceeds 32-bit indexing: " << trace.size());
 
   graph_.reset(static_cast<std::int32_t>(trace.size()),
-               static_cast<std::int32_t>(slots));
+               static_cast<std::int32_t>(units));
   // Two-pass CSR build: every request's degree is exactly window size times
-  // alternative count, so pass 1 is arithmetic, no edge materialization.
+  // the total capacity of its alternatives, so pass 1 is arithmetic, no edge
+  // materialization.
+  const ProblemConfig& config = trace.config();
   for (const Request& r : trace.requests()) {
     const std::int64_t window = r.deadline - r.arrival + 1;
-    graph_.count_edges(static_cast<std::int32_t>(r.id),
-                       window * r.alternative_count());
+    std::int64_t alt_units = r.alts.size();
+    if (b_max_ > 1) {
+      alt_units = 0;
+      for (const ResourceId alt : r.alts) alt_units += config.capacity_of(alt);
+    }
+    graph_.count_edges(static_cast<std::int32_t>(r.id), window * alt_units);
   }
   graph_.start_fill();
   for (const Request& r : trace.requests()) {
     edge_scratch_.clear();
-    append_slot_edges(r, n_, edge_scratch_);
+    append_slot_edges(r, trace.config(), edge_scratch_);
     graph_.fill_edges(static_cast<std::int32_t>(r.id), edge_scratch_);
   }
   graph_.finish_fill();

@@ -2,12 +2,16 @@
 //
 // Every view of a scheduling instance — the offline optimum, the incremental
 // prefix engine, and the augmenting-path analysis — is a matching question in
-// the same bipartite graph: requests on the left, (resource, round) slots on
-// the right, with slot (resource, round) at right index `round * n +
-// resource`. SlotGraph is the single definition of that graph: a CSR layout
-// built in two passes from a Trace (every request's degree is known up
-// front: window x alternatives), plus the slot index mapping, plus the
-// canonical per-request edge enumeration the incremental engine shares.
+// the same bipartite graph: requests on the left, capacity units of
+// (resource, round) slots on the right, with unit u of slot (resource,
+// round) at right index `(round * n + resource) * b_max + u`. With unit
+// capacity (the paper model) this is exactly the historical one-right-per-
+// slot layout. SlotGraph is the single definition of that graph: a CSR
+// layout built in two passes from a Trace (every request's degree is known
+// up front: window x total alternative capacity), plus the slot index
+// mapping, plus the canonical per-request edge enumeration the incremental
+// engine shares. Requests with occupancy > 1 are not bipartite rows and are
+// rejected.
 #pragma once
 
 #include <cstdint>
@@ -20,10 +24,10 @@
 namespace reqsched {
 
 /// The full request x slot graph of a trace, with slot index mapping.
-/// Lefts are RequestIds; rights are slots (resource, round) for rounds
-/// [0, horizon]. Rebuildable in place: `rebuild()` reuses all storage, so a
-/// sweep that solves thousands of instances through one SlotGraph reaches a
-/// zero-allocation steady state.
+/// Lefts are RequestIds; rights are capacity units of slots (resource,
+/// round) for rounds [0, horizon]. Rebuildable in place: `rebuild()` reuses
+/// all storage, so a sweep that solves thousands of instances through one
+/// SlotGraph reaches a zero-allocation steady state.
 class SlotGraph {
  public:
   SlotGraph() = default;
@@ -44,30 +48,41 @@ class SlotGraph {
   Round horizon() const { return horizon_; }
   std::int64_t request_count() const { return graph_.left_count(); }
   std::int32_t slot_count() const { return graph_.right_count(); }
+  /// Unit stride of the right index space (max per-resource capacity).
+  std::int32_t unit_stride() const { return b_max_; }
 
+  /// Right index of the slot's first capacity unit (== the historical slot
+  /// index when capacities are unit).
   std::int32_t slot_index(SlotRef slot) const {
     REQSCHED_REQUIRE(built_);
     REQSCHED_REQUIRE(slot.valid() && slot.round <= horizon_ &&
                      slot.resource < n_);
-    return static_cast<std::int32_t>(slot.round * n_ + slot.resource);
+    return static_cast<std::int32_t>((slot.round * n_ + slot.resource) *
+                                     b_max_);
   }
 
+  /// Slot of a right index (any of the slot's capacity units maps back to
+  /// the same SlotRef).
   SlotRef slot_at(std::int32_t index) const {
     REQSCHED_REQUIRE(built_);
     REQSCHED_REQUIRE(index >= 0 && index < slot_count());
-    return SlotRef{index % n_, static_cast<Round>(index / n_)};
+    const std::int32_t cell = index / b_max_;
+    return SlotRef{cell % n_, static_cast<Round>(cell / n_)};
   }
 
   /// The canonical request -> slot edge enumeration, shared by rebuild() and
-  /// the incremental prefix engine: slots (t, first) then (t, second) for
-  /// t in [arrival, deadline]. Appends right indices to `out`; REQUIREs the
-  /// slot space stays 32-bit indexable.
-  static void append_slot_edges(const Request& request, std::int32_t n,
+  /// the incremental prefix engine: every capacity unit of slot (t, alt) for
+  /// t in [arrival, deadline], alternatives in list order. Appends right
+  /// indices to `out`; REQUIREs the unit space stays 32-bit indexable and
+  /// the request has occupancy 1.
+  static void append_slot_edges(const Request& request,
+                                const ProblemConfig& config,
                                 std::vector<std::int32_t>& out);
 
  private:
   bool built_ = false;
   std::int32_t n_ = 0;
+  std::int32_t b_max_ = 1;
   Round horizon_ = 0;
   BipartiteGraph graph_;
   std::vector<std::int32_t> edge_scratch_;  // per-request fill buffer

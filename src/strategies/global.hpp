@@ -48,6 +48,13 @@ class ACurrent final : public IStrategy {
   void reset(const ProblemConfig& config) override { runtime_.reset(config); }
   void on_round(Simulator& sim) override;
   bool wants_window_problem() const override { return true; }
+  /// With an empty backlog, A_current's matching problem is exactly "the
+  /// arrivals onto round t's free units, injection order" — the fast path's
+  /// greedy bookings under a current-round probe clamp. The engine enforces
+  /// both refinements below per round and punts otherwise.
+  bool wants_admission_fast_path() const override { return true; }
+  bool admission_probe_current_round_only() const override { return true; }
+  bool admission_needs_empty_backlog() const override { return true; }
 
  private:
   StrategyRuntime runtime_;
@@ -59,6 +66,13 @@ class AFixBalance final : public IStrategy {
   void reset(const ProblemConfig& config) override { runtime_.reset(config); }
   void on_round(Simulator& sim) override;
   bool wants_window_problem() const override { return true; }
+  /// With an empty backlog the lexicographic placement decomposes: every
+  /// uncontended arrival's lex-optimal slot IS its earliest allowed free
+  /// slot (net of the batch's claims), so the fast path's greedy bookings
+  /// realize the lex optimum. The engine enforces the empty-backlog
+  /// refinement per round and punts otherwise.
+  bool wants_admission_fast_path() const override { return true; }
+  bool admission_needs_empty_backlog() const override { return true; }
 
  private:
   StrategyRuntime runtime_;

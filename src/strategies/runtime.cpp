@@ -12,6 +12,7 @@ void StrategyRuntime::reset(const ProblemConfig& config) {
   config.validate();
   config_ = config;
   lefts_.clear();
+  runs_.clear();
   rights_.clear();
   slots_.clear();
   to_assign_.clear();
@@ -21,6 +22,26 @@ void StrategyRuntime::reset(const ProblemConfig& config) {
 
 const DeltaWindowProblem& StrategyRuntime::window(Simulator& sim) const {
   return sim.engine().window_problem();
+}
+
+void StrategyRuntime::split_and_place_runs(Simulator& sim, Round last_start) {
+  runs_.clear();
+  std::size_t out = 0;
+  for (const RequestId id : lefts_) {
+    if (sim.request(id).occupancy > 1) {
+      runs_.push_back(id);
+    } else {
+      lefts_[out++] = id;
+    }
+  }
+  if (runs_.empty()) return;
+  lefts_.resize(out);
+  const DeltaWindowProblem& w = window(sim);
+  for (const RequestId id : runs_) {
+    if (sim.is_scheduled(id)) continue;  // booked runs stay put
+    const SlotRef slot = w.first_free_allowed(sim.request(id), last_start);
+    if (slot.valid()) sim.assign(id, slot);
+  }
 }
 
 void StrategyRuntime::apply_matches(Simulator& sim) {
@@ -53,6 +74,7 @@ void StrategyRuntime::match_new_into_window(Simulator& sim) {
   if (sim.admission_outcome() == AdmissionOutcome::kAdmitted) return;
   const auto injected = sim.injected_now();
   lefts_.assign(injected.begin(), injected.end());
+  split_and_place_runs(sim, sim.now() + config_.d);
   window(sim).max_match(lefts_, WindowScope::kFreeWindow, slots_);
   apply_matches(sim);
 }
@@ -71,8 +93,14 @@ void StrategyRuntime::extend_with_stragglers(Simulator& sim) {
 }
 
 void StrategyRuntime::match_current_round(Simulator& sim) {
+  // kAdmitted certifies the backlog was empty and every arrival uncontended
+  // under the engine's current-round probe clamp, so the fast path's greedy
+  // bookings are exactly this Kuhn matching (A_current opts in with
+  // admission_probe_current_round_only + admission_needs_empty_backlog).
+  if (sim.admission_outcome() == AdmissionOutcome::kAdmitted) return;
   const auto alive = sim.alive();
   lefts_.assign(alive.begin(), alive.end());
+  split_and_place_runs(sim, sim.now());
   window(sim).max_match(lefts_, WindowScope::kCurrentRound, slots_);
   apply_matches(sim);
 }
@@ -93,7 +121,12 @@ LexMatchResult StrategyRuntime::solve_lex(Simulator& sim, bool eager_levels,
 }
 
 void StrategyRuntime::balance_free_window(Simulator& sim) {
+  // kAdmitted certifies the backlog was empty and every arrival uncontended:
+  // each greedy booking is its row's lex-optimal placement, jointly the lex
+  // optimum (A_fix_balance opts in with admission_needs_empty_backlog).
+  if (sim.admission_outcome() == AdmissionOutcome::kAdmitted) return;
   collect_unscheduled(sim, /*skip_injected=*/false);
+  split_and_place_runs(sim, sim.now() + config_.d);
   window(sim).build_problem(lefts_, WindowScope::kFreeWindow, rights_,
                             lex_.graph);
   lex_.required_lefts.clear();
@@ -110,6 +143,9 @@ void StrategyRuntime::balance_free_window(Simulator& sim) {
 void StrategyRuntime::rematch_window(Simulator& sim, bool eager_levels) {
   const auto alive = sim.alive();
   lefts_.assign(alive.begin(), alive.end());
+  // Runs never re-match: booked ones keep their units (build_problem locks
+  // them out of the full-window rights), unbooked ones place greedily.
+  split_and_place_runs(sim, sim.now() + config_.d);
   window(sim).build_problem(lefts_, WindowScope::kFullWindow, rights_,
                             lex_.graph);
   lex_.required_lefts.clear();
@@ -156,7 +192,9 @@ void StrategyRuntime::edf_single(Simulator& sim) {
     const Request& r = sim.request(id);
     REQSCHED_CHECK_MSG(r.alternative_count() == 1,
                        "EdfSingle requires single-alternative requests");
-    RequestId& best = edf_best_[static_cast<std::size_t>(r.first)];
+    REQSCHED_CHECK_MSG(r.occupancy == 1,
+                       "EdfSingle requires unit-occupancy requests");
+    RequestId& best = edf_best_[static_cast<std::size_t>(r.first())];
     if (best == kNoRequest || sim.request(best).deadline > r.deadline) {
       best = id;
     }
@@ -176,7 +214,9 @@ void StrategyRuntime::edf_two_choice(Simulator& sim,
     const Request& r = sim.request(id);
     REQSCHED_CHECK_MSG(r.alternative_count() == 2,
                        "EdfTwoChoice requires two-alternative requests");
-    for (const ResourceId res : {r.first, r.second}) {
+    REQSCHED_CHECK_MSG(r.occupancy == 1,
+                       "EdfTwoChoice requires unit-occupancy requests");
+    for (const ResourceId res : r.alts) {
       auto& queue = edf_queues_[static_cast<std::size_t>(res)];
       const EdfCopy copy{id, r.deadline};
       const auto pos = std::lower_bound(

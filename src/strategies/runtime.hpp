@@ -90,6 +90,12 @@ class StrategyRuntime {
 
  private:
   const DeltaWindowProblem& window(Simulator& sim) const;
+  /// Splits multi-round occupancy runs out of `lefts_` (the matchers take
+  /// unit-occupancy rows only) and books each unbooked run greedily at its
+  /// earliest feasible start <= `last_start`, alternatives in list order —
+  /// the reusable-resource greedy. A no-op on unit-occupancy traffic, so
+  /// the paper model never takes this path.
+  void split_and_place_runs(Simulator& sim, Round last_start);
   /// Books every matched left of `lefts_`/`slots_` in left order.
   void apply_matches(Simulator& sim);
   /// Fills `lefts_` with the alive-but-unbooked backlog, oldest first,
@@ -106,6 +112,7 @@ class StrategyRuntime {
 
   ProblemConfig config_{};
   std::vector<RequestId> lefts_;
+  std::vector<RequestId> runs_;  ///< occupancy > 1 rows split from lefts_
   std::vector<SlotRef> rights_;
   std::vector<SlotRef> slots_;  ///< max_match output, parallel to lefts_
   LexMatchProblem lex_;         ///< graph + levels reused across rounds

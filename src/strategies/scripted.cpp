@@ -87,8 +87,7 @@ ProposalCheck check_maximality(const Simulator& sim, const ProposalView& view) {
     const Request& r = sim.request(id);
     const Round hi = std::min(r.deadline, last);
     for (Round round = std::max(r.arrival, t); round <= hi; ++round) {
-      for (const ResourceId res : {r.first, r.second}) {
-        if (res == kNoResource) continue;
+      for (const ResourceId res : r.alts) {
         if (!view.used_slots.count(SlotRef{res, round})) {
           std::ostringstream why;
           why << "not maximal: " << r << " could use " << SlotRef{res, round};

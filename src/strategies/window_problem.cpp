@@ -48,8 +48,7 @@ RoundProblem build_round_problem(const Simulator& sim,
     const Round lo = std::max(r.arrival, t);
     const Round hi = std::min(r.deadline, window_last);
     for (Round round = lo; round <= hi; ++round) {
-      for (const ResourceId res : {r.first, r.second}) {
-        if (res == kNoResource) continue;
+      for (const ResourceId res : r.alts) {
         const std::int32_t right = right_of_slot[dense({res, round})];
         if (right >= 0) {
           problem.graph.add_edge(static_cast<std::int32_t>(l), right);

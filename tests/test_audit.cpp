@@ -30,7 +30,7 @@ namespace reqsched {
 struct AuditTestAccess {
   // ---- DeltaWindowProblem ----
   static void corrupt_grid(DeltaWindowProblem& w, SlotRef slot, RequestId id) {
-    w.grid_[w.grid_index(slot)] = id;
+    w.grid_[w.unit_base(w.cell_index(slot))] = id;
   }
   static void flip_free_bit(DeltaWindowProblem& w, SlotRef slot) {
     const std::size_t words = w.words_per_column();
@@ -39,11 +39,30 @@ struct AuditTestAccess {
         std::uint64_t{1} << (res % 64);
   }
   static void flip_res_mask_bit(DeltaWindowProblem& w, SlotRef slot) {
-    w.res_free_[static_cast<std::size_t>(slot.resource)] ^=
-        std::uint64_t{1} << w.column_of(slot.round);
+    const std::size_t col = w.column_of(slot.round);
+    w.res_free_[static_cast<std::size_t>(slot.resource) *
+                    w.words_per_resource() +
+                col / 64] ^= std::uint64_t{1} << (col % 64);
   }
   static void set_res_mask_high_bit(DeltaWindowProblem& w, ResourceId res) {
-    w.res_free_[static_cast<std::size_t>(res)] |= std::uint64_t{1} << 63;
+    w.res_free_[static_cast<std::size_t>(res) * w.words_per_resource() +
+                w.words_per_resource() - 1] |= std::uint64_t{1} << 63;
+  }
+  static void skew_free_count(DeltaWindowProblem& w, SlotRef slot) {
+    --w.free_count_[w.cell_index(slot)];
+  }
+  static void skew_claim_count(DeltaWindowProblem& w, SlotRef slot) {
+    ++w.claim_count_[w.cell_index(slot)];
+  }
+  static void skew_unbooked_rows(DeltaWindowProblem& w) {
+    ++w.unbooked_rows_;
+  }
+  static void skew_booked_runs(DeltaWindowProblem& w) { ++w.booked_runs_; }
+  static void skew_col_held(DeltaWindowProblem& w, Round round) {
+    ++w.col_held_[w.column_of(round)];
+  }
+  static void plant_hold(DeltaWindowProblem& w, SlotRef slot) {
+    w.grid_[w.unit_base(w.cell_index(slot))] = kHeldUnit;
   }
   static void set_claim_bit(DeltaWindowProblem& w, SlotRef slot) {
     const std::size_t col = w.column_of(slot.round);
@@ -99,7 +118,7 @@ namespace {
 
 Request two_choice_request(RequestId id, Round arrival, Round deadline,
                            ResourceId first, ResourceId second) {
-  return Request{id, arrival, deadline, first, second};
+  return Request{id, arrival, deadline, AltList(first, second)};
 }
 
 /// A strategy that books nothing; optionally asks for the delta-maintained
@@ -158,6 +177,60 @@ TEST_F(DeltaWindowAudit, FiresOnMaskBitsPastD) {
   // Bits at or above d break the rotate arithmetic even when every in-range
   // bit agrees.
   AuditTestAccess::set_res_mask_high_bit(window_, 0);
+  EXPECT_THROW(window_.audit_check(), ContractViolation);
+}
+
+TEST_F(DeltaWindowAudit, FiresOnFreeCountDrift) {
+  // The authoritative per-cell free count disagrees with the unit grid.
+  AuditTestAccess::skew_free_count(window_, SlotRef{1, 2});
+  EXPECT_THROW(window_.audit_check(), ContractViolation);
+}
+
+TEST_F(DeltaWindowAudit, FiresOnUnbookedCounterDrift) {
+  AuditTestAccess::skew_unbooked_rows(window_);
+  EXPECT_THROW(window_.audit_check(), ContractViolation);
+}
+
+TEST_F(DeltaWindowAudit, FiresOnBookedRunCounterDrift) {
+  AuditTestAccess::skew_booked_runs(window_);
+  EXPECT_THROW(window_.audit_check(), ContractViolation);
+}
+
+TEST_F(DeltaWindowAudit, FiresOnColumnHoldTallyDrift) {
+  AuditTestAccess::skew_col_held(window_, 2);
+  EXPECT_THROW(window_.audit_check(), ContractViolation);
+}
+
+TEST_F(DeltaWindowAudit, FiresOnPhantomHold) {
+  // A free unit marked as an executed-run hold without the tallies knowing.
+  AuditTestAccess::plant_hold(window_, SlotRef{1, 2});
+  EXPECT_THROW(window_.audit_check(), ContractViolation);
+}
+
+TEST_F(DeltaWindowAudit, OccupancyRunLifecyclePasses) {
+  // A 2-round run books two units, executes into a hold, and the hold
+  // departs with its column — clean at every step.
+  DeltaWindowProblem w;
+  w.reset(ProblemConfig{2, 3});
+  Request run{7, 0, 2, AltList(0, 1), /*occ=*/2};
+  w.add_request(run);
+  EXPECT_NO_THROW(w.audit_check());
+  w.book(7, SlotRef{0, 0});
+  EXPECT_NO_THROW(w.audit_check());
+  w.retire_executed(7);  // start unit consumed, round-1 unit becomes a hold
+  EXPECT_NO_THROW(w.audit_check());
+  EXPECT_EQ(w.free_units(SlotRef{0, 1}), 0);
+  w.advance();
+  EXPECT_NO_THROW(w.audit_check());
+  w.advance();  // the hold's column departs
+  EXPECT_NO_THROW(w.audit_check());
+  EXPECT_EQ(w.free_units(SlotRef{0, 3}), 1);
+}
+
+TEST_F(DeltaWindowAudit, FiresOnClaimCountDrift) {
+  // A claim count with no matching batch_claims_ entry.
+  window_.begin_admission_batch();
+  AuditTestAccess::skew_claim_count(window_, SlotRef{1, 1});
   EXPECT_THROW(window_.audit_check(), ContractViolation);
 }
 

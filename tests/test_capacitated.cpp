@@ -1,0 +1,267 @@
+// End-to-end coverage of the generalized model: k-choice alternative lists,
+// per-(resource, round) capacities b_r, and multi-round occupancy runs —
+// through the trace, the offline solver, the streaming engine, and every
+// strategy whose capability flags claim support. The degenerate-config
+// differential suite pins that k=2/b=1/occ=1 is bit-identical to the seed;
+// this file pins that the new axes actually *do* something.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "adversary/random.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/registry.hpp"
+#include "core/trace.hpp"
+#include "core/workload.hpp"
+#include "engine/simulator.hpp"
+#include "offline/offline.hpp"
+#include "util/prng.hpp"
+
+namespace reqsched {
+namespace {
+
+Metrics run_trace(const Trace& trace, const std::string& strategy_name) {
+  TraceWorkload workload(trace);
+  auto strategy = make_strategy(strategy_name);
+  Simulator sim(workload, *strategy);
+  return sim.run();
+}
+
+// ---------------------------------------------------------------------------
+// Capacity units.
+
+TEST(CapacityUnits, UniformCapacityDoublesOneRoundThroughput) {
+  // n=1, d=1: the whole instance is one (resource, round) cell. At b=1 only
+  // one of the two requests fits; at b=2 both do.
+  for (const std::int32_t b : {1, 2}) {
+    Trace trace(ProblemConfig{1, 1, b});
+    trace.add(0, RequestSpec{0, kNoResource, 1});
+    trace.add(0, RequestSpec{0, kNoResource, 1});
+    const Metrics m = run_trace(trace, "A_fix");
+    EXPECT_EQ(m.fulfilled, b) << "b=" << b;
+    EXPECT_EQ(m.expired, 2 - b) << "b=" << b;
+  }
+}
+
+TEST(CapacityUnits, PerResourceCapacitiesAreHonored) {
+  // capacities = {1, 3}: resource 0 takes one request per round, resource 1
+  // takes three. Five single-alternative arrivals in one d=1 round: the
+  // second request on resource 0 must expire, everything else fits.
+  Trace trace(ProblemConfig{2, 1, 1, {1, 3}});
+  trace.add(0, RequestSpec{0, kNoResource, 1});
+  trace.add(0, RequestSpec{0, kNoResource, 1});
+  trace.add(0, RequestSpec{1, kNoResource, 1});
+  trace.add(0, RequestSpec{1, kNoResource, 1});
+  trace.add(0, RequestSpec{1, kNoResource, 1});
+  const Metrics m = run_trace(trace, "A_fix");
+  EXPECT_EQ(m.fulfilled, 4);
+  EXPECT_EQ(m.expired, 1);
+}
+
+TEST(CapacityUnits, OfflineOptimumCountsUnits) {
+  Trace trace(ProblemConfig{1, 1, 2});
+  trace.add(0, RequestSpec{0, kNoResource, 1});
+  trace.add(0, RequestSpec{0, kNoResource, 1});
+  trace.add(0, RequestSpec{0, kNoResource, 1});
+  EXPECT_EQ(offline_optimum(trace), 2);
+}
+
+TEST(CapacityUnits, OfflineOptimumIsMonotoneInCapacity) {
+  // Every b-feasible schedule stays feasible at b+1, so OPT may only grow.
+  Prng rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::int64_t> opts;
+    for (const std::int32_t b : {1, 2, 3}) {
+      Trace trace(ProblemConfig{3, 2, b});
+      Prng local(100 + static_cast<std::uint64_t>(trial));
+      for (Round t = 0; t < 6; ++t) {
+        const std::uint64_t count = local.next_below(7);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const auto first = static_cast<ResourceId>(local.next_below(3));
+          auto second = static_cast<ResourceId>(local.next_below(2));
+          if (second >= first) ++second;
+          trace.add(t, RequestSpec{first, second,
+                                   static_cast<std::int32_t>(
+                                       1 + local.next_below(2))});
+        }
+      }
+      opts.push_back(offline_optimum(trace));
+    }
+    EXPECT_LE(opts[0], opts[1]) << "trial " << trial;
+    EXPECT_LE(opts[1], opts[2]) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// k-choice alternative lists.
+
+TEST(KChoice, MoreAlternativesNeverHurtOffline) {
+  // The k=4 trace's edge set is a superset of the k=2 trace's (same
+  // arrivals, alternative lists extended), so every k=2 matching survives.
+  Prng rng(97);
+  Trace narrow(ProblemConfig{6, 3});
+  Trace wide(ProblemConfig{6, 3});
+  for (Round t = 0; t < 12; ++t) {
+    const std::uint64_t count = rng.next_below(8);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::vector<ResourceId> picks;
+      while (picks.size() < 4) {
+        const auto r = static_cast<ResourceId>(rng.next_below(6));
+        if (std::find(picks.begin(), picks.end(), r) == picks.end()) {
+          picks.push_back(r);
+        }
+      }
+      const auto window =
+          static_cast<std::int32_t>(1 + rng.next_below(3));
+      RequestSpec two;
+      two.alts = AltList(picks[0], picks[1]);
+      two.window = window;
+      narrow.add(t, two);
+      RequestSpec four;
+      for (const ResourceId r : picks) four.alts.push_back(r);
+      four.window = window;
+      wide.add(t, four);
+    }
+  }
+  EXPECT_GE(offline_optimum(wide), offline_optimum(narrow));
+}
+
+TEST(KChoice, CapableStrategiesRunKAryWorkloads) {
+  const auto names = strategies_supporting(/*k_choice=*/true,
+                                           /*capacitated=*/false,
+                                           /*occupancy=*/false);
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    UniformWorkload workload({.n = 6, .d = 3, .load = 1.5, .horizon = 40,
+                              .seed = 13, .two_choice = true, .k = 4});
+    auto strategy = make_strategy(name, /*seed=*/5);
+    Simulator sim(workload, *strategy);
+    const Metrics m = sim.run();
+    EXPECT_GT(m.injected, 0) << name;
+    EXPECT_GT(m.fulfilled, 0) << name;
+    EXPECT_LE(m.fulfilled, m.injected) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-round occupancy.
+
+TEST(Occupancy, RunsHoldTheResourceForTheirDuration) {
+  // n=1, d=3: a 2-round run and a 1-round request share one resource. Both
+  // fit in the 3-round window, but the single-round execution cannot land
+  // inside the run's [start, start + 1] hold.
+  Trace trace(ProblemConfig{1, 3});
+  trace.add(0, RequestSpec{0, kNoResource, 3, 2});
+  trace.add(0, RequestSpec{0, kNoResource, 3, 1});
+  TraceWorkload workload(trace);
+  auto strategy = make_strategy("A_fix");
+  Simulator sim(workload, *strategy);
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.fulfilled, 2);
+  EXPECT_EQ(m.expired, 0);
+  Round run_start = kNoRound;
+  Round single = kNoRound;
+  for (const auto& [id, slot] : sim.online_matching()) {
+    (id == 0 ? run_start : single) = slot.round;
+  }
+  ASSERT_NE(run_start, kNoRound);
+  ASSERT_NE(single, kNoRound);
+  EXPECT_TRUE(single < run_start || single > run_start + 1)
+      << "single-round execution at t=" << single
+      << " landed inside the occupancy run starting at t=" << run_start;
+}
+
+TEST(Occupancy, OverfullRunsExpire) {
+  // Two 2-round runs on one resource inside a 2-round window: only one can
+  // start at t=0; the other has no feasible start left.
+  Trace trace(ProblemConfig{1, 2});
+  trace.add(0, RequestSpec{0, kNoResource, 2, 2});
+  trace.add(0, RequestSpec{0, kNoResource, 2, 2});
+  const Metrics m = run_trace(trace, "A_fix");
+  EXPECT_EQ(m.fulfilled, 1);
+  EXPECT_EQ(m.expired, 1);
+}
+
+TEST(Occupancy, FullModelRunsOnEveryFullyCapableStrategy) {
+  const auto names = strategies_supporting(/*k_choice=*/true,
+                                           /*capacitated=*/true,
+                                           /*occupancy=*/true);
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    UniformWorkload workload({.n = 8, .d = 6, .load = 2.0, .horizon = 50,
+                              .seed = 29, .two_choice = true, .k = 3, .b = 2,
+                              .max_occupancy = 3});
+    auto strategy = make_strategy(name);
+    Simulator sim(workload, *strategy);
+    const Metrics m = sim.run();
+    EXPECT_GT(m.fulfilled, 0) << name;
+    EXPECT_EQ(m.fulfilled + m.expired, m.injected) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry capability flags.
+
+TEST(Registry, CapabilityFlagsPartitionTheRegistry) {
+  EXPECT_EQ(strategies_supporting(false, false, false).size(),
+            all_strategy_names().size());
+  // The five StrategyRuntime globals carry the whole generalized model.
+  const auto full = strategies_supporting(true, true, true);
+  EXPECT_EQ(full, global_strategy_names());
+  // The randomized variants ride the k-choice axis only.
+  const auto k_only = strategies_supporting(true, false, false);
+  EXPECT_EQ(k_only.size(), full.size() + 2);
+  for (const std::string name : {"A_current_randomized", "A_fix_randomized"}) {
+    EXPECT_NE(std::find(k_only.begin(), k_only.end(), name), k_only.end())
+        << name;
+    EXPECT_EQ(std::find(full.begin(), full.end(), name), full.end()) << name;
+  }
+  // Locals and EDF baselines stay paper-shape on every axis.
+  for (const std::string name :
+       {"A_local_fix", "A_local_eager", "EDF_single"}) {
+    EXPECT_EQ(std::find(k_only.begin(), k_only.end(), name), k_only.end())
+        << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference bounds for the EXPERIMENTS comparisons.
+
+TEST(Bounds, CapacitatedGreedyRatioMatchesKnownPoints) {
+  // b=1 is the classic greedy bound 1/(1 - 1/2) = 2; the sequence decreases
+  // towards e/(e-1) as capacity grows.
+  EXPECT_DOUBLE_EQ(capacitated_greedy_ratio(1), 2.0);
+  EXPECT_NEAR(capacitated_greedy_limit(),
+              std::exp(1.0) / (std::exp(1.0) - 1.0), 1e-12);
+  double prev = capacitated_greedy_ratio(1);
+  for (std::int32_t b = 2; b <= 64; b *= 2) {
+    const double ratio = capacitated_greedy_ratio(b);
+    EXPECT_LT(ratio, prev) << "b=" << b;
+    EXPECT_GT(ratio, capacitated_greedy_limit()) << "b=" << b;
+    prev = ratio;
+  }
+  EXPECT_NEAR(capacitated_greedy_ratio(1024), capacitated_greedy_limit(),
+              1e-3);
+}
+
+TEST(Bounds, ParkKdGapShrinksWithMoreChoices) {
+  // The (k, d)-choice max-load gap ln ln n / ln(d/k): more choices per
+  // request (larger d at fixed k) shrink it; the k=1 specialization is the
+  // classic d-choice gap.
+  const double two = park_kd_gap(1 << 20, 1, 2);
+  const double four = park_kd_gap(1 << 20, 1, 4);
+  EXPECT_GT(two, four);
+  EXPECT_GT(four, 0.0);
+  EXPECT_DOUBLE_EQ(choice_load_gap(1 << 20, 2), two);
+  EXPECT_NEAR(park_kd_gap(1 << 20, 2, 4),
+              std::log(std::log(static_cast<double>(1 << 20))) /
+                  std::log(2.0),
+              1e-12);
+  EXPECT_THROW(park_kd_gap(1 << 20, 2, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace reqsched

@@ -41,8 +41,7 @@ TEST(Trace, RoundTripsThroughText) {
   for (RequestId id = 0; id < trace.size(); ++id) {
     EXPECT_EQ(loaded.request(id).arrival, trace.request(id).arrival);
     EXPECT_EQ(loaded.request(id).deadline, trace.request(id).deadline);
-    EXPECT_EQ(loaded.request(id).first, trace.request(id).first);
-    EXPECT_EQ(loaded.request(id).second, trace.request(id).second);
+    EXPECT_EQ(loaded.request(id).alts, trace.request(id).alts);
   }
   EXPECT_EQ(loaded.config().n, 3);
   EXPECT_EQ(loaded.last_useful_round(), trace.last_useful_round());
@@ -53,8 +52,7 @@ TEST(Request, AlternativeQueries) {
   r.id = 0;
   r.arrival = 2;
   r.deadline = 4;
-  r.first = 1;
-  r.second = 3;
+  r.alts = AltList(1, 3);
   EXPECT_EQ(r.alternative_count(), 2);
   EXPECT_TRUE(r.allows_resource(1));
   EXPECT_TRUE(r.allows_resource(3));
@@ -73,8 +71,7 @@ TEST(Schedule, AssignUnassignAndWindow) {
   r.id = 7;
   r.arrival = 0;
   r.deadline = 2;
-  r.first = 0;
-  r.second = 1;
+  r.alts = AltList(0, 1);
 
   schedule.assign(r, {0, 1});
   EXPECT_EQ(schedule.request_at({0, 1}), 7);
@@ -87,8 +84,7 @@ TEST(Schedule, AssignUnassignAndWindow) {
   EXPECT_THROW(schedule.assign(r, {0, 3}), ContractViolation);
   Request other = r;
   other.id = 8;
-  other.first = 1;
-  other.second = kNoResource;
+  other.alts = AltList(1);
   EXPECT_THROW(schedule.assign(other, {0, 0}), ContractViolation);
 }
 
@@ -98,8 +94,7 @@ TEST(Schedule, AdvanceRecyclesRow) {
   r.id = 1;
   r.arrival = 0;
   r.deadline = 1;
-  r.first = 0;
-  r.second = kNoResource;
+  r.alts = AltList(0);
   schedule.assign(r, {0, 0});
   const auto leftover = schedule.advance();
   ASSERT_EQ(leftover.size(), 1u);
@@ -115,8 +110,7 @@ TEST(Schedule, FreeSlotHelpers) {
   r.id = 1;
   r.arrival = 0;
   r.deadline = 2;
-  r.first = 0;
-  r.second = 1;
+  r.alts = AltList(0, 1);
   schedule.assign(r, {0, 0});
   EXPECT_EQ(schedule.booked_in_round(0), 1);
   EXPECT_EQ(schedule.earliest_free_slot(0, 0, 2), (SlotRef{0, 1}));
@@ -133,7 +127,7 @@ class FirstFitStrategy final : public IStrategy {
     for (const RequestId id : sim.injected_now()) {
       const Request& r = sim.request(id);
       const SlotRef slot =
-          sim.schedule().earliest_free_slot(r.first, sim.now(), r.deadline);
+          sim.schedule().earliest_free_slot(r.first(), sim.now(), r.deadline);
       if (slot.valid()) sim.assign(id, slot);
     }
   }

@@ -1,0 +1,305 @@
+// Pinned differential suite: the degenerate-config guarantee of the
+// k-choice / capacitated / reusable-resource generalization.
+//
+// Every strategy variant in the registry is run over three pinned two-choice
+// traces (built by a test-local SplitMix64 so they are independent of the
+// library's PRNG and of workload-generator changes), and the full observable
+// outcome — final metrics, the online matching slot-for-slot, and the
+// per-round prefix-optimum series — is folded into one FNV-1a digest per
+// (trace, strategy) cell. The expected digests below were captured from the
+// seed implementation (two fixed alternatives, b = 1, occupancy = 1) BEFORE
+// the representation refactor; the suite therefore pins the guarantee that
+// k=2 / b=1 / occupancy=1 runs stay bit-identical through it.
+//
+// Regenerating (only legitimate when the seed behaviour itself is the thing
+// being changed, which this suite exists to forbid silently):
+//   REQSCHED_REGEN_DIFF_BASELINES=1 ./test_degenerate_differential
+// prints the replacement table and fails, so a stale table can never pass.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/prefix.hpp"
+#include "analysis/registry.hpp"
+#include "core/trace.hpp"
+#include "core/workload.hpp"
+#include "engine/simulator.hpp"
+
+namespace reqsched {
+namespace {
+
+// ---- test-local deterministic stream (never the library PRNG) ----
+
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+};
+
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ULL;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  }
+};
+
+// ---- pinned fixtures ----
+
+/// Mixed-window uniform contention: n=6, d=4, 64 injection rounds.
+Trace fixture_uniform() {
+  ProblemConfig config;
+  config.n = 6;
+  config.d = 4;
+  Trace trace(config);
+  SplitMix64 rng{0x5eedF00d0001ULL};
+  for (Round t = 0; t < 64; ++t) {
+    const std::uint64_t count = rng.below(9);  // 0..8 arrivals, E ~ 4/3 n
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto a = static_cast<ResourceId>(rng.below(6));
+      auto b = static_cast<ResourceId>(rng.below(5));
+      if (b >= a) ++b;
+      const auto window = static_cast<std::int32_t>(1 + rng.below(4));
+      trace.add(t, RequestSpec{a, b, window});
+    }
+  }
+  return trace;
+}
+
+/// Bursty hot-pair traffic: n=8, d=6, 96 injection rounds, a 10-request
+/// burst on one replica pair every seventh round over a light trickle.
+Trace fixture_bursty() {
+  ProblemConfig config;
+  config.n = 8;
+  config.d = 6;
+  Trace trace(config);
+  SplitMix64 rng{0x5eedF00d0002ULL};
+  for (Round t = 0; t < 96; ++t) {
+    const std::uint64_t trickle = rng.below(4);  // 0..3 background arrivals
+    for (std::uint64_t i = 0; i < trickle; ++i) {
+      const auto a = static_cast<ResourceId>(rng.below(8));
+      auto b = static_cast<ResourceId>(rng.below(7));
+      if (b >= a) ++b;
+      trace.add(t, RequestSpec{a, b, 0});
+    }
+    if (t % 7 == 3) {
+      const auto hot = static_cast<ResourceId>(rng.below(8));
+      auto mirror = static_cast<ResourceId>(rng.below(7));
+      if (mirror >= hot) ++mirror;
+      for (int i = 0; i < 10; ++i) {
+        trace.add(t, RequestSpec{hot, mirror,
+                                 static_cast<std::int32_t>(2 + rng.below(5))});
+      }
+    }
+  }
+  return trace;
+}
+
+/// Sustained overload with tight windows: n=5, d=5, 80 injection rounds.
+Trace fixture_overload() {
+  ProblemConfig config;
+  config.n = 5;
+  config.d = 5;
+  Trace trace(config);
+  SplitMix64 rng{0x5eedF00d0003ULL};
+  for (Round t = 0; t < 80; ++t) {
+    const std::uint64_t count = 5 + rng.below(4);  // 5..8 arrivals, > n
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto a = static_cast<ResourceId>(rng.below(5));
+      auto b = static_cast<ResourceId>(rng.below(4));
+      if (b >= a) ++b;
+      const auto window = static_cast<std::int32_t>(1 + rng.below(5));
+      trace.add(t, RequestSpec{a, b, window});
+    }
+  }
+  return trace;
+}
+
+/// EDF_single requires single-alternative requests: the projection keeps
+/// every arrival and window but drops the second alternative.
+Trace single_alt_projection(const Trace& trace) {
+  Trace projected(trace.config());
+  for (const Request& r : trace.requests()) {
+    projected.add(r.arrival,
+                  RequestSpec{r.first(), kNoResource,
+                              static_cast<std::int32_t>(r.deadline -
+                                                        r.arrival + 1)});
+  }
+  return projected;
+}
+
+struct Fixture {
+  const char* name;
+  Trace trace;
+  Trace single_alt;
+};
+
+std::vector<Fixture>& fixtures() {
+  static std::vector<Fixture> all = [] {
+    std::vector<Fixture> f;
+    for (auto&& [name, trace] :
+         {std::pair{"uniform", fixture_uniform()},
+          std::pair{"bursty", fixture_bursty()},
+          std::pair{"overload", fixture_overload()}}) {
+      Trace single = single_alt_projection(trace);
+      f.push_back({name, std::move(trace), std::move(single)});
+    }
+    return f;
+  }();
+  return all;
+}
+
+const Trace& trace_for(const Fixture& fixture, const std::string& strategy) {
+  return strategy == "EDF_single" ? fixture.single_alt : fixture.trace;
+}
+
+/// One full observable run outcome, folded to a digest: metrics, the online
+/// matching in execution order, and the per-round prefix-OPT series.
+std::uint64_t run_digest(const Trace& trace, const std::string& strategy_name) {
+  TraceWorkload workload(trace);
+  auto inner = make_strategy(strategy_name, /*seed=*/5);
+  PrefixOptimumProbe probe(std::move(inner));
+  Simulator sim(workload, probe);
+  const Metrics& m = sim.run();
+
+  Fnv fnv;
+  fnv.mix(static_cast<std::uint64_t>(m.rounds));
+  fnv.mix(static_cast<std::uint64_t>(m.injected));
+  fnv.mix(static_cast<std::uint64_t>(m.fulfilled));
+  fnv.mix(static_cast<std::uint64_t>(m.expired));
+  fnv.mix(static_cast<std::uint64_t>(m.wasted_executions));
+  fnv.mix(static_cast<std::uint64_t>(m.assignments));
+  fnv.mix(static_cast<std::uint64_t>(m.unassignments));
+  fnv.mix(static_cast<std::uint64_t>(m.reassignments));
+  fnv.mix(static_cast<std::uint64_t>(m.communication_rounds));
+  fnv.mix(static_cast<std::uint64_t>(m.messages));
+  for (const auto& [id, slot] : sim.online_matching()) {
+    fnv.mix(static_cast<std::uint64_t>(id));
+    fnv.mix(static_cast<std::uint64_t>(slot.resource));
+    fnv.mix(static_cast<std::uint64_t>(slot.round));
+  }
+  for (const RoundSample& s : probe.samples()) {
+    fnv.mix(static_cast<std::uint64_t>(s.round));
+    fnv.mix(static_cast<std::uint64_t>(s.prefix_opt));
+    fnv.mix(static_cast<std::uint64_t>(s.prefix_fulfilled));
+    fnv.mix(static_cast<std::uint64_t>(s.booked));
+    fnv.mix(static_cast<std::uint64_t>(s.pending));
+  }
+  return fnv.h;
+}
+
+struct Baseline {
+  const char* fixture;
+  const char* strategy;
+  std::uint64_t digest;
+};
+
+// Captured from the seed (pre-generalization) implementation; see the file
+// comment for the regeneration protocol.
+const std::vector<Baseline> kBaselines = {
+    // REGEN-BEGIN
+    {"uniform", "A_fix", 0xcb7a18e29f21e621ULL},
+    {"uniform", "A_current", 0xb6f81638fe46e79ULL},
+    {"uniform", "A_fix_balance", 0xdd3c2ee2c8ab8e2bULL},
+    {"uniform", "A_eager", 0x650b65ec5b9da10cULL},
+    {"uniform", "A_balance", 0x5c06369268e2b4b1ULL},
+    {"uniform", "A_local_fix", 0xa8e92f27beb39402ULL},
+    {"uniform", "A_local_eager", 0xff8fe4730e569a8fULL},
+    {"uniform", "EDF_two_choice", 0x5e94c631e000eb31ULL},
+    {"uniform", "EDF_two_choice_cancel", 0xf28756518e017d56ULL},
+    {"uniform", "EDF_single", 0x4ffd43ecfba6ce7ULL},
+    {"uniform", "A_local_eager_merged", 0x5b64c465b1f132c0ULL},
+    {"uniform", "A_current_randomized", 0xb98ac5671cfeb9b9ULL},
+    {"uniform", "A_fix_randomized", 0x19e87d33c62b1d1ULL},
+    {"bursty", "A_fix", 0xa6062dc35ce31c75ULL},
+    {"bursty", "A_current", 0x5015cac4a707f6d9ULL},
+    {"bursty", "A_fix_balance", 0x95945585a5251b1aULL},
+    {"bursty", "A_eager", 0x2127aaa33ea50753ULL},
+    {"bursty", "A_balance", 0xf6e690e6aee89577ULL},
+    {"bursty", "A_local_fix", 0xe3ccd9d4241898c6ULL},
+    {"bursty", "A_local_eager", 0xbd456e44df73b8b0ULL},
+    {"bursty", "EDF_two_choice", 0xcc83a8da44d8d631ULL},
+    {"bursty", "EDF_two_choice_cancel", 0xc8e3ae4a9042a59fULL},
+    {"bursty", "EDF_single", 0x2334c90567760974ULL},
+    {"bursty", "A_local_eager_merged", 0x5d5b27c88a703974ULL},
+    {"bursty", "A_current_randomized", 0x86dab61a27dcd541ULL},
+    {"bursty", "A_fix_randomized", 0x55f5bcae9195ac0fULL},
+    {"overload", "A_fix", 0xce857cb747bb43e1ULL},
+    {"overload", "A_current", 0xfc6a05859b4c2675ULL},
+    {"overload", "A_fix_balance", 0xe4bf46a6daffc9b9ULL},
+    {"overload", "A_eager", 0x78ace4edeafba347ULL},
+    {"overload", "A_balance", 0xb2049bfa10f5eb5dULL},
+    {"overload", "A_local_fix", 0x4a8a637d1050221ULL},
+    {"overload", "A_local_eager", 0x7968a318b20b1e5eULL},
+    {"overload", "EDF_two_choice", 0x7641af69e5b0255dULL},
+    {"overload", "EDF_two_choice_cancel", 0xaec1e56671d0afe7ULL},
+    {"overload", "EDF_single", 0xc2a1a77d08e43181ULL},
+    {"overload", "A_local_eager_merged", 0xae3f5e6d16e2b7c4ULL},
+    {"overload", "A_current_randomized", 0xa7391317d544ff2eULL},
+    {"overload", "A_fix_randomized", 0xb470e18fad620e76ULL},
+    // REGEN-END
+};
+
+TEST(DegenerateDifferential, SeedBaselinesAreBitIdentical) {
+  if (std::getenv("REQSCHED_REGEN_DIFF_BASELINES") != nullptr) {
+    for (const auto& fixture : fixtures()) {
+      for (const std::string& name : all_strategy_names()) {
+        std::cout << "    {\"" << fixture.name << "\", \"" << name << "\", 0x"
+                  << std::hex << run_digest(trace_for(fixture, name), name)
+                  << std::dec << "ULL},\n";
+      }
+    }
+    FAIL() << "baseline regeneration mode: paste the table above between the "
+              "REGEN markers";
+  }
+  ASSERT_NE(kBaselines.size(), 0u)
+      << "the pinned baseline table is empty — the degenerate-config "
+         "guarantee is not being checked";
+  for (const Baseline& expected : kBaselines) {
+    const Fixture* fixture = nullptr;
+    for (const auto& candidate : fixtures()) {
+      if (expected.fixture == std::string(candidate.name)) {
+        fixture = &candidate;
+      }
+    }
+    ASSERT_NE(fixture, nullptr) << "unknown fixture " << expected.fixture;
+    EXPECT_EQ(run_digest(trace_for(*fixture, expected.strategy),
+                         expected.strategy),
+              expected.digest)
+        << "k=2/b=1/occupancy=1 behaviour of " << expected.strategy
+        << " diverged from the frozen seed run on the " << expected.fixture
+        << " fixture";
+  }
+}
+
+/// The table must cover the whole registry on every fixture — a variant
+/// added without a frozen baseline would silently escape the guarantee.
+TEST(DegenerateDifferential, TableCoversEveryRegisteredStrategy) {
+  if (std::getenv("REQSCHED_REGEN_DIFF_BASELINES") != nullptr) {
+    GTEST_SKIP() << "regeneration mode";
+  }
+  for (const auto& fixture : fixtures()) {
+    for (const std::string& name : all_strategy_names()) {
+      bool found = false;
+      for (const Baseline& b : kBaselines) {
+        found |= name == b.strategy && fixture.name == std::string(b.fixture);
+      }
+      EXPECT_TRUE(found) << "no frozen baseline for " << name << " on "
+                         << fixture.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reqsched

@@ -72,7 +72,7 @@ TEST(RequestPool, RetainModeKeepsEverything) {
   pool.advance(100);  // no-op in retain mode
   EXPECT_EQ(pool.status(a), RequestStatus::kFulfilled);
   EXPECT_EQ(pool.fulfilled_slot(a), (SlotRef{1, 2}));
-  EXPECT_EQ(pool.request(a).first, 0);
+  EXPECT_EQ(pool.request(a).first(), 0);
 }
 
 TEST(RequestPool, RingGrowsToTheAdmissionBurst) {

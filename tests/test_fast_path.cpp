@@ -116,8 +116,10 @@ RunCapture expect_fast_path_matches(const std::string& name,
 
 TEST(FastPathDifferential, LowerBoundInstancesAreBitIdentical) {
   // The adversarially tie-broken theorem traces: any drift in the admission
-  // order or slot choice surfaces immediately. Only A_fix opts into the
-  // fast path; the other classes pin that the flag stays inert for them.
+  // order or slot choice surfaces immediately. A_fix, A_current, and
+  // A_fix_balance opt into the fast path (the latter two behind their
+  // probe-clamp / empty-backlog refinements); A_eager and A_balance pin
+  // that the flag stays inert for strategies that never opted in.
   const std::vector<std::pair<std::string,
                               std::function<TheoremInstance()>>> cases = {
       {"A_fix", [] { return make_lb_fix(4, 3); }},
@@ -130,6 +132,40 @@ TEST(FastPathDifferential, LowerBoundInstancesAreBitIdentical) {
     expect_fast_path_matches(name, [&make] {
       return std::move(make().workload);
     });
+  }
+}
+
+TEST(FastPathDifferential, ACurrentAndAFixBalanceEngageBitIdentically) {
+  // Satellite of the k-choice refactor: A_current (current-round probe
+  // clamp + empty-backlog refinement) and A_fix_balance (empty-backlog
+  // refinement) now opt in. Random streams across light and saturated
+  // loads must stay bit-identical to matcher-only runs, AND the fast path
+  // must actually engage — a vacuous pass with zero fast rounds would mean
+  // the refinement checks punt everything.
+  for (const std::string name : {"A_current", "A_fix_balance"}) {
+    std::int64_t engaged_total = 0;
+    std::int64_t fallback_total = 0;
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+      const RandomWorkloadOptions options{
+          .n = static_cast<std::int32_t>(2 + seed % 5),
+          .d = static_cast<std::int32_t>(1 + seed % 4),
+          .load = 0.3 + 0.1 * static_cast<double>(seed % 12),
+          .horizon = static_cast<Round>(10 + seed % 11),
+          .seed = 3000 + seed,
+          .two_choice = seed % 4 != 0};
+      const RunCapture fast = expect_fast_path_matches(name, [&options] {
+        return std::make_unique<UniformWorkload>(options);
+      });
+      engaged_total += fast.fast_rounds;
+      fallback_total += fast.fast_fallbacks;
+      if (::testing::Test::HasFailure()) {
+        FAIL() << name << ": first divergence on seed " << seed;
+      }
+    }
+    EXPECT_GT(engaged_total, 0)
+        << name << " never engaged the fast path across the sweep";
+    EXPECT_GT(fallback_total, 0)
+        << name << " never punted — the refinements are not being exercised";
   }
 }
 
@@ -241,8 +277,7 @@ SlotRef naive_first_free(const Model& model, const Request& r, Round t,
   const Round lo = std::max(r.arrival, t);
   const Round hi = std::min(r.deadline, t + d - 1);
   for (Round round = lo; round <= hi; ++round) {
-    for (const ResourceId res : {r.first, r.second}) {
-      if (res == kNoResource) continue;
+    for (const ResourceId res : r.alts) {
       const SlotRef slot{res, round};
       if (!model.is_free(slot)) continue;
       if (exclude_claims && model.is_claimed(slot)) continue;
@@ -295,16 +330,15 @@ void probe_fuzz_trial(std::int32_t n, std::int32_t d, std::uint64_t seed,
       r.arrival = t;
       r.deadline = t + static_cast<Round>(rng.next_below(
                            static_cast<std::uint64_t>(d)));
-      r.first = static_cast<ResourceId>(rng.next_below(
+      const auto first = static_cast<ResourceId>(rng.next_below(
           static_cast<std::uint64_t>(n)));
+      ResourceId second = kNoResource;
       if (n > 1 && rng.next_below(5) != 0) {
-        ResourceId second = static_cast<ResourceId>(rng.next_below(
+        second = static_cast<ResourceId>(rng.next_below(
             static_cast<std::uint64_t>(n - 1)));
-        if (second >= r.first) ++second;
-        r.second = second;
-      } else {
-        r.second = kNoResource;
+        if (second >= first) ++second;
       }
+      r.alts = AltList(first, second);
       p.add_request(r);
       model.rows.emplace(r.id, r);
     } else if (roll < 55) {  // book: congest the window the probes scan

@@ -162,8 +162,7 @@ TEST(ScheduleFuzz, AgreesWithNaiveModel) {
       r.id = next_id;
       r.arrival = base;
       r.deadline = base + 3;
-      r.first = 0;
-      r.second = 1;
+      r.alts = AltList(0, 1);
       const SlotRef slot = random_slot(base);
       const bool valid = r.allows_slot(slot) && schedule.is_free(slot);
       if (valid) {

@@ -160,13 +160,15 @@ TEST(TraceIo, RandomRoundTripFuzz) {
     for (std::uint64_t i = 0; i < count; ++i) {
       arrival += static_cast<Round>(rng.next_below(3));
       RequestSpec spec;
-      spec.first = static_cast<ResourceId>(rng.next_below(
+      const auto first = static_cast<ResourceId>(rng.next_below(
           static_cast<std::uint64_t>(n)));
+      ResourceId second = kNoResource;
       if (n > 1 && rng.next_bool(0.8)) {
-        spec.second = static_cast<ResourceId>(
+        second = static_cast<ResourceId>(
             rng.next_below(static_cast<std::uint64_t>(n - 1)));
-        if (spec.second >= spec.first) ++spec.second;
+        if (second >= first) ++second;
       }
+      spec.alts = AltList(first, second);
       spec.window =
           static_cast<std::int32_t>(1 + rng.next_below(
                                             static_cast<std::uint64_t>(d)));
@@ -179,8 +181,7 @@ TEST(TraceIo, RandomRoundTripFuzz) {
     for (RequestId id = 0; id < trace.size(); ++id) {
       EXPECT_EQ(loaded.request(id).arrival, trace.request(id).arrival);
       EXPECT_EQ(loaded.request(id).deadline, trace.request(id).deadline);
-      EXPECT_EQ(loaded.request(id).first, trace.request(id).first);
-      EXPECT_EQ(loaded.request(id).second, trace.request(id).second);
+      EXPECT_EQ(loaded.request(id).alts, trace.request(id).alts);
     }
   }
 }

@@ -21,7 +21,7 @@ namespace reqsched {
 namespace {
 
 RequestSpec spec_of(const Request& r) {
-  return RequestSpec{r.first, r.second,
+  return RequestSpec{r.first(), r.second(),
                      static_cast<std::int32_t>(r.deadline - r.arrival + 1)};
 }
 

@@ -19,8 +19,7 @@ Trace record(W& workload) {
   Trace copy(sim.trace().config());
   for (const Request& r : sim.trace().requests()) {
     RequestSpec spec;
-    spec.first = r.first;
-    spec.second = r.second;
+    spec.alts = r.alts;
     spec.window = static_cast<std::int32_t>(r.deadline - r.arrival + 1);
     copy.add(r.arrival, spec);
   }
@@ -36,8 +35,7 @@ TEST(UniformWorkloadTest, DeterministicGivenSeed) {
   const Trace tb = record(b);
   ASSERT_EQ(ta.size(), tb.size());
   for (RequestId id = 0; id < ta.size(); ++id) {
-    EXPECT_EQ(ta.request(id).first, tb.request(id).first);
-    EXPECT_EQ(ta.request(id).second, tb.request(id).second);
+    EXPECT_EQ(ta.request(id).alts, tb.request(id).alts);
     EXPECT_EQ(ta.request(id).arrival, tb.request(id).arrival);
   }
 }
@@ -59,11 +57,11 @@ TEST(UniformWorkloadTest, AlternativesAreDistinctAndInRange) {
                             .seed = 9, .two_choice = true});
   const Trace trace = record(workload);
   for (const Request& r : trace.requests()) {
-    EXPECT_GE(r.first, 0);
-    EXPECT_LT(r.first, 6);
-    EXPECT_NE(r.first, r.second);
-    EXPECT_GE(r.second, 0);
-    EXPECT_LT(r.second, 6);
+    EXPECT_GE(r.first(), 0);
+    EXPECT_LT(r.first(), 6);
+    EXPECT_NE(r.first(), r.second());
+    EXPECT_GE(r.second(), 0);
+    EXPECT_LT(r.second(), 6);
   }
 }
 
@@ -74,8 +72,9 @@ TEST(ZipfWorkloadTest, HotResourceDominates) {
   const Trace trace = record(workload);
   std::vector<std::int64_t> hits(8, 0);
   for (const Request& r : trace.requests()) {
-    ++hits[static_cast<std::size_t>(r.first)];
-    ++hits[static_cast<std::size_t>(r.second)];
+    for (const ResourceId res : r.alts) {
+      ++hits[static_cast<std::size_t>(res)];
+    }
   }
   EXPECT_GT(hits[0], hits[7] * 2);
 }
@@ -90,7 +89,7 @@ TEST(BurstyWorkloadTest, BurstsShareAlternatives) {
   std::map<std::pair<ResourceId, ResourceId>, std::int64_t> pairs;
   std::int64_t max_count = 0;
   for (const Request& r : trace.requests()) {
-    max_count = std::max(max_count, ++pairs[{r.first, r.second}]);
+    max_count = std::max(max_count, ++pairs[{r.first(), r.second()}]);
   }
   EXPECT_GE(max_count, 16);
 }

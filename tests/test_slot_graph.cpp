@@ -47,9 +47,8 @@ LegacyGraph legacy_build(const Trace& trace) {
   for (const Request& r : trace.requests()) {
     auto& nbrs = g.adj[static_cast<std::size_t>(r.id)];
     for (Round t = r.arrival; t <= r.deadline; ++t) {
-      nbrs.push_back(static_cast<std::int32_t>(t * n + r.first));
-      if (r.second != kNoResource) {
-        nbrs.push_back(static_cast<std::int32_t>(t * n + r.second));
+      for (const ResourceId res : r.alts) {
+        nbrs.push_back(static_cast<std::int32_t>(t * n + res));
       }
     }
   }
@@ -218,7 +217,7 @@ TEST(SlotGraph, NeighborsFollowCanonicalEnumeration) {
   std::vector<std::int32_t> expected;
   for (const Request& r : trace.requests()) {
     expected.clear();
-    SlotGraph::append_slot_edges(r, trace.config().n, expected);
+    SlotGraph::append_slot_edges(r, trace.config(), expected);
     const auto got = sg.graph().neighbors(static_cast<std::int32_t>(r.id));
     ASSERT_EQ(std::vector<std::int32_t>(got.begin(), got.end()), expected)
         << "request " << r.id;
@@ -304,7 +303,7 @@ void expect_differential_identity(
   Trace prefix(trace.config());
   for (const Request& r : trace.requests()) {
     prefix.add(r.arrival,
-               RequestSpec{r.first, r.second,
+               RequestSpec{r.first(), r.second(),
                            static_cast<std::int32_t>(r.deadline - r.arrival + 1)});
     tracker.add_request(r);
     ASSERT_EQ(tracker.optimum(), legacy_optimum(prefix))

@@ -138,7 +138,7 @@ class EdfSingle final : public IStrategy {
       const Request& r = sim.request(id);
       REQSCHED_CHECK_MSG(r.alternative_count() == 1,
                          "EdfSingle requires single-alternative requests");
-      RequestId& slot_best = best[static_cast<std::size_t>(r.first)];
+      RequestId& slot_best = best[static_cast<std::size_t>(r.first())];
       if (slot_best == kNoRequest ||
           sim.request(slot_best).deadline > r.deadline) {
         slot_best = id;
@@ -167,7 +167,7 @@ class EdfTwoChoice final : public IStrategy {
       const Request& r = sim.request(id);
       REQSCHED_CHECK_MSG(r.alternative_count() == 2,
                          "EdfTwoChoice requires two-alternative requests");
-      for (const ResourceId res : {r.first, r.second}) {
+      for (const ResourceId res : r.alts) {
         auto& queue = queues_[static_cast<std::size_t>(res)];
         const Copy copy{id, r.deadline};
         const auto pos = std::lower_bound(
@@ -237,7 +237,7 @@ class ALocalFix final : public IStrategy {
       const Request& r = sim.request(id);
       REQSCHED_CHECK_MSG(r.alternative_count() == 2,
                          "local strategies require two alternatives");
-      first_wave.push_back(Message{id, r.first, r.deadline, false, 0});
+      first_wave.push_back(Message{id, r.first(), r.deadline, false, 0});
     }
     if (first_wave.empty()) return;
     sim.record_communication(1, static_cast<std::int64_t>(first_wave.size()));
@@ -246,7 +246,7 @@ class ALocalFix final : public IStrategy {
     std::vector<Message> second_wave;
     for (const Message& m : failed_first) {
       const Request& r = sim.request(m.sender);
-      second_wave.push_back(Message{m.sender, r.second, r.deadline, false, 0});
+      second_wave.push_back(Message{m.sender, r.second(), r.deadline, false, 0});
     }
     if (second_wave.empty()) return;
     sim.record_communication(1, static_cast<std::int64_t>(second_wave.size()));
@@ -279,7 +279,7 @@ class ALocalEager final : public IStrategy {
         const Request& r = sim.request(id);
         REQSCHED_CHECK_MSG(r.alternative_count() == 2,
                            "local strategies require two alternatives");
-        wave.push_back(Message{id, r.first, r.deadline, false, 0});
+        wave.push_back(Message{id, r.first(), r.deadline, false, 0});
       }
       if (!wave.empty()) {
         ++comm_rounds;
@@ -289,7 +289,7 @@ class ALocalEager final : public IStrategy {
         std::vector<Message> retry;
         for (const Message& m : failed) {
           const Request& r = sim.request(m.sender);
-          retry.push_back(Message{m.sender, r.second, r.deadline, false, 0});
+          retry.push_back(Message{m.sender, r.second(), r.deadline, false, 0});
         }
         if (!retry.empty()) {
           ++comm_rounds;
@@ -349,7 +349,7 @@ class ALocalEager final : public IStrategy {
     std::vector<Message> wave;
     for (const RequestId id : unscheduled_pending(sim)) {
       const Request& r = sim.request(id);
-      const ResourceId target = alt == 0 ? r.first : r.second;
+      const ResourceId target = alt == 0 ? r.first() : r.second();
       wave.push_back(Message{id, target, r.deadline, false, 0});
     }
     if (wave.empty()) return 0;
@@ -608,8 +608,7 @@ std::vector<SlotRef> naive_allowed(const Model& model, const Request& r,
   const Round lo = std::max(r.arrival, t);
   const Round hi = std::min(r.deadline, t + d - 1);
   for (Round round = lo; round <= hi; ++round) {
-    for (const ResourceId res : {r.first, r.second}) {
-      if (res == kNoResource) continue;
+    for (const ResourceId res : r.alts) {
       const SlotRef slot{res, round};
       if (only_free && !model.is_free(slot)) continue;
       out.push_back(slot);
@@ -680,8 +679,7 @@ void expect_consistent(const DeltaWindowProblem& p,
     EXPECT_EQ(row.id, r.id);
     EXPECT_EQ(row.arrival, r.arrival);
     EXPECT_EQ(row.deadline, r.deadline);
-    EXPECT_EQ(row.first, r.first);
-    EXPECT_EQ(row.second, r.second);
+    EXPECT_EQ(row.alts, r.alts);
     const auto booked = model.booked.find(id);
     const SlotRef expected =
         booked == model.booked.end() ? kNoSlot : booked->second;
@@ -695,8 +693,7 @@ void expect_consistent(const DeltaWindowProblem& p,
     ASSERT_EQ(p.first_free_allowed(id), first) << "r" << id;
 
     // earliest_free_slot, same contract as Schedule::earliest_free_slot.
-    for (const ResourceId res : {r.first, r.second}) {
-      if (res == kNoResource) continue;
+    for (const ResourceId res : r.alts) {
       SlotRef naive = kNoSlot;
       for (Round round = t; round <= std::min(r.deadline, t + d - 1);
            ++round) {
@@ -818,16 +815,15 @@ void fuzz_trial(std::int32_t n, std::int32_t d, std::uint64_t seed,
       r.arrival = t;
       r.deadline = t + static_cast<Round>(rng.next_below(
                            static_cast<std::uint64_t>(d)));
-      r.first = static_cast<ResourceId>(rng.next_below(
+      const auto first = static_cast<ResourceId>(rng.next_below(
           static_cast<std::uint64_t>(n)));
+      ResourceId second = kNoResource;
       if (n > 1 && rng.next_below(5) != 0) {
-        ResourceId second = static_cast<ResourceId>(rng.next_below(
+        second = static_cast<ResourceId>(rng.next_below(
             static_cast<std::uint64_t>(n - 1)));
-        if (second >= r.first) ++second;
-        r.second = second;
-      } else {
-        r.second = kNoResource;
+        if (second >= first) ++second;
       }
+      r.alts = AltList(first, second);
       emit(Event{Event::Kind::kAdd, r, r.id, kNoSlot});
       model.rows.emplace(r.id, r);
     } else if (roll < 60) {  // book a random free allowed slot
@@ -904,8 +900,7 @@ TEST(DeltaWindowContracts, RejectsOutOfContractEvents) {
   r.id = 0;
   r.arrival = 0;
   r.deadline = 1;
-  r.first = 0;
-  r.second = 1;
+  r.alts = AltList(0, 1);
   p.add_request(r);
 
   Request late = r;

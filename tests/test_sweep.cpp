@@ -98,9 +98,10 @@ class ThrowingWorkload final : public IWorkload {
 
   std::string name() const override { return "throwing"; }
   ProblemConfig config() const override { return config_; }
-  std::vector<RequestSpec> generate(Round t, const Simulator&) override {
+  void generate(Round t, const Simulator&,
+                std::vector<RequestSpec>& out) override {
     if (t >= 2) throw std::runtime_error("deliberate mid-run failure");
-    return {RequestSpec{0, 1, 0}};
+    out.push_back(RequestSpec{0, 1, 0});
   }
   bool exhausted(Round t) const override { return t > 4; }
 

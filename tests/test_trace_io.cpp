@@ -16,14 +16,16 @@ void expect_round_trip(const Trace& trace) {
   const Trace loaded = Trace::load(buffer);
   ASSERT_EQ(loaded.config().n, trace.config().n);
   ASSERT_EQ(loaded.config().d, trace.config().d);
+  ASSERT_EQ(loaded.config().b, trace.config().b);
+  ASSERT_EQ(loaded.config().capacities, trace.config().capacities);
   ASSERT_EQ(loaded.size(), trace.size());
   for (RequestId id = 0; id < trace.size(); ++id) {
     const Request& want = trace.request(id);
     const Request& got = loaded.request(id);
     EXPECT_EQ(got.arrival, want.arrival) << "request " << id;
     EXPECT_EQ(got.deadline, want.deadline) << "request " << id;
-    EXPECT_EQ(got.first, want.first) << "request " << id;
-    EXPECT_EQ(got.second, want.second) << "request " << id;
+    EXPECT_EQ(got.alts, want.alts) << "request " << id;
+    EXPECT_EQ(got.occupancy, want.occupancy) << "request " << id;
   }
 }
 
@@ -49,20 +51,113 @@ TEST(TraceIo, RandomMixedRoundTripFuzz) {
     for (std::uint64_t i = 0; i < count; ++i) {
       arrival += static_cast<Round>(rng.next_below(4));
       RequestSpec spec;
-      spec.first = static_cast<ResourceId>(
+      const auto first = static_cast<ResourceId>(
           rng.next_below(static_cast<std::uint64_t>(n)));
+      ResourceId second = kNoResource;
       // Mix single- and two-alternative requests in one trace.
       if (n > 1 && rng.next_bool(0.6)) {
-        spec.second = static_cast<ResourceId>(
+        second = static_cast<ResourceId>(
             rng.next_below(static_cast<std::uint64_t>(n - 1)));
-        if (spec.second >= spec.first) ++spec.second;
+        if (second >= first) ++second;
       }
+      spec.alts = AltList(first, second);
       spec.window = static_cast<std::int32_t>(
           1 + rng.next_below(static_cast<std::uint64_t>(d)));
       trace.add(arrival, spec);
     }
     expect_round_trip(trace);
   }
+}
+
+TEST(TraceIo, PaperModelTracesKeepTheV1ByteFormat) {
+  // Two-alternative, b=1, occ=1 traces must stay readable by
+  // pre-generalization tooling: the v1 header and line layout, byte for
+  // byte.
+  Trace trace(ProblemConfig{3, 2});
+  trace.add(0, RequestSpec{0, 1, 2});
+  trace.add(1, RequestSpec{2, kNoResource, 1});
+  std::stringstream buffer;
+  trace.save(buffer);
+  EXPECT_EQ(buffer.str(), "reqsched-trace 3 2 2\n0 0 1 1\n1 2 -1 1\n");
+}
+
+TEST(TraceIo, GeneralizedTracesRoundTripThroughV2) {
+  // Any of the three new axes (k > 2, b > 1, occupancy > 1, per-resource
+  // capacities) forces the v2 format; everything must survive the trip.
+  Trace trace(ProblemConfig{5, 4, 2, {1, 2, 2, 3, 1}});
+  RequestSpec wide;
+  wide.alts = AltList(0, 1);
+  wide.alts.push_back(3);
+  wide.alts.push_back(4);
+  wide.window = 3;
+  trace.add(0, wide);
+  trace.add(1, RequestSpec{2, kNoResource, 4, 3});  // a 3-round run
+  trace.add(1, RequestSpec{4, 0, 2});
+  std::stringstream buffer;
+  trace.save(buffer);
+  EXPECT_EQ(buffer.str().rfind("reqsched-trace-v2 ", 0), 0u)
+      << "generalized traces must use the v2 header";
+  expect_round_trip(trace);
+}
+
+TEST(TraceIo, V2RandomRoundTripFuzz) {
+  Prng rng(4096);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto n = static_cast<std::int32_t>(2 + rng.next_below(6));
+    const auto d = static_cast<std::int32_t>(2 + rng.next_below(5));
+    ProblemConfig config{n, d,
+                         static_cast<std::int32_t>(1 + rng.next_below(3))};
+    if (rng.next_bool(0.4)) {
+      for (std::int32_t r = 0; r < n; ++r) {
+        config.capacities.push_back(
+            static_cast<std::int32_t>(1 + rng.next_below(4)));
+      }
+    }
+    Trace trace(config);
+    Round arrival = 0;
+    const std::uint64_t count = rng.next_below(30);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      arrival += static_cast<Round>(rng.next_below(3));
+      RequestSpec spec;
+      const auto k = static_cast<std::int32_t>(
+          1 + rng.next_below(static_cast<std::uint64_t>(std::min(n, 8))));
+      while (spec.alts.size() < k) {
+        const auto r = static_cast<ResourceId>(
+            rng.next_below(static_cast<std::uint64_t>(n)));
+        bool seen = false;
+        for (const ResourceId have : spec.alts) seen |= have == r;
+        if (!seen) spec.alts.push_back(r);
+      }
+      spec.window = static_cast<std::int32_t>(
+          1 + rng.next_below(static_cast<std::uint64_t>(d)));
+      spec.occupancy = static_cast<std::int32_t>(
+          1 + rng.next_below(static_cast<std::uint64_t>(spec.window)));
+      trace.add(arrival, spec);
+    }
+    expect_round_trip(trace);
+  }
+}
+
+TEST(TraceIo, V2RejectsMissingCapacityLine) {
+  std::stringstream bad("reqsched-trace-v2 2 3 1\n0 0 1 2 0 1\n");
+  EXPECT_THROW(Trace::load(bad), ContractViolation);
+}
+
+TEST(TraceIo, V2RejectsOversizedOccupancy) {
+  // occupancy 3 cannot fit the request's 2-round window [0, 1].
+  std::stringstream bad("reqsched-trace-v2 2 3 1\ncapacity 1\n0 1 3 1 0\n");
+  EXPECT_THROW(Trace::load(bad), ContractViolation);
+}
+
+TEST(TraceIo, V2RejectsBadAlternativeCount) {
+  std::stringstream bad("reqsched-trace-v2 2 3 1\ncapacity 1\n0 1 1 0\n");
+  EXPECT_THROW(Trace::load(bad), ContractViolation);
+}
+
+TEST(TraceIo, V2RejectsShortCapacityList) {
+  // n = 3 but only two per-resource entries.
+  std::stringstream bad("reqsched-trace-v2 3 2 0\ncapacity 1 2 2\n");
+  EXPECT_THROW(Trace::load(bad), ContractViolation);
 }
 
 TEST(TraceIo, RejectsDeadlineBeyondWindow) {

@@ -48,7 +48,7 @@ TEST(UniversalAdversary, ColoredAlternativesAreSpreadEvenly) {
   // alternatives per resource — each duo resource gets d/3 per color.
   std::map<ResourceId, std::int64_t> first_counts;
   for (RequestId id = 6 * d; id < 6 * d + 4 * d; ++id) {
-    ++first_counts[sim.request(id).first];
+    ++first_counts[sim.request(id).first()];
   }
   ASSERT_EQ(first_counts.size(), 4u);  // exactly the duo's four resources
   for (const auto& [resource, count] : first_counts) {

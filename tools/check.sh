@@ -108,7 +108,7 @@ run_bench_smoke() {
 import json
 rows = json.load(open("BENCH_latest.json"))
 sections = {row["section"] for row in rows}
-missing = {"strategy_step", "stream"} - sections
+missing = {"strategy_step", "stream", "capacitated"} - sections
 assert not missing, f"BENCH_latest.json is missing sections: {sorted(missing)}"
 print(f"BENCH_latest.json: {len(rows)} records, sections {sorted(sections)}")
 EOF

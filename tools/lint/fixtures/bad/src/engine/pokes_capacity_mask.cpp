@@ -1,0 +1,6 @@
+// Reaches into the delta window's raw saturation overlay from the engine
+// layer instead of probing through the public API.
+std::uint64_t peek_saturation(DeltaWindowProblem& w) {
+  return w.res_free_[0] & ~w.res_claimed_[0];
+}
+std::int32_t peek_count(DeltaWindowProblem& w) { return w.free_count_[0]; }

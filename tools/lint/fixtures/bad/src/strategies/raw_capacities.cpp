@@ -1,0 +1,5 @@
+// Reads the per-resource capacity vector raw instead of going through
+// ProblemConfig::capacity_of()/max_capacity().
+std::int32_t first_capacity(const ProblemConfig& config) {
+  return config.capacities.empty() ? config.b : config.capacities[0];
+}

@@ -1,0 +1,7 @@
+// Outside the owning layer, capacity is read through the ProblemConfig
+// accessors — never the raw vector or the window's mask arrays.
+std::int64_t ring_units(const ProblemConfig& config) {
+  std::int64_t total = 0;
+  for (ResourceId r = 0; r < config.n; ++r) total += config.capacity_of(r);
+  return total * config.max_capacity();
+}

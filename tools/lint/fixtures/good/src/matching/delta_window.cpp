@@ -14,3 +14,9 @@ void audit_sweep(int n) {
   const char* s = "assert(never flagged) using namespace";
   (void)s;
 }
+// The delta window owns the raw capacity state, so naming the count arrays
+// and saturation overlays here is fine.
+std::int32_t saturate(DeltaWindowProblem& w, std::size_t cell) {
+  if (--w.free_count_[cell] == 0) w.res_free_[cell / 64] &= ~(1ull << (cell % 64));
+  return w.claim_count_[cell];
+}

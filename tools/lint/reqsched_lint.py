@@ -27,6 +27,16 @@ Rules (see docs/static_analysis.md for the full catalogue):
   no-raw-assert       src/ uses the REQSCHED_* contract macros, never
                       assert() (assert is silent under NDEBUG; contract
                       violations must never pass silently).
+  capacity-internals  the raw capacity state of the generalized model is
+                      owned by the delta-window/slot-graph layer: the
+                      free/claim count arrays and their saturation mask
+                      overlays (free_count_, claim_count_, res_free_,
+                      res_claimed_) may only be named there, and the
+                      per-resource `capacities` vector of ProblemConfig may
+                      only be read raw by its owners (types.hpp, the trace
+                      serializer, delta_window/slot_graph) — everyone else
+                      goes through capacity_of()/max_capacity() so a future
+                      representation change stays a two-file edit.
 
 A finding can be waived for one line with a trailing
 `// reqsched-lint: allow(<rule>)` comment.
@@ -78,6 +88,26 @@ HOT_FILES = (
     # matcher: its per-round loops are on the same measured path.
     "src/strategies/runtime.cpp",
 )
+
+# Owners of the raw capacity representation. Only these files may name the
+# free/claim count arrays and saturation mask overlays; every other layer
+# probes capacity through the DeltaWindowProblem / SlotGraph public API.
+CAPACITY_MASK_OWNERS = {
+    "src/matching/delta_window.cpp",
+    "src/matching/delta_window.hpp",
+    "src/matching/slot_graph.cpp",
+    "src/matching/slot_graph.hpp",
+}
+CAPACITY_MASK_RE = re.compile(
+    r"\b(res_free_|res_claimed_|free_count_|claim_count_)\b")
+# Files that may read ProblemConfig::capacities directly (the defining
+# header, the trace serializer, and the mask owners); all other src/ code
+# must use capacity_of() / max_capacity() / unit_capacity().
+CAPACITY_VECTOR_OWNERS = CAPACITY_MASK_OWNERS | {
+    "src/core/types.hpp",
+    "src/core/trace.cpp",
+}
+CAPACITY_VECTOR_RE = re.compile(r"\bcapacities\b")
 
 # The only file allowed to (un)define the assertion-gating macros.
 GATE_OWNER = "src/util/assert.hpp"
@@ -325,6 +355,21 @@ def check_file(root: str, relpath: str, findings: list) -> None:
         if in_src and RAW_ASSERT_RE.search(line) and "static_assert" not in line:
             report(n, "no-raw-assert",
                    "use the REQSCHED_* contract macros instead of assert()")
+
+        # --- capacity-internals -------------------------------------------
+        if in_src:
+            cm = CAPACITY_MASK_RE.search(line)
+            if cm and norm not in CAPACITY_MASK_OWNERS:
+                report(n, "capacity-internals",
+                       f"raw capacity state `{cm.group(1)}` is owned by "
+                       "delta_window/slot_graph; probe through their "
+                       "public API")
+            elif norm not in CAPACITY_VECTOR_OWNERS and \
+                    CAPACITY_VECTOR_RE.search(line):
+                report(n, "capacity-internals",
+                       "read per-resource capacities through "
+                       "ProblemConfig::capacity_of()/max_capacity(), not "
+                       "the raw `capacities` vector")
 
         guard.feed(line)
 

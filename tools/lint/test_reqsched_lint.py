@@ -76,6 +76,14 @@ class BadFixtures(unittest.TestCase):
     def test_unguarded_validation_loop_in_strategy_runtime(self):
         self.assert_finding("src/strategies/runtime.cpp", "hot-loop-guard")
 
+    def test_capacity_mask_touched_outside_owner(self):
+        self.assert_finding("src/engine/pokes_capacity_mask.cpp",
+                            "capacity-internals")
+
+    def test_raw_capacities_vector_outside_owner(self):
+        self.assert_finding("src/strategies/raw_capacities.cpp",
+                            "capacity-internals")
+
     def test_every_bad_fixture_fires(self):
         flagged = {l.split(":", 1)[0] for l in self.out.splitlines()
                    if ": [" in l}
