@@ -22,8 +22,16 @@ class JsonWriter {
  public:
   void record(std::string section, std::string metric, double value,
               std::string units) {
-    rows_.push_back(
-        {std::move(section), std::move(metric), value, std::move(units)});
+    rows_.push_back({std::move(section), std::move(metric), value,
+                     std::move(units), std::string(), false});
+  }
+
+  /// String-valued record (units "text") — run provenance like the
+  /// checkpoint manifest's strategy/git-describe fields, so BENCH_latest.json
+  /// is traceable to the build and configuration that produced it.
+  void record_text(std::string section, std::string metric, std::string text) {
+    rows_.push_back({std::move(section), std::move(metric), 0.0, "text",
+                     std::move(text), true});
   }
 
   /// Renders every record as one JSON array of objects.
@@ -87,13 +95,22 @@ class JsonWriter {
     std::string metric;
     double value;
     std::string units;
+    std::string text;
+    bool is_text = false;
   };
 
   static std::string render_row(const Row& row) {
     std::ostringstream out;
     out << "{\"section\":\"" << row.section << "\",\"metric\":\""
         << row.metric << "\",\"value\":";
-    if (std::isfinite(row.value)) {
+    if (row.is_text) {
+      out << '"';
+      for (const char c : row.text) {
+        if (c == '"' || c == '\\') out << '\\';
+        out << c;
+      }
+      out << '"';
+    } else if (std::isfinite(row.value)) {
       out << row.value;
     } else if (std::isnan(row.value)) {
       // JSON has no NaN literal; "-inf" here used to mislabel empty-sample

@@ -20,6 +20,12 @@
 //    sub-critical load with the engine's batch-admission stage on, gated
 //    metric-identical to the matcher-only run and to a >= 150k req/s
 //    untracked-throughput floor, with per-round step-latency p50/p99.
+//  * checkpoint — the overloaded soak interrupted at its midpoint,
+//    checkpointed through the full file cycle (encode + atomic save, load +
+//    restore), and continued: final Metrics and state digest must be
+//    bit-identical to the uninterrupted run. Reports write/restore latency
+//    and checkpoint size, plus the embedded manifest's provenance fields as
+//    text records.
 //
 // Usage: bench_stream [--smoke] [--json=BENCH_stream.json]
 //                     [--json-append=BENCH_latest.json]
@@ -35,6 +41,7 @@
 #include "engine/simulator.hpp"
 #include "engine/sharded.hpp"
 #include "offline/offline.hpp"
+#include "snapshot/checkpoint.hpp"
 #include "util/cli.hpp"
 
 namespace reqsched {
@@ -281,6 +288,82 @@ void run_fast_path_stream(bool smoke, bench::JsonWriter& json) {
               static_cast<double>(on.fast_fallbacks), "rounds");
 }
 
+void run_checkpoint_gate(bool smoke, bench::JsonWriter& json) {
+  // The soak workload again (1M+ requests full, overload, A_balance — the
+  // densest state the engine carries), interrupted at the midpoint and
+  // round-tripped through the complete file cycle. The gate is bit-identity:
+  // the continued run must end with the same Metrics and the same state
+  // digest as the run that was never interrupted.
+  const Round horizon = smoke ? 8'000 : 70'000;
+  const RandomWorkloadOptions opts{.n = 8, .d = 3, .load = 2.0,
+                                   .horizon = horizon, .seed = 11,
+                                   .two_choice = true};
+
+  UniformWorkload ref_workload(opts);
+  auto ref_strategy = make_strategy("A_balance");
+  Simulator ref(ref_workload, *ref_strategy, streaming_options());
+  ref.run(4 * horizon + 16);
+  const Metrics ref_metrics = ref.metrics();
+  const std::uint64_t ref_digest = state_digest(ref.engine());
+
+  UniformWorkload cut_workload(opts);
+  auto cut_strategy = make_strategy("A_balance");
+  Simulator cut(cut_workload, *cut_strategy, streaming_options());
+  while (cut.metrics().rounds < horizon / 2 && cut.step()) {
+  }
+
+  CheckpointManifest manifest;
+  manifest.strategy_name = "A_balance";
+  manifest.workload_family = "uniform";
+  manifest.workload = opts;
+  const std::string path = "BENCH_checkpoint.ckpt";
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<std::uint8_t> bytes =
+      CheckpointManager::encode(cut.engine(), manifest);
+  CheckpointManager::save_file(path, bytes);
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::vector<std::uint8_t> loaded = CheckpointManager::load_file(path);
+  std::remove(path.c_str());
+
+  UniformWorkload res_workload(opts);
+  auto res_strategy = make_strategy("A_balance");
+  Simulator res(res_workload, *res_strategy, streaming_options());
+  const auto t2 = std::chrono::steady_clock::now();
+  const CheckpointManifest at =
+      CheckpointManager::restore(loaded, res.engine());
+  const auto t3 = std::chrono::steady_clock::now();
+  res.run(4 * horizon + 16);
+
+  REQSCHED_CHECK_MSG(res.metrics() == ref_metrics,
+                     "checkpointed run diverged from the uninterrupted run");
+  REQSCHED_CHECK_MSG(state_digest(res.engine()) == ref_digest,
+                     "checkpointed run ended in a different engine state");
+
+  const double write_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double restore_ms =
+      std::chrono::duration<double, std::milli>(t3 - t2).count();
+  std::printf(
+      "[bench_stream] checkpoint: bit-identical continuation from round "
+      "%lld (%lld requests); %zu bytes, write %.2f ms, restore %.2f ms\n",
+      static_cast<long long>(at.round),
+      static_cast<long long>(ref_metrics.injected), bytes.size(), write_ms,
+      restore_ms);
+  json.record("checkpoint", "size", static_cast<double>(bytes.size()),
+              "bytes");
+  json.record("checkpoint", "write_latency", write_ms, "ms");
+  json.record("checkpoint", "restore_latency", restore_ms, "ms");
+  json.record("checkpoint", "round", static_cast<double>(at.round), "rounds");
+  json.record_text("manifest", "strategy", at.strategy_name);
+  json.record_text("manifest", "workload", at.workload_family);
+  json.record_text("manifest", "git_describe", at.git_describe);
+  {
+    std::ostringstream digest;
+    digest << std::hex << at.trace_digest;
+    json.record_text("manifest", "trace_digest", digest.str());
+  }
+}
+
 void run_sharded_point(bool smoke, bench::JsonWriter& json) {
   ShardedRunOptions options;
   options.shards = smoke ? 4 : 8;
@@ -328,6 +411,7 @@ int main(int argc, char** argv) {
     run_fast_path_stream(smoke, json);
     run_memory_plateau(smoke, json);
     run_ratio_exactness(smoke, json);
+    run_checkpoint_gate(smoke, json);
     run_sharded_point(smoke, json);
     if (!json_path.empty()) {
       json.write(json_path);

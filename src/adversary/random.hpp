@@ -70,6 +70,14 @@ class UniformWorkload final : public IWorkload {
   bool exhausted(Round t) const override;
   void reset() override;
 
+  bool resumable() const override { return true; }
+  void export_state(std::vector<std::uint64_t>& out) const override {
+    append_prng_words(rng_, out);
+  }
+  void import_state(std::span<const std::uint64_t> state) override {
+    restore_prng_words(rng_, state);
+  }
+
  private:
   RandomWorkloadOptions options_;
   Prng rng_;
@@ -88,10 +96,18 @@ class ZipfWorkload final : public IWorkload {
   bool exhausted(Round t) const override;
   void reset() override;
 
+  bool resumable() const override { return true; }
+  void export_state(std::vector<std::uint64_t>& out) const override {
+    append_prng_words(rng_, out);
+  }
+  void import_state(std::span<const std::uint64_t> state) override {
+    restore_prng_words(rng_, state);
+  }
+
  private:
   RandomWorkloadOptions options_;
   double exponent_;
-  ZipfSampler sampler_;
+  ZipfSampler sampler_;  ///< immutable CDF — rebuilt by construction
   Prng rng_;
 };
 
@@ -109,6 +125,14 @@ class BurstyWorkload final : public IWorkload {
                 std::vector<RequestSpec>& out) override;
   bool exhausted(Round t) const override;
   void reset() override;
+
+  bool resumable() const override { return true; }
+  void export_state(std::vector<std::uint64_t>& out) const override {
+    append_prng_words(rng_, out);
+  }
+  void import_state(std::span<const std::uint64_t> state) override {
+    restore_prng_words(rng_, state);
+  }
 
  private:
   RandomWorkloadOptions options_;
@@ -131,6 +155,14 @@ class BlockStormWorkload final : public IWorkload {
                 std::vector<RequestSpec>& out) override;
   bool exhausted(Round t) const override;
   void reset() override;
+
+  bool resumable() const override { return true; }
+  void export_state(std::vector<std::uint64_t>& out) const override {
+    append_prng_words(rng_, out);
+  }
+  void import_state(std::span<const std::uint64_t> state) override {
+    restore_prng_words(rng_, state);
+  }
 
  private:
   RandomWorkloadOptions options_;

@@ -96,6 +96,7 @@ class Schedule {
   }
 
  private:
+  friend struct SnapshotAccess;  ///< checkpoint codec (src/snapshot)
   std::size_t slot_base(SlotRef slot) const {
     return (static_cast<std::size_t>(slot.resource) *
                 static_cast<std::size_t>(config_.d) +

@@ -8,9 +8,13 @@
 // and verified independently by the rule monitors in analysis/.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/types.hpp"
+#include "util/assert.hpp"
 
 namespace reqsched {
 
@@ -71,6 +75,31 @@ class IStrategy {
   /// and punts otherwise. Only read when wants_admission_fast_path().
   /// Decorators forward this.
   virtual bool admission_needs_empty_backlog() const { return false; }
+
+  /// True when this strategy supports checkpoint/resume: export_state()
+  /// captures *all* mutable cross-round state (PRNG words, EDF queues) and
+  /// import_state() restores it after reset(), such that on_round() makes
+  /// the exact decisions the uninterrupted run would have made. Strategies
+  /// with unserializable state (scripted replays mid-script, decorators over
+  /// arbitrary inner strategies) stay false; checkpointing them is rejected
+  /// up front. Decorators over resumable strategies must forward all three
+  /// hooks.
+  virtual bool resumable() const { return false; }
+
+  /// Appends this strategy's mutable state as raw 64-bit words. The snapshot
+  /// layer owns framing and byte format; strategies never serialize bytes
+  /// themselves (reqsched_lint keeps it that way).
+  virtual void export_state(std::vector<std::uint64_t>& out) const {
+    (void)out;
+  }
+
+  /// Restores state captured by export_state() on a freshly reset() instance
+  /// built with identical parameters (same seed). The default (stateless)
+  /// hook accepts only an empty word list.
+  virtual void import_state(std::span<const std::uint64_t> state) {
+    REQSCHED_REQUIRE_MSG(state.empty(),
+                         "import_state: stateless strategy given state words");
+  }
 };
 
 }  // namespace reqsched

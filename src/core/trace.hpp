@@ -50,6 +50,7 @@ class Trace {
   static Trace load(std::istream& is);
 
  private:
+  friend struct SnapshotAccess;  ///< checkpoint codec (src/snapshot)
   ProblemConfig config_{};
   std::vector<Request> requests_;
   Round last_useful_round_ = kNoRound;

@@ -97,6 +97,10 @@ struct ProblemConfig {
       REQSCHED_CHECK_MSG(c >= 1, "per-resource capacity must be at least one");
     }
   }
+
+  /// Exact configuration identity (the checkpoint loader refuses to restore
+  /// into an engine configured differently).
+  friend bool operator==(const ProblemConfig&, const ProblemConfig&) = default;
 };
 
 /// One time slot: resource `resource` during round `round`.

@@ -6,12 +6,15 @@
 // of the running simulator.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/request.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
+#include "util/assert.hpp"
 
 namespace reqsched {
 
@@ -40,6 +43,28 @@ class IWorkload {
 
   /// Called when a simulator (re)starts with this workload.
   virtual void reset() {}
+
+  /// True when this workload supports checkpoint/resume: export_state()
+  /// captures *all* mutable cross-round state (PRNG words, cursors) and
+  /// import_state() restores it after reset(), such that generate() replays
+  /// the exact remaining arrival sequence. Adaptive or externally-driven
+  /// workloads stay false; checkpointing them is rejected up front.
+  virtual bool resumable() const { return false; }
+
+  /// Appends this workload's mutable state as raw 64-bit words. The snapshot
+  /// layer owns framing and byte format; workloads never serialize bytes
+  /// themselves (reqsched_lint keeps it that way).
+  virtual void export_state(std::vector<std::uint64_t>& out) const {
+    (void)out;
+  }
+
+  /// Restores state captured by export_state() on a freshly reset() instance
+  /// built with identical parameters. The default (stateless) hook accepts
+  /// only an empty word list.
+  virtual void import_state(std::span<const std::uint64_t> state) {
+    REQSCHED_REQUIRE_MSG(state.empty(),
+                         "import_state: stateless workload given state words");
+  }
 };
 
 /// Replays a pre-recorded trace.
@@ -53,6 +78,17 @@ class TraceWorkload final : public IWorkload {
                 std::vector<RequestSpec>& out) override;
   bool exhausted(Round t) const override;
   void reset() override { cursor_ = 0; }
+
+  bool resumable() const override { return true; }
+  void export_state(std::vector<std::uint64_t>& out) const override {
+    out.push_back(static_cast<std::uint64_t>(cursor_));
+  }
+  void import_state(std::span<const std::uint64_t> state) override {
+    REQSCHED_REQUIRE_MSG(state.size() == 1,
+                         "TraceWorkload::import_state: expected one word");
+    REQSCHED_REQUIRE(state[0] <= static_cast<std::uint64_t>(trace_.size()));
+    cursor_ = static_cast<std::size_t>(state[0]);
+  }
 
  private:
   const Trace& trace_;

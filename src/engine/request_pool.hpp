@@ -102,6 +102,7 @@ class RequestPool {
 
  private:
   friend struct AuditTestAccess;  ///< corruption hooks for tests/test_audit
+  friend struct SnapshotAccess;   ///< checkpoint codec (src/snapshot)
   static constexpr std::int32_t kFulfilledTomb = -2;
   static constexpr std::int32_t kExpiredTomb = -3;
 

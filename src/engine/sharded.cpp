@@ -35,6 +35,20 @@ ShardedResult run_sharded(const ShardedRunOptions& options,
 
   std::vector<WorkerArena> arenas(workers.thread_count() + 1);
   std::mutex jsonl_mutex;
+  // jsonl_path wins: the sink's single-write(2)-per-line appends are atomic,
+  // so a killed run leaves only whole records behind for resume tooling.
+  std::optional<JsonlSink> jsonl_sink;
+  if (!options.jsonl_path.empty()) jsonl_sink.emplace(options.jsonl_path);
+  const bool jsonl_active =
+      jsonl_sink.has_value() || options.jsonl != nullptr;
+  const auto emit_line = [&](const std::string& line) {
+    if (jsonl_sink) {
+      jsonl_sink->write_line(line);  // one atomic append, no lock needed
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(jsonl_mutex);
+    *options.jsonl << line << '\n';
+  };
 
   ShardedResult result;
   result.shards.resize(static_cast<std::size_t>(options.shards));
@@ -59,22 +73,25 @@ ShardedResult run_sharded(const ShardedRunOptions& options,
       engine_options.pool_arena = &arena.pool;
       engine_options.opt_arena = &arena.opt;
       engine_options.window_arena = &arena.window;
-      if (options.jsonl != nullptr) {
+      if (jsonl_active) {
         engine_options.snapshot_sink = [&](const StatsSnapshot& snapshot) {
-          const std::string line = to_jsonl(snapshot);  // render outside
-          const std::lock_guard<std::mutex> lock(jsonl_mutex);
-          *options.jsonl << line << '\n';
+          emit_line(to_jsonl(snapshot));  // render outside any lock
         };
+      }
+      if (options.checkpoint_sink) {
+        engine_options.checkpoint_sink =
+            [&, shard](const StreamingEngine& engine) {
+              options.checkpoint_sink(engine, shard);
+            };
+      }
+      if (jsonl_active && options.manifest_line) {
+        emit_line(options.manifest_line(shard));
       }
 
       Simulator sim(*workload, *strategy, engine_options);
       out.metrics = sim.run(options.max_rounds);
       out.last_snapshot = sim.engine().snapshot();
-      if (options.jsonl != nullptr) {
-        const std::string line = to_jsonl(out.last_snapshot);
-        const std::lock_guard<std::mutex> lock(jsonl_mutex);
-        *options.jsonl << line << '\n';
-      }
+      if (jsonl_active) emit_line(to_jsonl(out.last_snapshot));
     } catch (const std::exception& e) {
       out.error = e.what();
     }

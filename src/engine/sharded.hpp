@@ -49,7 +49,25 @@ struct ShardedRunOptions {
   /// Runaway guard per shard.
   std::int64_t max_rounds = 1'000'000;
   /// Serialized JSONL sink for periodic + final snapshots (nullptr = none).
+  /// Stream writes are mutex-serialized but buffered by the stream — a crash
+  /// can tear the last line. Prefer `jsonl_path` for crash-safe output.
   std::ostream* jsonl = nullptr;
+  /// When non-empty, snapshots append to this file through a JsonlSink: each
+  /// record is one atomic O_APPEND write of a complete line, so the file
+  /// never holds a torn record even if the process dies mid-run. Takes
+  /// precedence over `jsonl`.
+  std::string jsonl_path;
+  /// Rendered once per shard and written as that shard's first JSONL record
+  /// (the run manifest: strategy, seeds, engine options, provenance). Only
+  /// used when a JSONL sink is active.
+  std::function<std::string(std::int64_t shard)> manifest_line;
+  /// Bound into each shard's EngineOptions::checkpoint_sink (fired every
+  /// `engine.checkpoint_every` rounds at the round boundary). The runner
+  /// never sees checkpoint bytes — the caller binds the snapshot layer here,
+  /// typically writing shard-<k>.ckpt via CheckpointManager::save_file's
+  /// temp+rename (each shard gets its own path, so shards stay independent).
+  std::function<void(const StreamingEngine& engine, std::int64_t shard)>
+      checkpoint_sink;
 };
 
 struct ShardResult {

@@ -1,9 +1,16 @@
 #include "engine/stats.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <ostream>
 #include <sstream>
+
+#include "util/assert.hpp"
 
 namespace reqsched {
 
@@ -45,6 +52,34 @@ std::string to_jsonl(const StatsSnapshot& s) {
      << ",\"fast_path_fallbacks\":" << s.fast_path_fallbacks
      << ",\"resident_bytes\":" << s.resident_bytes << '}';
   return os.str();
+}
+
+JsonlSink::JsonlSink(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  REQSCHED_CHECK_MSG(fd_ >= 0, "cannot open JSONL sink " << path << ": "
+                                                         << std::strerror(errno));
+}
+
+JsonlSink::~JsonlSink() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JsonlSink::write_line(const std::string& line) {
+  std::string buf;
+  buf.reserve(line.size() + 1);
+  buf.append(line);
+  buf.push_back('\n');
+  // One write(2) per record: with O_APPEND the kernel appends the whole
+  // buffer atomically, so a crash between records can only lose records,
+  // never tear one.
+  std::size_t written = 0;
+  while (written < buf.size()) {
+    const ssize_t rc =
+        ::write(fd_, buf.data() + written, buf.size() - written);
+    REQSCHED_CHECK_MSG(rc >= 0, "JSONL sink write failed: "
+                                    << std::strerror(errno));
+    written += static_cast<std::size_t>(rc);
+  }
 }
 
 std::ostream& operator<<(std::ostream& os, const StatsSnapshot& s) {

@@ -49,4 +49,27 @@ std::string to_jsonl(const StatsSnapshot& snapshot);
 
 std::ostream& operator<<(std::ostream& os, const StatsSnapshot& snapshot);
 
+/// Crash-safe JSONL appender: each line lands in the file through a single
+/// O_APPEND write(2) of the complete line (newline included), so a reader —
+/// or a post-crash resume — never sees a torn line, only whole records. A
+/// buffered std::ofstream, by contrast, flushes on its own schedule and a
+/// kill can leave half a JSON object at the tail.
+class JsonlSink {
+ public:
+  /// Opens (creating or truncating) `path`. Throws ContractViolation when
+  /// the file cannot be opened.
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink();
+
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
+
+  /// Appends `line` plus a trailing newline as one write(2) call. Safe to
+  /// call from multiple threads (O_APPEND writes do not interleave).
+  void write_line(const std::string& line);
+
+ private:
+  int fd_ = -1;
+};
+
 }  // namespace reqsched

@@ -82,6 +82,14 @@ bool StreamingEngine::step() {
       metrics_.rounds % options_.snapshot_every == 0) {
     options_.snapshot_sink(snapshot());
   }
+  // The round boundary is the only serializable point: no admission batch is
+  // open, injected_now_/fast_booked_ are drained, and the strategy is not on
+  // the stack — the checkpoint sink sees exactly the state the next step()
+  // would start from.
+  if (options_.checkpoint_every > 0 && options_.checkpoint_sink &&
+      metrics_.rounds % options_.checkpoint_every == 0) {
+    options_.checkpoint_sink(*this);
+  }
 #if REQSCHED_AUDIT_ENABLED
   audit_check();
 #endif

@@ -42,6 +42,7 @@
 namespace reqsched {
 
 class Simulator;
+class StreamingEngine;
 
 /// Sink invoked when a request leaves the system: its final record, the
 /// terminal status, and the execution slot (kNoSlot for expiries). This is
@@ -93,6 +94,13 @@ struct EngineOptions {
   std::int64_t shard = 0;
   std::function<void(const StatsSnapshot&)> snapshot_sink;
   RetireSink retire_sink;
+  /// Invoke `checkpoint_sink` every this many rounds (0 = never). The engine
+  /// fires it at the round boundary — after execute/advance, outside the
+  /// strategy, with no admission batch open — the only point where the full
+  /// engine state is serializable. The sink itself lives above the engine
+  /// (src/snapshot owns the byte format; the CLI and ShardedRunner bind it).
+  Round checkpoint_every = 0;
+  std::function<void(const StreamingEngine&)> checkpoint_sink;
   /// Optional external arenas (must outlive the engine). The engine resets
   /// them on construction but reuses their capacity — a worker thread that
   /// runs many shards through the same arenas reaches a zero-allocation
@@ -231,6 +239,7 @@ class StreamingEngine {
 
  private:
   friend struct AuditTestAccess;  ///< corruption hooks for tests/test_audit
+  friend struct SnapshotAccess;   ///< checkpoint codec (src/snapshot)
   void expire_round_start();
   /// Stage 1 of the round's batched arrival handling: drains the workload's
   /// whole arrival batch into the pool/trace/OPT/window structures at once.

@@ -85,6 +85,7 @@ class WindowedPrefixOpt {
 
  private:
   friend struct AuditTestAccess;  ///< corruption hooks for tests/test_audit
+  friend struct SnapshotAccess;   ///< checkpoint codec (src/snapshot)
   /// A stored left (request) vertex. Only successful augmentations store a
   /// left, so every live left is matched; its adjacency is fixed forever.
   struct LeftNode {

@@ -72,6 +72,87 @@ void DeltaWindowProblem::reset(const ProblemConfig& config) {
   call_stamp_ = 0;
 }
 
+void DeltaWindowProblem::rebuild_derived_state() {
+  const auto d = static_cast<std::size_t>(config_.d);
+  const auto n = static_cast<std::size_t>(config_.n);
+  REQSCHED_REQUIRE_MSG(
+      grid_.size() == n * d * static_cast<std::size_t>(b_max_),
+      "rebuild_derived_state: unit grid does not match the configuration");
+
+  // Free counts from the authoritative unit grid; both saturation mask
+  // orientations and the per-column tallies from the counts — the same
+  // derivation audit_check() uses as its oracle.
+  const std::size_t words = words_per_column();
+  const std::size_t res_words = words_per_resource();
+  free_count_.assign(n * d, 0);
+  free_.assign(d * words, 0);
+  res_free_.assign(n * res_words, 0);
+  col_booked_.assign(d, 0);
+  col_held_.assign(d, 0);
+  col_free_.assign(d, 0);
+  for (std::size_t c = 0; c < d; ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t cell = c * n + r;
+      const auto cap = config_.capacity_of(static_cast<ResourceId>(r));
+      std::int32_t occupied = 0;
+      for (std::int32_t u = 0; u < cap; ++u) {
+        const RequestId occupant = grid_[unit_base(cell) + static_cast<std::size_t>(u)];
+        if (occupant == kNoRequest) continue;
+        ++occupied;
+        if (occupant == kHeldUnit) {
+          ++col_held_[c];
+        } else {
+          ++col_booked_[c];
+        }
+      }
+      // Padding units past the cell's capacity must have stayed empty.
+      // Restore-path validation, not a per-round hot loop.
+      for (std::int32_t u = cap; u < b_max_; ++u) {  // reqsched-lint: allow(hot-loop-guard)
+        REQSCHED_REQUIRE_MSG(
+            grid_[unit_base(cell) + static_cast<std::size_t>(u)] == kNoRequest,
+            "rebuild_derived_state: occupied padding unit");
+      }
+      const std::int32_t cell_free = cap - occupied;
+      free_count_[cell] = cell_free;
+      col_free_[c] += cell_free;
+      if (cell_free > 0) {
+        free_[c * words + r / 64] |= std::uint64_t{1} << (r % 64);
+        res_free_[r * res_words + c / 64] |= std::uint64_t{1} << (c % 64);
+      }
+    }
+  }
+
+  unit_offset_.resize(n + 1);
+  unit_offset_[0] = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    unit_offset_[r + 1] =
+        unit_offset_[r] + config_.capacity_of(static_cast<ResourceId>(r));
+  }
+
+  // Row counters from the restored row table.
+  unbooked_rows_ = 0;
+  booked_runs_ = 0;
+  for (const auto& [id, row] : rows_) {
+    if (!row.booked.valid()) {
+      ++unbooked_rows_;
+    } else if (row.request.occupancy > 1) {
+      ++booked_runs_;
+    }
+  }
+
+  // No admission batch survives a round boundary, and the stamp-versioned
+  // Kuhn scratch restarts at epoch zero (equivalent to a fresh instance).
+  claim_count_.assign(n * d, 0);
+  res_claimed_.assign(n * res_words, 0);
+  batch_claims_.clear();
+  admission_batch_ = false;
+  visited_attempt_.assign(n * d * static_cast<std::size_t>(b_max_), 0);
+  owner_call_.assign(n * d * static_cast<std::size_t>(b_max_), 0);
+  owner_left_.assign(n * d * static_cast<std::size_t>(b_max_), -1);
+  attempt_stamp_ = 0;
+  call_stamp_ = 0;
+}
+
 const Request& DeltaWindowProblem::row(RequestId id) const {
   const auto it = rows_.find(id);
   REQSCHED_REQUIRE_MSG(it != rows_.end(), "no window row for r" << id);

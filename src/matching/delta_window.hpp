@@ -239,10 +239,20 @@ class DeltaWindowProblem {
 
  private:
   friend struct AuditTestAccess;  ///< corruption hooks for tests/test_audit
+  friend struct SnapshotAccess;   ///< checkpoint codec (src/snapshot)
   struct Row {
     Request request;
     SlotRef booked = kNoSlot;
   };
+
+  /// Checkpoint-restore hook: with config_/b_max_ set (by reset()) and the
+  /// authoritative state — rows_, grid_, window_begin_ — overwritten by the
+  /// snapshot codec, re-derives every maintained structure (free counts,
+  /// both saturation mask orientations, column tallies, row counters) and
+  /// resets the admission-batch and Kuhn scratch state. Implemented in
+  /// delta_window.cpp so the raw capacity internals stay in their owner
+  /// file.
+  void rebuild_derived_state();
 
   std::size_t words_per_column() const {
     return (static_cast<std::size_t>(config_.n) + 63) / 64;

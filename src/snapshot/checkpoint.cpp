@@ -1,0 +1,891 @@
+#include "snapshot/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+namespace reqsched {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'Q', 'S', 'N', 'A', 'P', '0', '1'};
+
+// Section tags: every structure's bytes are preceded by its tag, so a
+// truncated or reordered payload fails loudly at the first boundary instead
+// of decoding one structure's bytes as another's.
+constexpr std::uint32_t kSecManifest = 1;
+constexpr std::uint32_t kSecWorkload = 2;
+constexpr std::uint32_t kSecStrategy = 3;
+constexpr std::uint32_t kSecPool = 4;
+constexpr std::uint32_t kSecSchedule = 5;
+constexpr std::uint32_t kSecWindow = 6;
+constexpr std::uint32_t kSecOpt = 7;
+constexpr std::uint32_t kSecTrace = 8;
+constexpr std::uint32_t kSecEngine = 9;
+
+void expect_tag(SnapshotReader& r, std::uint32_t tag, const char* name) {
+  const std::uint32_t got = r.u32();
+  REQSCHED_CHECK_MSG(got == tag, "checkpoint payload: expected the "
+                                     << name << " section (tag " << tag
+                                     << "), found tag " << got);
+}
+
+/// Reads a u64 element count and rejects counts that could not possibly fit
+/// in the remaining payload (`min_elem_bytes` per element) — a corrupted
+/// count must fail here, not in a gigabyte reserve().
+std::size_t decode_count(SnapshotReader& r, std::size_t min_elem_bytes,
+                         const char* what) {
+  const std::uint64_t count = r.u64();
+  REQSCHED_CHECK_MSG(count <= r.remaining() / min_elem_bytes,
+                     "checkpoint payload: implausible " << what << " count "
+                                                        << count);
+  return static_cast<std::size_t>(count);
+}
+
+void encode_slot(SnapshotWriter& w, SlotRef slot) {
+  w.i32(slot.resource);
+  w.i64(slot.round);
+}
+
+SlotRef decode_slot(SnapshotReader& r) {
+  SlotRef slot;
+  slot.resource = r.i32();
+  slot.round = r.i64();
+  return slot;
+}
+
+void encode_request(SnapshotWriter& w, const Request& req) {
+  w.i64(req.id);
+  w.i64(req.arrival);
+  w.i64(req.deadline);
+  w.i32(req.occupancy);
+  w.i32(req.alts.size());
+  for (const ResourceId alt : req.alts) w.i32(alt);
+}
+
+constexpr std::size_t kMinRequestBytes = 8 + 8 + 8 + 4 + 4;
+
+Request decode_request(SnapshotReader& r) {
+  Request req;
+  req.id = r.i64();
+  req.arrival = r.i64();
+  req.deadline = r.i64();
+  req.occupancy = r.i32();
+  const std::int32_t alt_count = r.i32();
+  REQSCHED_CHECK_MSG(alt_count >= 0 && alt_count <= kMaxAlternatives,
+                     "checkpoint payload: request with " << alt_count
+                                                         << " alternatives");
+  for (std::int32_t i = 0; i < alt_count; ++i) req.alts.push_back(r.i32());
+  return req;
+}
+
+void encode_i32_list(SnapshotWriter& w, const std::vector<std::int32_t>& v) {
+  w.u64(v.size());
+  for (const std::int32_t x : v) w.i32(x);
+}
+
+std::vector<std::int32_t> decode_i32_list(SnapshotReader& r,
+                                          const char* what) {
+  const std::size_t count = decode_count(r, 4, what);
+  std::vector<std::int32_t> v;
+  v.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) v.push_back(r.i32());
+  return v;
+}
+
+void encode_id_list(SnapshotWriter& w, const std::vector<RequestId>& v) {
+  w.u64(v.size());
+  for (const RequestId x : v) w.i64(x);
+}
+
+std::vector<RequestId> decode_id_list(SnapshotReader& r, const char* what) {
+  const std::size_t count = decode_count(r, 8, what);
+  std::vector<RequestId> v;
+  v.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) v.push_back(r.i64());
+  return v;
+}
+
+void encode_words(SnapshotWriter& w, const std::vector<std::uint64_t>& v) {
+  w.u64(v.size());
+  for (const std::uint64_t x : v) w.u64(x);
+}
+
+std::vector<std::uint64_t> decode_words(SnapshotReader& r, const char* what) {
+  const std::size_t count = decode_count(r, 8, what);
+  std::vector<std::uint64_t> v;
+  v.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) v.push_back(r.u64());
+  return v;
+}
+
+/// Verifies magic, version, and the trailing checksum; returns the payload
+/// span (everything between the version and the checksum). All corruption
+/// classes fail here, before a single payload byte is interpreted.
+std::span<const std::uint8_t> verify_container(
+    std::span<const std::uint8_t> bytes) {
+  constexpr std::size_t kHeader = sizeof(kMagic) + 4;
+  REQSCHED_CHECK_MSG(bytes.size() >= kHeader + 8,
+                     "not a reqsched checkpoint: " << bytes.size()
+                                                   << " bytes is too short");
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) {
+    REQSCHED_CHECK_MSG(bytes[i] == static_cast<std::uint8_t>(kMagic[i]),
+                       "not a reqsched checkpoint: bad magic");
+  }
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(bytes[sizeof(kMagic) +
+                                                static_cast<std::size_t>(i)])
+               << (8 * i);
+  }
+  REQSCHED_CHECK_MSG(version == CheckpointManager::kFormatVersion,
+                     "unsupported checkpoint format version " << version);
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(
+                  bytes[bytes.size() - 8 + static_cast<std::size_t>(i)])
+              << (8 * i);
+  }
+  const std::uint64_t computed = fnv1a(bytes.first(bytes.size() - 8));
+  REQSCHED_CHECK_MSG(stored == computed,
+                     "checkpoint checksum mismatch: the file is corrupted");
+  return bytes.subspan(kHeader, bytes.size() - kHeader - 8);
+}
+
+}  // namespace
+
+// The one translation unit allowed behind the friend declarations: each
+// structure's verbatim state crosses here, and only here, between fields and
+// bytes. Decode never touches a live structure — every section lands in a
+// plain image first, so any validation failure leaves the target untouched.
+struct SnapshotAccess {
+  // ---- decoded images ----
+
+  struct PoolImage {
+    bool retain = true;
+    std::vector<Request> slab;
+    std::vector<std::int32_t> free_list;
+    std::vector<RequestStatus> status;
+    std::vector<SlotRef> fulfilled;
+    std::vector<std::int32_t> ring;
+    RequestId base = 0;
+    RequestId next = 0;
+    std::vector<std::pair<Round, RequestId>> marks;
+    Round last_arrival = -1;
+    std::int64_t live = 0;
+    std::int64_t peak_live = 0;
+    std::int64_t cur_round_count = 0;
+    std::int64_t max_per_round = 0;
+  };
+
+  struct ScheduleImage {
+    Round window_begin = 0;
+    std::vector<RequestId> grid;
+    std::vector<RequestId> booked_ids;
+    std::vector<SlotRef> booked_slots;
+    std::vector<std::int32_t> booked_occupancy;
+  };
+
+  struct WindowImage {
+    Round window_begin = 0;
+    std::vector<Request> rows;
+    std::vector<SlotRef> booked;
+    std::vector<RequestId> grid;
+  };
+
+  struct OptImage {
+    std::vector<std::vector<std::int32_t>> left_slots;
+    std::vector<std::int32_t> left_match;
+    std::vector<std::int32_t> left_free;
+    std::vector<std::int64_t> slot_keys;
+    std::vector<std::int32_t> slot_match;
+    std::vector<std::uint8_t> slot_dead;
+    std::vector<std::int32_t> slot_free;
+    std::int64_t requests_seen = 0;
+    std::int64_t retired_matched = 0;
+    std::int64_t live_matched = 0;
+    std::int64_t live_slot_count = 0;
+    std::int64_t peak_live_slots = 0;
+  };
+
+  struct TraceImage {
+    Round last_useful = kNoRound;
+    std::vector<Request> requests;
+  };
+
+  struct EngineImage {
+    bool window_active = false;
+    bool fast_path_active = false;
+    bool fast_current_round_only = false;
+    bool fast_needs_empty_backlog = false;
+    AdmissionOutcome outcome = AdmissionOutcome::kInactive;
+    std::int64_t fast_admitted = 0;
+    std::int64_t fast_rounds = 0;
+    std::int64_t fast_fallbacks = 0;
+    std::vector<RequestId> alive;
+    Metrics metrics{};
+    bool ran_any_round = false;
+  };
+
+  // ---- request pool ----
+
+  static void encode_pool(SnapshotWriter& w, const RequestPool& p) {
+    w.boolean(p.retain_);
+    w.u64(p.slab_.size());
+    for (const Request& req : p.slab_) encode_request(w, req);
+    encode_i32_list(w, p.free_);
+    w.u64(p.status_.size());
+    for (const RequestStatus s : p.status_) {
+      w.u8(static_cast<std::uint8_t>(s));
+    }
+    w.u64(p.fulfilled_slot_.size());
+    for (const SlotRef slot : p.fulfilled_slot_) encode_slot(w, slot);
+    encode_i32_list(w, p.ring_);
+    w.i64(p.base_);
+    w.i64(p.next_);
+    w.u64(p.round_marks_.size());
+    for (const auto& [round, id] : p.round_marks_) {
+      w.i64(round);
+      w.i64(id);
+    }
+    w.i64(p.last_arrival_);
+    w.i64(p.live_);
+    w.i64(p.peak_live_);
+    w.i64(p.cur_round_count_);
+    w.i64(p.max_per_round_);
+  }
+
+  static PoolImage decode_pool(SnapshotReader& r) {
+    PoolImage img;
+    img.retain = r.boolean();
+    const std::size_t slab_count =
+        decode_count(r, kMinRequestBytes, "pool slab");
+    img.slab.reserve(slab_count);
+    for (std::size_t i = 0; i < slab_count; ++i) {
+      img.slab.push_back(decode_request(r));
+    }
+    img.free_list = decode_i32_list(r, "pool free list");
+    const std::size_t status_count = decode_count(r, 1, "pool status");
+    img.status.reserve(status_count);
+    for (std::size_t i = 0; i < status_count; ++i) {
+      const std::uint8_t s = r.u8();
+      REQSCHED_CHECK_MSG(s <= static_cast<std::uint8_t>(RequestStatus::kExpired),
+                         "checkpoint payload: invalid request status " << +s);
+      img.status.push_back(static_cast<RequestStatus>(s));
+    }
+    const std::size_t slot_count = decode_count(r, 12, "pool fulfilled slots");
+    img.fulfilled.reserve(slot_count);
+    for (std::size_t i = 0; i < slot_count; ++i) {
+      img.fulfilled.push_back(decode_slot(r));
+    }
+    img.ring = decode_i32_list(r, "pool ring");
+    REQSCHED_CHECK_MSG(
+        img.ring.empty() || (img.ring.size() & (img.ring.size() - 1)) == 0,
+        "checkpoint payload: pool ring size " << img.ring.size()
+                                              << " is not a power of two");
+    const auto slab_size = static_cast<std::int32_t>(img.slab.size());
+    for (const std::int32_t idx : img.free_list) {
+      REQSCHED_CHECK_MSG(idx >= 0 && idx < slab_size,
+                         "checkpoint payload: pool free-list slot " << idx
+                                                                    << " out of range");
+    }
+    for (const std::int32_t idx : img.ring) {
+      REQSCHED_CHECK_MSG(idx >= RequestPool::kExpiredTomb && idx < slab_size,
+                         "checkpoint payload: pool ring entry " << idx
+                                                                << " out of range");
+    }
+    img.base = r.i64();
+    img.next = r.i64();
+    const std::size_t mark_count = decode_count(r, 16, "pool round marks");
+    img.marks.reserve(mark_count);
+    for (std::size_t i = 0; i < mark_count; ++i) {
+      const Round round = r.i64();
+      const RequestId id = r.i64();
+      img.marks.emplace_back(round, id);
+    }
+    img.last_arrival = r.i64();
+    img.live = r.i64();
+    img.peak_live = r.i64();
+    img.cur_round_count = r.i64();
+    img.max_per_round = r.i64();
+    return img;
+  }
+
+  static void apply_pool(RequestPool& p, PoolImage&& img) {
+    REQSCHED_CHECK_MSG(
+        p.retain_ == img.retain,
+        "checkpoint retain_history does not match the target engine");
+    p.slab_ = std::move(img.slab);
+    p.free_ = std::move(img.free_list);
+    p.status_ = std::move(img.status);
+    p.fulfilled_slot_ = std::move(img.fulfilled);
+    p.ring_ = std::move(img.ring);
+    p.base_ = img.base;
+    p.next_ = img.next;
+    p.round_marks_.clear();
+    for (const auto& mark : img.marks) p.round_marks_.push_back(mark);
+    p.last_arrival_ = img.last_arrival;
+    p.live_ = img.live;
+    p.peak_live_ = img.peak_live;
+    p.cur_round_count_ = img.cur_round_count;
+    p.max_per_round_ = img.max_per_round;
+  }
+
+  // ---- schedule ----
+
+  static void encode_schedule(SnapshotWriter& w, const Schedule& s) {
+    w.i64(s.window_begin_);
+    encode_id_list(w, s.grid_);
+    // unordered_map iteration order is not deterministic; sort by id so the
+    // same state always produces the same bytes (and the same checksum).
+    std::vector<std::pair<RequestId, Schedule::Booking>> bookings(
+        s.slot_of_.begin(), s.slot_of_.end());
+    std::sort(bookings.begin(), bookings.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.u64(bookings.size());
+    for (const auto& [id, booking] : bookings) {
+      w.i64(id);
+      encode_slot(w, booking.slot);
+      w.i32(booking.occupancy);
+    }
+  }
+
+  static ScheduleImage decode_schedule(SnapshotReader& r,
+                                       std::size_t expected_grid) {
+    ScheduleImage img;
+    img.window_begin = r.i64();
+    img.grid = decode_id_list(r, "schedule grid");
+    REQSCHED_CHECK_MSG(img.grid.size() == expected_grid,
+                       "checkpoint payload: schedule grid has "
+                           << img.grid.size() << " units, engine expects "
+                           << expected_grid);
+    const std::size_t count = decode_count(r, 24, "schedule bookings");
+    img.booked_ids.reserve(count);
+    img.booked_slots.reserve(count);
+    img.booked_occupancy.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      img.booked_ids.push_back(r.i64());
+      img.booked_slots.push_back(decode_slot(r));
+      img.booked_occupancy.push_back(r.i32());
+    }
+    return img;
+  }
+
+  static void apply_schedule(Schedule& s, ScheduleImage&& img) {
+    s.window_begin_ = img.window_begin;
+    s.grid_ = std::move(img.grid);
+    s.slot_of_.clear();
+    for (std::size_t i = 0; i < img.booked_ids.size(); ++i) {
+      s.slot_of_.emplace(
+          img.booked_ids[i],
+          Schedule::Booking{img.booked_slots[i], img.booked_occupancy[i]});
+    }
+  }
+
+  // ---- delta window problem ----
+
+  static void encode_window(SnapshotWriter& w, const DeltaWindowProblem& d) {
+    w.i64(d.window_begin_);
+    std::vector<std::pair<RequestId, const DeltaWindowProblem::Row*>> rows;
+    rows.reserve(d.rows_.size());
+    for (const auto& [id, row] : d.rows_) rows.emplace_back(id, &row);
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.u64(rows.size());
+    for (const auto& [id, row] : rows) {
+      encode_request(w, row->request);
+      encode_slot(w, row->booked);
+    }
+    encode_id_list(w, d.grid_);
+  }
+
+  static WindowImage decode_window(SnapshotReader& r,
+                                   std::size_t expected_grid) {
+    WindowImage img;
+    img.window_begin = r.i64();
+    const std::size_t count =
+        decode_count(r, kMinRequestBytes + 12, "window rows");
+    img.rows.reserve(count);
+    img.booked.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      img.rows.push_back(decode_request(r));
+      img.booked.push_back(decode_slot(r));
+    }
+    img.grid = decode_id_list(r, "window grid");
+    REQSCHED_CHECK_MSG(img.grid.size() == expected_grid,
+                       "checkpoint payload: window grid has "
+                           << img.grid.size() << " units, engine expects "
+                           << expected_grid);
+    return img;
+  }
+
+  /// Overwrites the authoritative state (rows, unit grid, window origin) and
+  /// lets the owner file re-derive every maintained structure — the capacity
+  /// internals never cross the snapshot boundary.
+  static void apply_window(DeltaWindowProblem& d, WindowImage&& img) {
+    d.window_begin_ = img.window_begin;
+    d.grid_ = std::move(img.grid);
+    d.rows_.clear();
+    for (std::size_t i = 0; i < img.rows.size(); ++i) {
+      const RequestId id = img.rows[i].id;
+      d.rows_.emplace(id,
+                      DeltaWindowProblem::Row{img.rows[i], img.booked[i]});
+    }
+    d.rebuild_derived_state();
+  }
+
+  // ---- windowed prefix OPT ----
+
+  static void encode_opt(SnapshotWriter& w, const WindowedPrefixOpt& o) {
+    w.u64(o.lefts_.size());
+    for (const auto& left : o.lefts_) {
+      encode_i32_list(w, left.slots);
+      w.i32(left.match);
+    }
+    encode_i32_list(w, o.left_free_);
+    w.u64(o.slots_.size());
+    for (const auto& slot : o.slots_) {
+      w.i64(slot.key);
+      w.i32(slot.match);
+      w.boolean(slot.dead);
+      // slot.stamp is search-epoch scratch: restore resets all stamps and
+      // the epoch counter to zero together, which is the freshly-reset
+      // relation (every search pre-increments the epoch).
+    }
+    encode_i32_list(w, o.slot_free_);
+    w.i64(o.requests_seen_);
+    w.i64(o.retired_matched_);
+    w.i64(o.live_matched_);
+    w.i64(o.live_slot_count_);
+    w.i64(o.peak_live_slots_);
+  }
+
+  static OptImage decode_opt(SnapshotReader& r) {
+    OptImage img;
+    const std::size_t left_count = decode_count(r, 12, "OPT lefts");
+    img.left_slots.reserve(left_count);
+    img.left_match.reserve(left_count);
+    for (std::size_t i = 0; i < left_count; ++i) {
+      img.left_slots.push_back(decode_i32_list(r, "OPT left adjacency"));
+      img.left_match.push_back(r.i32());
+    }
+    img.left_free = decode_i32_list(r, "OPT left free list");
+    const std::size_t slot_count = decode_count(r, 13, "OPT slots");
+    img.slot_keys.reserve(slot_count);
+    img.slot_match.reserve(slot_count);
+    img.slot_dead.reserve(slot_count);
+    for (std::size_t i = 0; i < slot_count; ++i) {
+      img.slot_keys.push_back(r.i64());
+      img.slot_match.push_back(r.i32());
+      img.slot_dead.push_back(r.boolean() ? 1 : 0);
+    }
+    img.slot_free = decode_i32_list(r, "OPT slot free list");
+    img.requests_seen = r.i64();
+    img.retired_matched = r.i64();
+    img.live_matched = r.i64();
+    img.live_slot_count = r.i64();
+    img.peak_live_slots = r.i64();
+    return img;
+  }
+
+  static void apply_opt(WindowedPrefixOpt& o, OptImage&& img) {
+    o.lefts_.clear();
+    o.lefts_.reserve(img.left_slots.size());
+    for (std::size_t i = 0; i < img.left_slots.size(); ++i) {
+      WindowedPrefixOpt::LeftNode left;
+      left.slots = std::move(img.left_slots[i]);
+      left.match = img.left_match[i];
+      o.lefts_.push_back(std::move(left));
+    }
+    o.left_free_ = std::move(img.left_free);
+    o.slots_.clear();
+    o.slots_.reserve(img.slot_keys.size());
+    o.slot_index_.clear();
+    for (std::size_t i = 0; i < img.slot_keys.size(); ++i) {
+      o.slots_.push_back(WindowedPrefixOpt::SlotNode{
+          img.slot_keys[i], img.slot_match[i], img.slot_dead[i] != 0, 0});
+      if (img.slot_keys[i] >= 0) {
+        const bool inserted =
+            o.slot_index_.emplace(img.slot_keys[i],
+                                  static_cast<std::int32_t>(i))
+                .second;
+        REQSCHED_CHECK_MSG(inserted,
+                           "checkpoint payload: OPT slot key "
+                               << img.slot_keys[i] << " interned twice");
+      }
+    }
+    o.slot_free_ = std::move(img.slot_free);
+    o.root_slots_.clear();
+    o.stack_.clear();
+    o.visited_.clear();
+    o.bfs_.clear();
+    o.stamp_ = 0;
+    o.requests_seen_ = img.requests_seen;
+    o.retired_matched_ = img.retired_matched;
+    o.live_matched_ = img.live_matched;
+    o.live_slot_count_ = img.live_slot_count;
+    o.peak_live_slots_ = img.peak_live_slots;
+  }
+
+  // ---- trace ----
+
+  static void encode_trace(SnapshotWriter& w, const Trace& t) {
+    w.i64(t.last_useful_round_);
+    w.u64(t.requests_.size());
+    for (const Request& req : t.requests_) encode_request(w, req);
+  }
+
+  static TraceImage decode_trace(SnapshotReader& r) {
+    TraceImage img;
+    img.last_useful = r.i64();
+    const std::size_t count = decode_count(r, kMinRequestBytes, "trace");
+    img.requests.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      img.requests.push_back(decode_request(r));
+    }
+    return img;
+  }
+
+  static void apply_trace(Trace& t, TraceImage&& img) {
+    t.requests_ = std::move(img.requests);
+    t.last_useful_round_ = img.last_useful;
+  }
+
+  // ---- engine bookkeeping ----
+
+  static void encode_engine(SnapshotWriter& w, const StreamingEngine& e) {
+    w.boolean(e.window_active_);
+    w.boolean(e.fast_path_active_);
+    w.boolean(e.fast_current_round_only_);
+    w.boolean(e.fast_needs_empty_backlog_);
+    w.u8(static_cast<std::uint8_t>(e.admission_outcome_));
+    w.i64(e.fast_admitted_);
+    w.i64(e.fast_rounds_);
+    w.i64(e.fast_fallbacks_);
+    encode_id_list(w, e.alive_);
+    const Metrics& m = e.metrics_;
+    w.i64(m.rounds);
+    w.i64(m.injected);
+    w.i64(m.fulfilled);
+    w.i64(m.expired);
+    w.i64(m.wasted_executions);
+    w.i64(m.assignments);
+    w.i64(m.unassignments);
+    w.i64(m.reassignments);
+    w.i64(m.communication_rounds);
+    w.i64(m.messages);
+    w.boolean(e.ran_any_round_);
+  }
+
+  static EngineImage decode_engine(SnapshotReader& r) {
+    EngineImage img;
+    img.window_active = r.boolean();
+    img.fast_path_active = r.boolean();
+    img.fast_current_round_only = r.boolean();
+    img.fast_needs_empty_backlog = r.boolean();
+    const std::uint8_t outcome = r.u8();
+    REQSCHED_CHECK_MSG(
+        outcome <= static_cast<std::uint8_t>(AdmissionOutcome::kContended),
+        "checkpoint payload: invalid admission outcome " << +outcome);
+    img.outcome = static_cast<AdmissionOutcome>(outcome);
+    img.fast_admitted = r.i64();
+    img.fast_rounds = r.i64();
+    img.fast_fallbacks = r.i64();
+    img.alive = decode_id_list(r, "alive set");
+    Metrics& m = img.metrics;
+    m.rounds = r.i64();
+    m.injected = r.i64();
+    m.fulfilled = r.i64();
+    m.expired = r.i64();
+    m.wasted_executions = r.i64();
+    m.assignments = r.i64();
+    m.unassignments = r.i64();
+    m.reassignments = r.i64();
+    m.communication_rounds = r.i64();
+    m.messages = r.i64();
+    img.ran_any_round = r.boolean();
+    return img;
+  }
+
+  static void apply_engine(StreamingEngine& e, EngineImage&& img) {
+    e.admission_outcome_ = img.outcome;
+    e.fast_admitted_ = img.fast_admitted;
+    e.fast_rounds_ = img.fast_rounds;
+    e.fast_fallbacks_ = img.fast_fallbacks;
+    e.alive_ = std::move(img.alive);
+    e.metrics_ = img.metrics;
+    e.ran_any_round_ = img.ran_any_round;
+    e.injected_now_.clear();
+    e.fast_booked_.clear();
+    e.fast_slots_.clear();
+    e.spec_scratch_.clear();
+    // Wall-clock throughput restarts at the resume point: rates in snapshots
+    // measure this process, not the checkpointed one (docs/checkpoint.md).
+    e.started_at_.reset();
+  }
+
+  // ---- whole-engine encode/restore ----
+
+  static std::vector<std::uint8_t> encode_all(const StreamingEngine& e,
+                                              CheckpointManifest manifest) {
+    REQSCHED_REQUIRE_MSG(!e.in_strategy_,
+                         "checkpoints are round-boundary only: encode() must "
+                         "not run during on_round");
+    REQSCHED_REQUIRE_MSG(e.injected_now_.empty() && e.fast_booked_.empty(),
+                         "checkpoint attempted with an open round batch");
+    REQSCHED_REQUIRE_MSG(!e.window_active_ ||
+                             !e.window_->admission_batch_open(),
+                         "checkpoint attempted with an open admission batch");
+    REQSCHED_REQUIRE_MSG(
+        e.workload_.resumable(),
+        "workload '" << e.workload_.name()
+                     << "' does not support checkpoint/restore "
+                        "(IWorkload::resumable)");
+    REQSCHED_REQUIRE_MSG(
+        e.strategy_.resumable(),
+        "strategy '" << e.strategy_.name()
+                     << "' does not support checkpoint/restore "
+                        "(IStrategy::resumable)");
+
+    // Stamp everything the engine knows; the caller only supplies identity.
+    manifest.config = e.config_;
+    manifest.retain_history = e.options_.retain_history;
+    manifest.record_trace = e.options_.record_trace;
+    manifest.admission_fast_path = e.options_.admission_fast_path;
+    manifest.track_live_opt = e.options_.track_live_opt;
+    manifest.opt_prune_every = e.options_.opt_prune_every;
+    manifest.checkpoint_every = e.options_.checkpoint_every;
+    manifest.shard = e.options_.shard;
+    manifest.round = e.metrics_.rounds;
+    manifest.trace_digest = manifest.identity_digest();
+    if (manifest.git_describe.empty()) {
+      manifest.git_describe = snapshot_git_describe();
+    }
+
+    SnapshotWriter w;
+    for (const char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+    w.u32(CheckpointManager::kFormatVersion);
+    w.u32(kSecManifest);
+    manifest.encode(w);
+    w.u32(kSecWorkload);
+    {
+      std::vector<std::uint64_t> words;
+      e.workload_.export_state(words);
+      encode_words(w, words);
+    }
+    w.u32(kSecStrategy);
+    {
+      std::vector<std::uint64_t> words;
+      e.strategy_.export_state(words);
+      encode_words(w, words);
+    }
+    w.u32(kSecPool);
+    encode_pool(w, *e.pool_);
+    w.u32(kSecSchedule);
+    encode_schedule(w, e.schedule_);
+    w.u32(kSecWindow);
+    w.boolean(e.window_active_);
+    if (e.window_active_) encode_window(w, *e.window_);
+    w.u32(kSecOpt);
+    w.boolean(e.options_.track_live_opt);
+    if (e.options_.track_live_opt) encode_opt(w, *e.opt_);
+    w.u32(kSecTrace);
+    w.boolean(e.options_.record_trace);
+    if (e.options_.record_trace) encode_trace(w, e.trace_);
+    w.u32(kSecEngine);
+    encode_engine(w, e);
+    w.u64(fnv1a(w.bytes()));
+    return w.take();
+  }
+
+  static CheckpointManifest restore_all(std::span<const std::uint8_t> bytes,
+                                        StreamingEngine& e) {
+    // Phase 1 — verify and decode everything into plain images. Nothing in
+    // this phase touches the engine, so every corruption and mismatch error
+    // below leaves it exactly as constructed.
+    const std::span<const std::uint8_t> payload = verify_container(bytes);
+    SnapshotReader r(payload);
+    expect_tag(r, kSecManifest, "manifest");
+    const CheckpointManifest manifest = CheckpointManifest::decode(r);
+
+    REQSCHED_CHECK_MSG(
+        e.config_ == manifest.config,
+        "checkpoint problem configuration does not match the target engine");
+    REQSCHED_CHECK_MSG(
+        e.options_.retain_history == manifest.retain_history &&
+            e.options_.record_trace == manifest.record_trace &&
+            e.options_.track_live_opt == manifest.track_live_opt,
+        "checkpoint engine options (retain/trace/live-OPT) do not match the "
+        "target engine");
+    REQSCHED_REQUIRE_MSG(!e.ran_any_round_ && e.metrics_.rounds == 0 &&
+                             !e.in_strategy_,
+                         "restore target must be a freshly constructed "
+                         "engine");
+    REQSCHED_REQUIRE_MSG(e.workload_.resumable() && e.strategy_.resumable(),
+                         "restore target workload/strategy must be "
+                         "resumable");
+
+    expect_tag(r, kSecWorkload, "workload");
+    const std::vector<std::uint64_t> workload_words =
+        decode_words(r, "workload state");
+    expect_tag(r, kSecStrategy, "strategy");
+    const std::vector<std::uint64_t> strategy_words =
+        decode_words(r, "strategy state");
+    expect_tag(r, kSecPool, "request pool");
+    PoolImage pool_img = decode_pool(r);
+    const std::size_t grid_units =
+        static_cast<std::size_t>(e.config_.n) *
+        static_cast<std::size_t>(e.config_.d) *
+        static_cast<std::size_t>(e.config_.max_capacity());
+    expect_tag(r, kSecSchedule, "schedule");
+    ScheduleImage sched_img = decode_schedule(r, grid_units);
+    expect_tag(r, kSecWindow, "window problem");
+    const bool has_window = r.boolean();
+    REQSCHED_CHECK_MSG(has_window == e.window_active_,
+                       "checkpoint window-problem presence does not match "
+                       "the target strategy");
+    WindowImage window_img;
+    if (has_window) window_img = decode_window(r, grid_units);
+    expect_tag(r, kSecOpt, "OPT tracker");
+    const bool has_opt = r.boolean();
+    REQSCHED_CHECK_MSG(has_opt == e.options_.track_live_opt,
+                       "checkpoint OPT-tracker presence does not match the "
+                       "target engine");
+    OptImage opt_img;
+    if (has_opt) opt_img = decode_opt(r);
+    expect_tag(r, kSecTrace, "trace");
+    const bool has_trace = r.boolean();
+    REQSCHED_CHECK_MSG(has_trace == e.options_.record_trace,
+                       "checkpoint trace presence does not match the target "
+                       "engine");
+    TraceImage trace_img;
+    if (has_trace) trace_img = decode_trace(r);
+    expect_tag(r, kSecEngine, "engine");
+    EngineImage engine_img = decode_engine(r);
+    REQSCHED_CHECK_MSG(r.done(),
+                       "checkpoint payload has " << r.remaining()
+                                                 << " trailing bytes");
+    REQSCHED_CHECK_MSG(
+        engine_img.window_active == e.window_active_ &&
+            engine_img.fast_path_active == e.fast_path_active_ &&
+            engine_img.fast_current_round_only ==
+                e.fast_current_round_only_ &&
+            engine_img.fast_needs_empty_backlog ==
+                e.fast_needs_empty_backlog_,
+        "checkpoint strategy capability flags do not match the target "
+        "strategy");
+    REQSCHED_CHECK_MSG(engine_img.metrics.rounds == manifest.round,
+                       "checkpoint manifest round "
+                           << manifest.round << " disagrees with metrics "
+                           << engine_img.metrics.rounds);
+    REQSCHED_CHECK_MSG(sched_img.window_begin == engine_img.metrics.rounds,
+                       "checkpoint schedule origin disagrees with the round "
+                       "counter");
+    if (has_window) {
+      REQSCHED_CHECK_MSG(window_img.window_begin == sched_img.window_begin,
+                         "checkpoint window problem and schedule disagree on "
+                         "the current round");
+    }
+
+    // Phase 2 — apply. All inputs are checksum-verified and shape-checked;
+    // field writes below cannot throw until the audit sweep.
+    e.workload_.import_state(workload_words);
+    e.strategy_.import_state(strategy_words);
+    apply_pool(*e.pool_, std::move(pool_img));
+    apply_schedule(e.schedule_, std::move(sched_img));
+    if (has_window) apply_window(*e.window_, std::move(window_img));
+    if (has_opt) apply_opt(*e.opt_, std::move(opt_img));
+    if (has_trace) apply_trace(e.trace_, std::move(trace_img));
+    apply_engine(e, std::move(engine_img));
+
+    // Phase 3 — validate the restored state with the full audit-oracle
+    // sweep: a checkpoint that would diverge is rejected here, not resumed.
+    e.pool_->audit_check();
+    if (e.window_active_) e.window_->audit_check();
+    if (e.options_.track_live_opt) e.opt_->audit_check();
+    e.audit_check();
+    return manifest;
+  }
+};
+
+std::vector<std::uint8_t> CheckpointManager::encode(
+    const StreamingEngine& engine, CheckpointManifest manifest) {
+  return SnapshotAccess::encode_all(engine, std::move(manifest));
+}
+
+CheckpointManifest CheckpointManager::peek_manifest(
+    std::span<const std::uint8_t> bytes) {
+  SnapshotReader r(verify_container(bytes));
+  expect_tag(r, kSecManifest, "manifest");
+  return CheckpointManifest::decode(r);
+}
+
+CheckpointManifest CheckpointManager::restore(
+    std::span<const std::uint8_t> bytes, StreamingEngine& engine) {
+  return SnapshotAccess::restore_all(bytes, engine);
+}
+
+void CheckpointManager::save_file(const std::string& path,
+                                  std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    REQSCHED_CHECK_MSG(os.good(), "cannot open " << tmp << " for writing");
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    REQSCHED_CHECK_MSG(os.good(), "short write to " << tmp);
+  }
+  // The rename is the commit point: readers either see the previous complete
+  // checkpoint or this complete one, never a partial file.
+  const int rc = std::rename(tmp.c_str(), path.c_str());
+  if (rc != 0) std::remove(tmp.c_str());
+  REQSCHED_CHECK_MSG(rc == 0, "cannot rename " << tmp << " to " << path);
+}
+
+std::vector<std::uint8_t> CheckpointManager::load_file(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  REQSCHED_CHECK_MSG(is.good(), "cannot open checkpoint file " << path);
+  const std::streamsize size = is.tellg();
+  is.seekg(0, std::ios::beg);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0) {
+    is.read(reinterpret_cast<char*>(bytes.data()), size);
+  }
+  REQSCHED_CHECK_MSG(is.good(), "short read from checkpoint file " << path);
+  return bytes;
+}
+
+std::uint64_t state_digest(const StreamingEngine& engine) {
+  std::uint64_t h = kFnvOffsetBasis;
+  const Metrics& m = engine.metrics();
+  for (const std::int64_t v :
+       {m.rounds, m.injected, m.fulfilled, m.expired, m.wasted_executions,
+        m.assignments, m.unassignments, m.reassignments,
+        m.communication_rounds, m.messages}) {
+    h = fnv1a_word(static_cast<std::uint64_t>(v), h);
+  }
+  h = fnv1a_word(static_cast<std::uint64_t>(engine.now()), h);
+  const RequestPool& pool = engine.pool();
+  h = fnv1a_word(static_cast<std::uint64_t>(pool.next_id()), h);
+  h = fnv1a_word(static_cast<std::uint64_t>(pool.window_base()), h);
+  h = fnv1a_word(static_cast<std::uint64_t>(pool.live_count()), h);
+  // alive() is oldest-first and deterministic, so the fold is order-stable.
+  for (const RequestId id : engine.alive()) {
+    h = fnv1a_word(static_cast<std::uint64_t>(id), h);
+    const SlotRef slot = engine.slot_of(id);
+    h = fnv1a_word(static_cast<std::uint64_t>(slot.resource), h);
+    h = fnv1a_word(static_cast<std::uint64_t>(slot.round), h);
+  }
+  h = fnv1a_word(static_cast<std::uint64_t>(engine.schedule().booked_count()),
+                 h);
+  if (engine.options().track_live_opt) {
+    h = fnv1a_word(static_cast<std::uint64_t>(engine.live_optimum()), h);
+  }
+  return h;
+}
+
+}  // namespace reqsched

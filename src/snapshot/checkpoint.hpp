@@ -1,0 +1,83 @@
+// Checkpoint/restore for the streaming engine.
+//
+// A checkpoint is a versioned, self-contained binary image of a run at a
+// round boundary: the embedded manifest (strategy, workload, engine options,
+// provenance) plus the verbatim state of every live structure — RequestPool
+// (slab, free list, ring, tombstones, round marks), Schedule (unit grid +
+// bookings), DeltaWindowProblem (rows + unit grid; the derived counts,
+// saturation masks, and column tallies are re-derived on restore),
+// WindowedPrefixOpt (live matching, closure-pruned slabs; Hall-witness
+// `dead` flags travel with the slots), the engine's round/bookkeeping state
+// and cumulative Metrics, and the workload/strategy word-state (PRNG
+// streams, EDF queues). A restored engine continues bit-identically — same
+// matchings, same metrics, same audit-oracle results — to the uninterrupted
+// run.
+//
+// Container layout (docs/checkpoint.md):
+//
+//   bytes 0..7    magic "RQSNAP01"
+//   bytes 8..11   u32 format version (kFormatVersion)
+//   bytes 12..N-9 payload: tagged sections (manifest first)
+//   bytes N-8..N  u64 FNV-1a-64 over bytes 0..N-9
+//
+// The loader verifies magic, version, and checksum, then decodes the whole
+// payload into plain memory, and only then touches the target engine — a
+// truncated, bit-flipped, or mislabeled file throws ContractViolation before
+// any engine state changes; a failure during the apply/validation phase
+// (impossible for checksum-valid images produced by encode()) leaves the
+// engine unusable and the caller must discard it. Restore ends with the full
+// audit-oracle sweep of every structure, so a checkpoint that would diverge
+// is rejected, not resumed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/streaming.hpp"
+#include "snapshot/manifest.hpp"
+
+namespace reqsched {
+
+class CheckpointManager {
+ public:
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Serializes `engine` at its current round boundary (call between step()s
+  /// or from EngineOptions::checkpoint_sink — never during on_round).
+  /// Requires the workload and strategy to be resumable(). The manifest's
+  /// engine-option, config, round, provenance, and trace-digest fields are
+  /// stamped here from the engine; the caller supplies the identity fields
+  /// (strategy name/seed, workload family/options, shard).
+  static std::vector<std::uint8_t> encode(const StreamingEngine& engine,
+                                          CheckpointManifest manifest);
+
+  /// Verifies the container (magic, version, checksum) and returns the
+  /// embedded manifest without touching any engine.
+  static CheckpointManifest peek_manifest(std::span<const std::uint8_t> bytes);
+
+  /// Restores `bytes` into `engine`, a freshly constructed engine over a
+  /// workload, strategy, and EngineOptions equal to the checkpointed run's
+  /// (peek_manifest() carries everything needed to rebuild them). Decodes
+  /// and validates before mutating; finishes with the audit-oracle sweep.
+  /// Returns the embedded manifest.
+  static CheckpointManifest restore(std::span<const std::uint8_t> bytes,
+                                    StreamingEngine& engine);
+
+  /// Writes atomically: `path` + ".tmp" then rename — a crash mid-write can
+  /// never leave a truncated file at `path`.
+  static void save_file(const std::string& path,
+                        std::span<const std::uint8_t> bytes);
+
+  static std::vector<std::uint8_t> load_file(const std::string& path);
+};
+
+/// Order-stable FNV-1a-64 digest of the engine's observable state (round,
+/// metrics, alive ids, their bookings, live OPT when tracked) — equal
+/// digests at equal rounds certify bit-identical continuation; replay mode
+/// prints them to bisect divergences. Public-API only, so it works on any
+/// engine, restored or not.
+std::uint64_t state_digest(const StreamingEngine& engine);
+
+}  // namespace reqsched

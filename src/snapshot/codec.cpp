@@ -1,0 +1,99 @@
+#include "snapshot/codec.hpp"
+
+#include <cstring>
+
+namespace reqsched {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_word(std::uint64_t word, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (8 * i)) & 0xffU;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void SnapshotWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xffU);
+}
+
+void SnapshotWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xffU);
+}
+
+void SnapshotWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void SnapshotWriter::str(const std::string& v) {
+  u64(v.size());
+  for (const char c : v) buf_.push_back(static_cast<std::uint8_t>(c));
+}
+
+std::uint8_t SnapshotReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t SnapshotReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t SnapshotReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+bool SnapshotReader::boolean() {
+  const std::uint8_t v = u8();
+  REQSCHED_CHECK_MSG(v <= 1, "checkpoint payload: malformed boolean");
+  return v != 0;
+}
+
+double SnapshotReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string SnapshotReader::str() {
+  const std::uint64_t len = u64();
+  REQSCHED_CHECK_MSG(len <= remaining(),
+                     "checkpoint payload: string length past the end");
+  std::string v(reinterpret_cast<const char*>(data_.data() + pos_),
+                static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return v;
+}
+
+}  // namespace reqsched

@@ -1,0 +1,81 @@
+// Byte-level checkpoint codec: a little-endian append-only writer and a
+// bounds-checked reader, plus the FNV-1a-64 checksum the container format
+// seals every checkpoint with.
+//
+// This header is the ONLY place in the library that turns structures into
+// bytes (reqsched_lint's `snapshot-layer` rule keeps it that way): the
+// stateful structures expose their fields to the codec through befriended
+// SnapshotAccess hooks or plain-word export_state() hooks, and the layout
+// lives entirely in src/snapshot (docs/checkpoint.md describes it).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+/// FNV-1a over `bytes`, continuing from `seed` (pass the default offset
+/// basis to start a fresh digest).
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
+                    std::uint64_t seed = kFnvOffsetBasis);
+/// FNV-1a folding one 64-bit word (as 8 little-endian bytes) into `seed`.
+std::uint64_t fnv1a_word(std::uint64_t word, std::uint64_t seed);
+
+/// Append-only little-endian byte sink.
+class SnapshotWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// IEEE-754 bit pattern — round-trips exactly, including NaN payloads.
+  void f64(double v);
+  /// u64 length + raw bytes.
+  void str(const std::string& v);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a byte span. Every accessor throws
+/// ContractViolation on a read past the end, so a truncated payload can
+/// never be silently decoded.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::span<const std::uint8_t> bytes)
+      : data_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean();
+  double f64();
+  std::string str();
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t count) const {
+    REQSCHED_CHECK_MSG(count <= remaining(),
+                       "checkpoint payload truncated at byte " << pos_);
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace reqsched

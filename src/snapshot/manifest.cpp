@@ -1,0 +1,162 @@
+#include "snapshot/manifest.hpp"
+
+#include <sstream>
+
+namespace reqsched {
+
+#ifndef REQSCHED_GIT_DESCRIBE
+#define REQSCHED_GIT_DESCRIBE "unknown"
+#endif
+
+const char* snapshot_git_describe() { return REQSCHED_GIT_DESCRIBE; }
+
+namespace {
+
+void encode_config(SnapshotWriter& w, const ProblemConfig& config) {
+  w.i32(config.n);
+  w.i32(config.d);
+  w.i32(config.b);
+  w.u64(config.capacities.size());
+  for (const std::int32_t c : config.capacities) w.i32(c);
+}
+
+ProblemConfig decode_config(SnapshotReader& r) {
+  ProblemConfig config;
+  config.n = r.i32();
+  config.d = r.i32();
+  config.b = r.i32();
+  const std::uint64_t count = r.u64();
+  REQSCHED_CHECK_MSG(count <= 1'000'000,
+                     "checkpoint manifest: implausible capacity count");
+  config.capacities.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) config.capacities.push_back(r.i32());
+  config.validate();
+  return config;
+}
+
+void encode_workload_options(SnapshotWriter& w,
+                             const RandomWorkloadOptions& o) {
+  w.i32(o.n);
+  w.i32(o.d);
+  w.f64(o.load);
+  w.i64(o.horizon);
+  w.u64(o.seed);
+  w.boolean(o.two_choice);
+  w.i32(o.min_window);
+  w.i32(o.k);
+  w.i32(o.b);
+  w.i32(o.max_occupancy);
+}
+
+RandomWorkloadOptions decode_workload_options(SnapshotReader& r) {
+  RandomWorkloadOptions o;
+  o.n = r.i32();
+  o.d = r.i32();
+  o.load = r.f64();
+  o.horizon = r.i64();
+  o.seed = r.u64();
+  o.two_choice = r.boolean();
+  o.min_window = r.i32();
+  o.k = r.i32();
+  o.b = r.i32();
+  o.max_occupancy = r.i32();
+  return o;
+}
+
+void json_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::uint64_t CheckpointManifest::identity_digest() const {
+  SnapshotWriter w;
+  w.str(workload_family);
+  encode_workload_options(w, workload);
+  encode_config(w, config);
+  w.u64(strategy_seed);
+  w.str(strategy_name);
+  return fnv1a(w.bytes());
+}
+
+void CheckpointManifest::encode(SnapshotWriter& w) const {
+  w.str(strategy_name);
+  w.u64(strategy_seed);
+  w.str(workload_family);
+  encode_workload_options(w, workload);
+  encode_config(w, config);
+  w.boolean(retain_history);
+  w.boolean(record_trace);
+  w.boolean(admission_fast_path);
+  w.boolean(track_live_opt);
+  w.i64(opt_prune_every);
+  w.i64(checkpoint_every);
+  w.i64(shard);
+  w.i64(round);
+  w.u64(trace_digest);
+  w.str(git_describe);
+}
+
+CheckpointManifest CheckpointManifest::decode(SnapshotReader& r) {
+  CheckpointManifest m;
+  m.strategy_name = r.str();
+  m.strategy_seed = r.u64();
+  m.workload_family = r.str();
+  m.workload = decode_workload_options(r);
+  m.config = decode_config(r);
+  m.retain_history = r.boolean();
+  m.record_trace = r.boolean();
+  m.admission_fast_path = r.boolean();
+  m.track_live_opt = r.boolean();
+  m.opt_prune_every = r.i64();
+  m.checkpoint_every = r.i64();
+  m.shard = r.i64();
+  m.round = r.i64();
+  m.trace_digest = r.u64();
+  m.git_describe = r.str();
+  return m;
+}
+
+std::string CheckpointManifest::to_json() const {
+  std::ostringstream os;
+  os << "{\"manifest\":1,\"strategy\":";
+  json_escaped(os, strategy_name);
+  os << ",\"strategy_seed\":" << strategy_seed << ",\"workload\":";
+  json_escaped(os, workload_family);
+  os << ",\"seed\":" << workload.seed << ",\"n\":" << config.n
+     << ",\"d\":" << config.d << ",\"b\":" << config.b
+     << ",\"load\":" << workload.load << ",\"horizon\":" << workload.horizon
+     << ",\"k\":" << workload.k << ",\"max_occupancy\":" << workload.max_occupancy
+     << ",\"min_window\":" << workload.min_window
+     << ",\"two_choice\":" << (workload.two_choice ? "true" : "false")
+     << ",\"retain_history\":" << (retain_history ? "true" : "false")
+     << ",\"record_trace\":" << (record_trace ? "true" : "false")
+     << ",\"admission_fast_path\":" << (admission_fast_path ? "true" : "false")
+     << ",\"track_live_opt\":" << (track_live_opt ? "true" : "false")
+     << ",\"opt_prune_every\":" << opt_prune_every
+     << ",\"checkpoint_every\":" << checkpoint_every << ",\"shard\":" << shard
+     << ",\"round\":" << round << ",\"trace_digest\":\"" << std::hex
+     << trace_digest << std::dec << "\",\"git_describe\":";
+  json_escaped(os, git_describe);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace reqsched

@@ -1,0 +1,63 @@
+// Run manifest: the exact configuration a checkpoint was produced under.
+//
+// Every checkpoint embeds its manifest in binary (so a checkpoint file is
+// self-contained: `reqsched_cli replay`/`--resume` rebuild the workload and
+// strategy from it without side channels), and the same manifest renders to
+// a one-line JSON object for the stream JSONL header and BENCH_latest.json —
+// any recorded run is traceable to engine options, strategy name + seed,
+// workload identity digest, and the git revision that built the binary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "adversary/random.hpp"
+#include "core/types.hpp"
+#include "snapshot/codec.hpp"
+
+namespace reqsched {
+
+/// `git describe --always --dirty` of the build, stamped at configure time
+/// ("unknown" when the build was configured outside a git checkout).
+const char* snapshot_git_describe();
+
+struct CheckpointManifest {
+  // ---- run identity ----
+  std::string strategy_name;
+  std::uint64_t strategy_seed = 1;
+  /// Workload family as reqsched_cli spells it (uniform / zipf / bursty /
+  /// blockstorm), "trace" for replayed traces, or a custom generator's
+  /// name() — resume only reconstructs the named families.
+  std::string workload_family;
+  /// Generator parameters; meaningful for the random families.
+  RandomWorkloadOptions workload{};
+  ProblemConfig config{};
+
+  // ---- engine options (the flags that shape behaviour) ----
+  bool retain_history = false;
+  bool record_trace = false;
+  bool admission_fast_path = true;
+  bool track_live_opt = false;
+  Round opt_prune_every = 16;
+  Round checkpoint_every = 0;
+  std::int64_t shard = 0;
+
+  // ---- provenance ----
+  Round round = 0;  ///< rounds completed when the checkpoint was taken
+  /// FNV-1a-64 over the workload identity (family, generator parameters,
+  /// problem configuration, seeds) — two runs with equal digests replay the
+  /// same arrival sequence.
+  std::uint64_t trace_digest = 0;
+  std::string git_describe;
+
+  /// Computes the workload-identity digest from the fields above.
+  std::uint64_t identity_digest() const;
+
+  void encode(SnapshotWriter& w) const;
+  static CheckpointManifest decode(SnapshotReader& r);
+
+  /// One-line JSON object (keys sorted by topic, stable across runs).
+  std::string to_json() const;
+};
+
+}  // namespace reqsched

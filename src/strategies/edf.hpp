@@ -30,6 +30,14 @@ class EdfSingle final : public IStrategy {
   void reset(const ProblemConfig& config) override { runtime_.reset(config); }
   void on_round(Simulator& sim) override { runtime_.edf_single(sim); }
 
+  bool resumable() const override { return true; }
+  void export_state(std::vector<std::uint64_t>& out) const override {
+    runtime_.export_state(out);
+  }
+  void import_state(std::span<const std::uint64_t> state) override {
+    runtime_.import_state(state);
+  }
+
  private:
   StrategyRuntime runtime_;
 };
@@ -46,6 +54,14 @@ class EdfTwoChoice final : public IStrategy {
   void reset(const ProblemConfig& config) override { runtime_.reset(config); }
   void on_round(Simulator& sim) override {
     runtime_.edf_two_choice(sim, cancel_fulfilled_copies_);
+  }
+
+  bool resumable() const override { return true; }
+  void export_state(std::vector<std::uint64_t>& out) const override {
+    runtime_.export_state(out);
+  }
+  void import_state(std::span<const std::uint64_t> state) override {
+    runtime_.import_state(state);
   }
 
  private:

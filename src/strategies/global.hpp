@@ -37,6 +37,9 @@ class AFix final : public IStrategy {
   /// A_fix handles arrivals exactly as match_new_into_window (and never
   /// reschedules), so the engine's batch-admission fast path is sound for it.
   bool wants_admission_fast_path() const override { return true; }
+  /// No cross-round state beyond the runtime's (unused here) scratch, so a
+  /// freshly reset() instance resumes bit-identically.
+  bool resumable() const override { return true; }
 
  private:
   StrategyRuntime runtime_;
@@ -55,6 +58,9 @@ class ACurrent final : public IStrategy {
   bool wants_admission_fast_path() const override { return true; }
   bool admission_probe_current_round_only() const override { return true; }
   bool admission_needs_empty_backlog() const override { return true; }
+  /// No cross-round state beyond the runtime's (unused here) scratch, so a
+  /// freshly reset() instance resumes bit-identically.
+  bool resumable() const override { return true; }
 
  private:
   StrategyRuntime runtime_;
@@ -73,6 +79,9 @@ class AFixBalance final : public IStrategy {
   /// refinement per round and punts otherwise.
   bool wants_admission_fast_path() const override { return true; }
   bool admission_needs_empty_backlog() const override { return true; }
+  /// No cross-round state beyond the runtime's (unused here) scratch, so a
+  /// freshly reset() instance resumes bit-identically.
+  bool resumable() const override { return true; }
 
  private:
   StrategyRuntime runtime_;
@@ -84,6 +93,9 @@ class AEager final : public IStrategy {
   void reset(const ProblemConfig& config) override { runtime_.reset(config); }
   void on_round(Simulator& sim) override;
   bool wants_window_problem() const override { return true; }
+  /// No cross-round state beyond the runtime's (unused here) scratch, so a
+  /// freshly reset() instance resumes bit-identically.
+  bool resumable() const override { return true; }
 
  private:
   StrategyRuntime runtime_;
@@ -95,6 +107,9 @@ class ABalance final : public IStrategy {
   void reset(const ProblemConfig& config) override { runtime_.reset(config); }
   void on_round(Simulator& sim) override;
   bool wants_window_problem() const override { return true; }
+  /// No cross-round state beyond the runtime's (unused here) scratch, so a
+  /// freshly reset() instance resumes bit-identically.
+  bool resumable() const override { return true; }
 
  private:
   StrategyRuntime runtime_;

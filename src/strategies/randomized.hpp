@@ -26,6 +26,14 @@ class RandomizedCurrent final : public IStrategy {
   void reset(const ProblemConfig& config) override;
   void on_round(Simulator& sim) override;
 
+  bool resumable() const override { return true; }
+  void export_state(std::vector<std::uint64_t>& out) const override {
+    append_prng_words(rng_, out);
+  }
+  void import_state(std::span<const std::uint64_t> state) override {
+    restore_prng_words(rng_, state);
+  }
+
  private:
   std::uint64_t seed_;
   Prng rng_;
@@ -40,6 +48,14 @@ class RandomizedFix final : public IStrategy {
   std::string name() const override { return "A_fix_randomized"; }
   void reset(const ProblemConfig& config) override;
   void on_round(Simulator& sim) override;
+
+  bool resumable() const override { return true; }
+  void export_state(std::vector<std::uint64_t>& out) const override {
+    append_prng_words(rng_, out);
+  }
+  void import_state(std::span<const std::uint64_t> state) override {
+    restore_prng_words(rng_, state);
+  }
 
  private:
   std::uint64_t seed_;

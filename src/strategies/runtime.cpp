@@ -24,6 +24,37 @@ const DeltaWindowProblem& StrategyRuntime::window(Simulator& sim) const {
   return sim.engine().window_problem();
 }
 
+void StrategyRuntime::export_state(std::vector<std::uint64_t>& out) const {
+  for (const auto& queue : edf_queues_) {
+    out.push_back(queue.size());
+    for (const EdfCopy& copy : queue) {
+      out.push_back(static_cast<std::uint64_t>(copy.request));
+      out.push_back(static_cast<std::uint64_t>(copy.deadline));
+    }
+  }
+}
+
+void StrategyRuntime::import_state(std::span<const std::uint64_t> state) {
+  std::size_t pos = 0;
+  for (auto& queue : edf_queues_) {
+    REQSCHED_REQUIRE_MSG(pos < state.size(),
+                         "StrategyRuntime::import_state: truncated state");
+    const std::uint64_t len = state[pos++];
+    REQSCHED_REQUIRE_MSG((state.size() - pos) / 2 >= len,
+                         "StrategyRuntime::import_state: truncated state");
+    queue.clear();
+    for (std::uint64_t i = 0; i < len; ++i) {
+      const auto request = static_cast<RequestId>(state[pos]);
+      const auto deadline = static_cast<Round>(state[pos + 1]);
+      REQSCHED_REQUIRE(request >= 0);
+      queue.push_back(EdfCopy{request, deadline});
+      pos += 2;
+    }
+  }
+  REQSCHED_REQUIRE_MSG(pos == state.size(),
+                       "StrategyRuntime::import_state: trailing state words");
+}
+
 void StrategyRuntime::split_and_place_runs(Simulator& sim, Round last_start) {
   runs_.clear();
   std::size_t out = 0;

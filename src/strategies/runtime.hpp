@@ -29,7 +29,9 @@
 // simulator so the engine's mirror stays authoritative.
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <span>
 #include <vector>
 
 #include "core/types.hpp"
@@ -87,6 +89,18 @@ class StrategyRuntime {
   /// acceptance probe, answered from the window's free bitmasks.
   SlotRef earliest_free_slot(Simulator& sim, ResourceId resource, Round from,
                              Round to) const;
+
+  // ---- checkpoint hooks ----
+
+  /// Appends the runtime's cross-round state as raw 64-bit words: the
+  /// per-resource EDF copy queues (everything else is per-round scratch).
+  /// Word layout per resource: queue length, then (request, deadline) pairs.
+  /// The snapshot layer owns framing and byte format.
+  void export_state(std::vector<std::uint64_t>& out) const;
+
+  /// Restores state captured by export_state() on a freshly reset() runtime
+  /// of the same configuration; rejects malformed word lists.
+  void import_state(std::span<const std::uint64_t> state);
 
  private:
   const DeltaWindowProblem& window(Simulator& sim) const;

@@ -76,6 +76,27 @@ Prng Prng::split() {
   return child;
 }
 
+std::array<std::uint64_t, 4> Prng::state() const {
+  return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void Prng::set_state(const std::array<std::uint64_t, 4>& state) {
+  REQSCHED_REQUIRE_MSG(
+      state[0] != 0 || state[1] != 0 || state[2] != 0 || state[3] != 0,
+      "Prng::set_state: the all-zero state is a fixed point of xoshiro256**");
+  for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
+}
+
+void append_prng_words(const Prng& rng, std::vector<std::uint64_t>& out) {
+  for (const std::uint64_t word : rng.state()) out.push_back(word);
+}
+
+void restore_prng_words(Prng& rng, std::span<const std::uint64_t> words) {
+  REQSCHED_REQUIRE_MSG(words.size() == 4,
+                       "restore_prng_words: expected exactly 4 state words");
+  rng.set_state({words[0], words[1], words[2], words[3]});
+}
+
 ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
   REQSCHED_REQUIRE(n > 0);
   cdf_.resize(n);

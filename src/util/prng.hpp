@@ -5,8 +5,10 @@
 // implementations, so recorded experiment seeds replay bit-exactly anywhere.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -57,9 +59,26 @@ class Prng {
   /// Splits off an independent stream (for per-task determinism in sweeps).
   Prng split();
 
+  /// The raw 256-bit generator state, for checkpoint/restore. A generator
+  /// restored via set_state() replays the exact output sequence the source
+  /// generator would have produced from the captured point.
+  std::array<std::uint64_t, 4> state() const;
+
+  /// Restores state captured by state(). Rejects the all-zero word vector
+  /// (a fixed point of xoshiro256**, never produced by reseed()).
+  void set_state(const std::array<std::uint64_t, 4>& state);
+
  private:
   std::uint64_t state_[4]{};
 };
+
+/// Appends the generator's four state words — the common body of the
+/// export_state() checkpoint hooks of PRNG-driven workloads and strategies.
+void append_prng_words(const Prng& rng, std::vector<std::uint64_t>& out);
+
+/// Restores a generator from exactly the four words appended by
+/// append_prng_words(); rejects any other word count.
+void restore_prng_words(Prng& rng, std::span<const std::uint64_t> words);
 
 /// Samples an index from Zipf(s) over {0, .., n-1} using a precomputed CDF.
 class ZipfSampler {

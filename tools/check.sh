@@ -76,6 +76,17 @@ run_lint() {
 
 run_audit() {
   run_pass "audit" build-audit -DREQSCHED_AUDIT=ON
+  run_checkpoint_label "audit" build-audit
+}
+
+# The checkpoint/restore suite as its own visible gate: bit-identity
+# round-trips, crash-resume fuzz, and corruption rejection, re-run under the
+# pass's instrumentation (ASan catches decode-phase overreads on corrupted
+# images; the audit build re-verifies every restored structure).
+run_checkpoint_label() {
+  local label="$1" dir="$2"
+  echo "==> ${label}: checkpoint suite (ctest -L checkpoint)"
+  (cd "${dir}" && ctest --output-on-failure --no-tests=error -L checkpoint)
 }
 
 run_clang() {
@@ -108,7 +119,8 @@ run_bench_smoke() {
 import json
 rows = json.load(open("BENCH_latest.json"))
 sections = {row["section"] for row in rows}
-missing = {"strategy_step", "stream", "capacitated"} - sections
+missing = {"strategy_step", "stream", "capacitated", "checkpoint",
+           "manifest"} - sections
 assert not missing, f"BENCH_latest.json is missing sections: {sorted(missing)}"
 print(f"BENCH_latest.json: {len(rows)} records, sections {sorted(sections)}")
 EOF
@@ -131,6 +143,7 @@ case "${mode}" in
     ;;
   --asan)
     run_sanitizer_preset "asan"
+    run_checkpoint_label "asan+ubsan" build-asan
     ;;
   --tsan)
     run_sanitizer_preset "tsan"

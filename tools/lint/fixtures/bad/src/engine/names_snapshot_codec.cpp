@@ -1,0 +1,14 @@
+// BAD: engine code reaching for the snapshot layer's codec machinery.
+// Serialization lives in src/snapshot; the engine exposes state to it via
+// the friend grant, never the other way around.
+#include "engine/streaming.hpp"
+
+namespace reqsched {
+
+void leak_bytes(const StreamingEngine& engine) {
+  SnapshotWriter w;  // snapshot-layer: codec named outside src/snapshot
+  (void)engine;
+  (void)w;
+}
+
+}  // namespace reqsched

@@ -1,0 +1,18 @@
+// GOOD: the one sanctioned crossing — the exact friend-grant line that lets
+// the snapshot layer serialize private state. Nothing else snapshot-shaped
+// is named here.
+#pragma once
+
+namespace reqsched {
+
+class CheckpointedThing {
+ public:
+  int value() const { return value_; }
+
+ private:
+  friend struct SnapshotAccess;
+
+  int value_ = 0;
+};
+
+}  // namespace reqsched

@@ -34,9 +34,18 @@ Rules (see docs/static_analysis.md for the full catalogue):
                       res_claimed_) may only be named there, and the
                       per-resource `capacities` vector of ProblemConfig may
                       only be read raw by its owners (types.hpp, the trace
-                      serializer, delta_window/slot_graph) — everyone else
-                      goes through capacity_of()/max_capacity() so a future
+                      and checkpoint-manifest serializers,
+                      delta_window/slot_graph) — everyone else goes through
+                      capacity_of()/max_capacity() so a future
                       representation change stays a two-file edit.
+  snapshot-layer      serialization internals stay in src/snapshot: the
+                      codec types (SnapshotWriter/SnapshotReader) and the
+                      SnapshotAccess backdoor may not be named anywhere
+                      else under src/ — the only sanctioned crossing is
+                      the exact `friend struct SnapshotAccess;` grant line
+                      inside a checkpointed class. Keeps every byte-format
+                      decision (and the private-state reach it needs) in
+                      one reviewable directory.
 
 A finding can be waived for one line with a trailing
 `// reqsched-lint: allow(<rule>)` comment.
@@ -68,6 +77,9 @@ LAYER_ALLOWED = {
     "strategies": {"engine", "matching", "core", "util"},
     "local": {"strategies", "engine", "matching", "core", "util"},
     "adversary": {"engine", "matching", "core", "util"},
+    # The snapshot layer serializes engine + workload state; it sees the
+    # structures it checkpoints but nothing strategy- or analysis-shaped.
+    "snapshot": {"adversary", "engine", "matching", "core", "util"},
     "analysis": {
         "adversary", "local", "strategies", "offline", "engine", "matching",
         "core", "util",
@@ -106,8 +118,18 @@ CAPACITY_MASK_RE = re.compile(
 CAPACITY_VECTOR_OWNERS = CAPACITY_MASK_OWNERS | {
     "src/core/types.hpp",
     "src/core/trace.cpp",
+    # The checkpoint manifest serializes ProblemConfig verbatim — a
+    # representation owner for the same reason the trace serializer is.
+    "src/snapshot/manifest.cpp",
 }
 CAPACITY_VECTOR_RE = re.compile(r"\bcapacities\b")
+
+# Snapshot-layer machinery: the codec types and the private-state backdoor.
+# Outside src/snapshot these may appear only as the exact friend-grant line.
+SNAPSHOT_LAYER_DIR = "src/snapshot/"
+SNAPSHOT_TYPES_RE = re.compile(
+    r"\b(SnapshotWriter|SnapshotReader|SnapshotAccess)\b")
+SNAPSHOT_FRIEND_GRANT = "friend struct SnapshotAccess;"
 
 # The only file allowed to (un)define the assertion-gating macros.
 GATE_OWNER = "src/util/assert.hpp"
@@ -370,6 +392,15 @@ def check_file(root: str, relpath: str, findings: list) -> None:
                        "read per-resource capacities through "
                        "ProblemConfig::capacity_of()/max_capacity(), not "
                        "the raw `capacities` vector")
+
+        # --- snapshot-layer -----------------------------------------------
+        if in_src and not norm.startswith(SNAPSHOT_LAYER_DIR):
+            sn = SNAPSHOT_TYPES_RE.search(line)
+            if sn and line.strip() != SNAPSHOT_FRIEND_GRANT:
+                report(n, "snapshot-layer",
+                       f"`{sn.group(1)}` belongs to src/snapshot; outside it "
+                       "only the exact `friend struct SnapshotAccess;` "
+                       "grant may appear")
 
         guard.feed(line)
 

@@ -84,6 +84,10 @@ class BadFixtures(unittest.TestCase):
         self.assert_finding("src/strategies/raw_capacities.cpp",
                             "capacity-internals")
 
+    def test_snapshot_codec_named_outside_snapshot_layer(self):
+        self.assert_finding("src/engine/names_snapshot_codec.cpp",
+                            "snapshot-layer")
+
     def test_every_bad_fixture_fires(self):
         flagged = {l.split(":", 1)[0] for l in self.out.splitlines()
                    if ": [" in l}

@@ -16,11 +16,21 @@
 //                   --rounds=100000 --load=1.5 --seed=1 --shards=4
 //                   --threads=0 --strategy-seed=1] [--track-ratio]
 //                   [--snapshot-every=1000 --jsonl=stats.jsonl]
+//                   [--checkpoint-every=10000 --checkpoint-dir=ckpt]
+//                   [--resume=ckpt/shard-0.ckpt]
 //       bounded-memory streaming runs (one independent stream per shard;
-//       shard k's randomized strategies are seeded strategy-seed + k)
+//       shard k's randomized strategies are seeded strategy-seed + k).
+//       --checkpoint-every writes shard-<k>.ckpt atomically every N rounds;
+//       --resume (single shard) continues a checkpointed run bit-identically
+//   reqsched replay --resume=ckpt/shard-0.ckpt [--to-round=50000]
+//                   [--audit] [--digest-every=1000]
+//       re-executes a checkpointed run from its snapshot: --to-round stops
+//       after that many total rounds, --audit sweeps the oracles every
+//       round, --digest-every prints state digests to bisect divergences
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "adversary/random.hpp"
 #include "analysis/bounds.hpp"
@@ -32,6 +42,7 @@
 #include "analysis/timeseries.hpp"
 #include "engine/sharded.hpp"
 #include "offline/offline.hpp"
+#include "snapshot/checkpoint.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -95,6 +106,77 @@ void require_strategy(const std::string& name) {
   REQSCHED_REQUIRE_MSG(strategy_exists(name),
                        "unknown strategy: " << name
                                             << " (see 'reqsched_cli list')");
+}
+
+std::string checkpoint_path(const std::string& dir, std::int64_t shard) {
+  return dir + "/shard-" + std::to_string(shard) + ".ckpt";
+}
+
+std::string hex64(std::uint64_t value) {
+  std::ostringstream os;
+  os << "0x" << std::hex << value;
+  return os.str();
+}
+
+/// Identity manifest for shard `shard` of a stream run, mirroring the
+/// per-shard seeding of the factories in cmd_stream (workload seed + shard,
+/// strategy seed + shard).
+CheckpointManifest stream_manifest(const std::string& family,
+                                   const RandomWorkloadOptions& base,
+                                   const std::string& strategy_name,
+                                   std::uint64_t strategy_seed,
+                                   const EngineOptions& engine,
+                                   std::int64_t shard) {
+  CheckpointManifest m;
+  m.strategy_name = strategy_name;
+  m.strategy_seed = strategy_seed + static_cast<std::uint64_t>(shard);
+  m.workload_family = family;
+  m.workload = base;
+  m.workload.seed = base.seed + static_cast<std::uint64_t>(shard);
+  m.config = m.workload.problem_config();
+  m.retain_history = engine.retain_history;
+  m.record_trace = engine.record_trace;
+  m.admission_fast_path = engine.admission_fast_path;
+  m.track_live_opt = engine.track_live_opt;
+  m.opt_prune_every = engine.opt_prune_every;
+  m.checkpoint_every = engine.checkpoint_every;
+  m.shard = shard;
+  m.git_describe = snapshot_git_describe();
+  m.trace_digest = m.identity_digest();
+  return m;
+}
+
+/// A checkpoint file loaded and verified, with the workload and strategy
+/// rebuilt from its embedded manifest — everything a resumed run needs.
+struct ResumedRun {
+  std::vector<std::uint8_t> bytes;
+  CheckpointManifest manifest;
+  std::unique_ptr<IWorkload> workload;
+  std::unique_ptr<IStrategy> strategy;
+
+  /// Engine options matching the checkpointed run (restore refuses a
+  /// mismatch, so these are not caller-tunable).
+  EngineOptions engine_options() const {
+    EngineOptions eo;
+    eo.retain_history = manifest.retain_history;
+    eo.record_trace = manifest.record_trace;
+    eo.admission_fast_path = manifest.admission_fast_path;
+    eo.track_live_opt = manifest.track_live_opt;
+    eo.opt_prune_every = manifest.opt_prune_every;
+    eo.shard = manifest.shard;
+    return eo;
+  }
+};
+
+ResumedRun load_resume(const std::string& path) {
+  ResumedRun rr;
+  rr.bytes = CheckpointManager::load_file(path);
+  rr.manifest = CheckpointManager::peek_manifest(rr.bytes);
+  rr.workload = make_workload(rr.manifest.workload_family, rr.manifest.workload);
+  require_strategy(rr.manifest.strategy_name);
+  rr.strategy =
+      make_strategy(rr.manifest.strategy_name, rr.manifest.strategy_seed);
+  return rr;
 }
 
 int cmd_bounds(const CliArgs& args) {
@@ -245,6 +327,61 @@ int cmd_sweep(const CliArgs& args) {
   return 0;
 }
 
+/// `stream --resume`: continues one checkpointed stream to completion. The
+/// workload, strategy, and engine options are rebuilt from the embedded
+/// manifest — only observability (JSONL, further checkpoints) is tunable.
+int stream_resume(const std::string& resume_path, std::int64_t shards,
+                  const std::string& jsonl_path, Round snapshot_every,
+                  const std::string& checkpoint_dir, Round checkpoint_every,
+                  std::int64_t max_rounds) {
+  REQSCHED_CHECK_MSG(shards == 1,
+                     "--resume continues a single checkpointed stream; each "
+                     "shard has its own .ckpt, resume them one at a time");
+  ResumedRun rr = load_resume(resume_path);
+  EngineOptions eo = rr.engine_options();
+
+  std::optional<JsonlSink> jsonl;
+  if (!jsonl_path.empty()) {
+    jsonl.emplace(jsonl_path);
+    jsonl->write_line(rr.manifest.to_json());
+    eo.snapshot_every = snapshot_every;
+    eo.snapshot_sink = [&](const StatsSnapshot& snapshot) {
+      jsonl->write_line(to_jsonl(snapshot));
+    };
+  }
+  if (checkpoint_every > 0) {
+    eo.checkpoint_every = checkpoint_every;
+    eo.checkpoint_sink = [&](const StreamingEngine& engine) {
+      CheckpointManager::save_file(
+          checkpoint_path(checkpoint_dir, rr.manifest.shard),
+          CheckpointManager::encode(engine, rr.manifest));
+    };
+  }
+
+  Simulator sim(*rr.workload, *rr.strategy, eo);
+  const CheckpointManifest at =
+      CheckpointManager::restore(rr.bytes, sim.engine());
+  std::cout << "resumed         : " << resume_path << " at round " << at.round
+            << '\n';
+  const Metrics& metrics = sim.run(at.round + max_rounds);
+  if (jsonl) jsonl->write_line(to_jsonl(sim.engine().snapshot()));
+
+  std::cout << "strategy       : " << at.strategy_name << '\n'
+            << "workload       : " << at.workload_family << '\n'
+            << "rounds         : " << metrics.rounds << '\n'
+            << "injected       : " << metrics.injected << '\n'
+            << "fulfilled      : " << metrics.fulfilled << '\n'
+            << "expired        : " << metrics.expired << '\n'
+            << "fulfilled frac : "
+            << AsciiTable::fmt(metrics.fulfilled_fraction()) << '\n'
+            << "final digest   : " << hex64(state_digest(sim.engine()))
+            << '\n';
+  if (!jsonl_path.empty()) {
+    std::cout << "wrote snapshots to " << jsonl_path << '\n';
+  }
+  return 0;
+}
+
 int cmd_stream(const CliArgs& args) {
   const auto options = base_options(args);
   const std::string family = args.get_string("workload", "uniform");
@@ -255,19 +392,38 @@ int cmd_stream(const CliArgs& args) {
   run.threads = static_cast<std::size_t>(args.get_int("threads", 0));
   run.engine.track_live_opt = args.get_bool("track-ratio", false);
   run.engine.snapshot_every = args.get_int("snapshot-every", 0);
+  run.engine.checkpoint_every = args.get_int("checkpoint-every", 0);
   run.max_rounds = std::max<std::int64_t>(1'000'000, 2 * options.horizon);
   const std::string jsonl_path = args.get_string("jsonl", "");
+  const std::string checkpoint_dir = args.get_string("checkpoint-dir", ".");
+  const std::string resume_path = args.get_string("resume", "");
   const auto strategy_seed =
       static_cast<std::uint64_t>(args.get_int("strategy-seed", 1));
   args.finish();
+
+  if (!resume_path.empty()) {
+    return stream_resume(resume_path, run.shards, jsonl_path,
+                         run.engine.snapshot_every, checkpoint_dir,
+                         run.engine.checkpoint_every, run.max_rounds);
+  }
   require_strategy(strategy_name);
 
-  std::ofstream jsonl_file;
-  if (!jsonl_path.empty()) {
-    jsonl_file.open(jsonl_path);
-    REQSCHED_CHECK_MSG(jsonl_file.is_open(),
-                       "cannot open --jsonl path " << jsonl_path);
-    run.jsonl = &jsonl_file;
+  // Crash-safe sink: whole-line O_APPEND writes, never a torn record.
+  run.jsonl_path = jsonl_path;
+  const auto manifest_for = [&](std::int64_t shard) {
+    return stream_manifest(family, options, strategy_name, strategy_seed,
+                           run.engine, shard);
+  };
+  run.manifest_line = [&](std::int64_t shard) {
+    return manifest_for(shard).to_json();
+  };
+  if (run.engine.checkpoint_every > 0) {
+    run.checkpoint_sink = [&](const StreamingEngine& engine,
+                              std::int64_t shard) {
+      CheckpointManager::save_file(
+          checkpoint_path(checkpoint_dir, shard),
+          CheckpointManager::encode(engine, manifest_for(shard)));
+    };
   }
 
   const auto result = run_sharded(
@@ -310,11 +466,61 @@ int cmd_stream(const CliArgs& args) {
   if (!jsonl_path.empty()) {
     std::cout << "wrote snapshots to " << jsonl_path << '\n';
   }
+  if (run.engine.checkpoint_every > 0) {
+    std::cout << "checkpoints in " << checkpoint_path(checkpoint_dir, 0);
+    if (run.shards > 1) {
+      std::cout << " .. " << checkpoint_path(checkpoint_dir, run.shards - 1);
+    }
+    std::cout << '\n';
+  }
   return result.all_ok() ? 0 : 1;
 }
 
+/// Deterministic replay from a checkpoint: rebuilds the run from the
+/// embedded manifest, restores, and re-executes — optionally auditing every
+/// round and printing state digests to bisect a suspected divergence (two
+/// replays of the same checkpoint print identical digest sequences; compare
+/// against a digest log from the original run to find the first bad round).
+int cmd_replay(const CliArgs& args) {
+  const std::string resume_path = args.get_string("resume", "");
+  const auto to_round = args.get_int("to-round", -1);
+  const bool audit = args.get_bool("audit", false);
+  const auto digest_every = args.get_int("digest-every", 0);
+  args.finish();
+  REQSCHED_CHECK_MSG(!resume_path.empty(),
+                     "replay needs --resume=<checkpoint file>");
+
+  ResumedRun rr = load_resume(resume_path);
+  Simulator sim(*rr.workload, *rr.strategy, rr.engine_options());
+  const CheckpointManifest at =
+      CheckpointManager::restore(rr.bytes, sim.engine());
+  REQSCHED_CHECK_MSG(to_round < 0 || to_round >= at.round,
+                     "--to-round=" << to_round
+                                   << " precedes the checkpoint round "
+                                   << at.round);
+  std::cout << at.to_json() << '\n'
+            << "restored round " << at.round << " digest "
+            << hex64(state_digest(sim.engine())) << '\n';
+
+  while ((to_round < 0 || sim.metrics().rounds < to_round) && sim.step()) {
+    if (audit) sim.engine().audit_check();
+    if (digest_every > 0 && sim.metrics().rounds % digest_every == 0) {
+      std::cout << "round " << sim.metrics().rounds << " digest "
+                << hex64(state_digest(sim.engine())) << '\n';
+    }
+  }
+
+  const Metrics& metrics = sim.metrics();
+  std::cout << "final round " << metrics.rounds << " digest "
+            << hex64(state_digest(sim.engine())) << '\n'
+            << "injected " << metrics.injected << ", fulfilled "
+            << metrics.fulfilled << ", expired " << metrics.expired << '\n';
+  return 0;
+}
+
 int usage() {
-  std::cout << "usage: reqsched_cli <list|bounds|run|sweep|stream> [--flags]\n"
+  std::cout << "usage: reqsched_cli <list|bounds|run|sweep|stream|replay> "
+               "[--flags]\n"
                "run 'reqsched_cli run --strategy=A_balance "
                "--workload=blockstorm --timeline' for a taste\n";
   return 2;
@@ -332,6 +538,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "sweep") return cmd_sweep(args);
     if (command == "stream") return cmd_stream(args);
+    if (command == "replay") return cmd_replay(args);
   } catch (const ContractViolation& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
