@@ -26,6 +26,14 @@
 //    bit-identical to the uninterrupted run. Reports write/restore latency
 //    and checkpoint size, plus the embedded manifest's provenance fields as
 //    text records.
+//  * stationary — the open-loop long-horizon gates: Poisson generator
+//    throughput floor; a 10^8-request rho-controlled soak (smoke: ~10^6)
+//    emitting StatsFrames the whole way under a hard O(1) stats-memory
+//    bound, with the streaming cumulative counters pinned to the exact
+//    Metrics; checkpoint/restore mid-soak with the statistics layer on,
+//    gated on identical state digest AND byte-identical frame suffix; and a
+//    loss-rate-vs-rho sweep (recorded, monotonicity-gated) — the curve
+//    EXPERIMENTS.md compares against the stationary-analysis references.
 //
 // Usage: bench_stream [--smoke] [--json=BENCH_stream.json]
 //                     [--json-append=BENCH_latest.json]
@@ -33,7 +41,9 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "adversary/openloop.hpp"
 #include "adversary/random.hpp"
 #include "analysis/registry.hpp"
 #include "bench_json.hpp"
@@ -364,6 +374,223 @@ void run_checkpoint_gate(bool smoke, bench::JsonWriter& json) {
   }
 }
 
+void run_stationary_gate(bool smoke, bench::JsonWriter& json) {
+  // ---- generator throughput: arrivals must be cheap relative to the
+  // engine, or rho-controlled soaks measure the adversary, not the
+  // scheduler. The floor is deliberately conservative (CI variance).
+  {
+    const Round gen_rounds = smoke ? 20'000 : 200'000;
+    OpenLoopWorkload gen({.n = 64, .d = 8, .rho = 0.9, .horizon = gen_rounds,
+                          .seed = 7},
+                         "poisson");
+    auto probe_strategy = make_strategy("A_fix");
+    Simulator probe(gen, *probe_strategy);  // only the const ref generate needs
+    std::vector<RequestSpec> out;
+    std::int64_t arrivals = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (Round t = 0; t < gen_rounds; ++t) {
+      out.clear();
+      gen.generate(t, probe, out);
+      arrivals += static_cast<std::int64_t>(out.size());
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    const double rate =
+        seconds > 0.0 ? static_cast<double>(arrivals) / seconds : 0.0;
+    std::printf(
+        "[bench_stream] stationary generator: %lld Poisson arrivals in "
+        "%.3f s -> %.0f arrivals/s (floor 500000)\n",
+        static_cast<long long>(arrivals), seconds, rate);
+    if (!smoke) {
+      REQSCHED_CHECK_MSG(rate >= 500'000.0,
+                         "open-loop generation collapsed: " << rate
+                                                            << " arrivals/s");
+    }
+    json.record("stationary", "generator_rate", rate, "arrivals/sec");
+  }
+
+  // ---- the soak: rho = 0.55 keeps A_fix sub-critical (fast-path regime)
+  // at ~35 arrivals/round, so 2.9M rounds carries ~10^8 requests. Frames
+  // flow to a sink the whole way; the gates are the tentpole's claims:
+  //  1. the statistics layer's memory is O(window + sketch), not O(stream);
+  //  2. its cumulative counters equal the exact Metrics at every frame we
+  //     check (here: the last), i.e. streaming loses nothing;
+  //  3. the pool still honors the window bound with the layer on.
+  const Round soak_rounds = smoke ? 30'000 : 2'900'000;
+  const Round frame_every = 4'096;
+  OpenLoopOptions soak_opts{.n = 64, .d = 8, .rho = 0.55,
+                            .horizon = soak_rounds, .seed = 11};
+  OpenLoopWorkload soak_workload(soak_opts, "poisson");
+  auto soak_strategy = make_strategy("A_fix");
+  EngineOptions soak_engine = streaming_options();
+  soak_engine.track_stream_stats = true;
+  soak_engine.frame_every = frame_every;
+  std::int64_t frames = 0;
+  StatsFrame last_frame;
+  soak_engine.frame_sink = [&](const StatsFrame& frame) {
+    ++frames;
+    last_frame = frame;
+  };
+  Simulator soak(soak_workload, *soak_strategy, std::move(soak_engine));
+  const auto s0 = std::chrono::steady_clock::now();
+  const Metrics soak_metrics = soak.run(4 * soak_rounds + 16);
+  const auto s1 = std::chrono::steady_clock::now();
+  const double soak_seconds = std::chrono::duration<double>(s1 - s0).count();
+
+  if (!smoke) {
+    REQSCHED_CHECK_MSG(soak_metrics.injected >= 100'000'000,
+                       "stationary soak too short: " << soak_metrics.injected);
+  }
+  REQSCHED_CHECK_MSG(frames >= soak_metrics.rounds / frame_every,
+                     "frame emission stalled: " << frames << " frames over "
+                                                << soak_metrics.rounds
+                                                << " rounds");
+  const std::size_t stats_bytes = soak.engine().stream_stats().approx_bytes();
+  REQSCHED_CHECK_MSG(stats_bytes <= (2u << 20),
+                     "streaming statistics grew past the window bound: "
+                         << stats_bytes << " bytes");
+  const StatsFrame final_frame = soak.engine().stats_frame();
+  REQSCHED_CHECK_MSG(final_frame.injected == soak_metrics.injected &&
+                         final_frame.fulfilled == soak_metrics.fulfilled &&
+                         final_frame.expired == soak_metrics.expired,
+                     "streaming cumulative counters diverged from Metrics");
+  const RequestPool& soak_pool = soak.engine().pool();
+  REQSCHED_CHECK_MSG(
+      soak_pool.peak_live() <= soak_pool.max_admitted_per_round() * 8,
+      "stationary soak broke the window bound");
+
+  std::printf(
+      "[bench_stream] stationary soak (poisson, n=64, d=8, rho=0.55, A_fix): "
+      "%lld requests, %lld rounds, %.1f s -> %.0f req/s; %lld frames, "
+      "stats %zu bytes; loss %.4f (window %.4f), tardiness p50/p99 "
+      "%.1f/%.1f rounds\n",
+      static_cast<long long>(soak_metrics.injected),
+      static_cast<long long>(soak_metrics.rounds), soak_seconds,
+      soak_seconds > 0.0
+          ? static_cast<double>(soak_metrics.injected) / soak_seconds
+          : 0.0,
+      static_cast<long long>(frames), stats_bytes, final_frame.loss_rate,
+      final_frame.w_loss_rate, final_frame.tardiness_p50,
+      final_frame.tardiness_p99);
+  json.record("stationary", "soak_requests",
+              static_cast<double>(soak_metrics.injected), "requests");
+  json.record("stationary", "soak_frames", static_cast<double>(frames),
+              "frames");
+  json.record("stationary", "stats_bytes", static_cast<double>(stats_bytes),
+              "bytes");
+  json.record("stationary", "soak_loss_rate", final_frame.loss_rate, "ratio");
+  json.record("stationary", "soak_tardiness_p99", final_frame.tardiness_p99,
+              "rounds");
+
+  // ---- checkpoint bit-identity with the statistics layer ON: the sketches,
+  // ring, and panes all ride the snapshot. The gate is stronger than digest
+  // equality — every frame emitted after the cut must be byte-identical to
+  // the frame the uninterrupted run emitted at the same round.
+  {
+    const Round horizon = smoke ? 6'000 : 40'000;
+    const Round fe = 1'024;
+    const OpenLoopOptions opts{.n = 16, .d = 6, .rho = 0.95,
+                               .horizon = horizon, .seed = 23};
+    const auto engine_opts = [&](std::vector<std::string>* sink) {
+      EngineOptions eo = streaming_options();
+      eo.track_stream_stats = true;
+      eo.frame_every = fe;
+      if (sink != nullptr) {
+        eo.frame_sink = [sink](const StatsFrame& frame) {
+          sink->push_back(to_jsonl(frame));
+        };
+      }
+      return eo;
+    };
+
+    std::vector<std::string> ref_frames;
+    OpenLoopWorkload ref_workload(opts, "poisson");
+    auto ref_strategy = make_strategy("A_fix");
+    Simulator ref(ref_workload, *ref_strategy, engine_opts(&ref_frames));
+    ref.run(4 * horizon + 16);
+    const std::uint64_t ref_digest = state_digest(ref.engine());
+
+    OpenLoopWorkload cut_workload(opts, "poisson");
+    auto cut_strategy = make_strategy("A_fix");
+    Simulator cut(cut_workload, *cut_strategy, engine_opts(nullptr));
+    while (cut.metrics().rounds < horizon / 2 && cut.step()) {
+    }
+    CheckpointManifest manifest;
+    manifest.strategy_name = "A_fix";
+    manifest.workload_family = "poisson";
+    manifest.openloop = opts;
+    const std::vector<std::uint8_t> bytes =
+        CheckpointManager::encode(cut.engine(), manifest);
+
+    std::vector<std::string> res_frames;
+    OpenLoopWorkload res_workload(opts, "poisson");
+    auto res_strategy = make_strategy("A_fix");
+    Simulator res(res_workload, *res_strategy, engine_opts(&res_frames));
+    const CheckpointManifest at = CheckpointManager::restore(bytes, res.engine());
+    res.run(4 * horizon + 16);
+
+    REQSCHED_CHECK_MSG(res.metrics() == ref.metrics(),
+                       "stationary checkpoint run diverged in Metrics");
+    REQSCHED_CHECK_MSG(state_digest(res.engine()) == ref_digest,
+                       "stationary checkpoint run diverged in state digest");
+    REQSCHED_CHECK_MSG(res_frames.size() <= ref_frames.size(),
+                       "resumed run emitted more frames than the reference");
+    const std::size_t skip = ref_frames.size() - res_frames.size();
+    for (std::size_t i = 0; i < res_frames.size(); ++i) {
+      REQSCHED_CHECK_MSG(res_frames[i] == ref_frames[skip + i],
+                         "frame " << i << " after restore differs from the "
+                                  << "uninterrupted run");
+    }
+    std::printf(
+        "[bench_stream] stationary checkpoint: restored at round %lld with "
+        "stats on; %zu post-cut frames byte-identical, digest match\n",
+        static_cast<long long>(at.round), res_frames.size());
+    json.record("stationary", "checkpoint_frames_verified",
+                static_cast<double>(res_frames.size()), "frames");
+  }
+
+  // ---- loss-rate vs rho: the stationary curve. Loss must be near zero
+  // well below saturation and grow monotonically (small tolerance for
+  // seed noise) through and past rho = 1 — the qualitative shape the
+  // stationary references predict for greedy d-choice service.
+  {
+    const Round horizon = smoke ? 4'000 : 40'000;
+    const double rhos[] = {0.6, 0.8, 0.9, 0.95, 1.0, 1.1};
+    double prev = -1.0;
+    double first = 0.0;
+    double last = 0.0;
+    for (const double rho : rhos) {
+      OpenLoopWorkload workload({.n = 32, .d = 8, .rho = rho,
+                                 .horizon = horizon, .seed = 31},
+                                "poisson");
+      auto strategy = make_strategy("A_fix");
+      EngineOptions eo = streaming_options();
+      eo.track_stream_stats = true;
+      Simulator sim(workload, *strategy, std::move(eo));
+      sim.run(4 * horizon + 16);
+      const StatsFrame frame = sim.engine().stats_frame();
+      std::printf(
+          "[bench_stream] stationary rho %.2f: loss %.4f, tardiness p50/p99 "
+          "%.1f/%.1f\n",
+          rho, frame.loss_rate, frame.tardiness_p50, frame.tardiness_p99);
+      {
+        char label[32];
+        std::snprintf(label, sizeof label, "loss_rho_%.2f", rho);
+        json.record("stationary", label, frame.loss_rate, "ratio");
+      }
+      REQSCHED_CHECK_MSG(frame.loss_rate >= prev - 0.02,
+                         "loss rate not monotone in rho near " << rho);
+      prev = frame.loss_rate;
+      if (rho == rhos[0]) first = frame.loss_rate;
+      last = frame.loss_rate;
+    }
+    REQSCHED_CHECK_MSG(first < 0.05,
+                       "sub-critical loss rate too high: " << first);
+    REQSCHED_CHECK_MSG(last > first + 0.05,
+                       "loss rate failed to grow past saturation");
+  }
+}
+
 void run_sharded_point(bool smoke, bench::JsonWriter& json) {
   ShardedRunOptions options;
   options.shards = smoke ? 4 : 8;
@@ -412,6 +639,7 @@ int main(int argc, char** argv) {
     run_memory_plateau(smoke, json);
     run_ratio_exactness(smoke, json);
     run_checkpoint_gate(smoke, json);
+    run_stationary_gate(smoke, json);
     run_sharded_point(smoke, json);
     if (!json_path.empty()) {
       json.write(json_path);

@@ -1,0 +1,223 @@
+#include "adversary/openloop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <utility>
+
+#include "adversary/sampling.hpp"
+
+namespace reqsched {
+
+namespace {
+
+/// Expected fraction of rounds spent burning: renewal cycle of 1/p idle
+/// rounds followed by `duration` burning rounds.
+double flash_fraction(double probability, Round duration) {
+  if (probability <= 0.0) return 0.0;
+  const double pd = probability * static_cast<double>(duration);
+  return pd / (1.0 + pd);
+}
+
+}  // namespace
+
+OpenLoopWorkload::OpenLoopWorkload(OpenLoopOptions options, std::string family)
+    : options_(options),
+      family_(std::move(family)),
+      sampler_(static_cast<std::size_t>(std::max(options.n, 1)),
+               options.zipf_exponent > 0.0 ? options.zipf_exponent : 1.0),
+      rng_(options.seed) {
+  options_.problem_config().validate();
+  REQSCHED_REQUIRE_MSG(options_.rho >= 0.0, "rho must be non-negative");
+  REQSCHED_REQUIRE(options_.horizon >= 1);
+  const std::int32_t k = options_.k;
+  REQSCHED_REQUIRE_MSG(k >= 1 && k <= kMaxAlternatives,
+                       "alternatives per request outside [1, "
+                           << kMaxAlternatives << "]: " << k);
+  REQSCHED_REQUIRE_MSG(k <= options_.n, k << " distinct alternatives need at "
+                                             "least "
+                                          << k << " resources");
+  REQSCHED_REQUIRE_MSG(options_.max_occupancy >= 1 &&
+                           options_.max_occupancy <= options_.d,
+                       "max_occupancy must lie in [1, d]");
+  REQSCHED_REQUIRE_MSG(
+      options_.diurnal_amplitude >= 0.0 && options_.diurnal_amplitude <= 1.0,
+      "diurnal amplitude must lie in [0, 1] (negative rates otherwise)");
+  REQSCHED_REQUIRE(options_.diurnal_period >= 2);
+  REQSCHED_REQUIRE_MSG(
+      options_.mmpp_high_mult >= 1.0,
+      "mmpp_high_mult must be >= 1 (the high state is the bursty one)");
+  if (options_.mmpp_high_mult > 1.0) {
+    REQSCHED_REQUIRE(options_.mmpp_p_enter > 0.0 &&
+                     options_.mmpp_p_enter <= 1.0 &&
+                     options_.mmpp_p_exit > 0.0 && options_.mmpp_p_exit <= 1.0);
+  }
+  REQSCHED_REQUIRE(options_.flash_probability >= 0.0 &&
+                   options_.flash_probability <= 1.0);
+  if (options_.flash_probability > 0.0) {
+    REQSCHED_REQUIRE(options_.flash_mult >= 1.0 &&
+                     options_.flash_duration >= 1);
+  }
+  REQSCHED_REQUIRE(options_.zipf_exponent >= 0.0);
+
+  // Normalize every modulation so the long-run mean rate is rho * n * b:
+  // E[mmpp] from the chain's stationary split, E[diurnal] = 1 exactly (the
+  // sine averages out), E[flash] from the renewal fraction.
+  double norm = 1.0;
+  if (options_.mmpp_high_mult > 1.0) {
+    const double f_high = options_.mmpp_p_enter /
+                          (options_.mmpp_p_enter + options_.mmpp_p_exit);
+    norm *= 1.0 + f_high * (options_.mmpp_high_mult - 1.0);
+  }
+  norm *= 1.0 + flash_fraction(options_.flash_probability,
+                               options_.flash_duration) *
+                    (options_.flash_mult - 1.0);
+  norm_ = norm;
+  base_rate_ = options_.rho * static_cast<double>(options_.n) *
+               static_cast<double>(options_.b) / norm_;
+}
+
+std::string OpenLoopWorkload::name() const {
+  std::ostringstream os;
+  os << family_ << "(n=" << options_.n << ",d=" << options_.d
+     << ",rho=" << options_.rho << ",seed=" << options_.seed;
+  if (options_.k != 2) os << ",k=" << options_.k;
+  if (options_.b != 1) os << ",b=" << options_.b;
+  if (options_.max_occupancy != 1) os << ",occ<=" << options_.max_occupancy;
+  if (options_.mmpp_high_mult > 1.0) {
+    os << ",mmpp=" << options_.mmpp_high_mult << "@" << options_.mmpp_p_enter
+       << "/" << options_.mmpp_p_exit;
+  }
+  if (options_.diurnal_amplitude > 0.0) {
+    os << ",diurnal=" << options_.diurnal_amplitude << "@"
+       << options_.diurnal_period;
+  }
+  if (options_.flash_probability > 0.0) {
+    os << ",flash=" << options_.flash_mult << "@" << options_.flash_probability
+       << "x" << options_.flash_duration;
+  }
+  if (options_.zipf_exponent > 0.0) {
+    os << ",zipf=" << options_.zipf_exponent;
+    if (options_.zipf_drift_every > 0) {
+      os << "~" << options_.zipf_drift_every;
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+ProblemConfig OpenLoopWorkload::config() const {
+  return options_.problem_config();
+}
+
+double OpenLoopWorkload::modulation(Round t) const {
+  double m = 1.0;
+  if (options_.mmpp_high_mult > 1.0 && mmpp_high_) {
+    m *= options_.mmpp_high_mult;
+  }
+  if (options_.diurnal_amplitude > 0.0) {
+    m *= 1.0 + options_.diurnal_amplitude *
+                   std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                            static_cast<double>(options_.diurnal_period));
+  }
+  if (flash_remaining_ > 0) m *= options_.flash_mult;
+  return m;
+}
+
+void OpenLoopWorkload::generate(Round t, const Simulator& sim,
+                                std::vector<RequestSpec>& out) {
+  (void)sim;
+  if (t >= options_.horizon) return;
+  // Draw order is pinned (see class comment): MMPP transition, flash
+  // ignition, Poisson count, then per-arrival draws.
+  if (options_.mmpp_high_mult > 1.0) {
+    if (mmpp_high_) {
+      if (rng_.next_bool(options_.mmpp_p_exit)) mmpp_high_ = false;
+    } else {
+      if (rng_.next_bool(options_.mmpp_p_enter)) mmpp_high_ = true;
+    }
+  }
+  if (options_.flash_probability > 0.0 && flash_remaining_ == 0 &&
+      rng_.next_bool(options_.flash_probability)) {
+    flash_remaining_ = options_.flash_duration;
+    flash_base_ = static_cast<std::int32_t>(
+        rng_.next_below(static_cast<std::uint64_t>(options_.n)));
+  }
+  const bool burning = flash_remaining_ > 0;
+
+  const std::int64_t count =
+      sampling::poisson(rng_, base_rate_ * modulation(t));
+  const std::int32_t k = options_.k;
+  const std::int32_t hot = std::clamp(options_.flash_hot_set, k, options_.n);
+  const std::int32_t drift =
+      options_.zipf_drift_every > 0
+          ? static_cast<std::int32_t>((t / options_.zipf_drift_every) %
+                                      options_.n)
+          : 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    RequestSpec spec;
+    if (burning) {
+      // Flash arrivals pile onto a contiguous hot set of `hot` resources.
+      while (spec.alts.size() < k) {
+        const auto r = static_cast<ResourceId>(
+            (static_cast<std::uint64_t>(flash_base_) +
+             rng_.next_below(static_cast<std::uint64_t>(hot))) %
+            static_cast<std::uint64_t>(options_.n));
+        if (!spec.alts.contains(r)) spec.alts.push_back(r);
+      }
+    } else if (options_.zipf_exponent > 0.0) {
+      while (spec.alts.size() < k) {
+        const auto r = static_cast<ResourceId>(
+            (sampler_.sample(rng_) + static_cast<std::size_t>(drift)) %
+            static_cast<std::size_t>(options_.n));
+        if (!spec.alts.contains(r)) spec.alts.push_back(r);
+      }
+    } else if (k == 2) {
+      sampling::draw_distinct_pair(rng_, options_.n, spec.alts);
+    } else {
+      sampling::draw_uniform_alts(rng_, options_.n, k, spec.alts);
+    }
+    sampling::roll_window_and_occupancy(rng_, options_.min_window, options_.d,
+                                        options_.max_occupancy, spec);
+    out.push_back(spec);
+  }
+  if (burning) --flash_remaining_;
+}
+
+bool OpenLoopWorkload::exhausted(Round t) const {
+  return t >= options_.horizon;
+}
+
+void OpenLoopWorkload::reset() {
+  rng_.reseed(options_.seed);
+  mmpp_high_ = false;
+  flash_remaining_ = 0;
+  flash_base_ = 0;
+}
+
+void OpenLoopWorkload::export_state(std::vector<std::uint64_t>& out) const {
+  append_prng_words(rng_, out);
+  out.push_back(mmpp_high_ ? 1 : 0);
+  out.push_back(static_cast<std::uint64_t>(flash_remaining_));
+  out.push_back(static_cast<std::uint64_t>(flash_base_));
+}
+
+void OpenLoopWorkload::import_state(std::span<const std::uint64_t> state) {
+  REQSCHED_CHECK_MSG(state.size() == 7,
+                     "open-loop workload state must be 7 words, got "
+                         << state.size());
+  restore_prng_words(rng_, state.first(4));
+  REQSCHED_CHECK_MSG(state[4] <= 1, "corrupt mmpp state flag");
+  mmpp_high_ = state[4] == 1;
+  const auto remaining = static_cast<Round>(state[5]);
+  REQSCHED_CHECK_MSG(remaining >= 0 && remaining <= options_.flash_duration,
+                     "flash countdown out of range");
+  flash_remaining_ = remaining;
+  const auto base = static_cast<std::int32_t>(state[6]);
+  REQSCHED_CHECK_MSG(base >= 0 && base < options_.n,
+                     "flash hot-set base out of range");
+  flash_base_ = base;
+}
+
+}  // namespace reqsched

@@ -1,0 +1,135 @@
+// Open-loop stationary arrival processes with load factor rho as the knob.
+//
+// The finite-trace generators (adversary/random.hpp) answer "what does the
+// strategy do on this sequence"; the stationary question — "what loss rate
+// does the system settle into under sustained load" — needs an *open-loop*
+// process that keeps injecting at a controlled long-run rate for as many
+// rounds as the run asks for. "Balanced routing of random calls"
+// (Luczak–McDiarmid, PAPERS.md) analyzes exactly this regime: arrivals are
+// Poisson, each accepted call holds a server for a while, and the object of
+// study is the stationary loss rate as a function of the load factor.
+//
+// One composable generator covers the suite: a Poisson base rate of
+// rho * n * b expected arrivals per round, optionally modulated by an MMPP
+// on/off rate process, a diurnal sine, and flash crowds, with alternatives
+// drawn uniformly or from a Zipf hot-spot distribution whose hot set drifts
+// over time. Every modulation is normalized in the constructor so the
+// *long-run mean* stays rho * n * b — rho keeps its meaning (fraction of
+// total service capacity demanded per round) no matter which knobs are on.
+//
+// The process is resumable through the PR 8 snapshot hooks: its mutable
+// state is the PRNG plus three small modulation words, so a 10^8-request
+// stationary run checkpoints and restores bit-identically.
+#pragma once
+
+#include <string>
+
+#include "core/workload.hpp"
+#include "util/prng.hpp"
+
+namespace reqsched {
+
+struct OpenLoopOptions {
+  std::int32_t n = 64;
+  std::int32_t d = 8;
+  /// Load factor: long-run expected arrivals per round as a fraction of the
+  /// per-round service capacity n * b. rho < 1 is sub-critical, rho = 1
+  /// critical, rho > 1 overloaded (loss rate bounded away from zero).
+  double rho = 0.9;
+  /// Rounds with injections. There is no "infinite" sentinel — pass the
+  /// length of the run (the soak uses ~3e6 rounds for its 10^8 requests);
+  /// exhausted(t) is t >= horizon, as for every other workload.
+  Round horizon = 1'000'000;
+  std::uint64_t seed = 1;
+  /// Generalized-model knobs, as in RandomWorkloadOptions.
+  std::int32_t k = 2;
+  std::int32_t b = 1;
+  std::int32_t min_window = 0;
+  std::int32_t max_occupancy = 1;
+
+  // --- MMPP (Markov-modulated Poisson process) burst regime ---
+  /// Rate multiplier while the hidden state is "high"; 1.0 disables the
+  /// modulation entirely (no per-round transition draw).
+  double mmpp_high_mult = 1.0;
+  double mmpp_p_enter = 0.05;  ///< P(low -> high) per round
+  double mmpp_p_exit = 0.2;    ///< P(high -> low) per round
+
+  // --- diurnal cycle ---
+  /// Amplitude of 1 + a * sin(2*pi*t / period); 0 disables. Must stay in
+  /// [0, 1] so the instantaneous rate is never negative.
+  double diurnal_amplitude = 0.0;
+  Round diurnal_period = 1 << 16;
+
+  // --- flash crowds ---
+  /// Per-round probability of a flash crowd igniting (when none is
+  /// burning); 0 disables.
+  double flash_probability = 0.0;
+  double flash_mult = 8.0;     ///< rate multiplier while burning
+  Round flash_duration = 32;   ///< rounds a flash burns
+  /// During a flash, arrivals draw their alternatives from a contiguous hot
+  /// set of this many resources (clamped to [k, n]).
+  std::int32_t flash_hot_set = 4;
+
+  // --- drifting Zipf hot spots ---
+  /// Popularity skew for alternative choice; 0 draws alternatives
+  /// uniformly.
+  double zipf_exponent = 0.0;
+  /// The Zipf ranking rotates one resource every this many rounds, so the
+  /// hot spot drifts across the fleet; 0 pins it. The rotation is a pure
+  /// function of the round number — no extra mutable state.
+  Round zipf_drift_every = 0;
+
+  ProblemConfig problem_config() const {
+    ProblemConfig config;
+    config.n = n;
+    config.d = d;
+    config.b = b;
+    return config;
+  }
+};
+
+/// The composable open-loop process. Per round it draws, in pinned order:
+/// (1) the MMPP transition (iff enabled), (2) the flash ignition or decay
+/// bookkeeping (iff enabled; ignition also draws the hot-set base), (3) the
+/// Poisson arrival count at the modulated rate, (4) per arrival: the
+/// alternatives, then window/occupancy knobs. The pinned order is what
+/// makes export_state/import_state resume the stream bit-identically.
+class OpenLoopWorkload final : public IWorkload {
+ public:
+  explicit OpenLoopWorkload(OpenLoopOptions options,
+                            std::string family = "poisson");
+
+  std::string name() const override;
+  ProblemConfig config() const override;
+  void generate(Round t, const Simulator& sim,
+                std::vector<RequestSpec>& out) override;
+  bool exhausted(Round t) const override;
+  void reset() override;
+
+  bool resumable() const override { return true; }
+  void export_state(std::vector<std::uint64_t>& out) const override;
+  void import_state(std::span<const std::uint64_t> state) override;
+
+  const OpenLoopOptions& options() const { return options_; }
+  /// Long-run expected arrivals per round (= rho * n * b; the modulations
+  /// are normalized away). Exposed so tests can pin the calibration.
+  double mean_rate() const { return base_rate_ * norm_; }
+
+ private:
+  double modulation(Round t) const;
+
+  OpenLoopOptions options_;
+  std::string family_;
+  /// rho * n * b / norm_: the Poisson rate is base_rate_ * modulation(t),
+  /// and E[modulation] = norm_, so the long-run mean is rho * n * b.
+  double base_rate_ = 0.0;
+  double norm_ = 1.0;
+  ZipfSampler sampler_;  ///< immutable CDF — rebuilt by construction
+  Prng rng_;
+  // mutable modulation state (exported alongside the PRNG words)
+  bool mmpp_high_ = false;
+  Round flash_remaining_ = 0;
+  std::int32_t flash_base_ = 0;
+};
+
+}  // namespace reqsched

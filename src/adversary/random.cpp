@@ -1,57 +1,25 @@
 #include "adversary/random.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <sstream>
+
+#include "adversary/sampling.hpp"
 
 namespace reqsched {
 
 namespace {
-/// Binomial(trials, p) by CDF inversion: one uniform draw and O(result)
-/// arithmetic via the pmf recurrence, instead of one Bernoulli draw per
-/// trial. Keeping the per-round RNG cost O(arrivals) is what lets
-/// bench_stream's untracked-throughput gate measure the engine rather than
-/// the generator.
-std::int32_t binomial(Prng& rng, std::int32_t trials, double p) {
-  if (trials <= 0 || p <= 0.0) return 0;
-  if (p >= 1.0) return trials;
-  double u = rng.next_double();
-  const double odds = p / (1.0 - p);
-  double pmf = std::pow(1.0 - p, trials);
-  std::int32_t k = 0;
-  while (u > pmf && k < trials) {
-    u -= pmf;
-    pmf *= odds * static_cast<double>(trials - k) / static_cast<double>(k + 1);
-    ++k;
-  }
-  return k;
-}
-
-/// Draws `count` distinct uniform resources into `alts` by rejection
-/// (count <= kMaxAlternatives, so the containment check is a short scan).
-void draw_uniform_alts(Prng& rng, std::int32_t n, std::int32_t count,
-                       AltList& alts) {
-  while (alts.size() < count) {
-    const auto r = static_cast<ResourceId>(
-        rng.next_below(static_cast<std::uint64_t>(n)));
-    if (!alts.contains(r)) alts.push_back(r);
-  }
-}
+// The draw primitives live in adversary/sampling.hpp, shared with the
+// open-loop stationary generators; the aliases keep this file's call sites
+// and draw sequences exactly as they were (seeds replay bit-identically).
+using sampling::binomial;
+using sampling::draw_uniform_alts;
 
 /// Applies the heterogeneous-deadline and occupancy options to a freshly
 /// drawn spec (draw order: window, then occupancy — pinned so seeds replay).
 void roll_window_and_occupancy(Prng& rng, const RandomWorkloadOptions& options,
                                RequestSpec& spec) {
-  if (options.min_window > 0) {
-    spec.window = static_cast<std::int32_t>(
-        rng.next_in(options.min_window, options.d));
-  }
-  if (options.max_occupancy > 1) {
-    const std::int32_t window = spec.window > 0 ? spec.window : options.d;
-    const auto occupancy = static_cast<std::int32_t>(
-        rng.next_in(1, options.max_occupancy));
-    spec.occupancy = std::min(occupancy, window);
-  }
+  sampling::roll_window_and_occupancy(rng, options.min_window, options.d,
+                                      options.max_occupancy, spec);
 }
 
 void validate_options(const RandomWorkloadOptions& options) {

@@ -1,0 +1,119 @@
+// Shared sampling primitives for workload generation.
+//
+// Every generator pays its RNG cost inside the engine's round loop, so these
+// helpers are built around one rule: O(arrivals) work per round, never
+// O(trials) or O(n). That is what keeps bench_stream's untracked-throughput
+// gate measuring the engine instead of the generator (ROADMAP item 1). The
+// finite-trace generators (adversary/random.cpp) and the open-loop
+// stationary processes (adversary/openloop.cpp) draw from the same set so
+// their streams stay comparable draw-for-draw.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/request.hpp"
+#include "util/prng.hpp"
+
+namespace reqsched::sampling {
+
+/// Binomial(trials, p) by CDF inversion: one uniform draw and O(result)
+/// arithmetic via the pmf recurrence, instead of one Bernoulli draw per
+/// trial.
+inline std::int32_t binomial(Prng& rng, std::int32_t trials, double p) {
+  if (trials <= 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return trials;
+  double u = rng.next_double();
+  const double odds = p / (1.0 - p);
+  double pmf = std::pow(1.0 - p, trials);
+  std::int32_t k = 0;
+  while (u > pmf && k < trials) {
+    u -= pmf;
+    pmf *= odds * static_cast<double>(trials - k) / static_cast<double>(k + 1);
+    ++k;
+  }
+  return k;
+}
+
+/// Poisson(lambda) by the same CDF-inversion recurrence. exp(-lambda)
+/// underflows for large rates, so rates above `kPoissonChunk` are split by
+/// additivity — Poisson(a+b) = Poisson(a) + Poisson(b) — into chunks whose
+/// pmf stays well inside double range. Cost: O(lambda) arithmetic and
+/// O(lambda / kPoissonChunk) uniform draws per call.
+inline constexpr double kPoissonChunk = 16.0;
+
+inline std::int64_t poisson(Prng& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  std::int64_t total = 0;
+  while (lambda > kPoissonChunk) {
+    lambda -= kPoissonChunk;
+    double u = rng.next_double();
+    double pmf = std::exp(-kPoissonChunk);
+    std::int64_t k = 0;
+    // Hard stop far out in the tail (P ~ 1e-40 at 8x the chunk mean) so a
+    // pathological u cannot spin.
+    while (u > pmf && k < 128) {
+      u -= pmf;
+      pmf *= kPoissonChunk / static_cast<double>(k + 1);
+      ++k;
+    }
+    total += k;
+  }
+  double u = rng.next_double();
+  double pmf = std::exp(-lambda);
+  std::int64_t k = 0;
+  while (u > pmf && k < 128) {
+    u -= pmf;
+    pmf *= lambda / static_cast<double>(k + 1);
+    ++k;
+  }
+  return total + k;
+}
+
+/// Draws `count` distinct uniform resources into `alts` by rejection
+/// (count <= kMaxAlternatives, so the containment check is a short scan).
+inline void draw_uniform_alts(Prng& rng, std::int32_t n, std::int32_t count,
+                              AltList& alts) {
+  while (alts.size() < count) {
+    const auto r = static_cast<ResourceId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    if (!alts.contains(r)) alts.push_back(r);
+  }
+}
+
+/// Two distinct uniform resources from a single 64-bit draw: the high half
+/// picks the first, the low half picks a nonzero offset. One RNG call where
+/// rejection sampling needs two-plus — the cheap path for the k = 2 paper
+/// model in high-rate open-loop streams. Requires n >= 2; the per-half
+/// modulo bias is <= 2^-32 and irrelevant for workload generation.
+inline void draw_distinct_pair(Prng& rng, std::int32_t n, AltList& alts) {
+  const std::uint64_t word = rng.next();
+  const auto un = static_cast<std::uint64_t>(n);
+  const auto first =
+      static_cast<ResourceId>((word >> 32) % un);
+  const auto offset = static_cast<ResourceId>(
+      1 + (word & 0xffffffffULL) % (un - 1));
+  alts.push_back(first);
+  alts.push_back(static_cast<ResourceId>(
+      (static_cast<std::uint64_t>(first) + static_cast<std::uint64_t>(offset)) %
+      un));
+}
+
+/// Applies heterogeneous-deadline and occupancy knobs to a freshly drawn
+/// spec (draw order: window, then occupancy — pinned so seeds replay).
+inline void roll_window_and_occupancy(Prng& rng, std::int32_t min_window,
+                                      std::int32_t d,
+                                      std::int32_t max_occupancy,
+                                      RequestSpec& spec) {
+  if (min_window > 0) {
+    spec.window = static_cast<std::int32_t>(rng.next_in(min_window, d));
+  }
+  if (max_occupancy > 1) {
+    const std::int32_t window = spec.window > 0 ? spec.window : d;
+    const auto occupancy =
+        static_cast<std::int32_t>(rng.next_in(1, max_occupancy));
+    spec.occupancy = std::min(occupancy, window);
+  }
+}
+
+}  // namespace reqsched::sampling

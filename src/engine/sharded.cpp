@@ -77,6 +77,12 @@ ShardedResult run_sharded(const ShardedRunOptions& options,
         engine_options.snapshot_sink = [&](const StatsSnapshot& snapshot) {
           emit_line(to_jsonl(snapshot));  // render outside any lock
         };
+        if (engine_options.track_stream_stats &&
+            engine_options.frame_every > 0) {
+          engine_options.frame_sink = [&](const StatsFrame& frame) {
+            emit_line(to_jsonl(frame));
+          };
+        }
       }
       if (options.checkpoint_sink) {
         engine_options.checkpoint_sink =
@@ -91,6 +97,9 @@ ShardedResult run_sharded(const ShardedRunOptions& options,
       Simulator sim(*workload, *strategy, engine_options);
       out.metrics = sim.run(options.max_rounds);
       out.last_snapshot = sim.engine().snapshot();
+      if (engine_options.track_stream_stats) {
+        out.stream_stats = sim.engine().stream_stats();
+      }
       if (jsonl_active) emit_line(to_jsonl(out.last_snapshot));
     } catch (const std::exception& e) {
       out.error = e.what();
@@ -114,6 +123,24 @@ ShardedResult run_sharded(const ShardedRunOptions& options,
     result.total.messages += shard.metrics.messages;
     result.peak_pending =
         std::max(result.peak_pending, shard.last_snapshot.peak_pending);
+    // Cross-shard statistics merge, sequentially in shard order (the merge
+    // is order-sensitive only past the sketches' exact regime, and a fixed
+    // order keeps even that deterministic run-to-run).
+    if (shard.stream_stats.active()) {
+      if (!result.merged_stats.active()) {
+        result.merged_stats = shard.stream_stats;
+      } else {
+        result.merged_stats.merge(shard.stream_stats);
+      }
+    }
+  }
+  if (result.merged_stats.active()) {
+    result.merged_stats.set_shard(-1);
+    if (jsonl_active) {
+      const std::int64_t pending =
+          result.total.injected - result.total.fulfilled - result.total.expired;
+      emit_line(to_jsonl(result.merged_stats.frame(pending)));
+    }
   }
   return result;
 }

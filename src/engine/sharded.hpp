@@ -74,6 +74,10 @@ struct ShardResult {
   std::int64_t shard = 0;
   Metrics metrics{};
   StatsSnapshot last_snapshot{};
+  /// Copy of the shard's streaming-statistics accumulator at the end of the
+  /// run (engine.track_stream_stats only; inactive otherwise). Carried as a
+  /// value so the cross-shard merge happens after the engines are gone.
+  StreamStats stream_stats{};
   /// Non-empty when the shard's run threw (the exception message); its
   /// metrics/snapshot are whatever had accumulated and must not be trusted.
   std::string error;
@@ -88,6 +92,12 @@ struct ShardedResult {
   std::int64_t failed = 0;
   /// Max over successful shards of the per-shard peak pending count.
   std::int64_t peak_pending = 0;
+  /// Cross-shard merge of the per-shard accumulators (bucket-by-age counter
+  /// sums + sketch merges), labeled shard -1; inactive unless
+  /// engine.track_stream_stats was on and at least one shard succeeded. When
+  /// a JSONL sink is active its final frame is also appended as a shard -1
+  /// record.
+  StreamStats merged_stats{};
 
   bool all_ok() const { return failed == 0; }
 };

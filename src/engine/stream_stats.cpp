@@ -1,0 +1,373 @@
+#include "engine/stream_stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace reqsched {
+
+// ---------------------------------------------------------------------------
+// QuantileSketch
+
+QuantileSketch::QuantileSketch(std::int32_t capacity) : capacity_(capacity) {
+  REQSCHED_CHECK_MSG(capacity_ >= 8,
+                     "sketch capacity must be >= 8, got " << capacity_);
+}
+
+std::size_t QuantileSketch::level_cap(std::size_t level) const {
+  // Geometric decay keeps total memory O(capacity); the floor keeps deep
+  // levels from thrashing (a 2-item level would compact on every other add).
+  const std::size_t decayed =
+      static_cast<std::size_t>(capacity_) >> std::min<std::size_t>(level, 20);
+  return std::max<std::size_t>(decayed, 32);
+}
+
+void QuantileSketch::add(double value) {
+  REQSCHED_CHECK_MSG(std::isfinite(value), "sketch values must be finite");
+  if (levels_.empty()) {
+    levels_.emplace_back();
+    parities_.push_back(0);
+  }
+  levels_[0].push_back(value);
+  ++count_;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].size() > level_cap(i)) compact_level(i);
+  }
+}
+
+void QuantileSketch::compact_level(std::size_t level) {
+  if (level + 1 == levels_.size()) {
+    levels_.emplace_back();
+    parities_.push_back(0);
+  }
+  std::vector<double>& buf = levels_[level];
+  std::sort(buf.begin(), buf.end());
+  // Keep every other element (each survivor doubles in weight at the next
+  // level). The starting parity alternates per compaction so neither the
+  // even nor the odd ranks are systematically favored — the classic
+  // deterministic-KLL trick that bounds rank drift without randomness.
+  const std::size_t start = parities_[level];
+  parities_[level] ^= 1;
+  for (std::size_t j = start; j < buf.size(); j += 2) {
+    levels_[level + 1].push_back(buf[j]);
+  }
+  levels_[level].clear();
+  exact_ = false;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  REQSCHED_CHECK_MSG(capacity_ == other.capacity_,
+                     "merging sketches with different capacities ("
+                         << capacity_ << " vs " << other.capacity_ << ")");
+  while (levels_.size() < other.levels_.size()) {
+    levels_.emplace_back();
+    parities_.push_back(0);
+  }
+  for (std::size_t i = 0; i < other.levels_.size(); ++i) {
+    levels_[i].insert(levels_[i].end(), other.levels_[i].begin(),
+                      other.levels_[i].end());
+  }
+  count_ += other.count_;
+  exact_ = exact_ && other.exact_;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].size() > level_cap(i)) compact_level(i);
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Materialize the weighted multiset (frame-cadence cost, not per-event).
+  std::vector<std::pair<double, std::int64_t>> items;
+  std::int64_t total_weight = 0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const std::int64_t weight = std::int64_t{1} << i;
+    for (double v : levels_[i]) {
+      items.emplace_back(v, weight);
+      total_weight += weight;
+    }
+  }
+  if (items.empty()) return 0.0;
+  std::sort(items.begin(), items.end());
+  const std::int64_t target = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(q * static_cast<double>(total_weight))));
+  std::int64_t seen = 0;
+  for (const auto& [value, weight] : items) {
+    seen += weight;
+    if (seen >= target) return value;
+  }
+  return items.back().first;
+}
+
+void QuantileSketch::reset() {
+  count_ = 0;
+  exact_ = true;
+  levels_.clear();
+  parities_.clear();
+}
+
+std::size_t QuantileSketch::approx_bytes() const {
+  std::size_t bytes = sizeof(*this) + parities_.capacity();
+  for (const std::vector<double>& level : levels_) {
+    bytes += level.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
+void QuantileSketch::export_state(std::vector<std::uint64_t>& out) const {
+  out.push_back(static_cast<std::uint64_t>(capacity_));
+  out.push_back(static_cast<std::uint64_t>(count_));
+  out.push_back(exact_ ? 1 : 0);
+  out.push_back(levels_.size());
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    out.push_back(parities_[i]);
+    out.push_back(levels_[i].size());
+    for (double v : levels_[i]) {
+      out.push_back(std::bit_cast<std::uint64_t>(v));
+    }
+  }
+}
+
+void QuantileSketch::import_state(std::span<const std::uint64_t> words,
+                                  std::size_t& cursor) {
+  auto next = [&]() -> std::uint64_t {
+    REQSCHED_CHECK_MSG(cursor < words.size(),
+                       "truncated sketch state at word " << cursor);
+    return words[cursor++];
+  };
+  const auto capacity = static_cast<std::int32_t>(next());
+  REQSCHED_CHECK_MSG(capacity == capacity_,
+                     "sketch state capacity mismatch: expected "
+                         << capacity_ << ", got " << capacity);
+  reset();
+  count_ = static_cast<std::int64_t>(next());
+  REQSCHED_CHECK_MSG(count_ >= 0, "negative sketch count");
+  const std::uint64_t exact_word = next();
+  REQSCHED_CHECK_MSG(exact_word <= 1, "corrupt sketch exact flag");
+  exact_ = exact_word == 1;
+  const std::uint64_t nlevels = next();
+  REQSCHED_CHECK_MSG(nlevels <= 64, "implausible sketch level count");
+  for (std::uint64_t i = 0; i < nlevels; ++i) {
+    const std::uint64_t parity = next();
+    REQSCHED_CHECK_MSG(parity <= 1, "corrupt sketch parity");
+    const std::uint64_t size = next();
+    REQSCHED_CHECK_MSG(size <= level_cap(i) + 1,
+                       "sketch level " << i << " overflows its capacity");
+    levels_.emplace_back();
+    parities_.push_back(static_cast<std::uint8_t>(parity));
+    levels_.back().reserve(size);
+    for (std::uint64_t j = 0; j < size; ++j) {
+      const double v = std::bit_cast<double>(next());
+      REQSCHED_CHECK_MSG(std::isfinite(v), "non-finite sketch value");
+      levels_.back().push_back(v);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StatsFrame
+
+std::string to_jsonl(const StatsFrame& f) {
+  std::ostringstream os;
+  os << "{\"frame\":1,\"shard\":" << f.shard << ",\"round\":" << f.round
+     << ",\"window\":" << f.window << ",\"window_rounds\":" << f.window_rounds
+     << ",\"injected\":" << f.injected << ",\"fulfilled\":" << f.fulfilled
+     << ",\"expired\":" << f.expired << ",\"pending\":" << f.pending
+     << ",\"fulfilled_fraction\":" << f.fulfilled_fraction
+     << ",\"loss_rate\":" << f.loss_rate << ",\"w_injected\":" << f.w_injected
+     << ",\"w_fulfilled\":" << f.w_fulfilled << ",\"w_expired\":" << f.w_expired
+     << ",\"w_fulfilled_fraction\":" << f.w_fulfilled_fraction
+     << ",\"w_loss_rate\":" << f.w_loss_rate
+     << ",\"tardiness_p50\":" << f.tardiness_p50
+     << ",\"tardiness_p90\":" << f.tardiness_p90
+     << ",\"tardiness_p99\":" << f.tardiness_p99
+     << ",\"cum_tardiness_p50\":" << f.cum_tardiness_p50
+     << ",\"cum_tardiness_p99\":" << f.cum_tardiness_p99 << '}';
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// StreamStats
+
+namespace {
+
+double safe_fraction(std::int64_t numer, std::int64_t denom) {
+  return denom == 0 ? 0.0
+                    : static_cast<double>(numer) / static_cast<double>(denom);
+}
+
+}  // namespace
+
+void StreamStats::reset(const StreamStatsOptions& options, std::int64_t shard) {
+  REQSCHED_CHECK_MSG(options.window >= 1,
+                     "stats window must be >= 1, got " << options.window);
+  REQSCHED_CHECK_MSG(options.buckets >= 1 && options.buckets <= 4096,
+                     "stats buckets must be in [1, 4096], got "
+                         << options.buckets);
+  options_ = options;
+  shard_ = shard;
+  active_ = true;
+  round_ = 0;
+  injected_ = fulfilled_ = expired_ = 0;
+  ring_.assign(static_cast<std::size_t>(options_.buckets), Bucket{});
+  cur_ = 0;
+  cum_sketch_ = QuantileSketch(options_.sketch_capacity);
+  pane_cur_ = QuantileSketch(options_.sketch_capacity);
+  pane_prev_ = QuantileSketch(options_.sketch_capacity);
+}
+
+void StreamStats::on_inject(std::int64_t count) {
+  injected_ += count;
+  ring_[cur_].injected += count;
+}
+
+void StreamStats::on_fulfill(Round tardiness) {
+  REQSCHED_CHECK_MSG(tardiness >= 0, "negative tardiness " << tardiness);
+  ++fulfilled_;
+  ++ring_[cur_].fulfilled;
+  const auto t = static_cast<double>(tardiness);
+  cum_sketch_.add(t);
+  pane_cur_.add(t);
+}
+
+void StreamStats::on_expire() {
+  ++expired_;
+  ++ring_[cur_].expired;
+}
+
+void StreamStats::end_round() {
+  ++round_;
+  if (round_ % bucket_width() == 0) {
+    cur_ = (cur_ + 1) % ring_.size();
+    ring_[cur_] = Bucket{};
+  }
+  if (round_ % options_.window == 0) {
+    // Two-pane rotation: the windowed sketch is prev+cur, covering the last
+    // window..2*window rounds. Swap-then-reset reuses the buffers.
+    std::swap(pane_prev_, pane_cur_);
+    pane_cur_.reset();
+  }
+}
+
+StatsFrame StreamStats::frame(std::int64_t pending) const {
+  StatsFrame f;
+  f.shard = shard_;
+  f.round = round_;
+  f.window = options_.window;
+  const Round partial = round_ % bucket_width();
+  f.window_rounds = std::min<std::int64_t>(
+      round_,
+      static_cast<std::int64_t>(ring_.size() - 1) * bucket_width() + partial);
+  f.injected = injected_;
+  f.fulfilled = fulfilled_;
+  f.expired = expired_;
+  f.pending = pending;
+  f.fulfilled_fraction = safe_fraction(fulfilled_, injected_);
+  f.loss_rate = safe_fraction(expired_, injected_);
+  for (const Bucket& b : ring_) {
+    f.w_injected += b.injected;
+    f.w_fulfilled += b.fulfilled;
+    f.w_expired += b.expired;
+  }
+  f.w_fulfilled_fraction = safe_fraction(f.w_fulfilled, f.w_injected);
+  f.w_loss_rate = safe_fraction(f.w_expired, f.w_injected);
+  QuantileSketch windowed = pane_prev_;
+  windowed.merge(pane_cur_);
+  f.tardiness_p50 = windowed.quantile(0.50);
+  f.tardiness_p90 = windowed.quantile(0.90);
+  f.tardiness_p99 = windowed.quantile(0.99);
+  f.cum_tardiness_p50 = cum_sketch_.quantile(0.50);
+  f.cum_tardiness_p99 = cum_sketch_.quantile(0.99);
+  return f;
+}
+
+void StreamStats::merge(const StreamStats& other) {
+  REQSCHED_CHECK_MSG(active_ && other.active_,
+                     "merging inactive stream stats");
+  REQSCHED_CHECK_MSG(options_ == other.options_,
+                     "merging stream stats with different options");
+  injected_ += other.injected_;
+  fulfilled_ += other.fulfilled_;
+  expired_ += other.expired_;
+  round_ = std::max(round_, other.round_);
+  // Align buckets by age: j rotations back on each side map to the same
+  // window offset (shards rotate on their own round counters, which advance
+  // in lockstep under ShardedRunner).
+  const std::size_t n = ring_.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    const Bucket& src = other.ring_[(other.cur_ + n - j) % n];
+    Bucket& dst = ring_[(cur_ + n - j) % n];
+    dst.injected += src.injected;
+    dst.fulfilled += src.fulfilled;
+    dst.expired += src.expired;
+  }
+  cum_sketch_.merge(other.cum_sketch_);
+  pane_cur_.merge(other.pane_cur_);
+  pane_prev_.merge(other.pane_prev_);
+}
+
+std::size_t StreamStats::approx_bytes() const {
+  return sizeof(*this) + ring_.capacity() * sizeof(Bucket) +
+         cum_sketch_.approx_bytes() + pane_cur_.approx_bytes() +
+         pane_prev_.approx_bytes();
+}
+
+void StreamStats::export_state(std::vector<std::uint64_t>& out) const {
+  out.push_back(static_cast<std::uint64_t>(shard_));
+  out.push_back(static_cast<std::uint64_t>(round_));
+  out.push_back(static_cast<std::uint64_t>(injected_));
+  out.push_back(static_cast<std::uint64_t>(fulfilled_));
+  out.push_back(static_cast<std::uint64_t>(expired_));
+  out.push_back(cur_);
+  out.push_back(ring_.size());
+  for (const Bucket& b : ring_) {
+    out.push_back(static_cast<std::uint64_t>(b.injected));
+    out.push_back(static_cast<std::uint64_t>(b.fulfilled));
+    out.push_back(static_cast<std::uint64_t>(b.expired));
+  }
+  cum_sketch_.export_state(out);
+  pane_cur_.export_state(out);
+  pane_prev_.export_state(out);
+}
+
+void StreamStats::import_state(std::span<const std::uint64_t> words) {
+  REQSCHED_CHECK_MSG(active_,
+                     "import_state requires reset() with options first");
+  std::size_t cursor = 0;
+  auto next = [&]() -> std::uint64_t {
+    REQSCHED_CHECK_MSG(cursor < words.size(),
+                       "truncated stream-stats state at word " << cursor);
+    return words[cursor++];
+  };
+  shard_ = static_cast<std::int64_t>(next());
+  round_ = static_cast<Round>(next());
+  injected_ = static_cast<std::int64_t>(next());
+  fulfilled_ = static_cast<std::int64_t>(next());
+  expired_ = static_cast<std::int64_t>(next());
+  REQSCHED_CHECK_MSG(round_ >= 0 && injected_ >= 0 && fulfilled_ >= 0 &&
+                         expired_ >= 0,
+                     "negative stream-stats counter");
+  cur_ = next();
+  const std::uint64_t nbuckets = next();
+  REQSCHED_CHECK_MSG(nbuckets == ring_.size(),
+                     "stream-stats bucket count mismatch: expected "
+                         << ring_.size() << ", got " << nbuckets);
+  REQSCHED_CHECK_MSG(cur_ < ring_.size(), "stream-stats cursor out of range");
+  for (Bucket& b : ring_) {
+    b.injected = static_cast<std::int64_t>(next());
+    b.fulfilled = static_cast<std::int64_t>(next());
+    b.expired = static_cast<std::int64_t>(next());
+    REQSCHED_CHECK_MSG(b.injected >= 0 && b.fulfilled >= 0 && b.expired >= 0,
+                       "negative stream-stats bucket counter");
+  }
+  cum_sketch_.import_state(words, cursor);
+  pane_cur_.import_state(words, cursor);
+  pane_prev_.import_state(words, cursor);
+  REQSCHED_CHECK_MSG(cursor == words.size(),
+                     "trailing stream-stats state words");
+}
+
+}  // namespace reqsched

@@ -1,0 +1,223 @@
+// Streaming statistics: O(1)-memory windowed counters and mergeable
+// percentile sketches for unbounded runs.
+//
+// Whole-trace `Metrics` answers "what happened over the run" — exactly the
+// wrong shape for a 10^8-request stationary stream, where the questions are
+// "what is the loss rate *now*" and "what tardiness does the p99 request see
+// *lately*". StreamStats answers those with state that never grows with the
+// stream:
+//
+//   * windowed counters — injected / fulfilled / expired over a sliding
+//     window of W rounds, kept as a ring of B buckets (granularity W/B);
+//     update O(1), query O(B).
+//   * tardiness sketches — a deterministic compacting quantile sketch
+//     (KLL-style: per-level buffers, sorted keep-every-other compaction)
+//     over the tardiness of fulfilled requests (rounds waited between
+//     arrival and execution, in [0, d)). Exact until the first compaction
+//     (count <= capacity), bounded rank error after, and mergeable — the
+//     cross-shard aggregate is a sketch merge, not a resample. Windowed
+//     quantiles rotate two panes of length W, so the windowed sketch covers
+//     the last W..2W rounds.
+//
+// Every mutable word of state exports/imports through the PR 8 snapshot
+// hooks, so a checkpointed stream resumes with bit-identical frames. A
+// `StatsFrame` — the periodic emission to the JSONL sink — is therefore
+// deliberately free of wall-clock fields: two runs that execute the same
+// rounds emit byte-identical frames, which is what the checkpoint gates
+// compare. Rates-per-second stay in StatsSnapshot (engine/stats.hpp), the
+// exact-on-finite-trace facade this layer streams alongside.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/assert.hpp"
+
+namespace reqsched {
+
+struct StreamStatsOptions {
+  /// Sliding-window length in rounds.
+  Round window = 4096;
+  /// Ring granularity: the window is kept as this many buckets, so windowed
+  /// counters are exact to within window/buckets rounds.
+  std::int32_t buckets = 16;
+  /// Level-0 capacity of the quantile sketches. The sketch is *exact* while
+  /// its item count stays at or below this (no compaction has happened) —
+  /// which is what lets the differential suite pin streaming quantiles
+  /// against whole-trace quantiles on finite traces.
+  std::int32_t sketch_capacity = 4096;
+
+  friend bool operator==(const StreamStatsOptions&,
+                         const StreamStatsOptions&) = default;
+};
+
+/// Deterministic mergeable quantile sketch (KLL-style compactor).
+///
+/// Values are held in per-level buffers; an item at level i has weight 2^i.
+/// When a level overflows its capacity the buffer is sorted and every other
+/// element survives to the next level (the starting parity alternates per
+/// level, so the kept/compacted halves balance deterministically — no RNG,
+/// which keeps checkpoint bit-identity and replay trivial). Quantiles are
+/// answered by nearest-rank over the weighted multiset: the smallest value
+/// whose cumulative weight reaches ceil(q * N).
+///
+/// Guarantees:
+///  * exact while count() <= capacity (exact() stays true);
+///  * merge() is exactly associative in the exact regime (merging is pure
+///    concatenation until a compaction triggers) and bounded-error beyond it
+///    (the differential suite fuzzes the bound across shard groupings);
+///  * memory is O(capacity): level i holds at most max(capacity >> i, 32)
+///    items, a geometric series.
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(std::int32_t capacity = 4096);
+
+  void add(double value);
+  void merge(const QuantileSketch& other);
+
+  /// Nearest-rank quantile; `q` clamped to [0, 1]. 0.0 when empty.
+  double quantile(double q) const;
+
+  std::int64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// True while no compaction has happened: the sketch still holds every
+  /// added value and quantile() is exact.
+  bool exact() const { return exact_; }
+  std::int32_t capacity() const { return capacity_; }
+
+  void reset();
+  std::size_t approx_bytes() const;
+
+  /// Raw-word state hooks (the snapshot layer owns framing/bytes).
+  void export_state(std::vector<std::uint64_t>& out) const;
+  void import_state(std::span<const std::uint64_t> words, std::size_t& cursor);
+
+  friend bool operator==(const QuantileSketch&, const QuantileSketch&) =
+      default;
+
+ private:
+  std::size_t level_cap(std::size_t level) const;
+  void compact_level(std::size_t level);
+
+  std::int32_t capacity_ = 4096;
+  std::int64_t count_ = 0;
+  bool exact_ = true;
+  /// levels_[i] holds weight-2^i items; parities_[i] alternates which half
+  /// of the sorted buffer survives compaction.
+  std::vector<std::vector<double>> levels_;
+  std::vector<std::uint8_t> parities_;
+};
+
+/// One periodic observation of the streaming statistics. Cumulative fields
+/// cover the stream since its start; `w_`-prefixed fields cover the sliding
+/// window. All fields are deterministic functions of the event sequence —
+/// no wall-clock — so checkpointed and uninterrupted runs emit identical
+/// frames (compared byte-for-byte by the checkpoint gates).
+struct StatsFrame {
+  std::int64_t shard = 0;
+  std::int64_t round = 0;          ///< rounds completed when emitted
+  std::int64_t window = 0;         ///< configured window length (rounds)
+  std::int64_t window_rounds = 0;  ///< rounds the windowed counters cover
+  // cumulative
+  std::int64_t injected = 0;
+  std::int64_t fulfilled = 0;
+  std::int64_t expired = 0;
+  std::int64_t pending = 0;
+  double fulfilled_fraction = 0.0;  ///< fulfilled / injected (0 if none)
+  double loss_rate = 0.0;           ///< expired / injected (0 if none)
+  // sliding window
+  std::int64_t w_injected = 0;
+  std::int64_t w_fulfilled = 0;
+  std::int64_t w_expired = 0;
+  double w_fulfilled_fraction = 0.0;
+  double w_loss_rate = 0.0;         ///< the stationary loss-rate estimator
+  // tardiness of fulfilled requests (rounds between arrival and execution);
+  // windowed quantiles cover the last window..2*window rounds, 0.0 when no
+  // request was fulfilled in that span.
+  double tardiness_p50 = 0.0;
+  double tardiness_p90 = 0.0;
+  double tardiness_p99 = 0.0;
+  double cum_tardiness_p50 = 0.0;
+  double cum_tardiness_p99 = 0.0;
+
+  friend bool operator==(const StatsFrame&, const StatsFrame&) = default;
+};
+
+/// One JSONL record per frame, tagged `"frame":1` so readers can tell frames
+/// from StatsSnapshot records and manifest headers in the same file.
+std::string to_jsonl(const StatsFrame& frame);
+
+/// The streaming statistics accumulator the engine feeds once per event and
+/// rotates once per round. Memory is O(buckets + sketch_capacity),
+/// independent of the stream length (the `stream-accumulation` lint rule
+/// keeps it that way).
+class StreamStats {
+ public:
+  StreamStats() = default;
+
+  void reset(const StreamStatsOptions& options, std::int64_t shard);
+  bool active() const { return active_; }
+  const StreamStatsOptions& options() const { return options_; }
+
+  // ---- event feed (engine round loop) ----
+  void on_inject(std::int64_t count);
+  void on_fulfill(Round tardiness);
+  void on_expire();
+  /// Round boundary: advances the bucket ring and rotates the sketch panes.
+  void end_round();
+
+  // ---- queries ----
+  std::int64_t rounds() const { return round_; }
+  std::int64_t shard() const { return shard_; }
+  /// Relabel the accumulator (the cross-shard merge stamps -1).
+  void set_shard(std::int64_t shard) { shard_ = shard; }
+  StatsFrame frame(std::int64_t pending) const;
+
+  /// Cross-shard aggregation: adds `other`'s counters bucket-by-age and
+  /// merges its sketches. Both sides must carry identical options; the
+  /// merged window totals are the sum of the per-shard windows (shards are
+  /// independent streams, so "the fleet's last-W-rounds" is exactly that
+  /// sum when shards advance in lockstep, and a documented approximation
+  /// otherwise).
+  void merge(const StreamStats& other);
+
+  std::size_t approx_bytes() const;
+
+  /// Raw-word state hooks for checkpoint/restore (snapshot layer framing).
+  void export_state(std::vector<std::uint64_t>& out) const;
+  void import_state(std::span<const std::uint64_t> words);
+
+ private:
+  struct Bucket {
+    std::int64_t injected = 0;
+    std::int64_t fulfilled = 0;
+    std::int64_t expired = 0;
+
+    friend bool operator==(const Bucket&, const Bucket&) = default;
+  };
+
+  Round bucket_width() const {
+    return (options_.window + options_.buckets - 1) / options_.buckets;
+  }
+
+  bool active_ = false;
+  StreamStatsOptions options_{};
+  std::int64_t shard_ = 0;
+  Round round_ = 0;  ///< completed rounds
+  // cumulative counters
+  std::int64_t injected_ = 0;
+  std::int64_t fulfilled_ = 0;
+  std::int64_t expired_ = 0;
+  // windowed counters: ring of buckets, cur_ is the active (partial) bucket
+  std::vector<Bucket> ring_;
+  std::size_t cur_ = 0;
+  // tardiness sketches: cumulative + two rotating window panes
+  QuantileSketch cum_sketch_;
+  QuantileSketch pane_cur_;
+  QuantileSketch pane_prev_;
+};
+
+}  // namespace reqsched

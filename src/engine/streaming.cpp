@@ -31,6 +31,11 @@ StreamingEngine::StreamingEngine(IWorkload& workload, IStrategy& strategy,
                       strategy_.wants_admission_fast_path();
   fast_current_round_only_ = strategy_.admission_probe_current_round_only();
   fast_needs_empty_backlog_ = strategy_.admission_needs_empty_backlog();
+  REQSCHED_REQUIRE_MSG(options_.frame_every == 0 || options_.track_stream_stats,
+                       "frame emission requires track_stream_stats");
+  if (options_.track_stream_stats) {
+    stream_stats_.reset(options_.stream_stats, options_.shard);
+  }
   pool_->reset(config_, options_.retain_history);
   if (options_.track_live_opt) opt_->reset(config_);
   if (window_active_) window_->reset(config_);
@@ -75,6 +80,13 @@ bool StreamingEngine::step() {
   ran_any_round_ = true;
 
   // Post-round housekeeping: now() has advanced past the executed row.
+  if (options_.track_stream_stats) {
+    stream_stats_.end_round();
+    if (options_.frame_every > 0 && options_.frame_sink &&
+        metrics_.rounds % options_.frame_every == 0) {
+      options_.frame_sink(stream_stats_.frame(pool_->live_count()));
+    }
+  }
   if (options_.track_live_opt && metrics_.rounds % options_.opt_prune_every == 0) {
     opt_->advance_to(now());
   }
@@ -235,6 +247,9 @@ void StreamingEngine::drain_arrivals() {
     if (options_.track_live_opt) opt_->add_request(pool_->request(id));
     if (window_active_) window_->add_request(pool_->request(id));
   }
+  if (options_.track_stream_stats) {
+    stream_stats_.on_inject(static_cast<std::int64_t>(specs.size()));
+  }
 }
 
 void StreamingEngine::admit_batch() {
@@ -350,6 +365,9 @@ void StreamingEngine::retire_fulfilled(RequestId id, SlotRef slot) {
   if (options_.retire_sink) {
     options_.retire_sink(pool_->request(id), RequestStatus::kFulfilled, slot);
   }
+  if (options_.track_stream_stats) {
+    stream_stats_.on_fulfill(slot.round - pool_->request(id).arrival);
+  }
   pool_->fulfill(id, slot);
   ++metrics_.fulfilled;
 }
@@ -359,6 +377,7 @@ void StreamingEngine::retire_expired(RequestId id) {
     options_.retire_sink(pool_->request(id), RequestStatus::kExpired, kNoSlot);
   }
   if (window_active_) window_->retire(id);
+  if (options_.track_stream_stats) stream_stats_.on_expire();
   pool_->expire(id);
   ++metrics_.expired;
 }
@@ -432,6 +451,7 @@ std::size_t StreamingEngine::approx_resident_bytes() const {
            (sizeof(RequestId) + sizeof(SlotRef) + 2 * sizeof(void*));
   if (options_.track_live_opt) bytes += opt_->approx_bytes();
   if (window_active_) bytes += window_->approx_bytes();
+  if (options_.track_stream_stats) bytes += stream_stats_.approx_bytes();
   if (options_.record_trace) {
     bytes += static_cast<std::size_t>(trace_.size()) * sizeof(Request);
   }

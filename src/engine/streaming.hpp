@@ -36,6 +36,7 @@
 #include "core/workload.hpp"
 #include "engine/request_pool.hpp"
 #include "engine/stats.hpp"
+#include "engine/stream_stats.hpp"
 #include "engine/windowed_opt.hpp"
 #include "matching/delta_window.hpp"
 
@@ -94,6 +95,18 @@ struct EngineOptions {
   std::int64_t shard = 0;
   std::function<void(const StatsSnapshot&)> snapshot_sink;
   RetireSink retire_sink;
+  /// Streaming statistics (engine/stream_stats.hpp): O(1)-memory windowed
+  /// counters and tardiness sketches fed by the round loop. Off by default —
+  /// finite-trace runs keep the exact whole-trace Metrics as their only
+  /// instrument; long-horizon stationary runs turn this on.
+  bool track_stream_stats = false;
+  StreamStatsOptions stream_stats;
+  /// Emit a StatsFrame to `frame_sink` every this many rounds (0 = never;
+  /// needs track_stream_stats). Frames carry no wall-clock fields, so a
+  /// checkpoint/restore run emits byte-identical frames to an uninterrupted
+  /// one.
+  Round frame_every = 0;
+  std::function<void(const StatsFrame&)> frame_sink;
   /// Invoke `checkpoint_sink` every this many rounds (0 = never). The engine
   /// fires it at the round boundary — after execute/advance, outside the
   /// strategy, with no admission batch open — the only point where the full
@@ -215,6 +228,19 @@ class StreamingEngine {
   /// snapshot_sink receives).
   StatsSnapshot snapshot() const;
 
+  /// The streaming statistics accumulator (track_stream_stats only).
+  const StreamStats& stream_stats() const {
+    REQSCHED_REQUIRE_MSG(options_.track_stream_stats,
+                         "stream-stats tracking is off for this run");
+    return stream_stats_;
+  }
+
+  /// The current StatsFrame (track_stream_stats only; also what the
+  /// periodic frame_sink receives).
+  StatsFrame stats_frame() const {
+    return stream_stats().frame(pool_->live_count());
+  }
+
   /// Resident-set estimate across pool, schedule, OPT tracker, trace, and
   /// engine scratch.
   std::size_t approx_resident_bytes() const;
@@ -286,6 +312,7 @@ class StreamingEngine {
   std::vector<RequestId> injected_now_;
   std::vector<RequestSpec> spec_scratch_;  ///< per-round workload batch
   Metrics metrics_{};
+  StreamStats stream_stats_;
   bool in_strategy_ = false;
   bool ran_any_round_ = false;
   std::optional<std::chrono::steady_clock::time_point> started_at_;

@@ -24,6 +24,7 @@ constexpr std::uint32_t kSecWindow = 6;
 constexpr std::uint32_t kSecOpt = 7;
 constexpr std::uint32_t kSecTrace = 8;
 constexpr std::uint32_t kSecEngine = 9;
+constexpr std::uint32_t kSecStreamStats = 10;
 
 void expect_tag(SnapshotReader& r, std::uint32_t tag, const char* name) {
   const std::uint32_t got = r.u32();
@@ -658,6 +659,9 @@ struct SnapshotAccess {
     manifest.opt_prune_every = e.options_.opt_prune_every;
     manifest.checkpoint_every = e.options_.checkpoint_every;
     manifest.shard = e.options_.shard;
+    manifest.track_stream_stats = e.options_.track_stream_stats;
+    manifest.stream_stats = e.options_.stream_stats;
+    manifest.frame_every = e.options_.frame_every;
     manifest.round = e.metrics_.rounds;
     manifest.trace_digest = manifest.identity_digest();
     if (manifest.git_describe.empty()) {
@@ -696,6 +700,13 @@ struct SnapshotAccess {
     if (e.options_.record_trace) encode_trace(w, e.trace_);
     w.u32(kSecEngine);
     encode_engine(w, e);
+    w.u32(kSecStreamStats);
+    w.boolean(e.options_.track_stream_stats);
+    if (e.options_.track_stream_stats) {
+      std::vector<std::uint64_t> words;
+      e.stream_stats_.export_state(words);
+      encode_words(w, words);
+    }
     w.u64(fnv1a(w.bytes()));
     return w.take();
   }
@@ -764,6 +775,18 @@ struct SnapshotAccess {
     if (has_trace) trace_img = decode_trace(r);
     expect_tag(r, kSecEngine, "engine");
     EngineImage engine_img = decode_engine(r);
+    expect_tag(r, kSecStreamStats, "stream stats");
+    const bool has_stream_stats = r.boolean();
+    REQSCHED_CHECK_MSG(has_stream_stats == e.options_.track_stream_stats,
+                       "checkpoint stream-stats presence does not match the "
+                       "target engine");
+    std::vector<std::uint64_t> stream_stats_words;
+    if (has_stream_stats) {
+      REQSCHED_CHECK_MSG(e.options_.stream_stats == manifest.stream_stats,
+                         "checkpoint stream-stats options (window/buckets/"
+                         "sketch capacity) do not match the target engine");
+      stream_stats_words = decode_words(r, "stream-stats state");
+    }
     REQSCHED_CHECK_MSG(r.done(),
                        "checkpoint payload has " << r.remaining()
                                                  << " trailing bytes");
@@ -798,6 +821,7 @@ struct SnapshotAccess {
     if (has_window) apply_window(*e.window_, std::move(window_img));
     if (has_opt) apply_opt(*e.opt_, std::move(opt_img));
     if (has_trace) apply_trace(e.trace_, std::move(trace_img));
+    if (has_stream_stats) e.stream_stats_.import_state(stream_stats_words);
     apply_engine(e, std::move(engine_img));
 
     // Phase 3 — validate the restored state with the full audit-oracle
@@ -884,6 +908,13 @@ std::uint64_t state_digest(const StreamingEngine& engine) {
                  h);
   if (engine.options().track_live_opt) {
     h = fnv1a_word(static_cast<std::uint64_t>(engine.live_optimum()), h);
+  }
+  if (engine.options().track_stream_stats) {
+    // The exported word list is a complete, order-stable image of the
+    // accumulator, so folding it certifies frame-for-frame continuation.
+    std::vector<std::uint64_t> words;
+    engine.stream_stats().export_state(words);
+    for (const std::uint64_t word : words) h = fnv1a_word(word, h);
   }
   return h;
 }

@@ -42,7 +42,11 @@ namespace reqsched {
 
 class CheckpointManager {
  public:
-  static constexpr std::uint32_t kFormatVersion = 1;
+  /// v2 added the open-loop workload options and stream-stats fields to the
+  /// manifest plus the kSecStreamStats section. Older readers reject v2
+  /// files cleanly at the version check; there are no v1 files to migrate
+  /// (checkpoints are per-run artifacts, not archives).
+  static constexpr std::uint32_t kFormatVersion = 2;
 
   /// Serializes `engine` at its current round boundary (call between step()s
   /// or from EngineOptions::checkpoint_sink — never during on_round).

@@ -63,6 +63,54 @@ RandomWorkloadOptions decode_workload_options(SnapshotReader& r) {
   return o;
 }
 
+void encode_openloop_options(SnapshotWriter& w, const OpenLoopOptions& o) {
+  w.i32(o.n);
+  w.i32(o.d);
+  w.f64(o.rho);
+  w.i64(o.horizon);
+  w.u64(o.seed);
+  w.i32(o.k);
+  w.i32(o.b);
+  w.i32(o.min_window);
+  w.i32(o.max_occupancy);
+  w.f64(o.mmpp_high_mult);
+  w.f64(o.mmpp_p_enter);
+  w.f64(o.mmpp_p_exit);
+  w.f64(o.diurnal_amplitude);
+  w.i64(o.diurnal_period);
+  w.f64(o.flash_probability);
+  w.f64(o.flash_mult);
+  w.i64(o.flash_duration);
+  w.i32(o.flash_hot_set);
+  w.f64(o.zipf_exponent);
+  w.i64(o.zipf_drift_every);
+}
+
+OpenLoopOptions decode_openloop_options(SnapshotReader& r) {
+  OpenLoopOptions o;
+  o.n = r.i32();
+  o.d = r.i32();
+  o.rho = r.f64();
+  o.horizon = r.i64();
+  o.seed = r.u64();
+  o.k = r.i32();
+  o.b = r.i32();
+  o.min_window = r.i32();
+  o.max_occupancy = r.i32();
+  o.mmpp_high_mult = r.f64();
+  o.mmpp_p_enter = r.f64();
+  o.mmpp_p_exit = r.f64();
+  o.diurnal_amplitude = r.f64();
+  o.diurnal_period = r.i64();
+  o.flash_probability = r.f64();
+  o.flash_mult = r.f64();
+  o.flash_duration = r.i64();
+  o.flash_hot_set = r.i32();
+  o.zipf_exponent = r.f64();
+  o.zipf_drift_every = r.i64();
+  return o;
+}
+
 void json_escaped(std::ostream& os, const std::string& s) {
   os << '"';
   for (const char c : s) {
@@ -90,6 +138,7 @@ std::uint64_t CheckpointManifest::identity_digest() const {
   SnapshotWriter w;
   w.str(workload_family);
   encode_workload_options(w, workload);
+  encode_openloop_options(w, openloop);
   encode_config(w, config);
   w.u64(strategy_seed);
   w.str(strategy_name);
@@ -101,6 +150,7 @@ void CheckpointManifest::encode(SnapshotWriter& w) const {
   w.u64(strategy_seed);
   w.str(workload_family);
   encode_workload_options(w, workload);
+  encode_openloop_options(w, openloop);
   encode_config(w, config);
   w.boolean(retain_history);
   w.boolean(record_trace);
@@ -109,6 +159,11 @@ void CheckpointManifest::encode(SnapshotWriter& w) const {
   w.i64(opt_prune_every);
   w.i64(checkpoint_every);
   w.i64(shard);
+  w.boolean(track_stream_stats);
+  w.i64(stream_stats.window);
+  w.i32(stream_stats.buckets);
+  w.i32(stream_stats.sketch_capacity);
+  w.i64(frame_every);
   w.i64(round);
   w.u64(trace_digest);
   w.str(git_describe);
@@ -120,6 +175,7 @@ CheckpointManifest CheckpointManifest::decode(SnapshotReader& r) {
   m.strategy_seed = r.u64();
   m.workload_family = r.str();
   m.workload = decode_workload_options(r);
+  m.openloop = decode_openloop_options(r);
   m.config = decode_config(r);
   m.retain_history = r.boolean();
   m.record_trace = r.boolean();
@@ -128,6 +184,11 @@ CheckpointManifest CheckpointManifest::decode(SnapshotReader& r) {
   m.opt_prune_every = r.i64();
   m.checkpoint_every = r.i64();
   m.shard = r.i64();
+  m.track_stream_stats = r.boolean();
+  m.stream_stats.window = r.i64();
+  m.stream_stats.buckets = r.i32();
+  m.stream_stats.sketch_capacity = r.i32();
+  m.frame_every = r.i64();
   m.round = r.i64();
   m.trace_digest = r.u64();
   m.git_describe = r.str();
@@ -152,6 +213,10 @@ std::string CheckpointManifest::to_json() const {
      << ",\"track_live_opt\":" << (track_live_opt ? "true" : "false")
      << ",\"opt_prune_every\":" << opt_prune_every
      << ",\"checkpoint_every\":" << checkpoint_every << ",\"shard\":" << shard
+     << ",\"rho\":" << openloop.rho
+     << ",\"track_stream_stats\":" << (track_stream_stats ? "true" : "false")
+     << ",\"stats_window\":" << stream_stats.window
+     << ",\"frame_every\":" << frame_every
      << ",\"round\":" << round << ",\"trace_digest\":\"" << std::hex
      << trace_digest << std::dec << "\",\"git_describe\":";
   json_escaped(os, git_describe);

@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <string>
 
+#include "adversary/openloop.hpp"
 #include "adversary/random.hpp"
 #include "core/types.hpp"
+#include "engine/stream_stats.hpp"
 #include "snapshot/codec.hpp"
 
 namespace reqsched {
@@ -26,11 +28,16 @@ struct CheckpointManifest {
   std::string strategy_name;
   std::uint64_t strategy_seed = 1;
   /// Workload family as reqsched_cli spells it (uniform / zipf / bursty /
-  /// blockstorm), "trace" for replayed traces, or a custom generator's
-  /// name() — resume only reconstructs the named families.
+  /// blockstorm for the finite random families, poisson / mmpp / diurnal /
+  /// flashcrowd / driftzipf for the open-loop stationary ones), "trace" for
+  /// replayed traces, or a custom generator's name() — resume only
+  /// reconstructs the named families.
   std::string workload_family;
-  /// Generator parameters; meaningful for the random families.
+  /// Generator parameters; meaningful for the finite random families.
   RandomWorkloadOptions workload{};
+  /// Generator parameters for the open-loop stationary families (ignored —
+  /// and left at defaults — for every other family).
+  OpenLoopOptions openloop{};
   ProblemConfig config{};
 
   // ---- engine options (the flags that shape behaviour) ----
@@ -41,6 +48,12 @@ struct CheckpointManifest {
   Round opt_prune_every = 16;
   Round checkpoint_every = 0;
   std::int64_t shard = 0;
+  /// Streaming-statistics configuration, so a resumed run keeps emitting
+  /// frames on the same window/cadence (the accumulator state itself lives
+  /// in the kSecStreamStats section).
+  bool track_stream_stats = false;
+  StreamStatsOptions stream_stats{};
+  Round frame_every = 0;
 
   // ---- provenance ----
   Round round = 0;  ///< rounds completed when the checkpoint was taken

@@ -1,0 +1,256 @@
+// Open-loop stationary workloads: rho is the contract. Every family —
+// Poisson, MMPP, diurnal, flash crowd, drifting Zipf — must deliver a
+// long-run mean of rho * n * b arrivals per round (the modulations are
+// normalized away), generate deterministically from its seed, validate its
+// knobs, and round-trip its full mutable state through the snapshot hooks
+// so a checkpointed stream replays the exact remaining arrival sequence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "adversary/openloop.hpp"
+#include "analysis/registry.hpp"
+#include "engine/simulator.hpp"
+
+namespace reqsched {
+namespace {
+
+/// Drains `rounds` rounds of arrivals from a fresh generator. The simulator
+/// exists only to satisfy generate()'s observability parameter — open-loop
+/// workloads are oblivious and never read it.
+std::vector<RequestSpec> drain(OpenLoopWorkload& workload, Round rounds) {
+  auto strategy = make_strategy("A_fix");
+  Simulator probe(workload, *strategy);
+  std::vector<RequestSpec> all;
+  std::vector<RequestSpec> out;
+  for (Round t = 0; t < rounds; ++t) {
+    out.clear();
+    workload.generate(t, probe, out);
+    all.insert(all.end(), out.begin(), out.end());
+  }
+  return all;
+}
+
+double empirical_rate(OpenLoopWorkload& workload, Round rounds) {
+  return static_cast<double>(drain(workload, rounds).size()) /
+         static_cast<double>(rounds);
+}
+
+TEST(OpenLoop, PoissonCalibratesToRho) {
+  for (const double rho : {0.5, 0.9, 1.2}) {
+    OpenLoopOptions options{.n = 32, .d = 8, .rho = rho,
+                            .horizon = 20'000, .seed = 5};
+    OpenLoopWorkload workload(options, "poisson");
+    EXPECT_NEAR(workload.mean_rate(), rho * 32.0, 1e-9);
+    const double rate = empirical_rate(workload, options.horizon);
+    EXPECT_NEAR(rate, rho * 32.0, 0.03 * rho * 32.0) << "rho=" << rho;
+  }
+}
+
+TEST(OpenLoop, MmppNormalizesToRho) {
+  OpenLoopOptions options{.n = 16, .d = 6, .rho = 0.9, .horizon = 60'000,
+                          .seed = 3, .mmpp_high_mult = 4.0,
+                          .mmpp_p_enter = 0.05, .mmpp_p_exit = 0.2};
+  OpenLoopWorkload workload(options, "mmpp");
+  EXPECT_NEAR(workload.mean_rate(), 0.9 * 16.0, 1e-9);
+  const double rate = empirical_rate(workload, options.horizon);
+  // Burstier than Poisson (the high/low phases add variance), so a looser
+  // tolerance — but the normalization must hold the long-run mean.
+  EXPECT_NEAR(rate, 0.9 * 16.0, 0.06 * 0.9 * 16.0);
+}
+
+TEST(OpenLoop, DiurnalAveragesOutOverFullPeriods) {
+  OpenLoopOptions options{.n = 16, .d = 6, .rho = 0.8, .horizon = 8'192,
+                          .seed = 7, .diurnal_amplitude = 1.0,
+                          .diurnal_period = 1'024};
+  OpenLoopWorkload workload(options, "diurnal");
+  // horizon = 8 full periods: the sinusoid integrates to zero.
+  const double rate = empirical_rate(workload, options.horizon);
+  EXPECT_NEAR(rate, 0.8 * 16.0, 0.04 * 0.8 * 16.0);
+}
+
+TEST(OpenLoop, FlashCrowdKeepsMeanAndConcentratesAlternatives) {
+  OpenLoopOptions options{.n = 32, .d = 8, .rho = 0.7, .horizon = 60'000,
+                          .seed = 11, .flash_probability = 0.002,
+                          .flash_mult = 8.0, .flash_duration = 32,
+                          .flash_hot_set = 4};
+  OpenLoopWorkload workload(options, "flashcrowd");
+  EXPECT_NEAR(workload.mean_rate(), 0.7 * 32.0, 1e-9);
+  const double rate = empirical_rate(workload, options.horizon);
+  EXPECT_NEAR(rate, 0.7 * 32.0, 0.10 * 0.7 * 32.0);
+}
+
+TEST(OpenLoop, DriftingZipfRotatesTheHotSpot) {
+  // Exponent 3.0 concentrates almost all mass on the hottest resource; the
+  // drift shifts that resource by one every `zipf_drift_every` rounds, so
+  // the per-window modal first alternative must rotate with it.
+  OpenLoopOptions options{.n = 8, .d = 4, .rho = 4.0, .horizon = 4'096,
+                          .seed = 19, .zipf_exponent = 3.0,
+                          .zipf_drift_every = 1'024};
+  OpenLoopWorkload workload(options, "driftzipf");
+  auto strategy = make_strategy("A_fix");
+  Simulator probe(workload, *strategy);
+  std::vector<RequestSpec> out;
+  std::vector<std::vector<std::int64_t>> histogram(
+      4, std::vector<std::int64_t>(8, 0));
+  for (Round t = 0; t < options.horizon; ++t) {
+    out.clear();
+    workload.generate(t, probe, out);
+    auto& window_hist = histogram[static_cast<std::size_t>(t / 1'024)];
+    for (const RequestSpec& spec : out) {
+      window_hist[static_cast<std::size_t>(spec.alts[0])]++;
+    }
+  }
+  std::vector<std::size_t> modes;
+  for (const auto& window_hist : histogram) {
+    modes.push_back(static_cast<std::size_t>(
+        std::max_element(window_hist.begin(), window_hist.end()) -
+        window_hist.begin()));
+  }
+  for (std::size_t w = 1; w < modes.size(); ++w) {
+    EXPECT_EQ(modes[w], (modes[w - 1] + 1) % 8) << "window " << w;
+  }
+}
+
+TEST(OpenLoop, GeneratesKDistinctAlternativesInRange) {
+  OpenLoopOptions options{.n = 12, .d = 6, .rho = 1.0, .horizon = 2'000,
+                          .seed = 29, .k = 4};
+  OpenLoopWorkload workload(options, "poisson");
+  const auto specs = drain(workload, options.horizon);
+  ASSERT_FALSE(specs.empty());
+  for (const RequestSpec& spec : specs) {
+    ASSERT_EQ(spec.alts.size(), 4);
+    for (std::int32_t i = 0; i < spec.alts.size(); ++i) {
+      EXPECT_GE(spec.alts[i], 0);
+      EXPECT_LT(spec.alts[i], 12);
+      for (std::int32_t j = i + 1; j < spec.alts.size(); ++j) {
+        EXPECT_NE(spec.alts[i], spec.alts[j]);
+      }
+    }
+  }
+}
+
+TEST(OpenLoop, DeterministicPerSeedAndSensitiveToSeed) {
+  const OpenLoopOptions options{.n = 16, .d = 6, .rho = 0.9,
+                                .horizon = 2'000, .seed = 41,
+                                .mmpp_high_mult = 4.0};
+  OpenLoopWorkload a(options, "mmpp");
+  OpenLoopWorkload b(options, "mmpp");
+  const auto specs_a = drain(a, options.horizon);
+  const auto specs_b = drain(b, options.horizon);
+  ASSERT_EQ(specs_a.size(), specs_b.size());
+  for (std::size_t i = 0; i < specs_a.size(); ++i) {
+    EXPECT_EQ(specs_a[i].alts, specs_b[i].alts);
+    EXPECT_EQ(specs_a[i].window, specs_b[i].window);
+  }
+
+  auto reseeded_options = options;
+  reseeded_options.seed = 42;
+  OpenLoopWorkload c(reseeded_options, "mmpp");
+  EXPECT_NE(drain(c, options.horizon).size(), specs_a.size());
+}
+
+TEST(OpenLoop, ExhaustsAtHorizon) {
+  OpenLoopOptions options{.n = 8, .d = 4, .rho = 1.0, .horizon = 100,
+                          .seed = 1};
+  OpenLoopWorkload workload(options, "poisson");
+  EXPECT_FALSE(workload.exhausted(0));
+  EXPECT_FALSE(workload.exhausted(99));
+  EXPECT_TRUE(workload.exhausted(100));
+  EXPECT_TRUE(workload.resumable());
+}
+
+TEST(OpenLoop, ExportImportResumesTheExactSequence) {
+  // Cut every family mid-stream — including mid-flash-burst state and the
+  // MMPP phase bit — and check the restored instance replays the identical
+  // remaining arrivals.
+  struct Case {
+    const char* family;
+    OpenLoopOptions options;
+  };
+  const Case cases[] = {
+      {"poisson",
+       {.n = 16, .d = 6, .rho = 0.9, .horizon = 2'000, .seed = 3}},
+      {"mmpp",
+       {.n = 16, .d = 6, .rho = 0.9, .horizon = 2'000, .seed = 3,
+        .mmpp_high_mult = 4.0}},
+      {"flashcrowd",
+       {.n = 16, .d = 6, .rho = 0.9, .horizon = 2'000, .seed = 3,
+        .flash_probability = 0.01, .flash_mult = 8.0, .flash_duration = 64,
+        .flash_hot_set = 4}},
+      {"driftzipf",
+       {.n = 16, .d = 6, .rho = 0.9, .horizon = 2'000, .seed = 3,
+        .zipf_exponent = 1.2, .zipf_drift_every = 256}},
+  };
+  for (const Case& c : cases) {
+    OpenLoopWorkload original(c.options, c.family);
+    auto strategy = make_strategy("A_fix");
+    Simulator probe(original, *strategy);
+    std::vector<RequestSpec> out;
+    const Round cut = 777;
+    for (Round t = 0; t < cut; ++t) {
+      out.clear();
+      original.generate(t, probe, out);
+    }
+    std::vector<std::uint64_t> state;
+    original.export_state(state);
+
+    OpenLoopWorkload resumed(c.options, c.family);
+    auto resumed_strategy = make_strategy("A_fix");
+    Simulator resumed_probe(resumed, *resumed_strategy);
+    resumed.import_state(state);
+
+    for (Round t = cut; t < c.options.horizon; ++t) {
+      out.clear();
+      original.generate(t, probe, out);
+      std::vector<RequestSpec> resumed_out;
+      resumed.generate(t, resumed_probe, resumed_out);
+      ASSERT_EQ(out.size(), resumed_out.size())
+          << c.family << " diverged at round " << t;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i].alts, resumed_out[i].alts) << c.family << " t=" << t;
+        EXPECT_EQ(out[i].window, resumed_out[i].window);
+        EXPECT_EQ(out[i].occupancy, resumed_out[i].occupancy);
+      }
+    }
+  }
+}
+
+TEST(OpenLoop, NameEncodesFamilyAndKnobs) {
+  OpenLoopOptions options{.n = 16, .d = 6, .rho = 0.9, .horizon = 100,
+                          .seed = 3};
+  OpenLoopWorkload workload(options, "poisson");
+  EXPECT_NE(workload.name().find("poisson"), std::string::npos);
+  EXPECT_EQ(workload.config().n, 16);
+  EXPECT_EQ(workload.config().d, 6);
+}
+
+TEST(OpenLoop, RejectsInvalidOptions) {
+  const auto make = [](const OpenLoopOptions& options) {
+    OpenLoopWorkload workload(options, "poisson");
+    (void)workload;
+  };
+  EXPECT_THROW(make({.n = 16, .d = 6, .rho = -0.1}), ContractViolation);
+  EXPECT_THROW(make({.n = 16, .d = 6, .rho = 0.9, .horizon = 0}),
+               ContractViolation);
+  EXPECT_THROW(make({.n = 2, .d = 6, .rho = 0.9, .horizon = 10, .seed = 1,
+                     .k = 4}),
+               ContractViolation);
+  EXPECT_THROW(make({.n = 16, .d = 6, .rho = 0.9, .horizon = 10, .seed = 1,
+                     .k = 2, .b = 1, .min_window = 0, .max_occupancy = 9}),
+               ContractViolation);
+  EXPECT_THROW(make({.n = 16, .d = 6, .rho = 0.9, .horizon = 10, .seed = 1,
+                     .k = 2, .b = 1, .min_window = 0, .max_occupancy = 1,
+                     .mmpp_high_mult = 0.5}),
+               ContractViolation);
+  EXPECT_THROW(make({.n = 16, .d = 6, .rho = 0.9, .horizon = 10, .seed = 1,
+                     .k = 2, .b = 1, .min_window = 0, .max_occupancy = 1,
+                     .mmpp_high_mult = 1.0, .mmpp_p_enter = 0.05,
+                     .mmpp_p_exit = 0.2, .diurnal_amplitude = 1.5}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace reqsched

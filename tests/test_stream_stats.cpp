@@ -1,0 +1,465 @@
+// The streaming-statistics layer, pinned against ground truth:
+//  * QuantileSketch is *exact* below capacity (nearest-rank equality with a
+//    sorted copy), bounded-rank-error above it, and mergeable — exactly
+//    associative in the exact regime, bounded-error across any sharding;
+//  * the windowed counters equal a naive sliding-window recount;
+//  * on finite traces (the paper's lower-bound instances + random
+//    workloads) the streaming layer with window >= horizon reproduces the
+//    exact whole-trace Metrics and the exact tardiness quantiles collected
+//    through the retire sink — streaming loses nothing it claims to keep;
+//  * export/import and the full checkpoint cycle preserve every frame.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adversary/random.hpp"
+#include "adversary/theorems.hpp"
+#include "analysis/registry.hpp"
+#include "engine/simulator.hpp"
+#include "engine/stream_stats.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "strategies/scripted.hpp"
+#include "util/prng.hpp"
+
+namespace reqsched {
+namespace {
+
+double exact_nearest_rank(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto n = static_cast<double>(values.size());
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(q * n)));
+  return values[static_cast<std::size_t>(rank - 1)];
+}
+
+/// Fraction of `values` at or below `estimate` — the empirical rank the
+/// sketch's answer lands on, for rank-error bounds.
+double empirical_rank(const std::vector<double>& values, double estimate) {
+  std::int64_t at_or_below = 0;
+  for (const double v : values) {
+    if (v <= estimate) ++at_or_below;
+  }
+  return static_cast<double>(at_or_below) /
+         static_cast<double>(values.size());
+}
+
+TEST(QuantileSketch, ExactBelowCapacity) {
+  QuantileSketch sketch(256);
+  std::vector<double> values;
+  Prng rng(42);
+  for (int i = 0; i < 256; ++i) {
+    const double v = static_cast<double>(rng.next_below(1000));
+    sketch.add(v);
+    values.push_back(v);
+  }
+  EXPECT_TRUE(sketch.exact());
+  EXPECT_EQ(sketch.count(), 256);
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(sketch.quantile(q), exact_nearest_rank(values, q))
+        << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, EmptyAndSingle) {
+  QuantileSketch sketch(64);
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  sketch.add(7.0);
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(sketch.quantile(q), 7.0);
+  }
+}
+
+TEST(QuantileSketch, BoundedRankErrorAboveCapacity) {
+  QuantileSketch sketch(256);
+  std::vector<double> values;
+  Prng rng(7);
+  for (int i = 0; i < 100'000; ++i) {
+    const double v = rng.next_double();
+    sketch.add(v);
+    values.push_back(v);
+  }
+  EXPECT_FALSE(sketch.exact());
+  // Deterministic inputs, deterministic compaction: this bound either holds
+  // forever or fails forever — it pins the sketch's accuracy contract.
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double rank = empirical_rank(values, sketch.quantile(q));
+    EXPECT_NEAR(rank, q, 0.05) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MemoryStaysBounded) {
+  QuantileSketch sketch(128);
+  const std::size_t before = sketch.approx_bytes();
+  Prng rng(3);
+  for (int i = 0; i < 200'000; ++i) sketch.add(rng.next_double());
+  // O(capacity) with a log-level tail, never O(count).
+  EXPECT_LE(sketch.approx_bytes(), 64u * before + (16u << 10));
+}
+
+TEST(QuantileSketch, MergeIsExactAndAssociativeInExactRegime) {
+  Prng rng(9);
+  std::vector<double> all;
+  std::vector<QuantileSketch> parts(4, QuantileSketch(1024));
+  for (int i = 0; i < 800; ++i) {  // 800 < 1024: merged stays exact
+    const double v = static_cast<double>(rng.next_below(500));
+    all.push_back(v);
+    parts[static_cast<std::size_t>(i % 4)].add(v);
+  }
+
+  // left fold: ((p0 + p1) + p2) + p3
+  QuantileSketch left(1024);
+  for (const auto& p : parts) left.merge(p);
+  // balanced tree: (p0 + p1) + (p2 + p3)
+  QuantileSketch ab = parts[0];
+  ab.merge(parts[1]);
+  QuantileSketch cd = parts[2];
+  cd.merge(parts[3]);
+  ab.merge(cd);
+
+  EXPECT_TRUE(left.exact());
+  EXPECT_TRUE(ab.exact());
+  EXPECT_EQ(left.count(), 800);
+  for (const double q : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    const double want = exact_nearest_rank(all, q);
+    EXPECT_DOUBLE_EQ(left.quantile(q), want) << "q=" << q;
+    EXPECT_DOUBLE_EQ(ab.quantile(q), want) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MergeErrorBoundedAcrossShardings) {
+  // The cross-shard property the ShardedRunner merge relies on: however the
+  // stream is partitioned, the merged sketch answers within the rank-error
+  // tolerance of the pooled data.
+  Prng rng(17);
+  std::vector<double> all;
+  for (int i = 0; i < 50'000; ++i) {
+    all.push_back(static_cast<double>(rng.next_below(10'000)));
+  }
+  for (const int shards : {2, 4, 8, 16}) {
+    std::vector<QuantileSketch> parts(static_cast<std::size_t>(shards),
+                                      QuantileSketch(512));
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      parts[i % static_cast<std::size_t>(shards)].add(all[i]);
+    }
+    QuantileSketch merged = parts[0];
+    for (std::size_t s = 1; s < parts.size(); ++s) merged.merge(parts[s]);
+    EXPECT_EQ(merged.count(), static_cast<std::int64_t>(all.size()));
+    for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+      const double rank = empirical_rank(all, merged.quantile(q));
+      EXPECT_NEAR(rank, q, 0.06) << "shards=" << shards << " q=" << q;
+    }
+  }
+}
+
+TEST(QuantileSketch, ExportImportRoundTrip) {
+  QuantileSketch sketch(64);
+  Prng rng(5);
+  for (int i = 0; i < 3'000; ++i) sketch.add(rng.next_double() * 100.0);
+
+  std::vector<std::uint64_t> words;
+  sketch.export_state(words);
+  QuantileSketch restored(64);
+  std::size_t cursor = 0;
+  restored.import_state(words, cursor);
+  EXPECT_EQ(cursor, words.size());
+  EXPECT_EQ(restored, sketch);
+
+  // and the two evolve identically afterwards
+  sketch.add(3.5);
+  restored.add(3.5);
+  EXPECT_EQ(restored, sketch);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed counters vs a naive recount
+// ---------------------------------------------------------------------------
+
+struct RoundEvents {
+  std::int64_t injected = 0;
+  std::int64_t fulfilled = 0;
+  std::int64_t expired = 0;
+};
+
+TEST(StreamStats, WindowedCountersMatchNaiveRecount) {
+  StreamStatsOptions options;
+  options.window = 64;
+  options.buckets = 8;
+  StreamStats stats;
+  stats.reset(options, 0);
+
+  Prng rng(23);
+  std::vector<RoundEvents> history;
+  for (int t = 0; t < 500; ++t) {
+    RoundEvents ev;
+    ev.injected = static_cast<std::int64_t>(rng.next_below(5));
+    ev.fulfilled = static_cast<std::int64_t>(rng.next_below(4));
+    ev.expired = static_cast<std::int64_t>(rng.next_below(2));
+    stats.on_inject(ev.injected);
+    for (std::int64_t i = 0; i < ev.fulfilled; ++i) {
+      stats.on_fulfill(static_cast<Round>(rng.next_below(8)));
+    }
+    for (std::int64_t i = 0; i < ev.expired; ++i) stats.on_expire();
+    stats.end_round();
+    history.push_back(ev);
+
+    const StatsFrame frame = stats.frame(0);
+    // The ring covers exactly the last `window_rounds` rounds (bucket-
+    // aligned), so the recount over that span must match word-for-word.
+    ASSERT_GE(frame.window_rounds, 1);
+    ASSERT_LE(frame.window_rounds, options.window);
+    RoundEvents naive;
+    for (std::int64_t back = 0; back < frame.window_rounds; ++back) {
+      const auto& h = history[history.size() - 1 -
+                              static_cast<std::size_t>(back)];
+      naive.injected += h.injected;
+      naive.fulfilled += h.fulfilled;
+      naive.expired += h.expired;
+    }
+    EXPECT_EQ(frame.w_injected, naive.injected) << "t=" << t;
+    EXPECT_EQ(frame.w_fulfilled, naive.fulfilled) << "t=" << t;
+    EXPECT_EQ(frame.w_expired, naive.expired) << "t=" << t;
+  }
+}
+
+TEST(StreamStats, MergeSumsCountersAndSketches) {
+  StreamStatsOptions options;
+  options.window = 32;
+  options.buckets = 4;
+  StreamStats a;
+  StreamStats b;
+  a.reset(options, 0);
+  b.reset(options, 1);
+  for (int t = 0; t < 40; ++t) {
+    a.on_inject(2);
+    a.on_fulfill(1);
+    a.on_expire();
+    a.end_round();
+    b.on_inject(3);
+    b.on_fulfill(5);
+    b.end_round();
+  }
+  StreamStats merged = a;
+  merged.merge(b);
+  const StatsFrame fa = a.frame(0);
+  const StatsFrame fb = b.frame(0);
+  const StatsFrame fm = merged.frame(0);
+  EXPECT_EQ(fm.injected, fa.injected + fb.injected);
+  EXPECT_EQ(fm.fulfilled, fa.fulfilled + fb.fulfilled);
+  EXPECT_EQ(fm.expired, fa.expired + fb.expired);
+  EXPECT_EQ(fm.w_injected, fa.w_injected + fb.w_injected);
+  EXPECT_EQ(fm.w_fulfilled, fa.w_fulfilled + fb.w_fulfilled);
+  EXPECT_EQ(fm.w_expired, fa.w_expired + fb.w_expired);
+  // Tardiness 1 on shard a (40 samples), 5 on shard b (40): exact sketch,
+  // so the merged median sits on the boundary and p99 is shard b's value.
+  EXPECT_DOUBLE_EQ(fm.cum_tardiness_p50, 1.0);
+  EXPECT_DOUBLE_EQ(fm.cum_tardiness_p99, 5.0);
+}
+
+TEST(StreamStats, FrameJsonlIsTaggedAndDeterministic) {
+  StreamStatsOptions options;
+  options.window = 16;
+  options.buckets = 4;
+  StreamStats stats;
+  stats.reset(options, 3);
+  stats.on_inject(4);
+  stats.on_fulfill(2);
+  stats.end_round();
+  const std::string line = to_jsonl(stats.frame(1));
+  EXPECT_NE(line.find("\"frame\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"shard\":3"), std::string::npos);
+  EXPECT_EQ(line, to_jsonl(stats.frame(1)));
+}
+
+// ---------------------------------------------------------------------------
+// Differential: streaming layer vs exact whole-trace accounting
+// ---------------------------------------------------------------------------
+
+/// Runs `workload` under `strategy` with the streaming layer configured to
+/// cover the whole finite trace (window >= horizon, sketch in its exact
+/// regime), and checks every streamed figure against the exact ground truth:
+/// Metrics for the counters, the retire-sink wait list for the quantiles.
+void expect_stream_matches_exact(IWorkload& workload, IStrategy& strategy) {
+  EngineOptions options = streaming_options();
+  // The scripted theorem plans consult the recorded trace; exact-on-finite
+  // is the point of this suite, so the retained extras cost nothing.
+  options.record_trace = true;
+  options.retain_history = true;
+  options.track_stream_stats = true;
+  options.stream_stats.window = 1 << 20;
+  options.stream_stats.sketch_capacity = 1 << 16;
+  std::vector<double> waits;
+  options.retire_sink = [&](const Request& request, RequestStatus status,
+                            SlotRef slot) {
+    if (status == RequestStatus::kFulfilled) {
+      waits.push_back(static_cast<double>(slot.round - request.arrival));
+    }
+  };
+  Simulator sim(workload, strategy, std::move(options));
+  const Metrics& metrics = sim.run();
+
+  const StatsFrame frame = sim.engine().stats_frame();
+  EXPECT_EQ(frame.injected, metrics.injected);
+  EXPECT_EQ(frame.fulfilled, metrics.fulfilled);
+  EXPECT_EQ(frame.expired, metrics.expired);
+  EXPECT_DOUBLE_EQ(frame.fulfilled_fraction, metrics.fulfilled_fraction());
+  // window >= horizon: the sliding window *is* the whole trace.
+  EXPECT_EQ(frame.w_injected, metrics.injected);
+  EXPECT_EQ(frame.w_fulfilled, metrics.fulfilled);
+  EXPECT_EQ(frame.w_expired, metrics.expired);
+  ASSERT_EQ(static_cast<std::int64_t>(waits.size()), metrics.fulfilled);
+  EXPECT_DOUBLE_EQ(frame.cum_tardiness_p50, exact_nearest_rank(waits, 0.50));
+  EXPECT_DOUBLE_EQ(frame.cum_tardiness_p99, exact_nearest_rank(waits, 0.99));
+  EXPECT_DOUBLE_EQ(frame.tardiness_p50, exact_nearest_rank(waits, 0.50));
+  EXPECT_DOUBLE_EQ(frame.tardiness_p90, exact_nearest_rank(waits, 0.90));
+  EXPECT_DOUBLE_EQ(frame.tardiness_p99, exact_nearest_rank(waits, 0.99));
+}
+
+TEST(StreamStatsDifferential, LowerBoundInstances) {
+  // The paper's five lower-bound constructions — adversarial finite traces
+  // with nontrivial expiry patterns — streamed and pinned exactly.
+  {
+    TheoremInstance inst = make_lb_fix(3, 6);
+    ScriptedStrategy strategy(inst.target, *inst.workload);
+    expect_stream_matches_exact(*inst.workload, strategy);
+  }
+  {
+    TheoremInstance inst = make_lb_fix_balance(2, 6);
+    ScriptedStrategy strategy(inst.target, *inst.workload);
+    expect_stream_matches_exact(*inst.workload, strategy);
+  }
+  {
+    TheoremInstance inst = make_lb_eager(2, 6);
+    ScriptedStrategy strategy(inst.target, *inst.workload);
+    expect_stream_matches_exact(*inst.workload, strategy);
+  }
+  {
+    TheoremInstance inst = make_lb_balance(2, 3, 6);
+    ScriptedStrategy strategy(inst.target, *inst.workload);
+    expect_stream_matches_exact(*inst.workload, strategy);
+  }
+  {
+    TheoremInstance inst = make_lb_current(3, 5);
+    auto strategy = make_strategy("A_current");
+    expect_stream_matches_exact(*inst.workload, *strategy);
+  }
+}
+
+TEST(StreamStatsDifferential, RandomFiniteTraces) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    UniformWorkload workload({.n = 8, .d = 4, .load = 1.8, .horizon = 300,
+                              .seed = seed, .two_choice = true});
+    auto strategy = make_strategy("A_balance");
+    expect_stream_matches_exact(workload, *strategy);
+  }
+  for (const std::uint64_t seed : {9u, 10u}) {
+    ZipfWorkload workload({.n = 10, .d = 5, .load = 1.4, .horizon = 250,
+                           .seed = seed, .two_choice = true},
+                          1.2);
+    auto strategy = make_strategy("A_fix");
+    expect_stream_matches_exact(workload, *strategy);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint round trip with the statistics layer on
+// ---------------------------------------------------------------------------
+
+TEST(StreamStatsCheckpoint, RoundTripPreservesFramesAndDigest) {
+  const RandomWorkloadOptions opts{.n = 6, .d = 3, .load = 1.8,
+                                   .horizon = 400, .seed = 13,
+                                   .two_choice = true};
+  const Round frame_every = 64;
+  const auto engine_opts = [&](std::vector<std::string>* frames) {
+    EngineOptions eo = streaming_options();
+    eo.track_stream_stats = true;
+    eo.stream_stats.window = 128;
+    eo.stream_stats.buckets = 8;
+    eo.frame_every = frame_every;
+    if (frames != nullptr) {
+      eo.frame_sink = [frames](const StatsFrame& frame) {
+        frames->push_back(to_jsonl(frame));
+      };
+    }
+    return eo;
+  };
+
+  std::vector<std::string> ref_frames;
+  UniformWorkload ref_workload(opts);
+  auto ref_strategy = make_strategy("A_balance");
+  Simulator ref(ref_workload, *ref_strategy, engine_opts(&ref_frames));
+  ref.run(4 * opts.horizon + 16);
+
+  UniformWorkload cut_workload(opts);
+  auto cut_strategy = make_strategy("A_balance");
+  Simulator cut(cut_workload, *cut_strategy, engine_opts(nullptr));
+  while (cut.metrics().rounds < 200 && cut.step()) {
+  }
+  CheckpointManifest manifest;
+  manifest.strategy_name = "A_balance";
+  manifest.workload_family = "uniform";
+  manifest.workload = opts;
+  const std::vector<std::uint8_t> bytes =
+      CheckpointManager::encode(cut.engine(), manifest);
+
+  std::vector<std::string> res_frames;
+  UniformWorkload res_workload(opts);
+  auto res_strategy = make_strategy("A_balance");
+  Simulator res(res_workload, *res_strategy, engine_opts(&res_frames));
+  CheckpointManager::restore(bytes, res.engine());
+  EXPECT_EQ(state_digest(res.engine()), state_digest(cut.engine()));
+  res.run(4 * opts.horizon + 16);
+
+  EXPECT_EQ(res.metrics(), ref.metrics());
+  EXPECT_EQ(state_digest(res.engine()), state_digest(ref.engine()));
+  // Every frame emitted after the cut is byte-identical to the frame the
+  // uninterrupted run emitted at the same round.
+  ASSERT_LE(res_frames.size(), ref_frames.size());
+  const std::size_t skip = ref_frames.size() - res_frames.size();
+  for (std::size_t i = 0; i < res_frames.size(); ++i) {
+    EXPECT_EQ(res_frames[i], ref_frames[skip + i]) << "frame " << i;
+  }
+}
+
+TEST(StreamStatsCheckpoint, RestoreRejectsOptionMismatch) {
+  const RandomWorkloadOptions opts{.n = 4, .d = 2, .load = 1.5,
+                                   .horizon = 60, .seed = 3,
+                                   .two_choice = true};
+  UniformWorkload workload(opts);
+  auto strategy = make_strategy("A_fix");
+  EngineOptions eo = streaming_options();
+  eo.track_stream_stats = true;
+  Simulator sim(workload, *strategy, std::move(eo));
+  while (sim.metrics().rounds < 30 && sim.step()) {
+  }
+  CheckpointManifest manifest;
+  manifest.strategy_name = "A_fix";
+  manifest.workload_family = "uniform";
+  manifest.workload = opts;
+  const auto bytes = CheckpointManager::encode(sim.engine(), manifest);
+
+  // A restore target without the statistics layer must be refused.
+  UniformWorkload plain_workload(opts);
+  auto plain_strategy = make_strategy("A_fix");
+  Simulator plain(plain_workload, *plain_strategy, streaming_options());
+  EXPECT_THROW(CheckpointManager::restore(bytes, plain.engine()),
+               ContractViolation);
+
+  // So must one whose window disagrees with the checkpointed options.
+  UniformWorkload other_workload(opts);
+  auto other_strategy = make_strategy("A_fix");
+  EngineOptions other = streaming_options();
+  other.track_stream_stats = true;
+  other.stream_stats.window = 999;
+  Simulator mismatched(other_workload, *other_strategy, std::move(other));
+  EXPECT_THROW(CheckpointManager::restore(bytes, mismatched.engine()),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace reqsched

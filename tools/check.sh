@@ -77,6 +77,7 @@ run_lint() {
 run_audit() {
   run_pass "audit" build-audit -DREQSCHED_AUDIT=ON
   run_checkpoint_label "audit" build-audit
+  run_stationary_label "audit" build-audit
 }
 
 # The checkpoint/restore suite as its own visible gate: bit-identity
@@ -87,6 +88,15 @@ run_checkpoint_label() {
   local label="$1" dir="$2"
   echo "==> ${label}: checkpoint suite (ctest -L checkpoint)"
   (cd "${dir}" && ctest --output-on-failure --no-tests=error -L checkpoint)
+}
+
+# The streaming-statistics + open-loop suite as its own visible gate: sketch
+# exactness/merge bounds, the differential pins against whole-trace Metrics,
+# and rho-calibration of the stationary generators.
+run_stationary_label() {
+  local label="$1" dir="$2"
+  echo "==> ${label}: stationary suite (ctest -L stationary)"
+  (cd "${dir}" && ctest --output-on-failure --no-tests=error -L stationary)
 }
 
 run_clang() {
@@ -120,7 +130,7 @@ import json
 rows = json.load(open("BENCH_latest.json"))
 sections = {row["section"] for row in rows}
 missing = {"strategy_step", "stream", "capacitated", "checkpoint",
-           "manifest"} - sections
+           "manifest", "stationary"} - sections
 assert not missing, f"BENCH_latest.json is missing sections: {sorted(missing)}"
 print(f"BENCH_latest.json: {len(rows)} records, sections {sorted(sections)}")
 EOF
@@ -144,6 +154,7 @@ case "${mode}" in
   --asan)
     run_sanitizer_preset "asan"
     run_checkpoint_label "asan+ubsan" build-asan
+    run_stationary_label "asan+ubsan" build-asan
     ;;
   --tsan)
     run_sanitizer_preset "tsan"

@@ -1,0 +1,7 @@
+// Whole-trace accumulation in the streaming engine: a member container that
+// grows every round and is never shrunk anywhere in the file. On an
+// open-loop 10^8-round run this is an unbounded leak.
+void StreamingEngine::note_retired(RequestId id, Round at) {
+  retired_ids_.push_back(id);
+  retired_rounds_[0].emplace_back(at);
+}

@@ -1,0 +1,13 @@
+// Bounded member growth in the streaming layer: every container that grows
+// also has a shrink site in this file, and a deliberately-retained history
+// carries the explicit waiver comment.
+void StreamStats::stage(double value) {
+  scratch_.push_back(value);
+  compact_buf_[0].emplace_back(value);
+}
+
+void StreamStats::flush() {
+  scratch_.clear();
+  compact_buf_[0].resize(0);
+  audit_log_.push_back(0);  // reqsched-lint: allow(stream-accumulation)
+}

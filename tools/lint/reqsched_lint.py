@@ -46,6 +46,14 @@ Rules (see docs/static_analysis.md for the full catalogue):
                       inside a checkpointed class. Keeps every byte-format
                       decision (and the private-state reach it needs) in
                       one reviewable directory.
+  stream-accumulation the streaming engine and its stats layer are O(1)
+                      memory in the horizon: a member container
+                      (`name_.push_back/emplace_back`) that grows in
+                      src/engine/streaming.* or src/engine/stream_stats.*
+                      must be shrunk somewhere in the same file
+                      (clear/erase/resize/pop_back/assign/swap or
+                      reassignment) — otherwise it is whole-trace
+                      accumulation hiding in the round loop.
 
 A finding can be waived for one line with a trailing
 `// reqsched-lint: allow(<rule>)` comment.
@@ -147,6 +155,22 @@ USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
 RAW_ASSERT_RE = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
 CONTRACT_STMT_RE = re.compile(r"^REQSCHED_[A-Z_]+\s*\(")
 LOOP_RE = re.compile(r"^\s*(?:for|while)\s*\(")
+
+# The streaming layer's O(1)-memory contract: these files run (or feed) the
+# engine round loop for unbounded horizons, so any member container they grow
+# must also be shrunk within the same file.
+STREAM_ACCUM_FILES = {
+    "src/engine/streaming.cpp",
+    "src/engine/streaming.hpp",
+    "src/engine/stream_stats.cpp",
+    "src/engine/stream_stats.hpp",
+}
+# Growth of a member container: `member_.push_back(...)` or
+# `member_[i].emplace_back(...)` — the trailing underscore keeps locals and
+# parameters out of the rule.
+STREAM_GROWTH_RE = re.compile(
+    r"\b([A-Za-z][A-Za-z0-9_]*_)\s*(?:\[[^\]]*\])?\s*\.\s*"
+    r"(?:push_back|emplace_back)\s*\(")
 
 SOURCE_DIRS = ("src", "tools", "bench", "tests", "examples")
 EXTENSIONS = (".hpp", ".cpp", ".h", ".cc")
@@ -413,6 +437,10 @@ def check_file(root: str, relpath: str, findings: list) -> None:
     if norm in HOT_FILES:
         check_hot_loops(norm, code_lines, raw_lines, findings)
 
+    # --- stream-accumulation ----------------------------------------------
+    if norm in STREAM_ACCUM_FILES:
+        check_stream_accumulation(norm, code, code_lines, raw_lines, findings)
+
 
 def check_hot_loops(norm, code_lines, raw_lines, findings) -> None:
     guard = GuardTracker()
@@ -471,6 +499,40 @@ def check_hot_loops(norm, code_lines, raw_lines, findings) -> None:
         # Continue scanning *inside* the loop too (nested loops), so just
         # advance one line.
         i += 1
+
+
+def member_has_shrink(code: str, member: str) -> bool:
+    """True if `member` is shrunk or rebound anywhere in the (stripped)
+    file: clear/erase/resize/pop_back/assign/shrink_to_fit/swap member
+    calls, std::swap(member, ...), or plain reassignment."""
+    esc = re.escape(member)
+    shrink = re.compile(
+        r"\b" + esc + r"\s*(?:\[[^\]]*\])?\s*\.\s*"
+        r"(?:clear|erase|resize|pop_back|assign|shrink_to_fit|swap)\s*\(|"
+        r"std\s*::\s*swap\s*\(\s*" + esc + r"\b|"
+        r"\b" + esc + r"\s*=(?![=])")
+    return shrink.search(code) is not None
+
+
+def check_stream_accumulation(norm, code, code_lines, raw_lines,
+                              findings) -> None:
+    """Whole-file pass: every member container grown in a streaming-layer
+    file must have a shrink site in the same file, else it is unbounded
+    whole-trace accumulation in (or reachable from) the round loop."""
+    for i, line in enumerate(code_lines):
+        for m in STREAM_GROWTH_RE.finditer(line):
+            member = m.group(1)
+            if member_has_shrink(code, member):
+                continue
+            n = i + 1
+            line_txt = raw_lines[n - 1] if n <= len(raw_lines) else ""
+            if "stream-accumulation" in allowed_rules(line_txt):
+                continue
+            findings.append(Finding(
+                norm, n, "stream-accumulation",
+                f"member container `{member}` grows in the streaming layer "
+                "but is never shrunk in this file — unbounded whole-trace "
+                "accumulation is banned in the engine round loop"))
 
 
 # ---------------------------------------------------------------------------

@@ -88,6 +88,10 @@ class BadFixtures(unittest.TestCase):
         self.assert_finding("src/engine/names_snapshot_codec.cpp",
                             "snapshot-layer")
 
+    def test_unshrunk_member_growth_in_streaming_layer(self):
+        self.assert_finding("src/engine/streaming.cpp",
+                            "stream-accumulation")
+
     def test_every_bad_fixture_fires(self):
         flagged = {l.split(":", 1)[0] for l in self.out.splitlines()
                    if ": [" in l}

@@ -16,12 +16,21 @@
 //                   --rounds=100000 --load=1.5 --seed=1 --shards=4
 //                   --threads=0 --strategy-seed=1] [--track-ratio]
 //                   [--snapshot-every=1000 --jsonl=stats.jsonl]
+//                   [--frame-every=4096 --stats-window=4096]
 //                   [--checkpoint-every=10000 --checkpoint-dir=ckpt]
-//                   [--resume=ckpt/shard-0.ckpt]
+//                   [--resume=ckpt/shard-0.ckpt] [--resume-dir=ckpt]
 //       bounded-memory streaming runs (one independent stream per shard;
 //       shard k's randomized strategies are seeded strategy-seed + k).
+//       Workloads: the finite random families (uniform|zipf|bursty|
+//       blockstorm, --load as the arrival knob) or the open-loop stationary
+//       families (poisson|mmpp|diurnal|flashcrowd|driftzipf, --rho as the
+//       load factor: long-run arrivals per round = rho * n * b).
+//       --frame-every emits streaming StatsFrames (windowed loss rate +
+//       tardiness percentiles) to the JSONL sink every N rounds.
 //       --checkpoint-every writes shard-<k>.ckpt atomically every N rounds;
-//       --resume (single shard) continues a checkpointed run bit-identically
+//       --resume continues one checkpointed shard bit-identically;
+//       --resume-dir restores every shard-<i>.ckpt in a directory and runs
+//       them in parallel to completion
 //   reqsched replay --resume=ckpt/shard-0.ckpt [--to-round=50000]
 //                   [--audit] [--digest-every=1000]
 //       re-executes a checkpointed run from its snapshot: --to-round stops
@@ -32,6 +41,7 @@
 #include <iostream>
 #include <optional>
 
+#include "adversary/openloop.hpp"
 #include "adversary/random.hpp"
 #include "analysis/bounds.hpp"
 #include "analysis/harness.hpp"
@@ -65,6 +75,44 @@ std::unique_ptr<IWorkload> make_workload(const std::string& family,
                                                              "bursty|"
                                                              "blockstorm)");
   return nullptr;
+}
+
+bool is_openloop_family(const std::string& family) {
+  return family == "poisson" || family == "mmpp" || family == "diurnal" ||
+         family == "flashcrowd" || family == "driftzipf";
+}
+
+/// Applies the family's modulation preset on top of the shared base knobs
+/// (n, d, rho, horizon, seed). Every preset keeps the long-run mean at
+/// rho * n * b — the OpenLoopWorkload constructor normalizes the modulation.
+OpenLoopOptions openloop_preset(const std::string& family,
+                                OpenLoopOptions base) {
+  if (family == "poisson") return base;
+  if (family == "mmpp") {
+    base.mmpp_high_mult = 4.0;
+    base.mmpp_p_enter = 0.05;
+    base.mmpp_p_exit = 0.2;
+    return base;
+  }
+  if (family == "diurnal") {
+    base.diurnal_amplitude = 0.5;
+    base.diurnal_period = 1 << 14;
+    return base;
+  }
+  if (family == "flashcrowd") {
+    base.flash_probability = 0.002;
+    base.flash_mult = 8.0;
+    base.flash_duration = 4 * base.d;
+    base.flash_hot_set = std::max(base.k, base.n / 8);
+    return base;
+  }
+  if (family == "driftzipf") {
+    base.zipf_exponent = 1.2;
+    base.zipf_drift_every = 1024;
+    return base;
+  }
+  REQSCHED_REQUIRE_MSG(false, "unknown open-loop family: " << family);
+  return base;
 }
 
 RandomWorkloadOptions base_options(const CliArgs& args) {
@@ -120,9 +168,12 @@ std::string hex64(std::uint64_t value) {
 
 /// Identity manifest for shard `shard` of a stream run, mirroring the
 /// per-shard seeding of the factories in cmd_stream (workload seed + shard,
-/// strategy seed + shard).
+/// strategy seed + shard). `openloop` is non-null for the open-loop
+/// stationary families, whose knobs live in manifest.openloop instead of
+/// manifest.workload.
 CheckpointManifest stream_manifest(const std::string& family,
                                    const RandomWorkloadOptions& base,
+                                   const OpenLoopOptions* openloop,
                                    const std::string& strategy_name,
                                    std::uint64_t strategy_seed,
                                    const EngineOptions& engine,
@@ -131,9 +182,15 @@ CheckpointManifest stream_manifest(const std::string& family,
   m.strategy_name = strategy_name;
   m.strategy_seed = strategy_seed + static_cast<std::uint64_t>(shard);
   m.workload_family = family;
-  m.workload = base;
-  m.workload.seed = base.seed + static_cast<std::uint64_t>(shard);
-  m.config = m.workload.problem_config();
+  if (openloop != nullptr) {
+    m.openloop = *openloop;
+    m.openloop.seed = openloop->seed + static_cast<std::uint64_t>(shard);
+    m.config = m.openloop.problem_config();
+  } else {
+    m.workload = base;
+    m.workload.seed = base.seed + static_cast<std::uint64_t>(shard);
+    m.config = m.workload.problem_config();
+  }
   m.retain_history = engine.retain_history;
   m.record_trace = engine.record_trace;
   m.admission_fast_path = engine.admission_fast_path;
@@ -141,6 +198,9 @@ CheckpointManifest stream_manifest(const std::string& family,
   m.opt_prune_every = engine.opt_prune_every;
   m.checkpoint_every = engine.checkpoint_every;
   m.shard = shard;
+  m.track_stream_stats = engine.track_stream_stats;
+  m.stream_stats = engine.stream_stats;
+  m.frame_every = engine.frame_every;
   m.git_describe = snapshot_git_describe();
   m.trace_digest = m.identity_digest();
   return m;
@@ -164,6 +224,9 @@ struct ResumedRun {
     eo.track_live_opt = manifest.track_live_opt;
     eo.opt_prune_every = manifest.opt_prune_every;
     eo.shard = manifest.shard;
+    eo.track_stream_stats = manifest.track_stream_stats;
+    eo.stream_stats = manifest.stream_stats;
+    eo.frame_every = manifest.frame_every;
     return eo;
   }
 };
@@ -172,7 +235,11 @@ ResumedRun load_resume(const std::string& path) {
   ResumedRun rr;
   rr.bytes = CheckpointManager::load_file(path);
   rr.manifest = CheckpointManager::peek_manifest(rr.bytes);
-  rr.workload = make_workload(rr.manifest.workload_family, rr.manifest.workload);
+  rr.workload = is_openloop_family(rr.manifest.workload_family)
+                    ? std::make_unique<OpenLoopWorkload>(
+                          rr.manifest.openloop, rr.manifest.workload_family)
+                    : make_workload(rr.manifest.workload_family,
+                                    rr.manifest.workload);
   require_strategy(rr.manifest.strategy_name);
   rr.strategy =
       make_strategy(rr.manifest.strategy_name, rr.manifest.strategy_seed);
@@ -348,6 +415,11 @@ int stream_resume(const std::string& resume_path, std::int64_t shards,
     eo.snapshot_sink = [&](const StatsSnapshot& snapshot) {
       jsonl->write_line(to_jsonl(snapshot));
     };
+    if (eo.track_stream_stats && eo.frame_every > 0) {
+      eo.frame_sink = [&](const StatsFrame& frame) {
+        jsonl->write_line(to_jsonl(frame));
+      };
+    }
   }
   if (checkpoint_every > 0) {
     eo.checkpoint_every = checkpoint_every;
@@ -376,16 +448,149 @@ int stream_resume(const std::string& resume_path, std::int64_t shards,
             << AsciiTable::fmt(metrics.fulfilled_fraction()) << '\n'
             << "final digest   : " << hex64(state_digest(sim.engine()))
             << '\n';
+  if (eo.track_stream_stats) {
+    const StatsFrame f = sim.engine().stats_frame();
+    std::cout << "loss rate      : " << AsciiTable::fmt(f.loss_rate)
+              << "  (window " << AsciiTable::fmt(f.w_loss_rate) << ")\n"
+              << "tardiness p50/p99: " << AsciiTable::fmt(f.tardiness_p50)
+              << " / " << AsciiTable::fmt(f.tardiness_p99) << '\n';
+  }
   if (!jsonl_path.empty()) {
     std::cout << "wrote snapshots to " << jsonl_path << '\n';
   }
   return 0;
 }
 
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+/// `stream --resume-dir`: the multi-shard counterpart of --resume. Probes
+/// shard-0.ckpt, shard-1.ckpt, ... in `dir` until the first missing index,
+/// restores every shard from its own checkpoint, and runs them all to
+/// completion in parallel. Further checkpoints (--checkpoint-every) rewrite
+/// the same shard-<i>.ckpt files, so an interrupted resume resumes again.
+int stream_resume_dir(const std::string& dir, std::size_t threads,
+                      const std::string& jsonl_path, Round snapshot_every,
+                      const std::string& checkpoint_dir, Round checkpoint_every,
+                      std::int64_t max_rounds) {
+  std::int64_t shards = 0;
+  while (file_exists(checkpoint_path(dir, shards))) ++shards;
+  REQSCHED_CHECK_MSG(shards > 0, "--resume-dir=" << dir << " holds no "
+                                 << checkpoint_path(dir, 0));
+
+  // One shared crash-safe sink: every line is a single O_APPEND write, so
+  // concurrent shards interleave whole records, never fragments.
+  std::optional<JsonlSink> jsonl;
+  if (!jsonl_path.empty()) jsonl.emplace(jsonl_path);
+
+  struct ShardOutcome {
+    CheckpointManifest at;
+    Metrics metrics{};
+    StreamStats stats{};
+    std::uint64_t digest = 0;
+    std::string error;
+  };
+  std::vector<ShardOutcome> outcomes(static_cast<std::size_t>(shards));
+
+  ThreadPool pool(threads);
+  parallel_for(pool, static_cast<std::size_t>(shards), [&](std::size_t index) {
+    ShardOutcome& out = outcomes[index];
+    try {
+      ResumedRun rr =
+          load_resume(checkpoint_path(dir, static_cast<std::int64_t>(index)));
+      EngineOptions eo = rr.engine_options();
+      if (jsonl) {
+        jsonl->write_line(rr.manifest.to_json());
+        eo.snapshot_every = snapshot_every;
+        eo.snapshot_sink = [&](const StatsSnapshot& snapshot) {
+          jsonl->write_line(to_jsonl(snapshot));
+        };
+        if (eo.track_stream_stats && eo.frame_every > 0) {
+          eo.frame_sink = [&](const StatsFrame& frame) {
+            jsonl->write_line(to_jsonl(frame));
+          };
+        }
+      }
+      if (checkpoint_every > 0) {
+        eo.checkpoint_every = checkpoint_every;
+        eo.checkpoint_sink = [&](const StreamingEngine& engine) {
+          CheckpointManager::save_file(
+              checkpoint_path(checkpoint_dir, rr.manifest.shard),
+              CheckpointManager::encode(engine, rr.manifest));
+        };
+      }
+      Simulator sim(*rr.workload, *rr.strategy, eo);
+      out.at = CheckpointManager::restore(rr.bytes, sim.engine());
+      out.metrics = sim.run(out.at.round + max_rounds);
+      if (eo.track_stream_stats) out.stats = sim.engine().stream_stats();
+      out.digest = state_digest(sim.engine());
+      if (jsonl) jsonl->write_line(to_jsonl(sim.engine().snapshot()));
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    }
+  });
+
+  Metrics total{};
+  StreamStats merged;
+  std::int64_t failed = 0;
+  for (const ShardOutcome& out : outcomes) {
+    if (!out.error.empty()) {
+      ++failed;
+      continue;
+    }
+    total.rounds += out.metrics.rounds;
+    total.injected += out.metrics.injected;
+    total.fulfilled += out.metrics.fulfilled;
+    total.expired += out.metrics.expired;
+    if (out.stats.active()) {
+      if (!merged.active()) {
+        merged = out.stats;
+      } else {
+        merged.merge(out.stats);
+      }
+    }
+  }
+  std::cout << "resumed shards : " << shards << " from " << dir << " ("
+            << failed << " failed)\n"
+            << "rounds         : " << total.rounds << '\n'
+            << "injected       : " << total.injected << '\n'
+            << "fulfilled      : " << total.fulfilled << '\n'
+            << "expired        : " << total.expired << '\n'
+            << "fulfilled frac : " << AsciiTable::fmt(total.fulfilled_fraction())
+            << '\n';
+  for (std::int64_t shard = 0; shard < shards; ++shard) {
+    const ShardOutcome& out = outcomes[static_cast<std::size_t>(shard)];
+    if (!out.error.empty()) {
+      std::cout << "shard " << shard << " FAILED: " << out.error << '\n';
+      continue;
+    }
+    std::cout << "shard " << shard << "        : resumed at round "
+              << out.at.round << ", final round " << out.metrics.rounds
+              << ", digest " << hex64(out.digest) << '\n';
+  }
+  if (merged.active()) {
+    merged.set_shard(-1);
+    const std::int64_t pending =
+        total.injected - total.fulfilled - total.expired;
+    const StatsFrame f = merged.frame(pending);
+    std::cout << "loss rate      : " << AsciiTable::fmt(f.loss_rate)
+              << "  (window " << AsciiTable::fmt(f.w_loss_rate) << ")\n"
+              << "tardiness p50/p99: " << AsciiTable::fmt(f.tardiness_p50)
+              << " / " << AsciiTable::fmt(f.tardiness_p99) << '\n';
+    if (jsonl) jsonl->write_line(to_jsonl(f));
+  }
+  if (!jsonl_path.empty()) {
+    std::cout << "wrote snapshots to " << jsonl_path << '\n';
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 int cmd_stream(const CliArgs& args) {
   const auto options = base_options(args);
   const std::string family = args.get_string("workload", "uniform");
   const std::string strategy_name = args.get_string("strategy", "A_balance");
+  const bool openloop = is_openloop_family(family);
 
   ShardedRunOptions run;
   run.shards = args.get_int("shards", 1);
@@ -393,26 +598,55 @@ int cmd_stream(const CliArgs& args) {
   run.engine.track_live_opt = args.get_bool("track-ratio", false);
   run.engine.snapshot_every = args.get_int("snapshot-every", 0);
   run.engine.checkpoint_every = args.get_int("checkpoint-every", 0);
+  run.engine.frame_every = args.get_int("frame-every", 0);
+  run.engine.stream_stats.window = args.get_int("stats-window", 4096);
+  // --frame-every implies the streaming-statistics layer; --track-stats
+  // turns it on without periodic emission (final frame only).
+  run.engine.track_stream_stats =
+      args.get_bool("track-stats", run.engine.frame_every > 0);
   run.max_rounds = std::max<std::int64_t>(1'000'000, 2 * options.horizon);
+  const double rho = args.get_double("rho", 0.9);
   const std::string jsonl_path = args.get_string("jsonl", "");
   const std::string checkpoint_dir = args.get_string("checkpoint-dir", ".");
   const std::string resume_path = args.get_string("resume", "");
+  const std::string resume_dir = args.get_string("resume-dir", "");
   const auto strategy_seed =
       static_cast<std::uint64_t>(args.get_int("strategy-seed", 1));
   args.finish();
+  REQSCHED_CHECK_MSG(resume_path.empty() || resume_dir.empty(),
+                     "--resume and --resume-dir are mutually exclusive");
 
   if (!resume_path.empty()) {
     return stream_resume(resume_path, run.shards, jsonl_path,
                          run.engine.snapshot_every, checkpoint_dir,
                          run.engine.checkpoint_every, run.max_rounds);
   }
+  if (!resume_dir.empty()) {
+    // Unless redirected, further checkpoints rewrite the files being resumed.
+    const std::string ckpt_out =
+        checkpoint_dir == "." ? resume_dir : checkpoint_dir;
+    return stream_resume_dir(resume_dir, run.threads, jsonl_path,
+                             run.engine.snapshot_every, ckpt_out,
+                             run.engine.checkpoint_every, run.max_rounds);
+  }
   require_strategy(strategy_name);
+
+  OpenLoopOptions ol;
+  if (openloop) {
+    ol.n = options.n;
+    ol.d = options.d;
+    ol.rho = rho;
+    ol.horizon = options.horizon;
+    ol.seed = options.seed;
+    ol.min_window = options.min_window;
+    ol = openloop_preset(family, ol);
+  }
 
   // Crash-safe sink: whole-line O_APPEND writes, never a torn record.
   run.jsonl_path = jsonl_path;
   const auto manifest_for = [&](std::int64_t shard) {
-    return stream_manifest(family, options, strategy_name, strategy_seed,
-                           run.engine, shard);
+    return stream_manifest(family, options, openloop ? &ol : nullptr,
+                           strategy_name, strategy_seed, run.engine, shard);
   };
   run.manifest_line = [&](std::int64_t shard) {
     return manifest_for(shard).to_json();
@@ -428,7 +662,12 @@ int cmd_stream(const CliArgs& args) {
 
   const auto result = run_sharded(
       run,
-      [&](std::int64_t shard) {
+      [&](std::int64_t shard) -> std::unique_ptr<IWorkload> {
+        if (openloop) {
+          OpenLoopOptions shard_ol = ol;
+          shard_ol.seed = ol.seed + static_cast<std::uint64_t>(shard);
+          return std::make_unique<OpenLoopWorkload>(shard_ol, family);
+        }
         auto shard_options = options;
         shard_options.seed =
             options.seed + static_cast<std::uint64_t>(shard);
@@ -456,6 +695,15 @@ int cmd_stream(const CliArgs& args) {
       if (shard.ok()) worst = std::max(worst, shard.last_snapshot.live_ratio);
     }
     std::cout << "worst ratio    : " << AsciiTable::fmt(worst) << '\n';
+  }
+  if (result.merged_stats.active()) {
+    const std::int64_t pending =
+        result.total.injected - result.total.fulfilled - result.total.expired;
+    const StatsFrame f = result.merged_stats.frame(pending);
+    std::cout << "loss rate      : " << AsciiTable::fmt(f.loss_rate)
+              << "  (window " << AsciiTable::fmt(f.w_loss_rate) << ")\n"
+              << "tardiness p50/p99: " << AsciiTable::fmt(f.tardiness_p50)
+              << " / " << AsciiTable::fmt(f.tardiness_p99) << '\n';
   }
   for (const auto& shard : result.shards) {
     if (!shard.ok()) {
