@@ -35,6 +35,13 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
   // thread, which parallel_for never uses but defensive code is cheap): the
   // graph/matching buffers are reused across every point a worker processes,
   // so the sweep's steady state allocates only inside workload generation.
+  //
+  // No locks anywhere in the fan-out: each task owns points[i] exclusively
+  // (slots pre-sized, disjoint indices), each worker owns its scratch slot
+  // via current_worker_index(), and strategy/workload instances are
+  // constructed inside the task so nothing strategy-shaped ever crosses the
+  // worker boundary. parallel_for's wait_idle() is the join before the
+  // caller reads any point.
   std::vector<SolverScratch> scratches(pool.thread_count() + 1);
   parallel_for(pool, points.size(), [&](std::size_t i) {
     SweepPoint& point = points[i];

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <ostream>
 
 #include "engine/simulator.hpp"
+#include "util/mutex.hpp"
 
 namespace reqsched {
 
@@ -18,6 +18,25 @@ struct WorkerArena {
   RequestPool pool;
   WindowedPrefixOpt opt;
   DeltaWindowProblem window;
+};
+
+/// Mutex-serialized line appender over a caller-owned std::ostream — the
+/// fallback sink when no crash-safe jsonl_path is configured. The stream
+/// pointee is REQSCHED_PT_GUARDED_BY the writer's mutex, so "every shard
+/// thread writes the shared stream only under the lock" is a compile-time
+/// fact on clang, not a convention buried in a lambda.
+class SerializedStreamWriter {
+ public:
+  explicit SerializedStreamWriter(std::ostream* os) : os_(os) {}
+
+  void write_line(const std::string& line) REQSCHED_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    *os_ << line << '\n';
+  }
+
+ private:
+  Mutex mutex_;
+  std::ostream* const os_ REQSCHED_PT_GUARDED_BY(mutex_);
 };
 
 }  // namespace
@@ -34,11 +53,11 @@ ShardedResult run_sharded(const ShardedRunOptions& options,
   ThreadPool& workers = pool != nullptr ? *pool : *own_pool;
 
   std::vector<WorkerArena> arenas(workers.thread_count() + 1);
-  std::mutex jsonl_mutex;
   // jsonl_path wins: the sink's single-write(2)-per-line appends are atomic,
   // so a killed run leaves only whole records behind for resume tooling.
   std::optional<JsonlSink> jsonl_sink;
   if (!options.jsonl_path.empty()) jsonl_sink.emplace(options.jsonl_path);
+  SerializedStreamWriter stream_writer(options.jsonl);
   const bool jsonl_active =
       jsonl_sink.has_value() || options.jsonl != nullptr;
   const auto emit_line = [&](const std::string& line) {
@@ -46,13 +65,17 @@ ShardedResult run_sharded(const ShardedRunOptions& options,
       jsonl_sink->write_line(line);  // one atomic append, no lock needed
       return;
     }
-    const std::lock_guard<std::mutex> lock(jsonl_mutex);
-    *options.jsonl << line << '\n';
+    stream_writer.write_line(line);
   };
 
   ShardedResult result;
   result.shards.resize(static_cast<std::size_t>(options.shards));
 
+  // The per-shard result slots need no lock: the vector is sized before the
+  // fan-out, each task writes only result.shards[index] (its own slot), and
+  // parallel_for's wait_idle() is the synchronization point before the
+  // coordinating thread reads any slot. The cross-shard Metrics/StreamStats
+  // accumulation below runs strictly after that join, single-threaded.
   parallel_for(workers, static_cast<std::size_t>(options.shards),
                [&](std::size_t index) {
     const std::size_t worker = ThreadPool::current_worker_index();

@@ -11,7 +11,10 @@
 //
 // Observability goes through one serialized JSONL sink: every engine
 // snapshot (and a final snapshot per shard) is rendered to a line outside
-// the lock, then appended under a mutex.
+// the lock, then appended either through the lock-free JsonlSink (one
+// atomic O_APPEND write per line) or under an annotated Mutex for the
+// ostream fallback — see docs/architecture.md, "Threading model & lock
+// discipline".
 #pragma once
 
 #include <cstdint>

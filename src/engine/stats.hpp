@@ -54,6 +54,13 @@ std::ostream& operator<<(std::ostream& os, const StatsSnapshot& snapshot);
 /// or a post-crash resume — never sees a torn line, only whole records. A
 /// buffered std::ofstream, by contrast, flushes on its own schedule and a
 /// kill can leave half a JSON object at the tail.
+///
+/// Deliberately lock-free (no mutex, no REQSCHED_GUARDED_BY state): after
+/// construction the only mutable member is the immutable-once-open fd, and
+/// write_line's atomicity comes from the kernel's O_APPEND guarantee, not
+/// from a lock. This is the one sanctioned way to share a sink across shard
+/// threads without locking; tests/test_concurrency.cpp hammers it under
+/// TSan to keep the claim honest.
 class JsonlSink {
  public:
   /// Opens (creating or truncating) `path`. Throws ContractViolation when

@@ -182,6 +182,16 @@ class StreamStats {
   /// independent streams, so "the fleet's last-W-rounds" is exactly that
   /// sum when shards advance in lockstep, and a documented approximation
   /// otherwise).
+  ///
+  /// Thread discipline: StreamStats carries no lock — an accumulator is
+  /// owned by one engine (one thread) while the stream runs, and merge()
+  /// mutates the receiver, so concurrent merges into one target must be
+  /// externally serialized. ShardedRunner satisfies this by merging on the
+  /// coordinating thread after the pool joins, in fixed shard order (which
+  /// also keeps the past-exact-regime sketch state deterministic run to
+  /// run); anything merging live accumulators must hold a Mutex
+  /// (util/mutex.hpp) around every merge into the shared target, as
+  /// tests/test_concurrency.cpp demonstrates under TSan.
   void merge(const StreamStats& other);
 
   std::size_t approx_bytes() const;

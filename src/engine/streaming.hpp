@@ -90,6 +90,16 @@ struct EngineOptions {
   Round opt_prune_every = 16;
   /// Emit a StatsSnapshot to `snapshot_sink` every this many rounds
   /// (0 = never).
+  ///
+  /// Sink thread discipline: one engine runs on one thread, so every sink
+  /// below (snapshot/retire/frame/checkpoint) is invoked from that thread
+  /// only. But ShardedRunner binds *the same callable* into many engines on
+  /// many pool workers, so a sink that touches shared state must be
+  /// thread-safe itself — either lock-free like JsonlSink's O_APPEND
+  /// appends, per-shard like the checkpoint files, or locked through an
+  /// annotated Mutex (util/mutex.hpp) like the ostream fallback writer in
+  /// sharded.cpp. Never a bare std::mutex: the `thread-guards` lint rule
+  /// and clang's -Wthread-safety analysis gate the discipline.
   Round snapshot_every = 0;
   /// Shard label stamped into snapshots (ShardedRunner sets it).
   std::int64_t shard = 0;

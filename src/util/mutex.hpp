@@ -1,0 +1,80 @@
+// Annotated locking primitives: the only sanctioned way to lock in src/.
+//
+// Mutex/MutexLock/CondVar are thin wrappers over the standard primitives
+// carrying the thread-safety capability annotations from
+// util/thread_annotations.hpp, so clang's `-Wthread-safety` analysis can
+// prove that every REQSCHED_GUARDED_BY member is only touched under its
+// mutex. Raw std::mutex members and std::lock_guard/std::unique_lock/
+// std::scoped_lock uses in src/ are banned by the `thread-guards` lint rule
+// — the analysis cannot see through them, so a raw lock is an unchecked
+// lock.
+//
+// CondVar wraps std::condition_variable_any (it must unlock a Mutex, not a
+// std::mutex). The wrapper costs one extra indirection per wait — noise on
+// the coarse-grained paths that block (ThreadPool task handoff, JSONL
+// fan-in); the per-round engine hot paths are single-threaded by design and
+// never lock at all (docs/architecture.md, "Threading model").
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace reqsched {
+
+/// Annotated exclusive mutex. Prefer MutexLock for scoped holds; call
+/// lock()/unlock() directly only where RAII cannot express the flow.
+class REQSCHED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() REQSCHED_ACQUIRE() { mu_.lock(); }
+  void unlock() REQSCHED_RELEASE() { mu_.unlock(); }
+  bool try_lock() REQSCHED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped hold of a Mutex; the analysis treats the constructor as the
+/// acquire and the destructor as the release.
+class REQSCHED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) REQSCHED_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() REQSCHED_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable over Mutex. Deliberately predicate-less: the waiting
+/// loop (`while (!cond) cv.wait(mutex);`) stays in the caller, where the
+/// analysis can check that `cond` reads guarded state under the lock — a
+/// predicate lambda would be analyzed as a separate unannotated function
+/// and defeat the check.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks, and reacquires before returning.
+  /// Spurious wakeups happen; always wait in a condition loop.
+  void wait(Mutex& mutex) REQSCHED_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace reqsched

@@ -1,0 +1,66 @@
+// Clang thread-safety ("capability") annotation macros — the compile-time
+// half of the repo's lock discipline. Under clang, `-Wthread-safety`
+// (promoted to an error by the build, see the top-level CMakeLists) checks
+// that every access to a REQSCHED_GUARDED_BY member happens with its mutex
+// held and that REQSCHED_REQUIRES functions are only called under the lock.
+// Under any other compiler every macro expands to nothing, so the
+// annotations cost zero and gate nothing off-clang — the clang CI job is
+// where the analysis is enforced.
+//
+// The annotated primitives live in util/mutex.hpp (Mutex, MutexLock,
+// CondVar); raw std::mutex / std::lock_guard in src/ are banned by the
+// `thread-guards` lint rule because the analysis cannot see through them.
+// Cheat-sheet and false-positive guidance: docs/static_analysis.md.
+#pragma once
+
+#if defined(__clang__)
+#define REQSCHED_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define REQSCHED_THREAD_ANNOTATION(x)  // no-op off-clang
+#endif
+
+/// Marks a class as a capability (something that can be held), e.g.
+/// `class REQSCHED_CAPABILITY("mutex") Mutex`.
+#define REQSCHED_CAPABILITY(x) REQSCHED_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (MutexLock).
+#define REQSCHED_SCOPED_CAPABILITY REQSCHED_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member data that may only be read or written while holding `x`.
+#define REQSCHED_GUARDED_BY(x) REQSCHED_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* may only be touched while holding `x`
+/// (the pointer itself is unguarded — make it const).
+#define REQSCHED_PT_GUARDED_BY(x) REQSCHED_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the capability held (lock-holding
+/// private helpers split out of public entry points).
+#define REQSCHED_REQUIRES(...) \
+  REQSCHED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the capability and returns holding it.
+#define REQSCHED_ACQUIRE(...) \
+  REQSCHED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability.
+#define REQSCHED_RELEASE(...) \
+  REQSCHED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `result`.
+#define REQSCHED_TRY_ACQUIRE(result, ...) \
+  REQSCHED_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function that must be called with the capability *not* held (public
+/// entry points that take the lock themselves; catches self-deadlock).
+#define REQSCHED_EXCLUDES(...) \
+  REQSCHED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its class.
+#define REQSCHED_RETURN_CAPABILITY(x) \
+  REQSCHED_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the discipline holds anyway.
+#define REQSCHED_NO_THREAD_SAFETY_ANALYSIS \
+  REQSCHED_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/assert.hpp"
+
 namespace reqsched {
 
 namespace {
@@ -22,7 +24,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   task_available_.notify_all();
@@ -30,8 +32,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // An empty task is indistinguishable from next_task()'s shutdown sentinel
+  // and would strand a worker with in_flight_ never decremented.
+  REQSCHED_REQUIRE_MSG(task != nullptr, "ThreadPool::submit needs a callable");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -39,8 +44,23 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) idle_.wait(mutex_);
+}
+
+std::function<void()> ThreadPool::next_task() {
+  while (!shutting_down_ && tasks_.empty()) task_available_.wait(mutex_);
+  // Shutdown drains: queued tasks still run, workers leave on empty.
+  if (tasks_.empty()) return {};
+  std::function<void()> task = std::move(tasks_.front());
+  tasks_.pop();
+  return task;
+}
+
+void ThreadPool::finish_task() {
+  MutexLock lock(mutex_);
+  --in_flight_;
+  if (in_flight_ == 0) idle_.notify_all();
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -48,19 +68,12 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // only reachable when shutting down
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      MutexLock lock(mutex_);
+      task = next_task();
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) idle_.notify_all();
-    }
+    if (!task) return;
+    task();  // outside the lock: tasks may submit() or run long
+    finish_task();
   }
 }
 

@@ -1,14 +1,22 @@
 // Fixed-size thread pool used to parallelize parameter sweeps
 // (per-(n, d, seed) simulations are embarrassingly parallel).
+//
+// All cross-thread state is REQSCHED_GUARDED_BY(mutex_): the task queue,
+// the in-flight count, and the shutdown flag. Clang's thread-safety
+// analysis (util/thread_annotations.hpp) proves every access happens under
+// the lock; the lock-holding steps of the worker loop are split into
+// REQSCHED_REQUIRES-annotated private helpers so the discipline is visible
+// in the signatures, not just the bodies.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace reqsched {
 
@@ -22,11 +30,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Tasks must not throw; exceptions terminate the run
-  /// (experiment tasks report failures through their result slots instead).
-  void submit(std::function<void()> task);
+  /// (experiment tasks report failures through their result slots instead —
+  /// see ShardResult::error and SweepPoint::failed).
+  void submit(std::function<void()> task) REQSCHED_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() REQSCHED_EXCLUDES(mutex_);
 
   std::size_t thread_count() const { return workers_.size(); }
 
@@ -35,19 +44,27 @@ class ThreadPool {
 
   /// 0-based index of the calling pool worker thread, or kNotAWorker when
   /// called from any other thread. Lets tasks select per-worker state (e.g.
-  /// one SolverScratch per worker) without locking.
+  /// one SolverScratch per worker) without locking — the index lives in a
+  /// thread_local, so the lookup itself is lock-free by construction.
   static std::size_t current_worker_index();
 
  private:
-  void worker_loop(std::size_t worker_index);
+  void worker_loop(std::size_t worker_index) REQSCHED_EXCLUDES(mutex_);
+  /// Blocks until a task is available or shutdown is requested; pops and
+  /// returns the task, or returns an empty function on shutdown-with-empty-
+  /// queue (drain-then-exit: queued tasks still run before workers leave).
+  std::function<void()> next_task() REQSCHED_REQUIRES(mutex_);
+  /// Marks one task complete and wakes wait_idle() at zero in-flight.
+  void finish_task() REQSCHED_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  mutable Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ REQSCHED_GUARDED_BY(mutex_);
+  CondVar task_available_;
+  CondVar idle_;
+  /// Submitted but not yet finished (queued + executing).
+  std::size_t in_flight_ REQSCHED_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ REQSCHED_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(i) for i in [0, count) across the pool and waits for completion.

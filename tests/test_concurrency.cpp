@@ -1,0 +1,295 @@
+// Concurrency stress suite — the runtime half of the lock discipline that
+// clang's -Wthread-safety checks statically. Run under the TSan preset
+// (tools/check.sh --tsan) these tests hammer every sanctioned cross-thread
+// path: ShardedRunner's JSONL fan-in (snapshots + stats frames + checkpoint
+// callbacks from many shards at once), JsonlSink's lock-free O_APPEND
+// append from raw threads, Mutex-serialized StreamStats merges into one
+// accumulator, and the ThreadPool lifecycle edges (destructor drain,
+// contended submit, exception-to-result-slot propagation). A discipline
+// that only exists in annotations is a comment; TSan on these
+// interleavings is what keeps the annotations the real one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adversary/random.hpp"
+#include "analysis/registry.hpp"
+#include "engine/sharded.hpp"
+#include "engine/stats.hpp"
+#include "engine/stream_stats.hpp"
+#include "util/assert.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_pool.hpp"
+
+namespace reqsched {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// JsonlSink: concurrent appends interleave whole records, never fragments.
+
+TEST(ConcurrencyJsonlSink, InterleavedWritesStayWholeLines) {
+  const std::string path = testing::TempDir() + "reqsched_jsonl_stress.jsonl";
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  {
+    JsonlSink sink(path);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&sink, t] {
+        for (int i = 0; i < kLines; ++i) {
+          std::ostringstream os;
+          os << "{\"writer\":" << t << ",\"seq\":" << i << "}";
+          sink.write_line(os.str());
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kLines));
+  std::vector<int> per_writer(kThreads, 0);
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    const auto pos = line.find("\"writer\":");
+    ASSERT_NE(pos, std::string::npos) << line;
+    ++per_writer[static_cast<std::size_t>(
+        std::stoi(line.substr(pos + 9)))];
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_writer[static_cast<std::size_t>(t)], kLines);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// ShardedRunner fan-in: many shards racing into one crash-safe sink plus
+// per-shard checkpoint callbacks, with the streaming-statistics merge after
+// the join. The TSan pass is the teeth; the assertions pin the fan-in
+// didn't lose or tear records.
+
+TEST(ConcurrencyShardedRunner, ManyShardsOneJsonlSinkAndCheckpointFanIn) {
+  const std::string path = testing::TempDir() + "reqsched_shard_stress.jsonl";
+  constexpr std::int64_t kShards = 16;
+  std::atomic<std::int64_t> checkpoints{0};
+
+  ShardedRunOptions options;
+  options.shards = kShards;
+  options.threads = 4;
+  options.jsonl_path = path;
+  options.engine.snapshot_every = 8;
+  options.engine.track_stream_stats = true;
+  options.engine.frame_every = 16;
+  options.engine.stream_stats.window = 32;
+  options.engine.checkpoint_every = 32;
+  options.manifest_line = [](std::int64_t shard) {
+    std::ostringstream os;
+    os << "{\"manifest\":1,\"shard\":" << shard << "}";
+    return os.str();
+  };
+  // The runner fires this from whichever worker owns the shard; real
+  // callers write shard-<k>.ckpt (distinct files — no lock needed). Here an
+  // atomic counter keeps the cross-thread traffic while TSan watches.
+  options.checkpoint_sink = [&](const StreamingEngine&, std::int64_t) {
+    checkpoints.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  const ShardedResult result = run_sharded(
+      options,
+      [](std::int64_t shard) {
+        return std::make_unique<UniformWorkload>(RandomWorkloadOptions{
+            .n = 4, .d = 3, .load = 1.5, .horizon = 128,
+            .seed = 900 + static_cast<std::uint64_t>(shard),
+            .two_choice = true});
+      },
+      [](std::int64_t) { return make_strategy("A_balance"); });
+
+  ASSERT_TRUE(result.all_ok());
+  EXPECT_GT(checkpoints.load(), 0);
+  EXPECT_TRUE(result.merged_stats.active());
+  EXPECT_EQ(result.merged_stats.shard(), -1);
+
+  const std::vector<std::string> lines = read_lines(path);
+  // Per shard: one manifest + at least one final snapshot; plus the merged
+  // shard -1 frame.
+  EXPECT_GE(lines.size(), static_cast<std::size_t>(2 * kShards + 1));
+  std::int64_t manifests = 0;
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');  // whole records only — never a torn line
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("\"manifest\":1") != std::string::npos) ++manifests;
+  }
+  EXPECT_EQ(manifests, kShards);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// StreamStats: merge() is documented as externally-serialized; a Mutex
+// around the shared accumulator is the sanctioned pattern. Staying inside
+// the sketches' exact regime keeps the result order-independent, so the
+// racing merge must equal the sequential one bit for bit.
+
+TEST(ConcurrencyStreamStats, LockedConcurrentMergesMatchSequential) {
+  constexpr int kShards = 8;
+  const StreamStatsOptions opts{.window = 64, .buckets = 8,
+                                .sketch_capacity = 4096};
+
+  const auto build_shard = [&](int shard) {
+    StreamStats stats;
+    stats.reset(opts, shard);
+    for (int round = 0; round < 100; ++round) {
+      stats.on_inject(2);
+      stats.on_fulfill(/*tardiness=*/(round + shard) % 5);
+      if (round % 3 == 0) stats.on_expire();
+      stats.end_round();
+    }
+    return stats;
+  };
+
+  StreamStats sequential;
+  for (int s = 0; s < kShards; ++s) {
+    const StreamStats shard = build_shard(s);
+    if (!sequential.active()) {
+      sequential = shard;
+    } else {
+      sequential.merge(shard);
+    }
+  }
+
+  StreamStats shared;
+  Mutex merge_mutex;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kShards);
+    for (int s = 0; s < kShards; ++s) {
+      threads.emplace_back([&, s] {
+        const StreamStats shard = build_shard(s);  // off-lock: private build
+        MutexLock lock(merge_mutex);
+        if (!shared.active()) {
+          shared = shard;
+        } else {
+          shared.merge(shard);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+  sequential.set_shard(-1);
+  shared.set_shard(-1);
+  EXPECT_EQ(shared.frame(0), sequential.frame(0));
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool lifecycle edges.
+
+TEST(ConcurrencyThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait_idle(): shutdown must still run every queued task before the
+    // workers leave (drain-then-exit, not drop-on-floor).
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ConcurrencyThreadPool, ContendedSubmitFromManyThreads) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 250;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&pool, &ran] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), kSubmitters * kPerSubmitter);
+}
+
+TEST(ConcurrencyThreadPool, WorkerIndexPartitionsPerWorkerState) {
+  ThreadPool pool(4);
+  // Off-pool callers are not workers.
+  EXPECT_EQ(ThreadPool::current_worker_index(), ThreadPool::kNotAWorker);
+  // On-pool, every index is in range and stable enough to key per-worker
+  // arenas: hammer the lookup from every task.
+  std::atomic<int> bad{0};
+  parallel_for(pool, 500, [&](std::size_t) {
+    const std::size_t worker = ThreadPool::current_worker_index();
+    if (worker >= pool.thread_count()) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ConcurrencyThreadPool, SubmitRejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), ContractViolation);
+  pool.wait_idle();  // the rejected submit must not corrupt in-flight count
+}
+
+// Tasks themselves must not throw (that contract is the pool's); the
+// sanctioned propagation path is a result slot per task, which is what both
+// run_sharded (ShardResult::error) and run_sweep (SweepPoint::error)
+// implement. Pin it end to end: a shard whose *strategy factory* throws
+// reports through its slot while every other shard completes, under
+// contention.
+TEST(ConcurrencyThreadPool, TaskExceptionsPropagateThroughResultSlots) {
+  ShardedRunOptions options;
+  options.shards = 8;
+  options.threads = 4;
+  const ShardedResult result = run_sharded(
+      options,
+      [](std::int64_t shard) {
+        return std::make_unique<UniformWorkload>(RandomWorkloadOptions{
+            .n = 2, .d = 2, .load = 1.0, .horizon = 32,
+            .seed = 7 + static_cast<std::uint64_t>(shard),
+            .two_choice = true});
+      },
+      [](std::int64_t shard) -> std::unique_ptr<IStrategy> {
+        if (shard % 3 == 1) {
+          throw std::runtime_error("strategy factory exploded");
+        }
+        return make_strategy("A_balance");
+      });
+  EXPECT_FALSE(result.all_ok());
+  std::int64_t failed = 0;
+  for (const ShardResult& shard : result.shards) {
+    if (shard.shard % 3 == 1) {
+      ++failed;
+      EXPECT_EQ(shard.error, "strategy factory exploded");
+    } else {
+      EXPECT_TRUE(shard.ok()) << shard.error;
+      EXPECT_GT(shard.metrics.injected, 0);
+    }
+  }
+  EXPECT_EQ(result.failed, failed);
+}
+
+}  // namespace
+}  // namespace reqsched

@@ -6,10 +6,12 @@
 # alternate-compiler build, and the performance gates. Run from the
 # repository root:
 #
-#   tools/check.sh                # plain + asan + tsan passes
+#   tools/check.sh                # plain + asan + tsan + ubsan passes
 #   tools/check.sh --plain        # plain pass only
 #   tools/check.sh --asan         # ASan + UBSan pass only
 #   tools/check.sh --tsan         # ThreadSanitizer pass only
+#   tools/check.sh --ubsan        # UBSan-alone pass only (what ASan's
+#                                 # combined pass can mask, minus its runtime)
 #   tools/check.sh --lint         # reqsched_lint + clang-tidy build (the
 #                                 # tidy half is skipped with a notice when
 #                                 # no clang-tidy binary is installed)
@@ -17,8 +19,11 @@
 #                                 # every mutation of the delta-maintained
 #                                 # structures re-verified against naive
 #                                 # models (slow; the `audit` CI job)
-#   tools/check.sh --clang        # plain pass built with clang++ (skipped
-#                                 # with a notice when clang++ is missing)
+#   tools/check.sh --clang        # plain pass built with clang++, which
+#                                 # also enforces the thread-safety
+#                                 # annotations (-Werror=thread-safety, see
+#                                 # src/util/thread_annotations.hpp); skipped
+#                                 # with a notice when clang++ is missing
 #   tools/check.sh --bench-smoke  # Release build; bench_perf + bench_stream
 #                                 # gates (--smoke) and a short
 #                                 # bench_prefix_opt run
@@ -33,6 +38,7 @@ cd "$(dirname "$0")/.."
 SANITIZER_PRESETS=(
   "asan+ubsan:build-asan:-DREQSCHED_SANITIZE=ON"
   "tsan:build-tsan:-DREQSCHED_SANITIZE=thread"
+  "ubsan:build-ubsan:-DREQSCHED_SANITIZE=undefined"
 )
 
 run_pass() {
@@ -99,6 +105,9 @@ run_stationary_label() {
   (cd "${dir}" && ctest --output-on-failure --no-tests=error -L stationary)
 }
 
+# The clang pass doubles as the lock-discipline gate: the top-level
+# CMakeLists adds -Wthread-safety -Werror=thread-safety on clang, so an
+# access to REQSCHED_GUARDED_BY state outside its mutex fails this build.
 run_clang() {
   if ! command -v clang++ >/dev/null 2>&1; then
     echo "==> clang: clang++ not installed; skipping" \
@@ -159,6 +168,9 @@ case "${mode}" in
   --tsan)
     run_sanitizer_preset "tsan"
     ;;
+  --ubsan)
+    run_sanitizer_preset "ubsan"
+    ;;
   --lint)
     run_lint
     ;;
@@ -172,7 +184,7 @@ case "${mode}" in
     run_bench_smoke
     ;;
   *)
-    echo "usage: tools/check.sh [--plain|--asan|--tsan|--lint|--audit|--clang|--bench-smoke]" >&2
+    echo "usage: tools/check.sh [--plain|--asan|--tsan|--ubsan|--lint|--audit|--clang|--bench-smoke]" >&2
     exit 2
     ;;
 esac

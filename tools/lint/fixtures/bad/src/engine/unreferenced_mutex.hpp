@@ -1,0 +1,17 @@
+#pragma once
+
+namespace reqsched {
+
+// thread-guards: a mutex member that no REQSCHED_GUARDED_BY references —
+// the thread-safety analysis has nothing to check, so the lock guards
+// nothing it can prove.
+class Fanin {
+ public:
+  void add(int delta);
+
+ private:
+  std::mutex mutex_;
+  int total_ = 0;
+};
+
+}  // namespace reqsched

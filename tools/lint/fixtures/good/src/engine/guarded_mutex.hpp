@@ -1,0 +1,24 @@
+#pragma once
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace reqsched {
+
+// Clean thread-guards usage: the annotated wrapper Mutex, with every piece
+// of cross-thread state REQSCHED_GUARDED_BY it, and a waived legacy member
+// showing the escape hatch.
+class Fanin {
+ public:
+  void add(int delta) REQSCHED_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    total_ += delta;
+  }
+
+ private:
+  Mutex mutex_;
+  int total_ REQSCHED_GUARDED_BY(mutex_) = 0;
+  std::mutex external_;  // owned by a C API // reqsched-lint: allow(thread-guards)
+};
+
+}  // namespace reqsched

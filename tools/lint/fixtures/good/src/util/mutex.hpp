@@ -1,0 +1,19 @@
+#pragma once
+
+#include <mutex>
+
+namespace reqsched {
+
+// The wrapper-owner carve-out: src/util/mutex.hpp is the one src/ file
+// allowed to hold a raw std::mutex member (and name the raw std:: locking
+// vocabulary) without thread-guards findings — it IS the annotated wrapper.
+class Mutex {
+ public:
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace reqsched

@@ -54,9 +54,25 @@ Rules (see docs/static_analysis.md for the full catalogue):
                       (clear/erase/resize/pop_back/assign/swap or
                       reassignment) — otherwise it is whole-trace
                       accumulation hiding in the round loop.
+  thread-guards       lock discipline is compiler-checked (clang
+                      -Werror=thread-safety over the annotations in
+                      util/thread_annotations.hpp), which only works when
+                      locks go through the annotated wrappers: every
+                      std::mutex/Mutex member in src/ must be referenced by
+                      at least one REQSCHED_GUARDED_BY /
+                      REQSCHED_PT_GUARDED_BY in the same file (a mutex
+                      guarding nothing is a mutex the analysis cannot
+                      check), and raw std::lock_guard / std::unique_lock /
+                      std::scoped_lock are banned in src/ outside
+                      util/mutex.hpp — use reqsched::MutexLock, which the
+                      analysis understands.
 
 A finding can be waived for one line with a trailing
 `// reqsched-lint: allow(<rule>)` comment.
+
+Output is human-readable text by default; `--format=json` emits a JSON
+array of {rule, file, line, message} objects (CI turns these into GitHub
+problem-matcher annotations).
 
 Exit status: 0 = clean, 1 = findings, 2 = usage error.
 """
@@ -64,6 +80,7 @@ Exit status: 0 = clean, 1 = findings, 2 = usage error.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -171,6 +188,26 @@ STREAM_ACCUM_FILES = {
 STREAM_GROWTH_RE = re.compile(
     r"\b([A-Za-z][A-Za-z0-9_]*_)\s*(?:\[[^\]]*\])?\s*\.\s*"
     r"(?:push_back|emplace_back)\s*\(")
+
+# --- thread-guards ---------------------------------------------------------
+# The annotated-wrapper owner: the only src/ file that may hold a raw
+# std::mutex member or name the raw std:: locking vocabulary (it is the
+# wrapper the rest of src/ must go through).
+THREAD_PRIMITIVE_OWNER = "src/util/mutex.hpp"
+# A mutex member declaration: `std::mutex name_;` or the annotated wrapper
+# `Mutex name_;`, optionally `mutable`. Matching declarations only (the name
+# is followed by `;`, `{...};`, or `= ...;`) keeps lock *uses* out.
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:std\s*::\s*mutex|Mutex)\s+"
+    r"([A-Za-z_][A-Za-z0-9_]*)\s*(?:;|\{|=)")
+# Raw scoped-locking vocabulary the thread-safety analysis cannot see
+# through; src/ code uses reqsched::MutexLock instead.
+RAW_LOCK_RE = re.compile(
+    r"\bstd\s*::\s*(lock_guard|unique_lock|scoped_lock)\b")
+# A GUARDED_BY annotation referencing mutex `m` somewhere in the same file
+# satisfies the "this mutex guards something" requirement.
+GUARDED_BY_RE = re.compile(
+    r"\bREQSCHED_(?:PT_)?GUARDED_BY\s*\(\s*([A-Za-z_][A-Za-z0-9_]*)\s*\)")
 
 SOURCE_DIRS = ("src", "tools", "bench", "tests", "examples")
 EXTENSIONS = (".hpp", ".cpp", ".h", ".cc")
@@ -361,6 +398,10 @@ def check_file(root: str, relpath: str, findings: list) -> None:
             report(1, "pragma-once",
                    "header must start with #pragma once before any code")
 
+    # Mutex names referenced by a (PT_)GUARDED_BY anywhere in this file —
+    # the "guards at least one thing" evidence for thread-guards.
+    guarded_mutexes = set(GUARDED_BY_RE.findall(code)) if in_src else set()
+
     guard = GuardTracker()
     for i, line in enumerate(code_lines):
         n = i + 1
@@ -425,6 +466,22 @@ def check_file(root: str, relpath: str, findings: list) -> None:
                        f"`{sn.group(1)}` belongs to src/snapshot; outside it "
                        "only the exact `friend struct SnapshotAccess;` "
                        "grant may appear")
+
+        # --- thread-guards ------------------------------------------------
+        if in_src and norm != THREAD_PRIMITIVE_OWNER:
+            lm = RAW_LOCK_RE.search(line)
+            if lm:
+                report(n, "thread-guards",
+                       f"raw std::{lm.group(1)} is invisible to the "
+                       "thread-safety analysis; hold locks through "
+                       "reqsched::MutexLock (util/mutex.hpp)")
+            mm = MUTEX_MEMBER_RE.match(line)
+            if mm and mm.group(1) not in guarded_mutexes:
+                report(n, "thread-guards",
+                       f"mutex `{mm.group(1)}` is referenced by no "
+                       "REQSCHED_GUARDED_BY/REQSCHED_PT_GUARDED_BY in this "
+                       "file — annotate the state it guards so clang's "
+                       "-Wthread-safety can check it")
 
         guard.feed(line)
 
@@ -566,6 +623,10 @@ def main(argv=None) -> int:
         description="repo-specific layering/contract linter")
     parser.add_argument("--root", default=".",
                         help="repository root (default: cwd)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="finding output format: human-readable text "
+                             "(default) or a JSON array of {rule, file, "
+                             "line, message} objects")
     parser.add_argument("paths", nargs="*",
                         help="specific files to lint (default: all of "
                              "src/ tools/ bench/ tests/ examples/)")
@@ -583,6 +644,19 @@ def main(argv=None) -> int:
         return 2
     for rel in files:
         check_file(root, rel, findings)
+
+    if args.format == "json":
+        # Machine-readable mode: stdout carries exactly one JSON document
+        # (empty array when clean); the human summary moves to stderr.
+        print(json.dumps([{"rule": f.rule, "file": f.path, "line": f.line,
+                           "message": f.message} for f in findings],
+                         indent=2))
+        if findings:
+            print(f"reqsched_lint: {len(findings)} finding(s) in "
+                  f"{len(files)} file(s)", file=sys.stderr)
+            return 1
+        print(f"reqsched_lint: {len(files)} file(s) clean", file=sys.stderr)
+        return 0
 
     for f in findings:
         print(f)

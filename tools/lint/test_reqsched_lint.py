@@ -3,6 +3,7 @@
 fixture and a conforming one (tools/lint/fixtures/{bad,good})."""
 
 import io
+import json
 import os
 import sys
 import unittest
@@ -92,6 +93,14 @@ class BadFixtures(unittest.TestCase):
         self.assert_finding("src/engine/streaming.cpp",
                             "stream-accumulation")
 
+    def test_mutex_member_without_guarded_by(self):
+        self.assert_finding("src/engine/unreferenced_mutex.hpp",
+                            "thread-guards")
+
+    def test_raw_lock_guard_outside_wrapper(self):
+        self.assert_finding("src/engine/raw_lock_guard.cpp",
+                            "thread-guards")
+
     def test_every_bad_fixture_fires(self):
         flagged = {l.split(":", 1)[0] for l in self.out.splitlines()
                    if ": [" in l}
@@ -117,6 +126,25 @@ class RealTree(unittest.TestCase):
             os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
         code, out, err = run_lint(repo)
         self.assertEqual(code, 0, f"repository must lint clean:\n{out}{err}")
+
+
+class JsonFormat(unittest.TestCase):
+    def test_bad_tree_emits_finding_objects(self):
+        code, out, err = run_lint(os.path.join(FIXTURES, "bad"),
+                                  ["--format", "json"])
+        self.assertEqual(code, 1)
+        rows = json.loads(out)
+        self.assertTrue(rows, "bad tree must produce JSON findings")
+        for row in rows:
+            self.assertEqual(sorted(row), ["file", "line", "message", "rule"])
+            self.assertIsInstance(row["line"], int)
+        self.assertIn("thread-guards", {r["rule"] for r in rows})
+
+    def test_good_tree_emits_empty_array(self):
+        code, out, err = run_lint(os.path.join(FIXTURES, "good"),
+                                  ["--format", "json"])
+        self.assertEqual(code, 0)
+        self.assertEqual(json.loads(out), [])
 
 
 class Mechanics(unittest.TestCase):
